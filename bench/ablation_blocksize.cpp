@@ -1,0 +1,54 @@
+//===--- bench/ablation_blocksize.cpp - strand block size ablation -----------===//
+//
+// Section 6.4: "With some experimentation, we found that the biggest
+// limitation to parallelism was the lock that controls access to the
+// work-list. With smaller blocks of strands (recall that we use 4,096
+// strands per block), we saw a significant reduction in parallel scaling."
+//
+// This harness times the lic2d workload at 8 workers across block sizes and
+// prints the speedup relative to sequential execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common.h"
+
+using namespace diderot;
+using namespace diderot::bench;
+
+int main(int Argc, char **Argv) {
+  BenchOptions O = parseBenchArgs(Argc, Argv);
+  WorkloadConfig C = makeConfig(O);
+  Datasets D(C);
+
+  std::printf("=== Ablation: work-list block size (Section 6.4) ===\n\n");
+  CompiledProgram CP = compileWorkload(Workload::Lic2d, false);
+
+  auto TimeAt = [&](int Workers, int BlockSize) {
+    std::vector<double> Times;
+    for (int R = 0; R < O.Runs; ++R) {
+      auto I = makeWorkloadInstance(CP, Workload::Lic2d, C, D, O.Full);
+      must(I->initialize());
+      auto T0 = std::chrono::steady_clock::now();
+      Result<int> S = I->run(100000, Workers, BlockSize);
+      auto T1 = std::chrono::steady_clock::now();
+      must(S.isOk() ? Status::ok() : Status::error(S.message()));
+      Times.push_back(std::chrono::duration<double>(T1 - T0).count());
+    }
+    std::sort(Times.begin(), Times.end());
+    return Times[Times.size() / 2];
+  };
+
+  double Seq = TimeAt(0, 4096);
+  std::printf("lic2d %dx%d (%zu strands), sequential: %.3f s\n\n", C.Lic.ResU,
+              C.Lic.ResV, C.numStrands(Workload::Lic2d), Seq);
+  std::printf("%10s %12s %10s\n", "block size", "8P time (s)", "speedup");
+  for (int Block : {4, 16, 64, 256, 1024, 4096, 16384, 65536}) {
+    double T = TimeAt(O.MaxWorkers, Block);
+    std::printf("%10d %12.3f %9.2fx %s\n", Block, T, Seq / T,
+                Block == 4096 ? "  <- the paper's default" : "");
+  }
+  std::printf("\nExpected shape: tiny blocks serialize on the work-list "
+              "lock; very large\nblocks under-utilize workers near the end "
+              "of a superstep. 4096 sits on\nthe plateau.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===--- bench/ablation_vn.cpp - value numbering / contraction ablation -------===//
+//
+// Quantifies Section 5.4's claims: how much the contraction and value
+// numbering passes shrink the generated code (instruction counts at LowIR)
+// and speed it up (vr-lite-style value+gradient workload, where VN
+// deduplicates the shared convolution reads, and an illust-vr-style Hessian
+// workload, where VN detects the Hessian's symmetry).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common.h"
+
+using namespace diderot;
+using namespace diderot::bench;
+
+namespace {
+
+const char *SharedProbeSrc = R"(
+input image(3)[] img;
+input int res = 48;
+field#2(3)[] F = img ⊛ bspln3;
+strand S (int xi, int yi, int zi) {
+  vec3 pos = [ -0.6 + 1.2*real(xi)/real(res-1),
+               -0.6 + 1.2*real(yi)/real(res-1),
+               -0.6 + 1.2*real(zi)/real(res-1) ];
+  output real out = 0.0;
+  int it = 0;
+  update {
+    out += F(pos) + |∇F(pos)|;
+    it += 1;
+    if (it == 8) stabilize;
+  }
+}
+initially [ S(xi, yi, zi) | xi in 0 .. res-1, yi in 0 .. res-1,
+                            zi in 0 .. res-1 ];
+)";
+
+const char *HessianSrc = R"(
+input image(3)[] img;
+input int res = 32;
+field#2(3)[] F = img ⊛ bspln3;
+strand S (int xi, int yi, int zi) {
+  vec3 pos = [ -0.6 + 1.2*real(xi)/real(res-1),
+               -0.6 + 1.2*real(yi)/real(res-1),
+               -0.6 + 1.2*real(zi)/real(res-1) ];
+  output real out = 0.0;
+  int it = 0;
+  update {
+    tensor[3,3] H = ∇⊗∇F(pos);
+    out += trace(H) + |H|;
+    it += 1;
+    if (it == 8) stabilize;
+  }
+}
+initially [ S(xi, yi, zi) | xi in 0 .. res-1, yi in 0 .. res-1,
+                            zi in 0 .. res-1 ];
+)";
+
+void runCase(const char *Name, const char *Src, const Image &Vol, int Runs) {
+  std::printf("--- %s ---\n", Name);
+  std::printf("%-28s %12s %12s %10s\n", "configuration", "LowIR ops",
+              "update ops", "run (s)");
+  struct Cfg {
+    const char *Name;
+    bool Contract, VN;
+  };
+  const Cfg Cfgs[] = {
+      {"no optimization", false, false},
+      {"contract only", true, false},
+      {"contract + value numbering", true, true},
+  };
+  double Base = 0.0;
+  for (const Cfg &Cf : Cfgs) {
+    CompileOptions Opts;
+    Opts.Eng = Engine::Native;
+    Opts.EnableContract = Cf.Contract;
+    Opts.EnableValueNumbering = Cf.VN;
+    Result<CompiledProgram> CP = compileString(Src, Opts, "ablate");
+    if (!CP.isOk()) {
+      std::fprintf(stderr, "%s\n", CP.message().c_str());
+      std::exit(1);
+    }
+    int Ops = ir::countAllOps(CP->lowModule().Update) +
+              ir::countAllOps(CP->lowModule().StrandInit);
+    int UpdateOps = ir::countAllOps(CP->lowModule().Update);
+    // Warm the native-object cache so host-compiler time stays out of the
+    // measurement.
+    {
+      Result<std::unique_ptr<rt::ProgramInstance>> Warm = CP->instantiate();
+      must(Warm.isOk() ? Status::ok() : Status::error(Warm.message()));
+    }
+    double T = medianSeconds(Runs, [&] {
+      Result<std::unique_ptr<rt::ProgramInstance>> I = CP->instantiate();
+      must(I.isOk() ? Status::ok() : Status::error(I.message()));
+      must((*I)->setInputImage("img", Vol));
+      must((*I)->initialize());
+      Result<int> R = (*I)->run(1000, 0);
+      must(R.isOk() ? Status::ok() : Status::error(R.message()));
+    });
+    if (Base == 0.0)
+      Base = T;
+    std::printf("%-28s %12d %12d %10.3f  (%.2fx)\n", Cf.Name, Ops, UpdateOps,
+                T, Base / T);
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions O = parseBenchArgs(Argc, Argv);
+  Image Vol = synth::ctHand(48);
+  std::printf("=== Ablation: contraction and value numbering "
+              "(Section 5.4) ===\n\n");
+  runCase("value + gradient at one position (shared convolutions)",
+          SharedProbeSrc, Vol, O.Runs);
+  runCase("Hessian probe (symmetry detection)", HessianSrc, Vol, O.Runs);
+  std::printf("Expected shape: value numbering cuts the update body "
+              "instruction count\nroughly in half for the shared-probe case "
+              "(the convolution reads of F and\n∇F coincide) and removes 3 "
+              "of the 9 Hessian component sums (symmetry).\nRuntime gains "
+              "are modest on this backend because the host C++ compiler's\n"
+              "own CSE rediscovers most of the redundancy; the IR-level "
+              "counts are the\nfaithful measure of the paper's "
+              "domain-specific eliminations.\n");
+  return 0;
+}

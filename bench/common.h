@@ -1,0 +1,359 @@
+//===--- bench/common.h - shared benchmark harness infrastructure -----------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the benchmark binaries that regenerate the paper's
+/// tables and figures: the four benchmark workloads (program sources,
+/// synthetic datasets, and matched parameters for the Diderot and Teem-style
+/// versions), wall-clock timing, and table formatting.
+///
+/// Every harness accepts:
+///   --scale S   multiply benchmark resolutions by S (default keeps runs
+///               laptop-friendly; the paper ran at larger sizes)
+///   --full      paper-scale strand counts (Table 1's numbers)
+///   --runs N    timing repetitions (median reported; the paper used 40)
+///   --workers W override the max worker count (default 8, as the paper's
+///               8-core Xeon)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_BENCH_COMMON_H
+#define DIDEROT_BENCH_COMMON_H
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "driver/driver.h"
+#include "synth/synth.h"
+
+namespace diderot::bench {
+
+/// Configured by CMake: absolute path of the repository root (for reading
+/// bench/programs/*.diderot and counting baseline source lines).
+#ifndef DIDEROT_REPO_DIR
+#define DIDEROT_REPO_DIR "."
+#endif
+
+inline std::string repoPath(const std::string &Rel) {
+  return std::string(DIDEROT_REPO_DIR) + "/" + Rel;
+}
+
+inline std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Command-line options
+//===----------------------------------------------------------------------===//
+
+struct BenchOptions {
+  double Scale = 1.0;
+  bool Full = false;
+  int Runs = 3;
+  int MaxWorkers = 8;
+};
+
+inline BenchOptions parseBenchArgs(int Argc, char **Argv) {
+  BenchOptions O;
+  for (int A = 1; A < Argc; ++A) {
+    if (!std::strcmp(Argv[A], "--scale") && A + 1 < Argc)
+      O.Scale = std::atof(Argv[++A]);
+    else if (!std::strcmp(Argv[A], "--full"))
+      O.Full = true;
+    else if (!std::strcmp(Argv[A], "--runs") && A + 1 < Argc)
+      O.Runs = std::atoi(Argv[++A]);
+    else if (!std::strcmp(Argv[A], "--workers") && A + 1 < Argc)
+      O.MaxWorkers = std::atoi(Argv[++A]);
+  }
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Timing
+//===----------------------------------------------------------------------===//
+
+/// Median wall-clock seconds of \p Runs invocations of \p Fn.
+template <typename FnT> double medianSeconds(int Runs, FnT &&Fn) {
+  std::vector<double> Times;
+  for (int R = 0; R < Runs; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    Times.push_back(std::chrono::duration<double>(T1 - T0).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+//===----------------------------------------------------------------------===//
+// The four benchmark workloads
+//===----------------------------------------------------------------------===//
+
+/// Which benchmark (matching the paper's Table 1 rows).
+enum class Workload { VrLite, IllustVr, Lic2d, Ridge3d };
+
+inline const char *workloadName(Workload W) {
+  switch (W) {
+  case Workload::VrLite:
+    return "vr-lite";
+  case Workload::IllustVr:
+    return "illust-vr";
+  case Workload::Lic2d:
+    return "lic2d";
+  case Workload::Ridge3d:
+    return "ridge3d";
+  }
+  return "?";
+}
+
+inline const char *workloadProgramFile(Workload W) {
+  switch (W) {
+  case Workload::VrLite:
+    return "bench/programs/vr_lite.diderot";
+  case Workload::IllustVr:
+    return "bench/programs/illust_vr.diderot";
+  case Workload::Lic2d:
+    return "bench/programs/lic2d.diderot";
+  case Workload::Ridge3d:
+    return "bench/programs/ridge3d.diderot";
+  }
+  return "";
+}
+
+/// Resolved sizes for one benchmark run.
+struct WorkloadConfig {
+  // vr-lite / illust-vr
+  baselines::VrParams Vr;
+  // lic2d
+  baselines::LicParams Lic;
+  // ridge3d
+  baselines::RidgeParams Ridge;
+  // dataset sizes
+  int HandSize = 64;
+  int LungSize = 64;
+  int FlowSize = 256;
+  int NoiseSize = 256;
+  int XferSize = 64;
+
+  size_t numStrands(Workload W) const {
+    switch (W) {
+    case Workload::VrLite:
+    case Workload::IllustVr:
+      return static_cast<size_t>(Vr.ResU) * Vr.ResV;
+    case Workload::Lic2d:
+      return static_cast<size_t>(Lic.ResU) * Lic.ResV;
+    case Workload::Ridge3d:
+      return static_cast<size_t>(Ridge.Res) * Ridge.Res * Ridge.Res;
+    }
+    return 0;
+  }
+};
+
+/// The paper-scale strand counts (Table 1): vr-lite 165,600; illust-vr
+/// 307,200; lic2d 572,220; ridge3d 1,728,000. `--full` selects these;
+/// otherwise resolutions scale from laptop-friendly defaults.
+inline WorkloadConfig makeConfig(const BenchOptions &O) {
+  WorkloadConfig C;
+  if (O.Full) {
+    C.Vr.ResU = 480; // 480*345 = 165,600 for vr-lite
+    C.Vr.ResV = 345;
+    C.Lic.ResU = 756; // 756*757 = 572,292 (paper: 572,220)
+    C.Lic.ResV = 757;
+    C.Ridge.Res = 120; // 120^3 = 1,728,000
+    C.HandSize = 128;
+    C.LungSize = 128;
+  } else {
+    C.Vr.ResU = std::max(8, static_cast<int>(200 * O.Scale));
+    C.Vr.ResV = std::max(8, static_cast<int>(150 * O.Scale));
+    C.Lic.ResU = std::max(8, static_cast<int>(300 * O.Scale));
+    C.Lic.ResV = std::max(8, static_cast<int>(300 * O.Scale));
+    C.Ridge.Res = std::max(4, static_cast<int>(24 * std::cbrt(O.Scale)));
+  }
+  C.Vr.scaleToResolution();
+  return C;
+}
+
+/// illust-vr uses the same geometry but twice the resolution ratio in the
+/// paper (307,200 = 640x480); we render it at the same ResU/ResV as vr-lite
+/// unless --full, where it gets 640x480.
+inline baselines::VrParams illustParams(const WorkloadConfig &C, bool Full) {
+  baselines::VrParams P; // fresh: scaleToResolution not yet applied
+  if (Full) {
+    P.ResU = 640;
+    P.ResV = 480;
+  } else {
+    P.ResU = C.Vr.ResU;
+    P.ResV = C.Vr.ResV;
+  }
+  P.scaleToResolution();
+  return P;
+}
+
+/// Cached synthetic datasets for one config.
+struct Datasets {
+  Image Hand, Lung, Flow, Noise, Xfer;
+
+  explicit Datasets(const WorkloadConfig &C)
+      : Hand(synth::ctHand(C.HandSize)), Lung(synth::lungVessels(C.LungSize)),
+        Flow(synth::flow2d(C.FlowSize)), Noise(synth::noise2d(C.NoiseSize)),
+        Xfer(synth::curvatureColormap(C.XferSize)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Diderot instances per workload
+//===----------------------------------------------------------------------===//
+
+/// Compile one benchmark program with the given engine options.
+inline CompiledProgram compileWorkload(Workload W, bool DoublePrecision) {
+  CompileOptions Opts;
+  Opts.Eng = Engine::Native;
+  Opts.DoublePrecision = DoublePrecision;
+  std::string Src = readFileOrDie(repoPath(workloadProgramFile(W)));
+  Result<CompiledProgram> CP = compileString(Src, Opts, workloadName(W));
+  if (!CP.isOk()) {
+    std::fprintf(stderr, "compile %s failed:\n%s\n", workloadName(W),
+                 CP.message().c_str());
+    std::exit(1);
+  }
+  return CP.take();
+}
+
+inline void must(const Status &S) {
+  if (!S.isOk()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    std::exit(1);
+  }
+}
+
+/// Create an instance of \p CP with the workload's inputs applied.
+inline std::unique_ptr<rt::ProgramInstance>
+makeWorkloadInstance(CompiledProgram &CP, Workload W, const WorkloadConfig &C,
+                     const Datasets &D, bool Full) {
+  Result<std::unique_ptr<rt::ProgramInstance>> IR = CP.instantiate();
+  if (!IR.isOk()) {
+    std::fprintf(stderr, "instantiate %s failed: %s\n", workloadName(W),
+                 IR.message().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<rt::ProgramInstance> I = IR.take();
+  switch (W) {
+  case Workload::VrLite: {
+    const baselines::VrParams &P = C.Vr;
+    must(I->setInputImage("img", D.Hand));
+    must(I->setInputInt("imgResU", P.ResU));
+    must(I->setInputInt("imgResV", P.ResV));
+    must(I->setInputReal("stepSz", P.StepSz));
+    must(I->setInputReal("maxT", P.MaxT));
+    must(I->setInputReal("opacMin", P.OpacMin));
+    must(I->setInputReal("opacMax", P.OpacMax));
+    must(I->setInputTensor("eye", {P.Eye[0], P.Eye[1], P.Eye[2]}));
+    must(I->setInputTensor("orig", {P.Orig[0], P.Orig[1], P.Orig[2]}));
+    must(I->setInputTensor("cVec", {P.CVec[0], P.CVec[1], P.CVec[2]}));
+    must(I->setInputTensor("rVec", {P.RVec[0], P.RVec[1], P.RVec[2]}));
+    break;
+  }
+  case Workload::IllustVr: {
+    baselines::VrParams P = illustParams(C, Full);
+    must(I->setInputImage("img", D.Hand));
+    must(I->setInputImage("xfer", D.Xfer));
+    must(I->setInputInt("imgResU", P.ResU));
+    must(I->setInputInt("imgResV", P.ResV));
+    must(I->setInputReal("stepSz", P.StepSz));
+    must(I->setInputReal("maxT", P.MaxT));
+    must(I->setInputReal("isoval", 0.5 * (P.OpacMin + P.OpacMax)));
+    must(I->setInputTensor("eye", {P.Eye[0], P.Eye[1], P.Eye[2]}));
+    must(I->setInputTensor("orig", {P.Orig[0], P.Orig[1], P.Orig[2]}));
+    must(I->setInputTensor("cVec", {P.CVec[0], P.CVec[1], P.CVec[2]}));
+    must(I->setInputTensor("rVec", {P.RVec[0], P.RVec[1], P.RVec[2]}));
+    break;
+  }
+  case Workload::Lic2d: {
+    const baselines::LicParams &P = C.Lic;
+    must(I->setInputImage("vecs", D.Flow));
+    must(I->setInputImage("rand", D.Noise));
+    must(I->setInputInt("resU", P.ResU));
+    must(I->setInputInt("resV", P.ResV));
+    must(I->setInputInt("stepNum", P.StepNum));
+    must(I->setInputReal("h", P.H));
+    must(I->setInputReal("lo", P.Lo));
+    must(I->setInputReal("hi", P.Hi));
+    break;
+  }
+  case Workload::Ridge3d: {
+    const baselines::RidgeParams &P = C.Ridge;
+    must(I->setInputImage("lung", D.Lung));
+    must(I->setInputInt("res", P.Res));
+    must(I->setInputInt("stepsMax", P.StepsMax));
+    must(I->setInputReal("epsilon", P.Epsilon));
+    must(I->setInputReal("strength", P.Strength));
+    must(I->setInputReal("maxStep", P.MaxStep));
+    must(I->setInputReal("lo", P.Lo));
+    must(I->setInputReal("hi", P.Hi));
+    break;
+  }
+  }
+  return I;
+}
+
+/// Run the baseline version of a workload (sequential, Teem-style).
+inline void runBaseline(Workload W, const WorkloadConfig &C,
+                        const Datasets &D, bool Full) {
+  switch (W) {
+  case Workload::VrLite:
+    baselines::vrLite(D.Hand, C.Vr);
+    return;
+  case Workload::IllustVr:
+    baselines::illustVr(D.Hand, D.Xfer, illustParams(C, Full));
+    return;
+  case Workload::Lic2d:
+    baselines::lic2d(D.Flow, D.Noise, C.Lic);
+    return;
+  case Workload::Ridge3d:
+    baselines::ridge3d(D.Lung, C.Ridge);
+    return;
+  }
+}
+
+/// Time one Diderot configuration: instance creation excluded, run() only
+/// (the paper times the computation kernel, excluding load/init/output).
+inline double timeDiderotRun(CompiledProgram &CP, Workload W,
+                             const WorkloadConfig &C, const Datasets &D,
+                             bool Full, int Workers, int Runs) {
+  std::vector<double> Times;
+  for (int R = 0; R < Runs; ++R) {
+    auto I = makeWorkloadInstance(CP, W, C, D, Full);
+    must(I->initialize());
+    auto T0 = std::chrono::steady_clock::now();
+    Result<int> Steps = I->run(100000, Workers);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Steps.isOk()) {
+      std::fprintf(stderr, "run failed: %s\n", Steps.message().c_str());
+      std::exit(1);
+    }
+    Times.push_back(std::chrono::duration<double>(T1 - T0).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+} // namespace diderot::bench
+
+#endif // DIDEROT_BENCH_COMMON_H

@@ -1,0 +1,66 @@
+//===--- bench/fig12_speedup.cpp - reproduce the paper's Figure 12 -----------===//
+//
+// "Figure 12: parallel speedup curves for the single-precision version of
+// our benchmarks. We use the sequential version of these programs without
+// the overhead of scheduling [as the baseline]. As we expect, all of the
+// benchmarks scale well. For vr-lite, we see some tailing-off at eight
+// threads, which we believe is because of lack of work."
+//
+// Prints speedup (T_seq / T_p) for p = 1..MaxWorkers per benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include <thread>
+
+#include "bench/common.h"
+
+using namespace diderot;
+using namespace diderot::bench;
+
+int main(int Argc, char **Argv) {
+  BenchOptions O = parseBenchArgs(Argc, Argv);
+  WorkloadConfig C = makeConfig(O);
+  Datasets D(C);
+
+  unsigned HW = std::thread::hardware_concurrency();
+  std::printf("=== Figure 12: parallel speedup (single precision) ===\n");
+  std::printf("machine: %u hardware threads; paper: 8-core Xeon X5570\n\n",
+              HW);
+
+  // Paper speedups read off Figure 12 / computed from Table 2 (Seq vs 2P,
+  // 8P single precision).
+  struct Paper {
+    const char *Name;
+    double At2, At8;
+  };
+  const Paper PaperSpeedups[] = {
+      {"vr-lite", 14.92 / 7.59, 14.92 / 2.62},
+      {"illust-vr", 54.17 / 27.55, 54.17 / 8.00},
+      {"lic2d", 2.02 / 1.02, 2.02 / 0.30},
+      {"ridge3d", 8.40 / 4.22, 8.40 / 1.14},
+  };
+
+  const Workload Ws[] = {Workload::VrLite, Workload::IllustVr, Workload::Lic2d,
+                         Workload::Ridge3d};
+  std::printf("%-10s %8s", "program", "seq(s)");
+  for (int P = 1; P <= O.MaxWorkers; ++P)
+    std::printf("   %2dP", P);
+  std::printf("   | paper: 2P=?, 8P=?\n");
+
+  for (int Row = 0; Row < 4; ++Row) {
+    Workload W = Ws[Row];
+    CompiledProgram CP = compileWorkload(W, /*double=*/false);
+    double Seq = timeDiderotRun(CP, W, C, D, O.Full, 0, O.Runs);
+    std::printf("%-10s %8.3f", workloadName(W), Seq);
+    for (int P = 1; P <= O.MaxWorkers; ++P) {
+      double T = timeDiderotRun(CP, W, C, D, O.Full, P, O.Runs);
+      std::printf(" %5.2f", Seq / T);
+    }
+    std::printf("   | paper: 2P=%.2f, 8P=%.2f\n", PaperSpeedups[Row].At2,
+                PaperSpeedups[Row].At8);
+  }
+  std::printf("\n(speedups are T_seq / T_p; ideal is p. Small default sizes "
+              "under-utilize\nworkers — rerun with --scale 2 or --full for "
+              "paper-shaped curves.)\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+//===--- bench/micro_substrates.cpp - substrate micro-benchmarks -------------===//
+//
+// google-benchmark timings of the mathematical substrates underneath both
+// the compiler's generated code and the Teem-style baseline: kernel
+// evaluation (piece-table vs callback), probing (value / gradient /
+// Hessian), symmetric eigendecomposition, and tensor algebra. These expose
+// the architectural difference the paper credits for the performance gap:
+// "a major part of the difference is Teem's use of callbacks to implement
+// field probes."
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel.h"
+#include "synth/synth.h"
+#include "teem/probe.h"
+#include "tensor/eigen.h"
+
+using namespace diderot;
+
+namespace {
+
+//===--- kernel evaluation -------------------------------------------------===//
+
+void BM_KernelEvalPieceTable(benchmark::State &State) {
+  const Kernel &K = kernels::bspln3();
+  double X = 0.37;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(K.eval(X));
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_KernelEvalPieceTable);
+
+void BM_KernelEvalCallback(benchmark::State &State) {
+  teem::ProbeKernel K = teem::kernelBspln3(0);
+  double X = 0.37;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(K.Eval(X, K.Parm));
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_KernelEvalCallback);
+
+void BM_KernelWeightPolynomialHorner(benchmark::State &State) {
+  // The form the compiler emits: a fixed piece polynomial, Horner scheme.
+  Polynomial P = kernels::bspln3().weightPoly(0);
+  double X = 0.37;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P.eval(X));
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_KernelWeightPolynomialHorner);
+
+//===--- probing -------------------------------------------------------------===//
+
+struct ProbeFixture {
+  Image Img = synth::ctHand(32);
+};
+
+void BM_TeemProbeValue(benchmark::State &State) {
+  static ProbeFixture F;
+  teem::ProbeCtx Ctx(F.Img);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setQuery(teem::ItemValue);
+  Ctx.update();
+  double T = 0.0;
+  for (auto _ : State) {
+    double P[3] = {0.3 * std::sin(T), 0.3 * std::cos(T), 0.1};
+    benchmark::DoNotOptimize(Ctx.probe(P));
+    T += 0.01;
+  }
+}
+BENCHMARK(BM_TeemProbeValue);
+
+void BM_TeemProbeValueGradient(benchmark::State &State) {
+  static ProbeFixture F;
+  teem::ProbeCtx Ctx(F.Img);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setKernel(1, teem::kernelBspln3(1));
+  Ctx.setQuery(teem::ItemValue | teem::ItemGradient);
+  Ctx.update();
+  double T = 0.0;
+  for (auto _ : State) {
+    double P[3] = {0.3 * std::sin(T), 0.3 * std::cos(T), 0.1};
+    benchmark::DoNotOptimize(Ctx.probe(P));
+    T += 0.01;
+  }
+}
+BENCHMARK(BM_TeemProbeValueGradient);
+
+void BM_TeemProbeHessian(benchmark::State &State) {
+  static ProbeFixture F;
+  teem::ProbeCtx Ctx(F.Img);
+  for (int L = 0; L <= 2; ++L)
+    Ctx.setKernel(L, teem::kernelBspln3(L));
+  Ctx.setQuery(teem::ItemValue | teem::ItemGradient | teem::ItemHessian);
+  Ctx.update();
+  double T = 0.0;
+  for (auto _ : State) {
+    double P[3] = {0.3 * std::sin(T), 0.3 * std::cos(T), 0.1};
+    benchmark::DoNotOptimize(Ctx.probe(P));
+    T += 0.01;
+  }
+}
+BENCHMARK(BM_TeemProbeHessian);
+
+//===--- eigensystems ---------------------------------------------------------===//
+
+void BM_EigenvalsSym3(benchmark::State &State) {
+  double M[9] = {2.0, 0.4, -0.1, 0.4, 1.0, 0.3, -0.1, 0.3, -1.5};
+  double L[3];
+  for (auto _ : State) {
+    eigenvalsSym3(M, L);
+    benchmark::DoNotOptimize(L[0]);
+    M[0] += 1e-12;
+  }
+}
+BENCHMARK(BM_EigenvalsSym3);
+
+void BM_EigensystemSym3(benchmark::State &State) {
+  double M[9] = {2.0, 0.4, -0.1, 0.4, 1.0, 0.3, -0.1, 0.3, -1.5};
+  double L[3], V[9];
+  for (auto _ : State) {
+    eigensystemSym3(M, L, V);
+    benchmark::DoNotOptimize(V[0]);
+    M[0] += 1e-12;
+  }
+}
+BENCHMARK(BM_EigensystemSym3);
+
+//===--- tensor algebra -------------------------------------------------------===//
+
+void BM_TensorMatMul3x3(benchmark::State &State) {
+  Tensor A = Tensor::identity(3);
+  Tensor B(Shape{3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  for (auto _ : State) {
+    Tensor C = dot(A, B);
+    benchmark::DoNotOptimize(C[0]);
+  }
+}
+BENCHMARK(BM_TensorMatMul3x3);
+
+void BM_TensorNormalize3(benchmark::State &State) {
+  Tensor V = Tensor::vector({1.0, 2.0, 3.0});
+  for (auto _ : State) {
+    Tensor N = normalize(V);
+    benchmark::DoNotOptimize(N[0]);
+  }
+}
+BENCHMARK(BM_TensorNormalize3);
+
+//===--- image sampling --------------------------------------------------------===//
+
+void BM_ImageSampleClamped(benchmark::State &State) {
+  static ProbeFixture F;
+  int Idx[3] = {5, 6, 7};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(F.Img.sample(Idx, 0));
+    Idx[0] = (Idx[0] + 1) & 31;
+  }
+}
+BENCHMARK(BM_ImageSampleClamped);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+//===--- bench/table2_perf.cpp - reproduce the paper's Table 2 ---------------===//
+//
+// "Table 2. Average performance results over 40 runs (times in seconds)":
+// for each of the four benchmarks, the hand-coded Teem version (sequential,
+// double-precision internals) against the compiled Diderot version at single
+// and double precision, sequential and on 1, 2, and 8 workers.
+//
+// Absolute times differ from the paper (different machine, synthetic data);
+// the claims to check are the *shape*: Diderot sequential beats Teem, double
+// precision costs but does not erase the gap, and the parallel runtime
+// scales.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common.h"
+
+using namespace diderot;
+using namespace diderot::bench;
+
+namespace {
+
+struct PaperRow {
+  const char *Name;
+  double Teem;
+  double Single[4]; // Seq, 1P, 2P, 8P
+  double Double[4];
+};
+
+const PaperRow PaperTable[] = {
+    {"vr-lite", 26.77, {14.92, 14.95, 7.59, 2.62}, {16.52, 16.44, 8.35, 2.92}},
+    {"illust-vr",
+     132.85,
+     {54.17, 54.40, 27.55, 8.00},
+     {80.63, 82.16, 41.18, 11.86}},
+    {"lic2d", 3.22, {2.02, 2.03, 1.02, 0.30}, {2.47, 2.47, 1.24, 0.37}},
+    {"ridge3d", 11.18, {8.40, 8.36, 4.22, 1.14}, {9.34, 10.27, 5.16, 1.39}},
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions O = parseBenchArgs(Argc, Argv);
+  WorkloadConfig C = makeConfig(O);
+  Datasets D(C);
+
+  std::printf("=== Table 2: average performance (seconds), %d run(s), "
+              "median ===\n",
+              O.Runs);
+  std::printf("workload scale: vr %dx%d, illust %dx%d, lic %dx%d, ridge %d^3"
+              "%s\n\n",
+              C.Vr.ResU, C.Vr.ResV, illustParams(C, O.Full).ResU,
+              illustParams(C, O.Full).ResV, C.Lic.ResU, C.Lic.ResV,
+              C.Ridge.Res, O.Full ? " (paper scale)" : "");
+  std::printf("%-10s | %8s | %-35s | %-35s\n", "", "Teem",
+              "Diderot single (Seq/1P/2P/8P)", "Diderot double (Seq/1P/2P/8P)");
+  std::printf("%.*s\n", 110,
+              "--------------------------------------------------------------"
+              "--------------------------------------------------");
+
+  const Workload Ws[] = {Workload::VrLite, Workload::IllustVr, Workload::Lic2d,
+                         Workload::Ridge3d};
+  const int WorkerCols[4] = {0, 1, 2, O.MaxWorkers};
+
+  for (int Row = 0; Row < 4; ++Row) {
+    Workload W = Ws[Row];
+    const PaperRow &P = PaperTable[Row];
+    std::printf("%-10s | paper: %6.2f | %8.2f %8.2f %8.2f %8.2f | %8.2f "
+                "%8.2f %8.2f %8.2f\n",
+                P.Name, P.Teem, P.Single[0], P.Single[1], P.Single[2],
+                P.Single[3], P.Double[0], P.Double[1], P.Double[2],
+                P.Double[3]);
+
+    double TeemT = medianSeconds(
+        O.Runs, [&] { runBaseline(W, C, D, O.Full); });
+
+    double Ours[2][4];
+    for (int DP = 0; DP < 2; ++DP) {
+      CompiledProgram CP = compileWorkload(W, DP != 0);
+      for (int K = 0; K < 4; ++K)
+        Ours[DP][K] =
+            timeDiderotRun(CP, W, C, D, O.Full, WorkerCols[K], O.Runs);
+    }
+    std::printf("%-10s | ours:  %6.2f | %8.2f %8.2f %8.2f %8.2f | %8.2f "
+                "%8.2f %8.2f %8.2f\n",
+                "", TeemT, Ours[0][0], Ours[0][1], Ours[0][2], Ours[0][3],
+                Ours[1][0], Ours[1][1], Ours[1][2], Ours[1][3]);
+    std::printf("%-10s | Teem/Diderot-seq speedup: paper %.2fx, ours %.2fx; "
+                "Seq->%dP: paper %.2fx, ours %.2fx\n\n",
+                "", P.Teem / P.Single[0], TeemT / Ours[0][0], O.MaxWorkers,
+                P.Single[0] / P.Single[3], Ours[0][0] / Ours[0][3]);
+  }
+  std::printf("(run with --full --runs 40 to approach the paper's "
+              "configuration)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===--- examples/lic_flow.cpp - vector field visualization with LIC ---------===//
+//
+// The paper's Figure 5/6 example: line integral convolution. Strands blur a
+// noise texture along streamlines of a 2-D vector field — an algorithm that
+// is naturally per-output-pixel rather than per-input-voxel, which is
+// exactly the parallel decomposition Diderot's strands capture. Writes
+// lic_flow.pgm.
+//
+// Build & run:  ./build/examples/lic_flow [res]      (default 400x400)
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/driver.h"
+#include "image/pnm.h"
+#include "synth/synth.h"
+
+namespace {
+
+const char *Lic = R"(
+// Line Integral Convolution (paper Figure 5)
+input int stepNum = 16;
+input real h = 0.008;
+input int res = 400;
+input image(2)[2] vecs;
+input image(2)[] rand;
+field#1(2)[2] V = vecs ⊛ ctmr;
+field#0(2)[] R = rand ⊛ tent;
+
+strand LIC (vec2 pos0) {
+  vec2 forw = pos0;
+  vec2 back = pos0;
+  output real sum = R(pos0);
+  int step = 0;
+
+  update {
+    // Midpoint-method streamline integration, downstream and upstream.
+    forw += h*V(forw + 0.5*h*V(forw));
+    back -= h*V(back - 0.5*h*V(back));
+    sum += R(forw) + R(back);
+    step += 1;
+    if (step == stepNum) {
+      // Modulate contrast by the seed point's speed.
+      sum *= |V(pos0)| / real(1 + 2*stepNum);
+      stabilize;
+    }
+  }
+}
+
+initially [ LIC([ -0.85 + 1.7*real(ui)/real(res-1),
+                  -0.85 + 1.7*real(vi)/real(res-1) ])
+          | vi in 0 .. res-1, ui in 0 .. res-1 ];
+)";
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  using namespace diderot;
+  int Res = Argc > 1 ? std::atoi(Argv[1]) : 400;
+
+  Image Flow = synth::flow2d(256);
+  Image Noise = synth::noise2d(256);
+
+  Result<CompiledProgram> CP = compileString(Lic, {}, "lic_flow");
+  if (!CP.isOk()) {
+    std::fprintf(stderr, "%s\n", CP.message().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<rt::ProgramInstance>> Inst = CP->instantiate();
+  if (!Inst.isOk()) {
+    std::fprintf(stderr, "%s\n", Inst.message().c_str());
+    return 1;
+  }
+  rt::ProgramInstance &I = **Inst;
+  I.setInputImage("vecs", Flow);
+  I.setInputImage("rand", Noise);
+  I.setInputInt("res", Res);
+  if (Status S = I.initialize(); !S.isOk()) {
+    std::fprintf(stderr, "%s\n", S.message().c_str());
+    return 1;
+  }
+  Result<int> Steps = I.run(1000, 8);
+  if (!Steps.isOk()) {
+    std::fprintf(stderr, "%s\n", Steps.message().c_str());
+    return 1;
+  }
+  std::vector<double> Pix;
+  I.getOutput("sum", Pix);
+  double MaxV = 0;
+  for (double V : Pix)
+    MaxV = std::max(MaxV, V);
+  if (Status S = writePgm("lic_flow.pgm", Res, Res, Pix, 0.0, MaxV);
+      !S.isOk()) {
+    std::fprintf(stderr, "%s\n", S.message().c_str());
+    return 1;
+  }
+  std::printf("LIC of %dx%d pixels in %d supersteps; wrote lic_flow.pgm\n",
+              Res, Res, *Steps);
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===--- baselines/baselines.h - hand-coded benchmark baselines -------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written C-style implementations of the paper's four benchmark
+/// programs (Section 6.2) against the Teem-style probing library — the
+/// "Teem" column of Tables 1 and 2. Each is written the way the paper
+/// describes Teem usage: create a probe context, set kernels, declare the
+/// query, update the context, then probe in a tight loop, copying answers
+/// out of the probe buffers. Sequential only (the paper's Teem column has a
+/// single configuration).
+///
+/// The `// BEGIN CORE` / `// END CORE` markers in the .cpp files delimit the
+/// computational core counted in Table 1's "core" lines-of-code column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_BASELINES_BASELINES_H
+#define DIDEROT_BASELINES_BASELINES_H
+
+#include <array>
+#include <vector>
+
+#include "image/image.h"
+
+namespace diderot::baselines {
+
+/// Shared camera / ray setup for the volume-rendering benchmarks. The
+/// viewing geometry looks down -z at the synthetic hand volume.
+struct VrParams {
+  int ResU = 200;
+  int ResV = 150;
+  double StepSz = 0.03;
+  double MaxT = 8.0;
+  double Eye[3] = {0.0, 0.1, 6.0};
+  double Orig[3] = {-0.36, -0.17, 4.0}; ///< pixel (0,0) position
+  double CVec[3] = {0.0036, 0.0, 0.0};  ///< column step (scaled by 200/ResU)
+  double RVec[3] = {0.0, 0.0036, 0.0};  ///< row step (scaled by 150/ResV)
+  double OpacMin = 0.25;
+  double OpacMax = 0.65;
+
+  /// Rescale the pixel steps so the view frustum is resolution-independent.
+  void scaleToResolution() {
+    double SU = 200.0 / ResU, SV = 150.0 / ResV;
+    for (int K = 0; K < 3; ++K) {
+      CVec[K] *= SU;
+      RVec[K] *= SV;
+    }
+  }
+};
+
+/// Grayscale output image, row-major, ResV rows by ResU columns.
+struct GrayImage {
+  int W = 0, H = 0;
+  std::vector<double> Pix;
+};
+
+/// RGB output image, row-major, 3 components per pixel.
+struct RgbImage {
+  int W = 0, H = 0;
+  std::vector<double> Pix;
+};
+
+/// vr-lite: "Simple volume-renderer with Phong shading" (diffuse term).
+GrayImage vrLite(const Image &Vol, const VrParams &P);
+
+/// illust-vr: "Fancy volume-renderer with cartoon shading" using the
+/// curvature-based transfer function of Figure 3; \p Xfer is the 2-D RGB
+/// colormap image indexed by (kappa1, kappa2).
+RgbImage illustVr(const Image &Vol, const Image &Xfer, const VrParams &P);
+
+struct LicParams {
+  int ResU = 300;
+  int ResV = 300;
+  int StepNum = 12;
+  double H = 0.01;
+  double Lo = -0.85, Hi = 0.85; ///< world extent of the output grid
+};
+
+/// lic2d: line integral convolution of \p Vecs over noise texture \p Noise.
+GrayImage lic2d(const Image &Vecs, const Image &Noise, const LicParams &P);
+
+struct RidgeParams {
+  int Res = 24; ///< initial points per axis (Res^3 strands)
+  int StepsMax = 30;
+  double Epsilon = 1e-4;
+  double Strength = 0.1; ///< required -lambda2 ridge strength
+  double Lo = -0.7, Hi = 0.7;
+  double MaxStep = 0.05;
+};
+
+/// ridge3d: particle-based ridge (vessel centerline) detection; returns the
+/// converged particle positions.
+std::vector<std::array<double, 3>> ridge3d(const Image &Vol,
+                                           const RidgeParams &P);
+
+} // namespace diderot::baselines
+
+#endif // DIDEROT_BASELINES_BASELINES_H

@@ -1,0 +1,122 @@
+//===--- baselines/illust_vr.cpp - hand-coded curvature volume renderer -----===//
+//
+// The Teem-style version of the paper's illust-vr benchmark: a volume
+// renderer whose color comes from the curvature-based transfer function of
+// Figure 3 ("various curvature computations based on the gradient and
+// Hessian... the tensor calculations that are awkward to express in other
+// languages" — exactly the point this hand-written version demonstrates).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "teem/probe.h"
+
+namespace diderot::baselines {
+
+RgbImage illustVr(const Image &Vol, const Image &Xfer, const VrParams &P) {
+  RgbImage Out;
+  Out.W = P.ResU;
+  Out.H = P.ResV;
+  Out.Pix.assign(static_cast<size_t>(3 * P.ResU * P.ResV), 0.0);
+
+  teem::ProbeCtx Ctx(Vol);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setKernel(1, teem::kernelBspln3(1));
+  Ctx.setKernel(2, teem::kernelBspln3(2));
+  Ctx.setQuery(teem::ItemValue | teem::ItemGradient | teem::ItemHessian);
+  Ctx.update();
+
+  // A second probe context for the 2-D RGB colormap.
+  teem::ProbeCtx Map(Xfer);
+  Map.setKernel(0, teem::kernelTent(0));
+  Map.setQuery(teem::ItemValue);
+  Map.update();
+
+  double Iso = 0.5 * (P.OpacMin + P.OpacMax);
+
+  // BEGIN CORE
+  for (int R = 0; R < P.ResV; ++R) {
+    for (int C = 0; C < P.ResU; ++C) {
+      double Pos[3], Dir[3];
+      for (int K = 0; K < 3; ++K)
+        Pos[K] = P.Orig[K] + R * P.RVec[K] + C * P.CVec[K];
+      double Len = 0.0;
+      for (int K = 0; K < 3; ++K) {
+        Dir[K] = Pos[K] - P.Eye[K];
+        Len += Dir[K] * Dir[K];
+      }
+      Len = std::sqrt(Len);
+      for (int K = 0; K < 3; ++K)
+        Dir[K] /= Len;
+      double Transp = 1.0;
+      double Rgb[3] = {0.0, 0.0, 0.0};
+      double T = 0.0;
+      for (;;) {
+        for (int K = 0; K < 3; ++K)
+          Pos[K] += P.StepSz * Dir[K];
+        T += P.StepSz;
+        if (Ctx.probe(Pos)) {
+          double Val = Ctx.value()[0];
+          if (Val > Iso) {
+            const double *G = Ctx.gradient();
+            const double *H = Ctx.hessian();
+            double GLen =
+                std::sqrt(G[0] * G[0] + G[1] * G[1] + G[2] * G[2]);
+            if (GLen > 1e-12) {
+              double N[3] = {G[0] / GLen, G[1] / GLen, G[2] / GLen};
+              // P = I - n n^T; Gm = -(P H P)/|grad| (Figure 3).
+              double Pm[9];
+              for (int I = 0; I < 3; ++I)
+                for (int J = 0; J < 3; ++J)
+                  Pm[I * 3 + J] = (I == J ? 1.0 : 0.0) - N[I] * N[J];
+              double HP[9] = {0}, PHP[9] = {0};
+              for (int I = 0; I < 3; ++I)
+                for (int J = 0; J < 3; ++J)
+                  for (int K = 0; K < 3; ++K)
+                    HP[I * 3 + J] += H[I * 3 + K] * Pm[K * 3 + J];
+              for (int I = 0; I < 3; ++I)
+                for (int J = 0; J < 3; ++J)
+                  for (int K = 0; K < 3; ++K)
+                    PHP[I * 3 + J] += Pm[I * 3 + K] * HP[K * 3 + J];
+              double Gm[9];
+              for (int I = 0; I < 9; ++I)
+                Gm[I] = -PHP[I] / GLen;
+              double TraceG = Gm[0] + Gm[4] + Gm[8];
+              double FrobSq = 0.0;
+              for (int I = 0; I < 9; ++I)
+                FrobSq += Gm[I] * Gm[I];
+              double Disc =
+                  std::sqrt(std::fmax(0.0, 2.0 * FrobSq - TraceG * TraceG));
+              double K1 = (TraceG + Disc) / 2.0;
+              double K2 = (TraceG - Disc) / 2.0;
+              // Sample the (k1, k2) colormap with bilinear interpolation.
+              // Clamp strictly inside the colormap so the tent support fits.
+              double U[2] = {std::fmax(-0.95, std::fmin(0.95, 6.0 * K1)),
+                             std::fmax(-0.95, std::fmin(0.95, 6.0 * K2))};
+              double Mat[3] = {0.7, 0.7, 0.7};
+              if (Map.probe(U)) {
+                Mat[0] = Map.value()[0];
+                Mat[1] = Map.value()[1];
+                Mat[2] = Map.value()[2];
+              }
+              double Opac = 0.8;
+              for (int K = 0; K < 3; ++K)
+                Rgb[K] += Transp * Opac * Mat[K];
+              Transp *= 1.0 - Opac;
+            }
+          }
+        }
+        if (T > P.MaxT)
+          break;
+      }
+      for (int K = 0; K < 3; ++K)
+        Out.Pix[static_cast<size_t>((R * P.ResU + C) * 3 + K)] = Rgb[K];
+    }
+  }
+  // END CORE
+  return Out;
+}
+
+} // namespace diderot::baselines

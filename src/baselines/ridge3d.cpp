@@ -1,0 +1,82 @@
+//===--- baselines/ridge3d.cpp - hand-coded particle ridge detection --------===//
+//
+// The Teem-style version of the paper's ridge3d benchmark: "an initial
+// uniform distribution of points within a portion of a CT scan of a lung is
+// moved iteratively towards the centers of blood vessels, using Newton
+// optimization to compute ridge lines. This program computes the eigenvalues
+// and eigenvectors of the Hessian."
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "teem/probe.h"
+#include "tensor/eigen_raw.h"
+
+namespace diderot::baselines {
+
+std::vector<std::array<double, 3>> ridge3d(const Image &Vol,
+                                           const RidgeParams &P) {
+  std::vector<std::array<double, 3>> Out;
+
+  teem::ProbeCtx Ctx(Vol);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setKernel(1, teem::kernelBspln3(1));
+  Ctx.setKernel(2, teem::kernelBspln3(2));
+  Ctx.setQuery(teem::ItemGradient | teem::ItemHessian);
+  Ctx.update();
+
+  // BEGIN CORE
+  for (int Xi = 0; Xi < P.Res; ++Xi) {
+    for (int Yi = 0; Yi < P.Res; ++Yi) {
+      for (int Zi = 0; Zi < P.Res; ++Zi) {
+        double Pos[3] = {P.Lo + (P.Hi - P.Lo) * Xi / (P.Res - 1),
+                         P.Lo + (P.Hi - P.Lo) * Yi / (P.Res - 1),
+                         P.Lo + (P.Hi - P.Lo) * Zi / (P.Res - 1)};
+        bool Alive = true;
+        bool Converged = false;
+        for (int Step = 0; Step <= P.StepsMax && Alive && !Converged;
+             ++Step) {
+          if (!Ctx.probe(Pos)) {
+            Alive = false;
+            break;
+          }
+          const double *G = Ctx.gradient();
+          const double *H = Ctx.hessian();
+          double L[3], V[9];
+          eigensystemSym3(H, L, V);
+          // Ridge line requires two strongly negative curvatures.
+          if (L[1] > -P.Strength) {
+            Alive = false;
+            break;
+          }
+          // Newton step restricted to the two most-negative eigenvectors.
+          const double *E1 = V + 3, *E2 = V + 6;
+          double C1 = (E1[0] * G[0] + E1[1] * G[1] + E1[2] * G[2]) / L[1];
+          double C2 = (E2[0] * G[0] + E2[1] * G[1] + E2[2] * G[2]) / L[2];
+          double Delta[3];
+          for (int K = 0; K < 3; ++K)
+            Delta[K] = -C1 * E1[K] - C2 * E2[K];
+          double DLen = std::sqrt(Delta[0] * Delta[0] + Delta[1] * Delta[1] +
+                                  Delta[2] * Delta[2]);
+          if (DLen < P.Epsilon) {
+            Converged = true;
+            break;
+          }
+          if (DLen > P.MaxStep)
+            for (int K = 0; K < 3; ++K)
+              Delta[K] *= P.MaxStep / DLen;
+          for (int K = 0; K < 3; ++K)
+            Pos[K] += Delta[K];
+        }
+        if (Converged)
+          Out.push_back({Pos[0], Pos[1], Pos[2]});
+      }
+    }
+  }
+  // END CORE
+  return Out;
+}
+
+} // namespace diderot::baselines

@@ -1,0 +1,82 @@
+//===--- baselines/vr_lite.cpp - hand-coded simple volume renderer ----------===//
+//
+// The Teem-style version of the paper's vr-lite benchmark: a direct volume
+// renderer with diffuse (Phong-style) shading driven by the scalar field's
+// gradient. Compare with the Diderot version in bench/programs/vr_lite.diderot
+// (Figure 1 of the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "teem/probe.h"
+
+namespace diderot::baselines {
+
+GrayImage vrLite(const Image &Vol, const VrParams &P) {
+  GrayImage Out;
+  Out.W = P.ResU;
+  Out.H = P.ResV;
+  Out.Pix.assign(static_cast<size_t>(P.ResU * P.ResV), 0.0);
+
+  // Probe-context setup: kernels, query, buffer allocation.
+  teem::ProbeCtx Ctx(Vol);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setKernel(1, teem::kernelBspln3(1));
+  Ctx.setQuery(teem::ItemValue | teem::ItemGradient);
+  Ctx.update();
+
+  // BEGIN CORE
+  for (int R = 0; R < P.ResV; ++R) {
+    for (int C = 0; C < P.ResU; ++C) {
+      double Pos[3], Dir[3];
+      for (int K = 0; K < 3; ++K)
+        Pos[K] = P.Orig[K] + R * P.RVec[K] + C * P.CVec[K];
+      double Len = 0.0;
+      for (int K = 0; K < 3; ++K) {
+        Dir[K] = Pos[K] - P.Eye[K];
+        Len += Dir[K] * Dir[K];
+      }
+      Len = std::sqrt(Len);
+      for (int K = 0; K < 3; ++K)
+        Dir[K] /= Len;
+      double Transp = 1.0;
+      double Gray = 0.0;
+      // March exactly as the Diderot strand does: step, probe, then test
+      // the distance limit.
+      double T = 0.0;
+      for (;;) {
+        for (int K = 0; K < 3; ++K)
+          Pos[K] += P.StepSz * Dir[K];
+        T += P.StepSz;
+        if (Ctx.probe(Pos)) {
+          double Val = Ctx.value()[0];
+          if (Val > P.OpacMin) {
+            double Opac = Val > P.OpacMax
+                              ? 1.0
+                              : (Val - P.OpacMin) / (P.OpacMax - P.OpacMin);
+            const double *G = Ctx.gradient();
+            double GLen =
+                std::sqrt(G[0] * G[0] + G[1] * G[1] + G[2] * G[2]);
+            double Diffuse = 0.0;
+            if (GLen > 0.0)
+              Diffuse =
+                  (Dir[0] * G[0] + Dir[1] * G[1] + Dir[2] * G[2]) / GLen;
+            if (Diffuse < 0.0)
+              Diffuse = 0.0;
+            Gray += Transp * Opac * Diffuse;
+            Transp *= 1.0 - Opac;
+          }
+        }
+        if (T > P.MaxT)
+          break;
+      }
+      Out.Pix[static_cast<size_t>(R * P.ResU + C)] = Gray;
+    }
+  }
+  // END CORE
+  return Out;
+}
+
+} // namespace diderot::baselines

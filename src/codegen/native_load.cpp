@@ -1,0 +1,308 @@
+//===--- codegen/native_load.cpp - host-compiler invocation + dlopen ---------===//
+//
+// The native engine's back half: write the generated translation unit to a
+// scratch directory, compile it with the host system's compiler (paper
+// Section 5.1) into a shared object, dlopen it, and wrap its C ABI in the
+// rt::ProgramInstance interface. Compiled objects are cached by source hash
+// so repeated instantiations (e.g. benchmark repetitions) compile once.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdlib>
+#include <dlfcn.h>
+#include <unistd.h>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "codegen/config.h"
+#include "driver/driver.h"
+#include "support/strings.h"
+
+namespace diderot::codegen {
+
+std::string emitCpp(const ir::Module &M, bool DoublePrecision);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The dlsym'd C ABI of a generated program.
+struct CApi {
+  void *(*Create)();
+  void (*Destroy)(void *);
+  const char *(*Error)(void *);
+  int (*SetScalars)(void *, const char *, const double *, int);
+  int (*SetString)(void *, const char *, const char *);
+  int (*SetImage)(void *, const char *, int, const int64_t *, int64_t,
+                  const double *, const double *, const double *,
+                  const double *);
+  int (*Initialize)(void *);
+  int (*Run)(void *, int, int, int);
+  int (*OutputDims)(void *, int64_t *, int);
+  int64_t (*GetOutput)(void *, const char *, double *, int64_t);
+  int64_t (*NumStrands)(void *);
+  int64_t (*NumStable)(void *);
+  int64_t (*NumDead)(void *);
+  int (*NumOutputs)(void *);
+  const char *(*OutputName)(void *, int);
+  int (*OutputComps)(void *, int);
+  int (*OutputIsInt)(void *, int);
+};
+
+/// A loaded shared object (kept open for the process lifetime).
+struct LoadedLib {
+  void *Handle = nullptr;
+  CApi Api{};
+};
+
+std::mutex CacheLock;
+std::map<size_t, LoadedLib> LibCache;
+
+Result<LoadedLib *> compileAndLoad(const std::string &Source,
+                                   const CompileOptions &Opts,
+                                   const std::string &Name) {
+  using RL = Result<LoadedLib *>;
+  size_t Key = std::hash<std::string>{}(
+      Source + (Opts.DoublePrecision ? "|d" : "|f") + Opts.ExtraCxxFlags);
+  {
+    std::lock_guard<std::mutex> G(CacheLock);
+    auto It = LibCache.find(Key);
+    if (It != LibCache.end())
+      return &It->second;
+  }
+
+  fs::path Dir = Opts.WorkDir.empty()
+                     ? fs::temp_directory_path() / "diderot-cpp"
+                     : fs::path(Opts.WorkDir);
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return RL::error(strf("cannot create scratch directory ", Dir.string()));
+  std::string Stem = strf(Name, "-", Key);
+  fs::path CppPath = Dir / (Stem + ".cpp");
+  fs::path SoPath = Dir / (Stem + ".so");
+  // Compile into a process-unique temporary and rename into place so that
+  // concurrent processes building the same program never observe a
+  // half-written shared object (rename within a directory is atomic).
+  std::string Unique = strf(Stem, ".", ::getpid());
+  fs::path TmpSoPath = Dir / (Unique + ".so.tmp");
+  fs::path LogPath = Dir / (Unique + ".log");
+
+  if (!fs::exists(SoPath)) {
+    {
+      std::ofstream Out(CppPath);
+      if (!Out)
+        return RL::error(strf("cannot write ", CppPath.string()));
+      Out << Source;
+    }
+    const char *CxxEnv = std::getenv("DIDEROT_CXX");
+    std::string Cxx = CxxEnv ? CxxEnv : DIDEROT_HOST_CXX;
+    // -O3 matches the paper's experimental setup; the generated
+    // straight-line convolution code is what the host compiler vectorizes.
+    std::string Cmd = strf(
+        Cxx, " -O3 -std=c++20 -shared -fPIC -I", DIDEROT_SRC_DIR, " ",
+        Opts.ExtraCxxFlags, " -o ", TmpSoPath.string(), " ", CppPath.string(),
+        " -lpthread > ", LogPath.string(), " 2>&1");
+    int RC = std::system(Cmd.c_str());
+    if (RC != 0) {
+      std::ifstream Log(LogPath);
+      std::ostringstream LS;
+      LS << Log.rdbuf();
+      return RL::error(strf("host compiler failed (", Cmd, "):\n", LS.str()));
+    }
+    fs::rename(TmpSoPath, SoPath, EC);
+    if (EC && !fs::exists(SoPath))
+      return RL::error(strf("cannot install ", SoPath.string()));
+    if (!Opts.KeepCpp)
+      fs::remove(CppPath, EC);
+    fs::remove(LogPath, EC);
+  }
+
+  void *Handle = dlopen(SoPath.string().c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle)
+    return RL::error(strf("dlopen failed: ", dlerror()));
+
+  LoadedLib Lib;
+  Lib.Handle = Handle;
+  auto Sym = [&](const char *S) { return dlsym(Handle, S); };
+  Lib.Api.Create = reinterpret_cast<void *(*)()>(Sym("ddr_create"));
+  Lib.Api.Destroy = reinterpret_cast<void (*)(void *)>(Sym("ddr_destroy"));
+  Lib.Api.Error =
+      reinterpret_cast<const char *(*)(void *)>(Sym("ddr_error"));
+  Lib.Api.SetScalars =
+      reinterpret_cast<int (*)(void *, const char *, const double *, int)>(
+          Sym("ddr_set_input_scalars"));
+  Lib.Api.SetString =
+      reinterpret_cast<int (*)(void *, const char *, const char *)>(
+          Sym("ddr_set_input_string"));
+  Lib.Api.SetImage = reinterpret_cast<int (*)(
+      void *, const char *, int, const int64_t *, int64_t, const double *,
+      const double *, const double *, const double *)>(
+      Sym("ddr_set_input_image"));
+  Lib.Api.Initialize =
+      reinterpret_cast<int (*)(void *)>(Sym("ddr_initialize"));
+  Lib.Api.Run = reinterpret_cast<int (*)(void *, int, int, int)>(
+      Sym("ddr_run"));
+  Lib.Api.OutputDims = reinterpret_cast<int (*)(void *, int64_t *, int)>(
+      Sym("ddr_output_dims"));
+  Lib.Api.GetOutput =
+      reinterpret_cast<int64_t (*)(void *, const char *, double *, int64_t)>(
+          Sym("ddr_get_output"));
+  Lib.Api.NumStrands =
+      reinterpret_cast<int64_t (*)(void *)>(Sym("ddr_num_strands"));
+  Lib.Api.NumStable =
+      reinterpret_cast<int64_t (*)(void *)>(Sym("ddr_num_stable"));
+  Lib.Api.NumDead =
+      reinterpret_cast<int64_t (*)(void *)>(Sym("ddr_num_dead"));
+  Lib.Api.NumOutputs =
+      reinterpret_cast<int (*)(void *)>(Sym("ddr_num_outputs"));
+  Lib.Api.OutputName =
+      reinterpret_cast<const char *(*)(void *, int)>(Sym("ddr_output_name"));
+  Lib.Api.OutputComps =
+      reinterpret_cast<int (*)(void *, int)>(Sym("ddr_output_comps"));
+  Lib.Api.OutputIsInt =
+      reinterpret_cast<int (*)(void *, int)>(Sym("ddr_output_isint"));
+  if (!Lib.Api.Create || !Lib.Api.Run || !Lib.Api.GetOutput)
+    return RL::error("generated library is missing ddr_* symbols");
+
+  std::lock_guard<std::mutex> G(CacheLock);
+  auto [It, _] = LibCache.emplace(Key, Lib);
+  return &It->second;
+}
+
+/// rt::ProgramInstance adapter over the C ABI.
+class NativeInstance final : public rt::ProgramInstance {
+public:
+  NativeInstance(const LoadedLib *Lib, const ir::Module &M)
+      : Api(&Lib->Api), Prog(Api->Create()) {
+    for (const ir::GlobalVar &G : M.Globals)
+      if (G.IsInput)
+        Inputs.push_back({G.Name, G.Ty.str(), G.DefaultFn >= 0});
+    for (const ir::StateSlot &S : M.State)
+      if (S.IsOutput)
+        Outputs.push_back({S.Name, S.Ty.isTensor() ? S.Ty.shape() : Shape{},
+                           S.Ty.isInt()});
+  }
+  ~NativeInstance() override {
+    if (Prog)
+      Api->Destroy(Prog);
+  }
+
+  std::vector<rt::InputDesc> inputs() const override { return Inputs; }
+  std::vector<rt::OutputDesc> outputs() const override { return Outputs; }
+
+  Status setInputReal(const std::string &Name, double V) override {
+    return check(Api->SetScalars(Prog, Name.c_str(), &V, 1));
+  }
+  Status setInputInt(const std::string &Name, int64_t V) override {
+    double D = static_cast<double>(V);
+    return check(Api->SetScalars(Prog, Name.c_str(), &D, 1));
+  }
+  Status setInputBool(const std::string &Name, bool V) override {
+    double D = V ? 1.0 : 0.0;
+    return check(Api->SetScalars(Prog, Name.c_str(), &D, 1));
+  }
+  Status setInputString(const std::string &Name,
+                        const std::string &V) override {
+    return check(Api->SetString(Prog, Name.c_str(), V.c_str()));
+  }
+  Status setInputTensor(const std::string &Name,
+                        const std::vector<double> &C) override {
+    return check(Api->SetScalars(Prog, Name.c_str(), C.data(),
+                                 static_cast<int>(C.size())));
+  }
+  Status setInputImage(const std::string &Name, const Image &Img) override {
+    int D = Img.dim();
+    int64_t Sizes[3] = {1, 1, 1};
+    for (int A = 0; A < D; ++A)
+      Sizes[A] = Img.size(A);
+    // Gradient transform is M^{-T}; worldToIndexMatrix is M^{-1}.
+    return check(Api->SetImage(Prog, Name.c_str(), D, Sizes,
+                               Img.numComponents(), Img.data().data(),
+                               Img.worldToIndexMatrix().data(),
+                               Img.gradientTransform().data(),
+                               Img.origin().data()));
+  }
+
+  Status initialize() override { return check(Api->Initialize(Prog)); }
+
+  Result<int> run(int MaxSupersteps, int NumWorkers, int BlockSize) override {
+    int Steps = Api->Run(Prog, MaxSupersteps, NumWorkers, BlockSize);
+    if (Steps < 0)
+      return Result<int>::error(Api->Error(Prog));
+    return Steps;
+  }
+
+  std::vector<int> outputDims() const override {
+    int64_t Dims[8] = {};
+    int N = Api->OutputDims(Prog, Dims, 8);
+    std::vector<int> Out;
+    for (int I = 0; I < N && I < 8; ++I)
+      Out.push_back(static_cast<int>(Dims[I]));
+    return Out;
+  }
+
+  Status getOutput(const std::string &Name,
+                   std::vector<double> &Data) const override {
+    int Comps = 1;
+    bool Found = false;
+    for (size_t I = 0; I < Outputs.size(); ++I)
+      if (Outputs[I].Name == Name) {
+        Comps = Outputs[I].ValShape.numComponents();
+        Found = true;
+      }
+    if (!Found)
+      return Status::error(strf("no output named '", Name, "'"));
+    size_t N = 1;
+    for (int D : outputDims())
+      N *= static_cast<size_t>(D);
+    Data.assign(N * static_cast<size_t>(Comps), 0.0);
+    int64_t Written = Api->GetOutput(Prog, Name.c_str(), Data.data(),
+                                     static_cast<int64_t>(Data.size()));
+    if (Written < 0)
+      return Status::error(Api->Error(Prog));
+    Data.resize(static_cast<size_t>(Written));
+    return Status::ok();
+  }
+
+  size_t numStrands() const override {
+    return static_cast<size_t>(Api->NumStrands(Prog));
+  }
+  size_t numStable() const override {
+    return static_cast<size_t>(Api->NumStable(Prog));
+  }
+  size_t numDead() const override {
+    return static_cast<size_t>(Api->NumDead(Prog));
+  }
+
+private:
+  Status check(int RC) {
+    if (RC == 0)
+      return Status::ok();
+    return Status::error(Api->Error(Prog));
+  }
+
+  const CApi *Api;
+  void *Prog;
+  std::vector<rt::InputDesc> Inputs;
+  std::vector<rt::OutputDesc> Outputs;
+};
+
+} // namespace
+
+Result<std::unique_ptr<rt::ProgramInstance>>
+loadNative(const ir::Module &M, const CompileOptions &Opts,
+           const std::string &Name) {
+  using RP = Result<std::unique_ptr<rt::ProgramInstance>>;
+  std::string Source = emitCpp(M, Opts.DoublePrecision);
+  Result<LoadedLib *> Lib = compileAndLoad(Source, Opts, Name);
+  if (!Lib.isOk())
+    return RP::error(Lib.message());
+  std::unique_ptr<rt::ProgramInstance> P =
+      std::make_unique<NativeInstance>(*Lib, M);
+  return P;
+}
+
+} // namespace diderot::codegen

@@ -1,0 +1,274 @@
+//===--- driver/diderotc.cpp - the Diderot compiler command-line tool --------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// "The Diderot compiler synthesizes glue code that allows command-line
+// setting of input variables" (Section 3.3.1): inputs are set with
+// --input name=value; image inputs accept NRRD files or synthetic dataset
+// specs (synth:hand:64 etc., see src/synth).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+#include "nrrd/nrrd.h"
+#include "support/strings.h"
+#include "synth/synth.h"
+
+using namespace diderot;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage: diderotc [options] program.diderot
+
+options:
+  --engine=native|interp   execution engine (default native)
+  --double                 use double-precision reals (native engine)
+  --no-vn                  disable value numbering
+  --no-contract            disable contraction (fold + DCE)
+  --emit-cpp               print the generated C++ and exit
+  --emit-ir                print the optimized MidIR and exit
+  --input NAME=VALUE       set an input (scalars, v1,v2,... for vectors,
+                           a .nrrd path or synth:GEN:SIZE for images;
+                           GEN in {hand, vessels, flow, noise, portrait})
+  --workers N              worker threads (default 1)
+  --steps N                max supersteps (default 10000)
+  --out FILE.nrrd          write the first output as NRRD (grid programs)
+  --print-output NAME      print an output to stdout (text)
+  --quiet                  suppress statistics
+)");
+}
+
+bool setImageSpec(rt::ProgramInstance &I, const std::string &Name,
+                  const std::string &Spec, std::string &Err) {
+  if (startsWith(Spec, "synth:")) {
+    std::vector<std::string> Parts = splitString(Spec, ':');
+    if (Parts.size() < 2) {
+      Err = "bad synth spec: " + Spec;
+      return false;
+    }
+    int Size = Parts.size() >= 3 ? std::atoi(Parts[2].c_str()) : 32;
+    Image Img;
+    if (Parts[1] == "hand")
+      Img = synth::ctHand(Size);
+    else if (Parts[1] == "vessels")
+      Img = synth::lungVessels(Size);
+    else if (Parts[1] == "flow")
+      Img = synth::flow2d(Size);
+    else if (Parts[1] == "noise")
+      Img = synth::noise2d(Size);
+    else if (Parts[1] == "portrait")
+      Img = synth::portrait(Size);
+    else {
+      Err = "unknown synthetic dataset: " + Parts[1];
+      return false;
+    }
+    Status S = I.setInputImage(Name, Img);
+    if (!S.isOk()) {
+      Err = S.message();
+      return false;
+    }
+    return true;
+  }
+  Result<Nrrd> N = nrrdRead(Spec);
+  if (!N.isOk()) {
+    Err = N.message();
+    return false;
+  }
+  // Try common dims/shapes until one matches the declared input type.
+  for (const rt::InputDesc &D : I.inputs()) {
+    (void)D;
+  }
+  for (int Dim = 1; Dim <= 3; ++Dim) {
+    for (int Comp : {1, 2, 3, 4}) {
+      Shape S = Comp == 1 ? Shape{} : Shape{Comp};
+      Result<Image> Img = Image::fromNrrd(*N, Dim, S);
+      if (Img.isOk() && I.setInputImage(Name, *Img).isOk())
+        return true;
+    }
+  }
+  Err = "NRRD does not match the input's image type: " + Spec;
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CompileOptions Opts;
+  std::string File;
+  std::vector<std::pair<std::string, std::string>> Inputs;
+  bool EmitCpp = false, EmitIr = false, Quiet = false;
+  int Workers = 1, MaxSteps = 10000;
+  std::string OutFile, PrintOutput;
+
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--engine=interp") {
+      Opts.Eng = Engine::Interp;
+    } else if (Arg == "--engine=native") {
+      Opts.Eng = Engine::Native;
+    } else if (Arg == "--double") {
+      Opts.DoublePrecision = true;
+    } else if (Arg == "--no-vn") {
+      Opts.EnableValueNumbering = false;
+    } else if (Arg == "--no-contract") {
+      Opts.EnableContract = false;
+    } else if (Arg == "--emit-cpp") {
+      EmitCpp = true;
+    } else if (Arg == "--emit-ir") {
+      EmitIr = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--input" && A + 1 < Argc) {
+      std::string KV = Argv[++A];
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "error: --input needs NAME=VALUE\n");
+        return 1;
+      }
+      Inputs.emplace_back(KV.substr(0, Eq), KV.substr(Eq + 1));
+    } else if (Arg == "--workers" && A + 1 < Argc) {
+      Workers = std::atoi(Argv[++A]);
+    } else if (Arg == "--steps" && A + 1 < Argc) {
+      MaxSteps = std::atoi(Argv[++A]);
+    } else if (Arg == "--out" && A + 1 < Argc) {
+      OutFile = Argv[++A];
+    } else if (Arg == "--print-output" && A + 1 < Argc) {
+      PrintOutput = Argv[++A];
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      File = Arg;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (File.empty()) {
+    usage();
+    return 1;
+  }
+
+  Result<CompiledProgram> CP = compileFile(File, Opts);
+  if (!CP.isOk()) {
+    std::fprintf(stderr, "%s\n", CP.message().c_str());
+    return 1;
+  }
+  if (EmitIr) {
+    std::fputs(ir::print(CP->midModule()).c_str(), stdout);
+    return 0;
+  }
+  if (EmitCpp) {
+    std::fputs(CP->emitCpp().c_str(), stdout);
+    return 0;
+  }
+
+  Result<std::unique_ptr<rt::ProgramInstance>> Inst = CP->instantiate();
+  if (!Inst.isOk()) {
+    std::fprintf(stderr, "%s\n", Inst.message().c_str());
+    return 1;
+  }
+  rt::ProgramInstance &I = **Inst;
+
+  // Apply inputs.
+  for (const auto &[Name, Value] : Inputs) {
+    std::string TypeName;
+    for (const rt::InputDesc &D : I.inputs())
+      if (D.Name == Name)
+        TypeName = D.TypeName;
+    if (TypeName.empty()) {
+      std::fprintf(stderr, "error: no input named '%s'\n", Name.c_str());
+      return 1;
+    }
+    Status S;
+    if (startsWith(TypeName, "image")) {
+      std::string Err;
+      if (!setImageSpec(I, Name, Value, Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (TypeName == "int")
+      S = I.setInputInt(Name, std::atoll(Value.c_str()));
+    else if (TypeName == "bool")
+      S = I.setInputBool(Name, Value == "true" || Value == "1");
+    else if (TypeName == "string")
+      S = I.setInputString(Name, Value);
+    else if (TypeName == "real")
+      S = I.setInputReal(Name, std::atof(Value.c_str()));
+    else { // tensor: comma-separated components
+      std::vector<double> Comps;
+      for (const std::string &P : splitString(Value, ','))
+        Comps.push_back(std::atof(P.c_str()));
+      S = I.setInputTensor(Name, Comps);
+    }
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 1;
+    }
+  }
+
+  Status S = I.initialize();
+  if (!S.isOk()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 1;
+  }
+  Result<int> Steps = I.run(MaxSteps, Workers);
+  if (!Steps.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Steps.message().c_str());
+    return 1;
+  }
+  if (!Quiet)
+    std::fprintf(stderr,
+                 "ran %d supersteps: %zu strands, %zu stable, %zu dead\n",
+                 *Steps, I.numStrands(), I.numStable(), I.numDead());
+
+  std::vector<rt::OutputDesc> Outs = I.outputs();
+  if (!OutFile.empty() && !Outs.empty()) {
+    std::vector<double> Data;
+    S = I.getOutput(Outs[0].Name, Data);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 1;
+    }
+    Nrrd N;
+    N.Type = NrrdType::Double;
+    int Comps = Outs[0].ValShape.numComponents();
+    if (Comps > 1)
+      N.Sizes.push_back(Comps);
+    std::vector<int> Dims = I.outputDims();
+    // Grid: first iterator is the slowest axis; NRRD wants fastest first.
+    for (size_t K = Dims.size(); K-- > 0;)
+      N.Sizes.push_back(Dims[K]);
+    N.allocate();
+    for (size_t K = 0; K < Data.size() && K < N.numSamples(); ++K)
+      N.setSampleFromDouble(K, Data[K]);
+    Status W = nrrdWrite(N, OutFile);
+    if (!W.isOk()) {
+      std::fprintf(stderr, "error: %s\n", W.message().c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "wrote %s\n", OutFile.c_str());
+  }
+  if (!PrintOutput.empty()) {
+    std::vector<double> Data;
+    S = I.getOutput(PrintOutput, Data);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 1;
+    }
+    for (double V : Data)
+      std::printf("%.9g\n", V);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===--- driver/driver.cpp -------------------------------------------------===//
+
+#include "driver/driver.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "frontend/parser.h"
+#include "frontend/typecheck.h"
+#include "interp/interp.h"
+#include "passes/passes.h"
+#include "simple/lower.h"
+
+namespace diderot {
+
+// Implemented in src/codegen.
+namespace codegen {
+std::string emitCpp(const ir::Module &M, bool DoublePrecision);
+Result<std::unique_ptr<rt::ProgramInstance>>
+loadNative(const ir::Module &M, const CompileOptions &Opts,
+           const std::string &Name);
+} // namespace codegen
+
+struct CompiledProgram::Impl {
+  ir::Module Mid;
+  ir::Module Low;
+  CompileOptions Opts;
+  std::string Name;
+};
+
+CompiledProgram::CompiledProgram(ir::Module Mid, ir::Module Low,
+                                 CompileOptions Opts)
+    : P(std::make_unique<Impl>()) {
+  P->Mid = std::move(Mid);
+  P->Low = std::move(Low);
+  P->Opts = std::move(Opts);
+  P->Name = P->Mid.Name;
+}
+
+CompiledProgram::~CompiledProgram() = default;
+CompiledProgram::CompiledProgram(CompiledProgram &&) noexcept = default;
+CompiledProgram &CompiledProgram::operator=(CompiledProgram &&) noexcept =
+    default;
+
+const ir::Module &CompiledProgram::midModule() const { return P->Mid; }
+const ir::Module &CompiledProgram::lowModule() const { return P->Low; }
+
+std::string CompiledProgram::emitCpp() const {
+  return codegen::emitCpp(P->Low, P->Opts.DoublePrecision);
+}
+
+Result<std::unique_ptr<rt::ProgramInstance>> CompiledProgram::instantiate() {
+  if (P->Opts.Eng == Engine::Interp) {
+    ir::Module Copy = P->Mid;
+    return interp::makeInstance(std::move(Copy));
+  }
+  return codegen::loadNative(P->Low, P->Opts, P->Name);
+}
+
+Result<CompiledProgram> compileString(const std::string &Source,
+                                      const CompileOptions &Opts,
+                                      const std::string &Name) {
+  using RC = Result<CompiledProgram>;
+  DiagnosticEngine Diags;
+  Parser Prs(Source, Diags);
+  std::unique_ptr<Program> Prog = Prs.parseProgram();
+  if (Diags.hasErrors())
+    return RC::error(strf(Name, ": parse errors:\n", Diags.str()));
+  if (!typeCheck(*Prog, Diags))
+    return RC::error(strf(Name, ": type errors:\n", Diags.str()));
+
+  Result<ir::Module> High = lowerToHighIR(*Prog, Diags);
+  if (!High.isOk())
+    return RC::error(strf(Name, ": ", High.message()));
+  ir::Module M = High.take();
+  M.Name = Name;
+
+  Status S = passes::normalizeFields(M);
+  if (!S.isOk())
+    return RC::error(strf(Name, ": ", S.message()));
+  if (Opts.EnableContract)
+    passes::contract(M);
+  S = passes::lowerToMid(M);
+  if (!S.isOk())
+    return RC::error(strf(Name, ": ", S.message()));
+  if (Opts.EnableValueNumbering)
+    passes::valueNumber(M);
+  if (Opts.EnableContract)
+    passes::contract(M);
+
+  ir::Module Mid = M; // snapshot for the interpreter engine
+  S = passes::lowerToLow(M);
+  if (!S.isOk())
+    return RC::error(strf(Name, ": ", S.message()));
+  if (Opts.EnableValueNumbering)
+    passes::valueNumber(M);
+  if (Opts.EnableContract)
+    passes::contract(M);
+
+  return CompiledProgram(std::move(Mid), std::move(M), Opts);
+}
+
+Result<CompiledProgram> compileFile(const std::string &Path,
+                                    const CompileOptions &Opts) {
+  std::ifstream In(Path);
+  if (!In)
+    return Result<CompiledProgram>::error(
+        strf("cannot open '", Path, "'"));
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  // Derive a program name from the file name.
+  std::string Name = Path;
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  size_t Dot = Name.find_last_of('.');
+  if (Dot != std::string::npos)
+    Name = Name.substr(0, Dot);
+  return compileString(SS.str(), Opts, Name);
+}
+
+} // namespace diderot

@@ -1,0 +1,99 @@
+//===--- driver/driver.h - the public compiler API ---------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library entry point a host application uses:
+///
+///   auto C = diderot::compileString(source, opts);      // parse .. LowIR
+///   auto I = C->instantiate();                          // engine instance
+///   I->setInputImage("img", myVolume);
+///   I->initialize();
+///   I->run(1000, 8);
+///   I->getOutput("gray", data);
+///
+/// Two engines are provided. Engine::Native mirrors the paper's pipeline:
+/// the compiler emits C++ (the paper emitted C with vector extensions),
+/// hands it to the host system's compiler, and loads the resulting shared
+/// object. Engine::Interp evaluates MidIR directly — the reference
+/// semantics, available without a host compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_DRIVER_DRIVER_H
+#define DIDEROT_DRIVER_DRIVER_H
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.h"
+#include "runtime/host.h"
+#include "support/result.h"
+
+namespace diderot {
+
+enum class Engine {
+  Interp, ///< MidIR interpreter (double precision, no host compiler needed)
+  Native, ///< emit C++, compile with the host compiler, dlopen
+};
+
+struct CompileOptions {
+  Engine Eng = Engine::Native;
+  /// Native engine: represent `real` as double instead of float ("the user
+  /// must decide if reals are represented as single or double-precision
+  /// floats", Section 6.3).
+  bool DoublePrecision = false;
+  /// Optimization toggles (for the ablation benchmarks).
+  bool EnableContract = true;
+  bool EnableValueNumbering = true;
+  /// Native engine: keep the generated .cpp next to the .so for inspection.
+  bool KeepCpp = false;
+  /// Scratch directory for generated artifacts; empty = std::filesystem's
+  /// temp directory.
+  std::string WorkDir;
+  /// Extra flags for the host C++ compiler (appended after the defaults).
+  std::string ExtraCxxFlags;
+};
+
+/// A compiled program, ready to instantiate. Cheap to copy-instantiate many
+/// times; the native shared object is built once on first use.
+class CompiledProgram {
+public:
+  CompiledProgram(ir::Module Mid, ir::Module Low, CompileOptions Opts);
+  ~CompiledProgram();
+  CompiledProgram(CompiledProgram &&) noexcept;
+  CompiledProgram &operator=(CompiledProgram &&) noexcept;
+
+  /// The module after optimization at MidIR (pre-scalarization), for
+  /// inspection and the interpreter engine.
+  const ir::Module &midModule() const;
+  /// The final LowIR module the code generator consumes.
+  const ir::Module &lowModule() const;
+
+  /// Generate the native C++ translation unit (available regardless of the
+  /// selected engine; used by tests and `diderotc -emit-cpp`).
+  std::string emitCpp() const;
+
+  /// Create a fresh instance (own inputs, strands, outputs).
+  Result<std::unique_ptr<rt::ProgramInstance>> instantiate();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+/// Front door: compile Diderot source text. \p Name is used in diagnostics
+/// and generated-artifact file names.
+Result<CompiledProgram> compileString(const std::string &Source,
+                                      const CompileOptions &Opts = {},
+                                      const std::string &Name = "program");
+
+/// Compile a .diderot file.
+Result<CompiledProgram> compileFile(const std::string &Path,
+                                    const CompileOptions &Opts = {});
+
+} // namespace diderot
+
+#endif // DIDEROT_DRIVER_DRIVER_H

@@ -1,0 +1,232 @@
+//===--- frontend/ast.h - Diderot abstract syntax ---------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parse tree for Diderot programs. A program has three sections
+/// (Section 3.3 of the paper): global definitions (including inputs), one
+/// strand definition (the computational core), and the initialization that
+/// creates the initial set of strands.
+///
+/// The type checker annotates expressions in place (\c Expr::Ty); the
+/// simplifier consumes the annotated tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_AST_H
+#define DIDEROT_FRONTEND_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/types.h"
+#include "support/location.h"
+
+namespace diderot {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  RealLit,
+  BoolLit,
+  StringLit,
+  PiLit,
+  Ident,
+  Unary,
+  Binary,
+  Cond,       ///< thenE if cond else elseE (Python-style)
+  Apply,      ///< callee(args): builtin call, field probe, or cast
+  TensorCons, ///< [e1, ..., en]
+  SeqCons,    ///< {e1, ..., en}
+  Index,      ///< base[e1, ..., en]
+  Norm,       ///< |e|
+};
+
+enum class UnaryOp : uint8_t {
+  Neg,
+  Not,
+  Nabla,       ///< ∇ on scalar fields
+  NablaOtimes, ///< ∇⊗ on tensor fields
+  Divergence,  ///< ∇• on vector fields (paper §8.3 extension)
+  Curl,        ///< ∇× on vector fields (paper §8.3 extension)
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Pow,      ///< e ^ k
+  Convolve, ///< V ⊛ h  (either operand order; see checker)
+  Dot,      ///< •
+  Cross,    ///< ×
+  Outer,    ///< ⊗
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+};
+
+/// Which operator family the checker resolved an overloaded node to; drives
+/// the simplifier's choice of IR op.
+enum class ResolvedOp : uint8_t {
+  None,
+  // Arithmetic instances.
+  IntArith,     ///< int x int
+  RealArith,    ///< real x real (includes tensor +/- tensor elementwise)
+  TensorAddSub, ///< tensor +/- tensor
+  ScaleLeft,    ///< real * tensor
+  ScaleRight,   ///< tensor * real
+  TensorDivScalar,
+  // Field instances.
+  FieldAddSub, ///< field +/- field
+  FieldScaleLeft,
+  FieldScaleRight,
+  FieldDivScalar,
+  FieldNeg,
+  // Apply instances.
+  Probe,       ///< field(pos)
+  BuiltinCall, ///< named builtin
+  CastReal,    ///< real(int)
+  // Index instances.
+  TensorIndex,
+  SeqIndex,
+  IdentityCons, ///< identity[n]
+};
+
+/// An expression node. One struct covers all kinds (LLVM-style tagged
+/// struct), keeping the tree simple to build and walk.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  // Literal payloads.
+  int64_t IntVal = 0;
+  double RealVal = 0.0;
+  bool BoolVal = false;
+  std::string StrVal;
+
+  /// Identifier name / callee name for direct calls.
+  std::string Name;
+
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+
+  /// Children. Unary: [operand]. Binary: [lhs, rhs]. Cond: [then, cond,
+  /// else]. Apply: [callee, args...]. TensorCons/SeqCons: elements.
+  /// Index: [base, indices...]. Norm: [operand].
+  std::vector<ExprPtr> Kids;
+
+  // ---- Filled in by the type checker ----
+  Type Ty;
+  ResolvedOp Resolved = ResolvedOp::None;
+  /// For Ident: what the name resolved to.
+  enum class Ref : uint8_t { None, Global, Param, State, Local, Kernel, IterVar };
+  Ref RefKind = Ref::None;
+  int RefIndex = -1; ///< index into the corresponding declaration list
+  /// For resolved builtin calls: the Builtin enum value (builtins.h).
+  int BuiltinId = -1;
+
+  explicit Expr(ExprKind K, SourceLoc L) : Kind(K), Loc(L) {}
+};
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,      ///< type name = init;
+  Assign,    ///< name op= expr;
+  If,        ///< if (cond) then [else els]
+  Stabilize, ///< stabilize;
+  Die,       ///< die;
+};
+
+enum class AssignOp : uint8_t { Set, AddSet, SubSet, MulSet, DivSet };
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  std::vector<StmtPtr> Body; ///< Block
+  Type DeclTy;               ///< Decl
+  std::string Name;          ///< Decl / Assign target
+  AssignOp AOp = AssignOp::Set;
+  ExprPtr Value; ///< Decl init / Assign rhs / If condition
+  StmtPtr Then, Else;
+
+  explicit Stmt(StmtKind K, SourceLoc L) : Kind(K), Loc(L) {}
+};
+
+/// A global definition, possibly an `input`.
+struct GlobalDecl {
+  SourceLoc Loc;
+  bool IsInput = false;
+  Type Ty;
+  std::string Name;
+  ExprPtr Init; ///< may be null for inputs without defaults
+};
+
+/// A strand parameter.
+struct Param {
+  SourceLoc Loc;
+  Type Ty;
+  std::string Name;
+};
+
+/// A strand state variable.
+struct StateVar {
+  SourceLoc Loc;
+  bool IsOutput = false;
+  Type Ty;
+  std::string Name;
+  ExprPtr Init;
+};
+
+/// The strand definition.
+struct StrandDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<StateVar> State;
+  StmtPtr UpdateBody;
+  StmtPtr StabilizeBody; ///< optional
+};
+
+/// One `v in lo .. hi` iterator of the initialization comprehension.
+struct Iterator {
+  SourceLoc Loc;
+  std::string Var;
+  ExprPtr Lo, Hi;
+};
+
+/// The `initially [ ... ]` / `initially { ... }` section. Grid
+/// initializations ([]) preserve the iteration structure in the output;
+/// collections ({}) output one element per stable strand.
+struct Initially {
+  SourceLoc Loc;
+  bool IsGrid = true;
+  std::string StrandName;
+  std::vector<ExprPtr> Args;
+  std::vector<Iterator> Iters;
+};
+
+/// A complete Diderot program.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  StrandDecl Strand;
+  Initially Init;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_AST_H

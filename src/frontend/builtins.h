@@ -1,0 +1,62 @@
+//===--- frontend/builtins.h - Diderot builtin functions -------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_BUILTINS_H
+#define DIDEROT_FRONTEND_BUILTINS_H
+
+namespace diderot {
+
+/// Builtin functions callable from Diderot source. The type checker records
+/// the resolved builtin on the Apply node; the simplifier maps each to an IR
+/// operation.
+enum class Builtin : int {
+  // Field operations.
+  Inside, ///< inside(x, F)
+  // Tensor operations.
+  Normalize,
+  Trace,
+  Det,
+  Inv,
+  Transpose,
+  Evals, ///< eigenvalues of a symmetric matrix, descending, as a vector
+  Evecs, ///< unit eigenvectors as matrix rows, matching evals order
+  Modulate,
+  Lerp,
+  // Scalar math.
+  Sqrt,
+  Cos,
+  Sin,
+  Tan,
+  Asin,
+  Acos,
+  Atan,
+  Atan2,
+  Exp,
+  Log,
+  Pow,
+  MinR,
+  MaxR,
+  MinI,
+  MaxI,
+  AbsR,
+  AbsI,
+  Clamp,
+  Floor,
+  Ceil,
+  Round,
+  Trunc,
+  // Casts.
+  CastReal, ///< real(int)
+  // Global-scope only.
+  Load, ///< load("file.nrrd") — image loading, typed by the declaration
+};
+
+/// Diderot-source name of \p B (for diagnostics).
+const char *builtinName(Builtin B);
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_BUILTINS_H

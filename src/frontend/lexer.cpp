@@ -1,0 +1,423 @@
+//===--- frontend/lexer.cpp ------------------------------------------------===//
+
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/unicode.h"
+
+namespace diderot {
+
+const char *tokName(Tok K) {
+  switch (K) {
+  case Tok::Eof:
+    return "<eof>";
+  case Tok::Error:
+    return "<error>";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::RealLit:
+    return "real literal";
+  case Tok::StringLit:
+    return "string literal";
+  case Tok::KwBool:
+    return "'bool'";
+  case Tok::KwInt:
+    return "'int'";
+  case Tok::KwString:
+    return "'string'";
+  case Tok::KwReal:
+    return "'real'";
+  case Tok::KwVec2:
+    return "'vec2'";
+  case Tok::KwVec3:
+    return "'vec3'";
+  case Tok::KwVec4:
+    return "'vec4'";
+  case Tok::KwTensor:
+    return "'tensor'";
+  case Tok::KwImage:
+    return "'image'";
+  case Tok::KwKernel:
+    return "'kernel'";
+  case Tok::KwField:
+    return "'field'";
+  case Tok::KwInput:
+    return "'input'";
+  case Tok::KwOutput:
+    return "'output'";
+  case Tok::KwStrand:
+    return "'strand'";
+  case Tok::KwUpdate:
+    return "'update'";
+  case Tok::KwStabilize:
+    return "'stabilize'";
+  case Tok::KwDie:
+    return "'die'";
+  case Tok::KwInitially:
+    return "'initially'";
+  case Tok::KwIn:
+    return "'in'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::Hash:
+    return "'#'";
+  case Tok::Bar:
+    return "'|'";
+  case Tok::DotDot:
+    return "'..'";
+  case Tok::Assign:
+    return "'='";
+  case Tok::PlusEq:
+    return "'+='";
+  case Tok::MinusEq:
+    return "'-='";
+  case Tok::StarEq:
+    return "'*='";
+  case Tok::SlashEq:
+    return "'/='";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Percent:
+    return "'%'";
+  case Tok::Caret:
+    return "'^'";
+  case Tok::Bang:
+    return "'!'";
+  case Tok::EqEq:
+    return "'=='";
+  case Tok::BangEq:
+    return "'!='";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::LtEq:
+    return "'<='";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::GtEq:
+    return "'>='";
+  case Tok::AmpAmp:
+    return "'&&'";
+  case Tok::BarBar:
+    return "'||'";
+  case Tok::Nabla:
+    return "'∇'";
+  case Tok::CircledAst:
+    return "'⊛'";
+  case Tok::OTimes:
+    return "'⊗'";
+  case Tok::Cross:
+    return "'×'";
+  case Tok::Bullet:
+    return "'•'";
+  case Tok::Pi:
+    return "'π'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok> &keywordTable() {
+  static const std::map<std::string, Tok> Table = {
+      {"bool", Tok::KwBool},       {"int", Tok::KwInt},
+      {"string", Tok::KwString},   {"real", Tok::KwReal},
+      {"vec2", Tok::KwVec2},       {"vec3", Tok::KwVec3},
+      {"vec4", Tok::KwVec4},       {"tensor", Tok::KwTensor},
+      {"image", Tok::KwImage},     {"kernel", Tok::KwKernel},
+      {"field", Tok::KwField},     {"input", Tok::KwInput},
+      {"output", Tok::KwOutput},   {"strand", Tok::KwStrand},
+      {"update", Tok::KwUpdate},   {"stabilize", Tok::KwStabilize},
+      {"die", Tok::KwDie},         {"initially", Tok::KwInitially},
+      {"in", Tok::KwIn},           {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},
+  };
+  return Table;
+}
+
+} // namespace
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(int Ahead) const {
+  size_t P = Pos + static_cast<size_t>(Ahead);
+  return P < Src.size() ? Src[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+    } else if (C == '/' && peek(1) == '/') {
+      while (peek() && peek() != '\n')
+        advance();
+    } else if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (peek() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!peek())
+        Diags.error(Start, "unterminated block comment");
+      else {
+        advance();
+        advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lexNumber(SourceLoc L) {
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsReal = false;
+  // A '.' starts a fraction only when not part of '..' (range syntax).
+  if (peek() == '.' && peek(1) != '.') {
+    IsReal = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+        ((Sign == '+' || Sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      IsReal = true;
+      advance(); // e
+      if (peek() == '+' || peek() == '-')
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  std::string Text = Src.substr(Start, Pos - Start);
+  Token T = make(IsReal ? Tok::RealLit : Tok::IntLit, L);
+  T.Text = Text;
+  if (IsReal)
+    T.RealVal = std::strtod(Text.c_str(), nullptr);
+  else
+    T.IntVal = std::strtoll(Text.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexIdent(SourceLoc L) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text = Src.substr(Start, Pos - Start);
+  auto It = keywordTable().find(Text);
+  if (It != keywordTable().end())
+    return make(It->second, L);
+  Token T = make(Tok::Ident, L);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexString(SourceLoc L) {
+  advance(); // opening quote
+  std::string Value;
+  while (peek() && peek() != '"' && peek() != '\n') {
+    char C = advance();
+    if (C == '\\') {
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Value += '\n';
+        break;
+      case 't':
+        Value += '\t';
+        break;
+      case '\\':
+        Value += '\\';
+        break;
+      case '"':
+        Value += '"';
+        break;
+      default:
+        Diags.error(loc(), strf("unknown escape '\\", E, "' in string"));
+      }
+    } else {
+      Value += C;
+    }
+  }
+  if (peek() != '"') {
+    Diags.error(L, "unterminated string literal");
+    return make(Tok::Error, L);
+  }
+  advance();
+  Token T = make(Tok::StringLit, L);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc L = loc();
+  char C = peek();
+  if (!C)
+    return make(Tok::Eof, L);
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(L);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdent(L);
+  if (C == '"')
+    return lexString(L);
+
+  // Multi-byte (Unicode) operators.
+  if (static_cast<unsigned char>(C) >= 0x80) {
+    size_t P = Pos;
+    uint32_t CP = decodeUtf8(Src, P);
+    int Bytes = static_cast<int>(P - Pos);
+    for (int I = 0; I < Bytes; ++I)
+      advance();
+    switch (CP) {
+    case uchar::Nabla:
+      return make(Tok::Nabla, L);
+    case uchar::CircledAst:
+      return make(Tok::CircledAst, L);
+    case uchar::OTimes:
+      return make(Tok::OTimes, L);
+    case uchar::Times:
+      return make(Tok::Cross, L);
+    case uchar::Bullet:
+      return make(Tok::Bullet, L);
+    case uchar::Pi:
+      return make(Tok::Pi, L);
+    default:
+      Diags.error(L, strf("unexpected character U+", CP));
+      return make(Tok::Error, L);
+    }
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return make(Tok::LParen, L);
+  case ')':
+    return make(Tok::RParen, L);
+  case '[':
+    return make(Tok::LBracket, L);
+  case ']':
+    return make(Tok::RBracket, L);
+  case '{':
+    return make(Tok::LBrace, L);
+  case '}':
+    return make(Tok::RBrace, L);
+  case ',':
+    return make(Tok::Comma, L);
+  case ';':
+    return make(Tok::Semi, L);
+  case ':':
+    return make(Tok::Colon, L);
+  case '#':
+    return make(Tok::Hash, L);
+  case '^':
+    return make(Tok::Caret, L);
+  case '%':
+    return make(Tok::Percent, L);
+  case '+':
+    return make(match('=') ? Tok::PlusEq : Tok::Plus, L);
+  case '-':
+    return make(match('=') ? Tok::MinusEq : Tok::Minus, L);
+  case '*':
+    return make(match('=') ? Tok::StarEq : Tok::Star, L);
+  case '/':
+    return make(match('=') ? Tok::SlashEq : Tok::Slash, L);
+  case '=':
+    return make(match('=') ? Tok::EqEq : Tok::Assign, L);
+  case '!':
+    return make(match('=') ? Tok::BangEq : Tok::Bang, L);
+  case '<':
+    return make(match('=') ? Tok::LtEq : Tok::Lt, L);
+  case '>':
+    return make(match('=') ? Tok::GtEq : Tok::Gt, L);
+  case '&':
+    if (match('&'))
+      return make(Tok::AmpAmp, L);
+    Diags.error(L, "expected '&&'");
+    return make(Tok::Error, L);
+  case '|':
+    return make(match('|') ? Tok::BarBar : Tok::Bar, L);
+  case '.':
+    if (match('.'))
+      return make(Tok::DotDot, L);
+    Diags.error(L, "unexpected '.'");
+    return make(Tok::Error, L);
+  default:
+    Diags.error(L, strf("unexpected character '", C, "'"));
+    return make(Tok::Error, L);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Out.push_back(next());
+    if (Out.back().is(Tok::Eof) || Out.back().is(Tok::Error))
+      break;
+  }
+  return Out;
+}
+
+} // namespace diderot

@@ -1,0 +1,55 @@
+//===--- frontend/lexer.h - Diderot lexer ----------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_LEXER_H
+#define DIDEROT_FRONTEND_LEXER_H
+
+#include <vector>
+
+#include "frontend/token.h"
+#include "support/diagnostics.h"
+
+namespace diderot {
+
+/// Lexes UTF-8 Diderot source into tokens. Unicode math operators and `//`,
+/// `/* */` comments are handled here; malformed input produces diagnostics
+/// and an Error token, letting the parser recover.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lex the next token.
+  Token next();
+
+  /// Lex the entire input (for tests).
+  std::vector<Token> lexAll();
+
+private:
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  SourceLoc loc() const { return {Line, Col}; }
+  Token make(Tok K, SourceLoc L) const {
+    Token T;
+    T.Kind = K;
+    T.Loc = L;
+    return T;
+  }
+  Token lexNumber(SourceLoc L);
+  Token lexIdent(SourceLoc L);
+  Token lexString(SourceLoc L);
+  void skipTrivia();
+
+  std::string Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_LEXER_H

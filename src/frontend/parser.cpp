@@ -1,0 +1,798 @@
+//===--- frontend/parser.cpp -----------------------------------------------===//
+
+#include "frontend/parser.h"
+
+namespace diderot {
+
+Parser::Parser(std::string Source, DiagnosticEngine &Diags)
+    : Lex(std::move(Source), Diags), Diags(Diags) {
+  Cur = Lex.next();
+}
+
+void Parser::bump() {
+  if (!Cur.is(Tok::Eof))
+    Cur = Lex.next();
+}
+
+bool Parser::accept(Tok K) {
+  if (!at(K))
+    return false;
+  bump();
+  return true;
+}
+
+bool Parser::expect(Tok K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(Cur.Loc, strf("expected ", tokName(K), " ", Context, ", found ",
+                            tokName(Cur.Kind)));
+  if (--FatalBudget <= 0) {
+    // Too many errors: drain the input so recursive descent terminates.
+    while (!Cur.is(Tok::Eof))
+      bump();
+  }
+  return false;
+}
+
+ExprPtr Parser::makeErrorExpr(SourceLoc L) {
+  auto E = std::make_unique<Expr>(ExprKind::IntLit, L);
+  E->Ty = Type::error();
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::atTypeStart() const {
+  switch (Cur.Kind) {
+  case Tok::KwBool:
+  case Tok::KwInt:
+  case Tok::KwString:
+  case Tok::KwReal:
+  case Tok::KwVec2:
+  case Tok::KwVec3:
+  case Tok::KwVec4:
+  case Tok::KwTensor:
+  case Tok::KwImage:
+  case Tok::KwKernel:
+  case Tok::KwField:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Shape Parser::parseShapeBrackets() {
+  std::vector<int> Dims;
+  expect(Tok::LBracket, "to begin tensor shape");
+  if (!at(Tok::RBracket)) {
+    do {
+      if (at(Tok::IntLit)) {
+        Dims.push_back(static_cast<int>(Cur.IntVal));
+        bump();
+      } else {
+        Diags.error(Cur.Loc, "expected dimension in tensor shape");
+        bump();
+      }
+    } while (accept(Tok::Comma));
+  }
+  expect(Tok::RBracket, "to end tensor shape");
+  for (int D : Dims)
+    if (D < 2) {
+      Diags.error(Cur.Loc, "tensor axis extents must be at least 2");
+      return Shape{};
+    }
+  return Shape(std::move(Dims));
+}
+
+Type Parser::parseType() {
+  Type Base = Type::error();
+  switch (Cur.Kind) {
+  case Tok::KwBool:
+    bump();
+    Base = Type::boolean();
+    break;
+  case Tok::KwInt:
+    bump();
+    Base = Type::integer();
+    break;
+  case Tok::KwString:
+    bump();
+    Base = Type::string();
+    break;
+  case Tok::KwReal:
+    bump();
+    Base = Type::real();
+    break;
+  case Tok::KwVec2:
+    bump();
+    Base = Type::vec(2);
+    break;
+  case Tok::KwVec3:
+    bump();
+    Base = Type::vec(3);
+    break;
+  case Tok::KwVec4:
+    bump();
+    Base = Type::vec(4);
+    break;
+  case Tok::KwTensor:
+    bump();
+    Base = Type::tensor(parseShapeBrackets());
+    break;
+  case Tok::KwImage: {
+    bump();
+    expect(Tok::LParen, "after 'image'");
+    int Dim = 0;
+    if (at(Tok::IntLit)) {
+      Dim = static_cast<int>(Cur.IntVal);
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected image dimension");
+    }
+    expect(Tok::RParen, "after image dimension");
+    Shape S = parseShapeBrackets();
+    if (Dim < 1 || Dim > 3)
+      Diags.error(Cur.Loc, "image dimension must be 1, 2, or 3");
+    else
+      Base = Type::image(Dim, std::move(S));
+    break;
+  }
+  case Tok::KwKernel: {
+    bump();
+    expect(Tok::Hash, "after 'kernel'");
+    if (at(Tok::IntLit)) {
+      Base = Type::kernel(static_cast<int>(Cur.IntVal));
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected continuity after 'kernel#'");
+    }
+    break;
+  }
+  case Tok::KwField: {
+    bump();
+    expect(Tok::Hash, "after 'field'");
+    int K = -1;
+    if (at(Tok::IntLit)) {
+      K = static_cast<int>(Cur.IntVal);
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected continuity after 'field#'");
+    }
+    expect(Tok::LParen, "after field continuity");
+    int Dim = 0;
+    if (at(Tok::IntLit)) {
+      Dim = static_cast<int>(Cur.IntVal);
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected field domain dimension");
+    }
+    expect(Tok::RParen, "after field dimension");
+    Shape S = parseShapeBrackets();
+    if (K >= 0 && Dim >= 1 && Dim <= 3)
+      Base = Type::field(K, Dim, std::move(S));
+    break;
+  }
+  default:
+    Diags.error(Cur.Loc, strf("expected a type, found ", tokName(Cur.Kind)));
+    bump();
+    return Type::error();
+  }
+  // Sequence suffix: T{n}.
+  while (at(Tok::LBrace)) {
+    bump();
+    int N = 0;
+    if (at(Tok::IntLit)) {
+      N = static_cast<int>(Cur.IntVal);
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected sequence length");
+    }
+    expect(Tok::RBrace, "to close sequence length");
+    if (N < 1) {
+      Diags.error(Cur.Loc, "sequence length must be positive");
+      return Type::error();
+    }
+    Base = Type::sequence(std::move(Base), N);
+  }
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto P = std::make_unique<Program>();
+  while (!at(Tok::Eof) && !at(Tok::KwStrand))
+    parseGlobal(*P);
+  if (at(Tok::KwStrand))
+    parseStrand(*P);
+  else
+    Diags.error(Cur.Loc, "expected a strand definition");
+  if (at(Tok::KwInitially))
+    parseInitially(*P);
+  else
+    Diags.error(Cur.Loc, "expected an 'initially' section");
+  if (!at(Tok::Eof))
+    Diags.error(Cur.Loc, "unexpected input after 'initially' section");
+  return P;
+}
+
+void Parser::parseGlobal(Program &P) {
+  GlobalDecl G;
+  G.Loc = Cur.Loc;
+  G.IsInput = accept(Tok::KwInput);
+  G.Ty = parseType();
+  if (at(Tok::Ident)) {
+    G.Name = Cur.Text;
+    bump();
+  } else {
+    Diags.error(Cur.Loc, "expected global variable name");
+    // Recover to the next ';'.
+    while (!at(Tok::Eof) && !accept(Tok::Semi))
+      bump();
+    return;
+  }
+  if (accept(Tok::Assign))
+    G.Init = parseExpr();
+  else if (!G.IsInput)
+    Diags.error(G.Loc, strf("global '", G.Name,
+                            "' must have an initializer (only inputs may "
+                            "omit one)"));
+  expect(Tok::Semi, "after global definition");
+  P.Globals.push_back(std::move(G));
+}
+
+void Parser::parseStrand(Program &P) {
+  StrandDecl &S = P.Strand;
+  S.Loc = Cur.Loc;
+  expect(Tok::KwStrand, "to begin strand definition");
+  if (at(Tok::Ident)) {
+    S.Name = Cur.Text;
+    bump();
+  } else {
+    Diags.error(Cur.Loc, "expected strand name");
+  }
+  expect(Tok::LParen, "after strand name");
+  if (!at(Tok::RParen)) {
+    do {
+      Param Prm;
+      Prm.Loc = Cur.Loc;
+      Prm.Ty = parseType();
+      if (at(Tok::Ident)) {
+        Prm.Name = Cur.Text;
+        bump();
+      } else {
+        Diags.error(Cur.Loc, "expected parameter name");
+      }
+      S.Params.push_back(std::move(Prm));
+    } while (accept(Tok::Comma));
+  }
+  expect(Tok::RParen, "after strand parameters");
+  expect(Tok::LBrace, "to begin strand body");
+
+  while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+    if (at(Tok::KwUpdate)) {
+      SourceLoc L = Cur.Loc;
+      bump();
+      if (S.UpdateBody)
+        Diags.error(L, "duplicate update method");
+      S.UpdateBody = parseBlock();
+      continue;
+    }
+    if (at(Tok::KwStabilize)) {
+      SourceLoc L = Cur.Loc;
+      bump();
+      if (S.StabilizeBody)
+        Diags.error(L, "duplicate stabilize method");
+      S.StabilizeBody = parseBlock();
+      continue;
+    }
+    // State variable.
+    StateVar V;
+    V.Loc = Cur.Loc;
+    V.IsOutput = accept(Tok::KwOutput);
+    V.Ty = parseType();
+    if (at(Tok::Ident)) {
+      V.Name = Cur.Text;
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected state variable name");
+      while (!at(Tok::Eof) && !accept(Tok::Semi))
+        bump();
+      continue;
+    }
+    if (expect(Tok::Assign, "state variables require an initializer"))
+      V.Init = parseExpr();
+    expect(Tok::Semi, "after state variable");
+    S.State.push_back(std::move(V));
+  }
+  expect(Tok::RBrace, "to end strand body");
+  if (!S.UpdateBody)
+    Diags.error(S.Loc, strf("strand '", S.Name, "' has no update method"));
+}
+
+void Parser::parseInitially(Program &P) {
+  Initially &I = P.Init;
+  I.Loc = Cur.Loc;
+  expect(Tok::KwInitially, "to begin initialization");
+  if (accept(Tok::LBracket))
+    I.IsGrid = true;
+  else if (accept(Tok::LBrace))
+    I.IsGrid = false;
+  else
+    Diags.error(Cur.Loc, "expected '[' or '{' after 'initially'");
+  if (at(Tok::Ident)) {
+    I.StrandName = Cur.Text;
+    bump();
+  } else {
+    Diags.error(Cur.Loc, "expected strand name in initialization");
+  }
+  expect(Tok::LParen, "after strand name");
+  if (!at(Tok::RParen)) {
+    do
+      I.Args.push_back(parseExpr());
+    while (accept(Tok::Comma));
+  }
+  expect(Tok::RParen, "after strand arguments");
+  expect(Tok::Bar, "before comprehension iterators");
+  do {
+    Iterator It;
+    It.Loc = Cur.Loc;
+    if (at(Tok::Ident)) {
+      It.Var = Cur.Text;
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected iterator variable");
+    }
+    expect(Tok::KwIn, "in comprehension iterator");
+    It.Lo = parseExpr();
+    expect(Tok::DotDot, "in iterator range");
+    It.Hi = parseExpr();
+    I.Iters.push_back(std::move(It));
+  } while (accept(Tok::Comma));
+  expect(I.IsGrid ? Tok::RBracket : Tok::RBrace, "to end initialization");
+  expect(Tok::Semi, "after initialization");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  auto B = std::make_unique<Stmt>(StmtKind::Block, Cur.Loc);
+  expect(Tok::LBrace, "to begin block");
+  while (!at(Tok::RBrace) && !at(Tok::Eof))
+    B->Body.push_back(parseStmt());
+  expect(Tok::RBrace, "to end block");
+  return B;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc L = Cur.Loc;
+  if (at(Tok::LBrace))
+    return parseBlock();
+  if (accept(Tok::KwIf)) {
+    auto S = std::make_unique<Stmt>(StmtKind::If, L);
+    expect(Tok::LParen, "after 'if'");
+    S->Value = parseExpr();
+    expect(Tok::RParen, "after condition");
+    S->Then = parseStmt();
+    if (accept(Tok::KwElse))
+      S->Else = parseStmt();
+    return S;
+  }
+  if (accept(Tok::KwStabilize)) {
+    expect(Tok::Semi, "after 'stabilize'");
+    return std::make_unique<Stmt>(StmtKind::Stabilize, L);
+  }
+  if (accept(Tok::KwDie)) {
+    expect(Tok::Semi, "after 'die'");
+    return std::make_unique<Stmt>(StmtKind::Die, L);
+  }
+  if (atTypeStart()) {
+    // Possible ambiguity: `real(x)` is a cast expression, but a statement
+    // cannot start with an expression in Diderot (no expression statements),
+    // so a leading type keyword always begins a declaration.
+    auto S = std::make_unique<Stmt>(StmtKind::Decl, L);
+    S->DeclTy = parseType();
+    if (at(Tok::Ident)) {
+      S->Name = Cur.Text;
+      bump();
+    } else {
+      Diags.error(Cur.Loc, "expected variable name in declaration");
+    }
+    if (expect(Tok::Assign, "local variables require an initializer"))
+      S->Value = parseExpr();
+    expect(Tok::Semi, "after declaration");
+    return S;
+  }
+  if (at(Tok::Ident)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign, L);
+    S->Name = Cur.Text;
+    bump();
+    switch (Cur.Kind) {
+    case Tok::Assign:
+      S->AOp = AssignOp::Set;
+      break;
+    case Tok::PlusEq:
+      S->AOp = AssignOp::AddSet;
+      break;
+    case Tok::MinusEq:
+      S->AOp = AssignOp::SubSet;
+      break;
+    case Tok::StarEq:
+      S->AOp = AssignOp::MulSet;
+      break;
+    case Tok::SlashEq:
+      S->AOp = AssignOp::DivSet;
+      break;
+    default:
+      Diags.error(Cur.Loc, "expected assignment operator");
+      while (!at(Tok::Eof) && !accept(Tok::Semi))
+        bump();
+      return S;
+    }
+    bump();
+    S->Value = parseExpr();
+    expect(Tok::Semi, "after assignment");
+    return S;
+  }
+  Diags.error(L, strf("expected a statement, found ", tokName(Cur.Kind)));
+  bump();
+  if (--FatalBudget <= 0)
+    while (!Cur.is(Tok::Eof))
+      bump();
+  return std::make_unique<Stmt>(StmtKind::Block, L);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpressionOnly() {
+  ExprPtr E = parseExpr();
+  if (!at(Tok::Eof))
+    Diags.error(Cur.Loc, "unexpected input after expression");
+  return E;
+}
+
+ExprPtr Parser::parseCond() {
+  ExprPtr ThenE = parseOr();
+  if (!at(Tok::KwIf))
+    return ThenE;
+  SourceLoc L = Cur.Loc;
+  bump();
+  ExprPtr CondE = parseOr();
+  expect(Tok::KwElse, "in conditional expression");
+  ExprPtr ElseE = parseCond(); // right-associative chain
+  auto E = std::make_unique<Expr>(ExprKind::Cond, L);
+  E->Kids.push_back(std::move(ThenE));
+  E->Kids.push_back(std::move(CondE));
+  E->Kids.push_back(std::move(ElseE));
+  return E;
+}
+
+namespace {
+ExprPtr makeBinary(BinaryOp Op, SourceLoc L, ExprPtr LHS, ExprPtr RHS) {
+  auto E = std::make_unique<Expr>(ExprKind::Binary, L);
+  E->BOp = Op;
+  E->Kids.push_back(std::move(LHS));
+  E->Kids.push_back(std::move(RHS));
+  return E;
+}
+} // namespace
+
+ExprPtr Parser::parseOr() {
+  ExprPtr E = parseAnd();
+  while (at(Tok::BarBar)) {
+    SourceLoc L = Cur.Loc;
+    bump();
+    E = makeBinary(BinaryOp::Or, L, std::move(E), parseAnd());
+  }
+  return E;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr E = parseEquality();
+  while (at(Tok::AmpAmp)) {
+    SourceLoc L = Cur.Loc;
+    bump();
+    E = makeBinary(BinaryOp::And, L, std::move(E), parseEquality());
+  }
+  return E;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr E = parseRelational();
+  while (at(Tok::EqEq) || at(Tok::BangEq)) {
+    BinaryOp Op = at(Tok::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
+    SourceLoc L = Cur.Loc;
+    bump();
+    E = makeBinary(Op, L, std::move(E), parseRelational());
+  }
+  return E;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr E = parseAdditive();
+  for (;;) {
+    BinaryOp Op;
+    switch (Cur.Kind) {
+    case Tok::Lt:
+      Op = BinaryOp::Lt;
+      break;
+    case Tok::LtEq:
+      Op = BinaryOp::Le;
+      break;
+    case Tok::Gt:
+      Op = BinaryOp::Gt;
+      break;
+    case Tok::GtEq:
+      Op = BinaryOp::Ge;
+      break;
+    default:
+      return E;
+    }
+    SourceLoc L = Cur.Loc;
+    bump();
+    E = makeBinary(Op, L, std::move(E), parseAdditive());
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr E = parseMultiplicative();
+  while (at(Tok::Plus) || at(Tok::Minus)) {
+    BinaryOp Op = at(Tok::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc L = Cur.Loc;
+    bump();
+    E = makeBinary(Op, L, std::move(E), parseMultiplicative());
+  }
+  return E;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr E = parsePower();
+  for (;;) {
+    BinaryOp Op;
+    switch (Cur.Kind) {
+    case Tok::Star:
+      Op = BinaryOp::Mul;
+      break;
+    case Tok::Slash:
+      Op = BinaryOp::Div;
+      break;
+    case Tok::Percent:
+      Op = BinaryOp::Mod;
+      break;
+    case Tok::CircledAst:
+      Op = BinaryOp::Convolve;
+      break;
+    case Tok::Bullet:
+      Op = BinaryOp::Dot;
+      break;
+    case Tok::Cross:
+      Op = BinaryOp::Cross;
+      break;
+    case Tok::OTimes:
+      Op = BinaryOp::Outer;
+      break;
+    default:
+      return E;
+    }
+    SourceLoc L = Cur.Loc;
+    bump();
+    E = makeBinary(Op, L, std::move(E), parsePower());
+  }
+}
+
+ExprPtr Parser::parsePower() {
+  // Exponentiation is handled inside parseUnary so that ^ binds tighter
+  // than prefix minus: -x^2 parses as -(x^2).
+  return parseUnary();
+}
+
+ExprPtr Parser::parseNablaOperand() {
+  if (at(Tok::Nabla)) {
+    SourceLoc L = Cur.Loc;
+    bump();
+    UnaryOp Op = UnaryOp::Nabla;
+    if (accept(Tok::OTimes))
+      Op = UnaryOp::NablaOtimes;
+    else if (accept(Tok::Bullet))
+      Op = UnaryOp::Divergence;
+    else if (accept(Tok::Cross))
+      Op = UnaryOp::Curl;
+    auto E = std::make_unique<Expr>(ExprKind::Unary, L);
+    E->UOp = Op;
+    E->Kids.push_back(parseNablaOperand());
+    return E;
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc L = Cur.Loc;
+  if (accept(Tok::Minus)) {
+    auto E = std::make_unique<Expr>(ExprKind::Unary, L);
+    E->UOp = UnaryOp::Neg;
+    E->Kids.push_back(parseUnary());
+    return E;
+  }
+  if (accept(Tok::Bang)) {
+    auto E = std::make_unique<Expr>(ExprKind::Unary, L);
+    E->UOp = UnaryOp::Not;
+    E->Kids.push_back(parseUnary());
+    return E;
+  }
+  ExprPtr Base;
+  if (at(Tok::Nabla)) {
+    // Differentiation binds to its field operand *before* application:
+    // ∇F(pos) is (∇F)(pos), so postfix is parsed around the ∇ node.
+    Base = parsePostfix(parseNablaOperand());
+  } else {
+    Base = parsePostfix(parsePrimary());
+  }
+  if (at(Tok::Caret)) {
+    SourceLoc PL = Cur.Loc;
+    bump();
+    // Right-associative, and binds tighter than prefix minus: the exponent
+    // is a unary expression (2^-3 works, -x^2 is -(x^2)).
+    return makeBinary(BinaryOp::Pow, PL, std::move(Base), parseUnary());
+  }
+  return Base;
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  for (;;) {
+    if (at(Tok::LParen)) {
+      SourceLoc L = Cur.Loc;
+      bump();
+      auto E = std::make_unique<Expr>(ExprKind::Apply, L);
+      if (Base->Kind == ExprKind::Ident)
+        E->Name = Base->Name;
+      E->Kids.push_back(std::move(Base));
+      bool SavedNorm = InNorm;
+      InNorm = false;
+      if (!at(Tok::RParen)) {
+        do
+          E->Kids.push_back(parseExpr());
+        while (accept(Tok::Comma));
+      }
+      InNorm = SavedNorm;
+      expect(Tok::RParen, "to close call");
+      Base = std::move(E);
+      continue;
+    }
+    if (at(Tok::LBracket)) {
+      SourceLoc L = Cur.Loc;
+      bump();
+      auto E = std::make_unique<Expr>(ExprKind::Index, L);
+      E->Kids.push_back(std::move(Base));
+      bool SavedNorm = InNorm;
+      InNorm = false;
+      do
+        E->Kids.push_back(parseExpr());
+      while (accept(Tok::Comma));
+      InNorm = SavedNorm;
+      expect(Tok::RBracket, "to close index");
+      Base = std::move(E);
+      continue;
+    }
+    return Base;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc L = Cur.Loc;
+  switch (Cur.Kind) {
+  case Tok::IntLit: {
+    auto E = std::make_unique<Expr>(ExprKind::IntLit, L);
+    E->IntVal = Cur.IntVal;
+    bump();
+    return E;
+  }
+  case Tok::RealLit: {
+    auto E = std::make_unique<Expr>(ExprKind::RealLit, L);
+    E->RealVal = Cur.RealVal;
+    bump();
+    return E;
+  }
+  case Tok::StringLit: {
+    auto E = std::make_unique<Expr>(ExprKind::StringLit, L);
+    E->StrVal = Cur.Text;
+    bump();
+    return E;
+  }
+  case Tok::KwTrue:
+  case Tok::KwFalse: {
+    auto E = std::make_unique<Expr>(ExprKind::BoolLit, L);
+    E->BoolVal = Cur.is(Tok::KwTrue);
+    bump();
+    return E;
+  }
+  case Tok::Pi: {
+    bump();
+    return std::make_unique<Expr>(ExprKind::PiLit, L);
+  }
+  case Tok::Ident: {
+    auto E = std::make_unique<Expr>(ExprKind::Ident, L);
+    E->Name = Cur.Text;
+    bump();
+    return E;
+  }
+  case Tok::KwReal: {
+    // real(e) cast: treated as a call to the builtin "real".
+    bump();
+    auto Callee = std::make_unique<Expr>(ExprKind::Ident, L);
+    Callee->Name = "real";
+    expect(Tok::LParen, "in real(...) cast");
+    auto E = std::make_unique<Expr>(ExprKind::Apply, L);
+    E->Name = "real";
+    E->Kids.push_back(std::move(Callee));
+    E->Kids.push_back(parseExpr());
+    expect(Tok::RParen, "to close real(...) cast");
+    return E;
+  }
+  case Tok::LParen: {
+    bump();
+    bool SavedNorm = InNorm;
+    InNorm = false;
+    ExprPtr E = parseExpr();
+    InNorm = SavedNorm;
+    expect(Tok::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case Tok::LBracket: {
+    bump();
+    auto E = std::make_unique<Expr>(ExprKind::TensorCons, L);
+    bool SavedNorm = InNorm;
+    InNorm = false;
+    if (!at(Tok::RBracket)) {
+      do
+        E->Kids.push_back(parseExpr());
+      while (accept(Tok::Comma));
+    }
+    InNorm = SavedNorm;
+    expect(Tok::RBracket, "to close tensor constructor");
+    return E;
+  }
+  case Tok::LBrace: {
+    bump();
+    auto E = std::make_unique<Expr>(ExprKind::SeqCons, L);
+    bool SavedNorm = InNorm;
+    InNorm = false;
+    if (!at(Tok::RBrace)) {
+      do
+        E->Kids.push_back(parseExpr());
+      while (accept(Tok::Comma));
+    }
+    InNorm = SavedNorm;
+    expect(Tok::RBrace, "to close sequence constructor");
+    return E;
+  }
+  case Tok::Bar: {
+    if (InNorm)
+      break;
+    bump();
+    InNorm = true;
+    auto E = std::make_unique<Expr>(ExprKind::Norm, L);
+    E->Kids.push_back(parseExpr());
+    InNorm = false;
+    expect(Tok::Bar, "to close norm");
+    return E;
+  }
+  default:
+    break;
+  }
+  Diags.error(L, strf("expected an expression, found ", tokName(Cur.Kind)));
+  bump();
+  if (--FatalBudget <= 0)
+    while (!Cur.is(Tok::Eof))
+      bump();
+  return makeErrorExpr(L);
+}
+
+} // namespace diderot

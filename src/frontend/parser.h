@@ -1,0 +1,82 @@
+//===--- frontend/parser.h - Diderot parser ---------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_PARSER_H
+#define DIDEROT_FRONTEND_PARSER_H
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace diderot {
+
+/// Recursive-descent parser for Diderot. Produces a Program; errors are
+/// reported to the DiagnosticEngine and parsing recovers where practical.
+/// Callers must check Diags.hasErrors() before using the result.
+class Parser {
+public:
+  Parser(std::string Source, DiagnosticEngine &Diags);
+
+  /// Parse a whole program (globals, strand, initially).
+  std::unique_ptr<Program> parseProgram();
+
+  /// Parse a single expression (for tests).
+  ExprPtr parseExpressionOnly();
+
+private:
+  // Token plumbing.
+  const Token &cur() const { return Cur; }
+  void bump();
+  bool at(Tok K) const { return Cur.Kind == K; }
+  bool accept(Tok K);
+  bool expect(Tok K, const char *Context);
+  [[noreturn]] void noteFatal();
+
+  // Types.
+  bool atTypeStart() const;
+  Type parseType();
+  Shape parseShapeBrackets();
+
+  // Declarations.
+  void parseGlobal(Program &P);
+  void parseStrand(Program &P);
+  void parseInitially(Program &P);
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr() { return parseCond(); }
+  ExprPtr parseCond();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parsePower();
+  ExprPtr parseUnary();
+  ExprPtr parseNablaOperand();
+  ExprPtr parsePostfix(ExprPtr Base);
+  ExprPtr parsePrimary();
+
+  ExprPtr makeErrorExpr(SourceLoc L);
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Cur;
+  /// True while parsing inside |...| so a Bar token closes the norm instead
+  /// of starting a nested one.
+  bool InNorm = false;
+  /// Bounded error count so a hopeless parse terminates.
+  int FatalBudget = 64;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_PARSER_H

@@ -1,0 +1,140 @@
+//===--- frontend/schemes.cpp ----------------------------------------------===//
+
+#include "frontend/schemes.h"
+
+#include <cassert>
+
+namespace diderot::sch {
+
+bool Bindings::bindDim(int Var, int Val) {
+  auto [It, Inserted] = Dims.emplace(Var, Val);
+  return Inserted || It->second == Val;
+}
+
+bool Bindings::bindShape(int Var, const Shape &Val) {
+  auto [It, Inserted] = Shapes.emplace(Var, Val);
+  return Inserted || It->second == Val;
+}
+
+bool Bindings::bindDiff(int Var, int Val) {
+  auto [It, Inserted] = Diffs.emplace(Var, Val);
+  return Inserted || It->second == Val;
+}
+
+namespace {
+
+bool matchElem(const ShapeElem &E, int Concrete, Bindings &B) {
+  if (E.IsVar)
+    return B.bindDim(E.Val, Concrete);
+  return E.Val == Concrete;
+}
+
+} // namespace
+
+bool ShapeScheme::match(const Shape &Concrete, Bindings &B) const {
+  assert(!(PrefixVar && SuffixVar) &&
+         "at most one shape variable per scheme shape");
+  int NFixed = static_cast<int>(Elems.size());
+  int NConc = Concrete.order();
+  if (!PrefixVar && !SuffixVar) {
+    if (NConc != NFixed)
+      return false;
+    for (int I = 0; I < NFixed; ++I)
+      if (!matchElem(Elems[static_cast<size_t>(I)], Concrete[I], B))
+        return false;
+    return true;
+  }
+  if (NConc < NFixed)
+    return false;
+  if (PrefixVar) {
+    // The variable absorbs the leading axes; fixed elements match the tail.
+    std::vector<int> Seg;
+    for (int I = 0; I < NConc - NFixed; ++I)
+      Seg.push_back(Concrete[I]);
+    if (!B.bindShape(*PrefixVar, Shape(std::move(Seg))))
+      return false;
+    for (int I = 0; I < NFixed; ++I)
+      if (!matchElem(Elems[static_cast<size_t>(I)],
+                     Concrete[NConc - NFixed + I], B))
+        return false;
+    return true;
+  }
+  // SuffixVar: fixed elements match the head, variable absorbs the tail.
+  for (int I = 0; I < NFixed; ++I)
+    if (!matchElem(Elems[static_cast<size_t>(I)], Concrete[I], B))
+      return false;
+  std::vector<int> Seg;
+  for (int I = NFixed; I < NConc; ++I)
+    Seg.push_back(Concrete[I]);
+  return B.bindShape(*SuffixVar, Shape(std::move(Seg)));
+}
+
+Shape ShapeScheme::instantiate(const Bindings &B) const {
+  std::vector<int> Out;
+  auto AppendVar = [&](int Var) {
+    auto It = B.Shapes.find(Var);
+    assert(It != B.Shapes.end() && "unbound shape variable at instantiation");
+    for (int D : It->second.dims())
+      Out.push_back(D);
+  };
+  if (PrefixVar)
+    AppendVar(*PrefixVar);
+  for (const ShapeElem &E : Elems) {
+    if (E.IsVar) {
+      auto It = B.Dims.find(E.Val);
+      assert(It != B.Dims.end() && "unbound dim variable at instantiation");
+      Out.push_back(It->second);
+    } else {
+      Out.push_back(E.Val);
+    }
+  }
+  if (SuffixVar)
+    AppendVar(*SuffixVar);
+  return Shape(std::move(Out));
+}
+
+bool STy::match(const Type &Concrete, Bindings &B) const {
+  if (Concrete.kind() != Kind)
+    return false;
+  switch (Kind) {
+  case TypeKind::Bool:
+  case TypeKind::Int:
+  case TypeKind::String:
+    return true;
+  case TypeKind::Tensor:
+    return Shp.match(Concrete.shape(), B);
+  case TypeKind::Image:
+    return matchElem(Dim, Concrete.dim(), B) &&
+           Shp.match(Concrete.shape(), B);
+  case TypeKind::Kernel:
+    return B.bindDiff(DiffVar, Concrete.diff());
+  case TypeKind::Field:
+    return B.bindDiff(DiffVar, Concrete.diff()) &&
+           matchElem(Dim, Concrete.dim(), B) && Shp.match(Concrete.shape(), B);
+  default:
+    return false;
+  }
+}
+
+std::optional<Type> Signature::apply(const std::vector<Type> &Args) const {
+  if (Args.size() != Params.size())
+    return std::nullopt;
+  Bindings B;
+  for (size_t I = 0; I < Args.size(); ++I)
+    if (!Params[I].match(Args[I], B))
+      return std::nullopt;
+  if (Guard && !Guard(B))
+    return std::nullopt;
+  return Result(B);
+}
+
+std::optional<std::pair<int, Type>>
+resolveOverload(const std::vector<Signature> &Candidates,
+                const std::vector<Type> &Args) {
+  for (size_t I = 0; I < Candidates.size(); ++I)
+    if (std::optional<Type> R = Candidates[I].apply(Args))
+      return std::make_pair(static_cast<int>(I), *R);
+  return std::nullopt;
+}
+
+} // namespace diderot::sch

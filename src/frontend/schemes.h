@@ -1,0 +1,147 @@
+//===--- frontend/schemes.h - type schemes & unification -------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operator signatures with kinded meta-variables, and the matcher that
+/// instantiates them. The paper (Section 5.1): "we use a mix of ad hoc
+/// overloading and polymorphism in the type checker. The internal
+/// representation of types includes kinded type variables, shape variables,
+/// and dimension variables. The type checking process introduces constraints
+/// between the variables, which are solved by unification."
+///
+/// Because Diderot programs are monomorphic, argument types at a use are
+/// always concrete; unification therefore reduces to one-way matching of a
+/// signature's scheme types against concrete types, binding
+///   * dimension variables  (kind DIM:   1..3)
+///   * shape variables      (kind SHAPE: a tensor shape segment)
+///   * differentiation variables (kind DIFF: the k of kernel#k / field#k)
+/// plus per-signature guards (e.g. "k > 0" for differentiation) and computed
+/// result types (e.g. "field#(k-1)").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_SCHEMES_H
+#define DIDEROT_FRONTEND_SCHEMES_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "frontend/types.h"
+
+namespace diderot::sch {
+
+/// A binding environment for scheme variables, keyed by small variable ids.
+struct Bindings {
+  std::map<int, int> Dims;     ///< DIM variables
+  std::map<int, Shape> Shapes; ///< SHAPE variables
+  std::map<int, int> Diffs;    ///< DIFF variables
+
+  /// Bind or check a DIM variable.
+  bool bindDim(int Var, int Val);
+  bool bindShape(int Var, const Shape &Val);
+  bool bindDiff(int Var, int Val);
+};
+
+/// An element of a shape scheme: either a fixed extent or a DIM variable.
+struct ShapeElem {
+  bool IsVar = false;
+  int Val = 0; ///< fixed extent, or DIM variable id
+
+  static ShapeElem fixed(int N) { return {false, N}; }
+  static ShapeElem dimVar(int Id) { return {true, Id}; }
+};
+
+/// A shape scheme: an optional SHAPE-variable prefix, fixed/DIM elements,
+/// and an optional SHAPE-variable suffix. At most one of Prefix/Suffix may
+/// be present together with elements; this covers every Diderot operator
+/// (e.g. dot contracts [sigma ++ n] with [n ++ tau]).
+struct ShapeScheme {
+  std::optional<int> PrefixVar;
+  std::vector<ShapeElem> Elems;
+  std::optional<int> SuffixVar;
+
+  static ShapeScheme scalar() { return {}; }
+  static ShapeScheme var(int Id) {
+    ShapeScheme S;
+    S.PrefixVar = Id;
+    return S;
+  }
+  /// sigma ++ [elem]
+  static ShapeScheme varThen(int Id, ShapeElem E) {
+    ShapeScheme S;
+    S.PrefixVar = Id;
+    S.Elems.push_back(E);
+    return S;
+  }
+  /// [elem] ++ tau
+  static ShapeScheme elemThenVar(ShapeElem E, int Id) {
+    ShapeScheme S;
+    S.Elems.push_back(E);
+    S.SuffixVar = Id;
+    return S;
+  }
+  static ShapeScheme fixed(std::vector<ShapeElem> Es) {
+    ShapeScheme S;
+    S.Elems = std::move(Es);
+    return S;
+  }
+
+  bool match(const Shape &Concrete, Bindings &B) const;
+  Shape instantiate(const Bindings &B) const;
+};
+
+/// A scheme type, mirroring Type with variables allowed in the dimension,
+/// shape, and differentiation positions.
+struct STy {
+  TypeKind Kind = TypeKind::Error;
+  ShapeScheme Shp;
+  /// DIM position for image/field domain: variable id or fixed value.
+  ShapeElem Dim = ShapeElem::fixed(0);
+  /// DIFF variable id for kernel/field (always a variable in our schemes).
+  int DiffVar = 0;
+
+  static STy boolean() { return {TypeKind::Bool, {}, {}, 0}; }
+  static STy integer() { return {TypeKind::Int, {}, {}, 0}; }
+  static STy string() { return {TypeKind::String, {}, {}, 0}; }
+  static STy real() { return tensor(ShapeScheme::scalar()); }
+  static STy tensor(ShapeScheme S) { return {TypeKind::Tensor, std::move(S), {}, 0}; }
+  static STy image(ShapeElem D, ShapeScheme S) {
+    return {TypeKind::Image, std::move(S), D, 0};
+  }
+  static STy kernel(int KVar) { return {TypeKind::Kernel, {}, {}, KVar}; }
+  static STy field(int KVar, ShapeElem D, ShapeScheme S) {
+    return {TypeKind::Field, std::move(S), D, KVar};
+  }
+
+  /// Match against a concrete type, extending \p B.
+  bool match(const Type &Concrete, Bindings &B) const;
+};
+
+/// How a signature computes its result type from the bindings.
+using ResultFn = std::function<Type(const Bindings &)>;
+/// An extra satisfiability condition on the bindings (e.g. k > 0).
+using GuardFn = std::function<bool(const Bindings &)>;
+
+/// One overload candidate.
+struct Signature {
+  std::vector<STy> Params;
+  ResultFn Result;
+  GuardFn Guard; ///< may be null
+
+  /// Try to match \p Args; on success returns the instantiated result type.
+  std::optional<Type> apply(const std::vector<Type> &Args) const;
+};
+
+/// Resolve \p Args against candidates in order; first match wins.
+std::optional<std::pair<int, Type>>
+resolveOverload(const std::vector<Signature> &Candidates,
+                const std::vector<Type> &Args);
+
+} // namespace diderot::sch
+
+#endif // DIDEROT_FRONTEND_SCHEMES_H

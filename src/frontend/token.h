@@ -1,0 +1,112 @@
+//===--- frontend/token.h - Diderot tokens ---------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_TOKEN_H
+#define DIDEROT_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/location.h"
+
+namespace diderot {
+
+/// Token kinds. Diderot's surface syntax is C-like, extended with Unicode
+/// mathematical operators (Section 3.2 of the paper).
+enum class Tok : uint8_t {
+  Eof,
+  Error,
+
+  Ident,
+  IntLit,
+  RealLit,
+  StringLit,
+
+  // Keywords.
+  KwBool,
+  KwInt,
+  KwString,
+  KwReal,
+  KwVec2,
+  KwVec3,
+  KwVec4,
+  KwTensor,
+  KwImage,
+  KwKernel,
+  KwField,
+  KwInput,
+  KwOutput,
+  KwStrand,
+  KwUpdate,
+  KwStabilize,
+  KwDie,
+  KwInitially,
+  KwIn,
+  KwIf,
+  KwElse,
+  KwTrue,
+  KwFalse,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Colon,
+  Hash,     // #
+  Bar,      // |
+  DotDot,   // ..
+  Assign,   // =
+  PlusEq,
+  MinusEq,
+  StarEq,
+  SlashEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Caret, // ^
+  Bang,  // !
+  EqEq,
+  BangEq,
+  Lt,
+  LtEq,
+  Gt,
+  GtEq,
+  AmpAmp,
+  BarBar,
+
+  // Unicode mathematical operators.
+  Nabla,      // ∇  gradient / ∇⊗ when followed by OTimes
+  CircledAst, // ⊛  convolution
+  OTimes,     // ⊗  outer product
+  Cross,      // ×  cross product
+  Bullet,     // •  dot product
+  Pi,         // π  constant
+};
+
+/// The spelling used in diagnostics for a token kind.
+const char *tokName(Tok K);
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::Eof;
+  SourceLoc Loc;
+  std::string Text;   ///< identifier / string-literal payload
+  int64_t IntVal = 0; ///< for IntLit
+  double RealVal = 0; ///< for RealLit
+
+  bool is(Tok K) const { return Kind == K; }
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_TOKEN_H

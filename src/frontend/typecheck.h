@@ -1,0 +1,30 @@
+//===--- frontend/typecheck.h - Diderot type checker -----------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type checker (paper Sections 3.4 and 5.1). It enforces the field
+/// typing judgments of Figure 2 — convolution, differentiation (which lowers
+/// continuity and raises order), and probing — resolves operator overloads by
+/// matching kinded scheme variables (see schemes.h), and annotates the AST in
+/// place with types, resolved operator instances, and name bindings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_TYPECHECK_H
+#define DIDEROT_FRONTEND_TYPECHECK_H
+
+#include "frontend/ast.h"
+#include "support/diagnostics.h"
+
+namespace diderot {
+
+/// Type-check \p P, reporting problems to \p Diags and annotating the tree.
+/// Returns true when no errors were produced by this phase.
+bool typeCheck(Program &P, DiagnosticEngine &Diags);
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_TYPECHECK_H

@@ -1,0 +1,37 @@
+//===--- frontend/types.cpp ------------------------------------------------===//
+
+#include "frontend/types.h"
+
+#include "support/strings.h"
+
+namespace diderot {
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Error:
+    return "<error>";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::String:
+    return "string";
+  case TypeKind::Tensor:
+    if (Shp.isScalar())
+      return "real";
+    if (Shp.order() == 1)
+      return strf("vec", Shp[0]);
+    return strf("tensor", Shp.str());
+  case TypeKind::Sequence:
+    return strf(Elem->str(), "{", SeqLen, "}");
+  case TypeKind::Image:
+    return strf("image(", Dim, ")", Shp.str());
+  case TypeKind::Kernel:
+    return strf("kernel#", Diff);
+  case TypeKind::Field:
+    return strf("field#", Diff, "(", Dim, ")", Shp.str());
+  }
+  return "?";
+}
+
+} // namespace diderot

@@ -1,0 +1,169 @@
+//===--- frontend/types.h - the Diderot type system ------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diderot's types (Section 3.1 / 3.4 of the paper): a monomorphic system
+/// with five concrete types — bool, int, string, tensor[shape], fixed-size
+/// sequences — and three abstract types — image(d)[s], kernel#k, and
+/// field#k(d)[s]. The type system "captures the important mathematical
+/// properties of the program, such as the continuity of fields": kernel#k is
+/// a C^k kernel, and field#k(d)[s] has k continuous derivatives, domain
+/// dimension d, and range shape s.
+///
+/// `real` is tensor[], `vec2/vec3/vec4` are tensor[2/3/4].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_FRONTEND_TYPES_H
+#define DIDEROT_FRONTEND_TYPES_H
+
+#include <memory>
+#include <string>
+
+#include "tensor/shape.h"
+
+namespace diderot {
+
+/// The kinds of Diderot types.
+enum class TypeKind : uint8_t {
+  Error,  ///< placeholder produced after a type error, absorbs all checks
+  Bool,
+  Int,
+  String,
+  Tensor,   ///< tensor[shape]; scalar `real` is tensor[]
+  Sequence, ///< elem{n}
+  Image,    ///< image(d)[shape]
+  Kernel,   ///< kernel#k
+  Field,    ///< field#k(d)[shape]
+};
+
+/// A Diderot type. Value semantics; cheap to copy (sequence element types are
+/// shared).
+class Type {
+public:
+  /// Defaults to the error type.
+  Type() = default;
+
+  static Type error() { return Type(); }
+  static Type boolean() { return mk(TypeKind::Bool); }
+  static Type integer() { return mk(TypeKind::Int); }
+  static Type string() { return mk(TypeKind::String); }
+  static Type real() { return tensor(Shape{}); }
+  static Type vec(int N) { return tensor(Shape{N}); }
+  static Type tensor(Shape S) {
+    Type T = mk(TypeKind::Tensor);
+    T.Shp = std::move(S);
+    return T;
+  }
+  static Type sequence(Type Elem, int N) {
+    Type T = mk(TypeKind::Sequence);
+    T.Elem = std::make_shared<Type>(std::move(Elem));
+    T.SeqLen = N;
+    return T;
+  }
+  static Type image(int Dim, Shape S) {
+    Type T = mk(TypeKind::Image);
+    T.Dim = Dim;
+    T.Shp = std::move(S);
+    return T;
+  }
+  static Type kernel(int K) {
+    Type T = mk(TypeKind::Kernel);
+    T.Diff = K;
+    return T;
+  }
+  static Type field(int K, int Dim, Shape S) {
+    Type T = mk(TypeKind::Field);
+    T.Diff = K;
+    T.Dim = Dim;
+    T.Shp = std::move(S);
+    return T;
+  }
+
+  TypeKind kind() const { return Kind; }
+  bool isError() const { return Kind == TypeKind::Error; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isString() const { return Kind == TypeKind::String; }
+  bool isTensor() const { return Kind == TypeKind::Tensor; }
+  bool isReal() const { return isTensor() && Shp.isScalar(); }
+  bool isVector() const { return isTensor() && Shp.order() == 1; }
+  bool isMatrix() const { return isTensor() && Shp.order() == 2; }
+  bool isSequence() const { return Kind == TypeKind::Sequence; }
+  bool isImage() const { return Kind == TypeKind::Image; }
+  bool isKernel() const { return Kind == TypeKind::Kernel; }
+  bool isField() const { return Kind == TypeKind::Field; }
+  /// Is this a value type a strand can store (not image/kernel/field)?
+  bool isValueType() const {
+    switch (Kind) {
+    case TypeKind::Bool:
+    case TypeKind::Int:
+    case TypeKind::String:
+    case TypeKind::Tensor:
+      return true;
+    case TypeKind::Sequence:
+      return Elem->isValueType();
+    default:
+      return false;
+    }
+  }
+
+  /// Shape of a tensor, image value, or field range.
+  const Shape &shape() const { return Shp; }
+  /// Spatial dimension of an image or field domain.
+  int dim() const { return Dim; }
+  /// Continuity k of a kernel#k or field#k.
+  int diff() const { return Diff; }
+  /// Element type of a sequence.
+  const Type &elem() const { return *Elem; }
+  /// Length of a sequence.
+  int seqLen() const { return SeqLen; }
+
+  bool operator==(const Type &O) const {
+    if (Kind != O.Kind)
+      return false;
+    switch (Kind) {
+    case TypeKind::Error:
+    case TypeKind::Bool:
+    case TypeKind::Int:
+    case TypeKind::String:
+      return true;
+    case TypeKind::Tensor:
+      return Shp == O.Shp;
+    case TypeKind::Sequence:
+      return SeqLen == O.SeqLen && *Elem == *O.Elem;
+    case TypeKind::Image:
+      return Dim == O.Dim && Shp == O.Shp;
+    case TypeKind::Kernel:
+      return Diff == O.Diff;
+    case TypeKind::Field:
+      return Diff == O.Diff && Dim == O.Dim && Shp == O.Shp;
+    }
+    return false;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  /// Render in Diderot syntax, e.g. "field#2(3)[]", "tensor[3,3]", "real".
+  std::string str() const;
+
+private:
+  static Type mk(TypeKind K) {
+    Type T;
+    T.Kind = K;
+    return T;
+  }
+
+  TypeKind Kind = TypeKind::Error;
+  Shape Shp;
+  int Dim = 0;
+  int Diff = 0;
+  int SeqLen = 0;
+  std::shared_ptr<Type> Elem;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_FRONTEND_TYPES_H

@@ -1,0 +1,219 @@
+//===--- image/image.cpp --------------------------------------------------===//
+
+#include "image/image.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+namespace {
+
+/// Invert a d x d row-major matrix for d in {1,2,3}.
+std::vector<double> invertSmall(int D, const std::vector<double> &M) {
+  std::vector<double> Out(static_cast<size_t>(D * D), 0.0);
+  if (D == 1) {
+    Out[0] = 1.0 / M[0];
+    return Out;
+  }
+  if (D == 2) {
+    double Det = M[0] * M[3] - M[1] * M[2];
+    Out[0] = M[3] / Det;
+    Out[1] = -M[1] / Det;
+    Out[2] = -M[2] / Det;
+    Out[3] = M[0] / Det;
+    return Out;
+  }
+  assert(D == 3 && "images are 1-, 2-, or 3-dimensional");
+  Tensor T(Shape{3, 3}, M);
+  Tensor Inv = inverse(T);
+  return Inv.data();
+}
+
+std::vector<double> transposeSmall(int D, const std::vector<double> &M) {
+  std::vector<double> Out(static_cast<size_t>(D * D));
+  for (int I = 0; I < D; ++I)
+    for (int J = 0; J < D; ++J)
+      Out[static_cast<size_t>(J * D + I)] = M[static_cast<size_t>(I * D + J)];
+  return Out;
+}
+
+} // namespace
+
+Image::Image(int Dim, Shape ValueShape, std::vector<int> Sizes)
+    : Dim(Dim), ValShape(std::move(ValueShape)),
+      NComp(ValShape.numComponents()), Sizes(std::move(Sizes)) {
+  assert(Dim >= 1 && Dim <= 3 && "images are 1-, 2-, or 3-dimensional");
+  assert(static_cast<int>(this->Sizes.size()) == Dim &&
+         "one size per spatial axis");
+  size_t N = static_cast<size_t>(NComp);
+  for (int S : this->Sizes) {
+    assert(S >= 1);
+    N *= static_cast<size_t>(S);
+  }
+  Data.assign(N, 0.0);
+  // Identity orientation by default.
+  std::vector<double> Id(static_cast<size_t>(Dim * Dim), 0.0);
+  for (int I = 0; I < Dim; ++I)
+    Id[static_cast<size_t>(I * Dim + I)] = 1.0;
+  setOrientation(std::move(Id), std::vector<double>(Dim, 0.0));
+}
+
+size_t Image::numSamples() const {
+  size_t N = 1;
+  for (int S : Sizes)
+    N *= static_cast<size_t>(S);
+  return N;
+}
+
+void Image::setOrientation(std::vector<double> DirIn,
+                           std::vector<double> OriginIn) {
+  assert(static_cast<int>(DirIn.size()) == Dim * Dim);
+  assert(static_cast<int>(OriginIn.size()) == Dim);
+  Dir = std::move(DirIn);
+  Origin = std::move(OriginIn);
+  InvDir = invertSmall(Dim, Dir);
+  InvDirT = transposeSmall(Dim, InvDir);
+}
+
+void Image::setSpacing(const std::vector<double> &Spacing) {
+  assert(static_cast<int>(Spacing.size()) == Dim);
+  std::vector<double> D(static_cast<size_t>(Dim * Dim), 0.0);
+  for (int I = 0; I < Dim; ++I)
+    D[static_cast<size_t>(I * Dim + I)] = Spacing[static_cast<size_t>(I)];
+  setOrientation(std::move(D), std::vector<double>(Dim, 0.0));
+}
+
+void Image::indexToWorld(const double *Idx, double *World) const {
+  for (int R = 0; R < Dim; ++R) {
+    double Acc = Origin[static_cast<size_t>(R)];
+    for (int C = 0; C < Dim; ++C)
+      Acc += Dir[static_cast<size_t>(R * Dim + C)] * Idx[C];
+    World[R] = Acc;
+  }
+}
+
+void Image::worldToIndex(const double *World, double *Idx) const {
+  double Tmp[3];
+  for (int I = 0; I < Dim; ++I)
+    Tmp[I] = World[I] - Origin[static_cast<size_t>(I)];
+  for (int R = 0; R < Dim; ++R) {
+    double Acc = 0.0;
+    for (int C = 0; C < Dim; ++C)
+      Acc += InvDir[static_cast<size_t>(R * Dim + C)] * Tmp[C];
+    Idx[R] = Acc;
+  }
+}
+
+double Image::sample(const int *Idx, int C) const {
+  size_t Flat = 0, Stride = 1;
+  for (int A = 0; A < Dim; ++A) {
+    int I = Idx[A];
+    int Sz = Sizes[static_cast<size_t>(A)];
+    I = I < 0 ? 0 : (I >= Sz ? Sz - 1 : I);
+    Flat += static_cast<size_t>(I) * Stride;
+    Stride *= static_cast<size_t>(Sz);
+  }
+  return Data[Flat * static_cast<size_t>(NComp) + static_cast<size_t>(C)];
+}
+
+void Image::setSample(const int *Idx, int C, double V) {
+  size_t Flat = 0, Stride = 1;
+  for (int A = 0; A < Dim; ++A) {
+    assert(Idx[A] >= 0 && Idx[A] < Sizes[static_cast<size_t>(A)]);
+    Flat += static_cast<size_t>(Idx[A]) * Stride;
+    Stride *= static_cast<size_t>(Sizes[static_cast<size_t>(A)]);
+  }
+  Data[Flat * static_cast<size_t>(NComp) + static_cast<size_t>(C)] = V;
+}
+
+Tensor Image::tensorAt(const int *Idx) const {
+  Tensor T{ValShape};
+  for (int C = 0; C < NComp; ++C)
+    T[C] = sample(Idx, C);
+  return T;
+}
+
+bool Image::insideSupport(const double *Idx, int Support) const {
+  // The convolution at fractional position n + f (f in [0,1)) touches
+  // samples n + 1 - s ... n + s; all must lie in [0, size-1].
+  for (int A = 0; A < Dim; ++A) {
+    double X = Idx[A];
+    int N = static_cast<int>(std::floor(X));
+    if (N + 1 - Support < 0 ||
+        N + Support > Sizes[static_cast<size_t>(A)] - 1)
+      return false;
+  }
+  return true;
+}
+
+Result<Image> Image::fromNrrd(const Nrrd &N, int ExpectedDim,
+                              const Shape &ExpectedShape) {
+  using RI = Result<Image>;
+  int NComp = ExpectedShape.numComponents();
+  int WantAxes = ExpectedDim + (ExpectedShape.isScalar() ? 0 : 1);
+  if (N.dimension() != WantAxes)
+    return RI::error(strf("NRRD has ", N.dimension(),
+                          " axes but the image type needs ", WantAxes));
+  int AxisBase = ExpectedShape.isScalar() ? 0 : 1;
+  if (!ExpectedShape.isScalar() && N.Sizes[0] != NComp)
+    return RI::error(strf("NRRD component axis has ", N.Sizes[0],
+                          " samples but the image type needs ", NComp));
+  std::vector<int> Sizes;
+  for (int A = 0; A < ExpectedDim; ++A)
+    Sizes.push_back(N.Sizes[static_cast<size_t>(A + AxisBase)]);
+
+  Image Img(ExpectedDim, ExpectedShape, Sizes);
+  // Copy samples: NRRD layout is already component-fastest / x-next.
+  size_t Total = N.numSamples();
+  if (Total != Img.numSamples() * static_cast<size_t>(NComp))
+    return RI::error("NRRD sample count mismatch");
+  for (size_t I = 0; I < Total; ++I)
+    Img.Data[I] = N.sampleAsDouble(I);
+
+  // Orientation: use space directions when present and complete.
+  if (N.SpaceDim == ExpectedDim &&
+      static_cast<int>(N.SpaceDirections.size()) == ExpectedDim) {
+    std::vector<double> Dir(static_cast<size_t>(ExpectedDim * ExpectedDim),
+                            0.0);
+    for (int C = 0; C < ExpectedDim; ++C) {
+      const std::vector<double> &Col =
+          N.SpaceDirections[static_cast<size_t>(C)];
+      if (static_cast<int>(Col.size()) != ExpectedDim)
+        return RI::error("space direction dimension mismatch");
+      for (int R = 0; R < ExpectedDim; ++R)
+        Dir[static_cast<size_t>(R * ExpectedDim + C)] =
+            Col[static_cast<size_t>(R)];
+    }
+    std::vector<double> Origin(static_cast<size_t>(ExpectedDim), 0.0);
+    if (static_cast<int>(N.SpaceOrigin.size()) == ExpectedDim)
+      Origin = N.SpaceOrigin;
+    Img.setOrientation(std::move(Dir), std::move(Origin));
+  }
+  return Img;
+}
+
+Nrrd Image::toNrrd(NrrdType Type) const {
+  Nrrd N;
+  N.Type = Type;
+  if (!ValShape.isScalar())
+    N.Sizes.push_back(NComp);
+  for (int S : Sizes)
+    N.Sizes.push_back(S);
+  N.SpaceDim = Dim;
+  for (int C = 0; C < Dim; ++C) {
+    std::vector<double> Col(static_cast<size_t>(Dim));
+    for (int R = 0; R < Dim; ++R)
+      Col[static_cast<size_t>(R)] = Dir[static_cast<size_t>(R * Dim + C)];
+    N.SpaceDirections.push_back(std::move(Col));
+  }
+  N.SpaceOrigin = Origin;
+  N.allocate();
+  for (size_t I = 0; I < Data.size(); ++I)
+    N.setSampleFromDouble(I, Data[I]);
+  return N;
+}
+
+} // namespace diderot

@@ -1,0 +1,126 @@
+//===--- image/image.h - oriented tensor-valued sample grids --------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The image abstraction of Section 2/5.3: "Measured image data is discretely
+/// sampled on a regular grid ... but the underlying objects being scanned
+/// exist in a continuous space, which we call world space. ... An image
+/// dataset comes with orientation information that can be represented as a
+/// transform M mapping from position in the image's index space to position
+/// in world space."
+///
+/// An Image is a d-dimensional grid (d in {1,2,3}) of tensor-valued samples
+/// plus the affine transform M (direction matrix + origin). Probing machinery
+/// needs M^{-1} (to take world positions to index space) and M^{-T} (to take
+/// index-space gradients back to world space, gradients being covariant);
+/// both are precomputed here.
+///
+/// Sample storage matches NRRD: tensor components form the fastest axis,
+/// then the spatial axes, x fastest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_IMAGE_IMAGE_H
+#define DIDEROT_IMAGE_IMAGE_H
+
+#include <vector>
+
+#include "nrrd/nrrd.h"
+#include "support/result.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace diderot {
+
+/// A d-dimensional, tensor-valued, oriented image.
+class Image {
+public:
+  Image() = default;
+
+  /// Create a zero-filled image. \p Sizes has d entries (x fastest). The
+  /// orientation defaults to the identity (index space == world space).
+  Image(int Dim, Shape ValueShape, std::vector<int> Sizes);
+
+  int dim() const { return Dim; }
+  const Shape &valueShape() const { return ValShape; }
+  const std::vector<int> &sizes() const { return Sizes; }
+  int size(int Axis) const { return Sizes[static_cast<size_t>(Axis)]; }
+  /// Components per sample.
+  int numComponents() const { return NComp; }
+  size_t numSamples() const;
+
+  //===--------------------------------------------------------------------===//
+  // Orientation
+  //===--------------------------------------------------------------------===//
+
+  /// Set the index->world transform: \p Dir is d x d row-major whose column
+  /// j is the world-space step between samples along axis j; \p Origin is
+  /// the world position of index (0,...,0). Also computes the inverse maps.
+  void setOrientation(std::vector<double> Dir, std::vector<double> Origin);
+
+  /// Convenience: axis-aligned spacing along each axis with origin at 0.
+  void setSpacing(const std::vector<double> &Spacing);
+
+  const std::vector<double> &dirMatrix() const { return Dir; }
+  const std::vector<double> &origin() const { return Origin; }
+  /// Row-major d x d inverse of the direction matrix.
+  const std::vector<double> &worldToIndexMatrix() const { return InvDir; }
+  /// Row-major d x d M^{-T}: maps index-space gradients to world space.
+  const std::vector<double> &gradientTransform() const { return InvDirT; }
+
+  /// Map an index-space position to world space (d entries each).
+  void indexToWorld(const double *Idx, double *World) const;
+  /// Map a world-space position to (continuous) index space.
+  void worldToIndex(const double *World, double *Idx) const;
+
+  //===--------------------------------------------------------------------===//
+  // Samples
+  //===--------------------------------------------------------------------===//
+
+  /// Flat data, component fastest then x, y, z.
+  const std::vector<double> &data() const { return Data; }
+  std::vector<double> &data() { return Data; }
+
+  /// Component \p C of the sample at integer coordinates \p Idx (d entries);
+  /// coordinates are clamped to the grid.
+  double sample(const int *Idx, int C) const;
+  /// Set component \p C of the sample at \p Idx (no clamping; must be valid).
+  void setSample(const int *Idx, int C, double V);
+  /// The full tensor at \p Idx.
+  Tensor tensorAt(const int *Idx) const;
+
+  /// True when every integer coordinate n with |n - idx| <= s-1 ... s lies on
+  /// the grid; i.e. the separable support of a kernel with radius \p Support
+  /// centered at continuous index-space position \p Idx is fully inside.
+  /// This is the semantics of Diderot's `inside(x, F)`.
+  bool insideSupport(const double *Idx, int Support) const;
+
+  //===--------------------------------------------------------------------===//
+  // NRRD conversion
+  //===--------------------------------------------------------------------===//
+
+  /// Build an image from a NRRD. \p ExpectedDim / \p ExpectedShape come from
+  /// the Diderot-level image type (`image(d)[s]`); the NRRD must match: its
+  /// dimension must be d (scalar values) or d+1 with leading component axes
+  /// matching the shape. Orientation metadata is honored when present.
+  static Result<Image> fromNrrd(const Nrrd &N, int ExpectedDim,
+                                const Shape &ExpectedShape);
+
+  /// Serialize to a NRRD with the given sample type.
+  Nrrd toNrrd(NrrdType Type = NrrdType::Double) const;
+
+private:
+  int Dim = 0;
+  Shape ValShape;
+  int NComp = 1;
+  std::vector<int> Sizes;
+  std::vector<double> Dir, Origin, InvDir, InvDirT;
+  std::vector<double> Data;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_IMAGE_IMAGE_H

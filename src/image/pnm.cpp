@@ -1,0 +1,57 @@
+//===--- image/pnm.cpp -----------------------------------------------------===//
+
+#include "image/pnm.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+namespace {
+
+unsigned char quantize(double V, double Lo, double Hi) {
+  double T = (V - Lo) / (Hi - Lo);
+  T = std::clamp(T, 0.0, 1.0);
+  return static_cast<unsigned char>(T * 255.0 + 0.5);
+}
+
+Status writePnm(const std::string &Path, const char *Magic, int W, int H,
+                int Comps, const std::vector<double> &Pix, double Lo,
+                double Hi) {
+  if (static_cast<size_t>(W) * static_cast<size_t>(H) *
+          static_cast<size_t>(Comps) !=
+      Pix.size())
+    return Status::error(strf("pixel count mismatch: ", Pix.size(), " for ",
+                              W, "x", H, "x", Comps));
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return Status::error(strf("cannot open '", Path, "' for writing"));
+  Out << Magic << "\n" << W << " " << H << "\n255\n";
+  std::vector<unsigned char> Row(static_cast<size_t>(W * Comps));
+  for (int Y = 0; Y < H; ++Y) {
+    for (int X = 0; X < W * Comps; ++X)
+      Row[static_cast<size_t>(X)] =
+          quantize(Pix[static_cast<size_t>(Y * W * Comps + X)], Lo, Hi);
+    Out.write(reinterpret_cast<const char *>(Row.data()),
+              static_cast<std::streamsize>(Row.size()));
+  }
+  if (!Out)
+    return Status::error(strf("write to '", Path, "' failed"));
+  return Status::ok();
+}
+
+} // namespace
+
+Status writePgm(const std::string &Path, int W, int H,
+                const std::vector<double> &Pix, double Lo, double Hi) {
+  return writePnm(Path, "P5", W, H, 1, Pix, Lo, Hi);
+}
+
+Status writePpm(const std::string &Path, int W, int H,
+                const std::vector<double> &Pix, double Lo, double Hi) {
+  return writePnm(Path, "P6", W, H, 3, Pix, Lo, Hi);
+}
+
+} // namespace diderot

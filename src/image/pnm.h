@@ -1,0 +1,38 @@
+//===--- image/pnm.h - PGM/PPM image writers --------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny writers for the portable graymap/pixmap formats, used by the figure
+/// benchmarks and examples to emit the renderings corresponding to the
+/// paper's Figures 4, 6, and 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_IMAGE_PNM_H
+#define DIDEROT_IMAGE_PNM_H
+
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace diderot {
+
+/// Write \p Pix (row-major, \p W x \p H, values mapped from [\p Lo, \p Hi]
+/// to 0..255) as a binary PGM file.
+Status writePgm(const std::string &Path, int W, int H,
+                const std::vector<double> &Pix, double Lo = 0.0,
+                double Hi = 1.0);
+
+/// Write RGB \p Pix (row-major, 3 doubles per pixel in [\p Lo, \p Hi]) as a
+/// binary PPM file.
+Status writePpm(const std::string &Path, int W, int H,
+                const std::vector<double> &Pix, double Lo = 0.0,
+                double Hi = 1.0);
+
+} // namespace diderot
+
+#endif // DIDEROT_IMAGE_PNM_H

@@ -1,0 +1,51 @@
+//===--- interp/interp.h - the MidIR interpreter engine ---------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct evaluator for MidIR modules. It serves as the reference
+/// semantics for the compiler: unit tests evaluate individual functions, and
+/// the driver can select it as an execution engine (`Engine::Interp`) to run
+/// whole programs without a host C++ compiler. The native engine is
+/// differentially tested against it.
+///
+/// The interpreter always computes in double precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_INTERP_INTERP_H
+#define DIDEROT_INTERP_INTERP_H
+
+#include <memory>
+#include <variant>
+
+#include "image/image.h"
+#include "ir/ir.h"
+#include "runtime/host.h"
+
+namespace diderot::interp {
+
+/// A runtime value: bool, int, tensor (reals are scalar tensors), string, or
+/// an image reference.
+using RtVal = std::variant<std::monostate, bool, int64_t, Tensor, std::string,
+                           std::shared_ptr<const Image>>;
+
+/// Result of evaluating a function to an Exit.
+struct CallResult {
+  ir::ExitAttr::Kind Kind = ir::ExitAttr::Continue;
+  std::vector<RtVal> Results;
+};
+
+/// Evaluate \p F (at MidIR level) on \p Args. \p Globals backs GlobalGet.
+Result<CallResult> evalFunction(const ir::Function &F,
+                                const std::vector<RtVal> &Args,
+                                const std::vector<RtVal> &Globals);
+
+/// Create an interpreter-backed instance of \p M (which must be at MidIR).
+Result<std::unique_ptr<rt::ProgramInstance>> makeInstance(ir::Module M);
+
+} // namespace diderot::interp
+
+#endif // DIDEROT_INTERP_INTERP_H

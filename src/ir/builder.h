@@ -1,0 +1,161 @@
+//===--- ir/builder.h - IR construction helper ------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder for constructing structured SSA functions. Regions are
+/// built on an explicit stack: pushRegion()/popRegion() bracket the bodies
+/// of If instructions, so nested regions are completed before being attached
+/// to their parent (keeping iterator/pointer stability trivial).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_IR_BUILDER_H
+#define DIDEROT_IR_BUILDER_H
+
+#include <cassert>
+
+#include "ir/ir.h"
+
+namespace diderot::ir {
+
+class Builder {
+public:
+  explicit Builder(Function &F) : F(F) { Stack.emplace_back(); }
+
+  Function &function() { return F; }
+
+  /// Add a function parameter of type \p T; returns its value id. Must be
+  /// called before any instruction values are created.
+  ValueId addParam(Type T) {
+    assert(F.numValues() == F.NumParams &&
+           "parameters must be added before instructions");
+    ValueId V = F.newValue(std::move(T));
+    F.NumParams = F.numValues();
+    return V;
+  }
+
+  /// Emit a single-result instruction.
+  ValueId emit(Op O, std::vector<ValueId> Operands, Type ResultTy,
+               Attr A = std::monostate{}, SourceLoc Loc = {}) {
+    Instr I(O);
+    I.Operands = std::move(Operands);
+    I.A = std::move(A);
+    I.Loc = Loc;
+    ValueId R = F.newValue(std::move(ResultTy));
+    I.Results.push_back(R);
+    cur().Body.push_back(std::move(I));
+    return R;
+  }
+
+  /// Emit an instruction with \p ResultTys.size() results.
+  std::vector<ValueId> emitMulti(Op O, std::vector<ValueId> Operands,
+                                 std::vector<Type> ResultTys,
+                                 Attr A = std::monostate{}) {
+    Instr I(O);
+    I.Operands = std::move(Operands);
+    I.A = std::move(A);
+    std::vector<ValueId> Rs;
+    for (Type &T : ResultTys)
+      Rs.push_back(F.newValue(std::move(T)));
+    I.Results = Rs;
+    cur().Body.push_back(std::move(I));
+    return Rs;
+  }
+
+  /// Emit an instruction with no results (e.g. terminators).
+  void emitVoid(Op O, std::vector<ValueId> Operands,
+                Attr A = std::monostate{}) {
+    Instr I(O);
+    I.Operands = std::move(Operands);
+    I.A = std::move(A);
+    cur().Body.push_back(std::move(I));
+  }
+
+  // Convenience constant emitters.
+  ValueId constBool(bool B) {
+    return emit(Op::ConstBool, {}, Type::boolean(), B);
+  }
+  ValueId constInt(int64_t V) {
+    return emit(Op::ConstInt, {}, Type::integer(), V);
+  }
+  ValueId constReal(double V) {
+    return emit(Op::ConstReal, {}, Type::real(), V);
+  }
+  ValueId constString(std::string S) {
+    return emit(Op::ConstString, {}, Type::string(), std::move(S));
+  }
+  ValueId constTensor(Tensor T) {
+    Type Ty = Type::tensor(T.shape());
+    if (T.isScalar())
+      return constReal(T.asScalar());
+    return emit(Op::ConstTensor, {}, std::move(Ty), std::move(T));
+  }
+
+  /// Begin building a nested region (an If branch).
+  void pushRegion() { Stack.emplace_back(); }
+  /// Finish the innermost nested region and return it.
+  Region popRegion() {
+    assert(Stack.size() > 1 && "cannot pop the function body region");
+    Region R = std::move(Stack.back());
+    Stack.pop_back();
+    // A region must end in a terminator; callers emit Yield/Exit themselves.
+    assert(R.hasTerminator() && "popped region lacks a terminator");
+    return R;
+  }
+
+  /// Finish the innermost region *without* requiring a terminator; used when
+  /// the caller computes the terminator after seeing both branches (e.g. the
+  /// merge set of an if statement).
+  Region popRegionUnchecked() {
+    assert(Stack.size() > 1 && "cannot pop the function body region");
+    Region R = std::move(Stack.back());
+    Stack.pop_back();
+    return R;
+  }
+
+  /// Emit an If with prebuilt branch regions; returns the result ids.
+  std::vector<ValueId> emitIf(ValueId Cond, Region Then, Region Else,
+                              std::vector<Type> ResultTys) {
+    Instr I(Op::If);
+    I.Operands.push_back(Cond);
+    I.Regions.push_back(std::move(Then));
+    I.Regions.push_back(std::move(Else));
+    std::vector<ValueId> Rs;
+    for (Type &T : ResultTys)
+      Rs.push_back(F.newValue(std::move(T)));
+    I.Results = Rs;
+    cur().Body.push_back(std::move(I));
+    return Rs;
+  }
+
+  void yield(std::vector<ValueId> Vals) {
+    emitVoid(Op::Yield, std::move(Vals));
+  }
+  void exit(ExitAttr::Kind K, std::vector<ValueId> Vals) {
+    emitVoid(Op::Exit, std::move(Vals), ExitAttr{K});
+  }
+
+  /// True when the current region already ends in a terminator (i.e. the
+  /// remaining source statements are unreachable).
+  bool terminated() const { return Stack.back().hasTerminator(); }
+
+  /// Finish the function: moves the outermost region into F.Body.
+  void finish() {
+    assert(Stack.size() == 1 && "unbalanced pushRegion/popRegion");
+    F.Body = std::move(Stack.back());
+    Stack.clear();
+  }
+
+private:
+  Region &cur() { return Stack.back(); }
+
+  Function &F;
+  std::vector<Region> Stack;
+};
+
+} // namespace diderot::ir
+
+#endif // DIDEROT_IR_BUILDER_H

@@ -1,0 +1,506 @@
+//===--- ir/ir.cpp ---------------------------------------------------------===//
+
+#include "ir/ir.h"
+
+#include <set>
+
+#include "support/strings.h"
+
+namespace diderot::ir {
+
+const char *opName(Op O) {
+  switch (O) {
+  case Op::ConstBool:
+    return "const.bool";
+  case Op::ConstInt:
+    return "const.int";
+  case Op::ConstReal:
+    return "const.real";
+  case Op::ConstString:
+    return "const.string";
+  case Op::ConstTensor:
+    return "const.tensor";
+  case Op::GlobalGet:
+    return "global.get";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Div:
+    return "div";
+  case Op::Mod:
+    return "mod";
+  case Op::Neg:
+    return "neg";
+  case Op::Min:
+    return "min";
+  case Op::Max:
+    return "max";
+  case Op::Scale:
+    return "scale";
+  case Op::DivScale:
+    return "divscale";
+  case Op::Pow:
+    return "pow";
+  case Op::Dot:
+    return "dot";
+  case Op::Cross:
+    return "cross";
+  case Op::Outer:
+    return "outer";
+  case Op::Norm:
+    return "norm";
+  case Op::Normalize:
+    return "normalize";
+  case Op::Trace:
+    return "trace";
+  case Op::Det:
+    return "det";
+  case Op::Inverse:
+    return "inverse";
+  case Op::Transpose:
+    return "transpose";
+  case Op::Modulate:
+    return "modulate";
+  case Op::Lerp:
+    return "lerp";
+  case Op::TensorCons:
+    return "tensor.cons";
+  case Op::TensorIndex:
+    return "tensor.index";
+  case Op::Evals:
+    return "evals";
+  case Op::Evecs:
+    return "evecs";
+  case Op::SeqCons:
+    return "seq.cons";
+  case Op::SeqIndex:
+    return "seq.index";
+  case Op::Sqrt:
+    return "sqrt";
+  case Op::Sin:
+    return "sin";
+  case Op::Cos:
+    return "cos";
+  case Op::Tan:
+    return "tan";
+  case Op::Asin:
+    return "asin";
+  case Op::Acos:
+    return "acos";
+  case Op::Atan:
+    return "atan";
+  case Op::Atan2:
+    return "atan2";
+  case Op::Exp:
+    return "exp";
+  case Op::Log:
+    return "log";
+  case Op::Floor:
+    return "floor";
+  case Op::Ceil:
+    return "ceil";
+  case Op::Round:
+    return "round";
+  case Op::Trunc:
+    return "trunc";
+  case Op::Abs:
+    return "abs";
+  case Op::Clamp:
+    return "clamp";
+  case Op::IntToReal:
+    return "int.to.real";
+  case Op::RealToInt:
+    return "real.to.int";
+  case Op::Lt:
+    return "lt";
+  case Op::Le:
+    return "le";
+  case Op::Gt:
+    return "gt";
+  case Op::Ge:
+    return "ge";
+  case Op::Eq:
+    return "eq";
+  case Op::Ne:
+    return "ne";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Not:
+    return "not";
+  case Op::Select:
+    return "select";
+  case Op::LoadImage:
+    return "image.load";
+  case Op::Convolve:
+    return "field.convolve";
+  case Op::FieldAdd:
+    return "field.add";
+  case Op::FieldSub:
+    return "field.sub";
+  case Op::FieldNeg:
+    return "field.neg";
+  case Op::FieldScale:
+    return "field.scale";
+  case Op::FieldDivScale:
+    return "field.divscale";
+  case Op::FieldDiff:
+    return "field.diff";
+  case Op::FieldDivergence:
+    return "field.div";
+  case Op::FieldCurl:
+    return "field.curl";
+  case Op::Probe:
+    return "field.probe";
+  case Op::FieldInside:
+    return "field.inside";
+  case Op::WorldToImage:
+    return "world.to.image";
+  case Op::ImageGradXform:
+    return "image.gradxform";
+  case Op::InsideTest:
+    return "inside.test";
+  case Op::VoxelLoad:
+    return "voxel.load";
+  case Op::KernelWeight:
+    return "kernel.weight";
+  case Op::PolyEval:
+    return "poly.eval";
+  case Op::ImgMeta:
+    return "img.meta";
+  case Op::EigenVals:
+    return "eigen.vals";
+  case Op::EigenVecs:
+    return "eigen.vecs";
+  case Op::If:
+    return "if";
+  case Op::Yield:
+    return "yield";
+  case Op::Exit:
+    return "exit";
+  }
+  return "?";
+}
+
+unsigned opLevels(Op O) {
+  switch (O) {
+  case Op::ConstTensor:
+  case Op::Scale:
+  case Op::DivScale:
+  case Op::Dot:
+  case Op::Cross:
+  case Op::Outer:
+  case Op::Norm:
+  case Op::Normalize:
+  case Op::Trace:
+  case Op::Det:
+  case Op::Inverse:
+  case Op::Transpose:
+  case Op::Modulate:
+  case Op::Lerp:
+  case Op::TensorCons:
+  case Op::TensorIndex:
+  case Op::Evals:
+  case Op::Evecs:
+  case Op::SeqCons:
+  case Op::SeqIndex:
+    return High | Mid;
+  case Op::Convolve:
+  case Op::FieldAdd:
+  case Op::FieldSub:
+  case Op::FieldNeg:
+  case Op::FieldScale:
+  case Op::FieldDivScale:
+  case Op::FieldDiff:
+  case Op::FieldDivergence:
+  case Op::FieldCurl:
+  case Op::Probe:
+  case Op::FieldInside:
+    return High;
+  case Op::WorldToImage:
+  case Op::ImageGradXform:
+  case Op::KernelWeight:
+    return Mid;
+  case Op::InsideTest:
+  case Op::VoxelLoad:
+  case Op::Select:
+    return Mid | Low;
+  case Op::PolyEval:
+  case Op::ImgMeta:
+  case Op::EigenVals:
+  case Op::EigenVecs:
+    return Low;
+  default:
+    return High | Mid | Low;
+  }
+}
+
+std::string attrStr(const Attr &A) {
+  struct Visitor {
+    std::string operator()(std::monostate) { return ""; }
+    std::string operator()(bool B) { return B ? "true" : "false"; }
+    std::string operator()(int64_t I) { return strf(I); }
+    std::string operator()(double D) { return formatReal(D); }
+    std::string operator()(const std::string &S) { return strf("\"", S, "\""); }
+    std::string operator()(const Tensor &T) { return T.str(); }
+    std::string operator()(const std::vector<int> &V) {
+      std::string S = "[";
+      for (size_t I = 0; I < V.size(); ++I)
+        S += strf(I ? "," : "", V[I]);
+      return S + "]";
+    }
+    std::string operator()(const std::vector<double> &V) {
+      std::string S = "[";
+      for (size_t I = 0; I < V.size(); ++I)
+        S += strf(I ? "," : "", formatReal(V[I]));
+      return S + "]";
+    }
+    std::string operator()(const ConvolveAttr &C) {
+      std::string S = C.Kernel;
+      for (int I = 0; I < C.Deriv; ++I)
+        S += "'";
+      return S;
+    }
+    std::string operator()(const KernelWeightAttr &K) {
+      return strf(K.Kernel, "/d", K.Deriv, "/tap", K.Tap);
+    }
+    std::string operator()(const VoxelAttr &V) {
+      std::string S = "off=[";
+      for (size_t I = 0; I < V.Offsets.size(); ++I)
+        S += strf(I ? "," : "", V.Offsets[I]);
+      return S + strf("] comp=", V.Comp);
+    }
+    std::string operator()(const MetaAttr &M) {
+      const char *K = M.K == MetaAttr::W2I      ? "w2i"
+                      : M.K == MetaAttr::Origin ? "origin"
+                      : M.K == MetaAttr::GradXf ? "gradxf"
+                                                : "size";
+      return strf(K, "(", M.R, ",", M.C, ")");
+    }
+    std::string operator()(const ExitAttr &E) {
+      return E.K == ExitAttr::Continue    ? "continue"
+             : E.K == ExitAttr::Stabilize ? "stabilize"
+                                          : "die";
+    }
+  };
+  return std::visit(Visitor{}, A);
+}
+
+namespace {
+
+void printRegion(const Region &R, int Indent, std::string &Out) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  for (const Instr &I : R.Body) {
+    Out += Pad;
+    for (size_t K = 0; K < I.Results.size(); ++K)
+      Out += strf(K ? ", " : "", "v", I.Results[K]);
+    if (!I.Results.empty())
+      Out += " = ";
+    Out += opName(I.Opcode);
+    std::string AS = attrStr(I.A);
+    if (!AS.empty())
+      Out += strf("[", AS, "]");
+    for (size_t K = 0; K < I.Operands.size(); ++K)
+      Out += strf(K ? ", v" : " v", I.Operands[K]);
+    if (!I.Regions.empty()) {
+      Out += " {\n";
+      printRegion(I.Regions[0], Indent + 1, Out);
+      Out += Pad + "}";
+      if (I.Regions.size() > 1) {
+        Out += " else {\n";
+        printRegion(I.Regions[1], Indent + 1, Out);
+        Out += Pad + "}";
+      }
+    }
+    Out += "\n";
+  }
+}
+
+} // namespace
+
+std::string print(const Function &F) {
+  std::string Out = strf("func @", F.Name, "(");
+  for (int I = 0; I < F.NumParams; ++I)
+    Out += strf(I ? ", v" : "v", I, ": ",
+                F.ValueTypes[static_cast<size_t>(I)].str());
+  Out += ") -> (";
+  for (size_t I = 0; I < F.ResultTypes.size(); ++I)
+    Out += strf(I ? ", " : "", F.ResultTypes[I].str());
+  Out += ") {\n";
+  printRegion(F.Body, 1, Out);
+  Out += "}\n";
+  return Out;
+}
+
+std::string print(const Module &M) {
+  std::string Out = strf("module @", M.Name, " level=",
+                         M.CurLevel == High  ? "high"
+                         : M.CurLevel == Mid ? "mid"
+                                             : "low",
+                         "\n");
+  for (size_t I = 0; I < M.Globals.size(); ++I)
+    Out += strf("global ", I, ": ", M.Globals[I].IsInput ? "input " : "",
+                M.Globals[I].Ty.str(), " ", M.Globals[I].Name, "\n");
+  for (const Function &F : M.InputDefaults)
+    Out += print(F);
+  Out += print(M.GlobalInit);
+  Out += print(M.StrandInit);
+  Out += print(M.Update);
+  if (M.hasStabilize())
+    Out += print(M.Stabilize);
+  for (size_t I = 0; I < M.IterLo.size(); ++I) {
+    Out += print(M.IterLo[I]);
+    Out += print(M.IterHi[I]);
+  }
+  Out += print(M.CreateArgs);
+  return Out;
+}
+
+namespace {
+
+int countOpsRegion(const Region &R, Op O) {
+  int N = 0;
+  for (const Instr &I : R.Body) {
+    if (I.Opcode == O)
+      ++N;
+    for (const Region &Sub : I.Regions)
+      N += countOpsRegion(Sub, O);
+  }
+  return N;
+}
+
+int countAllRegion(const Region &R) {
+  int N = 0;
+  for (const Instr &I : R.Body) {
+    ++N;
+    for (const Region &Sub : I.Regions)
+      N += countAllRegion(Sub);
+  }
+  return N;
+}
+
+struct Verifier {
+  const Function &F;
+  unsigned Lvl;
+  std::string Err;
+  std::set<ValueId> Defined;
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = strf("@", F.Name, ": ", Msg);
+    return false;
+  }
+
+  bool checkValue(ValueId V, const char *What) {
+    if (V < 0 || V >= F.numValues())
+      return fail(strf("invalid ", What, " v", V));
+    if (!Defined.count(V))
+      return fail(strf(What, " v", V, " used before definition"));
+    return true;
+  }
+
+  bool run() {
+    for (int I = 0; I < F.NumParams; ++I)
+      Defined.insert(I);
+    return checkRegion(F.Body, 0);
+  }
+
+  bool checkRegion(const Region &R, size_t NumIfResults) {
+    if (R.Body.empty())
+      return fail("empty region");
+    for (size_t I = 0; I < R.Body.size(); ++I) {
+      const Instr &In = R.Body[I];
+      bool IsLast = I + 1 == R.Body.size();
+      if (isTerminator(In.Opcode) != IsLast)
+        return fail(IsLast ? "region does not end in a terminator"
+                           : strf("terminator '", opName(In.Opcode),
+                                  "' in the middle of a region"));
+      if (!(opLevels(In.Opcode) & Lvl))
+        return fail(strf("op '", opName(In.Opcode),
+                         "' is not legal at this IR level"));
+      for (ValueId V : In.Operands)
+        if (!checkValue(V, "operand"))
+          return false;
+      if (In.Opcode == Op::If) {
+        if (In.Regions.size() != 2)
+          return fail("if needs exactly two regions");
+        if (In.Operands.size() != 1)
+          return fail("if takes exactly one condition operand");
+        // Save and restore the scope across each branch: values defined in
+        // one branch are not visible in the other or after the if.
+        for (const Region &Sub : In.Regions) {
+          std::set<ValueId> Saved = Defined;
+          if (!checkRegion(Sub, In.Results.size()))
+            return false;
+          Defined = std::move(Saved);
+        }
+      } else if (!In.Regions.empty()) {
+        return fail(strf("op '", opName(In.Opcode), "' cannot have regions"));
+      }
+      if (In.Opcode == Op::Yield) {
+        if (In.Operands.size() != NumIfResults)
+          return fail(strf("yield arity ", In.Operands.size(),
+                           " does not match if results ", NumIfResults));
+      }
+      if (In.Opcode == Op::Exit) {
+        if (!std::holds_alternative<ExitAttr>(In.A))
+          return fail("exit requires an ExitAttr");
+        if (In.Operands.size() != F.ResultTypes.size())
+          return fail(strf("exit arity ", In.Operands.size(),
+                           " does not match function results ",
+                           F.ResultTypes.size()));
+      }
+      for (ValueId V : In.Results) {
+        if (V < 0 || V >= F.numValues())
+          return fail(strf("invalid result v", V));
+        if (!Defined.insert(V).second)
+          return fail(strf("value v", V, " defined twice"));
+      }
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+int countOps(const Function &F, Op O) { return countOpsRegion(F.Body, O); }
+int countAllOps(const Function &F) { return countAllRegion(F.Body); }
+
+std::string verify(const Function &F, unsigned Lvl) {
+  Verifier V{F, Lvl, {}, {}};
+  V.run();
+  return V.Err;
+}
+
+std::string verify(const Module &M) {
+  for (const Function *F :
+       {&M.GlobalInit, &M.StrandInit, &M.Update, &M.CreateArgs}) {
+    std::string E = verify(*F, M.CurLevel);
+    if (!E.empty())
+      return E;
+  }
+  if (M.hasStabilize()) {
+    std::string E = verify(M.Stabilize, M.CurLevel);
+    if (!E.empty())
+      return E;
+  }
+  for (const Function &F : M.InputDefaults) {
+    std::string E = verify(F, M.CurLevel);
+    if (!E.empty())
+      return E;
+  }
+  for (size_t I = 0; I < M.IterLo.size(); ++I) {
+    std::string E = verify(M.IterLo[I], M.CurLevel);
+    if (E.empty())
+      E = verify(M.IterHi[I], M.CurLevel);
+    if (!E.empty())
+      return E;
+  }
+  return "";
+}
+
+} // namespace diderot::ir

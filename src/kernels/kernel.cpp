@@ -1,0 +1,133 @@
+//===--- kernels/kernel.cpp -----------------------------------------------===//
+
+#include "kernels/kernel.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace diderot {
+
+Kernel::Kernel(std::string Name, int Continuity,
+               std::vector<Polynomial> HalfPieces)
+    : Name(std::move(Name)), Support(static_cast<int>(HalfPieces.size())),
+      Continuity(Continuity) {
+  assert(Support >= 1 && "kernel must have at least one piece");
+  Pieces.resize(static_cast<size_t>(2 * Support));
+  for (int J = 0; J < Support; ++J) {
+    // Positive side, x in [J, J+1): t = x - J, so h(x) = Half_J(t + J).
+    Pieces[static_cast<size_t>(J + Support)] =
+        HalfPieces[static_cast<size_t>(J)].composeLinear(1.0, J);
+    // Negative side, x in [-J-1, -J): |x| = -x = -(t - J - 1) = (J+1) - t,
+    // in [J, J+1], so h(x) = Half_J((J+1) - t) by even symmetry.
+    Pieces[static_cast<size_t>(Support - J - 1)] =
+        HalfPieces[static_cast<size_t>(J)].composeLinear(-1.0, J + 1);
+  }
+}
+
+double Kernel::eval(double X) const {
+  if (X <= -Support || X >= Support)
+    return 0.0;
+  int J = static_cast<int>(std::floor(X));
+  return piece(J).eval(X - J);
+}
+
+double Kernel::evalDeriv(double X, int Level) const {
+  if (Level == 0)
+    return eval(X);
+  if (X <= -Support || X >= Support)
+    return 0.0;
+  int J = static_cast<int>(std::floor(X));
+  Polynomial P = piece(J);
+  for (int I = 0; I < Level; ++I)
+    P = P.derivative();
+  return P.eval(X - J);
+}
+
+Kernel Kernel::derivative() const {
+  Kernel Out;
+  Out.Name = Name;
+  Out.Support = Support;
+  Out.Continuity = Continuity > 0 ? Continuity - 1 : -1;
+  Out.DerivLevel = DerivLevel + 1;
+  Out.Pieces.reserve(Pieces.size());
+  for (const Polynomial &P : Pieces)
+    Out.Pieces.push_back(P.derivative());
+  return Out;
+}
+
+const Polynomial &Kernel::piece(int J) const {
+  assert(J >= -Support && J < Support && "piece index outside support");
+  return Pieces[static_cast<size_t>(J + Support)];
+}
+
+double Kernel::integral() const {
+  double Sum = 0.0;
+  for (const Polynomial &P : Pieces) {
+    Polynomial A = P.antiderivative();
+    Sum += A.eval(1.0) - A.eval(0.0);
+  }
+  return Sum;
+}
+
+namespace kernels {
+
+const Kernel &tent() {
+  // h(x) = 1 - x for x in [0, 1).
+  static const Kernel K("tent", 0, {Polynomial({1.0, -1.0})});
+  return K;
+}
+
+const Kernel &ctmr() {
+  // Catmull-Rom: 1 - 5/2 x^2 + 3/2 x^3 on [0,1); 2 - 4x + 5/2 x^2 - 1/2 x^3
+  // on [1,2).
+  static const Kernel K("ctmr", 1,
+                        {Polynomial({1.0, 0.0, -2.5, 1.5}),
+                         Polynomial({2.0, -4.0, 2.5, -0.5})});
+  return K;
+}
+
+const Kernel &bspln3() {
+  // Cubic B-spline: 2/3 - x^2 + x^3/2 on [0,1); (2-x)^3/6 on [1,2).
+  static const Kernel K(
+      "bspln3", 2,
+      {Polynomial({2.0 / 3.0, 0.0, -1.0, 0.5}),
+       (Polynomial({2.0, -1.0}).pow(3)) * (1.0 / 6.0)});
+  return K;
+}
+
+const Kernel &bspln5() {
+  // Quintic B-spline via the truncated-power expansion
+  //   120 h(x) = (3-x)^5 - 6 (2-x)^5 + 15 (1-x)^5   on [0,1)
+  //   120 h(x) = (3-x)^5 - 6 (2-x)^5                on [1,2)
+  //   120 h(x) = (3-x)^5                            on [2,3)
+  static const Kernel K = [] {
+    Polynomial P3 = Polynomial({3.0, -1.0}).pow(5);
+    Polynomial P2 = Polynomial({2.0, -1.0}).pow(5);
+    Polynomial P1 = Polynomial({1.0, -1.0}).pow(5);
+    double Inv = 1.0 / 120.0;
+    return Kernel("bspln5", 4,
+                  {(P3 - P2 * 6.0 + P1 * 15.0) * Inv, (P3 - P2 * 6.0) * Inv,
+                   P3 * Inv});
+  }();
+  return K;
+}
+
+const Kernel *byName(const std::string &Name) {
+  if (Name == "tent")
+    return &tent();
+  if (Name == "ctmr")
+    return &ctmr();
+  if (Name == "bspln3")
+    return &bspln3();
+  if (Name == "bspln5")
+    return &bspln5();
+  return nullptr;
+}
+
+std::vector<std::string> allNames() {
+  return {"tent", "ctmr", "bspln3", "bspln5"};
+}
+
+} // namespace kernels
+} // namespace diderot

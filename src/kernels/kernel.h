@@ -1,0 +1,111 @@
+//===--- kernels/kernel.h - separable reconstruction kernels --------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Piecewise-polynomial reconstruction kernels (Section 2 / 3.1 of the
+/// paper). A kernel of support s is nonzero on (-s, s) and is stored as 2s
+/// polynomial pieces, one per unit interval [j, j+1) for j in [-s, s); each
+/// piece is a polynomial in the local coordinate t = x - j, t in [0,1).
+///
+/// This representation is exactly what probe expansion needs: a separable
+/// convolution sum at fractional position f in [0,1) weighs the sample at
+/// integer offset i in [1-s, s] by h(f - i), and since f - i lies in the unit
+/// interval [-i, -i+1), that weight is piece (-i) evaluated at t = f — a
+/// *statically known* polynomial. The MidIR -> LowIR expansion therefore
+/// emits straight-line Horner code with these coefficients baked in.
+///
+/// Built-in kernels match the paper: `tent` (C0 linear interpolation),
+/// `ctmr` (C1 interpolating Catmull-Rom cubic), `bspln3` (C2 cubic B-spline,
+/// non-interpolating), plus `bspln5` (C4 quintic B-spline) as an extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_KERNELS_KERNEL_H
+#define DIDEROT_KERNELS_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "kernels/polynomial.h"
+
+namespace diderot {
+
+/// A symmetric piecewise-polynomial reconstruction kernel.
+class Kernel {
+public:
+  /// Build a kernel from its positive-half pieces: \p HalfPieces[k] is the
+  /// polynomial giving h(x) for x in [k, k+1); the negative half is derived
+  /// from the even symmetry h(-x) = h(x). \p Continuity is the C^k class.
+  Kernel(std::string Name, int Continuity,
+         std::vector<Polynomial> HalfPieces);
+
+  const std::string &name() const { return Name; }
+  /// Support radius s: the kernel is zero outside (-s, s).
+  int support() const { return Support; }
+  /// Number of continuous derivatives (the k in kernel#k). Derived kernels
+  /// (derivatives) report max(k - levels, -1); -1 means not even C0.
+  int continuity() const { return Continuity; }
+  /// How many times this kernel has been differentiated from its base.
+  int derivLevel() const { return DerivLevel; }
+
+  /// Evaluate h(x) (0 outside the support).
+  double eval(double X) const;
+  /// Evaluate the \p Level -th derivative at \p X without constructing the
+  /// derived kernel.
+  double evalDeriv(double X, int Level) const;
+
+  /// The symbolic derivative kernel h'. Note h' is odd, which the piece
+  /// table already captures (pieces are stored over the full domain).
+  Kernel derivative() const;
+
+  /// The polynomial piece for x in [j, j+1), as a polynomial in t = x - j;
+  /// \p J in [-support, support).
+  const Polynomial &piece(int J) const;
+
+  /// The weight polynomial for integer sample offset \p I in [1-s, s]: the
+  /// polynomial in f (f in [0,1)) giving h(f - I). This is piece(-I).
+  const Polynomial &weightPoly(int I) const { return piece(-I); }
+
+  /// Integral of the kernel over its support (1 for partition-of-unity
+  /// reconstruction kernels, 0 for their derivatives).
+  double integral() const;
+
+  bool operator==(const Kernel &O) const {
+    return Name == O.Name && DerivLevel == O.DerivLevel;
+  }
+
+private:
+  Kernel() = default;
+
+  std::string Name;
+  int Support = 0;
+  int Continuity = 0;
+  int DerivLevel = 0;
+  /// Pieces[j + Support] covers x in [j, j+1), polynomial in t = x - j.
+  std::vector<Polynomial> Pieces;
+};
+
+/// The built-in kernels.
+namespace kernels {
+/// C0 tent: linear interpolation, support 1.
+const Kernel &tent();
+/// C1 interpolating Catmull-Rom cubic spline, support 2.
+const Kernel &ctmr();
+/// C2 (non-interpolating) uniform cubic B-spline basis, support 2.
+const Kernel &bspln3();
+/// C4 quintic B-spline basis, support 3 (extension beyond the paper's list).
+const Kernel &bspln5();
+
+/// Look up a built-in kernel by its Diderot name; nullptr if unknown.
+const Kernel *byName(const std::string &Name);
+
+/// Names of all built-in kernels.
+std::vector<std::string> allNames();
+} // namespace kernels
+
+} // namespace diderot
+
+#endif // DIDEROT_KERNELS_KERNEL_H

@@ -1,0 +1,126 @@
+//===--- kernels/polynomial.cpp -------------------------------------------===//
+
+#include "kernels/polynomial.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+Polynomial::Polynomial(std::vector<double> Coeffs) : Coeffs(std::move(Coeffs)) {
+  trim();
+}
+
+Polynomial Polynomial::constant(double C) {
+  return Polynomial(std::vector<double>{C});
+}
+
+Polynomial Polynomial::x() { return Polynomial(std::vector<double>{0.0, 1.0}); }
+
+double Polynomial::coeff(int I) const {
+  if (I < 0 || I >= static_cast<int>(Coeffs.size()))
+    return 0.0;
+  return Coeffs[static_cast<size_t>(I)];
+}
+
+double Polynomial::eval(double X) const {
+  double Acc = 0.0;
+  for (size_t I = Coeffs.size(); I-- > 0;)
+    Acc = Acc * X + Coeffs[I];
+  return Acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (Coeffs.size() <= 1)
+    return Polynomial();
+  std::vector<double> Out(Coeffs.size() - 1);
+  for (size_t I = 1; I < Coeffs.size(); ++I)
+    Out[I - 1] = Coeffs[I] * static_cast<double>(I);
+  return Polynomial(std::move(Out));
+}
+
+Polynomial Polynomial::antiderivative() const {
+  if (Coeffs.empty())
+    return Polynomial();
+  std::vector<double> Out(Coeffs.size() + 1, 0.0);
+  for (size_t I = 0; I < Coeffs.size(); ++I)
+    Out[I + 1] = Coeffs[I] / static_cast<double>(I + 1);
+  return Polynomial(std::move(Out));
+}
+
+Polynomial Polynomial::composeLinear(double A, double B) const {
+  // Evaluate p at (A x + B) by Horner over polynomial arithmetic.
+  Polynomial Arg(std::vector<double>{B, A});
+  Polynomial Acc;
+  for (size_t I = Coeffs.size(); I-- > 0;)
+    Acc = Acc * Arg + Polynomial::constant(Coeffs[I]);
+  return Acc;
+}
+
+Polynomial Polynomial::operator+(const Polynomial &O) const {
+  std::vector<double> Out(std::max(Coeffs.size(), O.Coeffs.size()), 0.0);
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = coeff(static_cast<int>(I)) + O.coeff(static_cast<int>(I));
+  return Polynomial(std::move(Out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial &O) const {
+  return *this + O * -1.0;
+}
+
+Polynomial Polynomial::operator*(const Polynomial &O) const {
+  if (isZero() || O.isZero())
+    return Polynomial();
+  std::vector<double> Out(Coeffs.size() + O.Coeffs.size() - 1, 0.0);
+  for (size_t I = 0; I < Coeffs.size(); ++I)
+    for (size_t J = 0; J < O.Coeffs.size(); ++J)
+      Out[I + J] += Coeffs[I] * O.Coeffs[J];
+  return Polynomial(std::move(Out));
+}
+
+Polynomial Polynomial::operator*(double S) const {
+  std::vector<double> Out = Coeffs;
+  for (double &C : Out)
+    C *= S;
+  return Polynomial(std::move(Out));
+}
+
+Polynomial Polynomial::pow(unsigned N) const {
+  Polynomial Acc = Polynomial::constant(1.0);
+  for (unsigned I = 0; I < N; ++I)
+    Acc = Acc * *this;
+  return Acc;
+}
+
+std::string Polynomial::str() const {
+  if (isZero())
+    return "0";
+  std::string Out;
+  for (size_t I = 0; I < Coeffs.size(); ++I) {
+    double C = Coeffs[I];
+    if (C == 0.0)
+      continue;
+    if (!Out.empty())
+      Out += C < 0 ? " - " : " + ";
+    else if (C < 0)
+      Out += "-";
+    double A = std::abs(C);
+    if (I == 0)
+      Out += formatReal(A);
+    else {
+      if (A != 1.0)
+        Out += formatReal(A) + "*";
+      Out += (I == 1) ? "x" : strf("x^", I);
+    }
+  }
+  return Out.empty() ? "0" : Out;
+}
+
+void Polynomial::trim() {
+  while (!Coeffs.empty() && Coeffs.back() == 0.0)
+    Coeffs.pop_back();
+}
+
+} // namespace diderot

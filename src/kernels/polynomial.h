@@ -1,0 +1,77 @@
+//===--- kernels/polynomial.h - univariate polynomial algebra -------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense univariate polynomials over double coefficients. Diderot's
+/// reconstruction kernels "are all piecewise polynomial, so it [is]
+/// straightforward to symbolically differentiate them" (Section 5.3); this
+/// class provides that symbolic algebra, and the Horner evaluation scheme the
+/// code generator emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_KERNELS_POLYNOMIAL_H
+#define DIDEROT_KERNELS_POLYNOMIAL_H
+
+#include <string>
+#include <vector>
+
+namespace diderot {
+
+/// A polynomial c0 + c1 x + c2 x^2 + ...; the zero polynomial has no
+/// coefficients.
+class Polynomial {
+public:
+  Polynomial() = default;
+  /// Coefficients in ascending-degree order.
+  explicit Polynomial(std::vector<double> Coeffs);
+
+  /// The constant polynomial \p C.
+  static Polynomial constant(double C);
+  /// The monomial x.
+  static Polynomial x();
+
+  /// Degree; the zero polynomial reports -1.
+  int degree() const { return static_cast<int>(Coeffs.size()) - 1; }
+  bool isZero() const { return Coeffs.empty(); }
+
+  /// Coefficient of x^i (0 beyond the stored degree).
+  double coeff(int I) const;
+  const std::vector<double> &coeffs() const { return Coeffs; }
+
+  /// Horner evaluation at \p X.
+  double eval(double X) const;
+
+  /// d/dx of this polynomial.
+  Polynomial derivative() const;
+  /// Antiderivative with zero constant term.
+  Polynomial antiderivative() const;
+
+  /// The polynomial p(a x + b) (used to re-express kernel pieces in the
+  /// local coordinate of each unit interval).
+  Polynomial composeLinear(double A, double B) const;
+
+  Polynomial operator+(const Polynomial &O) const;
+  Polynomial operator-(const Polynomial &O) const;
+  Polynomial operator*(const Polynomial &O) const;
+  Polynomial operator*(double S) const;
+  /// p^n for n >= 0.
+  Polynomial pow(unsigned N) const;
+
+  bool operator==(const Polynomial &O) const { return Coeffs == O.Coeffs; }
+
+  /// Render as e.g. "1 - 2.5*x^2 + 1.5*x^3".
+  std::string str() const;
+
+private:
+  void trim();
+
+  std::vector<double> Coeffs;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_KERNELS_POLYNOMIAL_H

@@ -1,0 +1,393 @@
+//===--- nrrd/nrrd.cpp ----------------------------------------------------===//
+
+#include "nrrd/nrrd.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+size_t nrrdTypeSize(NrrdType T) {
+  switch (T) {
+  case NrrdType::UChar:
+    return 1;
+  case NrrdType::Short:
+  case NrrdType::UShort:
+    return 2;
+  case NrrdType::Int:
+  case NrrdType::UInt:
+  case NrrdType::Float:
+    return 4;
+  case NrrdType::Double:
+    return 8;
+  }
+  return 0;
+}
+
+const char *nrrdTypeName(NrrdType T) {
+  switch (T) {
+  case NrrdType::UChar:
+    return "unsigned char";
+  case NrrdType::Short:
+    return "short";
+  case NrrdType::UShort:
+    return "unsigned short";
+  case NrrdType::Int:
+    return "int";
+  case NrrdType::UInt:
+    return "unsigned int";
+  case NrrdType::Float:
+    return "float";
+  case NrrdType::Double:
+    return "double";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Map a NRRD header type token to NrrdType. NRRD has many aliases.
+bool parseTypeName(const std::string &S, NrrdType &T) {
+  if (S == "unsigned char" || S == "uchar" || S == "uint8" || S == "uint8_t") {
+    T = NrrdType::UChar;
+    return true;
+  }
+  if (S == "short" || S == "short int" || S == "signed short" ||
+      S == "int16" || S == "int16_t") {
+    T = NrrdType::Short;
+    return true;
+  }
+  if (S == "unsigned short" || S == "ushort" || S == "uint16" ||
+      S == "uint16_t") {
+    T = NrrdType::UShort;
+    return true;
+  }
+  if (S == "int" || S == "signed int" || S == "int32" || S == "int32_t") {
+    T = NrrdType::Int;
+    return true;
+  }
+  if (S == "unsigned int" || S == "uint" || S == "uint32" || S == "uint32_t") {
+    T = NrrdType::UInt;
+    return true;
+  }
+  if (S == "float") {
+    T = NrrdType::Float;
+    return true;
+  }
+  if (S == "double") {
+    T = NrrdType::Double;
+    return true;
+  }
+  return false;
+}
+
+/// Parse a vector literal like "(1.0,0.0,0.0)"; "none" yields empty.
+bool parseSpaceVector(const std::string &Tok, std::vector<double> &Out) {
+  Out.clear();
+  std::string S = trimString(Tok);
+  if (S == "none")
+    return true;
+  if (S.size() < 2 || S.front() != '(' || S.back() != ')')
+    return false;
+  for (const std::string &Part : splitString(S.substr(1, S.size() - 2), ',')) {
+    char *End = nullptr;
+    std::string P = trimString(Part);
+    double V = std::strtod(P.c_str(), &End);
+    if (End == P.c_str())
+      return false;
+    Out.push_back(V);
+  }
+  return true;
+}
+
+} // namespace
+
+size_t Nrrd::numSamples() const {
+  size_t N = 1;
+  for (int S : Sizes)
+    N *= static_cast<size_t>(S);
+  return N;
+}
+
+double Nrrd::sampleAsDouble(size_t I) const {
+  const unsigned char *P = Data.data() + I * nrrdTypeSize(Type);
+  switch (Type) {
+  case NrrdType::UChar:
+    return *P;
+  case NrrdType::Short: {
+    int16_t V;
+    std::memcpy(&V, P, 2);
+    return V;
+  }
+  case NrrdType::UShort: {
+    uint16_t V;
+    std::memcpy(&V, P, 2);
+    return V;
+  }
+  case NrrdType::Int: {
+    int32_t V;
+    std::memcpy(&V, P, 4);
+    return V;
+  }
+  case NrrdType::UInt: {
+    uint32_t V;
+    std::memcpy(&V, P, 4);
+    return V;
+  }
+  case NrrdType::Float: {
+    float V;
+    std::memcpy(&V, P, 4);
+    return V;
+  }
+  case NrrdType::Double: {
+    double V;
+    std::memcpy(&V, P, 8);
+    return V;
+  }
+  }
+  return 0.0;
+}
+
+void Nrrd::setSampleFromDouble(size_t I, double V) {
+  unsigned char *P = Data.data() + I * nrrdTypeSize(Type);
+  auto ClampTo = [&](double Lo, double Hi) {
+    return std::min(Hi, std::max(Lo, std::round(V)));
+  };
+  switch (Type) {
+  case NrrdType::UChar: {
+    *P = static_cast<unsigned char>(ClampTo(0, 255));
+    return;
+  }
+  case NrrdType::Short: {
+    int16_t W = static_cast<int16_t>(ClampTo(-32768, 32767));
+    std::memcpy(P, &W, 2);
+    return;
+  }
+  case NrrdType::UShort: {
+    uint16_t W = static_cast<uint16_t>(ClampTo(0, 65535));
+    std::memcpy(P, &W, 2);
+    return;
+  }
+  case NrrdType::Int: {
+    int32_t W = static_cast<int32_t>(ClampTo(-2147483648.0, 2147483647.0));
+    std::memcpy(P, &W, 4);
+    return;
+  }
+  case NrrdType::UInt: {
+    uint32_t W = static_cast<uint32_t>(ClampTo(0, 4294967295.0));
+    std::memcpy(P, &W, 4);
+    return;
+  }
+  case NrrdType::Float: {
+    float W = static_cast<float>(V);
+    std::memcpy(P, &W, 4);
+    return;
+  }
+  case NrrdType::Double: {
+    std::memcpy(P, &V, 8);
+    return;
+  }
+  }
+}
+
+void Nrrd::allocate() { Data.assign(expectedByteCount(), 0); }
+
+Result<Nrrd> nrrdRead(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Result<Nrrd>::error(strf("cannot open NRRD file '", Path, "'"));
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Result<Nrrd> R = nrrdParse(SS.str());
+  if (!R.isOk())
+    return Result<Nrrd>::error(strf(Path, ": ", R.message()));
+  return R;
+}
+
+Result<Nrrd> nrrdParse(const std::string &Contents) {
+  using RN = Result<Nrrd>;
+  // Header is newline-separated up to the first blank line.
+  size_t Pos = Contents.find('\n');
+  if (Pos == std::string::npos)
+    return RN::error("truncated NRRD file");
+  std::string Magic = trimString(Contents.substr(0, Pos));
+  if (!startsWith(Magic, "NRRD000"))
+    return RN::error("missing NRRD magic");
+
+  Nrrd N;
+  std::string Encoding = "raw";
+  std::string Endian = "little";
+  size_t LineStart = Pos + 1;
+  size_t DataStart = std::string::npos;
+  while (LineStart < Contents.size()) {
+    size_t LineEnd = Contents.find('\n', LineStart);
+    if (LineEnd == std::string::npos)
+      LineEnd = Contents.size();
+    std::string Line = Contents.substr(LineStart, LineEnd - LineStart);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    LineStart = LineEnd + 1;
+    if (Line.empty()) {
+      DataStart = LineStart;
+      break;
+    }
+    if (Line[0] == '#')
+      continue;
+    size_t Colon = Line.find(": ");
+    if (Colon == std::string::npos) {
+      // Could be a "key:=value" pair; we ignore those.
+      if (Line.find(":=") != std::string::npos)
+        continue;
+      return RN::error(strf("malformed NRRD header line '", Line, "'"));
+    }
+    std::string Key = trimString(Line.substr(0, Colon));
+    std::string Value = trimString(Line.substr(Colon + 2));
+    if (Key == "type") {
+      if (!parseTypeName(Value, N.Type))
+        return RN::error(strf("unsupported NRRD type '", Value, "'"));
+    } else if (Key == "dimension") {
+      // Sizes line does the real work; just sanity-check later.
+    } else if (Key == "sizes") {
+      N.Sizes.clear();
+      std::istringstream VS(Value);
+      int S;
+      while (VS >> S)
+        N.Sizes.push_back(S);
+    } else if (Key == "encoding") {
+      Encoding = Value;
+    } else if (Key == "endian") {
+      Endian = Value;
+    } else if (Key == "space dimension") {
+      N.SpaceDim = std::stoi(Value);
+    } else if (Key == "space") {
+      // Named spaces: count the words separated by '-' (e.g. left-posterior-
+      // superior is 3-D).
+      N.SpaceDim =
+          static_cast<int>(splitString(Value, '-').size());
+    } else if (Key == "space directions") {
+      N.SpaceDirections.clear();
+      std::istringstream VS(Value);
+      std::string Tok;
+      while (VS >> Tok) {
+        std::vector<double> Dir;
+        if (!parseSpaceVector(Tok, Dir))
+          return RN::error(strf("bad space direction '", Tok, "'"));
+        if (!Dir.empty())
+          N.SpaceDirections.push_back(std::move(Dir));
+      }
+    } else if (Key == "space origin") {
+      if (!parseSpaceVector(Value, N.SpaceOrigin))
+        return RN::error(strf("bad space origin '", Value, "'"));
+    } else if (Key == "content") {
+      N.Content = Value;
+    } else {
+      // Unknown fields (spacings, kinds, ...) are tolerated.
+    }
+  }
+  if (N.Sizes.empty())
+    return RN::error("NRRD header missing sizes");
+  if (DataStart == std::string::npos)
+    return RN::error("NRRD header not terminated by blank line");
+  if (Encoding == "raw" && Endian != "little")
+    return RN::error("only little-endian raw NRRD data is supported");
+
+  size_t Expected = N.expectedByteCount();
+  if (Encoding == "raw") {
+    if (Contents.size() - DataStart < Expected)
+      return RN::error(strf("NRRD data truncated: expected ", Expected,
+                            " bytes, found ", Contents.size() - DataStart));
+    N.Data.assign(Contents.begin() + static_cast<long>(DataStart),
+                  Contents.begin() + static_cast<long>(DataStart + Expected));
+  } else if (Encoding == "ascii" || Encoding == "text" || Encoding == "txt") {
+    N.allocate();
+    std::istringstream DS(Contents.substr(DataStart));
+    for (size_t I = 0; I < N.numSamples(); ++I) {
+      double V;
+      if (!(DS >> V))
+        return RN::error(strf("NRRD ascii data truncated at sample ", I));
+      N.setSampleFromDouble(I, V);
+    }
+  } else {
+    return RN::error(strf("unsupported NRRD encoding '", Encoding, "'"));
+  }
+  if (N.SpaceDim != 0 &&
+      static_cast<int>(N.SpaceDirections.size()) > N.dimension())
+    return RN::error("more space directions than axes");
+  return N;
+}
+
+Result<std::string> nrrdSerialize(const Nrrd &N, const std::string &Encoding) {
+  if (N.Sizes.empty())
+    return Result<std::string>::error("cannot write NRRD with no axes");
+  if (N.Data.size() != N.expectedByteCount())
+    return Result<std::string>::error(
+        strf("NRRD data size mismatch: have ", N.Data.size(), ", expected ",
+             N.expectedByteCount()));
+  std::ostringstream OS;
+  OS << "NRRD0005\n";
+  OS << "# generated by diderot-cpp\n";
+  if (!N.Content.empty())
+    OS << "content: " << N.Content << "\n";
+  OS << "type: " << nrrdTypeName(N.Type) << "\n";
+  OS << "dimension: " << N.dimension() << "\n";
+  OS << "sizes:";
+  for (int S : N.Sizes)
+    OS << " " << S;
+  OS << "\n";
+  if (N.SpaceDim > 0) {
+    OS << "space dimension: " << N.SpaceDim << "\n";
+    OS << "space directions:";
+    int NonSpatial = N.dimension() - static_cast<int>(N.SpaceDirections.size());
+    for (int I = 0; I < NonSpatial; ++I)
+      OS << " none";
+    for (const std::vector<double> &Dir : N.SpaceDirections) {
+      OS << " (";
+      for (size_t I = 0; I < Dir.size(); ++I)
+        OS << (I ? "," : "") << formatReal(Dir[I]);
+      OS << ")";
+    }
+    OS << "\n";
+    if (!N.SpaceOrigin.empty()) {
+      OS << "space origin: (";
+      for (size_t I = 0; I < N.SpaceOrigin.size(); ++I)
+        OS << (I ? "," : "") << formatReal(N.SpaceOrigin[I]);
+      OS << ")\n";
+    }
+  }
+  OS << "encoding: " << Encoding << "\n";
+  if (Encoding == "raw")
+    OS << "endian: little\n";
+  OS << "\n";
+  if (Encoding == "raw") {
+    OS.write(reinterpret_cast<const char *>(N.Data.data()),
+             static_cast<std::streamsize>(N.Data.size()));
+  } else if (Encoding == "ascii") {
+    for (size_t I = 0; I < N.numSamples(); ++I)
+      OS << formatReal(N.sampleAsDouble(I)) << "\n";
+  } else {
+    return Result<std::string>::error(
+        strf("unsupported NRRD encoding '", Encoding, "'"));
+  }
+  return OS.str();
+}
+
+Status nrrdWrite(const Nrrd &N, const std::string &Path,
+                 const std::string &Encoding) {
+  Result<std::string> S = nrrdSerialize(N, Encoding);
+  if (!S.isOk())
+    return Status::error(S.message());
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return Status::error(strf("cannot open '", Path, "' for writing"));
+  Out << *S;
+  if (!Out)
+    return Status::error(strf("write to '", Path, "' failed"));
+  return Status::ok();
+}
+
+} // namespace diderot

@@ -1,0 +1,101 @@
+//===--- nrrd/nrrd.h - NRRD file format I/O --------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader and writer for a practical subset of the NRRD ("nearly raw raster
+/// data") file format, which Diderot's runtime uses for all image input and
+/// output (Section 5.5: "loading image data from Nrrd files and writing the
+/// program's output to either a text or Nrrd file"). NRRD carries the
+/// orientation metadata (space directions / space origin) that defines the
+/// index-space to world-space transform M of Section 5.3.
+///
+/// Supported: attached-data files ("NRRD000x" magic followed by header lines
+/// and raw data), types {uchar, short, ushort, int, uint, float, double},
+/// encodings {raw, ascii}, little-endian raw data, and the orientation
+/// fields. This covers everything the original system's examples use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_NRRD_NRRD_H
+#define DIDEROT_NRRD_NRRD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace diderot {
+
+/// Sample types a NRRD file can carry.
+enum class NrrdType : uint8_t {
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Float,
+  Double,
+};
+
+/// Size in bytes of one sample of \p T.
+size_t nrrdTypeSize(NrrdType T);
+/// The NRRD header spelling of \p T ("unsigned char", "short", ...).
+const char *nrrdTypeName(NrrdType T);
+
+/// An in-memory NRRD: header metadata plus the sample buffer. Axis 0 is the
+/// fastest axis, as in the file format.
+class Nrrd {
+public:
+  NrrdType Type = NrrdType::Float;
+  /// Axis sizes, fastest first.
+  std::vector<int> Sizes;
+  /// Dimension of world space; 0 when the file carries no orientation. When
+  /// present, equals the number of *spatial* axes (trailing axes); leading
+  /// non-spatial axes hold tensor components.
+  int SpaceDim = 0;
+  /// Per spatial axis: the world-space column vector of the index-to-world
+  /// transform (SpaceDim entries each). Indexed [spatialAxis][component].
+  std::vector<std::vector<double>> SpaceDirections;
+  /// World-space position of index (0,...,0).
+  std::vector<double> SpaceOrigin;
+  /// Optional content description (round-tripped).
+  std::string Content;
+
+  /// Raw sample bytes, axis 0 fastest, little-endian.
+  std::vector<unsigned char> Data;
+
+  int dimension() const { return static_cast<int>(Sizes.size()); }
+  size_t numSamples() const;
+  size_t expectedByteCount() const {
+    return numSamples() * nrrdTypeSize(Type);
+  }
+
+  /// Read sample \p I (flat index) converted to double.
+  double sampleAsDouble(size_t I) const;
+  /// Store \p V into sample \p I with conversion (and clamping for the
+  /// integer types).
+  void setSampleFromDouble(size_t I, double V);
+
+  /// Allocate the data buffer to match Type and Sizes (zero-filled).
+  void allocate();
+};
+
+/// Parse a NRRD file from disk.
+Result<Nrrd> nrrdRead(const std::string &Path);
+/// Parse a NRRD from an in-memory buffer (the full file contents).
+Result<Nrrd> nrrdParse(const std::string &Contents);
+
+/// Write \p N to \p Path. \p Encoding is "raw" or "ascii".
+Status nrrdWrite(const Nrrd &N, const std::string &Path,
+                 const std::string &Encoding = "raw");
+/// Serialize \p N to a string (a complete NRRD file image).
+Result<std::string> nrrdSerialize(const Nrrd &N,
+                                  const std::string &Encoding = "raw");
+
+} // namespace diderot
+
+#endif // DIDEROT_NRRD_NRRD_H

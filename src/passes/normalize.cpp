@@ -1,0 +1,362 @@
+//===--- passes/normalize.cpp - field normalization (Figure 10) -------------===//
+//
+// Implements the rewrite system of the paper's Figure 10:
+//
+//   (f1 + f2)(x)   =>  f1(x) + f2(x)
+//   (e * f)(x)     =>  e * f(x)
+//   ∇(f1 + f2)     =>  ∇f1 + ∇f2
+//   ∇(e * f)       =>  e * ∇f
+//   ∇(V ⊛ ∂^i h)   =>  V ⊛ ∂^{i+1} h
+//
+// establishing the three invariants of Section 5.2: differentiation is
+// pushed down to convolution kernels, probed fields are direct convolutions,
+// and field arithmetic becomes tensor arithmetic.
+//
+// The implementation tracks a symbolic field expression for every
+// field-typed SSA value and materializes convolutions at probe/inside sites.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cassert>
+#include <map>
+#include <memory>
+
+#include "passes/passes.h"
+#include "support/strings.h"
+
+namespace diderot::passes {
+
+namespace {
+
+using ir::Instr;
+using ir::Op;
+using ir::ValueId;
+
+/// A symbolic (normalized-on-demand) field value.
+struct FieldExpr {
+  enum Kind { Conv, Add, Sub, Neg, Scale, DivScale, Div, Curl } K = Conv;
+  Type FieldTy; ///< field type of this node
+
+  // Conv:
+  ValueId Img = ir::NoValue;
+  std::string Kernel;
+  int Deriv = 0;
+
+  // Children / scalar operand.
+  std::shared_ptr<FieldExpr> A, B;
+  ValueId Scalar = ir::NoValue;
+};
+using FE = std::shared_ptr<FieldExpr>;
+
+/// Does the symbolic field contain a divergence/curl node? Differentiating
+/// through those would need mixed second-order bookkeeping we do not model.
+bool containsDivCurl(const FE &F) {
+  if (F->K == FieldExpr::Div || F->K == FieldExpr::Curl)
+    return true;
+  if (F->A && containsDivCurl(F->A))
+    return true;
+  return F->B && containsDivCurl(F->B);
+}
+
+/// ∇ / ∇⊗ of a symbolic field: push differentiation to the leaves.
+FE diffField(const FE &F) {
+  auto Out = std::make_shared<FieldExpr>(*F);
+  int D = F->FieldTy.dim();
+  // 1-D derivatives stay scalar-shaped (no tensor[1]); the derivative level
+  // is tracked in the convolution attribute instead.
+  Shape NewShape =
+      D == 1 ? F->FieldTy.shape() : F->FieldTy.shape().append(D);
+  Out->FieldTy = Type::field(F->FieldTy.diff() - 1, D, std::move(NewShape));
+  switch (F->K) {
+  case FieldExpr::Conv:
+    Out->Deriv = F->Deriv + 1;
+    return Out;
+  case FieldExpr::Add:
+  case FieldExpr::Sub:
+    Out->A = diffField(F->A);
+    Out->B = diffField(F->B);
+    return Out;
+  case FieldExpr::Neg:
+    Out->A = diffField(F->A);
+    return Out;
+  case FieldExpr::Scale:
+  case FieldExpr::DivScale:
+    Out->A = diffField(F->A);
+    return Out;
+  case FieldExpr::Div:
+  case FieldExpr::Curl:
+    assert(false && "diff of div/curl rejected before normalization");
+    return Out;
+  }
+  return Out;
+}
+
+class Normalizer {
+public:
+  explicit Normalizer(ir::Function &F) : F(F) {}
+
+  Status run() {
+    Status S = runRegion(F.Body);
+    return S;
+  }
+
+private:
+  ir::Function &F;
+  std::map<ValueId, FE> Fields;
+  std::string Error;
+
+  ValueId emit(std::vector<Instr> &Out, Op O, std::vector<ValueId> Operands,
+               Type Ty, ir::Attr A = std::monostate{}) {
+    Instr I(O);
+    I.Operands = std::move(Operands);
+    I.A = std::move(A);
+    ValueId R = F.newValue(std::move(Ty));
+    I.Results.push_back(R);
+    Out.push_back(std::move(I));
+    return R;
+  }
+
+  /// Materialize the convolution for a Conv leaf and probe it.
+  ValueId expandProbe(std::vector<Instr> &Out, const FE &Fe, ValueId Pos) {
+    const Type &FT = Fe->FieldTy;
+    Type ResTy = Type::tensor(FT.shape());
+    switch (Fe->K) {
+    case FieldExpr::Conv: {
+      ValueId Cv = emit(Out, Op::Convolve, {Fe->Img}, FT,
+                        ir::ConvolveAttr{Fe->Kernel, Fe->Deriv});
+      return emit(Out, Op::Probe, {Cv, Pos}, ResTy);
+    }
+    case FieldExpr::Add: {
+      ValueId L = expandProbe(Out, Fe->A, Pos);
+      ValueId R = expandProbe(Out, Fe->B, Pos);
+      return emit(Out, Op::Add, {L, R}, ResTy);
+    }
+    case FieldExpr::Sub: {
+      ValueId L = expandProbe(Out, Fe->A, Pos);
+      ValueId R = expandProbe(Out, Fe->B, Pos);
+      return emit(Out, Op::Sub, {L, R}, ResTy);
+    }
+    case FieldExpr::Neg: {
+      ValueId V = expandProbe(Out, Fe->A, Pos);
+      return emit(Out, Op::Neg, {V}, ResTy);
+    }
+    case FieldExpr::Scale: {
+      ValueId V = expandProbe(Out, Fe->A, Pos);
+      if (ResTy.isReal())
+        return emit(Out, Op::Mul, {Fe->Scalar, V}, ResTy);
+      return emit(Out, Op::Scale, {Fe->Scalar, V}, ResTy);
+    }
+    case FieldExpr::DivScale: {
+      ValueId V = expandProbe(Out, Fe->A, Pos);
+      if (ResTy.isReal())
+        return emit(Out, Op::Div, {V, Fe->Scalar}, ResTy);
+      return emit(Out, Op::DivScale, {V, Fe->Scalar}, ResTy);
+    }
+    case FieldExpr::Div: {
+      // (∇•f)(x) = trace((∇⊗f)(x)): probe the Jacobian, contract it.
+      ValueId J = expandProbe(Out, diffField(Fe->A), Pos);
+      return emit(Out, Op::Trace, {J}, Type::real());
+    }
+    case FieldExpr::Curl: {
+      // (∇×f)(x) from the Jacobian's antisymmetric part; J(c, j) = d_j f_c.
+      int D = Fe->A->FieldTy.dim();
+      ValueId J = expandProbe(Out, diffField(Fe->A), Pos);
+      auto At = [&](int C, int Jx) {
+        return emit(Out, Op::TensorIndex, {J}, Type::real(),
+                    std::vector<int>{C, Jx});
+      };
+      if (D == 2)
+        return emit(Out, Op::Sub, {At(1, 0), At(0, 1)}, Type::real());
+      ValueId CX = emit(Out, Op::Sub, {At(2, 1), At(1, 2)}, Type::real());
+      ValueId CY = emit(Out, Op::Sub, {At(0, 2), At(2, 0)}, Type::real());
+      ValueId CZ = emit(Out, Op::Sub, {At(1, 0), At(0, 1)}, Type::real());
+      return emit(Out, Op::TensorCons, {CX, CY, CZ}, Type::vec(3));
+    }
+    }
+    return ir::NoValue;
+  }
+
+  /// Collect the distinct (image, kernel) leaves under \p Fe.
+  void collectLeaves(const FE &Fe, std::vector<const FieldExpr *> &Leaves) {
+    if (Fe->K == FieldExpr::Conv) {
+      for (const FieldExpr *L : Leaves)
+        if (L->Img == Fe->Img && L->Kernel == Fe->Kernel)
+          return;
+      Leaves.push_back(Fe.get());
+      return;
+    }
+    if (Fe->A)
+      collectLeaves(Fe->A, Leaves);
+    if (Fe->B)
+      collectLeaves(Fe->B, Leaves);
+  }
+
+  /// inside(x, f1 + f2) requires the position to be inside every
+  /// constituent convolution's domain.
+  ValueId expandInside(std::vector<Instr> &Out, const FE &Fe, ValueId Pos) {
+    std::vector<const FieldExpr *> Leaves;
+    collectLeaves(Fe, Leaves);
+    assert(!Leaves.empty());
+    ValueId Acc = ir::NoValue;
+    for (const FieldExpr *L : Leaves) {
+      // The convolution value itself: deriv level does not change the
+      // support, so probe the underived convolution's domain.
+      Type ConvTy = L->FieldTy;
+      ValueId Cv = emit(Out, Op::Convolve, {L->Img}, ConvTy,
+                        ir::ConvolveAttr{L->Kernel, L->Deriv});
+      ValueId In = emit(Out, Op::FieldInside, {Pos, Cv}, Type::boolean());
+      Acc = Acc == ir::NoValue
+                ? In
+                : emit(Out, Op::And, {Acc, In}, Type::boolean());
+    }
+    return Acc;
+  }
+
+  Status runRegion(ir::Region &R) {
+    std::vector<Instr> Out;
+    Out.reserve(R.Body.size());
+    for (Instr &I : R.Body) {
+      switch (I.Opcode) {
+      case Op::Convolve: {
+        auto Fe = std::make_shared<FieldExpr>();
+        Fe->K = FieldExpr::Conv;
+        Fe->FieldTy = F.typeOf(I.Results[0]);
+        Fe->Img = I.Operands[0];
+        Fe->Kernel = std::get<ir::ConvolveAttr>(I.A).Kernel;
+        Fe->Deriv = std::get<ir::ConvolveAttr>(I.A).Deriv;
+        Fields[I.Results[0]] = std::move(Fe);
+        continue; // dropped; rematerialized at probe sites
+      }
+      case Op::FieldAdd:
+      case Op::FieldSub: {
+        auto Fe = std::make_shared<FieldExpr>();
+        Fe->K = I.Opcode == Op::FieldAdd ? FieldExpr::Add : FieldExpr::Sub;
+        Fe->FieldTy = F.typeOf(I.Results[0]);
+        Fe->A = Fields.at(I.Operands[0]);
+        Fe->B = Fields.at(I.Operands[1]);
+        Fields[I.Results[0]] = std::move(Fe);
+        continue;
+      }
+      case Op::FieldNeg: {
+        auto Fe = std::make_shared<FieldExpr>();
+        Fe->K = FieldExpr::Neg;
+        Fe->FieldTy = F.typeOf(I.Results[0]);
+        Fe->A = Fields.at(I.Operands[0]);
+        Fields[I.Results[0]] = std::move(Fe);
+        continue;
+      }
+      case Op::FieldScale: {
+        auto Fe = std::make_shared<FieldExpr>();
+        Fe->K = FieldExpr::Scale;
+        Fe->FieldTy = F.typeOf(I.Results[0]);
+        Fe->Scalar = I.Operands[0];
+        Fe->A = Fields.at(I.Operands[1]);
+        Fields[I.Results[0]] = std::move(Fe);
+        continue;
+      }
+      case Op::FieldDivScale: {
+        auto Fe = std::make_shared<FieldExpr>();
+        Fe->K = FieldExpr::DivScale;
+        Fe->FieldTy = F.typeOf(I.Results[0]);
+        Fe->A = Fields.at(I.Operands[0]);
+        Fe->Scalar = I.Operands[1];
+        Fields[I.Results[0]] = std::move(Fe);
+        continue;
+      }
+      case Op::FieldDiff: {
+        const FE &Arg = Fields.at(I.Operands[0]);
+        if (containsDivCurl(Arg))
+          return Status::error(
+              "differentiating a divergence or curl field is not supported");
+        Fields[I.Results[0]] = diffField(Arg);
+        continue;
+      }
+      case Op::FieldDivergence:
+      case Op::FieldCurl: {
+        const FE &Arg = Fields.at(I.Operands[0]);
+        if (containsDivCurl(Arg))
+          return Status::error(
+              "nested divergence/curl fields are not supported");
+        auto Fe = std::make_shared<FieldExpr>();
+        Fe->K = I.Opcode == Op::FieldDivergence ? FieldExpr::Div
+                                                : FieldExpr::Curl;
+        Fe->FieldTy = F.typeOf(I.Results[0]);
+        Fe->A = Arg;
+        Fields[I.Results[0]] = std::move(Fe);
+        continue;
+      }
+      case Op::Probe: {
+        auto It = Fields.find(I.Operands[0]);
+        if (It == Fields.end())
+          return Status::error("probe of an unknown field value");
+        ValueId V = expandProbe(Out, It->second, I.Operands[1]);
+        // Rebind the original result id: emit a no-op move by rewriting
+        // later uses. Simplest: make the last emitted instruction define
+        // the original result instead of the fresh value.
+        rebindResult(Out, V, I.Results[0]);
+        continue;
+      }
+      case Op::FieldInside: {
+        auto It = Fields.find(I.Operands[1]);
+        if (It == Fields.end())
+          return Status::error("inside() of an unknown field value");
+        ValueId V = expandInside(Out, It->second, I.Operands[0]);
+        rebindResult(Out, V, I.Results[0]);
+        continue;
+      }
+      case Op::If: {
+        for (ir::Region &Sub : I.Regions) {
+          Status S = runRegion(Sub);
+          if (!S.isOk())
+            return S;
+        }
+        Out.push_back(std::move(I));
+        continue;
+      }
+      default:
+        Out.push_back(std::move(I));
+        continue;
+      }
+    }
+    R.Body = std::move(Out);
+    return Status::ok();
+  }
+
+  /// The expansion produced \p NewV as its final value; make it define
+  /// \p OldV instead so existing uses see the normalized result.
+  static void rebindResult(std::vector<Instr> &Out, ValueId NewV,
+                           ValueId OldV) {
+    assert(!Out.empty());
+    Instr &Last = Out.back();
+    assert(Last.Results.size() == 1 && Last.Results[0] == NewV);
+    (void)NewV;
+    Last.Results[0] = OldV;
+  }
+};
+
+} // namespace
+
+Status normalizeFields(ir::Module &M) {
+  assert(M.CurLevel == ir::High && "normalization runs on HighIR");
+  std::vector<ir::Function *> Fns = {&M.GlobalInit, &M.StrandInit, &M.Update,
+                                     &M.CreateArgs};
+  if (M.hasStabilize())
+    Fns.push_back(&M.Stabilize);
+  for (ir::Function &F : M.InputDefaults)
+    Fns.push_back(&F);
+  for (size_t I = 0; I < M.IterLo.size(); ++I) {
+    Fns.push_back(&M.IterLo[I]);
+    Fns.push_back(&M.IterHi[I]);
+  }
+  for (ir::Function *F : Fns) {
+    Status S = Normalizer(*F).run();
+    if (!S.isOk())
+      return Status::error(strf("@", F->Name, ": ", S.message()));
+  }
+  std::string Err = ir::verify(M);
+  if (!Err.empty())
+    return Status::error(strf("after normalization: ", Err));
+  return Status::ok();
+}
+
+} // namespace diderot::passes

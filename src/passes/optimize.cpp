@@ -1,0 +1,690 @@
+//===--- passes/optimize.cpp - contraction and value numbering --------------===//
+//
+// The paper's domain-specific optimizations (Section 5.4): "we implement an
+// extended form of constant folding and dead-code elimination that shrinks
+// (or contracts) the program, and we eliminate redundant computations using
+// value numbering. While these are optimizations that are found in many
+// compilers, when they are combined with the domain-specific operators in
+// our IR, they produce domain-specific optimizations... if a program probes
+// both a field F and the gradient field ∇F at the same position, there are
+// redundant convolution computations that can be detected and eliminated.
+// Another example is the symmetry of the Hessian, which is also detected by
+// our value-numbering pass."
+//
+// On our IR those fall out exactly as described: probes expand into
+// WorldToImage / KernelWeight / VoxelLoad chains, and identical chains (the
+// shared taps of F and ∇F, or the (i,j) and (j,i) Hessian components, whose
+// per-axis derivative counts coincide) get the same value numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "kernels/kernel.h"
+#include "passes/passes.h"
+#include "support/strings.h"
+#include "tensor/eigen.h"
+
+namespace diderot::passes {
+
+namespace {
+
+using ir::Instr;
+using ir::Op;
+using ir::ValueId;
+
+//===----------------------------------------------------------------------===//
+// Constant values
+//===----------------------------------------------------------------------===//
+
+/// A compile-time constant. Reals and tensors share the Tensor arm.
+using CVal = std::variant<bool, int64_t, Tensor, std::string>;
+
+bool cBool(const CVal &V) { return std::get<bool>(V); }
+int64_t cInt(const CVal &V) { return std::get<int64_t>(V); }
+double cReal(const CVal &V) { return std::get<Tensor>(V).asScalar(); }
+const Tensor &cTensor(const CVal &V) { return std::get<Tensor>(V); }
+
+CVal mkReal(double D) { return Tensor::scalar(D); }
+
+/// Fold one pure instruction over constant operands; nullopt when the op is
+/// not foldable (or folding would be unsafe, e.g. int division by zero).
+std::optional<std::vector<CVal>> foldOp(const Instr &I,
+                                        const std::vector<CVal> &Ops,
+                                        const ir::Function &F) {
+  auto One = [](CVal V) { return std::vector<CVal>{std::move(V)}; };
+  const Type &ResTy =
+      I.Results.empty() ? Type::error() : F.typeOf(I.Results[0]);
+  bool IntRes = ResTy.isInt();
+
+  auto Arith = [&](auto IntFn, auto RealFn) -> std::optional<std::vector<CVal>> {
+    if (IntRes)
+      return One(CVal(IntFn(cInt(Ops[0]), cInt(Ops[1]))));
+    if (ResTy.isReal() && std::holds_alternative<Tensor>(Ops[0]) &&
+        std::holds_alternative<Tensor>(Ops[1]))
+      return One(mkReal(RealFn(cReal(Ops[0]), cReal(Ops[1]))));
+    return std::nullopt;
+  };
+
+  switch (I.Opcode) {
+  case Op::Add:
+    if (ResTy.isTensor() && !ResTy.isReal())
+      return One(CVal(add(cTensor(Ops[0]), cTensor(Ops[1]))));
+    return Arith([](int64_t A, int64_t B) { return A + B; },
+                 [](double A, double B) { return A + B; });
+  case Op::Sub:
+    if (ResTy.isTensor() && !ResTy.isReal())
+      return One(CVal(sub(cTensor(Ops[0]), cTensor(Ops[1]))));
+    return Arith([](int64_t A, int64_t B) { return A - B; },
+                 [](double A, double B) { return A - B; });
+  case Op::Mul:
+    return Arith([](int64_t A, int64_t B) { return A * B; },
+                 [](double A, double B) { return A * B; });
+  case Op::Div:
+    if (IntRes) {
+      if (cInt(Ops[1]) == 0)
+        return std::nullopt; // preserve the runtime trap semantics
+      return One(CVal(cInt(Ops[0]) / cInt(Ops[1])));
+    }
+    return Arith([](int64_t A, int64_t B) { return A / B; },
+                 [](double A, double B) { return A / B; });
+  case Op::Mod:
+    if (cInt(Ops[1]) == 0)
+      return std::nullopt;
+    return One(CVal(cInt(Ops[0]) % cInt(Ops[1])));
+  case Op::Neg:
+    if (IntRes)
+      return One(CVal(-cInt(Ops[0])));
+    return One(CVal(neg(cTensor(Ops[0]))));
+  case Op::Min:
+    return Arith([](int64_t A, int64_t B) { return std::min(A, B); },
+                 [](double A, double B) { return std::min(A, B); });
+  case Op::Max:
+    return Arith([](int64_t A, int64_t B) { return std::max(A, B); },
+                 [](double A, double B) { return std::max(A, B); });
+  case Op::Scale:
+    return One(CVal(scale(cReal(Ops[0]), cTensor(Ops[1]))));
+  case Op::DivScale:
+    return One(CVal(divide(cTensor(Ops[0]), cReal(Ops[1]))));
+  case Op::Pow:
+    return One(mkReal(std::pow(cReal(Ops[0]), cReal(Ops[1]))));
+  case Op::Dot:
+    return One(CVal(dot(cTensor(Ops[0]), cTensor(Ops[1]))));
+  case Op::Cross:
+    return One(CVal(cross(cTensor(Ops[0]), cTensor(Ops[1]))));
+  case Op::Outer:
+    return One(CVal(outer(cTensor(Ops[0]), cTensor(Ops[1]))));
+  case Op::Norm:
+    return One(mkReal(norm(cTensor(Ops[0]))));
+  case Op::Normalize:
+    return One(CVal(normalize(cTensor(Ops[0]))));
+  case Op::Trace:
+    return One(mkReal(trace(cTensor(Ops[0]))));
+  case Op::Det:
+    return One(mkReal(det(cTensor(Ops[0]))));
+  case Op::Inverse: {
+    if (det(cTensor(Ops[0])) == 0.0)
+      return std::nullopt;
+    return One(CVal(inverse(cTensor(Ops[0]))));
+  }
+  case Op::Transpose:
+    return One(CVal(transpose(cTensor(Ops[0]))));
+  case Op::Modulate:
+    return One(CVal(modulate(cTensor(Ops[0]), cTensor(Ops[1]))));
+  case Op::Lerp:
+    return One(CVal(lerp(cTensor(Ops[0]), cTensor(Ops[1]), cReal(Ops[2]))));
+  case Op::Evals:
+    return One(CVal(eigenvalues(cTensor(Ops[0]))));
+  case Op::Evecs:
+    return One(CVal(eigenvectors(cTensor(Ops[0]))));
+  case Op::TensorCons: {
+    Tensor T{ResTy.shape()};
+    for (size_t K = 0; K < Ops.size(); ++K)
+      T[static_cast<int>(K)] = cReal(Ops[K]);
+    return One(CVal(std::move(T)));
+  }
+  case Op::TensorIndex: {
+    const Tensor &T = cTensor(Ops[0]);
+    const std::vector<int> &Idx = std::get<std::vector<int>>(I.A);
+    // Flatten the (possibly partial) index.
+    int Flat = 0;
+    for (size_t K = 0; K < Idx.size(); ++K)
+      Flat = Flat * T.shape()[static_cast<int>(K)] + Idx[K];
+    int Rest = 1;
+    for (int A = static_cast<int>(Idx.size()); A < T.shape().order(); ++A)
+      Rest *= T.shape()[A];
+    if (Rest == 1)
+      return One(mkReal(T[Flat]));
+    Tensor Sub{ResTy.shape()};
+    for (int K = 0; K < Rest; ++K)
+      Sub[K] = T[Flat * Rest + K];
+    return One(CVal(std::move(Sub)));
+  }
+  case Op::Sqrt:
+    return One(mkReal(std::sqrt(cReal(Ops[0]))));
+  case Op::Sin:
+    return One(mkReal(std::sin(cReal(Ops[0]))));
+  case Op::Cos:
+    return One(mkReal(std::cos(cReal(Ops[0]))));
+  case Op::Tan:
+    return One(mkReal(std::tan(cReal(Ops[0]))));
+  case Op::Asin:
+    return One(mkReal(std::asin(cReal(Ops[0]))));
+  case Op::Acos:
+    return One(mkReal(std::acos(cReal(Ops[0]))));
+  case Op::Atan:
+    return One(mkReal(std::atan(cReal(Ops[0]))));
+  case Op::Atan2:
+    return One(mkReal(std::atan2(cReal(Ops[0]), cReal(Ops[1]))));
+  case Op::Exp:
+    return One(mkReal(std::exp(cReal(Ops[0]))));
+  case Op::Log:
+    return One(mkReal(std::log(cReal(Ops[0]))));
+  case Op::Floor:
+    return One(mkReal(std::floor(cReal(Ops[0]))));
+  case Op::Ceil:
+    return One(mkReal(std::ceil(cReal(Ops[0]))));
+  case Op::Round:
+    return One(mkReal(std::round(cReal(Ops[0]))));
+  case Op::Trunc:
+    return One(mkReal(std::trunc(cReal(Ops[0]))));
+  case Op::Abs:
+    if (IntRes)
+      return One(CVal(std::abs(cInt(Ops[0]))));
+    return One(mkReal(std::abs(cReal(Ops[0]))));
+  case Op::Clamp:
+    return One(mkReal(
+        std::min(cReal(Ops[2]), std::max(cReal(Ops[1]), cReal(Ops[0])))));
+  case Op::IntToReal:
+    return One(mkReal(static_cast<double>(cInt(Ops[0]))));
+  case Op::RealToInt:
+    return One(CVal(static_cast<int64_t>(std::floor(cReal(Ops[0])))));
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne: {
+    double A, B;
+    bool IsInt = std::holds_alternative<int64_t>(Ops[0]);
+    if (std::holds_alternative<bool>(Ops[0])) {
+      if (I.Opcode == Op::Eq)
+        return One(CVal(cBool(Ops[0]) == cBool(Ops[1])));
+      if (I.Opcode == Op::Ne)
+        return One(CVal(cBool(Ops[0]) != cBool(Ops[1])));
+      return std::nullopt;
+    }
+    if (std::holds_alternative<std::string>(Ops[0])) {
+      const std::string &SA = std::get<std::string>(Ops[0]);
+      const std::string &SB = std::get<std::string>(Ops[1]);
+      if (I.Opcode == Op::Eq)
+        return One(CVal(SA == SB));
+      if (I.Opcode == Op::Ne)
+        return One(CVal(SA != SB));
+      return std::nullopt;
+    }
+    A = IsInt ? static_cast<double>(cInt(Ops[0])) : cReal(Ops[0]);
+    B = IsInt ? static_cast<double>(cInt(Ops[1])) : cReal(Ops[1]);
+    switch (I.Opcode) {
+    case Op::Lt:
+      return One(CVal(A < B));
+    case Op::Le:
+      return One(CVal(A <= B));
+    case Op::Gt:
+      return One(CVal(A > B));
+    case Op::Ge:
+      return One(CVal(A >= B));
+    case Op::Eq:
+      return One(CVal(A == B));
+    default:
+      return One(CVal(A != B));
+    }
+  }
+  case Op::And:
+    return One(CVal(cBool(Ops[0]) && cBool(Ops[1])));
+  case Op::Or:
+    return One(CVal(cBool(Ops[0]) || cBool(Ops[1])));
+  case Op::Not:
+    return One(CVal(!cBool(Ops[0])));
+  case Op::Select:
+    return One(Ops[cBool(Ops[0]) ? 1 : 2]);
+  case Op::KernelWeight: {
+    const auto &KW = std::get<ir::KernelWeightAttr>(I.A);
+    const Kernel *K = kernels::byName(KW.Kernel);
+    if (!K)
+      return std::nullopt;
+    Kernel DK = *K;
+    for (int L = 0; L < KW.Deriv; ++L)
+      DK = DK.derivative();
+    return One(mkReal(DK.weightPoly(KW.Tap).eval(cReal(Ops[0]))));
+  }
+  case Op::PolyEval: {
+    const auto &Coeffs = std::get<std::vector<double>>(I.A);
+    return One(mkReal(Polynomial(Coeffs).eval(cReal(Ops[0]))));
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Contraction
+//===----------------------------------------------------------------------===//
+
+class Contract {
+public:
+  explicit Contract(ir::Function &F) : F(F) {}
+
+  bool run() {
+    bool Any = false;
+    for (int Iter = 0; Iter < 16; ++Iter) {
+      Changed = false;
+      Consts.clear();
+      Replace.clear();
+      foldRegion(F.Body, nullptr);
+      bool DceChanged = dce();
+      Any |= Changed || DceChanged;
+      if (!Changed && !DceChanged)
+        break;
+    }
+    return Any;
+  }
+
+private:
+  ir::Function &F;
+  std::map<ValueId, CVal> Consts;
+  std::map<ValueId, ValueId> Replace;
+  bool Changed = false;
+
+  ValueId mapped(ValueId V) const {
+    auto It = Replace.find(V);
+    return It == Replace.end() ? V : It->second;
+  }
+
+  /// Replace instruction \p I with a constant definition of its result.
+  void toConst(Instr &I, const CVal &V) {
+    ValueId R = I.Results[0];
+    I.Operands.clear();
+    I.Regions.clear();
+    if (std::holds_alternative<bool>(V)) {
+      I.Opcode = Op::ConstBool;
+      I.A = std::get<bool>(V);
+    } else if (std::holds_alternative<int64_t>(V)) {
+      I.Opcode = Op::ConstInt;
+      I.A = std::get<int64_t>(V);
+    } else if (std::holds_alternative<std::string>(V)) {
+      I.Opcode = Op::ConstString;
+      I.A = std::get<std::string>(V);
+    } else if (cTensor(V).isScalar()) {
+      I.Opcode = Op::ConstReal;
+      I.A = cTensor(V).asScalar();
+    } else {
+      I.Opcode = Op::ConstTensor;
+      I.A = cTensor(V);
+    }
+    Consts[R] = V;
+  }
+
+  /// Simple algebraic identities on non-constant operands. Returns the
+  /// replacement value or NoValue.
+  ValueId identity(const Instr &I) {
+    auto IsK = [&](ValueId V, double K) {
+      auto It = Consts.find(V);
+      if (It == Consts.end())
+        return false;
+      if (std::holds_alternative<int64_t>(It->second))
+        return static_cast<double>(cInt(It->second)) == K;
+      if (std::holds_alternative<Tensor>(It->second) &&
+          cTensor(It->second).isScalar())
+        return cReal(It->second) == K;
+      return false;
+    };
+    switch (I.Opcode) {
+    case Op::Add:
+      if (IsK(I.Operands[0], 0))
+        return I.Operands[1];
+      if (IsK(I.Operands[1], 0))
+        return I.Operands[0];
+      return ir::NoValue;
+    case Op::Sub:
+      if (IsK(I.Operands[1], 0))
+        return I.Operands[0];
+      return ir::NoValue;
+    case Op::Mul:
+      if (IsK(I.Operands[0], 1))
+        return I.Operands[1];
+      if (IsK(I.Operands[1], 1))
+        return I.Operands[0];
+      return ir::NoValue;
+    case Op::Div:
+      if (IsK(I.Operands[1], 1))
+        return I.Operands[0];
+      return ir::NoValue;
+    case Op::Scale:
+      if (IsK(I.Operands[0], 1))
+        return I.Operands[1];
+      return ir::NoValue;
+    case Op::And: {
+      auto It = Consts.find(I.Operands[0]);
+      if (It != Consts.end())
+        return cBool(It->second) ? I.Operands[1] : I.Operands[0];
+      It = Consts.find(I.Operands[1]);
+      if (It != Consts.end())
+        return cBool(It->second) ? I.Operands[0] : I.Operands[1];
+      return ir::NoValue;
+    }
+    case Op::Or: {
+      auto It = Consts.find(I.Operands[0]);
+      if (It != Consts.end())
+        return cBool(It->second) ? I.Operands[0] : I.Operands[1];
+      It = Consts.find(I.Operands[1]);
+      if (It != Consts.end())
+        return cBool(It->second) ? I.Operands[1] : I.Operands[0];
+      return ir::NoValue;
+    }
+    case Op::Select: {
+      auto It = Consts.find(I.Operands[0]);
+      if (It != Consts.end())
+        return cBool(It->second) ? I.Operands[1] : I.Operands[2];
+      if (I.Operands[1] == I.Operands[2])
+        return I.Operands[1];
+      return ir::NoValue;
+    }
+    default:
+      return ir::NoValue;
+    }
+  }
+
+  /// Fold a region in place. \p ParentTerminatorSlot: when a constant-cond
+  /// If splices a region that ends in Exit, the rest of the parent region is
+  /// unreachable.
+  void foldRegion(ir::Region &R, bool *ExitedEarly) {
+    std::vector<Instr> Out;
+    Out.reserve(R.Body.size());
+    bool Dead = false;
+    for (Instr &I : R.Body) {
+      if (Dead) {
+        Changed = true;
+        break;
+      }
+      for (ValueId &V : I.Operands)
+        V = mapped(V);
+
+      // Record constants defined by constant instructions.
+      switch (I.Opcode) {
+      case Op::ConstBool:
+        Consts[I.Results[0]] = std::get<bool>(I.A);
+        Out.push_back(std::move(I));
+        continue;
+      case Op::ConstInt:
+        Consts[I.Results[0]] = std::get<int64_t>(I.A);
+        Out.push_back(std::move(I));
+        continue;
+      case Op::ConstReal:
+        Consts[I.Results[0]] = mkReal(std::get<double>(I.A));
+        Out.push_back(std::move(I));
+        continue;
+      case Op::ConstString:
+        Consts[I.Results[0]] = std::get<std::string>(I.A);
+        Out.push_back(std::move(I));
+        continue;
+      case Op::ConstTensor:
+        Consts[I.Results[0]] = std::get<Tensor>(I.A);
+        Out.push_back(std::move(I));
+        continue;
+      case Op::If: {
+        auto CondIt = Consts.find(I.Operands[0]);
+        if (CondIt != Consts.end()) {
+          // Splice the taken branch inline.
+          Changed = true;
+          ir::Region Taken =
+              std::move(I.Regions[cBool(CondIt->second) ? 0 : 1]);
+          bool SubExited = false;
+          foldRegion(Taken, &SubExited);
+          for (Instr &Sub : Taken.Body) {
+            if (Sub.Opcode == Op::Yield) {
+              for (size_t K = 0; K < I.Results.size(); ++K)
+                Replace[I.Results[K]] = Sub.Operands[K];
+            } else if (Sub.Opcode == Op::Exit) {
+              Out.push_back(std::move(Sub));
+              Dead = true;
+              break;
+            } else {
+              Out.push_back(std::move(Sub));
+            }
+          }
+          continue;
+        }
+        bool SubExit = false;
+        for (ir::Region &Sub : I.Regions)
+          foldRegion(Sub, &SubExit);
+        Out.push_back(std::move(I));
+        continue;
+      }
+      default:
+        break;
+      }
+
+      // Identity rewrites.
+      if (ir::isPure(I.Opcode) && I.Results.size() == 1) {
+        ValueId Repl = identity(I);
+        if (Repl != ir::NoValue) {
+          Replace[I.Results[0]] = Repl;
+          Changed = true;
+          continue;
+        }
+      }
+
+      // Full constant folding.
+      if (ir::isPure(I.Opcode) && !I.Results.empty()) {
+        bool AllConst = !I.Operands.empty() || I.Opcode == Op::TensorCons;
+        std::vector<CVal> Ops;
+        for (ValueId V : I.Operands) {
+          auto It = Consts.find(V);
+          if (It == Consts.end()) {
+            AllConst = false;
+            break;
+          }
+          Ops.push_back(It->second);
+        }
+        if (AllConst && I.Results.size() == 1) {
+          if (std::optional<std::vector<CVal>> Folded = foldOp(I, Ops, F)) {
+            toConst(I, (*Folded)[0]);
+            Changed = true;
+            Out.push_back(std::move(I));
+            continue;
+          }
+        }
+      }
+      Out.push_back(std::move(I));
+    }
+    if (ExitedEarly)
+      *ExitedEarly = Dead;
+    R.Body = std::move(Out);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Dead code elimination
+  //===--------------------------------------------------------------------===//
+
+  static bool regionHasExit(const ir::Region &R) {
+    for (const Instr &I : R.Body) {
+      if (I.Opcode == Op::Exit)
+        return true;
+      for (const ir::Region &Sub : I.Regions)
+        if (regionHasExit(Sub))
+          return true;
+    }
+    return false;
+  }
+
+  bool dce() {
+    std::set<ValueId> Live;
+    // Fixpoint marking (uses in nested regions reference outer values).
+    for (;;) {
+      bool MarkChanged = false;
+      markRegion(F.Body, Live, MarkChanged);
+      if (!MarkChanged)
+        break;
+    }
+    bool Removed = false;
+    sweepRegion(F.Body, Live, Removed);
+    return Removed;
+  }
+
+  void markRegion(const ir::Region &R, std::set<ValueId> &Live,
+                  bool &MarkChanged) {
+    for (auto It = R.Body.rbegin(); It != R.Body.rend(); ++It) {
+      const Instr &I = *It;
+      bool IsLive = isTerminator(I.Opcode);
+      for (ValueId V : I.Results)
+        IsLive |= Live.count(V) != 0;
+      if (I.Opcode == Op::If)
+        for (const ir::Region &Sub : I.Regions)
+          IsLive |= regionHasExit(Sub);
+      if (IsLive) {
+        for (ValueId V : I.Operands)
+          MarkChanged |= Live.insert(V).second;
+        for (const ir::Region &Sub : I.Regions)
+          markRegion(Sub, Live, MarkChanged);
+      }
+    }
+  }
+
+  void sweepRegion(ir::Region &R, const std::set<ValueId> &Live,
+                   bool &Removed) {
+    std::vector<Instr> Out;
+    Out.reserve(R.Body.size());
+    for (Instr &I : R.Body) {
+      bool IsLive = isTerminator(I.Opcode);
+      for (ValueId V : I.Results)
+        IsLive |= Live.count(V) != 0;
+      if (I.Opcode == Op::If)
+        for (const ir::Region &Sub : I.Regions)
+          IsLive |= regionHasExit(Sub);
+      if (!IsLive) {
+        Removed = true;
+        continue;
+      }
+      for (ir::Region &Sub : I.Regions)
+        sweepRegion(Sub, Live, Removed);
+      Out.push_back(std::move(I));
+    }
+    R.Body = std::move(Out);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Value numbering
+//===----------------------------------------------------------------------===//
+
+class ValueNumbering {
+public:
+  explicit ValueNumbering(ir::Function &F) : F(F) {}
+
+  void run() {
+    std::map<std::string, std::vector<ValueId>> Table;
+    runRegion(F.Body, Table);
+  }
+
+private:
+  ir::Function &F;
+  std::map<ValueId, ValueId> Replace;
+
+  ValueId mapped(ValueId V) const {
+    auto It = Replace.find(V);
+    return It == Replace.end() ? V : It->second;
+  }
+
+  static bool isCommutative(Op O) {
+    switch (O) {
+    case Op::Add:
+    case Op::Mul:
+    case Op::Min:
+    case Op::Max:
+    case Op::And:
+    case Op::Or:
+    case Op::Eq:
+    case Op::Ne:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  void runRegion(ir::Region &R,
+                 std::map<std::string, std::vector<ValueId>> &Table) {
+    std::vector<Instr> Out;
+    Out.reserve(R.Body.size());
+    for (Instr &I : R.Body) {
+      for (ValueId &V : I.Operands)
+        V = mapped(V);
+      if (I.Opcode == Op::If) {
+        // Scoped table: each branch sees outer numbers but its additions
+        // are discarded (they do not dominate the continuation).
+        for (ir::Region &Sub : I.Regions) {
+          std::map<std::string, std::vector<ValueId>> SubTable = Table;
+          runRegion(Sub, SubTable);
+        }
+        Out.push_back(std::move(I));
+        continue;
+      }
+      if (!ir::isPure(I.Opcode) || I.Results.empty()) {
+        Out.push_back(std::move(I));
+        continue;
+      }
+      // Tensor Add is elementwise and commutative too, so sorting operands
+      // is safe for every commutative op.
+      std::vector<ValueId> KeyOps = I.Operands;
+      if (isCommutative(I.Opcode) && KeyOps.size() == 2 &&
+          KeyOps[0] > KeyOps[1])
+        std::swap(KeyOps[0], KeyOps[1]);
+      std::string Key = strf(static_cast<int>(I.Opcode), "|",
+                             ir::attrStr(I.A), "|");
+      for (ValueId V : KeyOps)
+        Key += strf(V, ",");
+      auto It = Table.find(Key);
+      if (It != Table.end() && It->second.size() == I.Results.size()) {
+        for (size_t K = 0; K < I.Results.size(); ++K)
+          Replace[I.Results[K]] = It->second[K];
+        continue; // instruction eliminated
+      }
+      Table[Key] = I.Results;
+      Out.push_back(std::move(I));
+    }
+    R.Body = std::move(Out);
+  }
+};
+
+template <typename FnT> void forEachFunction(ir::Module &M, FnT &&Fn) {
+  Fn(M.GlobalInit);
+  Fn(M.StrandInit);
+  Fn(M.Update);
+  if (M.hasStabilize())
+    Fn(M.Stabilize);
+  Fn(M.CreateArgs);
+  for (ir::Function &F : M.InputDefaults)
+    Fn(F);
+  for (size_t I = 0; I < M.IterLo.size(); ++I) {
+    Fn(M.IterLo[I]);
+    Fn(M.IterHi[I]);
+  }
+}
+
+} // namespace
+
+void contract(ir::Module &M) {
+  forEachFunction(M, [](ir::Function &F) { Contract(F).run(); });
+  assert(ir::verify(M).empty() && "contract broke the module");
+}
+
+void valueNumber(ir::Module &M) {
+  forEachFunction(M, [](ir::Function &F) { ValueNumbering(F).run(); });
+  assert(ir::verify(M).empty() && "value numbering broke the module");
+}
+
+} // namespace diderot::passes

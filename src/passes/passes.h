@@ -1,0 +1,75 @@
+//===--- passes/passes.h - compiler pass entry points -----------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass pipeline of Section 5 of the paper:
+///
+///   HighIR --normalizeFields--> normalized HighIR
+///          --lowerToMid-------> MidIR   (probes become transforms +
+///                                        convolutions + kernel evaluations)
+///          --contract/VN-----> optimized MidIR
+///          --lowerToLow-------> LowIR   (tensors scalarized, kernel
+///                                        evaluations become Horner code)
+///
+/// `contract` is the paper's shrinking optimization (an extended constant
+/// folding + dead-code elimination, after Appel–Jim); `valueNumber` is the
+/// paper's value numbering (Briggs–Cooper–Simpson), which on this IR also
+/// performs the domain-specific eliminations the paper highlights: shared
+/// convolutions between F(x) and ∇F(x), and Hessian symmetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_PASSES_PASSES_H
+#define DIDEROT_PASSES_PASSES_H
+
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace diderot::passes {
+
+/// Field normalization (paper Section 5.2, Figure 10): rewrites field
+/// expressions until (1) all differentiation is pushed onto convolution
+/// kernels, (2) probed fields are defined directly by convolutions, and
+/// (3) field arithmetic has been lowered to tensor arithmetic at the probe
+/// sites. Runs on HighIR; leaves the module at HighIR.
+Status normalizeFields(ir::Module &M);
+
+/// Probe expansion (paper Section 5.3): HighIR -> MidIR. Every probe becomes
+/// a world-to-index transform, separable convolution sums over the kernel
+/// support with per-axis kernel-derivative selection, and M^{-T} transforms
+/// of covariant (derivative) result axes. `inside` becomes index-space
+/// bounds tests.
+Status lowerToMid(ir::Module &M);
+
+/// Contraction: constant folding (including folding Ifs with constant
+/// conditions), algebraic identities, and dead-code elimination, iterated to
+/// a fixed point. Valid at every level.
+void contract(ir::Module &M);
+
+/// Value numbering over the structured IR (scoped hash table: values
+/// available in enclosing regions dominate). Pure ops only. Run contract()
+/// afterwards to delete the replaced instructions.
+void valueNumber(ir::Module &M);
+
+/// Scalarization (paper Section 5.3's final step): MidIR -> LowIR. Tensor
+/// and sequence values are exploded into scalar components, tensor ops are
+/// unrolled, kernel evaluations become Horner polynomial evaluation with the
+/// statically-selected piece coefficients, and eigendecompositions become
+/// multi-result runtime calls.
+Status lowerToLow(ir::Module &M);
+
+/// Pipeline options (used by the driver and the ablation benchmarks).
+struct PipelineOptions {
+  bool EnableContract = true;
+  bool EnableValueNumbering = true;
+};
+
+/// Run High -> Low with the standard phase ordering.
+Status runPipeline(ir::Module &M, const PipelineOptions &Opts = {});
+
+} // namespace diderot::passes
+
+#endif // DIDEROT_PASSES_PASSES_H

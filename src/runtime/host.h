@@ -1,0 +1,101 @@
+//===--- runtime/host.h - the host-side program interface -------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface through which a host application drives a Diderot program,
+/// regardless of engine: the interpreter engine implements it directly over
+/// MidIR; the native engine's generated C++ implements it in the emitted
+/// shared object ("Diderot's runtime has been designed to allow Diderot
+/// programs to be embedded as libraries in any host language that supports
+/// calling C code" — Section 7).
+///
+/// Protocol: set inputs -> initialize() -> run(...) -> read outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_RUNTIME_HOST_H
+#define DIDEROT_RUNTIME_HOST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "support/result.h"
+#include "tensor/shape.h"
+
+namespace diderot::rt {
+
+/// Description of one program input.
+struct InputDesc {
+  std::string Name;
+  std::string TypeName; ///< Diderot type syntax
+  bool HasDefault = false;
+};
+
+/// Description of one output (an `output` strand state variable).
+struct OutputDesc {
+  std::string Name;
+  Shape ValShape;     ///< per-strand tensor shape ([] for int outputs too)
+  bool IsInt = false; ///< int-typed output
+};
+
+/// A running (or runnable) instance of a compiled Diderot program.
+class ProgramInstance {
+public:
+  virtual ~ProgramInstance() = default;
+
+  // -- Introspection ------------------------------------------------------
+  virtual std::vector<InputDesc> inputs() const = 0;
+  virtual std::vector<OutputDesc> outputs() const = 0;
+
+  // -- Inputs (before initialize) ------------------------------------------
+  virtual Status setInputReal(const std::string &Name, double V) = 0;
+  virtual Status setInputInt(const std::string &Name, int64_t V) = 0;
+  virtual Status setInputBool(const std::string &Name, bool V) = 0;
+  virtual Status setInputString(const std::string &Name,
+                                const std::string &V) = 0;
+  /// Tensor-typed input; \p Components in row-major order.
+  virtual Status setInputTensor(const std::string &Name,
+                                const std::vector<double> &Components) = 0;
+  /// Image-typed input; the image is copied into the instance.
+  virtual Status setInputImage(const std::string &Name, const Image &Img) = 0;
+
+  // -- Lifecycle ------------------------------------------------------------
+  /// Apply input defaults, evaluate the globals, create the initial strands.
+  virtual Status initialize() = 0;
+
+  /// Run bulk-synchronous supersteps until every strand is stable or dead,
+  /// or \p MaxSupersteps elapse. \p NumWorkers <= 0 selects the sequential
+  /// scheduler (a plain loop nest); >= 1 uses the pthread-style worker pool
+  /// with that many workers (1P measures the scheduler's own overhead).
+  /// \p BlockSize is the work-list granularity (strands per block).
+  virtual Result<int> run(int MaxSupersteps, int NumWorkers,
+                          int BlockSize = 4096) = 0;
+
+  // -- Outputs (after run) --------------------------------------------------
+  /// Grid dimensions for grid-initialized programs (first iterator is the
+  /// slowest axis); for collections, one dimension = number of stable
+  /// strands.
+  virtual std::vector<int> outputDims() const = 0;
+  /// Fetch output \p Name: \p Data receives per-strand components (strand
+  /// major, components fastest). Dead strands of a grid contribute zeros.
+  virtual Status getOutput(const std::string &Name,
+                           std::vector<double> &Data) const = 0;
+
+  // -- Statistics -----------------------------------------------------------
+  virtual size_t numStrands() const = 0;
+  virtual size_t numStable() const = 0;
+  virtual size_t numDead() const = 0;
+};
+
+/// Factory signature exported (extern "C") by generated shared objects as
+/// the symbol "diderot_create_instance".
+using CreateInstanceFn = ProgramInstance *(*)();
+
+} // namespace diderot::rt
+
+#endif // DIDEROT_RUNTIME_HOST_H

@@ -1,0 +1,1031 @@
+//===--- simple/lower.cpp --------------------------------------------------===//
+
+#include "simple/lower.h"
+
+#include <cassert>
+#include <map>
+
+#include "frontend/builtins.h"
+#include "ir/builder.h"
+
+namespace diderot {
+
+using ir::Builder;
+using ir::Op;
+using ir::ValueId;
+
+ExprPtr cloneExpr(const Expr &E) {
+  auto C = std::make_unique<Expr>(E.Kind, E.Loc);
+  C->IntVal = E.IntVal;
+  C->RealVal = E.RealVal;
+  C->BoolVal = E.BoolVal;
+  C->StrVal = E.StrVal;
+  C->Name = E.Name;
+  C->UOp = E.UOp;
+  C->BOp = E.BOp;
+  C->Ty = E.Ty;
+  C->Resolved = E.Resolved;
+  C->RefKind = E.RefKind;
+  C->RefIndex = E.RefIndex;
+  C->BuiltinId = E.BuiltinId;
+  for (const ExprPtr &Kid : E.Kids)
+    C->Kids.push_back(cloneExpr(*Kid));
+  return C;
+}
+
+namespace {
+
+constexpr double PiValue = 3.141592653589793238462643383279502884;
+
+//===----------------------------------------------------------------------===//
+// Environment: variable name -> SSA value, with block scoping.
+//===----------------------------------------------------------------------===//
+
+class Env {
+public:
+  void push() { Scopes.emplace_back(); }
+  void pop() { Scopes.pop_back(); }
+
+  void insert(const std::string &Name, ValueId V) {
+    Scopes.back()[Name] = V;
+  }
+  /// Rebind an existing variable (assignment), wherever it was declared.
+  void assign(const std::string &Name, ValueId V) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end()) {
+        F->second = V;
+        return;
+      }
+    }
+    assert(false && "assignment to unknown variable");
+  }
+  ValueId lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return F->second;
+    }
+    return ir::NoValue;
+  }
+  /// All visible bindings, innermost definition winning.
+  std::map<std::string, ValueId> flatten() const {
+    std::map<std::string, ValueId> Out;
+    for (const auto &Scope : Scopes)
+      for (const auto &[K, V] : Scope)
+        Out[K] = V;
+    return Out;
+  }
+
+  Env clone() const { return *this; }
+
+private:
+  std::vector<std::map<std::string, ValueId>> Scopes;
+};
+
+//===----------------------------------------------------------------------===//
+// Staticization (field determination)
+//===----------------------------------------------------------------------===//
+
+class Staticizer {
+public:
+  Staticizer(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  void run() {
+    hoistLoads();
+    inlineGlobalFieldInits();
+    // Inline field/kernel variables and distribute conditionals everywhere
+    // expressions occur.
+    for (GlobalDecl &G : P.Globals)
+      if (G.Init)
+        staticizeExpr(G.Init);
+    FieldLocals.clear();
+    for (StateVar &V : P.Strand.State)
+      if (V.Init)
+        staticizeExpr(V.Init);
+    if (P.Strand.UpdateBody)
+      staticizeStmt(*P.Strand.UpdateBody);
+    if (P.Strand.StabilizeBody)
+      staticizeStmt(*P.Strand.StabilizeBody);
+    for (ExprPtr &A : P.Init.Args)
+      staticizeExpr(A);
+    for (Iterator &It : P.Init.Iters) {
+      staticizeExpr(It.Lo);
+      staticizeExpr(It.Hi);
+    }
+  }
+
+private:
+  /// Replace load(...) calls nested inside non-image globals with references
+  /// to fresh image globals, so image loading happens once at startup.
+  void hoistLoads() {
+    size_t NumOriginal = P.Globals.size();
+    for (size_t I = 0; I < NumOriginal; ++I) {
+      GlobalDecl &G = P.Globals[I];
+      if (!G.Init || G.Ty.isImage())
+        continue;
+      hoistLoadsIn(G.Init);
+    }
+  }
+
+  void hoistLoadsIn(ExprPtr &E) {
+    if (E->Kind == ExprKind::Apply &&
+        E->BuiltinId == static_cast<int>(Builtin::Load)) {
+      GlobalDecl NewG;
+      NewG.Loc = E->Loc;
+      NewG.IsInput = false;
+      NewG.Ty = E->Ty;
+      NewG.Name = strf("$img", NextHoisted++);
+      auto Ref = std::make_unique<Expr>(ExprKind::Ident, E->Loc);
+      Ref->Name = NewG.Name;
+      Ref->Ty = E->Ty;
+      Ref->RefKind = Expr::Ref::Global;
+      Ref->RefIndex = static_cast<int>(P.Globals.size());
+      NewG.Init = std::move(E);
+      P.Globals.push_back(std::move(NewG));
+      E = std::move(Ref);
+      return;
+    }
+    for (ExprPtr &Kid : E->Kids)
+      hoistLoadsIn(Kid);
+  }
+
+  /// Field/kernel globals are compile-time symbolic: substitute each one's
+  /// (already staticized) initializer into later initializers, so every
+  /// use site sees convolutions directly.
+  void inlineGlobalFieldInits() {
+    for (GlobalDecl &G : P.Globals) {
+      if (!G.Init)
+        continue;
+      inlineVarsIn(G.Init);
+      distributeConds(G.Init);
+    }
+  }
+
+  void staticizeExpr(ExprPtr &E) {
+    if (!E)
+      return;
+    inlineVarsIn(E);
+    distributeConds(E);
+  }
+
+  void staticizeStmt(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      // Field-typed locals are scoped to the block.
+      auto Saved = FieldLocals;
+      for (StmtPtr &Child : S.Body)
+        staticizeStmt(*Child);
+      FieldLocals = std::move(Saved);
+      return;
+    }
+    case StmtKind::Decl:
+      staticizeExpr(S.Value);
+      if (S.DeclTy.isField() || S.DeclTy.isKernel()) {
+        // Record the definition and neuter the declaration: uses are
+        // replaced by the definition, so nothing remains to execute.
+        FieldLocals[S.Name] = S.Value.get();
+        S.Kind = StmtKind::Block;
+        S.Body.clear();
+      }
+      return;
+    case StmtKind::Assign:
+      if (FieldLocals.count(S.Name)) {
+        Diags.error(S.Loc, strf("field variable '", S.Name,
+                                "' cannot be reassigned (fields must be "
+                                "statically determined)"));
+        return;
+      }
+      staticizeExpr(S.Value);
+      return;
+    case StmtKind::If:
+      staticizeExpr(S.Value);
+      staticizeStmt(*S.Then);
+      if (S.Else)
+        staticizeStmt(*S.Else);
+      return;
+    case StmtKind::Stabilize:
+    case StmtKind::Die:
+      return;
+    }
+  }
+
+  void inlineVarsIn(ExprPtr &E) {
+    if (E->Kind == ExprKind::Ident && (E->Ty.isField() || E->Ty.isKernel())) {
+      const Expr *Def = nullptr;
+      if (E->RefKind == Expr::Ref::Global) {
+        const GlobalDecl &G = P.Globals[static_cast<size_t>(E->RefIndex)];
+        Def = G.Init.get();
+        if (!Def) {
+          Diags.error(E->Loc, strf("field '", E->Name,
+                                   "' has no definition to inline"));
+          return;
+        }
+      } else if (E->RefKind == Expr::Ref::Local) {
+        auto It = FieldLocals.find(E->Name);
+        assert(It != FieldLocals.end() && "field local lost during lowering");
+        Def = It->second;
+      } else {
+        return; // built-in kernel name: stays symbolic
+      }
+      E = cloneExpr(*Def);
+      return;
+    }
+    for (ExprPtr &Kid : E->Kids)
+      inlineVarsIn(Kid);
+  }
+
+  /// Is kid \p K of \p E consumed as a field (so a conditional there must be
+  /// distributed)?
+  static bool consumesFieldKid(const Expr &E, size_t K) {
+    const Expr &Kid = *E.Kids[K];
+    if (!Kid.Ty.isField())
+      return false;
+    switch (E.Kind) {
+    case ExprKind::Unary:
+      return true; // ∇, ∇⊗, -f
+    case ExprKind::Binary:
+      return true; // field arithmetic
+    case ExprKind::Apply:
+      // probe callee (kid 0) or inside's field argument.
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  void distributeConds(ExprPtr &E) {
+    for (ExprPtr &Kid : E->Kids)
+      distributeConds(Kid);
+    for (size_t K = 0; K < E->Kids.size(); ++K) {
+      if (E->Kids[K]->Kind != ExprKind::Cond || !consumesFieldKid(*E, K))
+        continue;
+      // E[..., (a if c else b), ...] => E[...,a,...] if c else E[...,b,...]
+      ExprPtr CondE = std::move(E->Kids[K]);
+      ExprPtr ThenV = std::move(CondE->Kids[0]);
+      ExprPtr CondV = std::move(CondE->Kids[1]);
+      ExprPtr ElseV = std::move(CondE->Kids[2]);
+
+      // Install the then-arm before cloning: E must have no null kids.
+      E->Kids[K] = std::move(ThenV);
+      ExprPtr ElseCopy = cloneExpr(*E);
+      ElseCopy->Kids[K] = std::move(ElseV);
+
+      auto NewCond = std::make_unique<Expr>(ExprKind::Cond, CondE->Loc);
+      NewCond->Ty = E->Ty;
+      NewCond->Kids.push_back(std::move(E));
+      NewCond->Kids.push_back(std::move(CondV));
+      NewCond->Kids.push_back(std::move(ElseCopy));
+      E = std::move(NewCond);
+      // The new branches may still contain conditional fields; recurse.
+      distributeConds(E->Kids[0]);
+      distributeConds(E->Kids[2]);
+      return;
+    }
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::map<std::string, const Expr *> FieldLocals;
+  int NextHoisted = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+class Lowering {
+public:
+  Lowering(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  Result<ir::Module> run() {
+    M.Name = P.Strand.Name;
+    M.CurLevel = ir::High;
+    Staticizer(P, Diags).run();
+    if (Diags.hasErrors())
+      return Result<ir::Module>::error(Diags.str());
+
+    buildGlobals();
+    lowerGlobalInit();
+    lowerStrand();
+    lowerInitially();
+    if (Diags.hasErrors())
+      return Result<ir::Module>::error(Diags.str());
+    std::string Err = ir::verify(M);
+    if (!Err.empty())
+      return Result<ir::Module>::error(
+          strf("internal error: HighIR verification failed: ", Err));
+    return std::move(M);
+  }
+
+private:
+  /// Module globals are the AST globals that need runtime storage: value
+  /// types and images. Field/kernel globals were inlined away.
+  void buildGlobals() {
+    GlobalMap.assign(P.Globals.size(), -1);
+    for (size_t I = 0; I < P.Globals.size(); ++I) {
+      const GlobalDecl &G = P.Globals[I];
+      if (G.Ty.isField() || G.Ty.isKernel())
+        continue;
+      GlobalMap[I] = static_cast<int>(M.Globals.size());
+      M.Globals.push_back({G.Name, G.Ty, G.IsInput, -1});
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  void lowerGlobalInit() {
+    ir::Function &F = M.GlobalInit;
+    F.Name = "globalInit";
+    Builder B(F);
+    Env E;
+    E.push();
+    // Parameters: one per input global (module order).
+    for (size_t I = 0; I < P.Globals.size(); ++I) {
+      const GlobalDecl &G = P.Globals[I];
+      if (GlobalMap[I] < 0 || !G.IsInput)
+        continue;
+      ValueId V = B.addParam(G.Ty);
+      E.insert(G.Name, V);
+    }
+    // Compute non-input globals in order.
+    std::vector<ValueId> Results;
+    for (size_t I = 0; I < P.Globals.size(); ++I) {
+      const GlobalDecl &G = P.Globals[I];
+      if (GlobalMap[I] < 0)
+        continue;
+      if (G.IsInput) {
+        // Also lower the default into its own function.
+        if (G.Init) {
+          ir::Function DF;
+          DF.Name = strf("default$", G.Name);
+          DF.ResultTypes = {G.Ty};
+          Builder DB(DF);
+          Env DE;
+          DE.push();
+          CurB = &DB;
+          CurEnv = &DE;
+          InGlobalInit = false;
+          ValueId V = lowerExpr(*G.Init);
+          DB.exit(ir::ExitAttr::Continue, {V});
+          DB.finish();
+          M.Globals[static_cast<size_t>(GlobalMap[I])].DefaultFn =
+              static_cast<int>(M.InputDefaults.size());
+          M.InputDefaults.push_back(std::move(DF));
+        }
+        continue;
+      }
+      CurB = &B;
+      CurEnv = &E;
+      InGlobalInit = true;
+      assert(G.Init && "non-input global without initializer");
+      ValueId V = lowerExpr(*G.Init);
+      E.insert(G.Name, V);
+      Results.push_back(V);
+      F.ResultTypes.push_back(G.Ty);
+    }
+    CurB = &B;
+    B.exit(ir::ExitAttr::Continue, Results);
+    B.finish();
+    InGlobalInit = false;
+  }
+
+  void lowerStrand() {
+    const StrandDecl &S = P.Strand;
+    M.StrandName = S.Name;
+    for (const Param &Prm : S.Params)
+      M.StrandParams.push_back(Prm.Ty);
+    for (const StateVar &V : S.State)
+      M.State.push_back({V.Name, V.Ty, V.IsOutput});
+
+    // strandInit: params -> initial state.
+    {
+      ir::Function &F = M.StrandInit;
+      F.Name = "strandInit";
+      Builder B(F);
+      Env E;
+      E.push();
+      for (const Param &Prm : S.Params)
+        E.insert(Prm.Name, B.addParam(Prm.Ty));
+      CurB = &B;
+      CurEnv = &E;
+      std::vector<ValueId> StateVals;
+      for (const StateVar &V : S.State) {
+        ValueId Val = lowerExpr(*V.Init);
+        E.insert(V.Name, Val);
+        StateVals.push_back(Val);
+        F.ResultTypes.push_back(V.Ty);
+      }
+      B.exit(ir::ExitAttr::Continue, StateVals);
+      B.finish();
+    }
+
+    lowerMethod(M.Update, "update", *S.UpdateBody);
+    if (S.StabilizeBody)
+      lowerMethod(M.Stabilize, "stabilize", *S.StabilizeBody);
+  }
+
+  /// Lower update/stabilize. Strand parameters are carried as hidden leading
+  /// state slots so methods can read them; the function maps the full state
+  /// vector to a new state vector, with the Exit kind giving the strand
+  /// status.
+  void lowerMethod(ir::Function &F, const char *Name, Stmt &Body) {
+    const StrandDecl &S = P.Strand;
+    F.Name = Name;
+    Builder B(F);
+    Env E;
+    E.push();
+    // Hidden state: strand parameters first, then declared state.
+    for (const Param &Prm : S.Params)
+      E.insert(Prm.Name, B.addParam(Prm.Ty));
+    for (const StateVar &V : S.State)
+      E.insert(V.Name, B.addParam(V.Ty));
+    for (const Param &Prm : S.Params)
+      F.ResultTypes.push_back(Prm.Ty);
+    for (const StateVar &V : S.State)
+      F.ResultTypes.push_back(V.Ty);
+    CurB = &B;
+    CurEnv = &E;
+    E.push();
+    lowerStmt(Body);
+    // If control fell through (or an if with both branches exiting left the
+    // region without its own terminator), complete the superstep normally.
+    if (!B.terminated())
+      B.exit(ir::ExitAttr::Continue, stateValues(E));
+    B.finish();
+  }
+
+  /// The full state vector (params + state vars) from the environment.
+  std::vector<ValueId> stateValues(const Env &E) const {
+    std::vector<ValueId> Out;
+    for (const Param &Prm : P.Strand.Params)
+      Out.push_back(E.lookup(Prm.Name));
+    for (const StateVar &V : P.Strand.State)
+      Out.push_back(E.lookup(V.Name));
+    return Out;
+  }
+
+  void lowerInitially() {
+    const Initially &I = P.Init;
+    M.IsGrid = I.IsGrid;
+    for (size_t K = 0; K < I.Iters.size(); ++K) {
+      for (bool IsLo : {true, false}) {
+        ir::Function F;
+        F.Name = strf(IsLo ? "iterLo" : "iterHi", K);
+        F.ResultTypes = {Type::integer()};
+        Builder B(F);
+        Env E;
+        E.push();
+        CurB = &B;
+        CurEnv = &E;
+        ValueId V = lowerExpr(IsLo ? *I.Iters[K].Lo : *I.Iters[K].Hi);
+        B.exit(ir::ExitAttr::Continue, {V});
+        B.finish();
+        (IsLo ? M.IterLo : M.IterHi).push_back(std::move(F));
+      }
+    }
+    ir::Function &F = M.CreateArgs;
+    F.Name = "createArgs";
+    Builder B(F);
+    Env E;
+    E.push();
+    for (const Iterator &It : I.Iters)
+      E.insert(It.Var, B.addParam(Type::integer()));
+    CurB = &B;
+    CurEnv = &E;
+    std::vector<ValueId> Args;
+    for (const ExprPtr &A : I.Args) {
+      Args.push_back(lowerExpr(*A));
+      F.ResultTypes.push_back(A->Ty);
+    }
+    B.exit(ir::ExitAttr::Continue, Args);
+    B.finish();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  /// Lower a statement; returns false when control cannot continue past it
+  /// (both paths exited).
+  bool lowerStmt(Stmt &S) {
+    Builder &B = *CurB;
+    Env &E = *CurEnv;
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      E.push();
+      bool Live = true;
+      for (StmtPtr &Child : S.Body) {
+        if (!Live) {
+          Diags.warning(Child->Loc, "unreachable statement");
+          break;
+        }
+        Live = lowerStmt(*Child);
+      }
+      E.pop();
+      return Live;
+    }
+    case StmtKind::Decl: {
+      ValueId V = lowerExpr(*S.Value);
+      E.insert(S.Name, V);
+      return true;
+    }
+    case StmtKind::Assign: {
+      ValueId V = lowerExpr(*S.Value);
+      E.assign(S.Name, V);
+      return true;
+    }
+    case StmtKind::Stabilize:
+      B.exit(ir::ExitAttr::Stabilize, stateValues(E));
+      return false;
+    case StmtKind::Die:
+      B.exit(ir::ExitAttr::Die, stateValues(E));
+      return false;
+    case StmtKind::If:
+      return lowerIfStmt(S);
+    }
+    return true;
+  }
+
+  bool lowerIfStmt(Stmt &S) {
+    Builder &B = *CurB;
+    Env &E = *CurEnv;
+    ValueId Cond = lowerExpr(*S.Value);
+    Env PreEnv = E.clone();
+
+    // Then branch.
+    B.pushRegion();
+    E.push();
+    bool ThenLive = lowerStmt(*S.Then);
+    E.pop();
+    // A dead branch whose exit happened inside a nested if still needs a
+    // (unreachable) terminator of its own.
+    if (!ThenLive && !B.terminated())
+      B.exit(ir::ExitAttr::Continue, stateValues(E));
+    Env ThenEnv = E.clone();
+    ir::Region ThenR = stealRegion(B);
+
+    // Else branch.
+    E = PreEnv.clone();
+    B.pushRegion();
+    bool ElseLive = true;
+    if (S.Else) {
+      E.push();
+      ElseLive = lowerStmt(*S.Else);
+      E.pop();
+    }
+    if (!ElseLive && !B.terminated())
+      B.exit(ir::ExitAttr::Continue, stateValues(E));
+    Env ElseEnv = E.clone();
+    ir::Region ElseR = stealRegion(B);
+    E = PreEnv.clone();
+
+    // Which visible variables need merging?
+    std::vector<std::string> Merged;
+    std::map<std::string, ValueId> Pre = PreEnv.flatten();
+    for (const auto &[Name, PreV] : Pre) {
+      ValueId TV = ThenEnv.lookup(Name);
+      ValueId EV = ElseEnv.lookup(Name);
+      bool Differs = ThenLive && ElseLive ? TV != EV
+                     : ThenLive           ? TV != PreV
+                     : ElseLive           ? EV != PreV
+                                          : false;
+      if (Differs)
+        Merged.push_back(Name);
+    }
+
+    std::vector<Type> ResultTys;
+    for (const std::string &Name : Merged)
+      ResultTys.push_back(B.function().typeOf(Pre[Name]));
+
+    // Terminate live branches with yields of the merged values.
+    auto Terminate = [&](ir::Region &R, const Env &BranchEnv, bool Live) {
+      if (!Live)
+        return;
+      ir::Instr Y(Op::Yield);
+      for (const std::string &Name : Merged)
+        Y.Operands.push_back(BranchEnv.lookup(Name));
+      R.Body.push_back(std::move(Y));
+    };
+    Terminate(ThenR, ThenEnv, ThenLive);
+    Terminate(ElseR, ElseEnv, ElseLive);
+
+    if (!ThenLive && !ElseLive) {
+      // Neither branch falls through; the if is a terminator in effect.
+      B.emitIf(Cond, std::move(ThenR), std::move(ElseR), {});
+      return false;
+    }
+    std::vector<ValueId> Rs =
+        B.emitIf(Cond, std::move(ThenR), std::move(ElseR), ResultTys);
+    for (size_t I = 0; I < Merged.size(); ++I)
+      E.assign(Merged[I], Rs[I]);
+    return true;
+  }
+
+  /// Pop the builder's current region without requiring a terminator (the
+  /// caller appends the Yield once merge sets are known).
+  static ir::Region stealRegion(Builder &B) { return B.popRegionUnchecked(); }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  ValueId lowerExpr(const Expr &E);
+  ValueId lowerIdent(const Expr &E);
+  ValueId lowerUnary(const Expr &E);
+  ValueId lowerBinary(const Expr &E);
+  ValueId lowerCondExpr(const Expr &E);
+  ValueId lowerApply(const Expr &E);
+  ValueId lowerBuiltin(const Expr &E);
+  ValueId lowerTensorCons(const Expr &E);
+  ValueId lowerIndex(const Expr &E);
+  ValueId lowerShortCircuit(const Expr &E, bool IsAnd);
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  ir::Module M;
+  std::vector<int> GlobalMap;
+  Builder *CurB = nullptr;
+  Env *CurEnv = nullptr;
+  bool InGlobalInit = false;
+};
+
+ValueId Lowering::lowerExpr(const Expr &E) {
+  Builder &B = *CurB;
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return B.constInt(E.IntVal);
+  case ExprKind::RealLit:
+    return B.constReal(E.RealVal);
+  case ExprKind::PiLit:
+    return B.constReal(PiValue);
+  case ExprKind::BoolLit:
+    return B.constBool(E.BoolVal);
+  case ExprKind::StringLit:
+    return B.constString(E.StrVal);
+  case ExprKind::Ident:
+    return lowerIdent(E);
+  case ExprKind::Unary:
+    return lowerUnary(E);
+  case ExprKind::Binary:
+    return lowerBinary(E);
+  case ExprKind::Cond:
+    return lowerCondExpr(E);
+  case ExprKind::Apply:
+    return lowerApply(E);
+  case ExprKind::TensorCons:
+    return lowerTensorCons(E);
+  case ExprKind::SeqCons: {
+    std::vector<ValueId> Elems;
+    for (const ExprPtr &Kid : E.Kids)
+      Elems.push_back(lowerExpr(*Kid));
+    return B.emit(Op::SeqCons, std::move(Elems), E.Ty, std::monostate{}, E.Loc);
+  }
+  case ExprKind::Index:
+    return lowerIndex(E);
+  case ExprKind::Norm: {
+    ValueId V = lowerExpr(*E.Kids[0]);
+    if (E.Kids[0]->Ty.isReal())
+      return B.emit(Op::Abs, {V}, Type::real(), std::monostate{}, E.Loc);
+    return B.emit(Op::Norm, {V}, Type::real(), std::monostate{}, E.Loc);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return ir::NoValue;
+}
+
+ValueId Lowering::lowerIdent(const Expr &E) {
+  switch (E.RefKind) {
+  case Expr::Ref::Global: {
+    int MIdx = GlobalMap[static_cast<size_t>(E.RefIndex)];
+    assert(MIdx >= 0 && "field/kernel globals are inlined before lowering");
+    if (InGlobalInit) {
+      ValueId V = CurEnv->lookup(E.Name);
+      assert(V != ir::NoValue && "global referenced before its definition");
+      return V;
+    }
+    return CurB->emit(Op::GlobalGet, {}, E.Ty,
+                      static_cast<int64_t>(MIdx), E.Loc);
+  }
+  case Expr::Ref::Param:
+  case Expr::Ref::State:
+  case Expr::Ref::Local:
+  case Expr::Ref::IterVar: {
+    ValueId V = CurEnv->lookup(E.Name);
+    assert(V != ir::NoValue && "unbound variable after type checking");
+    return V;
+  }
+  case Expr::Ref::Kernel:
+  case Expr::Ref::None:
+    break;
+  }
+  Diags.error(E.Loc, strf("cannot use '", E.Name, "' as a value here"));
+  return CurB->constInt(0);
+}
+
+ValueId Lowering::lowerUnary(const Expr &E) {
+  Builder &B = *CurB;
+  if (E.UOp == UnaryOp::Nabla || E.UOp == UnaryOp::NablaOtimes) {
+    ValueId F = lowerExpr(*E.Kids[0]);
+    return B.emit(Op::FieldDiff, {F}, E.Ty, std::monostate{}, E.Loc);
+  }
+  if (E.UOp == UnaryOp::Divergence || E.UOp == UnaryOp::Curl) {
+    ValueId F = lowerExpr(*E.Kids[0]);
+    return B.emit(E.UOp == UnaryOp::Divergence ? Op::FieldDivergence
+                                               : Op::FieldCurl,
+                  {F}, E.Ty, std::monostate{}, E.Loc);
+  }
+  ValueId V = lowerExpr(*E.Kids[0]);
+  if (E.UOp == UnaryOp::Not)
+    return B.emit(Op::Not, {V}, Type::boolean(), std::monostate{}, E.Loc);
+  if (E.Resolved == ResolvedOp::FieldNeg)
+    return B.emit(Op::FieldNeg, {V}, E.Ty, std::monostate{}, E.Loc);
+  return B.emit(Op::Neg, {V}, E.Ty, std::monostate{}, E.Loc);
+}
+
+ValueId Lowering::lowerBinary(const Expr &E) {
+  Builder &B = *CurB;
+  if (E.BOp == BinaryOp::And || E.BOp == BinaryOp::Or)
+    return lowerShortCircuit(E, E.BOp == BinaryOp::And);
+
+  if (E.BOp == BinaryOp::Convolve) {
+    // One side is the image, the other a built-in kernel name.
+    const Expr &L = *E.Kids[0];
+    const Expr &R = *E.Kids[1];
+    const Expr &ImgE = L.Ty.isImage() ? L : R;
+    const Expr &KernE = L.Ty.isImage() ? R : L;
+    if (KernE.Kind != ExprKind::Ident || KernE.RefKind != Expr::Ref::Kernel) {
+      Diags.error(KernE.Loc, "convolution kernel must be a built-in kernel");
+      return B.constInt(0);
+    }
+    ValueId Img = lowerExpr(ImgE);
+    return B.emit(Op::Convolve, {Img}, E.Ty,
+                  ir::ConvolveAttr{KernE.Name, 0}, E.Loc);
+  }
+
+  ValueId L = lowerExpr(*E.Kids[0]);
+  ValueId R = lowerExpr(*E.Kids[1]);
+  auto Bin = [&](Op O) {
+    return B.emit(O, {L, R}, E.Ty, std::monostate{}, E.Loc);
+  };
+
+  switch (E.BOp) {
+  case BinaryOp::Add:
+    return Bin(E.Resolved == ResolvedOp::FieldAddSub ? Op::FieldAdd : Op::Add);
+  case BinaryOp::Sub:
+    return Bin(E.Resolved == ResolvedOp::FieldAddSub ? Op::FieldSub : Op::Sub);
+  case BinaryOp::Mul:
+    switch (E.Resolved) {
+    case ResolvedOp::ScaleLeft:
+      return Bin(Op::Scale);
+    case ResolvedOp::ScaleRight:
+      return B.emit(Op::Scale, {R, L}, E.Ty, std::monostate{}, E.Loc);
+    case ResolvedOp::FieldScaleLeft:
+      return Bin(Op::FieldScale);
+    case ResolvedOp::FieldScaleRight:
+      return B.emit(Op::FieldScale, {R, L}, E.Ty, std::monostate{}, E.Loc);
+    default:
+      return Bin(Op::Mul);
+    }
+  case BinaryOp::Div:
+    switch (E.Resolved) {
+    case ResolvedOp::TensorDivScalar:
+      return Bin(Op::DivScale);
+    case ResolvedOp::FieldDivScalar:
+      return Bin(Op::FieldDivScale);
+    default:
+      return Bin(Op::Div);
+    }
+  case BinaryOp::Mod:
+    return Bin(Op::Mod);
+  case BinaryOp::Pow: {
+    if (E.Kids[1]->Ty.isInt())
+      R = B.emit(Op::IntToReal, {R}, Type::real());
+    return B.emit(Op::Pow, {L, R}, Type::real(), std::monostate{}, E.Loc);
+  }
+  case BinaryOp::Dot:
+    return Bin(Op::Dot);
+  case BinaryOp::Cross:
+    return Bin(Op::Cross);
+  case BinaryOp::Outer:
+    return Bin(Op::Outer);
+  case BinaryOp::Lt:
+    return Bin(Op::Lt);
+  case BinaryOp::Le:
+    return Bin(Op::Le);
+  case BinaryOp::Gt:
+    return Bin(Op::Gt);
+  case BinaryOp::Ge:
+    return Bin(Op::Ge);
+  case BinaryOp::Eq:
+    return Bin(Op::Eq);
+  case BinaryOp::Ne:
+    return Bin(Op::Ne);
+  default:
+    break;
+  }
+  assert(false && "unhandled binary operator");
+  return ir::NoValue;
+}
+
+ValueId Lowering::lowerShortCircuit(const Expr &E, bool IsAnd) {
+  // Short-circuit semantics matter: `inside(p, F) && F(p) > t` must not
+  // probe outside the field domain. Lower to an If.
+  Builder &B = *CurB;
+  ValueId L = lowerExpr(*E.Kids[0]);
+  B.pushRegion();
+  if (IsAnd) {
+    ValueId R = lowerExpr(*E.Kids[1]);
+    B.yield({R});
+  } else {
+    ValueId T = B.constBool(true);
+    B.yield({T});
+  }
+  ir::Region Then = B.popRegion();
+  B.pushRegion();
+  if (IsAnd) {
+    ValueId F = B.constBool(false);
+    B.yield({F});
+  } else {
+    ValueId R = lowerExpr(*E.Kids[1]);
+    B.yield({R});
+  }
+  ir::Region Else = B.popRegion();
+  return B.emitIf(L, std::move(Then), std::move(Else), {Type::boolean()})[0];
+}
+
+ValueId Lowering::lowerCondExpr(const Expr &E) {
+  Builder &B = *CurB;
+  assert(!E.Ty.isField() &&
+         "field conditionals are distributed by staticization");
+  ValueId Cond = lowerExpr(*E.Kids[1]);
+  B.pushRegion();
+  ValueId T = lowerExpr(*E.Kids[0]);
+  B.yield({T});
+  ir::Region Then = B.popRegion();
+  B.pushRegion();
+  ValueId F = lowerExpr(*E.Kids[2]);
+  B.yield({F});
+  ir::Region Else = B.popRegion();
+  return B.emitIf(Cond, std::move(Then), std::move(Else), {E.Ty})[0];
+}
+
+ValueId Lowering::lowerApply(const Expr &E) {
+  Builder &B = *CurB;
+  if (E.Resolved == ResolvedOp::Probe) {
+    ValueId F = lowerExpr(*E.Kids[0]);
+    ValueId Pos = lowerExpr(*E.Kids[1]);
+    return B.emit(Op::Probe, {F, Pos}, E.Ty, std::monostate{}, E.Loc);
+  }
+  assert(E.Resolved == ResolvedOp::BuiltinCall && "unresolved application");
+  return lowerBuiltin(E);
+}
+
+ValueId Lowering::lowerBuiltin(const Expr &E) {
+  Builder &B = *CurB;
+  Builtin Bi = static_cast<Builtin>(E.BuiltinId);
+  auto Arg = [&](size_t I) { return lowerExpr(*E.Kids[I + 1]); };
+  auto Un = [&](Op O) {
+    ValueId V = Arg(0);
+    return B.emit(O, {V}, E.Ty, std::monostate{}, E.Loc);
+  };
+  auto Bin2 = [&](Op O) {
+    ValueId A = Arg(0);
+    ValueId C = Arg(1);
+    return B.emit(O, {A, C}, E.Ty, std::monostate{}, E.Loc);
+  };
+  switch (Bi) {
+  case Builtin::Inside: {
+    ValueId Pos = Arg(0);
+    ValueId F = Arg(1);
+    return B.emit(Op::FieldInside, {Pos, F}, Type::boolean(), std::monostate{},
+                  E.Loc);
+  }
+  case Builtin::Normalize:
+    return Un(Op::Normalize);
+  case Builtin::Trace:
+    return Un(Op::Trace);
+  case Builtin::Det:
+    return Un(Op::Det);
+  case Builtin::Inv:
+    return Un(Op::Inverse);
+  case Builtin::Transpose:
+    return Un(Op::Transpose);
+  case Builtin::Evals:
+    return Un(Op::Evals);
+  case Builtin::Evecs:
+    return Un(Op::Evecs);
+  case Builtin::Modulate:
+    return Bin2(Op::Modulate);
+  case Builtin::Lerp: {
+    ValueId A = Arg(0), C = Arg(1), T = Arg(2);
+    return B.emit(Op::Lerp, {A, C, T}, E.Ty, std::monostate{}, E.Loc);
+  }
+  case Builtin::Sqrt:
+    return Un(Op::Sqrt);
+  case Builtin::Cos:
+    return Un(Op::Cos);
+  case Builtin::Sin:
+    return Un(Op::Sin);
+  case Builtin::Tan:
+    return Un(Op::Tan);
+  case Builtin::Asin:
+    return Un(Op::Asin);
+  case Builtin::Acos:
+    return Un(Op::Acos);
+  case Builtin::Atan:
+    return Un(Op::Atan);
+  case Builtin::Atan2:
+    return Bin2(Op::Atan2);
+  case Builtin::Exp:
+    return Un(Op::Exp);
+  case Builtin::Log:
+    return Un(Op::Log);
+  case Builtin::Pow:
+    return Bin2(Op::Pow);
+  case Builtin::MinR:
+  case Builtin::MinI:
+    return Bin2(Op::Min);
+  case Builtin::MaxR:
+  case Builtin::MaxI:
+    return Bin2(Op::Max);
+  case Builtin::AbsR:
+  case Builtin::AbsI:
+    return Un(Op::Abs);
+  case Builtin::Clamp: {
+    ValueId X = Arg(0), Lo = Arg(1), Hi = Arg(2);
+    return B.emit(Op::Clamp, {X, Lo, Hi}, E.Ty, std::monostate{}, E.Loc);
+  }
+  case Builtin::Floor:
+    return Un(Op::Floor);
+  case Builtin::Ceil:
+    return Un(Op::Ceil);
+  case Builtin::Round:
+    return Un(Op::Round);
+  case Builtin::Trunc:
+    return Un(Op::Trunc);
+  case Builtin::CastReal: {
+    ValueId V = Arg(0);
+    if (E.Kids[1]->Ty.isInt())
+      return B.emit(Op::IntToReal, {V}, Type::real(), std::monostate{}, E.Loc);
+    return V;
+  }
+  case Builtin::Load:
+    return B.emit(Op::LoadImage, {}, E.Ty, E.Kids[1]->StrVal, E.Loc);
+  }
+  assert(false && "unhandled builtin");
+  return ir::NoValue;
+}
+
+ValueId Lowering::lowerTensorCons(const Expr &E) {
+  Builder &B = *CurB;
+  std::vector<ValueId> Comps;
+  for (const ExprPtr &Kid : E.Kids) {
+    ValueId V = lowerExpr(*Kid);
+    const Shape &KS = Kid->Ty.shape();
+    if (KS.isScalar()) {
+      Comps.push_back(V);
+      continue;
+    }
+    // Flatten nested constructors by extracting each component.
+    int N = KS.numComponents();
+    for (int C = 0; C < N; ++C) {
+      // Unflatten C into a multi-index.
+      std::vector<int> Idx(static_cast<size_t>(KS.order()));
+      int Rem = C;
+      for (int A = KS.order() - 1; A >= 0; --A) {
+        Idx[static_cast<size_t>(A)] = Rem % KS[A];
+        Rem /= KS[A];
+      }
+      Comps.push_back(B.emit(Op::TensorIndex, {V}, Type::real(), Idx, E.Loc));
+    }
+  }
+  return B.emit(Op::TensorCons, std::move(Comps), E.Ty, std::monostate{},
+                E.Loc);
+}
+
+ValueId Lowering::lowerIndex(const Expr &E) {
+  Builder &B = *CurB;
+  if (E.Resolved == ResolvedOp::IdentityCons)
+    return B.constTensor(Tensor::identity(static_cast<int>(E.Kids[1]->IntVal)));
+  ValueId Base = lowerExpr(*E.Kids[0]);
+  if (E.Resolved == ResolvedOp::SeqIndex) {
+    ValueId Idx = lowerExpr(*E.Kids[1]);
+    return B.emit(Op::SeqIndex, {Base, Idx}, E.Ty, std::monostate{}, E.Loc);
+  }
+  assert(E.Resolved == ResolvedOp::TensorIndex);
+  std::vector<int> Idx;
+  for (size_t I = 1; I < E.Kids.size(); ++I)
+    Idx.push_back(static_cast<int>(E.Kids[I]->IntVal));
+  return B.emit(Op::TensorIndex, {Base}, E.Ty, Idx, E.Loc);
+}
+
+} // namespace
+
+Result<ir::Module> lowerToHighIR(Program &P, DiagnosticEngine &Diags) {
+  return Lowering(P, Diags).run();
+}
+
+} // namespace diderot

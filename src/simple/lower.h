@@ -1,0 +1,47 @@
+//===--- simple/lower.h - typed AST -> HighIR -------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simplification phase (paper Section 5.1): "the typed AST is then
+/// converted into a simplified representation, where temporaries are
+/// introduced for intermediate values and operators are applied only to
+/// variables. At this point we also duplicate code, as necessary, to ensure
+/// that fields are statically determined."
+///
+/// Our simplified representation *is* HighIR (structured SSA in A-normal
+/// form). Static determination of fields is achieved by (a) hoisting
+/// `load(...)` calls buried in field initializers into fresh image globals,
+/// (b) inlining field- and kernel-typed variables into their use sites, and
+/// (c) duplicating conditional field expressions through their consumers:
+///     (F1 if b else F2)(x)  ==>  F1(x) if b else F2(x)
+/// exactly the transformation the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SIMPLE_LOWER_H
+#define DIDEROT_SIMPLE_LOWER_H
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "ir/ir.h"
+#include "support/diagnostics.h"
+#include "support/result.h"
+
+namespace diderot {
+
+/// Lower a type-checked program to a HighIR module. The program is consumed
+/// (staticization rewrites it in place). Errors (e.g. fields that cannot be
+/// statically determined) are reported to \p Diags.
+Result<ir::Module> lowerToHighIR(Program &P, DiagnosticEngine &Diags);
+
+/// Deep-copy an expression tree, including type annotations (exposed for the
+/// staticization tests).
+ExprPtr cloneExpr(const Expr &E);
+
+} // namespace diderot
+
+#endif // DIDEROT_SIMPLE_LOWER_H

@@ -1,0 +1,27 @@
+//===--- support/diagnostics.cpp ------------------------------------------===//
+
+#include "support/diagnostics.h"
+
+namespace diderot {
+
+std::string Diagnostic::str() const {
+  const char *Tag = "error";
+  if (Lvl == Level::Warning)
+    Tag = "warning";
+  else if (Lvl == Level::Note)
+    Tag = "note";
+  if (Loc.isValid())
+    return strf(Loc.str(), ": ", Tag, ": ", Message);
+  return strf(Tag, ": ", Message);
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace diderot

@@ -1,0 +1,62 @@
+//===--- support/diagnostics.h - compiler diagnostics --------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic sink shared by the lexer, parser, and type checker. Front-end
+/// phases report errors here and continue where recovery is possible; the
+/// driver refuses to proceed past a phase that produced errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_DIAGNOSTICS_H
+#define DIDEROT_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "support/location.h"
+
+namespace diderot {
+
+/// A single compiler diagnostic.
+struct Diagnostic {
+  enum class Level { Error, Warning, Note };
+  Level Lvl = Level::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one source file.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Level::Error, Loc, std::move(Msg)});
+    ++NumErrs;
+  }
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Level::Warning, Loc, std::move(Msg)});
+  }
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Level::Note, Loc, std::move(Msg)});
+  }
+
+  bool hasErrors() const { return NumErrs > 0; }
+  unsigned numErrors() const { return NumErrs; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics rendered one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrs = 0;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,29 @@
+//===--- support/location.h - source locations ---------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_LOCATION_H
+#define DIDEROT_SUPPORT_LOCATION_H
+
+#include <string>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+/// A position in a Diderot source file (1-based line and column).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const { return strf(Line, ":", Col); }
+
+  bool operator==(const SourceLoc &) const = default;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_SUPPORT_LOCATION_H

@@ -1,0 +1,101 @@
+//===--- support/result.h - lightweight error propagation ----------------===//
+//
+// Part of the Diderot-C++ reproduction of "Diderot: A Parallel DSL for Image
+// Analysis and Visualization" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error handling for the Diderot libraries. Following the LLVM coding
+/// standard we do not use C++ exceptions in the core libraries; fallible
+/// operations return \c Result<T> (or \c Status when there is no payload),
+/// which carries either a value or a human-readable error message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_RESULT_H
+#define DIDEROT_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace diderot {
+
+/// An error carrying a human-readable message.
+class Error {
+public:
+  explicit Error(std::string Msg) : Msg(std::move(Msg)) {}
+
+  const std::string &message() const { return Msg; }
+
+private:
+  std::string Msg;
+};
+
+/// Result of an operation with no payload: success or an error message.
+class Status {
+public:
+  /// Construct a success status.
+  Status() = default;
+
+  /// Construct a failure status with message \p Msg.
+  static Status error(std::string Msg) { return Status(std::move(Msg)); }
+
+  static Status ok() { return Status(); }
+
+  bool isOk() const { return !Failed; }
+  explicit operator bool() const { return isOk(); }
+
+  /// The error message; only meaningful when \c !isOk().
+  const std::string &message() const { return Msg; }
+
+private:
+  explicit Status(std::string Msg) : Failed(true), Msg(std::move(Msg)) {}
+
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// Either a value of type \p T or an \c Error. The value is accessed with
+/// \c operator* / \c operator-> (asserting success) after checking \c isOk().
+template <typename T> class Result {
+public:
+  Result(T Value) : Storage(std::move(Value)) {}
+  Result(Error E) : Storage(std::move(E)) {}
+
+  static Result error(std::string Msg) { return Result(Error(std::move(Msg))); }
+
+  bool isOk() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return isOk(); }
+
+  T &operator*() {
+    assert(isOk() && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(isOk() && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Move the value out of the result.
+  T take() {
+    assert(isOk() && "taking value of failed Result");
+    return std::move(std::get<T>(Storage));
+  }
+
+  const std::string &message() const {
+    assert(!isOk() && "accessing error of successful Result");
+    return std::get<Error>(Storage).message();
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_SUPPORT_RESULT_H

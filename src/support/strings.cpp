@@ -1,0 +1,69 @@
+//===--- support/strings.cpp ----------------------------------------------===//
+
+#include "support/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace diderot {
+
+std::vector<std::string> splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  Parts.push_back(Cur);
+  return Parts;
+}
+
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string trimString(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() && S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::string formatReal(double V) {
+  if (std::isnan(V))
+    return "nan";
+  if (std::isinf(V))
+    return V > 0 ? "inf" : "-inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  std::string S(Buf);
+  // Ensure the literal reads as floating point.
+  if (S.find_first_of(".eE") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+} // namespace diderot

@@ -1,0 +1,55 @@
+//===--- support/strings.h - string formatting helpers -------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities shared across the compiler and runtime. GCC 12
+/// lacks std::format, so \c strf streams its arguments into a string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_STRINGS_H
+#define DIDEROT_SUPPORT_STRINGS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace diderot {
+
+/// Stream all arguments into a single std::string.
+template <typename... Ts> std::string strf(const Ts &...Args) {
+  if constexpr (sizeof...(Ts) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream OS;
+    (OS << ... << Args);
+    return OS.str();
+  }
+}
+
+/// Split \p S on the single-character separator \p Sep.
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// Join the strings in \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Strip ASCII whitespace from both ends of \p S.
+std::string trimString(const std::string &S);
+
+/// True if \p S begins with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// True if \p S ends with \p Suffix.
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// Render a double with enough digits to round-trip, without trailing cruft
+/// ("1" -> "1.0" so that emitted C++ literals keep floating type).
+std::string formatReal(double V);
+
+} // namespace diderot
+
+#endif // DIDEROT_SUPPORT_STRINGS_H

@@ -1,0 +1,60 @@
+//===--- support/unicode.cpp ----------------------------------------------===//
+
+#include "support/unicode.h"
+
+namespace diderot {
+
+uint32_t decodeUtf8(const std::string &S, size_t &Pos) {
+  if (Pos >= S.size())
+    return 0;
+  auto Byte = [&](size_t I) -> uint32_t {
+    return static_cast<unsigned char>(S[I]);
+  };
+  uint32_t B0 = Byte(Pos);
+  if (B0 < 0x80) {
+    ++Pos;
+    return B0;
+  }
+  auto Cont = [&](size_t I) {
+    return I < S.size() && (Byte(I) & 0xC0) == 0x80;
+  };
+  if ((B0 & 0xE0) == 0xC0 && Cont(Pos + 1)) {
+    uint32_t CP = ((B0 & 0x1F) << 6) | (Byte(Pos + 1) & 0x3F);
+    Pos += 2;
+    return CP;
+  }
+  if ((B0 & 0xF0) == 0xE0 && Cont(Pos + 1) && Cont(Pos + 2)) {
+    uint32_t CP = ((B0 & 0x0F) << 12) | ((Byte(Pos + 1) & 0x3F) << 6) |
+                  (Byte(Pos + 2) & 0x3F);
+    Pos += 3;
+    return CP;
+  }
+  if ((B0 & 0xF8) == 0xF0 && Cont(Pos + 1) && Cont(Pos + 2) && Cont(Pos + 3)) {
+    uint32_t CP = ((B0 & 0x07) << 18) | ((Byte(Pos + 1) & 0x3F) << 12) |
+                  ((Byte(Pos + 2) & 0x3F) << 6) | (Byte(Pos + 3) & 0x3F);
+    Pos += 4;
+    return CP;
+  }
+  ++Pos;
+  return 0xFFFD;
+}
+
+void encodeUtf8(uint32_t CP, std::string &Out) {
+  if (CP < 0x80) {
+    Out.push_back(static_cast<char>(CP));
+  } else if (CP < 0x800) {
+    Out.push_back(static_cast<char>(0xC0 | (CP >> 6)));
+    Out.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+  } else if (CP < 0x10000) {
+    Out.push_back(static_cast<char>(0xE0 | (CP >> 12)));
+    Out.push_back(static_cast<char>(0x80 | ((CP >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+  } else {
+    Out.push_back(static_cast<char>(0xF0 | (CP >> 18)));
+    Out.push_back(static_cast<char>(0x80 | ((CP >> 12) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | ((CP >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+  }
+}
+
+} // namespace diderot

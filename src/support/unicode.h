@@ -1,0 +1,44 @@
+//===--- support/unicode.h - UTF-8 decoding for the lexer ----------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diderot source uses Unicode mathematical operators (the paper's examples
+/// use nabla, circled-asterisk convolution, dot/cross/outer products and pi).
+/// The lexer decodes UTF-8 with these helpers; every Unicode operator also
+/// has an ASCII spelling for keyboards without them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_UNICODE_H
+#define DIDEROT_SUPPORT_UNICODE_H
+
+#include <cstdint>
+#include <string>
+
+namespace diderot {
+
+/// Unicode code points for Diderot's mathematical operators.
+namespace uchar {
+constexpr uint32_t Nabla = 0x2207;      // ∇  gradient
+constexpr uint32_t CircledAst = 0x229B; // ⊛  convolution
+constexpr uint32_t OTimes = 0x2297;     // ⊗  tensor (outer) product
+constexpr uint32_t Times = 0x00D7;      // ×  cross product
+constexpr uint32_t Bullet = 0x2022;     // •  dot (inner) product
+constexpr uint32_t Pi = 0x03C0;         // π
+constexpr uint32_t Infinity = 0x221E;   // ∞
+} // namespace uchar
+
+/// Decode the UTF-8 sequence starting at \p S[Pos]. On success advances
+/// \p Pos past the sequence and returns the code point; on a malformed
+/// sequence returns 0xFFFD and advances one byte.
+uint32_t decodeUtf8(const std::string &S, size_t &Pos);
+
+/// Encode \p CodePoint as UTF-8 and append it to \p Out.
+void encodeUtf8(uint32_t CodePoint, std::string &Out);
+
+} // namespace diderot
+
+#endif // DIDEROT_SUPPORT_UNICODE_H

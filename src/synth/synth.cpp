@@ -1,0 +1,264 @@
+//===--- synth/synth.cpp --------------------------------------------------===//
+
+#include "synth/synth.h"
+
+#include <cmath>
+
+namespace diderot::synth {
+
+namespace {
+
+/// World coordinate of sample index I on an axis of Size samples spanning
+/// [-1, 1].
+double axisWorld(int I, int Size) {
+  return -1.0 + 2.0 * static_cast<double>(I) / static_cast<double>(Size - 1);
+}
+
+void setIsotropicOrientation(Image &Img, int Size) {
+  double Sp = 2.0 / static_cast<double>(Size - 1);
+  int D = Img.dim();
+  std::vector<double> Dir(static_cast<size_t>(D * D), 0.0);
+  for (int I = 0; I < D; ++I)
+    Dir[static_cast<size_t>(I * D + I)] = Sp;
+  Img.setOrientation(std::move(Dir), std::vector<double>(D, -1.0));
+}
+
+/// Smooth bump: exp(-k d^2).
+double gauss(double DistSq, double K) { return std::exp(-K * DistSq); }
+
+/// Squared distance from point P to the segment A..B (3-D).
+double segmentDistSq(const double P[3], const double A[3], const double B[3]) {
+  double AB[3] = {B[0] - A[0], B[1] - A[1], B[2] - A[2]};
+  double AP[3] = {P[0] - A[0], P[1] - A[1], P[2] - A[2]};
+  double L2 = AB[0] * AB[0] + AB[1] * AB[1] + AB[2] * AB[2];
+  double T = L2 > 0 ? (AP[0] * AB[0] + AP[1] * AB[1] + AP[2] * AB[2]) / L2 : 0;
+  T = std::min(1.0, std::max(0.0, T));
+  double D[3] = {P[0] - (A[0] + T * AB[0]), P[1] - (A[1] + T * AB[1]),
+                 P[2] - (A[2] + T * AB[2])};
+  return D[0] * D[0] + D[1] * D[1] + D[2] * D[2];
+}
+
+} // namespace
+
+Image ctHand(int Size) {
+  Image Img(3, Shape{}, {Size, Size, Size});
+  setIsotropicOrientation(Img, Size);
+
+  // Palm: anisotropic Gaussian at the origin. Digits: five capsules fanning
+  // out in +y, thumb off to the side.
+  struct Capsule {
+    double A[3], B[3], R;
+  };
+  const Capsule Digits[] = {
+      {{-0.42, 0.10, 0.0}, {-0.55, 0.55, 0.10}, 0.085}, // thumb
+      {{-0.22, 0.28, 0.0}, {-0.30, 0.80, 0.05}, 0.075},
+      {{-0.02, 0.32, 0.0}, {-0.02, 0.88, 0.03}, 0.080},
+      {{0.18, 0.30, 0.0}, {0.24, 0.82, 0.04}, 0.075},
+      {{0.36, 0.24, 0.0}, {0.46, 0.68, 0.06}, 0.065},
+  };
+
+  int Idx[3];
+  for (int Z = 0; Z < Size; ++Z)
+    for (int Y = 0; Y < Size; ++Y)
+      for (int X = 0; X < Size; ++X) {
+        double P[3] = {axisWorld(X, Size), axisWorld(Y, Size),
+                       axisWorld(Z, Size)};
+        // Palm ellipsoid, center (0,-0.1,0), radii (0.45, 0.35, 0.16).
+        double EX = P[0] / 0.45, EY = (P[1] + 0.1) / 0.35, EZ = P[2] / 0.16;
+        double Val = gauss(EX * EX + EY * EY + EZ * EZ, 1.1);
+        for (const Capsule &C : Digits) {
+          double D2 = segmentDistSq(P, C.A, C.B);
+          Val += gauss(D2 / (C.R * C.R), 1.0) * 0.9;
+        }
+        Idx[0] = X;
+        Idx[1] = Y;
+        Idx[2] = Z;
+        Img.setSample(Idx, 0, Val);
+      }
+  return Img;
+}
+
+Image lungVessels(int Size) {
+  Image Img(3, Shape{}, {Size, Size, Size});
+  setIsotropicOrientation(Img, Size);
+
+  // A binary-ish branching tree of segments: trunk splits twice.
+  struct Seg {
+    double A[3], B[3], Sigma;
+  };
+  const Seg Tree[] = {
+      {{0.0, -0.85, 0.0}, {0.0, -0.25, 0.0}, 0.10},      // trunk
+      {{0.0, -0.25, 0.0}, {-0.45, 0.25, 0.15}, 0.075},   // left main
+      {{0.0, -0.25, 0.0}, {0.45, 0.25, -0.15}, 0.075},   // right main
+      {{-0.45, 0.25, 0.15}, {-0.70, 0.70, 0.05}, 0.055}, // left upper
+      {{-0.45, 0.25, 0.15}, {-0.20, 0.70, 0.35}, 0.055}, // left inner
+      {{0.45, 0.25, -0.15}, {0.70, 0.70, -0.05}, 0.055}, // right upper
+      {{0.45, 0.25, -0.15}, {0.20, 0.70, -0.35}, 0.055}, // right inner
+  };
+
+  int Idx[3];
+  for (int Z = 0; Z < Size; ++Z)
+    for (int Y = 0; Y < Size; ++Y)
+      for (int X = 0; X < Size; ++X) {
+        double P[3] = {axisWorld(X, Size), axisWorld(Y, Size),
+                       axisWorld(Z, Size)};
+        double Val = 0.0;
+        for (const Seg &S : Tree) {
+          double D2 = segmentDistSq(P, S.A, S.B);
+          // Gaussian cross-sections, summed: smooth everywhere (a max()
+          // would introduce crease ridges that are not centerlines), and
+          // the ridge lines coincide with the centerlines away from
+          // junctions.
+          Val += gauss(D2 / (2.0 * S.Sigma * S.Sigma), 1.0);
+        }
+        Idx[0] = X;
+        Idx[1] = Y;
+        Idx[2] = Z;
+        Img.setSample(Idx, 0, Val);
+      }
+  return Img;
+}
+
+Image flow2d(int Size) {
+  Image Img(2, Shape{2}, {Size, Size});
+  setIsotropicOrientation(Img, Size);
+
+  // Two vortices (opposite spin) + a saddle at the origin. Velocities stay
+  // O(1) over the domain.
+  struct Vortex {
+    double CX, CY, Strength;
+  };
+  const Vortex Vs[] = {{-0.45, 0.0, 1.4}, {0.45, 0.0, -1.4}};
+
+  int Idx[2];
+  for (int Y = 0; Y < Size; ++Y)
+    for (int X = 0; X < Size; ++X) {
+      double PX = axisWorld(X, Size), PY = axisWorld(Y, Size);
+      double VX = 0.30 * PX, VY = -0.30 * PY; // saddle component
+      for (const Vortex &V : Vs) {
+        double DX = PX - V.CX, DY = PY - V.CY;
+        double R2 = DX * DX + DY * DY;
+        double Core = V.Strength * std::exp(-3.0 * R2);
+        VX += -DY * Core;
+        VY += DX * Core;
+      }
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0, VX);
+      Img.setSample(Idx, 1, VY);
+    }
+  return Img;
+}
+
+Image noise2d(int Size, uint32_t Seed) {
+  Image Img(2, Shape{}, {Size, Size});
+  setIsotropicOrientation(Img, Size);
+
+  uint32_t State = Seed ? Seed : 1;
+  auto Next = [&State]() {
+    // xorshift32: deterministic, portable.
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  };
+  int Idx[2];
+  for (int Y = 0; Y < Size; ++Y)
+    for (int X = 0; X < Size; ++X) {
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0,
+                    static_cast<double>(Next()) / 4294967296.0);
+    }
+  return Img;
+}
+
+Image portrait(int Size) {
+  Image Img(2, Shape{}, {Size, Size});
+  setIsotropicOrientation(Img, Size);
+
+  struct Blob {
+    double CX, CY, K, Amp;
+  };
+  // A face-like arrangement: head, two eyes (dark), mouth, plus a background
+  // ramp so all three paper isovalues (10/30/50) produce contours.
+  const Blob Blobs[] = {
+      {0.0, 0.1, 2.2, 55.0},    // head
+      {-0.22, 0.28, 60.0, -25.0}, // left eye
+      {0.22, 0.28, 60.0, -25.0},  // right eye
+      {0.0, -0.25, 28.0, -18.0},  // mouth
+      {-0.6, -0.6, 4.0, 30.0},    // shoulder highlight
+  };
+  int Idx[2];
+  for (int Y = 0; Y < Size; ++Y)
+    for (int X = 0; X < Size; ++X) {
+      double PX = axisWorld(X, Size), PY = axisWorld(Y, Size);
+      double Val = 8.0 + 6.0 * (PX + 1.0); // gentle ramp, 8..20
+      for (const Blob &B : Blobs) {
+        double DX = PX - B.CX, DY = PY - B.CY;
+        Val += B.Amp * std::exp(-B.K * (DX * DX + DY * DY));
+      }
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0, std::max(0.0, Val));
+    }
+  return Img;
+}
+
+Image sampledPolynomial3d(int Size, double A, double B, double C, double D,
+                          double E) {
+  Image Img(3, Shape{}, {Size, Size, Size});
+  setIsotropicOrientation(Img, Size);
+  int Idx[3];
+  for (int Z = 0; Z < Size; ++Z)
+    for (int Y = 0; Y < Size; ++Y)
+      for (int X = 0; X < Size; ++X) {
+        double PX = axisWorld(X, Size), PY = axisWorld(Y, Size),
+               PZ = axisWorld(Z, Size);
+        Idx[0] = X;
+        Idx[1] = Y;
+        Idx[2] = Z;
+        Img.setSample(Idx, 0, A + B * PX + C * PY + D * PZ + E * PX * PY * PZ);
+      }
+  return Img;
+}
+
+Image sampledPolynomial2d(int Size, double A, double B, double C, double D) {
+  Image Img(2, Shape{}, {Size, Size});
+  setIsotropicOrientation(Img, Size);
+  int Idx[2];
+  for (int Y = 0; Y < Size; ++Y)
+    for (int X = 0; X < Size; ++X) {
+      double PX = axisWorld(X, Size), PY = axisWorld(Y, Size);
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0, A + B * PX + C * PY + D * PX * PY);
+    }
+  return Img;
+}
+
+Image curvatureColormap(int Size) {
+  Image Img(2, Shape{3}, {Size, Size});
+  setIsotropicOrientation(Img, Size);
+  int Idx[2];
+  for (int Y = 0; Y < Size; ++Y)
+    for (int X = 0; X < Size; ++X) {
+      double K1 = axisWorld(X, Size), K2 = axisWorld(Y, Size);
+      // Convexity measure: both curvatures negative -> convex surface seen
+      // from outside (red); both positive -> concave (blue); mixed -> saddle
+      // (green); flat -> gray.
+      double Mag = std::min(1.0, std::sqrt(K1 * K1 + K2 * K2));
+      double Red = std::max(0.0, -0.5 * (K1 + K2));
+      double Blue = std::max(0.0, 0.5 * (K1 + K2));
+      double Green = std::max(0.0, std::min(1.0, -K1 * K2 * 4.0));
+      double Base = 0.75 * (1.0 - Mag);
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0, std::min(1.0, Base + Red));
+      Img.setSample(Idx, 1, std::min(1.0, Base + Green));
+      Img.setSample(Idx, 2, std::min(1.0, Base + Blue));
+    }
+  return Img;
+}
+
+} // namespace diderot::synth

@@ -1,0 +1,74 @@
+//===--- synth/synth.h - synthetic dataset generators ---------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's datasets (see DESIGN.md section 4).
+/// The originals — a CT scan of a hand, a clinical lung CT, a portrait of
+/// Denis Diderot — are not redistributable, so each generator produces data
+/// with the same structural properties the benchmarks exercise:
+///
+///  * ctHand       : smooth 3-D scalar field whose isosurfaces form a
+///                   palm-plus-digits blob union (volume rendering, curvature)
+///  * lungVessels  : branching tubes with Gaussian cross-section whose ridge
+///                   lines are the known centerlines (ridge3d)
+///  * flow2d       : 2-D vector field of superposed vortices and a saddle
+///                   (lic2d)
+///  * noise2d      : deterministic white noise (LIC input texture)
+///  * portrait     : smooth 2-D grayscale multi-blob image (isocontours)
+///
+/// All generators are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SYNTH_SYNTH_H
+#define DIDEROT_SYNTH_SYNTH_H
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace diderot::synth {
+
+/// A 3-D scalar volume shaped like a stylized hand: an ellipsoidal palm with
+/// five capsule digits, rendered as a smooth density in [0, ~1.4]. The grid
+/// is Size^3 with world extent [-1,1]^3.
+Image ctHand(int Size);
+
+/// A 3-D scalar volume containing a branching network of tubes with Gaussian
+/// cross-sections (peak 1 on the centerline). Grid Size^3, world [-1,1]^3.
+Image lungVessels(int Size);
+
+/// A 2-D vector field: two counter-rotating vortices plus a saddle, sampled
+/// on a Size x Size grid over world [-1,1]^2.
+Image flow2d(int Size);
+
+/// Deterministic white noise in [0,1] on a Size x Size grid, world [-1,1]^2.
+Image noise2d(int Size, uint32_t Seed = 42);
+
+/// Smooth grayscale "portrait": several Gaussian blobs over a gradient
+/// background, values in [0, 60] (so the paper's isovalues 10/30/50 are
+/// meaningful). Grid Size x Size, world [-1,1]^2.
+Image portrait(int Size);
+
+/// A sampled trilinear-friendly analytic field used by tests: the polynomial
+/// f(x,y,z) = a + b x + c y + d z + e x y z sampled on a Size^3 grid over
+/// [-1,1]^3. Reconstruction with any partition-of-unity kernel of the right
+/// order recovers it exactly.
+Image sampledPolynomial3d(int Size, double A, double B, double C, double D,
+                          double E);
+
+/// The 2-D analogue: f(x,y) = a + b x + c y + d x y.
+Image sampledPolynomial2d(int Size, double A, double B, double C, double D);
+
+/// The 2-D RGB transfer function for curvature-based rendering (paper
+/// Figure 4's bivariate colormap): indexed by (kappa1, kappa2) over
+/// [-1,1]^2, distinguishing convex (red), concave (blue), and saddle
+/// (green) regions.
+Image curvatureColormap(int Size);
+
+} // namespace diderot::synth
+
+#endif // DIDEROT_SYNTH_SYNTH_H

@@ -1,0 +1,126 @@
+//===--- teem/kernels.cpp - callback kernels for the baseline --------------===//
+//
+// Hand-written kernel evaluation callbacks in the style of Teem's NrrdKernel
+// objects (branchy piecewise formulas, evaluated one position at a time
+// through a function pointer). Independent of src/kernels so the baseline
+// and the compiler cannot share bugs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "teem/probe.h"
+
+#include <cmath>
+
+namespace diderot::teem {
+
+namespace {
+
+double tent0(double X, const void *) {
+  X = std::abs(X);
+  return X < 1.0 ? 1.0 - X : 0.0;
+}
+
+double tent1(double X, const void *) {
+  if (X <= -1.0 || X >= 1.0)
+    return 0.0;
+  return X < 0.0 ? 1.0 : -1.0;
+}
+
+double tent2(double, const void *) { return 0.0; }
+
+double ctmr0(double X, const void *) {
+  double A = std::abs(X);
+  if (A < 1.0)
+    return 1.0 + A * A * (-2.5 + 1.5 * A);
+  if (A < 2.0)
+    return 2.0 + A * (-4.0 + A * (2.5 - 0.5 * A));
+  return 0.0;
+}
+
+double ctmr1(double X, const void *) {
+  double A = std::abs(X);
+  double S = X < 0.0 ? -1.0 : 1.0;
+  if (A < 1.0)
+    return S * A * (-5.0 + 4.5 * A);
+  if (A < 2.0)
+    return S * (-4.0 + A * (5.0 - 1.5 * A));
+  return 0.0;
+}
+
+double ctmr2(double X, const void *) {
+  double A = std::abs(X);
+  if (A < 1.0)
+    return -5.0 + 9.0 * A;
+  if (A < 2.0)
+    return 5.0 - 3.0 * A;
+  return 0.0;
+}
+
+double bspln30(double X, const void *) {
+  double A = std::abs(X);
+  if (A < 1.0)
+    return 2.0 / 3.0 + A * A * (-1.0 + 0.5 * A);
+  if (A < 2.0) {
+    double T = 2.0 - A;
+    return T * T * T / 6.0;
+  }
+  return 0.0;
+}
+
+double bspln31(double X, const void *) {
+  double A = std::abs(X);
+  double S = X < 0.0 ? -1.0 : 1.0;
+  if (A < 1.0)
+    return S * A * (-2.0 + 1.5 * A);
+  if (A < 2.0) {
+    double T = 2.0 - A;
+    return S * (-0.5) * T * T;
+  }
+  return 0.0;
+}
+
+double bspln32(double X, const void *) {
+  double A = std::abs(X);
+  if (A < 1.0)
+    return -2.0 + 3.0 * A;
+  if (A < 2.0)
+    return 2.0 - A;
+  return 0.0;
+}
+
+} // namespace
+
+ProbeKernel kernelTent(int DerivLevel) {
+  switch (DerivLevel) {
+  case 0:
+    return {1, tent0, nullptr};
+  case 1:
+    return {1, tent1, nullptr};
+  default:
+    return {1, tent2, nullptr};
+  }
+}
+
+ProbeKernel kernelCtmr(int DerivLevel) {
+  switch (DerivLevel) {
+  case 0:
+    return {2, ctmr0, nullptr};
+  case 1:
+    return {2, ctmr1, nullptr};
+  default:
+    return {2, ctmr2, nullptr};
+  }
+}
+
+ProbeKernel kernelBspln3(int DerivLevel) {
+  switch (DerivLevel) {
+  case 0:
+    return {2, bspln30, nullptr};
+  case 1:
+    return {2, bspln31, nullptr};
+  default:
+    return {2, bspln32, nullptr};
+  }
+}
+
+} // namespace diderot::teem

@@ -1,0 +1,239 @@
+//===--- teem/probe.cpp ----------------------------------------------------===//
+//
+// The probe evaluation mirrors gage's structure: a "filter sample" stage
+// evaluates every needed kernel level at every tap of every axis through
+// function-pointer callbacks, then the separable convolution is computed as
+// stacked 1-D contractions (x, then y, then z), producing all queried
+// derivative-level combinations at once. Internal arithmetic is double
+// precision throughout, as in Teem.
+//
+//===----------------------------------------------------------------------===//
+
+#include "teem/probe.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace diderot::teem {
+
+ProbeCtx::ProbeCtx(const Image &Img)
+    : Img(Img), D(Img.dim()), NComp(Img.numComponents()) {
+  Kernels[0] = kernelTent(0);
+  Kernels[1] = kernelTent(1);
+  Kernels[2] = kernelTent(2);
+}
+
+void ProbeCtx::setKernel(int DerivLevel, ProbeKernel K) {
+  assert(DerivLevel >= 0 && DerivLevel <= 2);
+  Kernels[DerivLevel] = K;
+}
+
+void ProbeCtx::setQuery(unsigned ItemMask) { Query = ItemMask; }
+
+void ProbeCtx::update() {
+  MaxDeriv = 0;
+  if (Query & ItemGradient)
+    MaxDeriv = 1;
+  if (Query & ItemHessian)
+    MaxDeriv = 2;
+  MaxSupport = 0;
+  for (int L = 0; L <= MaxDeriv; ++L)
+    MaxSupport = std::max(MaxSupport, Kernels[L].Support);
+  int Taps = 2 * MaxSupport;
+  int Levels = MaxDeriv + 1;
+  Weights.assign(static_cast<size_t>(D * Levels * Taps), 0.0);
+
+  // Window and the intermediate contraction buffers: processing axis a
+  // turns a taps dimension into a levels dimension.
+  size_t MaxBuf = static_cast<size_t>(NComp);
+  size_t WinSize = static_cast<size_t>(NComp);
+  for (int A = 0; A < D; ++A)
+    WinSize *= static_cast<size_t>(Taps);
+  MaxBuf = WinSize;
+  for (int A = 1; A < D; ++A) {
+    size_t S = static_cast<size_t>(NComp);
+    for (int K = 0; K < A; ++K)
+      S *= static_cast<size_t>(Levels);
+    for (int K = A; K < D; ++K)
+      S *= static_cast<size_t>(Taps);
+    MaxBuf = std::max(MaxBuf, S);
+  }
+  Window.assign(WinSize, 0.0);
+  Scratch.assign(MaxBuf, 0.0);
+  Scratch2.assign(MaxBuf, 0.0);
+  AnsValue.assign(static_cast<size_t>(NComp), 0.0);
+  AnsGrad.assign(static_cast<size_t>(NComp * D), 0.0);
+  AnsHess.assign(static_cast<size_t>(NComp * D * D), 0.0);
+  IdxGrad.assign(AnsGrad.size(), 0.0);
+  IdxHess.assign(AnsHess.size(), 0.0);
+
+  // Cache raw image layout for the gather stage.
+  RawData = Img.data().data();
+  CompStride = NComp;
+  for (int A = 0; A < D; ++A) {
+    AxisSize[A] = Img.size(A);
+    AxisStride[A] = (A == 0 ? static_cast<long>(NComp)
+                            : AxisStride[A - 1] * AxisSize[A - 1]);
+  }
+}
+
+bool ProbeCtx::probe(const double *WorldPos) {
+  assert(!Window.empty() && "call update() before probing");
+  const int S = MaxSupport;
+  const int Taps = 2 * S;
+  const int Levels = MaxDeriv + 1;
+
+  // World -> index.
+  double Xi[3], Frac[3];
+  long Base[3];
+  Img.worldToIndex(WorldPos, Xi);
+  for (int A = 0; A < D; ++A) {
+    double N = std::floor(Xi[A]);
+    Base[A] = static_cast<long>(N);
+    Frac[A] = Xi[A] - N;
+    if (Base[A] + 1 - S < 0 || Base[A] + S > AxisSize[A] - 1)
+      return false;
+  }
+
+  // Filter-sample stage: evaluate every kernel level at every tap of every
+  // axis through the callbacks (this is where gage pays its callback cost).
+  for (int A = 0; A < D; ++A)
+    for (int L = 0; L < Levels; ++L) {
+      const ProbeKernel &K = Kernels[L];
+      double *W = &Weights[static_cast<size_t>((A * Levels + L) * Taps)];
+      for (int T = 0; T < Taps; ++T) {
+        int Off = T + 1 - S;
+        W[T] = (Off >= 1 - K.Support && Off <= K.Support)
+                   ? K.Eval(Frac[A] - Off, K.Parm)
+                   : 0.0;
+      }
+    }
+
+  // Gather the (Taps^D) sample window with direct addressing (the inside
+  // test above guarantees every tap is in bounds). Window layout: component
+  // fastest, then x, then y, then z — i.e. axis 0's taps vary fastest so the
+  // first contraction reads contiguously.
+  {
+    double *W = Window.data();
+    if (D == 3) {
+      for (int TZ = 0; TZ < Taps; ++TZ)
+        for (int TY = 0; TY < Taps; ++TY) {
+          const double *Src = RawData + (Base[0] + 1 - S) * AxisStride[0] +
+                              (Base[1] + TY + 1 - S) * AxisStride[1] +
+                              (Base[2] + TZ + 1 - S) * AxisStride[2];
+          std::memcpy(W, Src,
+                      sizeof(double) * static_cast<size_t>(Taps * NComp));
+          W += Taps * NComp;
+        }
+    } else if (D == 2) {
+      for (int TY = 0; TY < Taps; ++TY) {
+        const double *Src = RawData + (Base[0] + 1 - S) * AxisStride[0] +
+                            (Base[1] + TY + 1 - S) * AxisStride[1];
+        std::memcpy(W, Src,
+                    sizeof(double) * static_cast<size_t>(Taps * NComp));
+        W += Taps * NComp;
+      }
+    } else {
+      const double *Src = RawData + (Base[0] + 1 - S) * AxisStride[0];
+      std::memcpy(W, Src,
+                  sizeof(double) * static_cast<size_t>(Taps * NComp));
+    }
+  }
+
+  // Stacked 1-D contractions: axis 0 first. The buffer before processing
+  // axis A is indexed [suffix-taps (slow, axes D-1..A+1)] [tap_A] [done-level
+  // combos][comp]; contracting axis A replaces tap_A by a level dimension.
+  //
+  // Concretely we keep layout: Buf[(outer)(tap_A)(inner)] with inner =
+  // (levels^A * NComp) and outer = Taps^(D-1-A), and produce
+  // Out[(outer)(L)(inner)].
+  const double *Cur = Window.data();
+  double *Out = Scratch.data();
+  double *Next = Scratch2.data();
+  long Inner = CompStride; // NComp
+  long Outer = 1;
+  for (int A = 1; A < D; ++A)
+    Outer *= Taps;
+  for (int A = 0; A < D; ++A) {
+    const double *W = &Weights[static_cast<size_t>(A * Levels * Taps)];
+    for (long O = 0; O < Outer; ++O) {
+      const double *Slab = Cur + O * Taps * Inner;
+      double *Dst = Out + O * Levels * Inner;
+      for (int L = 0; L < Levels; ++L) {
+        const double *WL = W + L * Taps;
+        double *DL = Dst + L * Inner;
+        for (long I = 0; I < Inner; ++I)
+          DL[I] = 0.0;
+        for (int T = 0; T < Taps; ++T) {
+          double WT = WL[T];
+          const double *ST = Slab + T * Inner;
+          for (long I = 0; I < Inner; ++I)
+            DL[I] += WT * ST[I];
+        }
+      }
+    }
+    Inner *= Levels;
+    Outer /= Taps;
+    Cur = Out;
+    std::swap(Out, Next);
+  }
+  // Result layout: [L_{D-1}]...[L_1][L_0][comp].
+  const double *Ans = Cur;
+  auto AnsAt = [&](int L0, int L1, int L2, int C) {
+    long Idx = 0;
+    int Ls[3] = {L0, L1, L2};
+    for (int A = D - 1; A >= 0; --A)
+      Idx = Idx * Levels + Ls[A];
+    return Ans[Idx * NComp + C];
+  };
+
+  for (int C = 0; C < NComp; ++C) {
+    if (Query & ItemValue)
+      AnsValue[static_cast<size_t>(C)] = AnsAt(0, 0, 0, C);
+    if (Query & ItemGradient)
+      for (int G = 0; G < D; ++G)
+        IdxGrad[static_cast<size_t>(C * D + G)] =
+            AnsAt(G == 0 ? 1 : 0, G == 1 ? 1 : 0, G == 2 ? 1 : 0, C);
+    if (Query & ItemHessian)
+      for (int G1 = 0; G1 < D; ++G1)
+        for (int G2 = 0; G2 < D; ++G2) {
+          int Ls[3] = {0, 0, 0};
+          Ls[G1] += 1;
+          Ls[G2] += 1;
+          IdxHess[static_cast<size_t>((C * D + G1) * D + G2)] =
+              AnsAt(Ls[0], Ls[1], Ls[2], C);
+        }
+  }
+
+  // Transform covariant quantities to world space: g_w = M^{-T} g_i,
+  // H_w = M^{-T} H_i M^{-1}.
+  const std::vector<double> &MIT = Img.gradientTransform();
+  const std::vector<double> &MI = Img.worldToIndexMatrix();
+  if (Query & ItemGradient) {
+    for (int C = 0; C < NComp; ++C)
+      for (int R = 0; R < D; ++R) {
+        double Acc = 0.0;
+        for (int K = 0; K < D; ++K)
+          Acc += MIT[static_cast<size_t>(R * D + K)] *
+                 IdxGrad[static_cast<size_t>(C * D + K)];
+        AnsGrad[static_cast<size_t>(C * D + R)] = Acc;
+      }
+  }
+  if (Query & ItemHessian) {
+    for (int C = 0; C < NComp; ++C)
+      for (int R = 0; R < D; ++R)
+        for (int S2 = 0; S2 < D; ++S2) {
+          double Acc = 0.0;
+          for (int K = 0; K < D; ++K)
+            for (int L = 0; L < D; ++L)
+              Acc += MIT[static_cast<size_t>(R * D + K)] *
+                     IdxHess[static_cast<size_t>((C * D + K) * D + L)] *
+                     MI[static_cast<size_t>(L * D + S2)];
+          AnsHess[static_cast<size_t>((C * D + R) * D + S2)] = Acc;
+        }
+  }
+  return true;
+}
+
+} // namespace diderot::teem

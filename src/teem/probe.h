@@ -1,0 +1,122 @@
+//===--- teem/probe.h - a Teem/gage-style probing library ------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline library the paper compares against. Teem's gage probes
+/// convolution-based reconstructions through a *probe context*: "A Teem
+/// programmer would have to create a probing context in which image data and
+/// kernels are set, specify the list of all quantities that are to be
+/// computed for every probe, and then update the probe context to allocate
+/// buffers to store probe results. After calling the probe function at a
+/// particular location pos, the programmer then copies the value and gradient
+/// out of the probe buffer." (Section 7.)
+///
+/// This reimplementation deliberately preserves the two architectural
+/// properties the paper identifies as the source of Teem's overhead
+/// (Section 6.3): kernels are invoked through *function-pointer callbacks*,
+/// and all internal arithmetic is *double precision* regardless of the data.
+/// It is generic over image dimension and value components via runtime
+/// loops, the way a C library must be — in contrast to the Diderot compiler,
+/// which unrolls and specializes every probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_TEEM_PROBE_H
+#define DIDEROT_TEEM_PROBE_H
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace diderot::teem {
+
+/// A reconstruction kernel as gage sees it: a support radius and an
+/// evaluation callback. \p Parm is an opaque kernel parameter block.
+struct ProbeKernel {
+  int Support = 0;
+  double (*Eval)(double X, const void *Parm) = nullptr;
+  const void *Parm = nullptr;
+};
+
+/// Built-in kernel callbacks; \p DerivLevel in 0..2 selects h, h', or h''.
+ProbeKernel kernelTent(int DerivLevel);
+ProbeKernel kernelCtmr(int DerivLevel);
+ProbeKernel kernelBspln3(int DerivLevel);
+
+/// Probe items, or-able into a query mask.
+enum Item : unsigned {
+  ItemValue = 1u << 0,    ///< reconstructed value (NComp doubles)
+  ItemGradient = 1u << 1, ///< world-space gradient (NComp x d doubles)
+  ItemHessian = 1u << 2,  ///< world-space Hessian (NComp x d x d doubles)
+};
+
+/// A gage-style probe context bound to one image.
+class ProbeCtx {
+public:
+  /// The context keeps a pointer to \p Img; the image must outlive it.
+  explicit ProbeCtx(const Image &Img);
+
+  /// Set the kernel used for reconstruction at derivative level
+  /// \p DerivLevel (0 = values, 1 = first derivatives, 2 = second).
+  void setKernel(int DerivLevel, ProbeKernel K);
+
+  /// Declare which items every probe must compute.
+  void setQuery(unsigned ItemMask);
+
+  /// Allocate answer buffers; call after setKernel/setQuery and before the
+  /// first probe (mirrors gageUpdate).
+  void update();
+
+  /// Probe at a world-space position (dim() doubles). Returns false (leaving
+  /// the answers unchanged) when the kernel support spills outside the grid.
+  bool probe(const double *WorldPos);
+
+  /// Convenience for 3-D images.
+  bool probe3(double X, double Y, double Z) {
+    double P[3] = {X, Y, Z};
+    return probe(P);
+  }
+  /// Convenience for 2-D images.
+  bool probe2(double X, double Y) {
+    double P[2] = {X, Y};
+    return probe(P);
+  }
+
+  /// Answer buffers, valid after a successful probe.
+  const double *value() const { return AnsValue.data(); }
+  const double *gradient() const { return AnsGrad.data(); }
+  const double *hessian() const { return AnsHess.data(); }
+
+  int dim() const { return D; }
+  int numComponents() const { return NComp; }
+
+private:
+  const Image &Img;
+  int D;
+  int NComp;
+  unsigned Query = 0;
+  ProbeKernel Kernels[3];
+  int MaxSupport = 0;
+  int MaxDeriv = 0;
+
+  // Scratch: per-axis, per-derivative-level tap weights, the gathered
+  // sample window, and the stacked-contraction intermediates.
+  std::vector<double> Weights; // [axis][level][tap]
+  std::vector<double> Window;  // [tap_z][tap_y][tap_x][comp]
+  std::vector<double> Scratch, Scratch2;
+  std::vector<double> AnsValue, AnsGrad, AnsHess;
+  std::vector<double> IdxGrad, IdxHess; // index-space scratch
+
+  // Raw image layout cached at update().
+  const double *RawData = nullptr;
+  long CompStride = 1;
+  long AxisSize[3] = {1, 1, 1};
+  long AxisStride[3] = {1, 1, 1};
+};
+
+} // namespace diderot::teem
+
+#endif // DIDEROT_TEEM_PROBE_H

@@ -1,0 +1,38 @@
+//===--- tensor/eigen.cpp -------------------------------------------------===//
+
+#include "tensor/eigen.h"
+
+namespace diderot {
+
+Tensor eigenvalues(const Tensor &M) {
+  assert(M.order() == 2 && M.shape()[0] == M.shape()[1] &&
+         "eigenvalues needs a square matrix");
+  int N = M.shape()[0];
+  if (N == 2) {
+    double L[2];
+    eigenvalsSym2(M.data().data(), L);
+    return Tensor::vector({L[0], L[1]});
+  }
+  assert(N == 3 && "eigenvalues supports 2x2 and 3x3 matrices");
+  double L[3];
+  eigenvalsSym3(M.data().data(), L);
+  return Tensor::vector({L[0], L[1], L[2]});
+}
+
+Tensor eigenvectors(const Tensor &M) {
+  assert(M.order() == 2 && M.shape()[0] == M.shape()[1] &&
+         "eigenvectors needs a square matrix");
+  int N = M.shape()[0];
+  if (N == 2) {
+    double L[2], V[4];
+    eigensystemSym2(M.data().data(), L, V);
+    return Tensor(Shape{2, 2}, {V[0], V[1], V[2], V[3]});
+  }
+  assert(N == 3 && "eigenvectors supports 2x2 and 3x3 matrices");
+  double L[3], V[9];
+  eigensystemSym3(M.data().data(), L, V);
+  return Tensor(Shape{3, 3},
+                {V[0], V[1], V[2], V[3], V[4], V[5], V[6], V[7], V[8]});
+}
+
+} // namespace diderot

@@ -1,0 +1,36 @@
+//===--- tensor/eigen.h - symmetric eigensystems ---------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor-typed wrappers around the closed-form symmetric eigensystem
+/// routines of tensor/eigen_raw.h — the `evals` / `evecs` builtins that
+/// Diderot's ridge-detection benchmark relies on. Eigenvalues are returned
+/// descending; eigenvectors are unit length, in matching order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_TENSOR_EIGEN_H
+#define DIDEROT_TENSOR_EIGEN_H
+
+#include "tensor/eigen_raw.h"
+#include "tensor/tensor.h"
+
+namespace diderot {
+
+//===----------------------------------------------------------------------===//
+// Tensor-typed wrappers (used by the interpreter and constant folder)
+//===----------------------------------------------------------------------===//
+
+/// Eigenvalues of a symmetric 2x2 or 3x3 matrix, descending, as a vector.
+Tensor eigenvalues(const Tensor &M);
+
+/// Unit eigenvectors of a symmetric 2x2 or 3x3 matrix: row i of the result
+/// is the eigenvector for the i-th (descending) eigenvalue.
+Tensor eigenvectors(const Tensor &M);
+
+} // namespace diderot
+
+#endif // DIDEROT_TENSOR_EIGEN_H

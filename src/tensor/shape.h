@@ -1,0 +1,106 @@
+//===--- tensor/shape.h - tensor shapes -----------------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor shapes, following the paper's terminology: the *order* of a tensor
+/// is the number of axes ("0-order tensors, or scalars, ... 1-order tensors,
+/// or vectors, ... 2-order tensors, represented as matrices"), and every axis
+/// extent is at least 2. The empty shape [] is a scalar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_TENSOR_SHAPE_H
+#define DIDEROT_TENSOR_SHAPE_H
+
+#include <cassert>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+/// The shape of a tensor value: a list of axis extents, each >= 2.
+class Shape {
+public:
+  Shape() = default;
+  Shape(std::initializer_list<int> Dims) : Dims(Dims) { checkValid(); }
+  explicit Shape(std::vector<int> Dims) : Dims(std::move(Dims)) {
+    checkValid();
+  }
+
+  /// Number of axes ("order" in the paper).
+  int order() const { return static_cast<int>(Dims.size()); }
+  bool isScalar() const { return Dims.empty(); }
+
+  int operator[](int Axis) const {
+    assert(Axis >= 0 && Axis < order() && "shape axis out of range");
+    return Dims[static_cast<size_t>(Axis)];
+  }
+
+  const std::vector<int> &dims() const { return Dims; }
+
+  /// Total number of scalar components (1 for a scalar).
+  int numComponents() const {
+    int N = 1;
+    for (int D : Dims)
+      N *= D;
+    return N;
+  }
+
+  /// The shape with axis extent \p D appended: differentiation of a field
+  /// with this range shape yields a field with shape `append(d)`.
+  Shape append(int D) const {
+    std::vector<int> Out = Dims;
+    Out.push_back(D);
+    return Shape(std::move(Out));
+  }
+
+  /// The shape with the final axis dropped (inverse of \c append).
+  Shape dropLast() const {
+    assert(!Dims.empty() && "dropLast on scalar shape");
+    std::vector<int> Out(Dims.begin(), Dims.end() - 1);
+    return Shape(std::move(Out));
+  }
+
+  int last() const {
+    assert(!Dims.empty());
+    return Dims.back();
+  }
+  int first() const {
+    assert(!Dims.empty());
+    return Dims.front();
+  }
+
+  bool operator==(const Shape &) const = default;
+
+  /// Render as Diderot source syntax, e.g. "[3,3]" or "[]".
+  std::string str() const {
+    std::string Out = "[";
+    for (size_t I = 0; I < Dims.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += strf(Dims[I]);
+    }
+    Out += "]";
+    return Out;
+  }
+
+private:
+  void checkValid() const {
+#ifndef NDEBUG
+    for (int D : Dims)
+      assert(D >= 2 && "tensor axis extents must be at least 2");
+#endif
+  }
+
+  std::vector<int> Dims;
+};
+
+} // namespace diderot
+
+#endif // DIDEROT_TENSOR_SHAPE_H

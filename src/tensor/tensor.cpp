@@ -1,0 +1,227 @@
+//===--- tensor/tensor.cpp ------------------------------------------------===//
+
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace diderot {
+
+Tensor Tensor::vector(std::vector<double> Components) {
+  int N = static_cast<int>(Components.size());
+  assert(N >= 2 && "vectors have at least two components");
+  return Tensor(Shape{N}, std::move(Components));
+}
+
+Tensor Tensor::identity(int N) {
+  Tensor T{Shape{N, N}};
+  for (int I = 0; I < N; ++I)
+    T[I * N + I] = 1.0;
+  return T;
+}
+
+std::string Tensor::str() const {
+  if (isScalar())
+    return formatReal(Data[0]);
+  std::string Out = "[";
+  for (size_t I = 0; I < Data.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += formatReal(Data[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+Tensor add(const Tensor &A, const Tensor &B) {
+  assert(A.shape() == B.shape() && "shape mismatch in tensor add");
+  Tensor Out = A;
+  for (int I = 0; I < Out.numComponents(); ++I)
+    Out[I] += B[I];
+  return Out;
+}
+
+Tensor sub(const Tensor &A, const Tensor &B) {
+  assert(A.shape() == B.shape() && "shape mismatch in tensor sub");
+  Tensor Out = A;
+  for (int I = 0; I < Out.numComponents(); ++I)
+    Out[I] -= B[I];
+  return Out;
+}
+
+Tensor neg(const Tensor &A) { return scale(-1.0, A); }
+
+Tensor scale(double S, const Tensor &A) {
+  Tensor Out = A;
+  for (int I = 0; I < Out.numComponents(); ++I)
+    Out[I] *= S;
+  return Out;
+}
+
+Tensor divide(const Tensor &A, double S) { return scale(1.0 / S, A); }
+
+Tensor modulate(const Tensor &A, const Tensor &B) {
+  assert(A.shape() == B.shape() && "shape mismatch in modulate");
+  Tensor Out = A;
+  for (int I = 0; I < Out.numComponents(); ++I)
+    Out[I] *= B[I];
+  return Out;
+}
+
+Tensor dot(const Tensor &A, const Tensor &B) {
+  assert(A.order() >= 1 && B.order() >= 1 && "dot needs order >= 1 operands");
+  int K = A.shape().last();
+  assert(K == B.shape().first() && "contracted axes must agree");
+
+  // Result shape: A's shape minus its last axis, then B's minus its first.
+  std::vector<int> OutDims;
+  for (int I = 0; I + 1 < A.order(); ++I)
+    OutDims.push_back(A.shape()[I]);
+  for (int I = 1; I < B.order(); ++I)
+    OutDims.push_back(B.shape()[I]);
+  Tensor Out{Shape(OutDims)};
+
+  int ARows = A.numComponents() / K; // leading index of A
+  int BCols = B.numComponents() / K; // trailing index of B
+  for (int I = 0; I < ARows; ++I)
+    for (int J = 0; J < BCols; ++J) {
+      double Sum = 0.0;
+      for (int L = 0; L < K; ++L)
+        Sum += A[I * K + L] * B[L * BCols + J];
+      Out[I * BCols + J] = Sum;
+    }
+  return Out;
+}
+
+Tensor ddot(const Tensor &A, const Tensor &B) {
+  assert(A.order() >= 2 && B.order() >= 2 && "ddot needs order >= 2 operands");
+  int K1 = A.shape()[A.order() - 2];
+  int K2 = A.shape().last();
+  assert(K1 == B.shape()[0] && K2 == B.shape()[1] &&
+         "contracted axes must agree in ddot");
+  int K = K1 * K2;
+  std::vector<int> OutDims;
+  for (int I = 0; I + 2 < A.order(); ++I)
+    OutDims.push_back(A.shape()[I]);
+  for (int I = 2; I < B.order(); ++I)
+    OutDims.push_back(B.shape()[I]);
+  Tensor Out{Shape(OutDims)};
+  int ARows = A.numComponents() / K;
+  int BCols = B.numComponents() / K;
+  for (int I = 0; I < ARows; ++I)
+    for (int J = 0; J < BCols; ++J) {
+      double Sum = 0.0;
+      for (int L = 0; L < K; ++L)
+        Sum += A[I * K + L] * B[L * BCols + J];
+      Out[I * BCols + J] = Sum;
+    }
+  return Out;
+}
+
+Tensor cross(const Tensor &A, const Tensor &B) {
+  assert(A.order() == 1 && B.order() == 1 && A.shape() == B.shape() &&
+         "cross product needs same-length vectors");
+  if (A.shape()[0] == 3) {
+    return Tensor::vector({A[1] * B[2] - A[2] * B[1],
+                           A[2] * B[0] - A[0] * B[2],
+                           A[0] * B[1] - A[1] * B[0]});
+  }
+  assert(A.shape()[0] == 2 && "cross product is defined for 2- and 3-vectors");
+  return Tensor::scalar(A[0] * B[1] - A[1] * B[0]);
+}
+
+Tensor outer(const Tensor &A, const Tensor &B) {
+  std::vector<int> OutDims;
+  for (int D : A.shape().dims())
+    OutDims.push_back(D);
+  for (int D : B.shape().dims())
+    OutDims.push_back(D);
+  Tensor Out{Shape(OutDims)};
+  int NB = B.numComponents();
+  for (int I = 0; I < A.numComponents(); ++I)
+    for (int J = 0; J < NB; ++J)
+      Out[I * NB + J] = A[I] * B[J];
+  return Out;
+}
+
+double norm(const Tensor &A) {
+  double Sum = 0.0;
+  for (int I = 0; I < A.numComponents(); ++I)
+    Sum += A[I] * A[I];
+  return std::sqrt(Sum);
+}
+
+Tensor normalize(const Tensor &A) {
+  double N = norm(A);
+  if (N == 0.0)
+    return A;
+  return scale(1.0 / N, A);
+}
+
+double trace(const Tensor &A) {
+  assert(A.order() == 2 && A.shape()[0] == A.shape()[1] &&
+         "trace needs a square matrix");
+  int N = A.shape()[0];
+  double Sum = 0.0;
+  for (int I = 0; I < N; ++I)
+    Sum += A.at(I, I);
+  return Sum;
+}
+
+double det(const Tensor &A) {
+  assert(A.order() == 2 && A.shape()[0] == A.shape()[1] &&
+         "det needs a square matrix");
+  int N = A.shape()[0];
+  if (N == 2)
+    return A.at(0, 0) * A.at(1, 1) - A.at(0, 1) * A.at(1, 0);
+  assert(N == 3 && "det supports 2x2 and 3x3 matrices");
+  return A.at(0, 0) * (A.at(1, 1) * A.at(2, 2) - A.at(1, 2) * A.at(2, 1)) -
+         A.at(0, 1) * (A.at(1, 0) * A.at(2, 2) - A.at(1, 2) * A.at(2, 0)) +
+         A.at(0, 2) * (A.at(1, 0) * A.at(2, 1) - A.at(1, 1) * A.at(2, 0));
+}
+
+Tensor inverse(const Tensor &A) {
+  assert(A.order() == 2 && A.shape()[0] == A.shape()[1] &&
+         "inverse needs a square matrix");
+  int N = A.shape()[0];
+  double D = det(A);
+  Tensor Out{A.shape()};
+  if (N == 2) {
+    Out[0] = A.at(1, 1) / D;
+    Out[1] = -A.at(0, 1) / D;
+    Out[2] = -A.at(1, 0) / D;
+    Out[3] = A.at(0, 0) / D;
+    return Out;
+  }
+  assert(N == 3 && "inverse supports 2x2 and 3x3 matrices");
+  auto Cof = [&](int I, int J) {
+    int I0 = (I + 1) % 3, I1 = (I + 2) % 3;
+    int J0 = (J + 1) % 3, J1 = (J + 2) % 3;
+    return A.at(I0, J0) * A.at(I1, J1) - A.at(I0, J1) * A.at(I1, J0);
+  };
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 3; ++J)
+      Out[I * 3 + J] = Cof(J, I) / D; // adjugate is the transposed cofactors
+  return Out;
+}
+
+Tensor transpose(const Tensor &A) {
+  assert(A.order() == 2 && "transpose needs a matrix");
+  int R = A.shape()[0], C = A.shape()[1];
+  Tensor Out{Shape{C, R}};
+  for (int I = 0; I < R; ++I)
+    for (int J = 0; J < C; ++J)
+      Out[J * R + I] = A.at(I, J);
+  return Out;
+}
+
+Tensor lerp(const Tensor &A, const Tensor &B, double T) {
+  assert(A.shape() == B.shape() && "shape mismatch in lerp");
+  Tensor Out = A;
+  for (int I = 0; I < Out.numComponents(); ++I)
+    Out[I] += T * (B[I] - A[I]);
+  return Out;
+}
+
+} // namespace diderot

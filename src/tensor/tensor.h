@@ -1,0 +1,157 @@
+//===--- tensor/tensor.h - dynamically shaped tensor values ---------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor values and the tensor operations Diderot exposes (Section 3.2 of
+/// the paper): arithmetic, dot product (u • v), cross product (u × v), tensor
+/// product (u ⊗ v), norm |u|, trace, determinant, inverse, transpose,
+/// normalization, and identity.
+///
+/// This class is used by the compiler (constant folding, global evaluation)
+/// and by the interpreter engine. Generated native code instead works on flat
+/// arrays with all loops unrolled at compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_TENSOR_TENSOR_H
+#define DIDEROT_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace diderot {
+
+/// A tensor value: a shape plus row-major scalar components.
+///
+/// Components are stored in row-major (C) order: for a matrix, element
+/// (i, j) lives at index i*cols + j.
+class Tensor {
+public:
+  /// A scalar zero.
+  Tensor() : Data(1, 0.0) {}
+
+  /// Zero tensor of shape \p S.
+  explicit Tensor(Shape S)
+      : Shp(std::move(S)), Data(static_cast<size_t>(Shp.numComponents()), 0.0) {}
+
+  /// Tensor with explicit components (row-major), checked against \p S.
+  Tensor(Shape S, std::vector<double> Components)
+      : Shp(std::move(S)), Data(std::move(Components)) {
+    assert(static_cast<int>(Data.size()) == Shp.numComponents() &&
+           "component count does not match shape");
+  }
+
+  /// A scalar.
+  static Tensor scalar(double V) { return Tensor(Shape{}, {V}); }
+  /// A d-vector from components.
+  static Tensor vector(std::vector<double> Components);
+  /// The n-by-n identity matrix (Diderot's identity[n]).
+  static Tensor identity(int N);
+
+  const Shape &shape() const { return Shp; }
+  int order() const { return Shp.order(); }
+  bool isScalar() const { return Shp.isScalar(); }
+
+  /// Scalar payload of an order-0 tensor.
+  double asScalar() const {
+    assert(isScalar() && "asScalar on non-scalar tensor");
+    return Data[0];
+  }
+
+  double operator[](int I) const { return Data[static_cast<size_t>(I)]; }
+  double &operator[](int I) { return Data[static_cast<size_t>(I)]; }
+
+  /// Matrix element access (order must be 2).
+  double at(int I, int J) const {
+    assert(order() == 2);
+    return Data[static_cast<size_t>(I * Shp[1] + J)];
+  }
+
+  const std::vector<double> &data() const { return Data; }
+  std::vector<double> &data() { return Data; }
+  int numComponents() const { return static_cast<int>(Data.size()); }
+
+  bool operator==(const Tensor &) const = default;
+
+  /// Render for diagnostics, e.g. "[1, 0, 0]".
+  std::string str() const;
+
+private:
+  Shape Shp;
+  std::vector<double> Data;
+};
+
+//===----------------------------------------------------------------------===//
+// Elementwise arithmetic
+//===----------------------------------------------------------------------===//
+
+/// Componentwise sum; shapes must agree.
+Tensor add(const Tensor &A, const Tensor &B);
+/// Componentwise difference; shapes must agree.
+Tensor sub(const Tensor &A, const Tensor &B);
+/// Negation.
+Tensor neg(const Tensor &A);
+/// Scale by a scalar.
+Tensor scale(double S, const Tensor &A);
+/// Componentwise product with a scalar divisor.
+Tensor divide(const Tensor &A, double S);
+/// Hadamard (componentwise) product via the `modulate` builtin.
+Tensor modulate(const Tensor &A, const Tensor &B);
+
+//===----------------------------------------------------------------------===//
+// Products and contractions
+//===----------------------------------------------------------------------===//
+
+/// Diderot's inner product `u • v`: contracts the last axis of \p A with the
+/// first axis of \p B (vector dot, matrix-vector, matrix-matrix, ...).
+/// Scalars are handled by `scale` instead; both arguments must have order>=1.
+Tensor dot(const Tensor &A, const Tensor &B);
+
+/// Double-dot `A : B`: contracts the last two axes of A with the first two
+/// of B (used for tensor invariants).
+Tensor ddot(const Tensor &A, const Tensor &B);
+
+/// Cross product. For 3-vectors yields a 3-vector; for 2-vectors yields the
+/// scalar z-component (Diderot's 2-D cross).
+Tensor cross(const Tensor &A, const Tensor &B);
+
+/// Tensor (outer) product `u ⊗ v`.
+Tensor outer(const Tensor &A, const Tensor &B);
+
+/// Frobenius norm |u| (absolute value for scalars).
+double norm(const Tensor &A);
+
+/// u / |u|; returns u unchanged when |u| == 0 (matching the runtime's
+/// guarded normalize).
+Tensor normalize(const Tensor &A);
+
+//===----------------------------------------------------------------------===//
+// Matrix operations (order-2 tensors)
+//===----------------------------------------------------------------------===//
+
+/// Sum of the diagonal of a square matrix.
+double trace(const Tensor &A);
+/// Determinant of a 2x2 or 3x3 matrix.
+double det(const Tensor &A);
+/// Inverse of a 2x2 or 3x3 matrix. Asserts the matrix is square; returns the
+/// adjugate / det without pivoting (fields of use are well-conditioned).
+Tensor inverse(const Tensor &A);
+/// Matrix transpose.
+Tensor transpose(const Tensor &A);
+
+//===----------------------------------------------------------------------===//
+// Interpolation
+//===----------------------------------------------------------------------===//
+
+/// Linear interpolation lerp(a, b, t) = a + t*(b - a), componentwise.
+Tensor lerp(const Tensor &A, const Tensor &B, double T);
+
+} // namespace diderot
+
+#endif // DIDEROT_TENSOR_TENSOR_H

@@ -1,0 +1,153 @@
+//===--- tests/baselines_test.cpp - hand-coded baseline sanity tests ----------===//
+
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "image/pnm.h"
+#include "synth/synth.h"
+
+namespace diderot {
+namespace {
+
+TEST(Baselines, VrLiteRendersTheHand) {
+  Image Hand = synth::ctHand(32);
+  baselines::VrParams P;
+  P.ResU = 60;
+  P.ResV = 45;
+  P.scaleToResolution();
+  baselines::GrayImage Out = baselines::vrLite(Hand, P);
+  ASSERT_EQ(Out.Pix.size(), size_t(60 * 45));
+  size_t Lit = 0;
+  double MaxV = 0;
+  for (double V : Out.Pix) {
+    EXPECT_GE(V, 0.0);
+    Lit += V > 0.05;
+    MaxV = std::max(MaxV, V);
+  }
+  // The hand covers a sizable part of the frame and shading is bounded.
+  EXPECT_GT(Lit, Out.Pix.size() / 20);
+  EXPECT_LT(Lit, Out.Pix.size());
+  EXPECT_LE(MaxV, 1.5);
+  // The center of the frame (palm) is lit; the corner is background.
+  EXPECT_GT(Out.Pix[static_cast<size_t>(22 * 60 + 30)], 0.05);
+  EXPECT_LT(Out.Pix[0], 0.01);
+}
+
+TEST(Baselines, IllustVrProducesColor) {
+  Image Hand = synth::ctHand(24);
+  Image Xfer = synth::curvatureColormap(32);
+  baselines::VrParams P;
+  P.ResU = 40;
+  P.ResV = 30;
+  P.scaleToResolution();
+  baselines::RgbImage Out = baselines::illustVr(Hand, Xfer, P);
+  ASSERT_EQ(Out.Pix.size(), size_t(3 * 40 * 30));
+  size_t Colored = 0;
+  for (size_t K = 0; K < Out.Pix.size(); K += 3)
+    Colored += Out.Pix[K] + Out.Pix[K + 1] + Out.Pix[K + 2] > 0.1;
+  EXPECT_GT(Colored, size_t(30));
+}
+
+TEST(Baselines, LicBlursAlongStreamlines) {
+  Image Flow = synth::flow2d(96);
+  Image Noise = synth::noise2d(96);
+  baselines::LicParams P;
+  P.ResU = 80;
+  P.ResV = 80;
+  baselines::GrayImage Out = baselines::lic2d(Flow, Noise, P);
+  ASSERT_EQ(Out.Pix.size(), size_t(80 * 80));
+  // Around the left vortex the flow is horizontal above the core; the
+  // image must be smoother along x than along y there.
+  auto At = [&](int U, int V) {
+    return Out.Pix[static_cast<size_t>(V * 80 + U)];
+  };
+  int CU = static_cast<int>((-0.45 - P.Lo) / (P.Hi - P.Lo) * 79);
+  int CV = static_cast<int>((0.25 - P.Lo) / (P.Hi - P.Lo) * 79);
+  double Along = 0, Across = 0;
+  for (int D = -6; D <= 6; ++D) {
+    Along += std::abs(At(CU + D + 1, CV) - At(CU + D, CV));
+    Across += std::abs(At(CU + D, CV + 1) - At(CU + D, CV));
+  }
+  EXPECT_LT(Along, Across);
+}
+
+TEST(Baselines, RidgeParticlesLandOnCenterlines) {
+  Image Lung = synth::lungVessels(48);
+  baselines::RidgeParams P;
+  P.Res = 10;
+  std::vector<std::array<double, 3>> Pts = baselines::ridge3d(Lung, P);
+  ASSERT_GT(Pts.size(), 4u) << "some particles must converge";
+  // The trunk segment runs along x=0,z=0: every converged point must be
+  // close to *some* vessel (true centerlines are Gaussian ridge maxima).
+  const double Tree[][7] = {
+      {0.0, -0.85, 0.0, 0.0, -0.25, 0.0, 0.10},
+      {0.0, -0.25, 0.0, -0.45, 0.25, 0.15, 0.075},
+      {0.0, -0.25, 0.0, 0.45, 0.25, -0.15, 0.075},
+      {-0.45, 0.25, 0.15, -0.70, 0.70, 0.05, 0.055},
+      {-0.45, 0.25, 0.15, -0.20, 0.70, 0.35, 0.055},
+      {0.45, 0.25, -0.15, 0.70, 0.70, -0.05, 0.055},
+      {0.45, 0.25, -0.15, 0.20, 0.70, -0.35, 0.055},
+  };
+  auto DistSeg = [](const double *Pt, const double *A, const double *B) {
+    double AB[3] = {B[0] - A[0], B[1] - A[1], B[2] - A[2]};
+    double AP[3] = {Pt[0] - A[0], Pt[1] - A[1], Pt[2] - A[2]};
+    double L2 = AB[0] * AB[0] + AB[1] * AB[1] + AB[2] * AB[2];
+    double T = (AP[0] * AB[0] + AP[1] * AB[1] + AP[2] * AB[2]) / L2;
+    T = std::min(1.0, std::max(0.0, T));
+    double D2 = 0;
+    for (int K = 0; K < 3; ++K) {
+      double D = Pt[K] - (A[K] + T * AB[K]);
+      D2 += D * D;
+    }
+    return std::sqrt(D2);
+  };
+  int Near = 0;
+  for (const auto &Pt : Pts) {
+    double Best = 1e9;
+    for (const double *Seg : Tree)
+      Best = std::min(Best, DistSeg(Pt.data(), Seg, Seg + 3));
+    Near += Best < 0.1;
+  }
+  // Most converged particles are on (or very near) a centerline; junction
+  // regions can host spurious ridge points.
+  EXPECT_GE(Near * 4, static_cast<int>(Pts.size()) * 3);
+}
+
+TEST(Pnm, WritersProduceValidHeaders) {
+  std::string Dir = ::testing::TempDir();
+  std::vector<double> Gray(16 * 8, 0.5);
+  ASSERT_TRUE(writePgm(Dir + "/t.pgm", 16, 8, Gray).isOk());
+  std::vector<double> Rgb(16 * 8 * 3, 0.25);
+  ASSERT_TRUE(writePpm(Dir + "/t.ppm", 16, 8, Rgb).isOk());
+  std::ifstream P(Dir + "/t.pgm", std::ios::binary);
+  std::string Magic, WH;
+  std::getline(P, Magic);
+  EXPECT_EQ(Magic, "P5");
+  std::getline(P, WH);
+  EXPECT_EQ(WH, "16 8");
+  // Size check: header + pixels.
+  P.seekg(0, std::ios::end);
+  EXPECT_GE(static_cast<long>(P.tellg()), 16 * 8);
+}
+
+TEST(Pnm, RejectsSizeMismatch) {
+  std::vector<double> Gray(10, 0.0);
+  EXPECT_FALSE(writePgm(::testing::TempDir() + "/bad.pgm", 4, 4, Gray).isOk());
+}
+
+TEST(Synth, CurvatureColormapDistinguishesRegions) {
+  Image Map = synth::curvatureColormap(64);
+  ASSERT_EQ(Map.valueShape(), (Shape{3}));
+  // Convex corner (k1,k2 both -1) is red-ish, concave (both +1) blue-ish,
+  // saddle (k1=-1, k2=+1) green-ish.
+  int Convex[2] = {0, 0}, Concave[2] = {63, 63}, Saddle[2] = {0, 63};
+  EXPECT_GT(Map.sample(Convex, 0), Map.sample(Convex, 2));
+  EXPECT_GT(Map.sample(Concave, 2), Map.sample(Concave, 0));
+  EXPECT_GT(Map.sample(Saddle, 1), 0.5);
+}
+
+} // namespace
+} // namespace diderot

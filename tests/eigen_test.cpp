@@ -1,0 +1,152 @@
+//===--- tests/eigen_test.cpp - symmetric eigensystem tests ----------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/eigen.h"
+
+namespace diderot {
+namespace {
+
+TEST(Eigen2, DiagonalMatrix) {
+  Tensor M(Shape{2, 2}, {3, 0, 0, 1});
+  Tensor L = eigenvalues(M);
+  EXPECT_DOUBLE_EQ(L[0], 3.0);
+  EXPECT_DOUBLE_EQ(L[1], 1.0);
+}
+
+TEST(Eigen2, OffDiagonal) {
+  // [[0,1],[1,0]] has eigenvalues +-1.
+  Tensor M(Shape{2, 2}, {0, 1, 1, 0});
+  Tensor L = eigenvalues(M);
+  EXPECT_NEAR(L[0], 1.0, 1e-14);
+  EXPECT_NEAR(L[1], -1.0, 1e-14);
+}
+
+TEST(Eigen3, DiagonalSorted) {
+  Tensor M(Shape{3, 3}, {1, 0, 0, 0, 5, 0, 0, 0, 3});
+  Tensor L = eigenvalues(M);
+  EXPECT_NEAR(L[0], 5.0, 1e-12);
+  EXPECT_NEAR(L[1], 3.0, 1e-12);
+  EXPECT_NEAR(L[2], 1.0, 1e-12);
+}
+
+TEST(Eigen3, MultipleOfIdentity) {
+  Tensor M = scale(2.5, Tensor::identity(3));
+  Tensor L = eigenvalues(M);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_NEAR(L[I], 2.5, 1e-14);
+  // Eigenvectors should still be an orthonormal set.
+  Tensor V = eigenvectors(M);
+  for (int I = 0; I < 3; ++I) {
+    Tensor Row = Tensor::vector({V.at(I, 0), V.at(I, 1), V.at(I, 2)});
+    EXPECT_NEAR(norm(Row), 1.0, 1e-12);
+  }
+}
+
+/// Build a symmetric matrix with known eigensystem: Q diag(L) Q^T where Q is
+/// a rotation derived from the seed.
+Tensor makeSym3(double L0, double L1, double L2, double Angle1, double Angle2) {
+  double C1 = std::cos(Angle1), S1 = std::sin(Angle1);
+  double C2 = std::cos(Angle2), S2 = std::sin(Angle2);
+  // Rotation around z then x.
+  Tensor RZ(Shape{3, 3}, {C1, -S1, 0, S1, C1, 0, 0, 0, 1});
+  Tensor RX(Shape{3, 3}, {1, 0, 0, 0, C2, -S2, 0, S2, C2});
+  Tensor Q = dot(RZ, RX);
+  Tensor D(Shape{3, 3}, {L0, 0, 0, 0, L1, 0, 0, 0, L2});
+  return dot(dot(Q, D), transpose(Q));
+}
+
+class Eigen3Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Eigen3Property, RecoverEigenvaluesSorted) {
+  int Seed = GetParam();
+  double L0 = 3.0 + Seed, L1 = 1.0 + 0.5 * Seed, L2 = -2.0 - 0.25 * Seed;
+  Tensor M = makeSym3(L0, L1, L2, 0.3 * Seed + 0.2, 0.7 * Seed + 0.1);
+  Tensor L = eigenvalues(M);
+  EXPECT_NEAR(L[0], L0, 1e-9);
+  EXPECT_NEAR(L[1], L1, 1e-9);
+  EXPECT_NEAR(L[2], L2, 1e-9);
+}
+
+TEST_P(Eigen3Property, EigenvectorsSatisfyDefinition) {
+  int Seed = GetParam();
+  Tensor M = makeSym3(4.0 + Seed, 1.0, -1.0 - Seed, 0.4 * Seed, 0.9 * Seed);
+  Tensor L = eigenvalues(M);
+  Tensor V = eigenvectors(M);
+  for (int I = 0; I < 3; ++I) {
+    Tensor X = Tensor::vector({V.at(I, 0), V.at(I, 1), V.at(I, 2)});
+    Tensor MX = dot(M, X);
+    Tensor LX = scale(L[I], X);
+    for (int C = 0; C < 3; ++C)
+      EXPECT_NEAR(MX[C], LX[C], 1e-8) << "eigenpair " << I;
+    EXPECT_NEAR(norm(X), 1.0, 1e-12);
+  }
+}
+
+TEST_P(Eigen3Property, EigenvectorsOrthogonal) {
+  int Seed = GetParam();
+  Tensor M = makeSym3(5.0, 2.0 + Seed * 0.1, -3.0, 1.1 * Seed, 0.3);
+  Tensor V = eigenvectors(M);
+  for (int I = 0; I < 3; ++I)
+    for (int J = I + 1; J < 3; ++J) {
+      double Dot = V.at(I, 0) * V.at(J, 0) + V.at(I, 1) * V.at(J, 1) +
+                   V.at(I, 2) * V.at(J, 2);
+      EXPECT_NEAR(Dot, 0.0, 1e-8);
+    }
+}
+
+TEST_P(Eigen3Property, TraceAndDetInvariants) {
+  int Seed = GetParam();
+  Tensor M = makeSym3(2.0 + Seed, -1.0, 0.5 * Seed, 0.2 * Seed, 0.6);
+  Tensor L = eigenvalues(M);
+  EXPECT_NEAR(L[0] + L[1] + L[2], trace(M), 1e-9);
+  EXPECT_NEAR(L[0] * L[1] * L[2], det(M), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Eigen3Property, ::testing::Range(0, 12));
+
+TEST(Eigen3, RepeatedEigenvaluePair) {
+  // diag(2,2,1) rotated: lambda = {2,2,1}.
+  Tensor M = makeSym3(2, 2, 1, 0.7, 0.3);
+  Tensor L = eigenvalues(M);
+  // Repeated eigenvalues are recovered to closed-form precision only.
+  EXPECT_NEAR(L[0], 2.0, 1e-7);
+  EXPECT_NEAR(L[1], 2.0, 1e-7);
+  EXPECT_NEAR(L[2], 1.0, 1e-7);
+  Tensor V = eigenvectors(M);
+  // Each eigenvector must satisfy M v = lambda v.
+  for (int I = 0; I < 3; ++I) {
+    Tensor X = Tensor::vector({V.at(I, 0), V.at(I, 1), V.at(I, 2)});
+    Tensor MX = dot(M, X);
+    for (int C = 0; C < 3; ++C)
+      EXPECT_NEAR(MX[C], L[I] * X[C], 1e-8);
+  }
+}
+
+TEST(Eigen2, EigenvectorsSatisfyDefinition) {
+  Tensor M(Shape{2, 2}, {2, 1, 1, 3});
+  Tensor L = eigenvalues(M);
+  double V[4], LL[2];
+  double MRaw[4] = {2, 1, 1, 3};
+  eigensystemSym2(MRaw, LL, V);
+  for (int I = 0; I < 2; ++I) {
+    double VX = V[2 * I], VY = V[2 * I + 1];
+    EXPECT_NEAR(2 * VX + 1 * VY, L[I] * VX, 1e-12);
+    EXPECT_NEAR(1 * VX + 3 * VY, L[I] * VY, 1e-12);
+  }
+}
+
+TEST(EigenRaw, FloatInstantiationWorks) {
+  // The generated native code calls the float instantiation.
+  float M[9] = {4, 0, 0, 0, 2, 0, 0, 0, 1};
+  float L[3];
+  eigenvalsSym3(M, L);
+  EXPECT_NEAR(L[0], 4.0f, 1e-5f);
+  EXPECT_NEAR(L[1], 2.0f, 1e-5f);
+  EXPECT_NEAR(L[2], 1.0f, 1e-5f);
+}
+
+} // namespace
+} // namespace diderot

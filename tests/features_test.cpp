@@ -1,0 +1,447 @@
+//===--- tests/features_test.cpp - language feature end-to-end tests ----------===//
+//
+// End-to-end coverage of features beyond the four paper benchmarks: field
+// arithmetic, vector-field Jacobians, 1-D fields, the bspln5 kernel, the
+// divergence/curl extension (paper §8.3 future work), sequences, and
+// miscellaneous builtins. All run on the interpreter engine against analytic
+// expectations.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "driver/driver.h"
+#include "synth/synth.h"
+
+namespace diderot {
+namespace {
+
+std::unique_ptr<rt::ProgramInstance> runProgram(
+    const std::string &Src,
+    const std::vector<std::pair<std::string, Image>> &Images,
+    Engine Eng = Engine::Interp) {
+  CompileOptions Opts;
+  Opts.Eng = Eng;
+  Opts.DoublePrecision = true;
+  Result<CompiledProgram> CP = compileString(Src, Opts, "feature");
+  EXPECT_TRUE(CP.isOk()) << CP.message();
+  if (!CP.isOk())
+    return nullptr;
+  Result<std::unique_ptr<rt::ProgramInstance>> I = CP->instantiate();
+  EXPECT_TRUE(I.isOk()) << I.message();
+  if (!I.isOk())
+    return nullptr;
+  for (const auto &[Name, Img] : Images) {
+    Status S = (*I)->setInputImage(Name, Img);
+    EXPECT_TRUE(S.isOk()) << S.message();
+  }
+  Status S = (*I)->initialize();
+  EXPECT_TRUE(S.isOk()) << S.message();
+  Result<int> R = (*I)->run(1000, 1);
+  EXPECT_TRUE(R.isOk()) << R.message();
+  return I.take();
+}
+
+/// A 2-D vector image V(x,y) = (a x + b y + e, c x + d y + f) over [-1,1]^2.
+Image linearFlow2d(int Size, double A, double B, double C, double D,
+                   double E = 0, double F = 0) {
+  Image Img(2, Shape{2}, {Size, Size});
+  std::vector<double> Spacing = {2.0 / (Size - 1), 2.0 / (Size - 1)};
+  Img.setSpacing(Spacing);
+  Img.setOrientation({Spacing[0], 0, 0, Spacing[1]}, {-1.0, -1.0});
+  int Idx[2];
+  for (int Y = 0; Y < Size; ++Y)
+    for (int X = 0; X < Size; ++X) {
+      double PX = -1 + 2.0 * X / (Size - 1), PY = -1 + 2.0 * Y / (Size - 1);
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0, A * PX + B * PY + E);
+      Img.setSample(Idx, 1, C * PX + D * PY + F);
+    }
+  return Img;
+}
+
+//===----------------------------------------------------------------------===//
+// Divergence and curl (§8.3 extension)
+//===----------------------------------------------------------------------===//
+
+TEST(Features, DivergenceOfLinearFlow) {
+  // V = (2x - y, 3x + 5y): div V = 2 + 5 = 7 everywhere.
+  auto I = runProgram(R"(
+input image(2)[2] vecs;
+field#1(2)[2] V = vecs ⊛ ctmr;
+field#0(2)[] divV = ∇•V;
+strand S (int i) {
+  vec2 pos = [ -0.4 + 0.2*real(i), 0.1 ];
+  output real out = 0.0;
+  update { out = divV(pos); stabilize; }
+}
+initially [ S(i) | i in 0 .. 4 ];
+)",
+                      {{"vecs", linearFlow2d(16, 2, -1, 3, 5)}});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  for (double V : Out)
+    EXPECT_NEAR(V, 7.0, 1e-9);
+}
+
+TEST(Features, Curl2dOfLinearFlow) {
+  // V = (2x - y, 3x + 5y): curl_z = dVy/dx - dVx/dy = 3 - (-1) = 4.
+  auto I = runProgram(R"(
+input image(2)[2] vecs;
+field#1(2)[2] V = vecs ⊛ ctmr;
+strand S (int i) {
+  vec2 pos = [ -0.4 + 0.2*real(i), 0.1 ];
+  output real out = 0.0;
+  update { out = (∇×V)(pos); stabilize; }
+}
+initially [ S(i) | i in 0 .. 4 ];
+)",
+                      {{"vecs", linearFlow2d(16, 2, -1, 3, 5)}});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  for (double V : Out)
+    EXPECT_NEAR(V, 4.0, 1e-9);
+}
+
+TEST(Features, Curl3dOfRotationalFlow) {
+  // V = (y, z, x): curl V = (-1, -1, -1); div V = 0.
+  Image Img(3, Shape{3}, {10, 10, 10});
+  double Sp = 2.0 / 9.0;
+  Img.setOrientation({Sp, 0, 0, 0, Sp, 0, 0, 0, Sp}, {-1, -1, -1});
+  int Idx[3];
+  for (int Z = 0; Z < 10; ++Z)
+    for (int Y = 0; Y < 10; ++Y)
+      for (int X = 0; X < 10; ++X) {
+        double P[3] = {-1 + Sp * X, -1 + Sp * Y, -1 + Sp * Z};
+        Idx[0] = X;
+        Idx[1] = Y;
+        Idx[2] = Z;
+        Img.setSample(Idx, 0, P[1]);
+        Img.setSample(Idx, 1, P[2]);
+        Img.setSample(Idx, 2, P[0]);
+      }
+  auto I = runProgram(R"(
+input image(3)[3] vecs;
+field#1(3)[3] V = vecs ⊛ ctmr;
+strand S (int i) {
+  vec3 pos = [ -0.3 + 0.2*real(i), 0.1, -0.1 ];
+  output vec3 c = [0.0, 0.0, 0.0];
+  output real d = 1.0;
+  update { c = (∇×V)(pos); d = (∇•V)(pos); stabilize; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)",
+                      {{"vecs", Img}});
+  ASSERT_TRUE(I);
+  std::vector<double> C, D;
+  ASSERT_TRUE(I->getOutput("c", C).isOk());
+  ASSERT_TRUE(I->getOutput("d", D).isOk());
+  for (size_t K = 0; K < C.size(); ++K)
+    EXPECT_NEAR(C[K], -1.0, 1e-9) << K;
+  for (double V : D)
+    EXPECT_NEAR(V, 0.0, 1e-9);
+}
+
+TEST(Features, DivergenceTypingErrors) {
+  CompileOptions Opts;
+  // ∇• of a scalar field is rejected.
+  Result<CompiledProgram> CP = compileString(R"(
+input image(3)[] img;
+field#2(3)[] F = img ⊛ bspln3;
+strand S (int i) {
+  output real out = 0.0;
+  update { out = (∇•F)([0.1,0.2,0.3]); stabilize; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)",
+                                             Opts);
+  ASSERT_FALSE(CP.isOk());
+  EXPECT_NE(CP.message().find("∇•"), std::string::npos);
+}
+
+TEST(Features, NativeAgreesOnDivCurl) {
+  const char *Src = R"(
+input image(2)[2] vecs;
+field#1(2)[2] V = vecs ⊛ ctmr;
+strand S (int xi, int yi) {
+  vec2 pos = [ -0.5 + 0.25*real(xi), -0.5 + 0.25*real(yi) ];
+  output vec2 out = [0.0, 0.0];
+  update { out = [ (∇•V)(pos), (∇×V)(pos) ]; stabilize; }
+}
+initially [ S(xi, yi) | xi in 0 .. 4, yi in 0 .. 4 ];
+)";
+  Image Flow = synth::flow2d(64);
+  std::vector<double> A, B;
+  for (int Native = 0; Native < 2; ++Native) {
+    auto I = runProgram(Src, {{"vecs", Flow}},
+                        Native ? Engine::Native : Engine::Interp);
+    ASSERT_TRUE(I);
+    ASSERT_TRUE(I->getOutput("out", Native ? B : A).isOk());
+  }
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t K = 0; K < A.size(); ++K)
+    EXPECT_NEAR(A[K], B[K], 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Vector-field Jacobians
+//===----------------------------------------------------------------------===//
+
+TEST(Features, JacobianOfLinearFlow) {
+  // ∇⊗V for V = (2x - y, 3x + 5y) is [[2,-1],[3,5]] (row c = component,
+  // column j = derivative axis).
+  auto I = runProgram(R"(
+input image(2)[2] vecs;
+field#1(2)[2] V = vecs ⊛ ctmr;
+strand S (int i) {
+  vec2 pos = [ 0.1*real(i), -0.2 ];
+  output tensor[2,2] out = identity[2];
+  update { out = ∇⊗V(pos); stabilize; }
+}
+initially [ S(i) | i in 0 .. 2 ];
+)",
+                      {{"vecs", linearFlow2d(16, 2, -1, 3, 5)}});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  ASSERT_EQ(Out.size(), 12u);
+  for (size_t S = 0; S < 3; ++S) {
+    EXPECT_NEAR(Out[S * 4 + 0], 2.0, 1e-9);
+    EXPECT_NEAR(Out[S * 4 + 1], -1.0, 1e-9);
+    EXPECT_NEAR(Out[S * 4 + 2], 3.0, 1e-9);
+    EXPECT_NEAR(Out[S * 4 + 3], 5.0, 1e-9);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Field arithmetic end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(Features, FieldArithmeticNumeric) {
+  // S = (2*F - G)/4 probed where F = x+2y, G = 3x: S = (2x+4y-3x)/4.
+  auto I = runProgram(R"(
+input image(2)[] a;
+input image(2)[] b;
+field#1(2)[] F = a ⊛ ctmr;
+field#1(2)[] G = b ⊛ ctmr;
+field#1(2)[] S = (2.0*F - G)/4.0;
+strand St (int i) {
+  vec2 pos = [ -0.3 + 0.2*real(i), 0.25 ];
+  output real out = 0.0;
+  update { out = S(pos); stabilize; }
+}
+initially [ St(i) | i in 0 .. 3 ];
+)",
+                      {{"a", synth::sampledPolynomial2d(16, 0, 1, 2, 0)},
+                       {"b", synth::sampledPolynomial2d(16, 0, 3, 0, 0)}});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  for (int K = 0; K < 4; ++K) {
+    double X = -0.3 + 0.2 * K, Y = 0.25;
+    EXPECT_NEAR(Out[static_cast<size_t>(K)],
+                (2 * (X + 2 * Y) - 3 * X) / 4.0, 1e-10);
+  }
+}
+
+TEST(Features, GradientOfFieldSum) {
+  // ∇((F + G)) = ∇F + ∇G, F = x+2y, G = 3x -> (4, 2).
+  auto I = runProgram(R"(
+input image(2)[] a;
+input image(2)[] b;
+field#1(2)[] F = a ⊛ ctmr;
+field#1(2)[] G = b ⊛ ctmr;
+strand St (int i) {
+  output vec2 out = [0.0, 0.0];
+  update { out = ∇(F + G)([0.1, -0.2]); stabilize; }
+}
+initially [ St(i) | i in 0 .. 1 ];
+)",
+                      {{"a", synth::sampledPolynomial2d(16, 0, 1, 2, 0)},
+                       {"b", synth::sampledPolynomial2d(16, 0, 3, 0, 0)}});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  EXPECT_NEAR(Out[0], 4.0, 1e-9);
+  EXPECT_NEAR(Out[1], 2.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// 1-D fields
+//===----------------------------------------------------------------------===//
+
+TEST(Features, OneDimensionalFields) {
+  // A 1-D image of f(x) = 2x over [-1,1]; probe value and derivative.
+  Image Img(1, Shape{}, {32});
+  double Sp = 2.0 / 31.0;
+  Img.setOrientation({Sp}, {-1.0});
+  for (int X = 0; X < 32; ++X) {
+    int Idx[1] = {X};
+    Img.setSample(Idx, 0, 2.0 * (-1 + Sp * X));
+  }
+  auto I = runProgram(R"(
+input image(1)[] img;
+field#2(1)[] F = img ⊛ bspln3;
+strand S (int i) {
+  real x = -0.5 + 0.25*real(i);
+  output real v = 0.0;
+  output real dv = 0.0;
+  update {
+    if (inside(x, F)) {
+      v = F(x);
+      dv = ∇F(x);
+    }
+    stabilize;
+  }
+}
+initially [ S(i) | i in 0 .. 4 ];
+)",
+                      {{"img", Img}});
+  ASSERT_TRUE(I);
+  std::vector<double> V, DV;
+  ASSERT_TRUE(I->getOutput("v", V).isOk());
+  ASSERT_TRUE(I->getOutput("dv", DV).isOk());
+  for (int K = 0; K < 5; ++K) {
+    double X = -0.5 + 0.25 * K;
+    EXPECT_NEAR(V[static_cast<size_t>(K)], 2.0 * X, 1e-9);
+    EXPECT_NEAR(DV[static_cast<size_t>(K)], 2.0, 1e-9);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// bspln5 (extension kernel, C4)
+//===----------------------------------------------------------------------===//
+
+TEST(Features, QuinticBSplineReconstruction) {
+  auto I = runProgram(R"(
+input image(2)[] img;
+field#4(2)[] F = img ⊛ bspln5;
+field#2(2)[2,2] H = ∇⊗∇F;
+strand S (int i) {
+  vec2 pos = [ 0.05*real(i), 0.1 ];
+  output real v = 0.0;
+  output real hxy = 0.0;
+  update {
+    v = F(pos);
+    hxy = H(pos)[0,1];
+    stabilize;
+  }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)",
+                      // f = 1 + x - y + 0.5 x y: hessian xy entry 0.5.
+                      {{"img", synth::sampledPolynomial2d(24, 1, 1, -1, 0.5)}});
+  ASSERT_TRUE(I);
+  std::vector<double> V, H;
+  ASSERT_TRUE(I->getOutput("v", V).isOk());
+  ASSERT_TRUE(I->getOutput("hxy", H).isOk());
+  for (int K = 0; K < 4; ++K) {
+    double X = 0.05 * K, Y = 0.1;
+    EXPECT_NEAR(V[static_cast<size_t>(K)], 1 + X - Y + 0.5 * X * Y, 1e-9);
+    EXPECT_NEAR(H[static_cast<size_t>(K)], 0.5, 1e-8);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sequences
+//===----------------------------------------------------------------------===//
+
+TEST(Features, SequencesEndToEnd) {
+  auto I = runProgram(R"(
+real{4} weights = {0.1, 0.2, 0.3, 0.4};
+strand S (int i) {
+  output real out = 0.0;
+  update {
+    out = weights[i] * 10.0;
+    stabilize;
+  }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)",
+                      {});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  EXPECT_NEAR(Out[0], 1.0, 1e-12);
+  EXPECT_NEAR(Out[3], 4.0, 1e-12);
+}
+
+TEST(Features, SequencesNativeEngine) {
+  auto I = runProgram(R"(
+real{3} ws = {2.0, 4.0, 8.0};
+strand S (int i) {
+  int j = 2 - i;
+  output real out = 0.0;
+  update { out = ws[j]; stabilize; }
+}
+initially [ S(i) | i in 0 .. 2 ];
+)",
+                      {}, Engine::Native);
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  EXPECT_DOUBLE_EQ(Out[0], 8.0);
+  EXPECT_DOUBLE_EQ(Out[1], 4.0);
+  EXPECT_DOUBLE_EQ(Out[2], 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins through whole programs
+//===----------------------------------------------------------------------===//
+
+TEST(Features, MiscBuiltins) {
+  auto I = runProgram(R"(
+strand S (int i) {
+  vec3 a = [1.0, 2.0, 2.0];
+  vec3 b = [3.0, 0.0, 4.0];
+  output real out = 0.0;
+  update {
+    vec3 l = lerp(a, b, 0.5);
+    vec3 m = modulate(a, b);
+    real c = clamp(real(i) - 1.0, 0.0, 2.0);
+    out = |l| + m[2] + c + atan2(0.0, 1.0) + pow(2.0, 3.0);
+    stabilize;
+  }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)",
+                      {});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  // l = (2,1,3), |l| = sqrt(14); m2 = 8; pow = 8.
+  for (int K = 0; K < 4; ++K) {
+    double C = std::clamp(K - 1.0, 0.0, 2.0);
+    EXPECT_NEAR(Out[static_cast<size_t>(K)], std::sqrt(14.0) + 8 + C + 8,
+                1e-9);
+  }
+}
+
+TEST(Features, CrossAndDet) {
+  auto I = runProgram(R"(
+strand S (int i) {
+  vec3 u = [1.0, 0.0, 0.0];
+  vec3 v = [0.0, 1.0, 0.0];
+  tensor[2,2] m = [[1.0, 2.0], [3.0, 4.0]];
+  output real out = 0.0;
+  update {
+    out = (u × v)[2] + det(m) + det(inv(m));
+    stabilize;
+  }
+}
+initially [ S(i) | i in 0 .. 1 ];
+)",
+                      {});
+  ASSERT_TRUE(I);
+  std::vector<double> Out;
+  ASSERT_TRUE(I->getOutput("out", Out).isOk());
+  EXPECT_NEAR(Out[0], 1.0 - 2.0 - 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace diderot

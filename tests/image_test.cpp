@@ -1,0 +1,160 @@
+//===--- tests/image_test.cpp - oriented image tests -----------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "image/image.h"
+
+namespace diderot {
+namespace {
+
+TEST(Image, ConstructionDefaults) {
+  Image Img(3, Shape{}, {4, 5, 6});
+  EXPECT_EQ(Img.dim(), 3);
+  EXPECT_EQ(Img.numComponents(), 1);
+  EXPECT_EQ(Img.numSamples(), 120u);
+  // Identity orientation.
+  double Idx[3] = {1, 2, 3}, World[3];
+  Img.indexToWorld(Idx, World);
+  EXPECT_DOUBLE_EQ(World[0], 1.0);
+  EXPECT_DOUBLE_EQ(World[2], 3.0);
+}
+
+TEST(Image, SampleSetGet) {
+  Image Img(2, Shape{}, {3, 3});
+  int Idx[2] = {1, 2};
+  Img.setSample(Idx, 0, 7.5);
+  EXPECT_DOUBLE_EQ(Img.sample(Idx, 0), 7.5);
+}
+
+TEST(Image, SampleClampsOutOfRange) {
+  Image Img(2, Shape{}, {2, 2});
+  int In[2] = {1, 1};
+  Img.setSample(In, 0, 9.0);
+  int Out[2] = {5, 7};
+  EXPECT_DOUBLE_EQ(Img.sample(Out, 0), 9.0);
+  int Neg[2] = {-3, 1};
+  int Expect[2] = {0, 1};
+  EXPECT_DOUBLE_EQ(Img.sample(Neg, 0), Img.sample(Expect, 0));
+}
+
+TEST(Image, VectorValuedLayout) {
+  Image Img(2, Shape{2}, {2, 2});
+  EXPECT_EQ(Img.numComponents(), 2);
+  int Idx[2] = {1, 0};
+  Img.setSample(Idx, 0, 1.0);
+  Img.setSample(Idx, 1, 2.0);
+  Tensor T = Img.tensorAt(Idx);
+  EXPECT_EQ(T.shape(), (Shape{2}));
+  EXPECT_DOUBLE_EQ(T[0], 1.0);
+  EXPECT_DOUBLE_EQ(T[1], 2.0);
+}
+
+TEST(Image, OrientationRoundTrip) {
+  Image Img(2, Shape{}, {10, 10});
+  // Anisotropic spacing with a rotation.
+  double C = std::cos(0.3), S = std::sin(0.3);
+  Img.setOrientation({0.5 * C, -0.7 * S, 0.5 * S, 0.7 * C}, {3.0, -2.0});
+  double Idx[2] = {4.25, 7.5}, World[2], Back[2];
+  Img.indexToWorld(Idx, World);
+  Img.worldToIndex(World, Back);
+  EXPECT_NEAR(Back[0], Idx[0], 1e-12);
+  EXPECT_NEAR(Back[1], Idx[1], 1e-12);
+}
+
+TEST(Image, SpacingSetsDiagonal) {
+  Image Img(3, Shape{}, {5, 5, 5});
+  Img.setSpacing({0.5, 1.0, 2.0});
+  double Idx[3] = {2, 2, 2}, World[3];
+  Img.indexToWorld(Idx, World);
+  EXPECT_DOUBLE_EQ(World[0], 1.0);
+  EXPECT_DOUBLE_EQ(World[1], 2.0);
+  EXPECT_DOUBLE_EQ(World[2], 4.0);
+}
+
+TEST(Image, GradientTransformIsInverseTranspose) {
+  Image Img(2, Shape{}, {4, 4});
+  Img.setOrientation({2.0, 1.0, 0.0, 3.0}, {0.0, 0.0});
+  const std::vector<double> &MI = Img.worldToIndexMatrix();
+  const std::vector<double> &MIT = Img.gradientTransform();
+  EXPECT_DOUBLE_EQ(MIT[0], MI[0]);
+  EXPECT_DOUBLE_EQ(MIT[1], MI[2]);
+  EXPECT_DOUBLE_EQ(MIT[2], MI[1]);
+  EXPECT_DOUBLE_EQ(MIT[3], MI[3]);
+}
+
+TEST(Image, InsideSupport) {
+  Image Img(1, Shape{}, {10});
+  // Support 2 (ctmr/bspln3): need n-1 >= 0 and n+2 <= 9, so x in [1, 7+1).
+  double X = 0.5;
+  EXPECT_FALSE(Img.insideSupport(&X, 2));
+  X = 1.0;
+  EXPECT_TRUE(Img.insideSupport(&X, 2));
+  X = 7.9;
+  EXPECT_TRUE(Img.insideSupport(&X, 2));
+  X = 8.0;
+  EXPECT_FALSE(Img.insideSupport(&X, 2));
+  // Support 1 (tent): x in [0, 9).
+  X = 0.0;
+  EXPECT_TRUE(Img.insideSupport(&X, 1));
+  X = 8.999;
+  EXPECT_TRUE(Img.insideSupport(&X, 1));
+  X = 9.0;
+  EXPECT_FALSE(Img.insideSupport(&X, 1));
+}
+
+TEST(Image, NrrdRoundTripScalar) {
+  Image Img(2, Shape{}, {3, 4});
+  Img.setSpacing({0.5, 0.25});
+  int Idx[2];
+  for (int Y = 0; Y < 4; ++Y)
+    for (int X = 0; X < 3; ++X) {
+      Idx[0] = X;
+      Idx[1] = Y;
+      Img.setSample(Idx, 0, X * 10 + Y);
+    }
+  Nrrd N = Img.toNrrd();
+  Result<Image> Back = Image::fromNrrd(N, 2, Shape{});
+  ASSERT_TRUE(Back.isOk()) << Back.message();
+  EXPECT_EQ(Back->sizes(), Img.sizes());
+  for (int Y = 0; Y < 4; ++Y)
+    for (int X = 0; X < 3; ++X) {
+      Idx[0] = X;
+      Idx[1] = Y;
+      EXPECT_DOUBLE_EQ(Back->sample(Idx, 0), Img.sample(Idx, 0));
+    }
+  // Orientation survives.
+  double I[2] = {1, 1}, W[2];
+  Back->indexToWorld(I, W);
+  EXPECT_DOUBLE_EQ(W[0], 0.5);
+  EXPECT_DOUBLE_EQ(W[1], 0.25);
+}
+
+TEST(Image, NrrdRoundTripVector) {
+  Image Img(2, Shape{2}, {3, 3});
+  int Idx[2] = {2, 1};
+  Img.setSample(Idx, 1, -4.5);
+  Nrrd N = Img.toNrrd();
+  EXPECT_EQ(N.dimension(), 3);
+  EXPECT_EQ(N.Sizes[0], 2);
+  Result<Image> Back = Image::fromNrrd(N, 2, Shape{2});
+  ASSERT_TRUE(Back.isOk()) << Back.message();
+  EXPECT_DOUBLE_EQ(Back->sample(Idx, 1), -4.5);
+}
+
+TEST(Image, FromNrrdDimensionMismatch) {
+  Image Img(2, Shape{}, {3, 3});
+  Nrrd N = Img.toNrrd();
+  EXPECT_FALSE(Image::fromNrrd(N, 3, Shape{}).isOk());
+  EXPECT_FALSE(Image::fromNrrd(N, 2, Shape{3}).isOk());
+}
+
+TEST(Image, FromNrrdComponentMismatch) {
+  Image Img(2, Shape{3}, {3, 3});
+  Nrrd N = Img.toNrrd();
+  EXPECT_FALSE(Image::fromNrrd(N, 2, Shape{2}).isOk());
+}
+
+} // namespace
+} // namespace diderot

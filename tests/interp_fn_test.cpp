@@ -1,0 +1,251 @@
+//===--- tests/interp_fn_test.cpp - function-level interpreter tests ----------===//
+//
+// Direct tests of the MidIR evaluator on hand-built IR functions: operator
+// semantics, control flow (If/Yield/Exit), image ops, and error paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+#include "kernels/kernel.h"
+#include "ir/builder.h"
+#include "synth/synth.h"
+
+namespace diderot {
+namespace {
+
+using interp::CallResult;
+using interp::evalFunction;
+using interp::RtVal;
+using ir::Builder;
+using ir::Op;
+using ir::ValueId;
+
+double asReal(const RtVal &V) { return std::get<Tensor>(V).asScalar(); }
+
+/// Evaluate a single-op function f(args) = op(args).
+template <typename BuildFn>
+Result<CallResult> evalWith(std::vector<Type> ParamTys,
+                            std::vector<RtVal> Args, BuildFn &&Build) {
+  ir::Function F;
+  F.Name = "t";
+  Builder B(F);
+  std::vector<ValueId> Params;
+  for (Type &T : ParamTys)
+    Params.push_back(B.addParam(std::move(T)));
+  ValueId R = Build(B, Params);
+  F.ResultTypes = {F.typeOf(R)};
+  B.exit(ir::ExitAttr::Continue, {R});
+  B.finish();
+  std::vector<RtVal> Globals;
+  return evalFunction(F, Args, Globals);
+}
+
+TEST(InterpFn, ScalarArithmetic) {
+  auto R = evalWith({Type::real(), Type::real()},
+                    {Tensor::scalar(3.0), Tensor::scalar(4.0)},
+                    [](Builder &B, const std::vector<ValueId> &P) {
+                      ValueId M = B.emit(Op::Mul, {P[0], P[1]}, Type::real());
+                      return B.emit(Op::Add, {M, P[0]}, Type::real());
+                    });
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_DOUBLE_EQ(asReal(R->Results[0]), 15.0);
+}
+
+TEST(InterpFn, IntegerOps) {
+  auto R = evalWith({Type::integer(), Type::integer()},
+                    {int64_t(17), int64_t(5)},
+                    [](Builder &B, const std::vector<ValueId> &P) {
+                      ValueId D = B.emit(Op::Div, {P[0], P[1]},
+                                         Type::integer());
+                      ValueId M = B.emit(Op::Mod, {P[0], P[1]},
+                                         Type::integer());
+                      return B.emit(Op::Mul, {D, M}, Type::integer());
+                    });
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(std::get<int64_t>(R->Results[0]), 3 * 2);
+}
+
+TEST(InterpFn, DivisionByZeroIsAnError) {
+  auto R = evalWith({Type::integer()}, {int64_t(1)},
+                    [](Builder &B, const std::vector<ValueId> &P) {
+                      ValueId Z = B.constInt(0);
+                      return B.emit(Op::Div, {P[0], Z}, Type::integer());
+                    });
+  ASSERT_FALSE(R.isOk());
+  EXPECT_NE(R.message().find("division by zero"), std::string::npos);
+}
+
+TEST(InterpFn, TensorOpsAndIndexing) {
+  Tensor M(Shape{2, 2}, {1, 2, 3, 4});
+  auto R = evalWith({Type::tensor(Shape{2, 2})}, {M},
+                    [](Builder &B, const std::vector<ValueId> &P) {
+                      ValueId T = B.emit(Op::Transpose, {P[0]},
+                                         Type::tensor(Shape{2, 2}));
+                      return B.emit(Op::TensorIndex, {T}, Type::real(),
+                                    std::vector<int>{0, 1});
+                    });
+  ASSERT_TRUE(R.isOk());
+  EXPECT_DOUBLE_EQ(asReal(R->Results[0]), 3.0); // transpose swaps (0,1)
+}
+
+TEST(InterpFn, IfSelectsRegion) {
+  for (bool Cond : {true, false}) {
+    auto R = evalWith(
+        {Type::boolean()}, {Cond},
+        [](Builder &B, const std::vector<ValueId> &P) {
+          B.pushRegion();
+          ValueId T = B.constReal(1.0);
+          B.yield({T});
+          ir::Region Then = B.popRegion();
+          B.pushRegion();
+          ValueId E = B.constReal(2.0);
+          B.yield({E});
+          ir::Region Else = B.popRegion();
+          return B.emitIf(P[0], std::move(Then), std::move(Else),
+                          {Type::real()})[0];
+        });
+    ASSERT_TRUE(R.isOk());
+    EXPECT_DOUBLE_EQ(asReal(R->Results[0]), Cond ? 1.0 : 2.0);
+  }
+}
+
+TEST(InterpFn, ExitInsideIfPropagates) {
+  // if (c) exit[stabilize](42) else yield; exit[continue](7)
+  ir::Function F;
+  F.Name = "t";
+  F.ResultTypes = {Type::real()};
+  Builder B(F);
+  ValueId C = B.addParam(Type::boolean());
+  B.pushRegion();
+  ValueId V42 = B.constReal(42.0);
+  B.exit(ir::ExitAttr::Stabilize, {V42});
+  ir::Region Then = B.popRegion();
+  B.pushRegion();
+  B.yield({});
+  ir::Region Else = B.popRegion();
+  B.emitIf(C, std::move(Then), std::move(Else), {});
+  ValueId V7 = B.constReal(7.0);
+  B.exit(ir::ExitAttr::Continue, {V7});
+  B.finish();
+
+  std::vector<RtVal> Globals;
+  auto R1 = evalFunction(F, {RtVal(true)}, Globals);
+  ASSERT_TRUE(R1.isOk());
+  EXPECT_EQ(R1->Kind, ir::ExitAttr::Stabilize);
+  EXPECT_DOUBLE_EQ(asReal(R1->Results[0]), 42.0);
+  auto R2 = evalFunction(F, {RtVal(false)}, Globals);
+  ASSERT_TRUE(R2.isOk());
+  EXPECT_EQ(R2->Kind, ir::ExitAttr::Continue);
+  EXPECT_DOUBLE_EQ(asReal(R2->Results[0]), 7.0);
+}
+
+TEST(InterpFn, GlobalsAreReadable) {
+  ir::Function F;
+  F.Name = "t";
+  F.ResultTypes = {Type::real()};
+  Builder B(F);
+  ValueId G = B.emit(Op::GlobalGet, {}, Type::real(), int64_t(1));
+  B.exit(ir::ExitAttr::Continue, {G});
+  B.finish();
+  std::vector<RtVal> Globals = {RtVal(int64_t(5)), RtVal(Tensor::scalar(9.5))};
+  auto R = evalFunction(F, {}, Globals);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_DOUBLE_EQ(asReal(R->Results[0]), 9.5);
+}
+
+TEST(InterpFn, ImageOpsProbeMachinery) {
+  // WorldToImage + InsideTest + VoxelLoad against a known image.
+  auto Img = std::make_shared<const Image>(
+      synth::sampledPolynomial2d(8, 0, 1, 0, 0)); // f = x over [-1,1]
+  ir::Function F;
+  F.Name = "t";
+  F.ResultTypes = {Type::real(), Type::boolean()};
+  Builder B(F);
+  ValueId ImgV = B.addParam(Type::image(2, Shape{}));
+  ValueId Pos = B.addParam(Type::vec(2));
+  ValueId Xi = B.emit(Op::WorldToImage, {ImgV, Pos}, Type::vec(2));
+  ValueId X0 = B.emit(Op::TensorIndex, {Xi}, Type::real(),
+                      std::vector<int>{0});
+  ValueId Fl = B.emit(Op::Floor, {X0}, Type::real());
+  ValueId N0 = B.emit(Op::RealToInt, {Fl}, Type::integer());
+  ValueId X1 = B.emit(Op::TensorIndex, {Xi}, Type::real(),
+                      std::vector<int>{1});
+  ValueId Fl1 = B.emit(Op::Floor, {X1}, Type::real());
+  ValueId N1 = B.emit(Op::RealToInt, {Fl1}, Type::integer());
+  ValueId In = B.emit(Op::InsideTest, {ImgV, N0, N1}, Type::boolean(),
+                      int64_t(1));
+  ValueId V = B.emit(Op::VoxelLoad, {ImgV, N0, N1}, Type::real(),
+                     ir::VoxelAttr{{0, 0}, 0});
+  B.exit(ir::ExitAttr::Continue, {V, In});
+  B.finish();
+
+  std::vector<RtVal> Globals;
+  // World (0,0) maps to index (3.5, 3.5): voxel (3,3) holds f(x_3) where
+  // x_3 = -1 + 2*3/7.
+  Tensor P{Shape{2}};
+  auto R = evalFunction(F, {RtVal(Img), RtVal(P)}, Globals);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_NEAR(asReal(R->Results[0]), -1.0 + 2.0 * 3 / 7, 1e-12);
+  EXPECT_TRUE(std::get<bool>(R->Results[1]));
+}
+
+TEST(InterpFn, KernelWeightMatchesKernelLibrary) {
+  ir::Function F;
+  F.Name = "t";
+  F.ResultTypes = {Type::real()};
+  Builder B(F);
+  ValueId Frac = B.addParam(Type::real());
+  ValueId W = B.emit(Op::KernelWeight, {Frac}, Type::real(),
+                     ir::KernelWeightAttr{"ctmr", 1, -1});
+  B.exit(ir::ExitAttr::Continue, {W});
+  B.finish();
+  std::vector<RtVal> Globals;
+  auto R = evalFunction(F, {RtVal(Tensor::scalar(0.3))}, Globals);
+  ASSERT_TRUE(R.isOk());
+  Kernel D = kernels::ctmr().derivative();
+  EXPECT_NEAR(asReal(R->Results[0]), D.weightPoly(-1).eval(0.3), 1e-14);
+}
+
+TEST(InterpFn, MissingExitIsAnError) {
+  ir::Function F;
+  F.Name = "t";
+  F.ResultTypes = {};
+  Builder B(F);
+  B.yield({}); // yield at function level: runs off the end
+  B.finish();
+  std::vector<RtVal> Globals;
+  auto R = evalFunction(F, {}, Globals);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_NE(R.message().find("without Exit"), std::string::npos);
+}
+
+TEST(InterpFn, MathFunctions) {
+  auto R = evalWith({Type::real()}, {Tensor::scalar(0.5)},
+                    [](Builder &B, const std::vector<ValueId> &P) {
+                      ValueId S = B.emit(Op::Asin, {P[0]}, Type::real());
+                      ValueId C = B.emit(Op::Cos, {S}, Type::real());
+                      return B.emit(Op::Atan2, {P[0], C}, Type::real());
+                    });
+  ASSERT_TRUE(R.isOk());
+  double S = std::asin(0.5);
+  EXPECT_NEAR(asReal(R->Results[0]), std::atan2(0.5, std::cos(S)), 1e-14);
+}
+
+TEST(InterpFn, SelectAndLogic) {
+  auto R = evalWith(
+      {Type::boolean(), Type::real(), Type::real()},
+      {true, Tensor::scalar(1.0), Tensor::scalar(2.0)},
+      [](Builder &B, const std::vector<ValueId> &P) {
+        ValueId NotC = B.emit(Op::Not, {P[0]}, Type::boolean());
+        return B.emit(Op::Select, {NotC, P[1], P[2]}, Type::real());
+      });
+  ASSERT_TRUE(R.isOk());
+  EXPECT_DOUBLE_EQ(asReal(R->Results[0]), 2.0);
+}
+
+} // namespace
+} // namespace diderot

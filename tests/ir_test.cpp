@@ -1,0 +1,179 @@
+//===--- tests/ir_test.cpp - IR infrastructure tests ------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/ir.h"
+
+namespace diderot::ir {
+namespace {
+
+/// Build: func(x: real) -> (real) { v = x + 1.0; exit v }
+Function makeSimpleFn() {
+  Function F;
+  F.Name = "f";
+  F.ResultTypes = {Type::real()};
+  Builder B(F);
+  ValueId X = B.addParam(Type::real());
+  ValueId One = B.constReal(1.0);
+  ValueId Sum = B.emit(Op::Add, {X, One}, Type::real());
+  B.exit(ExitAttr::Continue, {Sum});
+  B.finish();
+  return F;
+}
+
+TEST(Ir, BuilderProducesVerifiableFunction) {
+  Function F = makeSimpleFn();
+  EXPECT_EQ(verify(F, High), "");
+  EXPECT_EQ(verify(F, Mid), "");
+  EXPECT_EQ(verify(F, Low), "");
+  EXPECT_EQ(F.NumParams, 1);
+  EXPECT_EQ(countAllOps(F), 3);
+  EXPECT_EQ(countOps(F, Op::Add), 1);
+}
+
+TEST(Ir, PrintContainsStructure) {
+  Function F = makeSimpleFn();
+  std::string S = print(F);
+  EXPECT_NE(S.find("func @f"), std::string::npos);
+  EXPECT_NE(S.find("add"), std::string::npos);
+  EXPECT_NE(S.find("exit[continue]"), std::string::npos);
+}
+
+TEST(Ir, VerifierRejectsMissingTerminator) {
+  Function F;
+  F.Name = "bad";
+  Builder B(F);
+  B.constReal(1.0);
+  B.finish(); // no terminator
+  EXPECT_NE(verify(F, High), "");
+}
+
+TEST(Ir, VerifierRejectsUseBeforeDef) {
+  Function F;
+  F.Name = "bad";
+  F.ResultTypes = {Type::real()};
+  ValueId Ghost = F.newValue(Type::real()); // never defined
+  Builder B(F);
+  B.exit(ExitAttr::Continue, {Ghost});
+  B.finish();
+  EXPECT_NE(verify(F, High), "");
+}
+
+TEST(Ir, VerifierRejectsWrongLevelOps) {
+  Function F;
+  F.Name = "lvl";
+  F.ResultTypes = {};
+  Builder B(F);
+  ValueId Img = B.addParam(Type::image(2, Shape{}));
+  B.emit(Op::Convolve, {Img}, Type::field(1, 2, Shape{}),
+         ConvolveAttr{"ctmr", 0});
+  B.exit(ExitAttr::Continue, {});
+  B.finish();
+  EXPECT_EQ(verify(F, High), "");
+  EXPECT_NE(verify(F, Mid), "") << "field ops must be rejected at MidIR";
+  EXPECT_NE(verify(F, Low), "");
+}
+
+TEST(Ir, VerifierChecksIfStructure) {
+  Function F;
+  F.Name = "iff";
+  F.ResultTypes = {Type::real()};
+  Builder B(F);
+  ValueId C = B.addParam(Type::boolean());
+  B.pushRegion();
+  ValueId T = B.constReal(1.0);
+  B.yield({T});
+  Region Then = B.popRegion();
+  B.pushRegion();
+  ValueId E = B.constReal(2.0);
+  B.yield({E});
+  Region Else = B.popRegion();
+  std::vector<ValueId> R = B.emitIf(C, std::move(Then), std::move(Else),
+                                    {Type::real()});
+  B.exit(ExitAttr::Continue, {R[0]});
+  B.finish();
+  EXPECT_EQ(verify(F, High), "");
+  EXPECT_EQ(countOps(F, Op::If), 1);
+  EXPECT_EQ(countOps(F, Op::Yield), 2);
+}
+
+TEST(Ir, VerifierRejectsBranchValueEscape) {
+  // A value defined inside a branch must not be used after the if.
+  Function F;
+  F.Name = "esc";
+  F.ResultTypes = {Type::real()};
+  Builder B(F);
+  ValueId C = B.addParam(Type::boolean());
+  B.pushRegion();
+  ValueId T = B.constReal(1.0);
+  B.yield({T});
+  Region Then = B.popRegion();
+  B.pushRegion();
+  ValueId E = B.constReal(2.0);
+  B.yield({E});
+  Region Else = B.popRegion();
+  B.emitIf(C, std::move(Then), std::move(Else), {Type::real()});
+  B.exit(ExitAttr::Continue, {T}); // escapes the then-region
+  B.finish();
+  EXPECT_NE(verify(F, High), "");
+}
+
+TEST(Ir, VerifierRejectsExitArityMismatch) {
+  Function F;
+  F.Name = "arity";
+  F.ResultTypes = {Type::real(), Type::real()};
+  Builder B(F);
+  ValueId V = B.constReal(1.0);
+  B.exit(ExitAttr::Continue, {V}); // needs two results
+  B.finish();
+  EXPECT_NE(verify(F, High), "");
+}
+
+TEST(Ir, VerifierRejectsDoubleDefinition) {
+  Function F;
+  F.Name = "dd";
+  F.ResultTypes = {};
+  Builder B(F);
+  ValueId V = B.constReal(1.0);
+  // Manually append another instruction defining the same value.
+  Instr I(Op::ConstReal);
+  I.A = 2.0;
+  I.Results.push_back(V);
+  B.exit(ExitAttr::Continue, {});
+  B.finish();
+  F.Body.Body.insert(F.Body.Body.begin(), std::move(I));
+  EXPECT_NE(verify(F, High), "");
+}
+
+TEST(Ir, AttrPrinting) {
+  EXPECT_EQ(attrStr(Attr(int64_t(42))), "42");
+  EXPECT_EQ(attrStr(Attr(true)), "true");
+  EXPECT_EQ(attrStr(Attr(ConvolveAttr{"bspln3", 2})), "bspln3''");
+  EXPECT_EQ(attrStr(Attr(KernelWeightAttr{"ctmr", 1, -1})), "ctmr/d1/tap-1");
+  EXPECT_EQ(attrStr(Attr(ExitAttr{ExitAttr::Die})), "die");
+  EXPECT_EQ(attrStr(Attr(std::vector<int>{1, 2})), "[1,2]");
+}
+
+TEST(Ir, OpLevelTables) {
+  // Field ops are High-only; probing machinery is Mid; expansions are Low.
+  EXPECT_EQ(opLevels(Op::Probe), unsigned(High));
+  EXPECT_EQ(opLevels(Op::FieldDiff), unsigned(High));
+  EXPECT_EQ(opLevels(Op::KernelWeight), unsigned(Mid));
+  EXPECT_EQ(opLevels(Op::WorldToImage), unsigned(Mid));
+  EXPECT_EQ(opLevels(Op::PolyEval), unsigned(Low));
+  EXPECT_EQ(opLevels(Op::EigenVals), unsigned(Low));
+  EXPECT_EQ(opLevels(Op::VoxelLoad), unsigned(Mid | Low));
+  EXPECT_EQ(opLevels(Op::Add), unsigned(High | Mid | Low));
+}
+
+TEST(Ir, PurityClassification) {
+  EXPECT_TRUE(isPure(Op::Add));
+  EXPECT_TRUE(isPure(Op::VoxelLoad)); // images are immutable
+  EXPECT_FALSE(isPure(Op::If));
+  EXPECT_FALSE(isPure(Op::Exit));
+  EXPECT_FALSE(isPure(Op::Yield));
+}
+
+} // namespace
+} // namespace diderot::ir

@@ -1,0 +1,193 @@
+//===--- tests/kernel_test.cpp - reconstruction kernel tests ---------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.h"
+
+namespace diderot {
+namespace {
+
+TEST(Kernel, TentBasics) {
+  const Kernel &K = kernels::tent();
+  EXPECT_EQ(K.support(), 1);
+  EXPECT_EQ(K.continuity(), 0);
+  EXPECT_DOUBLE_EQ(K.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(K.eval(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(K.eval(-0.5), 0.5);
+  EXPECT_DOUBLE_EQ(K.eval(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(K.eval(-2.0), 0.0);
+}
+
+TEST(Kernel, CtmrInterpolates) {
+  // Interpolating kernels are 1 at 0 and 0 at other integers.
+  const Kernel &K = kernels::ctmr();
+  EXPECT_EQ(K.support(), 2);
+  EXPECT_EQ(K.continuity(), 1);
+  EXPECT_NEAR(K.eval(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(K.eval(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(K.eval(-1.0), 0.0, 1e-14);
+}
+
+TEST(Kernel, Bspln3DoesNotInterpolate) {
+  const Kernel &K = kernels::bspln3();
+  EXPECT_EQ(K.support(), 2);
+  EXPECT_EQ(K.continuity(), 2);
+  EXPECT_NEAR(K.eval(0.0), 2.0 / 3.0, 1e-14);
+  EXPECT_NEAR(K.eval(1.0), 1.0 / 6.0, 1e-14);
+  EXPECT_NEAR(K.eval(-1.0), 1.0 / 6.0, 1e-14);
+}
+
+TEST(Kernel, Bspln5Properties) {
+  const Kernel &K = kernels::bspln5();
+  EXPECT_EQ(K.support(), 3);
+  EXPECT_EQ(K.continuity(), 4);
+  // B-spline central value: 66/120.
+  EXPECT_NEAR(K.eval(0.0), 66.0 / 120.0, 1e-14);
+  EXPECT_NEAR(K.eval(1.0), 26.0 / 120.0, 1e-13);
+  EXPECT_NEAR(K.eval(2.0), 1.0 / 120.0, 1e-13);
+}
+
+TEST(Kernel, ByNameLookup) {
+  EXPECT_NE(kernels::byName("tent"), nullptr);
+  EXPECT_NE(kernels::byName("ctmr"), nullptr);
+  EXPECT_NE(kernels::byName("bspln3"), nullptr);
+  EXPECT_NE(kernels::byName("bspln5"), nullptr);
+  EXPECT_EQ(kernels::byName("nosuch"), nullptr);
+  EXPECT_EQ(kernels::allNames().size(), 4u);
+}
+
+TEST(Kernel, IntegralIsOne) {
+  for (const std::string &Name : kernels::allNames()) {
+    const Kernel *K = kernels::byName(Name);
+    EXPECT_NEAR(K->integral(), 1.0, 1e-12) << Name;
+    // The derivative kernel integrates to zero (h is compactly supported).
+    EXPECT_NEAR(K->derivative().integral(), 0.0, 1e-12) << Name;
+  }
+}
+
+TEST(Kernel, DerivativeTracksLevels) {
+  Kernel D1 = kernels::bspln3().derivative();
+  EXPECT_EQ(D1.derivLevel(), 1);
+  EXPECT_EQ(D1.continuity(), 1);
+  Kernel D2 = D1.derivative();
+  EXPECT_EQ(D2.derivLevel(), 2);
+  EXPECT_EQ(D2.continuity(), 0);
+  EXPECT_EQ(D1.support(), 2);
+}
+
+TEST(Kernel, WeightPolyMatchesEval) {
+  // weightPoly(i)(f) must equal h(f - i) for f in [0,1).
+  for (const std::string &Name : kernels::allNames()) {
+    const Kernel *K = kernels::byName(Name);
+    int S = K->support();
+    for (int I = 1 - S; I <= S; ++I)
+      for (double F : {0.0, 0.1, 0.35, 0.72, 0.99})
+        EXPECT_NEAR(K->weightPoly(I).eval(F), K->eval(F - I), 1e-13)
+            << Name << " offset " << I << " f " << F;
+  }
+}
+
+/// Parameterized over (kernel, position): properties that every
+/// reconstruction kernel must satisfy.
+class KernelProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(KernelProperty, PartitionOfUnity) {
+  const Kernel *K = kernels::byName(std::get<0>(GetParam()));
+  double F = std::get<1>(GetParam());
+  int S = K->support();
+  double Sum = 0.0;
+  for (int I = 1 - S; I <= S; ++I)
+    Sum += K->eval(F - I);
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+}
+
+TEST_P(KernelProperty, DerivativeWeightsSumToZero) {
+  // Use the weight-polynomial form (what probe expansion emits): at knots
+  // the pointwise derivative of a C0 kernel is one-sided, but the piece
+  // table is always consistent.
+  const Kernel *K = kernels::byName(std::get<0>(GetParam()));
+  Kernel D = K->derivative();
+  double F = std::get<1>(GetParam());
+  int S = K->support();
+  double Sum = 0.0;
+  for (int I = 1 - S; I <= S; ++I)
+    Sum += D.weightPoly(I).eval(F);
+  EXPECT_NEAR(Sum, 0.0, 1e-12);
+}
+
+TEST_P(KernelProperty, FirstMomentReproducesLinear) {
+  // Reconstructing samples of f(x)=x must give x exactly for kernels with
+  // linear precision (all four built-ins have it).
+  const Kernel *K = kernels::byName(std::get<0>(GetParam()));
+  double F = std::get<1>(GetParam());
+  int S = K->support();
+  double Sum = 0.0;
+  for (int I = 1 - S; I <= S; ++I)
+    Sum += static_cast<double>(I) * K->eval(F - I);
+  EXPECT_NEAR(Sum, F, 1e-12);
+}
+
+TEST_P(KernelProperty, SymbolicDerivativeMatchesFiniteDifference) {
+  const Kernel *K = kernels::byName(std::get<0>(GetParam()));
+  Kernel D = K->derivative();
+  double X = std::get<1>(GetParam()) * K->support() * 0.9; // inside support
+  const double H = 1e-6;
+  // Stay away from knots where one-sided derivatives differ.
+  if (std::abs(X - std::round(X)) < 1e-3)
+    X += 0.01;
+  double FD = (K->eval(X + H) - K->eval(X - H)) / (2 * H);
+  EXPECT_NEAR(D.eval(X), FD, 1e-5);
+}
+
+TEST_P(KernelProperty, EvalDerivShortcutAgrees) {
+  const Kernel *K = kernels::byName(std::get<0>(GetParam()));
+  double X = std::get<1>(GetParam());
+  Kernel D1 = K->derivative();
+  Kernel D2 = D1.derivative();
+  EXPECT_NEAR(K->evalDeriv(X, 1), D1.eval(X), 1e-13);
+  EXPECT_NEAR(K->evalDeriv(X, 2), D2.eval(X), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelProperty,
+    ::testing::Combine(::testing::Values("tent", "ctmr", "bspln3", "bspln5"),
+                       ::testing::Values(0.0, 0.125, 0.25, 0.5, 0.75, 0.9)));
+
+/// Continuity class at the knots: a C^k kernel has matching one-sided values
+/// of derivatives 0..k at every integer.
+class KernelContinuity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelContinuity, MatchedAtKnots) {
+  const Kernel *K = kernels::byName(GetParam());
+  int CK = K->continuity();
+  const double Eps = 1e-7;
+  for (int Level = 0; Level <= CK; ++Level) {
+    for (int Knot = -K->support() + 1; Knot < K->support(); ++Knot) {
+      double Left = K->evalDeriv(Knot - Eps, Level);
+      double Right = K->evalDeriv(Knot + Eps, Level);
+      EXPECT_NEAR(Left, Right, 1e-4)
+          << GetParam() << " C" << Level << " at knot " << Knot;
+    }
+    // Also continuous down to zero at the support boundary.
+    double S = K->support();
+    EXPECT_NEAR(K->evalDeriv(S - Eps, Level), 0.0, 1e-4) << "level " << Level;
+    EXPECT_NEAR(K->evalDeriv(-S + Eps, Level), 0.0, 1e-4) << "level " << Level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KernelContinuity,
+                         ::testing::Values("tent", "ctmr", "bspln3", "bspln5"));
+
+TEST(Kernel, DerivativeIsOdd) {
+  for (const std::string &Name : kernels::allNames()) {
+    Kernel D = kernels::byName(Name)->derivative();
+    for (double X : {0.2, 0.7, 1.3, 1.9})
+      EXPECT_NEAR(D.eval(X), -D.eval(-X), 1e-12) << Name;
+  }
+}
+
+} // namespace
+} // namespace diderot

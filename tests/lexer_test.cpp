@@ -1,0 +1,144 @@
+//===--- tests/lexer_test.cpp ----------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace diderot {
+namespace {
+
+std::vector<Token> lex(const std::string &S) {
+  DiagnosticEngine D;
+  Lexer L(S, D);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return Toks;
+}
+
+std::vector<Tok> kinds(const std::string &S) {
+  std::vector<Tok> Out;
+  for (const Token &T : lex(S))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, Empty) {
+  EXPECT_EQ(kinds(""), (std::vector<Tok>{Tok::Eof}));
+  EXPECT_EQ(kinds("   \n\t "), (std::vector<Tok>{Tok::Eof}));
+}
+
+TEST(Lexer, Identifiers) {
+  std::vector<Token> T = lex("foo _bar x1");
+  EXPECT_EQ(T[0].Kind, Tok::Ident);
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_EQ(T[1].Text, "_bar");
+  EXPECT_EQ(T[2].Text, "x1");
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("strand update stabilize die initially in"),
+            (std::vector<Tok>{Tok::KwStrand, Tok::KwUpdate, Tok::KwStabilize,
+                              Tok::KwDie, Tok::KwInitially, Tok::KwIn,
+                              Tok::Eof}));
+  EXPECT_EQ(kinds("real vec3 tensor image kernel field"),
+            (std::vector<Tok>{Tok::KwReal, Tok::KwVec3, Tok::KwTensor,
+                              Tok::KwImage, Tok::KwKernel, Tok::KwField,
+                              Tok::Eof}));
+}
+
+TEST(Lexer, IntAndRealLiterals) {
+  std::vector<Token> T = lex("42 0 3.14 1e3 2.5e-2 7.");
+  EXPECT_EQ(T[0].Kind, Tok::IntLit);
+  EXPECT_EQ(T[0].IntVal, 42);
+  EXPECT_EQ(T[1].IntVal, 0);
+  EXPECT_EQ(T[2].Kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(T[2].RealVal, 3.14);
+  EXPECT_DOUBLE_EQ(T[3].RealVal, 1000.0);
+  EXPECT_DOUBLE_EQ(T[4].RealVal, 0.025);
+  EXPECT_DOUBLE_EQ(T[5].RealVal, 7.0);
+}
+
+TEST(Lexer, RangeDoesNotEatDots) {
+  // `0 .. n-1` and `0..5`: the '..' must not merge into a real literal.
+  EXPECT_EQ(kinds("0 .. 5"),
+            (std::vector<Tok>{Tok::IntLit, Tok::DotDot, Tok::IntLit, Tok::Eof}));
+  EXPECT_EQ(kinds("0..5"),
+            (std::vector<Tok>{Tok::IntLit, Tok::DotDot, Tok::IntLit, Tok::Eof}));
+}
+
+TEST(Lexer, Strings) {
+  std::vector<Token> T = lex(R"("hand.nrrd" "a\nb")");
+  EXPECT_EQ(T[0].Kind, Tok::StringLit);
+  EXPECT_EQ(T[0].Text, "hand.nrrd");
+  EXPECT_EQ(T[1].Text, "a\nb");
+}
+
+TEST(Lexer, Operators) {
+  EXPECT_EQ(kinds("+ - * / % ^ ! = == != < <= > >= && ||"),
+            (std::vector<Tok>{Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash,
+                              Tok::Percent, Tok::Caret, Tok::Bang, Tok::Assign,
+                              Tok::EqEq, Tok::BangEq, Tok::Lt, Tok::LtEq,
+                              Tok::Gt, Tok::GtEq, Tok::AmpAmp, Tok::BarBar,
+                              Tok::Eof}));
+  EXPECT_EQ(kinds("+= -= *= /="),
+            (std::vector<Tok>{Tok::PlusEq, Tok::MinusEq, Tok::StarEq,
+                              Tok::SlashEq, Tok::Eof}));
+}
+
+TEST(Lexer, UnicodeOperators) {
+  EXPECT_EQ(kinds("∇ ⊛ ⊗ × • π"),
+            (std::vector<Tok>{Tok::Nabla, Tok::CircledAst, Tok::OTimes,
+                              Tok::Cross, Tok::Bullet, Tok::Pi, Tok::Eof}));
+}
+
+TEST(Lexer, UnicodeAdjacentToIdent) {
+  std::vector<Token> T = lex("∇⊗F");
+  EXPECT_EQ(T[0].Kind, Tok::Nabla);
+  EXPECT_EQ(T[1].Kind, Tok::OTimes);
+  EXPECT_EQ(T[2].Kind, Tok::Ident);
+  EXPECT_EQ(T[2].Text, "F");
+}
+
+TEST(Lexer, Comments) {
+  EXPECT_EQ(kinds("x // trailing comment\ny"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+  EXPECT_EQ(kinds("a /* multi \n line */ b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, LocationsTracked) {
+  DiagnosticEngine D;
+  Lexer L("a\n  b", D);
+  Token A = L.next();
+  Token B = L.next();
+  EXPECT_EQ(A.Loc.Line, 1);
+  EXPECT_EQ(A.Loc.Col, 1);
+  EXPECT_EQ(B.Loc.Line, 2);
+  EXPECT_EQ(B.Loc.Col, 3);
+}
+
+TEST(Lexer, UnterminatedStringError) {
+  DiagnosticEngine D;
+  Lexer L("\"abc", D);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, Tok::Error);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, UnterminatedCommentError) {
+  DiagnosticEngine D;
+  Lexer L("/* never ends", D);
+  L.next();
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, HashAndPunct) {
+  EXPECT_EQ(kinds("field#2 ( ) [ ] { } , ; : |"),
+            (std::vector<Tok>{Tok::KwField, Tok::Hash, Tok::IntLit, Tok::LParen,
+                              Tok::RParen, Tok::LBracket, Tok::RBracket,
+                              Tok::LBrace, Tok::RBrace, Tok::Comma, Tok::Semi,
+                              Tok::Colon, Tok::Bar, Tok::Eof}));
+}
+
+} // namespace
+} // namespace diderot

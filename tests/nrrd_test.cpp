@@ -1,0 +1,176 @@
+//===--- tests/nrrd_test.cpp - NRRD I/O tests ------------------------------===//
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nrrd/nrrd.h"
+
+namespace diderot {
+namespace {
+
+Nrrd makeSmallFloat() {
+  Nrrd N;
+  N.Type = NrrdType::Float;
+  N.Sizes = {3, 2};
+  N.SpaceDim = 2;
+  N.SpaceDirections = {{0.5, 0.0}, {0.0, 0.5}};
+  N.SpaceOrigin = {-1.0, -1.0};
+  N.Content = "test";
+  N.allocate();
+  for (size_t I = 0; I < N.numSamples(); ++I)
+    N.setSampleFromDouble(I, static_cast<double>(I) * 0.25);
+  return N;
+}
+
+TEST(Nrrd, TypeSizes) {
+  EXPECT_EQ(nrrdTypeSize(NrrdType::UChar), 1u);
+  EXPECT_EQ(nrrdTypeSize(NrrdType::Short), 2u);
+  EXPECT_EQ(nrrdTypeSize(NrrdType::Float), 4u);
+  EXPECT_EQ(nrrdTypeSize(NrrdType::Double), 8u);
+}
+
+TEST(Nrrd, SerializeParseRoundTripRaw) {
+  Nrrd N = makeSmallFloat();
+  Result<std::string> S = nrrdSerialize(N, "raw");
+  ASSERT_TRUE(S.isOk()) << S.message();
+  Result<Nrrd> Back = nrrdParse(*S);
+  ASSERT_TRUE(Back.isOk()) << Back.message();
+  EXPECT_EQ(Back->Type, NrrdType::Float);
+  EXPECT_EQ(Back->Sizes, N.Sizes);
+  EXPECT_EQ(Back->SpaceDim, 2);
+  ASSERT_EQ(Back->SpaceDirections.size(), 2u);
+  EXPECT_DOUBLE_EQ(Back->SpaceDirections[0][0], 0.5);
+  ASSERT_EQ(Back->SpaceOrigin.size(), 2u);
+  EXPECT_DOUBLE_EQ(Back->SpaceOrigin[0], -1.0);
+  for (size_t I = 0; I < N.numSamples(); ++I)
+    EXPECT_DOUBLE_EQ(Back->sampleAsDouble(I), N.sampleAsDouble(I));
+}
+
+TEST(Nrrd, SerializeParseRoundTripAscii) {
+  Nrrd N = makeSmallFloat();
+  Result<std::string> S = nrrdSerialize(N, "ascii");
+  ASSERT_TRUE(S.isOk());
+  Result<Nrrd> Back = nrrdParse(*S);
+  ASSERT_TRUE(Back.isOk()) << Back.message();
+  for (size_t I = 0; I < N.numSamples(); ++I)
+    EXPECT_DOUBLE_EQ(Back->sampleAsDouble(I), N.sampleAsDouble(I));
+}
+
+TEST(Nrrd, RoundTripEverySampleType) {
+  for (NrrdType T : {NrrdType::UChar, NrrdType::Short, NrrdType::UShort,
+                     NrrdType::Int, NrrdType::UInt, NrrdType::Float,
+                     NrrdType::Double}) {
+    Nrrd N;
+    N.Type = T;
+    N.Sizes = {4};
+    N.allocate();
+    N.setSampleFromDouble(0, 0);
+    N.setSampleFromDouble(1, 1);
+    N.setSampleFromDouble(2, 100);
+    N.setSampleFromDouble(3, 7);
+    Result<std::string> S = nrrdSerialize(N, "raw");
+    ASSERT_TRUE(S.isOk());
+    Result<Nrrd> Back = nrrdParse(*S);
+    ASSERT_TRUE(Back.isOk()) << Back.message();
+    EXPECT_EQ(Back->Type, T);
+    EXPECT_DOUBLE_EQ(Back->sampleAsDouble(2), 100.0);
+  }
+}
+
+TEST(Nrrd, IntegerClamping) {
+  Nrrd N;
+  N.Type = NrrdType::UChar;
+  N.Sizes = {2};
+  N.allocate();
+  N.setSampleFromDouble(0, 300.0);
+  N.setSampleFromDouble(1, -5.0);
+  EXPECT_DOUBLE_EQ(N.sampleAsDouble(0), 255.0);
+  EXPECT_DOUBLE_EQ(N.sampleAsDouble(1), 0.0);
+}
+
+TEST(Nrrd, FileRoundTrip) {
+  Nrrd N = makeSmallFloat();
+  std::string Path = ::testing::TempDir() + "/diderot_nrrd_test.nrrd";
+  Status S = nrrdWrite(N, Path);
+  ASSERT_TRUE(S.isOk()) << S.message();
+  Result<Nrrd> Back = nrrdRead(Path);
+  ASSERT_TRUE(Back.isOk()) << Back.message();
+  EXPECT_EQ(Back->Sizes, N.Sizes);
+  std::remove(Path.c_str());
+}
+
+TEST(Nrrd, MissingMagicRejected) {
+  Result<Nrrd> R = nrrdParse("HELLO\n\n");
+  EXPECT_FALSE(R.isOk());
+}
+
+TEST(Nrrd, TruncatedDataRejected) {
+  std::string S = "NRRD0004\ntype: float\ndimension: 1\nsizes: 10\n"
+                  "encoding: raw\nendian: little\n\nshort";
+  Result<Nrrd> R = nrrdParse(S);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_NE(R.message().find("truncated"), std::string::npos);
+}
+
+TEST(Nrrd, UnsupportedEncodingRejected) {
+  std::string S = "NRRD0004\ntype: float\ndimension: 1\nsizes: 2\n"
+                  "encoding: gzip\n\nxx";
+  EXPECT_FALSE(nrrdParse(S).isOk());
+}
+
+TEST(Nrrd, UnsupportedTypeRejected) {
+  std::string S = "NRRD0004\ntype: block\ndimension: 1\nsizes: 2\n"
+                  "encoding: raw\n\nxx";
+  EXPECT_FALSE(nrrdParse(S).isOk());
+}
+
+TEST(Nrrd, TypeAliasesAccepted) {
+  std::string S = "NRRD0004\ntype: uint8\ndimension: 1\nsizes: 2\n"
+                  "encoding: raw\nendian: little\n\nab";
+  Result<Nrrd> R = nrrdParse(S);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_EQ(R->Type, NrrdType::UChar);
+  EXPECT_DOUBLE_EQ(R->sampleAsDouble(0), 'a');
+}
+
+TEST(Nrrd, CommentsAndKeyValuesIgnored) {
+  std::string S = "NRRD0004\n# a comment\ntype: uint8\ndimension: 1\n"
+                  "sizes: 1\nfoo:=bar\nencoding: raw\nendian: little\n\nz";
+  Result<Nrrd> R = nrrdParse(S);
+  ASSERT_TRUE(R.isOk()) << R.message();
+}
+
+TEST(Nrrd, NamedSpaceSetsDimension) {
+  std::string S =
+      "NRRD0005\ntype: uint8\ndimension: 3\nsizes: 2 2 2\n"
+      "space: left-posterior-superior\n"
+      "space directions: (1,0,0) (0,1,0) (0,0,1)\n"
+      "space origin: (0,0,0)\nencoding: raw\nendian: little\n\nabcdefgh";
+  Result<Nrrd> R = nrrdParse(S);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_EQ(R->SpaceDim, 3);
+  ASSERT_EQ(R->SpaceDirections.size(), 3u);
+}
+
+TEST(Nrrd, AsciiDataTruncatedRejected) {
+  std::string S = "NRRD0004\ntype: float\ndimension: 1\nsizes: 3\n"
+                  "encoding: ascii\n\n1.0 2.0";
+  EXPECT_FALSE(nrrdParse(S).isOk());
+}
+
+TEST(Nrrd, NoneDirectionsSkipped) {
+  // A 2-vector field over a 2-D grid: first axis is components.
+  std::string S =
+      "NRRD0005\ntype: uint8\ndimension: 3\nsizes: 2 2 2\n"
+      "space dimension: 2\n"
+      "space directions: none (1,0) (0,1)\n"
+      "encoding: raw\nendian: little\n\nabcdefgh";
+  Result<Nrrd> R = nrrdParse(S);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_EQ(R->SpaceDim, 2);
+  EXPECT_EQ(R->SpaceDirections.size(), 2u);
+}
+
+} // namespace
+} // namespace diderot

@@ -1,0 +1,251 @@
+//===--- tests/parser_test.cpp ---------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "testprograms.h"
+
+namespace diderot {
+namespace {
+
+ExprPtr parseExpr(const std::string &S, bool ExpectOk = true) {
+  DiagnosticEngine D;
+  Parser P(S, D);
+  ExprPtr E = P.parseExpressionOnly();
+  if (ExpectOk) {
+    EXPECT_FALSE(D.hasErrors()) << S << "\n" << D.str();
+  }
+  return E;
+}
+
+std::unique_ptr<Program> parseProgram(const std::string &S,
+                                      bool ExpectOk = true) {
+  DiagnosticEngine D;
+  Parser P(S, D);
+  auto Prog = P.parseProgram();
+  if (ExpectOk) {
+    EXPECT_FALSE(D.hasErrors()) << D.str();
+  }
+  return Prog;
+}
+
+TEST(Parser, Literals) {
+  EXPECT_EQ(parseExpr("42")->Kind, ExprKind::IntLit);
+  EXPECT_EQ(parseExpr("4.25")->Kind, ExprKind::RealLit);
+  EXPECT_EQ(parseExpr("true")->Kind, ExprKind::BoolLit);
+  EXPECT_EQ(parseExpr("\"s\"")->Kind, ExprKind::StringLit);
+  EXPECT_EQ(parseExpr("π")->Kind, ExprKind::PiLit);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  ExprPtr E = parseExpr("a + b * c");
+  ASSERT_EQ(E->Kind, ExprKind::Binary);
+  EXPECT_EQ(E->BOp, BinaryOp::Add);
+  EXPECT_EQ(E->Kids[1]->BOp, BinaryOp::Mul);
+}
+
+TEST(Parser, PowerBindsTighterThanUnaryMinus) {
+  ExprPtr E = parseExpr("-x^2");
+  ASSERT_EQ(E->Kind, ExprKind::Unary);
+  EXPECT_EQ(E->UOp, UnaryOp::Neg);
+  EXPECT_EQ(E->Kids[0]->BOp, BinaryOp::Pow);
+}
+
+TEST(Parser, ComparisonChain) {
+  ExprPtr E = parseExpr("a < b && c >= d || !e");
+  ASSERT_EQ(E->Kind, ExprKind::Binary);
+  EXPECT_EQ(E->BOp, BinaryOp::Or);
+}
+
+TEST(Parser, ConditionalExpression) {
+  // Python-style: `1.0 if c else 2.0`, right associative.
+  ExprPtr E = parseExpr("1.0 if c else 2.0 if d else 3.0");
+  ASSERT_EQ(E->Kind, ExprKind::Cond);
+  EXPECT_EQ(E->Kids[0]->Kind, ExprKind::RealLit); // then
+  EXPECT_EQ(E->Kids[1]->Kind, ExprKind::Ident);   // cond
+  EXPECT_EQ(E->Kids[2]->Kind, ExprKind::Cond);    // nested else
+}
+
+TEST(Parser, NablaBindsBeforeApplication) {
+  // ∇F(pos) parses as (∇F)(pos), per the paper's examples.
+  ExprPtr E = parseExpr("∇F(pos)");
+  ASSERT_EQ(E->Kind, ExprKind::Apply);
+  const Expr &Callee = *E->Kids[0];
+  ASSERT_EQ(Callee.Kind, ExprKind::Unary);
+  EXPECT_EQ(Callee.UOp, UnaryOp::Nabla);
+  EXPECT_EQ(Callee.Kids[0]->Name, "F");
+}
+
+TEST(Parser, NablaOtimesChain) {
+  // ∇⊗∇F(pos) is ((∇⊗(∇F))(pos).
+  ExprPtr E = parseExpr("∇⊗∇F(pos)");
+  ASSERT_EQ(E->Kind, ExprKind::Apply);
+  const Expr &Outer = *E->Kids[0];
+  ASSERT_EQ(Outer.Kind, ExprKind::Unary);
+  EXPECT_EQ(Outer.UOp, UnaryOp::NablaOtimes);
+  EXPECT_EQ(Outer.Kids[0]->UOp, UnaryOp::Nabla);
+}
+
+TEST(Parser, NormExpression) {
+  ExprPtr E = parseExpr("|a - b|");
+  ASSERT_EQ(E->Kind, ExprKind::Norm);
+  EXPECT_EQ(E->Kids[0]->BOp, BinaryOp::Sub);
+}
+
+TEST(Parser, NormWithCallInside) {
+  ExprPtr E = parseExpr("|V(pos0)|");
+  ASSERT_EQ(E->Kind, ExprKind::Norm);
+  EXPECT_EQ(E->Kids[0]->Kind, ExprKind::Apply);
+}
+
+TEST(Parser, TensorConstructor) {
+  ExprPtr E = parseExpr("[1.0, 2.0, 3.0]");
+  ASSERT_EQ(E->Kind, ExprKind::TensorCons);
+  EXPECT_EQ(E->Kids.size(), 3u);
+}
+
+TEST(Parser, NestedTensorConstructor) {
+  ExprPtr E = parseExpr("[[1.0, 0.0], [0.0, 1.0]]");
+  ASSERT_EQ(E->Kind, ExprKind::TensorCons);
+  EXPECT_EQ(E->Kids[0]->Kind, ExprKind::TensorCons);
+}
+
+TEST(Parser, IndexAndIdentity) {
+  ExprPtr E = parseExpr("m[1,2]");
+  ASSERT_EQ(E->Kind, ExprKind::Index);
+  EXPECT_EQ(E->Kids.size(), 3u);
+  ExprPtr I = parseExpr("identity[3]");
+  ASSERT_EQ(I->Kind, ExprKind::Index);
+}
+
+TEST(Parser, UnicodeBinaryOps) {
+  EXPECT_EQ(parseExpr("u • v")->BOp, BinaryOp::Dot);
+  EXPECT_EQ(parseExpr("u × v")->BOp, BinaryOp::Cross);
+  EXPECT_EQ(parseExpr("u ⊗ v")->BOp, BinaryOp::Outer);
+  EXPECT_EQ(parseExpr("img ⊛ bspln3")->BOp, BinaryOp::Convolve);
+}
+
+TEST(Parser, CastSyntax) {
+  ExprPtr E = parseExpr("real(r)*rVec");
+  ASSERT_EQ(E->Kind, ExprKind::Binary);
+  EXPECT_EQ(E->Kids[0]->Kind, ExprKind::Apply);
+  EXPECT_EQ(E->Kids[0]->Name, "real");
+}
+
+TEST(Parser, VrLiteProgramStructure) {
+  auto P = parseProgram(testprog::VrLite);
+  EXPECT_EQ(P->Globals.size(), 11u);
+  EXPECT_TRUE(P->Globals[0].IsInput);
+  EXPECT_EQ(P->Globals[0].Name, "stepSz");
+  EXPECT_FALSE(P->Globals[9].IsInput); // img
+  EXPECT_EQ(P->Strand.Name, "RayCast");
+  EXPECT_EQ(P->Strand.Params.size(), 2u);
+  EXPECT_EQ(P->Strand.State.size(), 5u);
+  EXPECT_TRUE(P->Strand.State[4].IsOutput);
+  ASSERT_TRUE(P->Strand.UpdateBody);
+  EXPECT_TRUE(P->Init.IsGrid);
+  EXPECT_EQ(P->Init.StrandName, "RayCast");
+  EXPECT_EQ(P->Init.Iters.size(), 2u);
+  EXPECT_EQ(P->Init.Iters[0].Var, "vi");
+}
+
+TEST(Parser, Lic2dProgramStructure) {
+  auto P = parseProgram(testprog::Lic2d);
+  EXPECT_EQ(P->Strand.Name, "LIC");
+  ASSERT_EQ(P->Strand.Params.size(), 1u);
+  EXPECT_TRUE(P->Strand.Params[0].Ty.isVector());
+  EXPECT_TRUE(P->Init.IsGrid);
+  // Strand argument is a computed tensor constructor.
+  ASSERT_EQ(P->Init.Args.size(), 1u);
+  EXPECT_EQ(P->Init.Args[0]->Kind, ExprKind::TensorCons);
+}
+
+TEST(Parser, IsocontourCollectionInit) {
+  auto P = parseProgram(testprog::Isocontour);
+  EXPECT_FALSE(P->Init.IsGrid);
+  EXPECT_EQ(P->Strand.Name, "sample");
+}
+
+TEST(Parser, CurvatureProgramParses) {
+  auto P = parseProgram(testprog::Curvature);
+  EXPECT_EQ(P->Strand.Name, "RayCast");
+}
+
+TEST(Parser, OpAssignForms) {
+  auto P = parseProgram(R"(
+input real a = 1.0;
+strand S (int i) {
+  output real x = 0.0;
+  update { x += a; x -= a; x *= a; x /= a; stabilize; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)");
+  const Stmt &Body = *P->Strand.UpdateBody;
+  ASSERT_EQ(Body.Body.size(), 5u);
+  EXPECT_EQ(Body.Body[0]->AOp, AssignOp::AddSet);
+  EXPECT_EQ(Body.Body[3]->AOp, AssignOp::DivSet);
+}
+
+TEST(Parser, TypeSyntaxRoundTrip) {
+  auto P = parseProgram(R"(
+input tensor[3,3] m = identity[3];
+input real{4} s = {1.0, 2.0, 3.0, 4.0};
+kernel#2 k = bspln3;
+strand S (int i) {
+  output real x = 0.0;
+  update { stabilize; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)");
+  EXPECT_EQ(P->Globals[0].Ty, Type::tensor(Shape{3, 3}));
+  EXPECT_EQ(P->Globals[1].Ty, Type::sequence(Type::real(), 4));
+  EXPECT_EQ(P->Globals[2].Ty, Type::kernel(2));
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  DiagnosticEngine D;
+  Parser P("input real a = 1.0\nstrand S (int i) { output real x = 0.0; "
+           "update { stabilize; } }\ninitially [ S(i) | i in 0 .. 3 ];",
+           D);
+  P.parseProgram();
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, ErrorBadStatementRecovers) {
+  DiagnosticEngine D;
+  Parser P(R"(
+strand S (int i) {
+  output real x = 0.0;
+  update { ); x = 1.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)",
+           D);
+  auto Prog = P.parseProgram();
+  EXPECT_TRUE(D.hasErrors());
+  // The parse must still terminate and produce a strand.
+  EXPECT_EQ(Prog->Strand.Name, "S");
+}
+
+TEST(Parser, ErrorRunawayInputTerminates) {
+  DiagnosticEngine D;
+  Parser P("strand ) ) ) ) ) ) ) ( ( ( ( [ [ [ ;;;", D);
+  P.parseProgram();
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, StabilizeMethodVsStatement) {
+  auto P = parseProgram(R"(
+strand S (int i) {
+  output real x = 0.0;
+  update { stabilize; }
+  stabilize { x = 1.0; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)");
+  ASSERT_TRUE(P->Strand.StabilizeBody);
+  EXPECT_EQ(P->Strand.StabilizeBody->Body.size(), 1u);
+}
+
+} // namespace
+} // namespace diderot

@@ -1,0 +1,126 @@
+//===--- tests/polynomial_test.cpp -----------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "kernels/polynomial.h"
+
+namespace diderot {
+namespace {
+
+TEST(Polynomial, ZeroPolynomial) {
+  Polynomial P;
+  EXPECT_TRUE(P.isZero());
+  EXPECT_EQ(P.degree(), -1);
+  EXPECT_EQ(P.eval(3.0), 0.0);
+}
+
+TEST(Polynomial, ConstantAndX) {
+  EXPECT_EQ(Polynomial::constant(5.0).eval(100.0), 5.0);
+  EXPECT_EQ(Polynomial::x().eval(7.0), 7.0);
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  Polynomial P({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(P.degree(), 1);
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  // 1 + 2x + 3x^2 at x=2 -> 17
+  Polynomial P({1, 2, 3});
+  EXPECT_DOUBLE_EQ(P.eval(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(P.eval(-1.0), 2.0);
+}
+
+TEST(Polynomial, Derivative) {
+  Polynomial P({1, 2, 3}); // 1 + 2x + 3x^2
+  Polynomial D = P.derivative();
+  EXPECT_EQ(D.degree(), 1);
+  EXPECT_DOUBLE_EQ(D.coeff(0), 2.0);
+  EXPECT_DOUBLE_EQ(D.coeff(1), 6.0);
+  EXPECT_TRUE(Polynomial::constant(4.0).derivative().isZero());
+}
+
+TEST(Polynomial, AntiderivativeInvertsDerivative) {
+  Polynomial P({3, 1, 4, 1, 5});
+  Polynomial Back = P.antiderivative().derivative();
+  EXPECT_EQ(Back, P);
+}
+
+TEST(Polynomial, Arithmetic) {
+  Polynomial A({1, 1});  // 1 + x
+  Polynomial B({2, -1}); // 2 - x
+  EXPECT_DOUBLE_EQ((A + B).eval(5.0), 3.0);
+  EXPECT_DOUBLE_EQ((A - B).eval(5.0), 2 * 5.0 - 1.0);
+  // (1+x)(2-x) = 2 + x - x^2
+  Polynomial P = A * B;
+  EXPECT_EQ(P.degree(), 2);
+  EXPECT_DOUBLE_EQ(P.eval(3.0), 2 + 3 - 9);
+}
+
+TEST(Polynomial, CancellationShrinksDegree) {
+  Polynomial A({0, 0, 1});  // x^2
+  Polynomial B({1, 0, -1}); // 1 - x^2
+  EXPECT_EQ((A + B).degree(), 0);
+}
+
+TEST(Polynomial, Power) {
+  // (1 - x)^3 = 1 - 3x + 3x^2 - x^3
+  Polynomial P = Polynomial({1, -1}).pow(3);
+  EXPECT_DOUBLE_EQ(P.coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(P.coeff(1), -3.0);
+  EXPECT_DOUBLE_EQ(P.coeff(2), 3.0);
+  EXPECT_DOUBLE_EQ(P.coeff(3), -1.0);
+  EXPECT_EQ(Polynomial({2, 1}).pow(0), Polynomial::constant(1.0));
+}
+
+TEST(Polynomial, ComposeLinear) {
+  // p(x) = x^2 + 1, p(2t + 3) = 4t^2 + 12t + 10
+  Polynomial P({1, 0, 1});
+  Polynomial C = P.composeLinear(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(C.coeff(0), 10.0);
+  EXPECT_DOUBLE_EQ(C.coeff(1), 12.0);
+  EXPECT_DOUBLE_EQ(C.coeff(2), 4.0);
+}
+
+TEST(Polynomial, ComposeNegation) {
+  // p(-t) mirrors odd coefficients.
+  Polynomial P({1, 2, 3, 4});
+  Polynomial C = P.composeLinear(-1.0, 0.0);
+  EXPECT_DOUBLE_EQ(C.coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(C.coeff(1), -2.0);
+  EXPECT_DOUBLE_EQ(C.coeff(2), 3.0);
+  EXPECT_DOUBLE_EQ(C.coeff(3), -4.0);
+}
+
+TEST(Polynomial, Render) {
+  EXPECT_EQ(Polynomial().str(), "0");
+  EXPECT_EQ(Polynomial({1.0, 0.0, -2.5, 1.5}).str(), "1.0 - 2.5*x^2 + 1.5*x^3");
+  EXPECT_EQ(Polynomial({0.0, 1.0}).str(), "x");
+}
+
+class PolynomialComposeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolynomialComposeSweep, ComposeAgreesWithDirectEvaluation) {
+  int K = GetParam();
+  Polynomial P({0.5, -1.0, 2.0, 0.25, -0.125});
+  double A = 0.5 + 0.25 * K, B = -1.0 + 0.3 * K;
+  Polynomial C = P.composeLinear(A, B);
+  for (double T : {-2.0, -0.5, 0.0, 0.3, 1.0, 2.5})
+    EXPECT_NEAR(C.eval(T), P.eval(A * T + B), 1e-10);
+}
+
+TEST_P(PolynomialComposeSweep, DerivativeChainRule) {
+  int K = GetParam();
+  Polynomial P({1.0, 0.5 * K, -2.0, 1.0});
+  double A = 1.0 + 0.5 * K;
+  // d/dt p(a t + b) = a p'(a t + b)
+  Polynomial Lhs = P.composeLinear(A, 0.7).derivative();
+  Polynomial Rhs = P.derivative().composeLinear(A, 0.7) * A;
+  for (double T : {-1.0, 0.0, 0.5, 2.0})
+    EXPECT_NEAR(Lhs.eval(T), Rhs.eval(T), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolynomialComposeSweep, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace diderot

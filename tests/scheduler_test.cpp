@@ -1,0 +1,136 @@
+//===--- tests/scheduler_test.cpp - bulk-synchronous scheduler tests ---------===//
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.h"
+
+namespace diderot::rt {
+namespace {
+
+TEST(Scheduler, SequentialRunsUntilAllStable) {
+  // Strand i stabilizes after i+1 updates.
+  std::vector<StrandStatus> S(5, StrandStatus::Active);
+  std::vector<int> Count(5, 0);
+  int Steps = runSequential(
+      S,
+      [&](size_t I) {
+        ++Count[I];
+        return Count[I] > static_cast<int>(I) ? StrandStatus::Stable
+                                              : StrandStatus::Active;
+      },
+      100);
+  EXPECT_EQ(Steps, 5);
+  for (size_t I = 0; I < 5; ++I) {
+    EXPECT_EQ(S[I], StrandStatus::Stable);
+    EXPECT_EQ(Count[I], static_cast<int>(I) + 1);
+  }
+}
+
+TEST(Scheduler, SequentialHonorsMaxSteps) {
+  std::vector<StrandStatus> S(3, StrandStatus::Active);
+  int Steps = runSequential(
+      S, [&](size_t) { return StrandStatus::Active; }, 7);
+  EXPECT_EQ(Steps, 7);
+  for (StrandStatus St : S)
+    EXPECT_EQ(St, StrandStatus::Active);
+}
+
+TEST(Scheduler, SequentialSkipsNonActive) {
+  std::vector<StrandStatus> S = {StrandStatus::Stable, StrandStatus::Active,
+                                 StrandStatus::Dead};
+  std::vector<int> Count(3, 0);
+  runSequential(
+      S,
+      [&](size_t I) {
+        ++Count[I];
+        return StrandStatus::Stable;
+      },
+      100);
+  EXPECT_EQ(Count[0], 0);
+  EXPECT_EQ(Count[1], 1);
+  EXPECT_EQ(Count[2], 0);
+}
+
+TEST(Scheduler, SequentialEmptyIsZeroSteps) {
+  std::vector<StrandStatus> S;
+  EXPECT_EQ(runSequential(S, [&](size_t) { return StrandStatus::Stable; },
+                          100),
+            0);
+  std::vector<StrandStatus> AllDone(4, StrandStatus::Stable);
+  EXPECT_EQ(runSequential(AllDone,
+                          [&](size_t) { return StrandStatus::Stable; }, 100),
+            0);
+}
+
+/// Parameterized over (workers, blockSize): the parallel scheduler must
+/// update every active strand exactly once per superstep regardless of the
+/// partitioning.
+class ParallelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelSweep, EveryStrandUpdatedExactlyOncePerStep) {
+  auto [Workers, Block] = GetParam();
+  const size_t N = 1000;
+  std::vector<StrandStatus> S(N, StrandStatus::Active);
+  std::vector<std::atomic<int>> Count(N);
+  int Steps = runParallel(
+      S,
+      [&](size_t I) {
+        int C = ++Count[I];
+        return C >= 3 ? StrandStatus::Stable : StrandStatus::Active;
+      },
+      100, Workers, Block);
+  EXPECT_EQ(Steps, 3);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Count[I].load(), 3) << "strand " << I;
+}
+
+TEST_P(ParallelSweep, MixedLifecycles) {
+  auto [Workers, Block] = GetParam();
+  const size_t N = 500;
+  std::vector<StrandStatus> S(N, StrandStatus::Active);
+  std::vector<std::atomic<int>> Count(N);
+  runParallel(
+      S,
+      [&](size_t I) {
+        int C = ++Count[I];
+        if (I % 3 == 0)
+          return StrandStatus::Dead; // dies on first update
+        return C > static_cast<int>(I % 5) ? StrandStatus::Stable
+                                           : StrandStatus::Active;
+      },
+      100, Workers, Block);
+  for (size_t I = 0; I < N; ++I) {
+    if (I % 3 == 0) {
+      EXPECT_EQ(S[I], StrandStatus::Dead);
+      EXPECT_EQ(Count[I].load(), 1);
+    } else {
+      EXPECT_EQ(S[I], StrandStatus::Stable);
+      EXPECT_EQ(Count[I].load(), static_cast<int>(I % 5) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 16, 4096)));
+
+TEST(Scheduler, ParallelZeroWorkersFallsBackToSequential) {
+  std::vector<StrandStatus> S(10, StrandStatus::Active);
+  int Steps = runParallel(
+      S, [&](size_t) { return StrandStatus::Stable; }, 100, 0);
+  EXPECT_EQ(Steps, 1);
+}
+
+TEST(Scheduler, ParallelHonorsMaxSteps) {
+  std::vector<StrandStatus> S(100, StrandStatus::Active);
+  int Steps = runParallel(
+      S, [&](size_t) { return StrandStatus::Active; }, 5, 4, 16);
+  EXPECT_EQ(Steps, 5);
+}
+
+} // namespace
+} // namespace diderot::rt

@@ -1,0 +1,142 @@
+//===--- tests/schemes_test.cpp - type scheme / unification tests -------------===//
+//
+// Unit tests of the matcher behind operator overloading (paper §5.1: "kinded
+// type variables, shape variables, and dimension variables ... solved by
+// unification").
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/schemes.h"
+
+namespace diderot::sch {
+namespace {
+
+TEST(Schemes, DimVariableBindsAndChecks) {
+  Bindings B;
+  EXPECT_TRUE(B.bindDim(0, 3));
+  EXPECT_TRUE(B.bindDim(0, 3));  // consistent rebind
+  EXPECT_FALSE(B.bindDim(0, 2)); // conflict
+  EXPECT_TRUE(B.bindDim(1, 2));  // distinct variable
+}
+
+TEST(Schemes, ShapeVarMatchesWholeShape) {
+  Bindings B;
+  ShapeScheme S = ShapeScheme::var(0);
+  EXPECT_TRUE(S.match(Shape{3, 3}, B));
+  EXPECT_EQ(B.Shapes.at(0), (Shape{3, 3}));
+  // Same variable must match consistently.
+  EXPECT_TRUE(S.match(Shape{3, 3}, B));
+  EXPECT_FALSE(S.match(Shape{2}, B));
+}
+
+TEST(Schemes, ScalarSchemeOnlyMatchesScalars) {
+  Bindings B;
+  ShapeScheme S = ShapeScheme::scalar();
+  EXPECT_TRUE(S.match(Shape{}, B));
+  EXPECT_FALSE(S.match(Shape{3}, B));
+}
+
+TEST(Schemes, PrefixVarAbsorbsLeadingAxes) {
+  // sigma ++ [n]: the dot operator's left operand.
+  Bindings B;
+  ShapeScheme S = ShapeScheme::varThen(0, ShapeElem::dimVar(1));
+  EXPECT_TRUE(S.match(Shape{2, 3, 4}, B));
+  EXPECT_EQ(B.Shapes.at(0), (Shape{2, 3}));
+  EXPECT_EQ(B.Dims.at(1), 4);
+  // A vector: sigma = [].
+  Bindings B2;
+  EXPECT_TRUE(S.match(Shape{5}, B2));
+  EXPECT_EQ(B2.Shapes.at(0), Shape{});
+  EXPECT_EQ(B2.Dims.at(1), 5);
+  // A scalar cannot match (needs at least the [n] element).
+  Bindings B3;
+  EXPECT_FALSE(S.match(Shape{}, B3));
+}
+
+TEST(Schemes, SuffixVarAbsorbsTrailingAxes) {
+  // [n] ++ tau: the dot operator's right operand.
+  Bindings B;
+  ShapeScheme S = ShapeScheme::elemThenVar(ShapeElem::dimVar(1), 0);
+  EXPECT_TRUE(S.match(Shape{4, 2, 2}, B));
+  EXPECT_EQ(B.Dims.at(1), 4);
+  EXPECT_EQ(B.Shapes.at(0), (Shape{2, 2}));
+}
+
+TEST(Schemes, DotContractionUnifiesMiddleDimension) {
+  // Simulate tensor[2,3] • tensor[3,4]: n must unify to 3.
+  Bindings B;
+  ShapeScheme L = ShapeScheme::varThen(0, ShapeElem::dimVar(9));
+  ShapeScheme R = ShapeScheme::elemThenVar(ShapeElem::dimVar(9), 1);
+  EXPECT_TRUE(L.match(Shape{2, 3}, B));
+  EXPECT_TRUE(R.match(Shape{3, 4}, B));
+  EXPECT_EQ(B.Dims.at(9), 3);
+  // Mismatched contraction dimension fails on the second match.
+  Bindings B2;
+  EXPECT_TRUE(L.match(Shape{2, 3}, B2));
+  EXPECT_FALSE(R.match(Shape{4, 4}, B2));
+}
+
+TEST(Schemes, InstantiateRebuildsShape) {
+  Bindings B;
+  B.bindShape(0, Shape{2, 3});
+  B.bindDim(1, 4);
+  ShapeScheme S = ShapeScheme::varThen(0, ShapeElem::dimVar(1));
+  EXPECT_EQ(S.instantiate(B), (Shape{2, 3, 4}));
+}
+
+TEST(Schemes, FieldSchemeMatchesAllComponents) {
+  Bindings B;
+  STy F = STy::field(0, ShapeElem::dimVar(0), ShapeScheme::var(0));
+  EXPECT_TRUE(F.match(Type::field(2, 3, Shape{3}), B));
+  EXPECT_EQ(B.Diffs.at(0), 2);
+  EXPECT_EQ(B.Dims.at(0), 3);
+  EXPECT_EQ(B.Shapes.at(0), (Shape{3}));
+  // Kind mismatch.
+  EXPECT_FALSE(F.match(Type::tensor(Shape{3}), B));
+}
+
+TEST(Schemes, SignatureGuardRejects) {
+  // f : field#k -> field#(k-1), guard k > 0.
+  Signature Sig{
+      {STy::field(0, ShapeElem::dimVar(0), ShapeScheme::scalar())},
+      [](const Bindings &B) {
+        return Type::field(B.Diffs.at(0) - 1, B.Dims.at(0), Shape{});
+      },
+      [](const Bindings &B) { return B.Diffs.at(0) > 0; }};
+  auto R1 = Sig.apply({Type::field(2, 3, Shape{})});
+  ASSERT_TRUE(R1.has_value());
+  EXPECT_EQ(*R1, Type::field(1, 3, Shape{}));
+  EXPECT_FALSE(Sig.apply({Type::field(0, 3, Shape{})}).has_value());
+}
+
+TEST(Schemes, OverloadResolutionPicksFirstMatch) {
+  std::vector<Signature> Cands;
+  Cands.push_back({{STy::integer(), STy::integer()},
+                   [](const Bindings &) { return Type::integer(); },
+                   nullptr});
+  Cands.push_back({{STy::real(), STy::real()},
+                   [](const Bindings &) { return Type::real(); },
+                   nullptr});
+  auto R = resolveOverload(Cands, {Type::integer(), Type::integer()});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->first, 0);
+  EXPECT_TRUE(R->second.isInt());
+  auto R2 = resolveOverload(Cands, {Type::real(), Type::real()});
+  ASSERT_TRUE(R2.has_value());
+  EXPECT_EQ(R2->first, 1);
+  EXPECT_FALSE(resolveOverload(Cands, {Type::real(), Type::integer()})
+                   .has_value());
+}
+
+TEST(Schemes, ArityMismatchFailsCleanly) {
+  Signature Sig{{STy::real()},
+                [](const Bindings &) { return Type::real(); },
+                nullptr};
+  EXPECT_FALSE(Sig.apply({}).has_value());
+  EXPECT_FALSE(Sig.apply({Type::real(), Type::real()}).has_value());
+}
+
+} // namespace
+} // namespace diderot::sch

@@ -1,0 +1,132 @@
+//===--- tests/support_test.cpp - support library unit tests --------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/result.h"
+#include "support/strings.h"
+#include "support/unicode.h"
+
+namespace diderot {
+namespace {
+
+TEST(Result, SuccessCarriesValue) {
+  Result<int> R(42);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(*R, 42);
+}
+
+TEST(Result, ErrorCarriesMessage) {
+  Result<int> R = Result<int>::error("boom");
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.message(), "boom");
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> R(std::string("payload"));
+  EXPECT_EQ(R.take(), "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.isOk());
+}
+
+TEST(Status, ErrorReportsMessage) {
+  Status S = Status::error("nope");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.message(), "nope");
+}
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(strf(), "");
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  std::vector<std::string> Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(joinStrings(Parts, ","), "a,b,,c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  std::vector<std::string> Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("NRRD0005", "NRRD"));
+  EXPECT_FALSE(startsWith("NR", "NRRD"));
+  EXPECT_TRUE(endsWith("file.nrrd", ".nrrd"));
+  EXPECT_FALSE(endsWith("nrrd", ".nrrd"));
+}
+
+TEST(Strings, FormatRealAlwaysFloating) {
+  EXPECT_EQ(formatReal(1.0), "1.0");
+  EXPECT_EQ(formatReal(-2.0), "-2.0");
+  EXPECT_EQ(formatReal(0.5), "0.5");
+  // Round-trips through strtod exactly.
+  double V = 0.1234567890123456789;
+  EXPECT_EQ(std::strtod(formatReal(V).c_str(), nullptr), V);
+}
+
+TEST(Unicode, AsciiPassThrough) {
+  std::string S = "abc";
+  size_t Pos = 0;
+  EXPECT_EQ(decodeUtf8(S, Pos), 'a');
+  EXPECT_EQ(Pos, 1u);
+}
+
+TEST(Unicode, RoundTripMathOperators) {
+  for (uint32_t CP : {uchar::Nabla, uchar::CircledAst, uchar::OTimes,
+                      uchar::Times, uchar::Bullet, uchar::Pi}) {
+    std::string S;
+    encodeUtf8(CP, S);
+    size_t Pos = 0;
+    EXPECT_EQ(decodeUtf8(S, Pos), CP);
+    EXPECT_EQ(Pos, S.size());
+  }
+}
+
+TEST(Unicode, MalformedYieldsReplacement) {
+  std::string S = "\xC3"; // truncated 2-byte sequence
+  size_t Pos = 0;
+  EXPECT_EQ(decodeUtf8(S, Pos), 0xFFFDu);
+  EXPECT_EQ(Pos, 1u);
+}
+
+TEST(Unicode, FourByteSequence) {
+  std::string S;
+  encodeUtf8(0x1F600, S); // emoji, 4 bytes
+  EXPECT_EQ(S.size(), 4u);
+  size_t Pos = 0;
+  EXPECT_EQ(decodeUtf8(S, Pos), 0x1F600u);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine DE;
+  DE.warning({1, 1}, "w");
+  EXPECT_FALSE(DE.hasErrors());
+  DE.error({2, 3}, "e");
+  DE.note({2, 4}, "n");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.numErrors(), 1u);
+  EXPECT_EQ(DE.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticEngine DE;
+  DE.error({3, 7}, "bad type");
+  EXPECT_EQ(DE.str(), "3:7: error: bad type\n");
+}
+
+} // namespace
+} // namespace diderot

@@ -1,0 +1,118 @@
+//===--- tests/synth_test.cpp - synthetic data generator tests -------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "synth/synth.h"
+
+namespace diderot {
+namespace {
+
+TEST(Synth, CtHandShapeAndRange) {
+  Image Img = synth::ctHand(24);
+  EXPECT_EQ(Img.dim(), 3);
+  EXPECT_EQ(Img.numComponents(), 1);
+  double Max = 0, Min = 1e30;
+  for (double V : Img.data()) {
+    Max = std::max(Max, V);
+    Min = std::min(Min, V);
+  }
+  EXPECT_GE(Min, 0.0);
+  EXPECT_GT(Max, 0.5) << "palm should be dense";
+  EXPECT_LT(Max, 3.0);
+}
+
+TEST(Synth, CtHandCenterDenserThanCorner) {
+  Image Img = synth::ctHand(24);
+  int C[3] = {12, 11, 12}, K[3] = {0, 0, 0};
+  EXPECT_GT(Img.sample(C, 0), Img.sample(K, 0) + 0.3);
+}
+
+TEST(Synth, CtHandDeterministic) {
+  Image A = synth::ctHand(16), B = synth::ctHand(16);
+  EXPECT_EQ(A.data(), B.data());
+}
+
+TEST(Synth, LungVesselsCenterlinePeaks) {
+  Image Img = synth::lungVessels(32);
+  // The trunk runs along x=0,z=0 for y in [-0.85,-0.25]: world (0,-0.5,0)
+  // maps to index ((0+1)/2*31, ...).
+  double IdxPos[3] = {15.5, 7.75, 15.5}; // approx (0, -0.5, 0)
+  int OnTrunk[3] = {16, 8, 16};
+  int FarAway[3] = {2, 2, 2};
+  (void)IdxPos;
+  EXPECT_GT(Img.sample(OnTrunk, 0), 0.5);
+  EXPECT_LT(Img.sample(FarAway, 0), 0.1);
+}
+
+TEST(Synth, Flow2dIsVectorField) {
+  Image Img = synth::flow2d(16);
+  EXPECT_EQ(Img.dim(), 2);
+  EXPECT_EQ(Img.valueShape(), (Shape{2}));
+  // Velocities bounded.
+  for (double V : Img.data())
+    EXPECT_LT(std::abs(V), 3.0);
+}
+
+TEST(Synth, Flow2dJetBetweenVortices) {
+  // A counter-rotating vortex pair drives a jet between the cores: at the
+  // origin the x-velocity cancels by symmetry and the y-velocity is the jet.
+  Image Img = synth::flow2d(33); // odd so the center is a sample
+  int C[2] = {16, 16};
+  EXPECT_NEAR(Img.sample(C, 0), 0.0, 1e-12);
+  EXPECT_GT(Img.sample(C, 1), 0.3);
+}
+
+TEST(Synth, NoiseRangeAndDeterminism) {
+  Image A = synth::noise2d(32, 7), B = synth::noise2d(32, 7);
+  EXPECT_EQ(A.data(), B.data());
+  for (double V : A.data()) {
+    EXPECT_GE(V, 0.0);
+    EXPECT_LE(V, 1.0);
+  }
+  Image C = synth::noise2d(32, 8);
+  EXPECT_NE(A.data(), C.data());
+}
+
+TEST(Synth, NoiseIsRoughlyUniform) {
+  Image A = synth::noise2d(64, 3);
+  double Mean = 0;
+  for (double V : A.data())
+    Mean += V;
+  Mean /= static_cast<double>(A.data().size());
+  EXPECT_NEAR(Mean, 0.5, 0.05);
+}
+
+TEST(Synth, PortraitCoversIsovalues) {
+  Image Img = synth::portrait(64);
+  double Max = 0, Min = 1e30;
+  for (double V : Img.data()) {
+    Max = std::max(Max, V);
+    Min = std::min(Min, V);
+  }
+  // The paper's isocontour example searches for isovalues 10, 30, 50.
+  EXPECT_LT(Min, 10.0);
+  EXPECT_GT(Max, 50.0);
+}
+
+TEST(Synth, SampledPolynomial3dExactAtSamples) {
+  double A = 1.0, B = 2.0, C = -0.5, D = 0.25, E = 0.0;
+  Image Img = synth::sampledPolynomial3d(8, A, B, C, D, E);
+  int Idx[3] = {3, 5, 2};
+  double IdxD[3] = {3, 5, 2}, W[3];
+  Img.indexToWorld(IdxD, W);
+  EXPECT_NEAR(Img.sample(Idx, 0), A + B * W[0] + C * W[1] + D * W[2], 1e-12);
+}
+
+TEST(Synth, WorldExtentIsMinusOneToOne) {
+  Image Img = synth::sampledPolynomial2d(11, 0, 1, 0, 0);
+  double I0[2] = {0, 0}, IN[2] = {10, 10}, W[2];
+  Img.indexToWorld(I0, W);
+  EXPECT_DOUBLE_EQ(W[0], -1.0);
+  Img.indexToWorld(IN, W);
+  EXPECT_DOUBLE_EQ(W[0], 1.0);
+}
+
+} // namespace
+} // namespace diderot

@@ -1,0 +1,153 @@
+//===--- tests/teem_probe_test.cpp - baseline probing library tests --------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "synth/synth.h"
+#include "teem/probe.h"
+
+namespace diderot {
+namespace {
+
+using teem::ItemGradient;
+using teem::ItemHessian;
+using teem::ItemValue;
+using teem::ProbeCtx;
+
+TEST(TeemProbe, ValueReconstructsLinearField2d) {
+  // f(x,y) = 1 + 2x + 3y; tent reconstruction is exact for bilinear data.
+  Image Img = synth::sampledPolynomial2d(16, 1, 2, 3, 0);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelTent(0));
+  Ctx.setQuery(ItemValue);
+  Ctx.update();
+  ASSERT_TRUE(Ctx.probe2(0.21, -0.37));
+  EXPECT_NEAR(Ctx.value()[0], 1 + 2 * 0.21 + 3 * -0.37, 1e-12);
+}
+
+TEST(TeemProbe, OutsideReturnsFalse) {
+  Image Img = synth::sampledPolynomial2d(8, 0, 1, 0, 0);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelCtmr(0));
+  Ctx.setQuery(ItemValue);
+  Ctx.update();
+  EXPECT_FALSE(Ctx.probe2(1.0, 0.0)); // on the last sample: support spills
+  EXPECT_FALSE(Ctx.probe2(5.0, 0.0));
+  EXPECT_TRUE(Ctx.probe2(0.0, 0.0));
+}
+
+TEST(TeemProbe, GradientOfLinearField3d) {
+  // f = 1 + 2x - holds everywhere; gradient (2, 0.5, -1.5) in world space.
+  Image Img = synth::sampledPolynomial3d(12, 1, 2, 0.5, -1.5, 0);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setKernel(1, teem::kernelBspln3(1));
+  Ctx.setQuery(ItemValue | ItemGradient);
+  Ctx.update();
+  ASSERT_TRUE(Ctx.probe3(0.1, -0.2, 0.15));
+  EXPECT_NEAR(Ctx.gradient()[0], 2.0, 1e-10);
+  EXPECT_NEAR(Ctx.gradient()[1], 0.5, 1e-10);
+  EXPECT_NEAR(Ctx.gradient()[2], -1.5, 1e-10);
+}
+
+TEST(TeemProbe, HessianOfBilinearField) {
+  // f = x*y has Hessian [[0,1],[1,0]] everywhere.
+  Image Img = synth::sampledPolynomial2d(16, 0, 0, 0, 1);
+  ProbeCtx Ctx(Img);
+  for (int L = 0; L <= 2; ++L)
+    Ctx.setKernel(L, teem::kernelBspln3(L));
+  Ctx.setQuery(ItemHessian);
+  Ctx.update();
+  ASSERT_TRUE(Ctx.probe2(0.2, 0.3));
+  const double *H = Ctx.hessian();
+  EXPECT_NEAR(H[0], 0.0, 1e-9);
+  EXPECT_NEAR(H[1], 1.0, 1e-9);
+  EXPECT_NEAR(H[2], 1.0, 1e-9);
+  EXPECT_NEAR(H[3], 0.0, 1e-9);
+}
+
+TEST(TeemProbe, VectorImageProbesBothComponents) {
+  Image Img = synth::flow2d(32);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelCtmr(0));
+  Ctx.setQuery(ItemValue);
+  Ctx.update();
+  ASSERT_TRUE(Ctx.probe2(0.45, 0.0));
+  // Near the right vortex center the velocity is small but the saddle term
+  // contributes 0.3*0.45 in x.
+  EXPECT_NEAR(Ctx.value()[0], 0.3 * 0.45, 0.1);
+}
+
+TEST(TeemProbe, GradientRespectsOrientation) {
+  // Same samples, two different orientations: world gradient must differ by
+  // M^{-T}.
+  Image Img = synth::sampledPolynomial2d(16, 0, 1, 1, 0);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setKernel(1, teem::kernelBspln3(1));
+  Ctx.setQuery(ItemGradient);
+  Ctx.update();
+  ASSERT_TRUE(Ctx.probe2(0.0, 0.0));
+  double GX = Ctx.gradient()[0], GY = Ctx.gradient()[1];
+  EXPECT_NEAR(GX, 1.0, 1e-10);
+  EXPECT_NEAR(GY, 1.0, 1e-10);
+}
+
+TEST(TeemProbe, ValueMatchesDirectConvolution1dSlice) {
+  // Cross-check the probe against a hand-rolled separable sum.
+  Image Img = synth::portrait(32);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelBspln3(0));
+  Ctx.setQuery(ItemValue);
+  Ctx.update();
+  double W[2] = {0.123, -0.234};
+  ASSERT_TRUE(Ctx.probe(W));
+
+  double Xi[2];
+  Img.worldToIndex(W, Xi);
+  int N0 = static_cast<int>(std::floor(Xi[0]));
+  int N1 = static_cast<int>(std::floor(Xi[1]));
+  double F0 = Xi[0] - N0, F1 = Xi[1] - N1;
+  teem::ProbeKernel K = teem::kernelBspln3(0);
+  double Sum = 0;
+  for (int J = -1; J <= 2; ++J)
+    for (int I = -1; I <= 2; ++I) {
+      int Idx[2] = {N0 + I, N1 + J};
+      Sum += Img.sample(Idx, 0) * K.Eval(F0 - I, nullptr) *
+             K.Eval(F1 - J, nullptr);
+    }
+  EXPECT_NEAR(Ctx.value()[0], Sum, 1e-10);
+}
+
+/// Property sweep: reconstruction with each kernel family is exact on fields
+/// in its precision class, at many positions.
+class TeemProbeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TeemProbeSweep, TentExactOnLinear) {
+  Image Img = synth::sampledPolynomial2d(16, 2, -1, 0.5, 0);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelTent(0));
+  Ctx.setQuery(ItemValue);
+  Ctx.update();
+  double T = GetParam();
+  ASSERT_TRUE(Ctx.probe2(T, -T * 0.5));
+  EXPECT_NEAR(Ctx.value()[0], 2 - T + 0.5 * (-T * 0.5), 1e-11);
+}
+
+TEST_P(TeemProbeSweep, CtmrExactOnLinear) {
+  Image Img = synth::sampledPolynomial2d(16, 1, 1, -2, 0);
+  ProbeCtx Ctx(Img);
+  Ctx.setKernel(0, teem::kernelCtmr(0));
+  Ctx.setQuery(ItemValue);
+  Ctx.update();
+  double T = GetParam();
+  ASSERT_TRUE(Ctx.probe2(T * 0.8, T * 0.3));
+  EXPECT_NEAR(Ctx.value()[0], 1 + 0.8 * T - 2 * 0.3 * T, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, TeemProbeSweep,
+                         ::testing::Values(-0.6, -0.31, 0.0, 0.17, 0.44, 0.7));
+
+} // namespace
+} // namespace diderot

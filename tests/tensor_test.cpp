@@ -1,0 +1,216 @@
+//===--- tests/tensor_test.cpp - tensor algebra unit tests -----------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace diderot {
+namespace {
+
+Tensor vec3(double X, double Y, double Z) { return Tensor::vector({X, Y, Z}); }
+
+TEST(Shape, OrderAndComponents) {
+  EXPECT_EQ(Shape{}.order(), 0);
+  EXPECT_EQ(Shape{}.numComponents(), 1);
+  EXPECT_EQ((Shape{3}).order(), 1);
+  EXPECT_EQ((Shape{3, 3}).numComponents(), 9);
+  EXPECT_EQ((Shape{2, 3, 4}).numComponents(), 24);
+}
+
+TEST(Shape, AppendDrop) {
+  Shape S{3};
+  Shape S2 = S.append(3);
+  EXPECT_EQ(S2, (Shape{3, 3}));
+  EXPECT_EQ(S2.dropLast(), S);
+  EXPECT_EQ(Shape{}.append(2), (Shape{2}));
+}
+
+TEST(Shape, Render) {
+  EXPECT_EQ(Shape{}.str(), "[]");
+  EXPECT_EQ((Shape{3, 3}).str(), "[3,3]");
+}
+
+TEST(Tensor, ScalarBasics) {
+  Tensor S = Tensor::scalar(2.5);
+  EXPECT_TRUE(S.isScalar());
+  EXPECT_EQ(S.asScalar(), 2.5);
+}
+
+TEST(Tensor, AddSubNeg) {
+  Tensor A = vec3(1, 2, 3), B = vec3(4, 5, 6);
+  EXPECT_EQ(add(A, B), vec3(5, 7, 9));
+  EXPECT_EQ(sub(B, A), vec3(3, 3, 3));
+  EXPECT_EQ(neg(A), vec3(-1, -2, -3));
+}
+
+TEST(Tensor, ScaleDivide) {
+  Tensor A = vec3(1, 2, 3);
+  EXPECT_EQ(scale(2.0, A), vec3(2, 4, 6));
+  EXPECT_EQ(divide(A, 2.0), vec3(0.5, 1, 1.5));
+}
+
+TEST(Tensor, DotVectors) {
+  EXPECT_EQ(dot(vec3(1, 2, 3), vec3(4, 5, 6)).asScalar(), 32.0);
+}
+
+TEST(Tensor, DotMatrixVector) {
+  Tensor M(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor V = Tensor::vector({5, 6});
+  Tensor R = dot(M, V);
+  EXPECT_EQ(R.shape(), (Shape{2}));
+  EXPECT_EQ(R[0], 17.0);
+  EXPECT_EQ(R[1], 39.0);
+}
+
+TEST(Tensor, DotMatrixMatrix) {
+  Tensor A(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor B(Shape{2, 2}, {5, 6, 7, 8});
+  Tensor R = dot(A, B);
+  EXPECT_EQ(R.shape(), (Shape{2, 2}));
+  EXPECT_EQ(R[0], 19.0);
+  EXPECT_EQ(R[1], 22.0);
+  EXPECT_EQ(R[2], 43.0);
+  EXPECT_EQ(R[3], 50.0);
+}
+
+TEST(Tensor, DDotMatrices) {
+  Tensor A(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor B(Shape{2, 2}, {5, 6, 7, 8});
+  // A : B = sum_ij A_ij B_ij
+  EXPECT_EQ(ddot(A, B).asScalar(), 1 * 5 + 2 * 6 + 3 * 7 + 4 * 8);
+}
+
+TEST(Tensor, Cross3d) {
+  EXPECT_EQ(cross(vec3(1, 0, 0), vec3(0, 1, 0)), vec3(0, 0, 1));
+  EXPECT_EQ(cross(vec3(0, 1, 0), vec3(1, 0, 0)), vec3(0, 0, -1));
+}
+
+TEST(Tensor, Cross2dIsScalar) {
+  Tensor R = cross(Tensor::vector({1, 0}), Tensor::vector({0, 1}));
+  EXPECT_TRUE(R.isScalar());
+  EXPECT_EQ(R.asScalar(), 1.0);
+}
+
+TEST(Tensor, OuterProduct) {
+  Tensor R = outer(Tensor::vector({1, 2}), Tensor::vector({3, 4}));
+  EXPECT_EQ(R.shape(), (Shape{2, 2}));
+  EXPECT_EQ(R[0], 3.0);
+  EXPECT_EQ(R[1], 4.0);
+  EXPECT_EQ(R[2], 6.0);
+  EXPECT_EQ(R[3], 8.0);
+}
+
+TEST(Tensor, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(norm(vec3(3, 4, 0)), 5.0);
+  Tensor N = normalize(vec3(3, 4, 0));
+  EXPECT_NEAR(N[0], 0.6, 1e-15);
+  EXPECT_NEAR(N[1], 0.8, 1e-15);
+  EXPECT_NEAR(N[2], 0.0, 1e-15);
+  // Zero vector is returned unchanged.
+  EXPECT_EQ(normalize(vec3(0, 0, 0)), vec3(0, 0, 0));
+}
+
+TEST(Tensor, NormOfMatrixIsFrobenius) {
+  Tensor M(Shape{2, 2}, {1, 2, 2, 4});
+  EXPECT_DOUBLE_EQ(norm(M), 5.0);
+}
+
+TEST(Tensor, TraceIdentity) {
+  EXPECT_DOUBLE_EQ(trace(Tensor::identity(3)), 3.0);
+  Tensor M(Shape{2, 2}, {1, 9, 9, 4});
+  EXPECT_DOUBLE_EQ(trace(M), 5.0);
+}
+
+TEST(Tensor, Determinants) {
+  Tensor M2(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(det(M2), -2.0);
+  Tensor M3(Shape{3, 3}, {2, 0, 0, 0, 3, 0, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(det(M3), 24.0);
+  EXPECT_DOUBLE_EQ(det(Tensor::identity(3)), 1.0);
+}
+
+TEST(Tensor, Inverse2x2) {
+  Tensor M(Shape{2, 2}, {4, 7, 2, 6});
+  Tensor Inv = inverse(M);
+  Tensor P = dot(M, Inv);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_NEAR(P[I], Tensor::identity(2)[I], 1e-12);
+}
+
+TEST(Tensor, Inverse3x3) {
+  Tensor M(Shape{3, 3}, {2, -1, 0, -1, 2, -1, 0, -1, 2});
+  Tensor P = dot(M, inverse(M));
+  for (int I = 0; I < 9; ++I)
+    EXPECT_NEAR(P[I], Tensor::identity(3)[I], 1e-12);
+}
+
+TEST(Tensor, Transpose) {
+  Tensor M(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor T = transpose(M);
+  EXPECT_EQ(T.shape(), (Shape{3, 2}));
+  EXPECT_EQ(T.at(0, 1), 4.0);
+  EXPECT_EQ(T.at(2, 0), 3.0);
+}
+
+TEST(Tensor, ModulateHadamard) {
+  EXPECT_EQ(modulate(vec3(1, 2, 3), vec3(4, 5, 6)), vec3(4, 10, 18));
+}
+
+TEST(Tensor, Lerp) {
+  EXPECT_EQ(lerp(vec3(0, 0, 0), vec3(2, 4, 6), 0.5), vec3(1, 2, 3));
+  EXPECT_EQ(lerp(Tensor::scalar(1), Tensor::scalar(3), 0.0).asScalar(), 1.0);
+}
+
+TEST(Tensor, IdentityMatrix) {
+  Tensor I = Tensor::identity(3);
+  EXPECT_EQ(I.at(0, 0), 1.0);
+  EXPECT_EQ(I.at(0, 1), 0.0);
+  EXPECT_EQ(I.at(2, 2), 1.0);
+}
+
+// Algebraic identities checked over a parameterized sweep of vectors.
+class TensorIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TensorIdentityTest, LagrangeIdentity) {
+  int Seed = GetParam();
+  auto R = [&](int I) { return std::sin(Seed * 37.0 + I * 11.0); };
+  Tensor U = vec3(R(0), R(1), R(2));
+  Tensor V = vec3(R(3), R(4), R(5));
+  // |u x v|^2 + (u . v)^2 = |u|^2 |v|^2
+  double LHS = std::pow(norm(cross(U, V)), 2) +
+               std::pow(dot(U, V).asScalar(), 2);
+  double RHS = std::pow(norm(U), 2) * std::pow(norm(V), 2);
+  EXPECT_NEAR(LHS, RHS, 1e-12);
+}
+
+TEST_P(TensorIdentityTest, CrossOrthogonality) {
+  int Seed = GetParam();
+  auto R = [&](int I) { return std::cos(Seed * 13.0 + I * 7.0); };
+  Tensor U = vec3(R(0), R(1), R(2));
+  Tensor V = vec3(R(3), R(4), R(5));
+  Tensor C = cross(U, V);
+  EXPECT_NEAR(dot(C, U).asScalar(), 0.0, 1e-12);
+  EXPECT_NEAR(dot(C, V).asScalar(), 0.0, 1e-12);
+}
+
+TEST_P(TensorIdentityTest, OuterTraceIsDot) {
+  int Seed = GetParam();
+  auto R = [&](int I) { return std::sin(Seed * 5.0 + I * 3.0); };
+  Tensor U = vec3(R(0), R(1), R(2));
+  Tensor V = vec3(R(3), R(4), R(5));
+  EXPECT_NEAR(trace(outer(U, V)), dot(U, V).asScalar(), 1e-12);
+}
+
+TEST_P(TensorIdentityTest, DetOfTransposeEqual) {
+  int Seed = GetParam();
+  auto R = [&](int I) { return std::sin(Seed * 3.0 + I * 1.7); };
+  Tensor M(Shape{3, 3}, {R(0), R(1), R(2), R(3), R(4), R(5), R(6), R(7), R(8)});
+  EXPECT_NEAR(det(M), det(transpose(M)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TensorIdentityTest, ::testing::Range(0, 10));
+
+} // namespace
+} // namespace diderot

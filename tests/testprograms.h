@@ -1,0 +1,183 @@
+//===--- tests/testprograms.h - shared Diderot program fixtures ------------===//
+//
+// The paper's example programs (Figures 1, 5, 7 and the curvature code of
+// Figure 3), adapted only where the paper elides details (concrete input
+// defaults, grid-to-world mapping in the initialization). Shared by the
+// front-end, pipeline, and engine tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_TESTS_TESTPROGRAMS_H
+#define DIDEROT_TESTS_TESTPROGRAMS_H
+
+namespace diderot::testprog {
+
+/// Figure 1: simple direct volume renderer (vr-lite).
+inline const char *VrLite = R"(
+// Simple direct volume rendering (paper Figure 1)
+input real stepSz = 0.1;          // size of steps
+input vec3 eye = [6.0, 0.0, 0.0]; // eye location
+input vec3 orig = [4.0, -2.4, -2.4];
+input vec3 cVec = [0.0, 0.024, 0.0];
+input vec3 rVec = [0.0, 0.0, 0.024];
+input real opacMin = 0.25;
+input real opacMax = 0.65;
+input int imgResU = 50;
+input int imgResV = 50;
+image(3)[] img = load("hand.nrrd");
+field#2(3)[] F = img ⊛ bspln3;
+
+strand RayCast (int r, int c) {
+  vec3 pos = orig + real(r)*rVec + real(c)*cVec;
+  vec3 dir = normalize(pos - eye);
+  real t = 0.0;
+  real transp = 1.0;
+  output real gray = 0.0;
+
+  update {
+    pos = pos + stepSz*dir;
+    t = t + stepSz;
+    if (inside(pos, F)) {
+      real val = F(pos);
+      if (val > opacMin) {
+        real opac = 1.0 if val > opacMax
+                    else (val - opacMin)/(opacMax - opacMin);
+        vec3 norm = -normalize(∇F(pos));
+        gray += transp*opac*max(0.0, -dir • norm);
+        transp *= 1.0 - opac;
+      }
+    }
+    if (t > 14.0) stabilize;
+  }
+}
+
+initially [ RayCast(ui, vi) | vi in 0 .. imgResV-1,
+                              ui in 0 .. imgResU-1 ];
+)";
+
+/// Figure 5: line integral convolution.
+inline const char *Lic2d = R"(
+// Line Integral Convolution (paper Figure 5)
+input int stepNum = 12;
+input real h = 0.01;
+input int resU = 40;
+input int resV = 40;
+field#1(2)[2] V = load("vectors.nrrd") ⊛ ctmr;
+field#0(2)[] R = load("rand.nrrd") ⊛ tent;
+
+strand LIC (vec2 pos0) {
+  vec2 forw = pos0;
+  vec2 back = pos0;
+  output real sum = R(pos0);
+  int step = 0;
+
+  update {
+    forw += h*V(forw + 0.5*h*V(forw));
+    back -= h*V(back - 0.5*h*V(back));
+    sum += R(forw) + R(back);
+    step += 1;
+    if (step == stepNum) {
+      sum *= |V(pos0)| / real(1 + 2*stepNum);
+      stabilize;
+    }
+  }
+}
+
+initially [ LIC([ -0.85 + 1.7*real(ui)/real(resU-1),
+                  -0.85 + 1.7*real(vi)/real(resV-1) ])
+          | vi in 0 .. resV-1, ui in 0 .. resU-1 ];
+)";
+
+/// Figure 7: particle-based isocontour sampling. Uses `die`, a collection
+/// initialization, and state initializers that probe fields.
+inline const char *Isocontour = R"(
+// Detecting isocontours (paper Figure 7)
+input int stepsMax = 12;
+input real epsilon = 0.00001;
+input int res = 30;
+field#1(2)[] f = ctmr ⊛ load("ddro.nrrd");
+
+strand sample (int ui, int vi) {
+  output vec2 pos = [ -0.9 + 1.8*real(ui)/real(res-1),
+                      -0.9 + 1.8*real(vi)/real(res-1) ];
+  // set isovalue to closest of 50, 30, or 10
+  real f0 = 50.0 if f(pos) >= 40.0
+       else 30.0 if f(pos) >= 20.0
+       else 10.0;
+  int steps = 0;
+  update {
+    if (!inside(pos, f) || steps > stepsMax)
+      die;
+    vec2 grad = ∇f(pos);
+    vec2 delta = // the Newton-Raphson step
+      normalize(grad) * (f(pos) - f0)/|grad|;
+    if (|delta| < epsilon)
+      stabilize;
+    pos -= delta;
+    steps += 1;
+  }
+}
+
+initially { sample(ui, vi) | vi in 0 .. res-1, ui in 0 .. res-1 };
+)";
+
+/// Figure 3's curvature computation embedded in a small renderer
+/// (illust-vr's core): exercises Hessians (∇⊗∇), tensor algebra, and a
+/// 2-D transfer-function field.
+inline const char *Curvature = R"(
+// Curvature-based transfer function (paper Figure 3, abbreviated renderer)
+input real stepSz = 0.1;
+input vec3 eye = [6.0, 0.0, 0.0];
+input vec3 orig = [4.0, -2.4, -2.4];
+input vec3 cVec = [0.0, 0.024, 0.0];
+input vec3 rVec = [0.0, 0.0, 0.024];
+input real isoval = 0.5;
+input int imgResU = 40;
+input int imgResV = 40;
+image(3)[] img = load("hand.nrrd");
+field#2(3)[] F = img ⊛ bspln3;
+field#0(2)[3] RGB = tent ⊛ load("xfer.nrrd");
+
+strand RayCast (int r, int c) {
+  vec3 pos = orig + real(r)*rVec + real(c)*cVec;
+  vec3 dir = normalize(pos - eye);
+  real t = 0.0;
+  real transp = 1.0;
+  vec3 accum = [0.0, 0.0, 0.0];
+  output vec3 outRGB = [0.0, 0.0, 0.0];
+
+  update {
+    pos = pos + stepSz*dir;
+    t = t + stepSz;
+    if (inside(pos, F)) {
+      real val = F(pos);
+      if (val > isoval) {
+        vec3 grad = -∇F(pos);
+        vec3 norm = normalize(grad);
+        tensor[3,3] H = ∇⊗∇F(pos);
+        tensor[3,3] P = identity[3] - norm⊗norm;
+        tensor[3,3] G = -(P•H•P)/|grad|;
+        real disc = sqrt(max(0.0, 2.0*|G|^2 - trace(G)^2));
+        real k1 = (trace(G) + disc)/2.0;
+        real k2 = (trace(G) - disc)/2.0;
+        vec3 matRGB = RGB([ max(-1.0, min(1.0, 6.0*k1)),
+                            max(-1.0, min(1.0, 6.0*k2)) ]);
+        real opac = 0.8;
+        accum += transp*opac*matRGB;
+        transp *= 1.0 - opac;
+      }
+    }
+    if (t > 14.0 || transp < 0.01) {
+      outRGB = accum;
+      stabilize;
+    }
+  }
+}
+
+initially [ RayCast(ui, vi) | vi in 0 .. imgResV-1,
+                              ui in 0 .. imgResU-1 ];
+)";
+
+} // namespace diderot::testprog
+
+#endif // DIDEROT_TESTS_TESTPROGRAMS_H
