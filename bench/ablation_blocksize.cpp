@@ -29,7 +29,7 @@ int main(int Argc, char **Argv) {
       auto I = makeWorkloadInstance(CP, Workload::Lic2d, C, D, O.Full);
       must(I->initialize());
       auto T0 = std::chrono::steady_clock::now();
-      Result<int> S = I->run(100000, Workers, BlockSize);
+      Result<rt::RunStats> S = I->run(100000, Workers, BlockSize);
       auto T1 = std::chrono::steady_clock::now();
       must(S.isOk() ? Status::ok() : Status::error(S.message()));
       Times.push_back(std::chrono::duration<double>(T1 - T0).count());

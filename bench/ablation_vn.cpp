@@ -94,7 +94,7 @@ void runCase(const char *Name, const char *Src, const Image &Vol, int Runs) {
       must(I.isOk() ? Status::ok() : Status::error(I.message()));
       must((*I)->setInputImage("img", Vol));
       must((*I)->initialize());
-      Result<int> R = (*I)->run(1000, 0);
+      Result<rt::RunStats> R = (*I)->run(1000, 0);
       must(R.isOk() ? Status::ok() : Status::error(R.message()));
     });
     if (Base == 0.0)

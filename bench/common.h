@@ -35,6 +35,7 @@
 
 #include "baselines/baselines.h"
 #include "driver/driver.h"
+#include "observe/observe.h"
 #include "synth/synth.h"
 
 namespace diderot::bench {
@@ -342,7 +343,7 @@ inline double timeDiderotRun(CompiledProgram &CP, Workload W,
     auto I = makeWorkloadInstance(CP, W, C, D, Full);
     must(I->initialize());
     auto T0 = std::chrono::steady_clock::now();
-    Result<int> Steps = I->run(100000, Workers);
+    Result<rt::RunStats> Steps = I->run(100000, Workers);
     auto T1 = std::chrono::steady_clock::now();
     if (!Steps.isOk()) {
       std::fprintf(stderr, "run failed: %s\n", Steps.message().c_str());
@@ -352,6 +353,61 @@ inline double timeDiderotRun(CompiledProgram &CP, Workload W,
   }
   std::sort(Times.begin(), Times.end());
   return Times[Times.size() / 2];
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry capture (BENCH_*.json)
+//===----------------------------------------------------------------------===//
+
+/// One extra run of a configuration with telemetry collection enabled.
+/// Kept separate from timeDiderotRun so collection never contaminates the
+/// timed repetitions.
+inline rt::RunStats statsRun(CompiledProgram &CP, Workload W,
+                             const WorkloadConfig &C, const Datasets &D,
+                             bool Full, int Workers) {
+  auto I = makeWorkloadInstance(CP, W, C, D, Full);
+  must(I->initialize());
+  Result<rt::RunStats> R = I->run(100000, Workers, rt::DefaultBlockSize,
+                                  /*CollectStats=*/true);
+  if (!R.isOk()) {
+    std::fprintf(stderr, "stats run failed: %s\n", R.message().c_str());
+    std::exit(1);
+  }
+  return *R;
+}
+
+/// One benchmark configuration's record in a BENCH_*.json file.
+struct BenchRecord {
+  std::string Name;     ///< workload / configuration label
+  int Workers = 0;      ///< worker count of this configuration
+  double Seconds = 0;   ///< median timed seconds (telemetry off)
+  rt::RunStats Stats;   ///< per-superstep breakdown (one collected run)
+};
+
+/// Write \p Records as BENCH_<bench>.json in the current directory:
+/// {"bench": ..., "records": [{"name", "workers", "seconds", "stats"}]}.
+inline void writeBenchJson(const std::string &Bench,
+                           const std::vector<BenchRecord> &Records) {
+  std::string Path = "BENCH_" + Bench + ".json";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  Out << "{\"bench\":\"" << Bench << "\",\"records\":[";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    if (I)
+      Out << ",";
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"%s\",\"workers\":%d,\"seconds\":%.6f,"
+                  "\"stats\":",
+                  R.Name.c_str(), R.Workers, R.Seconds);
+    Out << Buf << observe::statsJson(R.Stats) << "}";
+  }
+  Out << "]}\n";
+  std::fprintf(stderr, "wrote %s\n", Path.c_str());
 }
 
 } // namespace diderot::bench

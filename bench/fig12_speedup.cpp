@@ -47,18 +47,26 @@ int main(int Argc, char **Argv) {
     std::printf("   %2dP", P);
   std::printf("   | paper: 2P=?, 8P=?\n");
 
+  std::vector<BenchRecord> Records;
   for (int Row = 0; Row < 4; ++Row) {
     Workload W = Ws[Row];
     CompiledProgram CP = compileWorkload(W, /*double=*/false);
     double Seq = timeDiderotRun(CP, W, C, D, O.Full, 0, O.Runs);
     std::printf("%-10s %8.3f", workloadName(W), Seq);
+    Records.push_back(
+        {workloadName(W), 0, Seq, statsRun(CP, W, C, D, O.Full, 0)});
     for (int P = 1; P <= O.MaxWorkers; ++P) {
       double T = timeDiderotRun(CP, W, C, D, O.Full, P, O.Runs);
       std::printf(" %5.2f", Seq / T);
+      // Per-worker spans in the collected run show whether a flat curve is
+      // load imbalance or lack of work (the paper's vr-lite tail-off).
+      Records.push_back(
+          {workloadName(W), P, T, statsRun(CP, W, C, D, O.Full, P)});
     }
     std::printf("   | paper: 2P=%.2f, 8P=%.2f\n", PaperSpeedups[Row].At2,
                 PaperSpeedups[Row].At8);
   }
+  writeBenchJson("fig12_speedup", Records);
   std::printf("\n(speedups are T_seq / T_p; ideal is p. Small default sizes "
               "under-utilize\nworkers — rerun with --scale 2 or --full for "
               "paper-shaped curves.)\n");

@@ -27,7 +27,7 @@ int main(int Argc, char **Argv) {
     CompiledProgram CP = compileWorkload(Workload::VrLite, true);
     auto I = makeWorkloadInstance(CP, Workload::VrLite, C, D, O.Full);
     must(I->initialize());
-    Result<int> Steps = I->run(100000, O.MaxWorkers);
+    Result<rt::RunStats> Steps = I->run(100000, O.MaxWorkers);
     if (!Steps.isOk()) {
       std::fprintf(stderr, "%s\n", Steps.message().c_str());
       return 1;
@@ -48,7 +48,7 @@ int main(int Argc, char **Argv) {
     Mean /= static_cast<double>(Gray.size());
     std::printf("vr-lite: %dx%d, %d supersteps; mean gray %.4f, lit pixels "
                 "%zu (%.1f%%)\n",
-                C.Vr.ResU, C.Vr.ResV, *Steps, Mean, Lit,
+                C.Vr.ResU, C.Vr.ResV, Steps->Steps, Mean, Lit,
                 100.0 * Lit / Gray.size());
     std::printf("         max |Diderot - Teem| = %.2e  %s\n", MaxDiff,
                 MaxDiff < 1e-6 ? "(images agree)" : "(MISMATCH)");
@@ -61,7 +61,7 @@ int main(int Argc, char **Argv) {
     CompiledProgram CP = compileWorkload(Workload::IllustVr, true);
     auto I = makeWorkloadInstance(CP, Workload::IllustVr, C, D, O.Full);
     must(I->initialize());
-    Result<int> Steps = I->run(100000, O.MaxWorkers);
+    Result<rt::RunStats> Steps = I->run(100000, O.MaxWorkers);
     if (!Steps.isOk()) {
       std::fprintf(stderr, "%s\n", Steps.message().c_str());
       return 1;
@@ -78,7 +78,7 @@ int main(int Argc, char **Argv) {
       Colored += Rgb[K] > 0.05;
     }
     std::printf("illust-vr: %dx%d, %d supersteps; colored samples %zu\n",
-                P.ResU, P.ResV, *Steps, Colored);
+                P.ResU, P.ResV, Steps->Steps, Colored);
     std::printf("           max |Diderot - Teem| = %.2e  %s\n", MaxDiff,
                 MaxDiff < 1e-6 ? "(images agree)" : "(MISMATCH)");
     std::printf("           wrote fig4_curvature.ppm\n");

@@ -23,7 +23,7 @@ int main(int Argc, char **Argv) {
   CompiledProgram CP = compileWorkload(Workload::Lic2d, true);
   auto I = makeWorkloadInstance(CP, Workload::Lic2d, C, D, O.Full);
   must(I->initialize());
-  Result<int> Steps = I->run(100000, O.MaxWorkers);
+  Result<rt::RunStats> Steps = I->run(100000, O.MaxWorkers);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
@@ -69,7 +69,7 @@ int main(int Argc, char **Argv) {
     ++N;
   }
   std::printf("lic2d: %dx%d, %d supersteps (stepNum=%d)\n", C.Lic.ResU,
-              C.Lic.ResV, *Steps, C.Lic.StepNum);
+              C.Lic.ResV, Steps->Steps, C.Lic.StepNum);
   std::printf("  interior max |Diderot - Teem| = %.2e  %s\n", MaxDiff,
               MaxDiff < 1e-6 ? "(images agree)" : "(MISMATCH)");
   std::printf("  streamline coherence at the vortex: mean |d along| = %.4f, "

@@ -74,7 +74,7 @@ int main(int Argc, char **Argv) {
   must(I.setInputImage("ddro", Portrait));
   must(I.setInputInt("res", Res));
   must(I.initialize());
-  Result<int> Steps = I.run(1000, O.MaxWorkers);
+  Result<rt::RunStats> Steps = I.run(1000, O.MaxWorkers);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
@@ -83,7 +83,7 @@ int main(int Argc, char **Argv) {
   must(I.getOutput("pos", Pos));
   size_t NStable = Pos.size() / 2;
   std::printf("%d seed particles, %d supersteps: %zu stable, %zu died\n",
-              Res * Res, *Steps, NStable, I.numDead());
+              Res * Res, Steps->Steps, NStable, I.numDead());
 
   // Verify: each stable particle sits on one of the isocontours.
   teem::ProbeCtx Ctx(Portrait);

@@ -60,6 +60,7 @@ int main(int Argc, char **Argv) {
   const Workload Ws[] = {Workload::VrLite, Workload::IllustVr, Workload::Lic2d,
                          Workload::Ridge3d};
   const int WorkerCols[4] = {0, 1, 2, O.MaxWorkers};
+  std::vector<BenchRecord> Records;
 
   for (int Row = 0; Row < 4; ++Row) {
     Workload W = Ws[Row];
@@ -76,9 +77,18 @@ int main(int Argc, char **Argv) {
     double Ours[2][4];
     for (int DP = 0; DP < 2; ++DP) {
       CompiledProgram CP = compileWorkload(W, DP != 0);
-      for (int K = 0; K < 4; ++K)
+      for (int K = 0; K < 4; ++K) {
         Ours[DP][K] =
             timeDiderotRun(CP, W, C, D, O.Full, WorkerCols[K], O.Runs);
+        // One collected run per configuration, after the timed ones, for
+        // the per-superstep breakdowns in BENCH_table2_perf.json.
+        BenchRecord Rec;
+        Rec.Name = std::string(P.Name) + (DP ? "/double" : "/single");
+        Rec.Workers = WorkerCols[K];
+        Rec.Seconds = Ours[DP][K];
+        Rec.Stats = statsRun(CP, W, C, D, O.Full, WorkerCols[K]);
+        Records.push_back(std::move(Rec));
+      }
     }
     std::printf("%-10s | ours:  %6.2f | %8.2f %8.2f %8.2f %8.2f | %8.2f "
                 "%8.2f %8.2f %8.2f\n",
@@ -89,6 +99,7 @@ int main(int Argc, char **Argv) {
                 "", P.Teem / P.Single[0], TeemT / Ours[0][0], O.MaxWorkers,
                 P.Single[0] / P.Single[3], Ours[0][0] / Ours[0][3]);
   }
+  writeBenchJson("table2_perf", Records);
   std::printf("(run with --full --runs 40 to approach the paper's "
               "configuration)\n");
   return 0;

@@ -78,7 +78,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", S.message().c_str());
     return 1;
   }
-  Result<int> Steps = I.run(1000, 8);
+  Result<rt::RunStats> Steps = I.run(1000, 8);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
@@ -88,7 +88,7 @@ int main(int Argc, char **Argv) {
   size_t NStable = Pos.size() / 2;
   std::printf("%d seeds -> %zu particles on isocontours, %zu died, "
               "%d supersteps\n",
-              Res * Res, NStable, I.numDead(), *Steps);
+              Res * Res, NStable, I.numDead(), Steps->Steps);
 
   // Plot: dim portrait underlay, particles as bright dots.
   std::vector<double> Pix(static_cast<size_t>(ImgSize * ImgSize));

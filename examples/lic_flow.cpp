@@ -81,7 +81,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", S.message().c_str());
     return 1;
   }
-  Result<int> Steps = I.run(1000, 8);
+  Result<rt::RunStats> Steps = I.run(1000, 8);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
@@ -97,6 +97,6 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   std::printf("LIC of %dx%d pixels in %d supersteps; wrote lic_flow.pgm\n",
-              Res, Res, *Steps);
+              Res, Res, Steps->Steps);
   return 0;
 }

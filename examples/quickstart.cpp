@@ -81,7 +81,9 @@ int main() {
     std::fprintf(stderr, "%s\n", S.message().c_str());
     return 1;
   }
-  Result<int> Steps = I.run(/*MaxSupersteps=*/100, /*NumWorkers=*/0);
+  // run() returns rt::RunStats; pass CollectStats=true (as diderotc's
+  // --stats flag does) for per-superstep telemetry on top of the step count.
+  Result<rt::RunStats> Steps = I.run(/*MaxSupersteps=*/100, /*NumWorkers=*/0);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
@@ -92,7 +94,7 @@ int main() {
   std::vector<double> Val, Grad;
   I.getOutput("val", Val);
   I.getOutput("gradMag", Grad);
-  std::printf("ran %d superstep(s) over %zu strands\n\n", *Steps,
+  std::printf("ran %d superstep(s) over %zu strands\n\n", Steps->Steps,
               I.numStrands());
   std::printf("field values (rows = yi):\n");
   for (int Y = 0; Y < 8; ++Y) {

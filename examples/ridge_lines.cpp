@@ -115,7 +115,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", S.message().c_str());
     return 1;
   }
-  Result<int> Steps = I.run(1000, 8);
+  Result<rt::RunStats> Steps = I.run(1000, 8);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
@@ -125,7 +125,7 @@ int main(int Argc, char **Argv) {
   size_t N = Pos.size() / 3;
   std::printf("%d seeds -> %zu particles converged to centerlines (%zu "
               "died), %d supersteps\n",
-              Res * Res * Res, N, I.numDead(), *Steps);
+              Res * Res * Res, N, I.numDead(), Steps->Steps);
 
   double Worst = 0.0, Mean = 0.0;
   for (size_t K = 0; K < N; ++K) {

@@ -14,6 +14,7 @@
 
 #include "driver/driver.h"
 #include "image/pnm.h"
+#include "observe/observe.h"
 #include "synth/synth.h"
 
 namespace {
@@ -87,18 +88,22 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   std::printf("ray casting %d rays...\n", ResU * ResV);
-  Result<int> Steps = I.run(100000, /*NumWorkers=*/8);
+  // Collect telemetry so we can show where the supersteps' time went.
+  Result<rt::RunStats> Steps =
+      I.run(100000, /*NumWorkers=*/8, rt::DefaultBlockSize,
+            /*CollectStats=*/true);
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
   }
+  std::fputs(observe::formatSummary(*Steps).c_str(), stdout);
   std::vector<double> Gray;
   I.getOutput("gray", Gray);
   if (Status S = writePgm("vr_hand.pgm", ResU, ResV, Gray); !S.isOk()) {
     std::fprintf(stderr, "%s\n", S.message().c_str());
     return 1;
   }
-  std::printf("done in %d supersteps; wrote vr_hand.pgm (%dx%d)\n", *Steps,
-              ResU, ResV);
+  std::printf("done in %d supersteps; wrote vr_hand.pgm (%dx%d)\n",
+              Steps->Steps, ResU, ResV);
   return 0;
 }

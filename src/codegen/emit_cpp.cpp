@@ -523,7 +523,10 @@ private:
 void ModuleEmitter::emitHeader(std::ostringstream &OS) {
   OS << "//===-- generated by diderot-cpp from program '" << M.Name
      << "' --===//\n";
-  OS << "// Do not edit; regenerate with diderotc.\n\n";
+  // The ABI tag participates in the shared-object cache key (native_load
+  // hashes the generated source), so bumping it invalidates .so files built
+  // against an older prelude/C API.
+  OS << "// Do not edit; regenerate with diderotc. runtime ABI v2\n\n";
   OS << "#include <algorithm>\n#include <cmath>\n#include <cstdint>\n";
   OS << "#include \"runtime/native_prelude.h\"\n\n";
   OS << "namespace {\n\n";
@@ -940,7 +943,13 @@ int ddr_initialize(void *P) {
   return static_cast<Prog *>(P)->initialize() ? 0 : 1;
 }
 int ddr_run(void *P, int MaxSteps, int Workers, int BlockSize) {
-  return static_cast<Prog *>(P)->run(MaxSteps, Workers, BlockSize);
+  return static_cast<Prog *>(P)->run(MaxSteps, Workers, BlockSize, 0);
+}
+int ddr_run_stats(void *P, int MaxSteps, int Workers, int BlockSize) {
+  return static_cast<Prog *>(P)->run(MaxSteps, Workers, BlockSize, 1);
+}
+int64_t ddr_stats_read(void *P, uint64_t *Out, int64_t Cap) {
+  return static_cast<Prog *>(P)->readStats(Out, Cap);
 }
 int ddr_output_dims(void *P, int64_t *Dims, int MaxD) {
   return static_cast<Prog *>(P)->outputDims(Dims, MaxD);

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <chrono>
 #include <cstdlib>
 #include <dlfcn.h>
 #include <unistd.h>
@@ -15,6 +16,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include "observe/recorder.h"
 
 #include "codegen/config.h"
 #include "driver/driver.h"
@@ -40,6 +42,10 @@ struct CApi {
                   const double *);
   int (*Initialize)(void *);
   int (*Run)(void *, int, int, int);
+  /// Like Run but with telemetry collection on (null in pre-v2 .so files).
+  int (*RunStats)(void *, int, int, int);
+  /// Flatten the last collected run's stats (see observe::flattenStats).
+  int64_t (*StatsRead)(void *, uint64_t *, int64_t);
   int (*OutputDims)(void *, int64_t *, int);
   int64_t (*GetOutput)(void *, const char *, double *, int64_t);
   int64_t (*NumStrands)(void *);
@@ -83,18 +89,20 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
   std::string Stem = strf(Name, "-", Key);
   fs::path CppPath = Dir / (Stem + ".cpp");
   fs::path SoPath = Dir / (Stem + ".so");
-  // Compile into a process-unique temporary and rename into place so that
-  // concurrent processes building the same program never observe a
-  // half-written shared object (rename within a directory is atomic).
+  // Write and compile under process-unique names and rename the result into
+  // place, so concurrent processes building the same program never observe a
+  // half-written source file or shared object (rename within a directory is
+  // atomic).
   std::string Unique = strf(Stem, ".", ::getpid());
+  fs::path TmpCppPath = Dir / (Unique + ".cpp");
   fs::path TmpSoPath = Dir / (Unique + ".so.tmp");
   fs::path LogPath = Dir / (Unique + ".log");
 
   if (!fs::exists(SoPath)) {
     {
-      std::ofstream Out(CppPath);
+      std::ofstream Out(TmpCppPath);
       if (!Out)
-        return RL::error(strf("cannot write ", CppPath.string()));
+        return RL::error(strf("cannot write ", TmpCppPath.string()));
       Out << Source;
     }
     const char *CxxEnv = std::getenv("DIDEROT_CXX");
@@ -103,8 +111,8 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
     // straight-line convolution code is what the host compiler vectorizes.
     std::string Cmd = strf(
         Cxx, " -O3 -std=c++20 -shared -fPIC -I", DIDEROT_SRC_DIR, " ",
-        Opts.ExtraCxxFlags, " -o ", TmpSoPath.string(), " ", CppPath.string(),
-        " -lpthread > ", LogPath.string(), " 2>&1");
+        Opts.ExtraCxxFlags, " -o ", TmpSoPath.string(), " ",
+        TmpCppPath.string(), " -lpthread > ", LogPath.string(), " 2>&1");
     int RC = std::system(Cmd.c_str());
     if (RC != 0) {
       std::ifstream Log(LogPath);
@@ -115,8 +123,10 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
     fs::rename(TmpSoPath, SoPath, EC);
     if (EC && !fs::exists(SoPath))
       return RL::error(strf("cannot install ", SoPath.string()));
-    if (!Opts.KeepCpp)
-      fs::remove(CppPath, EC);
+    if (Opts.KeepCpp)
+      fs::rename(TmpCppPath, CppPath, EC); // publish under the stable name
+    else
+      fs::remove(TmpCppPath, EC);
     fs::remove(LogPath, EC);
   }
 
@@ -145,6 +155,11 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
       reinterpret_cast<int (*)(void *)>(Sym("ddr_initialize"));
   Lib.Api.Run = reinterpret_cast<int (*)(void *, int, int, int)>(
       Sym("ddr_run"));
+  Lib.Api.RunStats = reinterpret_cast<int (*)(void *, int, int, int)>(
+      Sym("ddr_run_stats"));
+  Lib.Api.StatsRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_stats_read"));
   Lib.Api.OutputDims = reinterpret_cast<int (*)(void *, int64_t *, int)>(
       Sym("ddr_output_dims"));
   Lib.Api.GetOutput =
@@ -228,11 +243,34 @@ public:
 
   Status initialize() override { return check(Api->Initialize(Prog)); }
 
-  Result<int> run(int MaxSupersteps, int NumWorkers, int BlockSize) override {
-    int Steps = Api->Run(Prog, MaxSupersteps, NumWorkers, BlockSize);
+  Result<rt::RunStats> run(int MaxSupersteps, int NumWorkers, int BlockSize,
+                           bool CollectStats) override {
+    using RS = Result<rt::RunStats>;
+    bool Collect = CollectStats && Api->RunStats && Api->StatsRead;
+    auto T0 = std::chrono::steady_clock::now();
+    int Steps = Collect
+                    ? Api->RunStats(Prog, MaxSupersteps, NumWorkers, BlockSize)
+                    : Api->Run(Prog, MaxSupersteps, NumWorkers, BlockSize);
     if (Steps < 0)
-      return Result<int>::error(Api->Error(Prog));
-    return Steps;
+      return RS::error(Api->Error(Prog));
+    rt::RunStats Stats;
+    if (Collect) {
+      int64_t Need = Api->StatsRead(Prog, nullptr, 0);
+      std::vector<uint64_t> Flat(static_cast<size_t>(Need > 0 ? Need : 0));
+      if (Need > 0)
+        Api->StatsRead(Prog, Flat.data(), Need);
+      if (!observe::unflattenStats(Flat.data(), Flat.size(), Stats))
+        return RS::error("generated library returned malformed stats");
+      Stats.Steps = Steps;
+      return Stats;
+    }
+    Stats.Steps = Steps;
+    Stats.NumWorkers = NumWorkers <= 0 ? 0 : NumWorkers;
+    Stats.WallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    return Stats;
   }
 
   std::vector<int> outputDims() const override {

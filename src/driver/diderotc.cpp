@@ -17,6 +17,7 @@
 
 #include "driver/driver.h"
 #include "nrrd/nrrd.h"
+#include "observe/observe.h"
 #include "support/strings.h"
 #include "synth/synth.h"
 
@@ -41,6 +42,9 @@ options:
   --steps N                max supersteps (default 10000)
   --out FILE.nrrd          write the first output as NRRD (grid programs)
   --print-output NAME      print an output to stdout (text)
+  --stats                  print a per-superstep telemetry summary (stderr)
+  --stats-out FILE.json    write run telemetry as JSON
+  --trace-out FILE.json    write a Chrome-trace (Perfetto) worker timeline
   --quiet                  suppress statistics
 )");
 }
@@ -103,9 +107,9 @@ int main(int Argc, char **Argv) {
   CompileOptions Opts;
   std::string File;
   std::vector<std::pair<std::string, std::string>> Inputs;
-  bool EmitCpp = false, EmitIr = false, Quiet = false;
+  bool EmitCpp = false, EmitIr = false, Quiet = false, Stats = false;
   int Workers = 1, MaxSteps = 10000;
-  std::string OutFile, PrintOutput;
+  std::string OutFile, PrintOutput, StatsOut, TraceOut;
 
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
@@ -144,6 +148,16 @@ int main(int Argc, char **Argv) {
       OutFile = Argv[++A];
     } else if (Arg == "--print-output" && A + 1 < Argc) {
       PrintOutput = Argv[++A];
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--stats-out" && A + 1 < Argc) {
+      StatsOut = Argv[++A];
+    } else if (startsWith(Arg, "--stats-out=")) {
+      StatsOut = Arg.substr(12);
+    } else if (Arg == "--trace-out" && A + 1 < Argc) {
+      TraceOut = Argv[++A];
+    } else if (startsWith(Arg, "--trace-out=")) {
+      TraceOut = Arg.substr(12);
     } else if (!Arg.empty() && Arg[0] != '-') {
       File = Arg;
     } else {
@@ -222,15 +236,41 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s\n", S.message().c_str());
     return 1;
   }
-  Result<int> Steps = I.run(MaxSteps, Workers);
-  if (!Steps.isOk()) {
-    std::fprintf(stderr, "error: %s\n", Steps.message().c_str());
+  bool Collect = Stats || !StatsOut.empty() || !TraceOut.empty();
+  Result<rt::RunStats> Run =
+      I.run(MaxSteps, Workers, rt::DefaultBlockSize, Collect);
+  if (!Run.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Run.message().c_str());
     return 1;
   }
   if (!Quiet)
     std::fprintf(stderr,
                  "ran %d supersteps: %zu strands, %zu stable, %zu dead\n",
-                 *Steps, I.numStrands(), I.numStable(), I.numDead());
+                 Run->Steps, I.numStrands(), I.numStable(), I.numDead());
+  if (Stats)
+    std::fputs(observe::formatSummary(*Run).c_str(), stderr);
+  auto WriteText = [](const std::string &Path, const std::string &Text) {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fwrite(Text.data(), 1, Text.size(), F);
+    std::fclose(F);
+    return true;
+  };
+  if (!StatsOut.empty()) {
+    if (!WriteText(StatsOut, observe::statsJson(*Run)))
+      return 1;
+    if (!Quiet)
+      std::fprintf(stderr, "wrote %s\n", StatsOut.c_str());
+  }
+  if (!TraceOut.empty()) {
+    if (!WriteText(TraceOut, observe::chromeTrace(*Run)))
+      return 1;
+    if (!Quiet)
+      std::fprintf(stderr, "wrote %s\n", TraceOut.c_str());
+  }
 
   std::vector<rt::OutputDesc> Outs = I.outputs();
   if (!OutFile.empty() && !Outs.empty()) {

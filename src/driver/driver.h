@@ -11,7 +11,7 @@
 ///   auto I = C->instantiate();                          // engine instance
 ///   I->setInputImage("img", myVolume);
 ///   I->initialize();
-///   I->run(1000, 8);
+///   auto stats = I->run(1000, 8);   // Result<rt::RunStats>
 ///   I->getOutput("gray", data);
 ///
 /// Two engines are provided. Engine::Native mirrors the paper's pipeline:

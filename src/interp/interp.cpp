@@ -585,7 +585,8 @@ public:
   }
 
   Status initialize() override;
-  Result<int> run(int MaxSupersteps, int NumWorkers, int BlockSize) override;
+  Result<rt::RunStats> run(int MaxSupersteps, int NumWorkers, int BlockSize,
+                           bool CollectStats) override;
 
   std::vector<int> outputDims() const override {
     if (M.IsGrid)
@@ -716,10 +717,10 @@ Status InterpInstance::initialize() {
   return Status::ok();
 }
 
-Result<int> InterpInstance::run(int MaxSupersteps, int NumWorkers,
-                                int BlockSize) {
+Result<rt::RunStats> InterpInstance::run(int MaxSupersteps, int NumWorkers,
+                                         int BlockSize, bool CollectStats) {
   if (!Initialized)
-    return Result<int>::error("run() before initialize()");
+    return Result<rt::RunStats>::error("run() before initialize()");
   std::string FirstError;
   std::mutex ErrLock;
   auto Update = [&](size_t Idx) -> rt::StrandStatus {
@@ -748,13 +749,24 @@ Result<int> InterpInstance::run(int MaxSupersteps, int NumWorkers,
     }
     return rt::StrandStatus::Dead;
   };
+  observe::Recorder Rec;
+  observe::Recorder *R = CollectStats ? &Rec : nullptr;
+  Rec.start(NumWorkers <= 0 ? 0 : NumWorkers);
   int Steps = NumWorkers <= 0
-                  ? rt::runSequential(StatusVec, Update, MaxSupersteps)
+                  ? rt::runSequential(StatusVec, Update, MaxSupersteps, R)
                   : rt::runParallel(StatusVec, Update, MaxSupersteps,
-                                    NumWorkers, BlockSize);
+                                    NumWorkers, BlockSize, R);
   if (!FirstError.empty())
-    return Result<int>::error(FirstError);
-  return Steps;
+    return Result<rt::RunStats>::error(FirstError);
+  rt::RunStats Stats;
+  if (CollectStats) {
+    Stats = Rec.take(Steps, NumWorkers <= 0 ? 0 : NumWorkers);
+  } else {
+    Stats.Steps = Steps;
+    Stats.NumWorkers = NumWorkers <= 0 ? 0 : NumWorkers;
+    Stats.WallNs = Rec.nowNs();
+  }
+  return Stats;
 }
 
 Status InterpInstance::getOutput(const std::string &Name,

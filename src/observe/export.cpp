@@ -1,0 +1,132 @@
+//===--- observe/export.cpp - telemetry exporters ----------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/observe.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace diderot::observe {
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf)
+                        ? static_cast<size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+double toMs(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
+
+void appendStepFields(std::string &Out, const StepStats &S) {
+  appendf(Out,
+          "\"updated\":%" PRIu64 ",\"stabilized\":%" PRIu64
+          ",\"died\":%" PRIu64 ",\"blocksClaimed\":%" PRIu64
+          ",\"lockAcquires\":%" PRIu64 ",\"barrierWaits\":%" PRIu64,
+          S.Updated, S.Stabilized, S.Died, S.BlocksClaimed, S.LockAcquires,
+          S.BarrierWaits);
+}
+
+} // namespace
+
+std::string formatSummary(const RunStats &R) {
+  std::string Out;
+  appendf(Out, "run: %d superstep(s), %d worker(s), %.3f ms wall\n", R.Steps,
+          R.NumWorkers, toMs(R.WallNs));
+  if (!R.Enabled) {
+    Out += "(telemetry not collected; re-run with stats enabled)\n";
+    return Out;
+  }
+  Out += "  step     updated  stabilized        died      blocks     time(ms)\n";
+  for (const StepStats &S : R.Supersteps)
+    appendf(Out, "  %4d  %10" PRIu64 "  %10" PRIu64 "  %10" PRIu64
+                 "  %10" PRIu64 "  %11.3f\n",
+            S.Step, S.Updated, S.Stabilized, S.Died, S.BlocksClaimed,
+            toMs(S.EndNs - S.BeginNs));
+  appendf(Out, " total  %10" PRIu64 "  %10" PRIu64 "  %10" PRIu64
+               "  %10" PRIu64 "  %11.3f\n",
+          R.Totals.Updated, R.Totals.Stabilized, R.Totals.Died,
+          R.Totals.BlocksClaimed, toMs(R.WallNs));
+  appendf(Out, " locks %" PRIu64 "  barriers %" PRIu64 "\n",
+          R.Totals.LockAcquires, R.Totals.BarrierWaits);
+  return Out;
+}
+
+std::string statsJson(const RunStats &R) {
+  std::string Out;
+  Out += "{";
+  appendf(Out, "\"steps\":%d,\"numWorkers\":%d,\"enabled\":%s,\"wallNs\":%" PRIu64
+               ",",
+          R.Steps, R.NumWorkers, R.Enabled ? "true" : "false", R.WallNs);
+  Out += "\"totals\":{";
+  appendStepFields(Out, R.Totals);
+  Out += "},\"supersteps\":[";
+  for (size_t I = 0; I < R.Supersteps.size(); ++I) {
+    const StepStats &S = R.Supersteps[I];
+    if (I)
+      Out += ",";
+    appendf(Out, "{\"step\":%d,", S.Step);
+    appendStepFields(Out, S);
+    appendf(Out, ",\"beginNs\":%" PRIu64 ",\"endNs\":%" PRIu64 "}", S.BeginNs,
+            S.EndNs);
+  }
+  Out += "],\"workers\":[";
+  for (size_t W = 0; W < R.Workers.size(); ++W) {
+    if (W)
+      Out += ",";
+    appendf(Out, "{\"worker\":%zu,\"spans\":[", W);
+    for (size_t S = 0; S < R.Workers[W].size(); ++S) {
+      const WorkerSpan &Sp = R.Workers[W][S];
+      if (S)
+        Out += ",";
+      appendf(Out,
+              "{\"step\":%d,\"updated\":%" PRIu64 ",\"stabilized\":%" PRIu64
+              ",\"died\":%" PRIu64 ",\"blocksClaimed\":%" PRIu64
+              ",\"lockAcquires\":%" PRIu64 ",\"barrierWaits\":%" PRIu64
+              ",\"beginNs\":%" PRIu64 ",\"endNs\":%" PRIu64 "}",
+              Sp.Step, Sp.Updated, Sp.Stabilized, Sp.Died, Sp.BlocksClaimed,
+              Sp.LockAcquires, Sp.BarrierWaits, Sp.BeginNs, Sp.EndNs);
+    }
+    Out += "]}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string chromeTrace(const RunStats &R) {
+  std::string Out;
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  appendf(Out, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+               "\"args\":{\"name\":\"diderot run (%d workers)\"}}",
+          R.NumWorkers);
+  for (size_t W = 0; W < R.Workers.size(); ++W)
+    appendf(Out, ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%zu,\"args\":{\"name\":\"worker %zu\"}}",
+            W, W);
+  for (size_t W = 0; W < R.Workers.size(); ++W)
+    for (const WorkerSpan &Sp : R.Workers[W]) {
+      double Ts = static_cast<double>(Sp.BeginNs) / 1e3;
+      double Dur = static_cast<double>(Sp.EndNs - Sp.BeginNs) / 1e3;
+      appendf(Out,
+              ",{\"name\":\"superstep %d\",\"cat\":\"superstep\","
+              "\"ph\":\"X\",\"pid\":1,\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f,"
+              "\"args\":{\"updated\":%" PRIu64 ",\"stabilized\":%" PRIu64
+              ",\"died\":%" PRIu64 ",\"blocks\":%" PRIu64 "}}",
+              Sp.Step, W, Ts, Dur, Sp.Updated, Sp.Stabilized, Sp.Died,
+              Sp.BlocksClaimed);
+    }
+  Out += "]}";
+  return Out;
+}
+
+} // namespace diderot::observe

@@ -1,0 +1,48 @@
+//===--- observe/observe.h - telemetry exporters -----------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side exporters over observe::RunStats (see recorder.h for the
+/// collection side):
+///
+///  * formatSummary  — human-readable per-superstep table, the thing
+///                     `diderotc --stats` prints;
+///  * statsJson      — machine-readable stats for the bench harness's
+///                     BENCH_*.json files;
+///  * chromeTrace    — Chrome-trace ("trace event format") JSON with one
+///                     timeline row per worker, loadable in Perfetto or
+///                     chrome://tracing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_OBSERVE_OBSERVE_H
+#define DIDEROT_OBSERVE_OBSERVE_H
+
+#include <string>
+
+#include "observe/recorder.h"
+
+namespace diderot::observe {
+
+/// Human-readable per-superstep summary (multi-line, trailing newline).
+/// Shows, per superstep: strands updated / stabilized / died, blocks
+/// claimed, and the span duration; ends with run-wide totals.
+std::string formatSummary(const RunStats &R);
+
+/// Machine-readable JSON object: run-level fields ("steps", "numWorkers",
+/// "wallNs", totals) plus a "supersteps" array of per-step aggregates and a
+/// "workers" array of per-worker span timelines.
+std::string statsJson(const RunStats &R);
+
+/// Chrome-trace JSON ({"traceEvents": [...]}): "M" metadata events naming
+/// one thread row per worker, then one "X" complete event per (worker,
+/// superstep) span with counters attached as args. Timestamps in
+/// microseconds relative to run start.
+std::string chromeTrace(const RunStats &R);
+
+} // namespace diderot::observe
+
+#endif // DIDEROT_OBSERVE_OBSERVE_H

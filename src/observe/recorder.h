@@ -1,0 +1,289 @@
+//===--- observe/recorder.h - runtime telemetry collection -------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collection half of the observability subsystem: per-superstep,
+/// per-worker counters and monotonic-clock spans recorded while the
+/// bulk-synchronous schedulers run. The paper's evaluation (Section 6,
+/// Table 2, Figure 12) is entirely about where superstep time goes; this
+/// header gives every engine — interpreter and generated native code alike —
+/// the same way of answering that question.
+///
+/// Deliberately STL-only and header-only: generated native translation units
+/// include it transitively through runtime/scheduler.h and must not depend
+/// on the compiler's own libraries (the same constraint as
+/// runtime/native_prelude.h). The exporters (text summary, stats JSON,
+/// Chrome trace) live in observe/observe.h and are host-side only.
+///
+/// Threading contract: the scheduler coordinator calls beginStep() before
+/// the work-list is published and reads spans only after the
+/// end-of-superstep barrier; each worker writes exclusively its own span
+/// slot via commit(). The barriers provide the happens-before edges, so the
+/// per-span fields need no atomics. The run-wide totals *are* atomics,
+/// updated once per worker per superstep, and serve as an independent
+/// cross-check of the span sums (tests and TSan guard them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_OBSERVE_RECORDER_H
+#define DIDEROT_OBSERVE_RECORDER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace diderot::observe {
+
+/// One worker's share of one superstep.
+struct WorkerSpan {
+  int Step = 0;
+  uint64_t Updated = 0;          ///< strand updates executed
+  uint64_t Stabilized = 0;       ///< updates that returned Stabilize
+  uint64_t Died = 0;             ///< updates that returned Die
+  uint64_t BlocksClaimed = 0;    ///< work-list blocks this worker claimed
+  uint64_t LockAcquires = 0;     ///< work-list lock acquisitions
+  uint64_t BarrierWaits = 0;     ///< barrier rendezvous this superstep
+  uint64_t BeginNs = 0;          ///< span start, ns since run start
+  uint64_t EndNs = 0;            ///< span end, ns since run start
+};
+
+/// Aggregate over all workers for one superstep. BeginNs/EndNs span the
+/// earliest start and latest finish across workers.
+struct StepStats {
+  int Step = 0;
+  uint64_t Updated = 0;
+  uint64_t Stabilized = 0;
+  uint64_t Died = 0;
+  uint64_t BlocksClaimed = 0;
+  uint64_t LockAcquires = 0;
+  uint64_t BarrierWaits = 0;
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+};
+
+/// Everything a run reports back through rt::ProgramInstance::run. The
+/// cheap fields (Steps, NumWorkers, WallNs) are always filled; the detailed
+/// vectors are populated only when collection was requested (Enabled).
+struct RunStats {
+  int Steps = 0;         ///< supersteps executed
+  int NumWorkers = 0;    ///< scheduler worker count (0 = sequential loop)
+  bool Enabled = false;  ///< telemetry was collected for this run
+  uint64_t WallNs = 0;   ///< wall-clock time of run()
+
+  /// Per-superstep aggregates (empty unless Enabled).
+  std::vector<StepStats> Supersteps;
+  /// Per-worker timelines: Workers[w][s] is worker w's span in superstep s
+  /// (one row even for the sequential loop; empty unless Enabled).
+  std::vector<std::vector<WorkerSpan>> Workers;
+  /// Run-wide totals accumulated through the Recorder's atomic counters —
+  /// an independent cross-check of the span sums (Step/Begin/End unused).
+  StepStats Totals;
+
+  uint64_t totalUpdated() const { return Totals.Updated; }
+  uint64_t totalStabilized() const { return Totals.Stabilized; }
+  uint64_t totalDied() const { return Totals.Died; }
+  /// Strands retired (stabilized or died) — must equal
+  /// numStable() + numDead() of the instance after the run.
+  uint64_t totalRetired() const { return Totals.Stabilized + Totals.Died; }
+};
+
+/// Recompute \p R's per-superstep aggregates from its worker spans.
+inline void aggregateSupersteps(RunStats &R) {
+  R.Supersteps.clear();
+  size_t Steps = 0;
+  for (const std::vector<WorkerSpan> &Row : R.Workers)
+    Steps = Row.size() > Steps ? Row.size() : Steps;
+  R.Supersteps.resize(Steps);
+  for (size_t S = 0; S < Steps; ++S) {
+    StepStats &A = R.Supersteps[S];
+    A.Step = static_cast<int>(S);
+    bool First = true;
+    for (const std::vector<WorkerSpan> &Row : R.Workers) {
+      if (S >= Row.size())
+        continue;
+      const WorkerSpan &W = Row[S];
+      A.Updated += W.Updated;
+      A.Stabilized += W.Stabilized;
+      A.Died += W.Died;
+      A.BlocksClaimed += W.BlocksClaimed;
+      A.LockAcquires += W.LockAcquires;
+      A.BarrierWaits += W.BarrierWaits;
+      A.BeginNs = First ? W.BeginNs : (W.BeginNs < A.BeginNs ? W.BeginNs
+                                                             : A.BeginNs);
+      A.EndNs = W.EndNs > A.EndNs ? W.EndNs : A.EndNs;
+      First = false;
+    }
+  }
+}
+
+/// Collects spans and counters during one run. Reusable: start() resets.
+class Recorder {
+public:
+  /// Reset and arm for a run with \p NumWorkers workers (a sequential run
+  /// passes 0 and gets one timeline row).
+  void start(int NumWorkers) {
+    Rows.assign(static_cast<size_t>(NumWorkers < 1 ? 1 : NumWorkers), {});
+    AUpdated.store(0, std::memory_order_relaxed);
+    AStabilized.store(0, std::memory_order_relaxed);
+    ADied.store(0, std::memory_order_relaxed);
+    ABlocks.store(0, std::memory_order_relaxed);
+    ALocks.store(0, std::memory_order_relaxed);
+    ABarriers.store(0, std::memory_order_relaxed);
+    T0 = Clock::now();
+  }
+
+  /// Nanoseconds since start() on the monotonic clock.
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             T0)
+            .count());
+  }
+
+  /// Coordinator only, before workers are released into superstep \p Step:
+  /// allocate the step's span slot in every timeline row.
+  void beginStep(int Step) {
+    for (std::vector<WorkerSpan> &Row : Rows) {
+      Row.emplace_back();
+      Row.back().Step = Step;
+    }
+  }
+
+  /// Worker \p W publishes its span for the current superstep (the one most
+  /// recently opened with beginStep). Each worker owns its row; the
+  /// scheduler barriers order beginStep/commit/reads.
+  void commit(int W, const WorkerSpan &S) {
+    WorkerSpan &Dst = Rows[static_cast<size_t>(W)].back();
+    int Step = Dst.Step;
+    Dst = S;
+    Dst.Step = Step;
+    AUpdated.fetch_add(S.Updated, std::memory_order_relaxed);
+    AStabilized.fetch_add(S.Stabilized, std::memory_order_relaxed);
+    ADied.fetch_add(S.Died, std::memory_order_relaxed);
+    ABlocks.fetch_add(S.BlocksClaimed, std::memory_order_relaxed);
+    ALocks.fetch_add(S.LockAcquires, std::memory_order_relaxed);
+    ABarriers.fetch_add(S.BarrierWaits, std::memory_order_relaxed);
+  }
+
+  /// Assemble the final RunStats after the schedulers returned. \p StepsRun
+  /// is the scheduler's return value, \p NumWorkers its worker argument.
+  RunStats take(int StepsRun, int NumWorkers) {
+    RunStats R;
+    R.Steps = StepsRun;
+    R.NumWorkers = NumWorkers < 0 ? 0 : NumWorkers;
+    R.Enabled = true;
+    R.WallNs = nowNs();
+    R.Workers = std::move(Rows);
+    Rows.clear();
+    R.Totals.Updated = AUpdated.load(std::memory_order_relaxed);
+    R.Totals.Stabilized = AStabilized.load(std::memory_order_relaxed);
+    R.Totals.Died = ADied.load(std::memory_order_relaxed);
+    R.Totals.BlocksClaimed = ABlocks.load(std::memory_order_relaxed);
+    R.Totals.LockAcquires = ALocks.load(std::memory_order_relaxed);
+    R.Totals.BarrierWaits = ABarriers.load(std::memory_order_relaxed);
+    aggregateSupersteps(R);
+    return R;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0{};
+  std::vector<std::vector<WorkerSpan>> Rows;
+  std::atomic<uint64_t> AUpdated{0}, AStabilized{0}, ADied{0};
+  std::atomic<uint64_t> ABlocks{0}, ALocks{0}, ABarriers{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Flat wire format
+//===----------------------------------------------------------------------===//
+//
+// Generated shared objects expose collected stats through the plain C ABI
+// (ddr_stats_read) as a flat uint64_t array, so no C++ types cross the
+// dlopen boundary. Layout:
+//   [0] rows (timeline rows; >= 1)     [1] steps recorded per row
+//   [2] NumWorkers                      [3] WallNs
+//   [4..9] totals: updated, stabilized, died, blocks, locks, barriers
+//   then rows * steps records of 8: updated, stabilized, died, blocks,
+//   locks, barriers, beginNs, endNs (row-major: all steps of row 0 first).
+
+constexpr size_t StatsHeaderWords = 10;
+constexpr size_t StatsRecordWords = 8;
+
+inline std::vector<uint64_t> flattenStats(const RunStats &R) {
+  size_t Rows = R.Workers.size();
+  size_t Steps = Rows ? R.Workers[0].size() : 0;
+  std::vector<uint64_t> Out;
+  Out.reserve(StatsHeaderWords + Rows * Steps * StatsRecordWords);
+  Out.push_back(Rows);
+  Out.push_back(Steps);
+  Out.push_back(static_cast<uint64_t>(R.NumWorkers));
+  Out.push_back(R.WallNs);
+  Out.push_back(R.Totals.Updated);
+  Out.push_back(R.Totals.Stabilized);
+  Out.push_back(R.Totals.Died);
+  Out.push_back(R.Totals.BlocksClaimed);
+  Out.push_back(R.Totals.LockAcquires);
+  Out.push_back(R.Totals.BarrierWaits);
+  for (const std::vector<WorkerSpan> &Row : R.Workers)
+    for (const WorkerSpan &W : Row) {
+      Out.push_back(W.Updated);
+      Out.push_back(W.Stabilized);
+      Out.push_back(W.Died);
+      Out.push_back(W.BlocksClaimed);
+      Out.push_back(W.LockAcquires);
+      Out.push_back(W.BarrierWaits);
+      Out.push_back(W.BeginNs);
+      Out.push_back(W.EndNs);
+    }
+  return Out;
+}
+
+/// Inverse of flattenStats. Returns false if \p N is too small or
+/// inconsistent with the header.
+inline bool unflattenStats(const uint64_t *Data, size_t N, RunStats &R) {
+  if (N < StatsHeaderWords)
+    return false;
+  size_t Rows = static_cast<size_t>(Data[0]);
+  size_t Steps = static_cast<size_t>(Data[1]);
+  if (N < StatsHeaderWords + Rows * Steps * StatsRecordWords)
+    return false;
+  R = RunStats();
+  R.Enabled = true;
+  R.Steps = static_cast<int>(Steps);
+  R.NumWorkers = static_cast<int>(Data[2]);
+  R.WallNs = Data[3];
+  R.Totals.Updated = Data[4];
+  R.Totals.Stabilized = Data[5];
+  R.Totals.Died = Data[6];
+  R.Totals.BlocksClaimed = Data[7];
+  R.Totals.LockAcquires = Data[8];
+  R.Totals.BarrierWaits = Data[9];
+  const uint64_t *P = Data + StatsHeaderWords;
+  R.Workers.resize(Rows);
+  for (size_t W = 0; W < Rows; ++W) {
+    R.Workers[W].resize(Steps);
+    for (size_t S = 0; S < Steps; ++S) {
+      WorkerSpan &Sp = R.Workers[W][S];
+      Sp.Step = static_cast<int>(S);
+      Sp.Updated = P[0];
+      Sp.Stabilized = P[1];
+      Sp.Died = P[2];
+      Sp.BlocksClaimed = P[3];
+      Sp.LockAcquires = P[4];
+      Sp.BarrierWaits = P[5];
+      Sp.BeginNs = P[6];
+      Sp.EndNs = P[7];
+      P += StatsRecordWords;
+    }
+  }
+  aggregateSupersteps(R);
+  return true;
+}
+
+} // namespace diderot::observe
+
+#endif // DIDEROT_OBSERVE_RECORDER_H

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "image/image.h"
+#include "runtime/scheduler.h"
 #include "support/result.h"
 #include "tensor/shape.h"
 
@@ -73,8 +74,15 @@ public:
   /// scheduler (a plain loop nest); >= 1 uses the pthread-style worker pool
   /// with that many workers (1P measures the scheduler's own overhead).
   /// \p BlockSize is the work-list granularity (strands per block).
-  virtual Result<int> run(int MaxSupersteps, int NumWorkers,
-                          int BlockSize = 4096) = 0;
+  ///
+  /// The returned RunStats always carries the superstep count (Steps),
+  /// worker count, and wall time; when \p CollectStats is true it also
+  /// carries per-superstep and per-worker telemetry (see observe/recorder.h
+  /// and the exporters in observe/observe.h). Collection is off by default
+  /// and costs nothing when off.
+  virtual Result<RunStats> run(int MaxSupersteps, int NumWorkers,
+                               int BlockSize = DefaultBlockSize,
+                               bool CollectStats = false) = 0;
 
   // -- Outputs (after run) --------------------------------------------------
   /// Grid dimensions for grid-initialized programs (first iterator is the

@@ -449,7 +449,7 @@ public:
     return true;
   }
 
-  int run(int MaxSteps, int Workers, int BlockSize) {
+  int run(int MaxSteps, int Workers, int BlockSize, int Collect) {
     if (!Initialized) {
       Error = "run() before initialize()";
       return -1;
@@ -467,9 +467,32 @@ public:
       }
       return StrandStatus::Dead;
     };
-    if (Workers <= 0)
-      return rt::runSequential(Status, Update, MaxSteps);
-    return rt::runParallel(Status, Update, MaxSteps, Workers, BlockSize);
+    observe::Recorder Rec;
+    observe::Recorder *R = Collect ? &Rec : nullptr;
+    Rec.start(Workers <= 0 ? 0 : Workers);
+    int Steps =
+        Workers <= 0
+            ? rt::runSequential(Status, Update, MaxSteps, R)
+            : rt::runParallel(Status, Update, MaxSteps, Workers, BlockSize, R);
+    if (Collect)
+      Stats = Rec.take(Steps, Workers <= 0 ? 0 : Workers);
+    else
+      Stats = observe::RunStats();
+    return Steps;
+  }
+
+  /// Flatten the stats of the last collected run into \p Out (see
+  /// observe::flattenStats for the layout). With Out == nullptr returns the
+  /// required word count; otherwise writes at most \p Cap words and returns
+  /// the number written.
+  int64_t readStats(uint64_t *Out, int64_t Cap) const {
+    std::vector<uint64_t> Flat = observe::flattenStats(Stats);
+    if (!Out)
+      return static_cast<int64_t>(Flat.size());
+    int64_t N = std::min<int64_t>(Cap, static_cast<int64_t>(Flat.size()));
+    for (int64_t I = 0; I < N; ++I)
+      Out[I] = Flat[static_cast<size_t>(I)];
+    return N;
   }
 
   int outputDims(int64_t *Dims, int MaxD) const {
@@ -540,6 +563,7 @@ protected:
   std::vector<StrandT> Strands;
   std::vector<StrandStatus> Status;
   std::vector<int64_t> GridDims;
+  observe::RunStats Stats; ///< telemetry of the last collected run
   bool Initialized = false;
 };
 

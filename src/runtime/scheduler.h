@@ -35,7 +35,13 @@
 #include <thread>
 #include <vector>
 
+#include "observe/recorder.h"
+
 namespace diderot::rt {
+
+/// Telemetry types surface through the runtime namespace so host code can
+/// say rt::RunStats (collection lives in observe/recorder.h).
+using observe::RunStats;
 
 /// Lifecycle state of one strand.
 enum class StrandStatus : uint8_t {
@@ -50,21 +56,38 @@ constexpr int DefaultBlockSize = 4096;
 /// Run supersteps sequentially until no strand is active or \p MaxSteps is
 /// reached. \p Update is invoked as Update(strandIndex) and returns the
 /// strand's new status. Returns the number of supersteps executed.
+///
+/// When \p Rec is non-null, each superstep is recorded as one span on
+/// timeline row 0 (Rec must have been start()ed). The strand counters are
+/// accumulated in locals either way — their cost is a few registers per
+/// superstep — so the disabled path stays overhead-free.
 template <typename UpdateFn>
 int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
-                  int MaxSteps) {
+                  int MaxSteps, observe::Recorder *Rec = nullptr) {
   int Steps = 0;
   size_t N = Status.size();
   while (Steps < MaxSteps) {
+    observe::WorkerSpan Span;
+    if (Rec)
+      Span.BeginNs = Rec->nowNs();
     bool Any = false;
     for (size_t I = 0; I < N; ++I) {
       if (Status[I] != StrandStatus::Active)
         continue;
       Any = true;
-      Status[I] = Update(I);
+      StrandStatus S = Update(I);
+      Status[I] = S;
+      ++Span.Updated;
+      Span.Stabilized += S == StrandStatus::Stable;
+      Span.Died += S == StrandStatus::Dead;
     }
     if (!Any)
       break;
+    if (Rec) {
+      Span.EndNs = Rec->nowNs();
+      Rec->beginStep(Steps);
+      Rec->commit(0, Span);
+    }
     ++Steps;
   }
   return Steps;
@@ -73,15 +96,23 @@ int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
 /// Parallel supersteps with \p NumWorkers worker threads pulling blocks of
 /// \p BlockSize strands from a lock-guarded work-list, with a barrier at the
 /// end of each superstep. Returns the number of supersteps executed.
+///
+/// When \p Rec is non-null it records one span per worker per superstep
+/// (timeline row = worker index). Workers only ever write their own row and
+/// the superstep barriers order those writes against the coordinator's
+/// beginStep()/take(), so the span paths are race-free by construction; the
+/// Recorder's run-wide atomics are the only shared counters.
 template <typename UpdateFn>
 int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
-                int MaxSteps, int NumWorkers,
-                int BlockSize = DefaultBlockSize) {
+                int MaxSteps, int NumWorkers, int BlockSize = DefaultBlockSize,
+                observe::Recorder *Rec = nullptr) {
   // NumWorkers == 1 still runs the full work-list machinery (one worker
   // thread, lock, barrier) so that the paper's "Seq" vs "1P" comparison —
   // the cost of the scheduler itself — is measurable.
   if (NumWorkers < 1)
-    return runSequential(Status, Update, MaxSteps);
+    return runSequential(Status, Update, MaxSteps, Rec);
+  if (BlockSize <= 0)
+    BlockSize = DefaultBlockSize;
 
   const size_t N = Status.size();
   const size_t NumBlocks = (N + static_cast<size_t>(BlockSize) - 1) /
@@ -98,27 +129,41 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
   // coordinator waits for all updates to finish.
   std::barrier Sync(NumWorkers + 1);
 
-  auto Worker = [&]() {
+  auto Worker = [&](int W) {
     for (;;) {
       Sync.arrive_and_wait(); // work-list published
       if (Done)
         return;
+      observe::WorkerSpan Span;
+      if (Rec)
+        Span.BeginNs = Rec->nowNs();
       for (;;) {
         size_t Idx;
         {
           std::lock_guard<std::mutex> G(WorkLock);
           Idx = NextBlock++;
         }
+        ++Span.LockAcquires;
         if (Idx >= ActiveBlocks.size())
           break;
+        ++Span.BlocksClaimed;
         size_t Block = ActiveBlocks[Idx];
         size_t Lo = Block * static_cast<size_t>(BlockSize);
         size_t Hi = std::min(N, Lo + static_cast<size_t>(BlockSize));
         for (size_t I = Lo; I < Hi; ++I) {
           if (Status[I] != StrandStatus::Active)
             continue;
-          Status[I] = Update(I);
+          StrandStatus S = Update(I);
+          Status[I] = S;
+          ++Span.Updated;
+          Span.Stabilized += S == StrandStatus::Stable;
+          Span.Died += S == StrandStatus::Dead;
         }
+      }
+      if (Rec) {
+        Span.EndNs = Rec->nowNs();
+        Span.BarrierWaits = 2; // this superstep's two rendezvous
+        Rec->commit(W, Span);
       }
       Sync.arrive_and_wait(); // superstep complete
     }
@@ -127,7 +172,7 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
   std::vector<std::thread> Threads;
   Threads.reserve(static_cast<size_t>(NumWorkers));
   for (int W = 0; W < NumWorkers; ++W)
-    Threads.emplace_back(Worker);
+    Threads.emplace_back(Worker, W);
 
   int Steps = 0;
   while (Steps < MaxSteps) {
@@ -144,6 +189,8 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
     if (ActiveBlocks.empty())
       break;
     NextBlock = 0;
+    if (Rec)
+      Rec->beginStep(Steps); // before workers can commit this superstep
     Sync.arrive_and_wait(); // release workers
     Sync.arrive_and_wait(); // wait for completion
     ++Steps;

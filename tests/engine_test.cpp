@@ -205,7 +205,7 @@ void runBoth(const std::string &Src, const Image &Img,
     ASSERT_TRUE(I);
     ASSERT_TRUE(I->setInputImage("img", Img).isOk());
     ASSERT_TRUE(I->initialize().isOk());
-    Result<int> R = I->run(1000, Workers);
+    Result<rt::RunStats> R = I->run(1000, Workers);
     ASSERT_TRUE(R.isOk()) << R.message();
     ASSERT_TRUE(I->getOutput(OutName, Which ? B : A).isOk());
   }
@@ -418,9 +418,9 @@ initially [ S(i) | i in 0 .. 3 ];
   auto I = makeInstance(Src, Engine::Interp);
   ASSERT_TRUE(I);
   ASSERT_TRUE(I->initialize().isOk());
-  Result<int> Steps = I->run(7, 1);
+  Result<rt::RunStats> Steps = I->run(7, 1);
   ASSERT_TRUE(Steps.isOk());
-  EXPECT_EQ(*Steps, 7);
+  EXPECT_EQ(Steps->Steps, 7);
   std::vector<double> X;
   ASSERT_TRUE(I->getOutput("x", X).isOk());
   EXPECT_DOUBLE_EQ(X[0], 7.0);

@@ -39,7 +39,7 @@ std::unique_ptr<rt::ProgramInstance> runProgram(
   }
   Status S = (*I)->initialize();
   EXPECT_TRUE(S.isOk()) << S.message();
-  Result<int> R = (*I)->run(1000, 1);
+  Result<rt::RunStats> R = (*I)->run(1000, 1);
   EXPECT_TRUE(R.isOk()) << R.message();
   return I.take();
 }

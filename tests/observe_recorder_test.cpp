@@ -1,0 +1,186 @@
+//===--- tests/observe_recorder_test.cpp - Recorder + instrumented scheduler -===//
+//
+// Scheduler-level telemetry tests: Recorder spans and atomic counters
+// against both schedulers, the flat wire format, and aggregation. Pure
+// runtime + observe code (no engines), so this file is also compiled into
+// the ThreadSanitizer binary to guard the concurrent counter paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "observe/recorder.h"
+#include "runtime/scheduler.h"
+
+namespace diderot {
+namespace {
+
+using observe::Recorder;
+using observe::RunStats;
+using observe::WorkerSpan;
+using rt::StrandStatus;
+
+/// Run strands that each stabilize after (I % StepsMax) + 1 updates.
+RunStats runInstrumented(int Workers, size_t N, int StepsMax,
+                         int Block = rt::DefaultBlockSize) {
+  std::vector<StrandStatus> S(N, StrandStatus::Active);
+  std::vector<std::atomic<int>> Count(N);
+  Recorder Rec;
+  Rec.start(Workers <= 0 ? 0 : Workers);
+  auto Update = [&](size_t I) {
+    int C = ++Count[I];
+    return C > static_cast<int>(I) % StepsMax ? StrandStatus::Stable
+                                              : StrandStatus::Active;
+  };
+  int Steps = Workers <= 0
+                  ? rt::runSequential(S, Update, 100, &Rec)
+                  : rt::runParallel(S, Update, 100, Workers, Block, &Rec);
+  return Rec.take(Steps, Workers <= 0 ? 0 : Workers);
+}
+
+TEST(Recorder, SequentialSpansMatchSteps) {
+  RunStats R = runInstrumented(/*Workers=*/0, /*N=*/100, /*StepsMax=*/5);
+  EXPECT_EQ(R.Steps, 5);
+  ASSERT_EQ(R.Workers.size(), 1u);
+  EXPECT_EQ(R.Workers[0].size(), 5u);
+  EXPECT_EQ(R.Supersteps.size(), 5u);
+  EXPECT_EQ(R.totalStabilized(), 100u);
+  EXPECT_EQ(R.totalDied(), 0u);
+  EXPECT_EQ(R.totalRetired(), 100u);
+  // 100 + 80 + 60 + 40 + 20 updates for (I % 5) + 1 lifetimes.
+  EXPECT_EQ(R.totalUpdated(), 300u);
+  EXPECT_TRUE(R.Enabled);
+}
+
+TEST(Recorder, ParallelSpansMatchStepsAndWorkers) {
+  const int Workers = 4;
+  RunStats R = runInstrumented(Workers, /*N=*/1000, /*StepsMax=*/3,
+                               /*Block=*/16);
+  EXPECT_EQ(R.Steps, 3);
+  EXPECT_EQ(R.NumWorkers, Workers);
+  ASSERT_EQ(R.Workers.size(), static_cast<size_t>(Workers));
+  for (const std::vector<WorkerSpan> &Row : R.Workers)
+    EXPECT_EQ(Row.size(), 3u);
+  EXPECT_EQ(R.Supersteps.size(), 3u);
+  EXPECT_EQ(R.totalRetired(), 1000u);
+  // Atomic totals must agree with the per-span sums.
+  uint64_t SpanUpdated = 0, SpanBlocks = 0;
+  for (const std::vector<WorkerSpan> &Row : R.Workers)
+    for (const WorkerSpan &Sp : Row) {
+      SpanUpdated += Sp.Updated;
+      SpanBlocks += Sp.BlocksClaimed;
+    }
+  EXPECT_EQ(SpanUpdated, R.totalUpdated());
+  EXPECT_EQ(SpanBlocks, R.Totals.BlocksClaimed);
+  // Every claim is preceded by a lock acquisition; each worker also takes
+  // the lock once to discover the list is empty.
+  EXPECT_GE(R.Totals.LockAcquires, R.Totals.BlocksClaimed);
+  // Two rendezvous per worker per superstep.
+  EXPECT_EQ(R.Totals.BarrierWaits,
+            static_cast<uint64_t>(2 * Workers * R.Steps));
+}
+
+TEST(Recorder, StepAggregatesSumWorkerSpans) {
+  RunStats R = runInstrumented(/*Workers=*/3, /*N=*/500, /*StepsMax=*/4,
+                               /*Block=*/32);
+  ASSERT_EQ(R.Supersteps.size(), 4u);
+  uint64_t StepUpdated = 0;
+  for (const observe::StepStats &S : R.Supersteps) {
+    StepUpdated += S.Updated;
+    EXPECT_GE(S.EndNs, S.BeginNs);
+  }
+  EXPECT_EQ(StepUpdated, R.totalUpdated());
+  // First superstep touches every strand.
+  EXPECT_EQ(R.Supersteps[0].Updated, 500u);
+}
+
+TEST(Recorder, SpanTimesAreMonotonePerWorker) {
+  RunStats R = runInstrumented(/*Workers=*/2, /*N=*/200, /*StepsMax=*/6,
+                               /*Block=*/8);
+  for (const std::vector<WorkerSpan> &Row : R.Workers) {
+    uint64_t Prev = 0;
+    for (const WorkerSpan &Sp : Row) {
+      EXPECT_GE(Sp.EndNs, Sp.BeginNs);
+      EXPECT_GE(Sp.BeginNs, Prev);
+      Prev = Sp.EndNs;
+    }
+  }
+  EXPECT_GE(R.WallNs, R.Workers[0].empty() ? 0 : R.Workers[0].back().EndNs);
+}
+
+TEST(Recorder, FlattenRoundTrips) {
+  RunStats R = runInstrumented(/*Workers=*/3, /*N=*/300, /*StepsMax=*/4);
+  std::vector<uint64_t> Flat = observe::flattenStats(R);
+  RunStats Back;
+  ASSERT_TRUE(observe::unflattenStats(Flat.data(), Flat.size(), Back));
+  EXPECT_EQ(Back.Steps, R.Steps);
+  EXPECT_EQ(Back.NumWorkers, R.NumWorkers);
+  EXPECT_EQ(Back.WallNs, R.WallNs);
+  EXPECT_EQ(Back.Totals.Updated, R.Totals.Updated);
+  EXPECT_EQ(Back.Totals.BarrierWaits, R.Totals.BarrierWaits);
+  ASSERT_EQ(Back.Workers.size(), R.Workers.size());
+  for (size_t W = 0; W < R.Workers.size(); ++W) {
+    ASSERT_EQ(Back.Workers[W].size(), R.Workers[W].size());
+    for (size_t S = 0; S < R.Workers[W].size(); ++S) {
+      EXPECT_EQ(Back.Workers[W][S].Updated, R.Workers[W][S].Updated);
+      EXPECT_EQ(Back.Workers[W][S].BeginNs, R.Workers[W][S].BeginNs);
+      EXPECT_EQ(Back.Workers[W][S].EndNs, R.Workers[W][S].EndNs);
+    }
+  }
+  ASSERT_EQ(Back.Supersteps.size(), R.Supersteps.size());
+  for (size_t S = 0; S < R.Supersteps.size(); ++S)
+    EXPECT_EQ(Back.Supersteps[S].Updated, R.Supersteps[S].Updated);
+}
+
+TEST(Recorder, UnflattenRejectsTruncatedData) {
+  RunStats R = runInstrumented(/*Workers=*/2, /*N=*/100, /*StepsMax=*/3);
+  std::vector<uint64_t> Flat = observe::flattenStats(R);
+  RunStats Back;
+  EXPECT_FALSE(observe::unflattenStats(Flat.data(), 4, Back));
+  EXPECT_FALSE(observe::unflattenStats(Flat.data(), Flat.size() - 1, Back));
+}
+
+TEST(Recorder, DisabledSchedulersRecordNothing) {
+  // Null recorder: schedulers must behave exactly as before.
+  std::vector<StrandStatus> S(50, StrandStatus::Active);
+  int Steps = rt::runSequential(
+      S, [&](size_t) { return StrandStatus::Stable; }, 100, nullptr);
+  EXPECT_EQ(Steps, 1);
+  std::vector<StrandStatus> S2(50, StrandStatus::Active);
+  Steps = rt::runParallel(
+      S2, [&](size_t) { return StrandStatus::Stable; }, 100, 2,
+      rt::DefaultBlockSize, nullptr);
+  EXPECT_EQ(Steps, 1);
+}
+
+TEST(Recorder, MaxStepsCutoffStillMatchesSpanCount) {
+  std::vector<StrandStatus> S(64, StrandStatus::Active);
+  Recorder Rec;
+  Rec.start(2);
+  int Steps = rt::runParallel(
+      S, [&](size_t) { return StrandStatus::Active; }, 7, 2, 16, &Rec);
+  RunStats R = Rec.take(Steps, 2);
+  EXPECT_EQ(R.Steps, 7);
+  for (const std::vector<WorkerSpan> &Row : R.Workers)
+    EXPECT_EQ(Row.size(), 7u);
+}
+
+TEST(Recorder, StartResetsState) {
+  Recorder Rec;
+  Rec.start(1);
+  Rec.beginStep(0);
+  WorkerSpan Sp;
+  Sp.Updated = 42;
+  Rec.commit(0, Sp);
+  Rec.start(2); // re-arm: old spans and totals must be gone
+  RunStats R = Rec.take(0, 2);
+  EXPECT_EQ(R.totalUpdated(), 0u);
+  ASSERT_EQ(R.Workers.size(), 2u);
+  EXPECT_TRUE(R.Workers[0].empty());
+  EXPECT_TRUE(R.Supersteps.empty());
+}
+
+} // namespace
+} // namespace diderot

@@ -1,0 +1,259 @@
+//===--- tests/observe_test.cpp - engine-level telemetry tests ---------------===//
+//
+// End-to-end checks of the observability subsystem through both engines:
+// collected counter totals must match the instance's numStable()/numDead(),
+// superstep span counts must match the returned step count (sequential and
+// parallel), and the JSON exporters must produce well-formed output with
+// one worker timeline row per worker.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/driver.h"
+#include "observe/observe.h"
+#include "synth/synth.h"
+
+namespace diderot {
+namespace {
+
+// Strand (xi, yi) stabilizes after (xi % 4) + 1 updates; strands with
+// yi == 0 die on their first update. Mixed lifetimes and deaths exercise
+// every counter.
+const char *MixedProgram = R"(
+input int res = 12;
+strand S (int xi, int yi) {
+  int n = 0;
+  output real out = 0.0;
+  update {
+    n += 1;
+    out = real(n);
+    if (yi == 0) die;
+    if (n > xi - (xi / 4) * 4) stabilize;
+  }
+}
+initially [ S(xi, yi) | yi in 0 .. res-1, xi in 0 .. res-1 ];
+)";
+
+std::unique_ptr<rt::ProgramInstance> makeInstance(Engine Eng) {
+  CompileOptions Opts;
+  Opts.Eng = Eng;
+  Result<CompiledProgram> CP = compileString(MixedProgram, Opts, "observe");
+  EXPECT_TRUE(CP.isOk()) << CP.message();
+  if (!CP.isOk())
+    return nullptr;
+  Result<std::unique_ptr<rt::ProgramInstance>> I = CP->instantiate();
+  EXPECT_TRUE(I.isOk()) << I.message();
+  if (!I.isOk())
+    return nullptr;
+  return I.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON well-formedness checker (objects/arrays/strings/numbers/
+// literals) — enough to prove the exporters emit parseable JSON without a
+// JSON library dependency.
+//===----------------------------------------------------------------------===//
+
+struct JsonChecker {
+  const std::string &S;
+  size_t P = 0;
+  bool Ok = true;
+
+  void ws() {
+    while (P < S.size() && std::isspace(static_cast<unsigned char>(S[P])))
+      ++P;
+  }
+  bool eat(char C) {
+    ws();
+    if (P < S.size() && S[P] == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+  void fail() { Ok = false; }
+  void value() {
+    if (!Ok)
+      return;
+    ws();
+    if (P >= S.size())
+      return fail();
+    char C = S[P];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return number();
+    for (const char *Lit : {"true", "false", "null"})
+      if (S.compare(P, std::strlen(Lit), Lit) == 0) {
+        P += std::strlen(Lit);
+        return;
+      }
+    fail();
+  }
+  void object() {
+    if (!eat('{'))
+      return fail();
+    if (eat('}'))
+      return;
+    do {
+      string();
+      if (!Ok || !eat(':'))
+        return fail();
+      value();
+      if (!Ok)
+        return;
+    } while (eat(','));
+    if (!eat('}'))
+      fail();
+  }
+  void array() {
+    if (!eat('['))
+      return fail();
+    if (eat(']'))
+      return;
+    do {
+      value();
+      if (!Ok)
+        return;
+    } while (eat(','));
+    if (!eat(']'))
+      fail();
+  }
+  void string() {
+    if (!eat('"'))
+      return fail();
+    while (P < S.size() && S[P] != '"') {
+      if (S[P] == '\\')
+        ++P;
+      ++P;
+    }
+    if (P >= S.size())
+      return fail();
+    ++P; // closing quote
+  }
+  void number() {
+    while (P < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[P])) || S[P] == '-' ||
+            S[P] == '+' || S[P] == '.' || S[P] == 'e' || S[P] == 'E'))
+      ++P;
+  }
+};
+
+bool jsonParses(const std::string &Text) {
+  JsonChecker C{Text};
+  C.value();
+  C.ws();
+  return C.Ok && C.P == Text.size();
+}
+
+size_t countOccurrences(const std::string &Text, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = Text.find(Needle); P != std::string::npos;
+       P = Text.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Both engines, sequential and parallel
+//===----------------------------------------------------------------------===//
+
+class ObserveEngines
+    : public ::testing::TestWithParam<std::tuple<Engine, int>> {};
+
+TEST_P(ObserveEngines, TotalsMatchInstanceCountsAndSpansMatchSteps) {
+  auto [Eng, Workers] = GetParam();
+  auto I = makeInstance(Eng);
+  ASSERT_TRUE(I);
+  ASSERT_TRUE(I->initialize().isOk());
+  Result<rt::RunStats> R =
+      I->run(100, Workers, rt::DefaultBlockSize, /*CollectStats=*/true);
+  ASSERT_TRUE(R.isOk()) << R.message();
+
+  EXPECT_TRUE(R->Enabled);
+  EXPECT_GT(R->Steps, 0);
+  // Every strand retires, so retired totals must match the instance exactly.
+  EXPECT_EQ(R->totalStabilized(), I->numStable());
+  EXPECT_EQ(R->totalDied(), I->numDead());
+  EXPECT_EQ(R->totalRetired(), I->numStable() + I->numDead());
+  EXPECT_EQ(I->numStable() + I->numDead(), I->numStrands());
+
+  // One timeline row per worker (sequential runs get one row), with one
+  // span per executed superstep.
+  size_t Rows = static_cast<size_t>(Workers <= 0 ? 1 : Workers);
+  ASSERT_EQ(R->Workers.size(), Rows);
+  for (const std::vector<observe::WorkerSpan> &Row : R->Workers)
+    EXPECT_EQ(Row.size(), static_cast<size_t>(R->Steps));
+  EXPECT_EQ(R->Supersteps.size(), static_cast<size_t>(R->Steps));
+
+  // Aggregates are consistent with the atomic totals.
+  uint64_t StepUpdated = 0, StepStab = 0, StepDied = 0;
+  for (const observe::StepStats &S : R->Supersteps) {
+    StepUpdated += S.Updated;
+    StepStab += S.Stabilized;
+    StepDied += S.Died;
+  }
+  EXPECT_EQ(StepUpdated, R->totalUpdated());
+  EXPECT_EQ(StepStab, R->totalStabilized());
+  EXPECT_EQ(StepDied, R->totalDied());
+}
+
+TEST_P(ObserveEngines, DisabledRunStillReportsSteps) {
+  auto [Eng, Workers] = GetParam();
+  auto I = makeInstance(Eng);
+  ASSERT_TRUE(I);
+  ASSERT_TRUE(I->initialize().isOk());
+  Result<rt::RunStats> R = I->run(100, Workers);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_FALSE(R->Enabled);
+  EXPECT_GT(R->Steps, 0);
+  EXPECT_TRUE(R->Workers.empty());
+  EXPECT_TRUE(R->Supersteps.empty());
+  EXPECT_EQ(R->totalUpdated(), 0u);
+}
+
+TEST_P(ObserveEngines, ExportersEmitWellFormedJson) {
+  auto [Eng, Workers] = GetParam();
+  auto I = makeInstance(Eng);
+  ASSERT_TRUE(I);
+  ASSERT_TRUE(I->initialize().isOk());
+  Result<rt::RunStats> R =
+      I->run(100, Workers, rt::DefaultBlockSize, /*CollectStats=*/true);
+  ASSERT_TRUE(R.isOk()) << R.message();
+
+  std::string Stats = observe::statsJson(*R);
+  EXPECT_TRUE(jsonParses(Stats)) << Stats;
+  EXPECT_NE(Stats.find("\"supersteps\""), std::string::npos);
+  EXPECT_NE(Stats.find("\"workers\""), std::string::npos);
+
+  std::string Trace = observe::chromeTrace(*R);
+  EXPECT_TRUE(jsonParses(Trace)) << Trace;
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  // One thread_name metadata row per worker timeline...
+  size_t Rows = static_cast<size_t>(Workers <= 0 ? 1 : Workers);
+  EXPECT_EQ(countOccurrences(Trace, "\"thread_name\""), Rows);
+  // ...and one complete event per (worker, superstep) span.
+  EXPECT_EQ(countOccurrences(Trace, "\"ph\":\"X\""),
+            Rows * static_cast<size_t>(R->Steps));
+
+  std::string Summary = observe::formatSummary(*R);
+  EXPECT_NE(Summary.find("superstep"), std::string::npos);
+  EXPECT_NE(Summary.find("total"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ObserveEngines,
+    ::testing::Combine(::testing::Values(Engine::Interp, Engine::Native),
+                       ::testing::Values(0, 1, 4)));
+
+} // namespace
+} // namespace diderot

@@ -132,5 +132,25 @@ TEST(Scheduler, ParallelHonorsMaxSteps) {
   EXPECT_EQ(Steps, 5);
 }
 
+TEST(Scheduler, ParallelClampsNonPositiveBlockSize) {
+  // BlockSize <= 0 used to divide by zero computing the block count; it must
+  // clamp to DefaultBlockSize and still update every strand.
+  for (int Block : {0, -1, -4096}) {
+    const size_t N = 1000;
+    std::vector<StrandStatus> S(N, StrandStatus::Active);
+    std::vector<std::atomic<int>> Count(N);
+    int Steps = runParallel(
+        S,
+        [&](size_t I) {
+          int C = ++Count[I];
+          return C >= 2 ? StrandStatus::Stable : StrandStatus::Active;
+        },
+        100, 4, Block);
+    EXPECT_EQ(Steps, 2) << "BlockSize " << Block;
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Count[I].load(), 2) << "strand " << I;
+  }
+}
+
 } // namespace
 } // namespace diderot::rt
