@@ -1,0 +1,187 @@
+//===--- bench/bench_diff.cpp - BENCH_*.json regression gate -----------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// Compares two BENCH_*.json files (written by bench/common.h's
+// writeBenchJson) record-by-record and exits nonzero when any benchmark's
+// wall time regressed by more than the threshold (default 10%). Intended
+// for CI: run the bench binary on the baseline commit and the candidate,
+// then `bench_diff BENCH_old.json BENCH_new.json`.
+//
+// The parser is deliberately minimal — it scans for the "name" and
+// "seconds" fields of each record rather than parsing full JSON, so it has
+// no dependencies beyond the STL.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  std::string Name;
+  double Seconds = 0;
+};
+
+/// Scan \p Text for `"name":"..."` / `"seconds":N` pairs, in order. A
+/// "seconds" is attributed to the most recent "name". Escaped quotes in
+/// names are handled; other escapes are kept verbatim (the comparison only
+/// needs names to match themselves).
+std::vector<Entry> parseBench(const std::string &Text) {
+  std::vector<Entry> Out;
+  std::string CurName;
+  size_t I = 0;
+  auto startsAt = [&](size_t P, const char *S) {
+    return Text.compare(P, std::strlen(S), S) == 0;
+  };
+  while (I < Text.size()) {
+    if (startsAt(I, "\"name\":\"")) {
+      I += 8;
+      CurName.clear();
+      while (I < Text.size() && Text[I] != '"') {
+        if (Text[I] == '\\' && I + 1 < Text.size()) {
+          CurName += Text[I + 1];
+          I += 2;
+        } else {
+          CurName += Text[I++];
+        }
+      }
+      ++I; // closing quote
+    } else if (startsAt(I, "\"seconds\":")) {
+      I += 10;
+      Entry E;
+      E.Name = CurName;
+      E.Seconds = std::strtod(Text.c_str() + I, nullptr);
+      Out.push_back(std::move(E));
+    } else {
+      ++I;
+    }
+  }
+  return Out;
+}
+
+std::string readFileOrDie(const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", Path);
+    std::exit(2);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Compare baseline vs candidate; returns the number of regressions beyond
+/// \p Threshold (fractional, e.g. 0.10 = 10%).
+int compare(const std::vector<Entry> &Old, const std::vector<Entry> &New,
+            double Threshold) {
+  std::map<std::string, double> Base;
+  for (const Entry &E : Old)
+    Base[E.Name] = E.Seconds;
+  int Regressions = 0;
+  std::printf("%-40s %12s %12s %9s\n", "benchmark", "old(s)", "new(s)",
+              "delta");
+  for (const Entry &E : New) {
+    auto It = Base.find(E.Name);
+    if (It == Base.end()) {
+      std::printf("%-40s %12s %12.6g %9s\n", E.Name.c_str(), "-", E.Seconds,
+                  "new");
+      continue;
+    }
+    double OldS = It->second;
+    double Delta = OldS > 0 ? (E.Seconds - OldS) / OldS : 0.0;
+    const char *Mark = "";
+    if (Delta > Threshold) {
+      Mark = "  REGRESSED";
+      ++Regressions;
+    }
+    std::printf("%-40s %12.6g %12.6g %+8.1f%%%s\n", E.Name.c_str(), OldS,
+                E.Seconds, Delta * 100.0, Mark);
+    Base.erase(It);
+  }
+  for (const auto &[Name, Seconds] : Base)
+    std::printf("%-40s %12.6g %12s %9s\n", Name.c_str(), Seconds, "-",
+                "removed");
+  return Regressions;
+}
+
+/// In-process check of the parser and the comparison logic (run by ctest).
+int selfTest() {
+  const char *Old = "{\"bench\":\"x\",\"records\":["
+                    "{\"name\":\"a\",\"workers\":0,\"seconds\":1.000000},"
+                    "{\"name\":\"b \\\"q\\\"\",\"workers\":0,"
+                    "\"seconds\":2.000000},"
+                    "{\"name\":\"gone\",\"workers\":0,\"seconds\":3.0}]}";
+  const char *New = "{\"bench\":\"x\",\"records\":["
+                    "{\"name\":\"a\",\"workers\":0,\"seconds\":1.050000},"
+                    "{\"name\":\"b \\\"q\\\"\",\"workers\":0,"
+                    "\"seconds\":2.500000},"
+                    "{\"name\":\"added\",\"workers\":0,\"seconds\":0.5}]}";
+  std::vector<Entry> O = parseBench(Old), N = parseBench(New);
+  if (O.size() != 3 || N.size() != 3) {
+    std::fprintf(stderr, "self-test: parse failed (%zu, %zu records)\n",
+                 O.size(), N.size());
+    return 1;
+  }
+  if (O[1].Name != "b \"q\"") {
+    std::fprintf(stderr, "self-test: escaped name parsed as '%s'\n",
+                 O[1].Name.c_str());
+    return 1;
+  }
+  // a: +5% (under threshold), b: +25% (one regression), gone/added ignored.
+  if (compare(O, N, 0.10) != 1) {
+    std::fprintf(stderr, "self-test: expected exactly one regression\n");
+    return 1;
+  }
+  if (compare(O, N, 0.30) != 0) {
+    std::fprintf(stderr, "self-test: expected no regression at 30%%\n");
+    return 1;
+  }
+  std::printf("self-test passed\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Threshold = 0.10;
+  std::vector<const char *> Files;
+  for (int A = 1; A < Argc; ++A) {
+    if (!std::strcmp(Argv[A], "--self-test"))
+      return selfTest();
+    if (!std::strncmp(Argv[A], "--threshold=", 12))
+      Threshold = std::atof(Argv[A] + 12) / 100.0;
+    else if (!std::strcmp(Argv[A], "--threshold") && A + 1 < Argc)
+      Threshold = std::atof(Argv[++A]) / 100.0;
+    else
+      Files.push_back(Argv[A]);
+  }
+  if (Files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold PCT] OLD.json NEW.json\n"
+                 "       bench_diff --self-test\n"
+                 "exits 1 if any benchmark slowed down by more than PCT%%\n"
+                 "(default 10%%).\n");
+    return 2;
+  }
+  std::vector<Entry> Old = parseBench(readFileOrDie(Files[0]));
+  std::vector<Entry> New = parseBench(readFileOrDie(Files[1]));
+  if (Old.empty() || New.empty()) {
+    std::fprintf(stderr, "bench_diff: no records found\n");
+    return 2;
+  }
+  int Regressions = compare(Old, New, Threshold);
+  if (Regressions > 0) {
+    std::fprintf(stderr, "bench_diff: %d benchmark(s) regressed >%g%%\n",
+                 Regressions, Threshold * 100.0);
+    return 1;
+  }
+  return 0;
+}

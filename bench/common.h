@@ -394,16 +394,18 @@ inline void writeBenchJson(const std::string &Bench,
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return;
   }
-  Out << "{\"bench\":\"" << Bench << "\",\"records\":[";
+  Out << "{\"bench\":\"" << observe::jsonEscape(Bench) << "\",\"records\":[";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
     if (I)
       Out << ",";
-    char Buf[160];
-    std::snprintf(Buf, sizeof(Buf),
-                  "{\"name\":\"%s\",\"workers\":%d,\"seconds\":%.6f,"
-                  "\"stats\":",
-                  R.Name.c_str(), R.Workers, R.Seconds);
+    // Names are data (benchmark labels can carry arbitrary characters), so
+    // they go through jsonEscape like every other string field.
+    Out << "{\"name\":\"" << observe::jsonEscape(R.Name) << "\",";
+    char Buf[96];
+    // %.9g keeps nanosecond-scale micro-benchmark times from rounding to 0.
+    std::snprintf(Buf, sizeof(Buf), "\"workers\":%d,\"seconds\":%.9g,\"stats\":",
+                  R.Workers, R.Seconds);
     Out << Buf << observe::statsJson(R.Stats) << "}";
   }
   Out << "]}\n";

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "kernels/kernel.h"
 #include "synth/synth.h"
 #include "teem/probe.h"
@@ -164,6 +165,41 @@ void BM_ImageSampleClamped(benchmark::State &State) {
 }
 BENCHMARK(BM_ImageSampleClamped);
 
+//===--- BENCH json capture ----------------------------------------------------===//
+
+/// Console output as usual, plus a BenchRecord per benchmark so the harness
+/// writes the same BENCH_*.json the table/figure binaries emit (consumed by
+/// bench_diff for regression gating).
+class RecordingReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<bench::BenchRecord> Records;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred || R.run_type != Run::RT_Iteration)
+        continue;
+      bench::BenchRecord Rec;
+      Rec.Name = R.benchmark_name();
+      Rec.Workers = 0; // single-threaded substrate kernels
+      Rec.Seconds = R.iterations > 0
+                        ? R.real_accumulated_time /
+                              static_cast<double>(R.iterations)
+                        : R.real_accumulated_time;
+      Records.push_back(std::move(Rec));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  RecordingReporter Rep;
+  benchmark::RunSpecifiedBenchmarks(&Rep);
+  benchmark::Shutdown();
+  bench::writeBenchJson("micro_substrates", Rep.Records);
+  return 0;
+}

@@ -17,10 +17,13 @@
 #include <cassert>
 #include <cctype>
 #include <functional>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "driver/driver.h"
 #include "ir/ir.h"
+#include "observe/profiler.h"
 #include "support/strings.h"
 
 namespace diderot::codegen {
@@ -114,10 +117,17 @@ using ExitEmitter = std::function<void(std::ostringstream &, int Indent,
 
 class FnEmitter {
 public:
+  /// With \p Profiled set, the emitted body bumps the DDRPROF counter array
+  /// (dense (line, class) layout, see observe::Profiler) for every profiled
+  /// instruction. Increments are aggregated per *segment* — a maximal run of
+  /// consecutive non-If instructions — and flushed at segment start, so a
+  /// branch that Exits early never charges for the instructions it skipped
+  /// (matching the interpreter, where an Exit propagates out of every
+  /// region).
   FnEmitter(const Module &M, const ir::Function &F, std::string Prefix,
-            ExitEmitter OnExit, bool InGlobalInit)
+            ExitEmitter OnExit, bool InGlobalInit, bool Profiled = false)
       : M(M), F(F), Prefix(std::move(Prefix)), OnExit(std::move(OnExit)),
-        InGlobalInit(InGlobalInit) {}
+        InGlobalInit(InGlobalInit), Profiled(Profiled) {}
 
   /// Name of SSA value \p V.
   std::string name(ValueId V) const { return strf(Prefix, V); }
@@ -135,8 +145,36 @@ public:
 
   void emitRegion(std::ostringstream &OS, int Indent, const ir::Region &R,
                   const std::vector<std::string> *IfResultNames) {
-    for (const Instr &I : R.Body)
-      emitInstr(OS, Indent, I, IfResultNames);
+    if (!Profiled) {
+      for (const Instr &I : R.Body)
+        emitInstr(OS, Indent, I, IfResultNames);
+      return;
+    }
+    size_t I = 0;
+    while (I < R.Body.size()) {
+      if (R.Body[I].Opcode == Op::If) {
+        emitInstr(OS, Indent, R.Body[I], IfResultNames);
+        ++I;
+        continue;
+      }
+      // Aggregate this segment's profile increments and flush them up front
+      // (every instruction of a segment executes once the segment starts).
+      size_t End = I;
+      std::map<std::pair<int, int>, uint64_t> Counts;
+      while (End < R.Body.size() && R.Body[End].Opcode != Op::If) {
+        const Instr &In = R.Body[End];
+        int C = ir::profClassOf(In.Opcode);
+        if (C >= 0 && In.Loc.isValid())
+          ++Counts[{In.Loc.Line, C}];
+        ++End;
+      }
+      for (const auto &[Key, N] : Counts)
+        line(OS, Indent,
+             strf("DDRPROF[", Key.first * observe::NumProfClasses + Key.second,
+                  "] += ", N, ";"));
+      for (; I < End; ++I)
+        emitInstr(OS, Indent, R.Body[I], IfResultNames);
+    }
   }
 
 private:
@@ -145,6 +183,7 @@ private:
   std::string Prefix;
   ExitEmitter OnExit;
   bool InGlobalInit;
+  bool Profiled;
 
   static void line(std::ostringstream &OS, int Indent, const std::string &S) {
     OS << std::string(static_cast<size_t>(Indent) * 2, ' ') << S << "\n";
@@ -509,7 +548,8 @@ private:
   void emitIters(std::ostringstream &OS);
   void emitInitStrand(std::ostringstream &OS);
   void emitMethod(std::ostringstream &OS, const ir::Function &F,
-                  const std::string &CxxName);
+                  const std::string &CxxName, bool Profiled = false);
+  void emitProfMap(std::ostringstream &OS);
   void emitProgClass(std::ostringstream &OS);
   void emitCApi(std::ostringstream &OS);
 
@@ -520,13 +560,26 @@ private:
   std::vector<int> StateSlotBase;
 };
 
+/// Count the static (line, class) instrumentation sites of a region tree —
+/// the d2x-style source map served through ddr_prof_map.
+void addProfSites(const ir::Region &R,
+                  std::map<std::pair<int, int>, uint64_t> &Sites) {
+  for (const Instr &I : R.Body) {
+    int C = ir::profClassOf(I.Opcode);
+    if (C >= 0 && I.Loc.isValid())
+      ++Sites[{I.Loc.Line, C}];
+    for (const ir::Region &Sub : I.Regions)
+      addProfSites(Sub, Sites);
+  }
+}
+
 void ModuleEmitter::emitHeader(std::ostringstream &OS) {
   OS << "//===-- generated by diderot-cpp from program '" << M.Name
      << "' --===//\n";
   // The ABI tag participates in the shared-object cache key (native_load
   // hashes the generated source), so bumping it invalidates .so files built
   // against an older prelude/C API.
-  OS << "// Do not edit; regenerate with diderotc. runtime ABI v2\n\n";
+  OS << "// Do not edit; regenerate with diderotc. runtime ABI v3\n\n";
   OS << "#include <algorithm>\n#include <cmath>\n#include <cstdint>\n";
   OS << "#include \"runtime/native_prelude.h\"\n\n";
   OS << "namespace {\n\n";
@@ -749,8 +802,8 @@ void ModuleEmitter::emitInitStrand(std::ostringstream &OS) {
 }
 
 void ModuleEmitter::emitMethod(std::ostringstream &OS, const ir::Function &F,
-                               const std::string &CxxName) {
-  bool IsUpdate = CxxName == "f_update";
+                               const std::string &CxxName, bool Profiled) {
+  bool IsUpdate = CxxName == "f_update" || CxxName == "f_update_prof";
   ExitEmitter OnExit = [&](std::ostringstream &O, int Indent,
                            ir::ExitAttr::Kind K,
                            const std::vector<std::string> &Vals) {
@@ -766,10 +819,11 @@ void ModuleEmitter::emitMethod(std::ostringstream &OS, const ir::Function &F,
     else
       O << Pad << "return;\n";
   };
-  FnEmitter E(M, F, IsUpdate ? "u" : "st", OnExit, false);
+  FnEmitter E(M, F, IsUpdate ? "u" : "st", OnExit, false, Profiled);
   OS << (IsUpdate ? "ExitKind " : "void ") << CxxName
-     << "(const Globals& G, Strand& S) {\n";
-  OS << "  (void)G;\n";
+     << "(const Globals& G, Strand& S"
+     << (Profiled ? ", uint64_t* DDRPROF" : "") << ") {\n";
+  OS << "  (void)G;" << (Profiled ? " (void)DDRPROF;" : "") << "\n";
   std::ostringstream B;
   std::vector<std::string> ParamInits;
   for (int P = 0; P < F.NumParams; ++P)
@@ -778,6 +832,21 @@ void ModuleEmitter::emitMethod(std::ostringstream &OS, const ir::Function &F,
   E.emitRegion(B, 1, F.Body, nullptr);
   OS << B.str();
   OS << "}\n\n";
+}
+
+void ModuleEmitter::emitProfMap(std::ostringstream &OS) {
+  // Static (line, class) -> site-count source map of the instrumented
+  // methods, pre-flattened in the ddr_prof_map wire format.
+  std::map<std::pair<int, int>, uint64_t> Sites;
+  addProfSites(M.Update.Body, Sites);
+  if (M.hasStabilize())
+    addProfSites(M.Stabilize.Body, Sites);
+  int MaxLine = ir::maxSourceLine(M);
+  OS << "constexpr int kProfMaxLine = " << MaxLine << ";\n";
+  OS << "const uint64_t kProfMap[] = {" << Sites.size() << "ull";
+  for (const auto &[Key, N] : Sites)
+    OS << ", " << Key.first << "ull, " << Key.second << "ull, " << N << "ull";
+  OS << "};\n\n";
 }
 
 void ModuleEmitter::emitProgClass(std::ostringstream &OS) {
@@ -893,6 +962,14 @@ void ModuleEmitter::emitProgClass(std::ostringstream &OS) {
     OS << "  void stabilizeStrand(Strand &S) { f_stabilize(G, S); }\n";
   else
     OS << "  void stabilizeStrand(Strand &) {}\n";
+  OS << "  static constexpr int ProfMaxLine = kProfMaxLine;\n";
+  OS << "  ExitKind updateProf(Strand &S, uint64_t *P) { return "
+        "f_update_prof(G, S, P); }\n";
+  if (M.hasStabilize())
+    OS << "  void stabilizeStrandProf(Strand &S, uint64_t *P) { "
+          "f_stabilize_prof(G, S, P); }\n";
+  else
+    OS << "  void stabilizeStrandProf(Strand &, uint64_t *) {}\n";
 
   // outputComp
   OS << "  double outputComp(const Strand &S, int Out, int Comp) const {\n"
@@ -948,8 +1025,27 @@ int ddr_run(void *P, int MaxSteps, int Workers, int BlockSize) {
 int ddr_run_stats(void *P, int MaxSteps, int Workers, int BlockSize) {
   return static_cast<Prog *>(P)->run(MaxSteps, Workers, BlockSize, 1);
 }
+int ddr_run_flags(void *P, int MaxSteps, int Workers, int BlockSize,
+                  int Flags) {
+  return static_cast<Prog *>(P)->runFlags(MaxSteps, Workers, BlockSize, Flags);
+}
 int64_t ddr_stats_read(void *P, uint64_t *Out, int64_t Cap) {
   return static_cast<Prog *>(P)->readStats(Out, Cap);
+}
+int64_t ddr_prof_read(void *P, uint64_t *Out, int64_t Cap) {
+  return static_cast<Prog *>(P)->readProf(Out, Cap);
+}
+int64_t ddr_prof_map(void *, uint64_t *Out, int64_t Cap) {
+  const int64_t N = (int64_t)(sizeof(kProfMap) / sizeof(kProfMap[0]));
+  if (!Out)
+    return N;
+  int64_t W = Cap < N ? Cap : N;
+  for (int64_t I = 0; I < W; ++I)
+    Out[I] = kProfMap[I];
+  return W;
+}
+int64_t ddr_trace_read(void *P, uint64_t *Out, int64_t Cap) {
+  return static_cast<Prog *>(P)->readEvents(Out, Cap);
 }
 int ddr_output_dims(void *P, int64_t *Dims, int MaxD) {
   return static_cast<Prog *>(P)->outputDims(Dims, MaxD);
@@ -998,6 +1094,12 @@ std::string ModuleEmitter::run() {
   emitMethod(OS, M.Update, "f_update");
   if (M.hasStabilize())
     emitMethod(OS, M.Stabilize, "f_stabilize");
+  // Instrumented twins: only these bump DDRPROF, keeping the clean update
+  // path zero-overhead when profiling is off.
+  emitProfMap(OS);
+  emitMethod(OS, M.Update, "f_update_prof", /*Profiled=*/true);
+  if (M.hasStabilize())
+    emitMethod(OS, M.Stabilize, "f_stabilize_prof", /*Profiled=*/true);
   emitProgClass(OS);
   emitCApi(OS);
   return OS.str();

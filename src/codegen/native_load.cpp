@@ -16,6 +16,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include "observe/profiler.h"
 #include "observe/recorder.h"
 
 #include "codegen/config.h"
@@ -46,6 +47,13 @@ struct CApi {
   int (*RunStats)(void *, int, int, int);
   /// Flatten the last collected run's stats (see observe::flattenStats).
   int64_t (*StatsRead)(void *, uint64_t *, int64_t);
+  /// v3 protocol (all null in older .so files, handled gracefully): Run with
+  /// a flags word (1 stats, 2 profile, 4 lifecycle), then readers for the
+  /// profile counters, the static source map, and the lifecycle events.
+  int (*RunFlags)(void *, int, int, int, int);
+  int64_t (*ProfRead)(void *, uint64_t *, int64_t);
+  int64_t (*ProfMap)(void *, uint64_t *, int64_t);
+  int64_t (*TraceRead)(void *, uint64_t *, int64_t);
   int (*OutputDims)(void *, int64_t *, int);
   int64_t (*GetOutput)(void *, const char *, double *, int64_t);
   int64_t (*NumStrands)(void *);
@@ -160,6 +168,17 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
   Lib.Api.StatsRead =
       reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
           Sym("ddr_stats_read"));
+  Lib.Api.RunFlags = reinterpret_cast<int (*)(void *, int, int, int, int)>(
+      Sym("ddr_run_flags"));
+  Lib.Api.ProfRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_prof_read"));
+  Lib.Api.ProfMap =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_prof_map"));
+  Lib.Api.TraceRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_trace_read"));
   Lib.Api.OutputDims = reinterpret_cast<int (*)(void *, int64_t *, int)>(
       Sym("ddr_output_dims"));
   Lib.Api.GetOutput =
@@ -243,35 +262,65 @@ public:
 
   Status initialize() override { return check(Api->Initialize(Prog)); }
 
-  Result<rt::RunStats> run(int MaxSupersteps, int NumWorkers, int BlockSize,
-                           bool CollectStats) override {
+  Result<rt::RunStats> run(const rt::RunConfig &C) override {
     using RS = Result<rt::RunStats>;
-    bool Collect = CollectStats && Api->RunStats && Api->StatsRead;
+    LastProfile = observe::ProfileData();
+    // Each capability degrades independently when loading an older .so that
+    // lacks the v3 symbols: stats fall back to the v2 ddr_run_stats entry
+    // point, profile and lifecycle silently turn off.
+    bool WantStats = (C.CollectStats || C.CollectLifecycle) && Api->StatsRead;
+    bool WantProf = C.CollectProfile && Api->RunFlags && Api->ProfRead;
+    bool WantTrace = C.CollectLifecycle && Api->RunFlags && Api->TraceRead;
+    bool Collect = WantStats && (Api->RunStats || Api->RunFlags);
     auto T0 = std::chrono::steady_clock::now();
-    int Steps = Collect
-                    ? Api->RunStats(Prog, MaxSupersteps, NumWorkers, BlockSize)
-                    : Api->Run(Prog, MaxSupersteps, NumWorkers, BlockSize);
+    int Steps;
+    if (Api->RunFlags && (Collect || WantProf || WantTrace)) {
+      int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0);
+      Steps = Api->RunFlags(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize,
+                            Flags);
+    } else if (Collect) {
+      Steps = Api->RunStats(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize);
+    } else {
+      Steps = Api->Run(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize);
+    }
     if (Steps < 0)
       return RS::error(Api->Error(Prog));
     rt::RunStats Stats;
+    if (WantProf) {
+      std::vector<uint64_t> Flat = readFlat(Api->ProfRead);
+      if (!observe::unflattenProfile(Flat.data(), Flat.size(), LastProfile,
+                                     /*Sites=*/false))
+        return RS::error("generated library returned malformed profile");
+      if (Api->ProfMap) {
+        std::vector<uint64_t> Map = readFlat(Api->ProfMap);
+        if (!observe::unflattenProfile(Map.data(), Map.size(), LastProfile,
+                                       /*Sites=*/true))
+          return RS::error("generated library returned malformed profile map");
+      }
+      LastProfile.Enabled = true;
+    }
     if (Collect) {
-      int64_t Need = Api->StatsRead(Prog, nullptr, 0);
-      std::vector<uint64_t> Flat(static_cast<size_t>(Need > 0 ? Need : 0));
-      if (Need > 0)
-        Api->StatsRead(Prog, Flat.data(), Need);
+      std::vector<uint64_t> Flat = readFlat(Api->StatsRead);
       if (!observe::unflattenStats(Flat.data(), Flat.size(), Stats))
         return RS::error("generated library returned malformed stats");
+      if (WantTrace) {
+        std::vector<uint64_t> Ev = readFlat(Api->TraceRead);
+        if (!observe::unflattenEvents(Ev.data(), Ev.size(), Stats))
+          return RS::error("generated library returned malformed trace");
+      }
       Stats.Steps = Steps;
       return Stats;
     }
     Stats.Steps = Steps;
-    Stats.NumWorkers = NumWorkers <= 0 ? 0 : NumWorkers;
+    Stats.NumWorkers = C.NumWorkers <= 0 ? 0 : C.NumWorkers;
     Stats.WallNs = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - T0)
             .count());
     return Stats;
   }
+
+  observe::ProfileData profile() const override { return LastProfile; }
 
   std::vector<int> outputDims() const override {
     int64_t Dims[8] = {};
@@ -322,10 +371,21 @@ private:
     return Status::error(Api->Error(Prog));
   }
 
+  /// Null-size-then-fill read protocol shared by all flat-array readers.
+  std::vector<uint64_t> readFlat(int64_t (*Read)(void *, uint64_t *,
+                                                 int64_t)) const {
+    int64_t Need = Read(Prog, nullptr, 0);
+    std::vector<uint64_t> Flat(static_cast<size_t>(Need > 0 ? Need : 0));
+    if (Need > 0)
+      Read(Prog, Flat.data(), Need);
+    return Flat;
+  }
+
   const CApi *Api;
   void *Prog;
   std::vector<rt::InputDesc> Inputs;
   std::vector<rt::OutputDesc> Outputs;
+  observe::ProfileData LastProfile;
 };
 
 } // namespace

@@ -45,6 +45,12 @@ options:
   --stats                  print a per-superstep telemetry summary (stderr)
   --stats-out FILE.json    write run telemetry as JSON
   --trace-out FILE.json    write a Chrome-trace (Perfetto) worker timeline
+  --profile                print an annotated per-source-line cost listing
+  --profile-out FILE.json  write the per-line profile as JSON
+  --trace-strands          record strand start/stabilize/die events (they
+                           appear in --trace-out as instant events)
+  --events-out FILE.json   write the strand lifecycle event log as JSON
+  --time-passes            print per-compiler-pass wall time and IR sizes
   --quiet                  suppress statistics
 )");
 }
@@ -108,8 +114,9 @@ int main(int Argc, char **Argv) {
   std::string File;
   std::vector<std::pair<std::string, std::string>> Inputs;
   bool EmitCpp = false, EmitIr = false, Quiet = false, Stats = false;
+  bool Profile = false, TraceStrands = false, TimePasses = false;
   int Workers = 1, MaxSteps = 10000;
-  std::string OutFile, PrintOutput, StatsOut, TraceOut;
+  std::string OutFile, PrintOutput, StatsOut, TraceOut, ProfileOut, EventsOut;
 
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
@@ -158,6 +165,20 @@ int main(int Argc, char **Argv) {
       TraceOut = Argv[++A];
     } else if (startsWith(Arg, "--trace-out=")) {
       TraceOut = Arg.substr(12);
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg == "--profile-out" && A + 1 < Argc) {
+      ProfileOut = Argv[++A];
+    } else if (startsWith(Arg, "--profile-out=")) {
+      ProfileOut = Arg.substr(14);
+    } else if (Arg == "--trace-strands") {
+      TraceStrands = true;
+    } else if (Arg == "--events-out" && A + 1 < Argc) {
+      EventsOut = Argv[++A];
+    } else if (startsWith(Arg, "--events-out=")) {
+      EventsOut = Arg.substr(13);
+    } else if (Arg == "--time-passes") {
+      TimePasses = true;
     } else if (!Arg.empty() && Arg[0] != '-') {
       File = Arg;
     } else {
@@ -175,6 +196,19 @@ int main(int Argc, char **Argv) {
   if (!CP.isOk()) {
     std::fprintf(stderr, "%s\n", CP.message().c_str());
     return 1;
+  }
+  if (TimePasses) {
+    std::fprintf(stderr, "pass timing:\n");
+    std::fprintf(stderr, "  %-18s %12s %10s %10s\n", "pass", "time(ms)",
+                 "ops-in", "ops-out");
+    uint64_t TotalNs = 0;
+    for (const PassTiming &T : CP->passTimings()) {
+      std::fprintf(stderr, "  %-18s %12.3f %10d %10d\n", T.Pass.c_str(),
+                   static_cast<double>(T.Ns) / 1e6, T.OpsBefore, T.OpsAfter);
+      TotalNs += T.Ns;
+    }
+    std::fprintf(stderr, "  %-18s %12.3f\n", "total",
+                 static_cast<double>(TotalNs) / 1e6);
   }
   if (EmitIr) {
     std::fputs(ir::print(CP->midModule()).c_str(), stdout);
@@ -236,9 +270,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s\n", S.message().c_str());
     return 1;
   }
-  bool Collect = Stats || !StatsOut.empty() || !TraceOut.empty();
-  Result<rt::RunStats> Run =
-      I.run(MaxSteps, Workers, rt::DefaultBlockSize, Collect);
+  rt::RunConfig RC;
+  RC.MaxSupersteps = MaxSteps;
+  RC.NumWorkers = Workers;
+  RC.CollectStats = Stats || !StatsOut.empty() || !TraceOut.empty();
+  RC.CollectProfile = Profile || !ProfileOut.empty();
+  RC.CollectLifecycle = TraceStrands || !EventsOut.empty();
+  Result<rt::RunStats> Run = I.run(RC);
   if (!Run.isOk()) {
     std::fprintf(stderr, "error: %s\n", Run.message().c_str());
     return 1;
@@ -270,6 +308,32 @@ int main(int Argc, char **Argv) {
       return 1;
     if (!Quiet)
       std::fprintf(stderr, "wrote %s\n", TraceOut.c_str());
+  }
+  if (Profile || !ProfileOut.empty()) {
+    observe::ProfileData PD = I.profile();
+    // Re-read the program text so the listing and JSON can show each line.
+    std::string Source;
+    if (std::FILE *F = std::fopen(File.c_str(), "r")) {
+      char Buf[4096];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+        Source.append(Buf, N);
+      std::fclose(F);
+    }
+    if (Profile)
+      std::fputs(observe::profileListing(PD, Source).c_str(), stderr);
+    if (!ProfileOut.empty()) {
+      if (!WriteText(ProfileOut, observe::profileJson(PD, Source)))
+        return 1;
+      if (!Quiet)
+        std::fprintf(stderr, "wrote %s\n", ProfileOut.c_str());
+    }
+  }
+  if (!EventsOut.empty()) {
+    if (!WriteText(EventsOut, observe::lifecycleJson(*Run)))
+      return 1;
+    if (!Quiet)
+      std::fprintf(stderr, "wrote %s\n", EventsOut.c_str());
   }
 
   std::vector<rt::OutputDesc> Outs = I.outputs();

@@ -2,6 +2,7 @@
 
 #include "driver/driver.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -26,15 +27,18 @@ struct CompiledProgram::Impl {
   ir::Module Low;
   CompileOptions Opts;
   std::string Name;
+  std::vector<PassTiming> Timings;
 };
 
 CompiledProgram::CompiledProgram(ir::Module Mid, ir::Module Low,
-                                 CompileOptions Opts)
+                                 CompileOptions Opts,
+                                 std::vector<PassTiming> Timings)
     : P(std::make_unique<Impl>()) {
   P->Mid = std::move(Mid);
   P->Low = std::move(Low);
   P->Opts = std::move(Opts);
   P->Name = P->Mid.Name;
+  P->Timings = std::move(Timings);
 }
 
 CompiledProgram::~CompiledProgram() = default;
@@ -44,6 +48,10 @@ CompiledProgram &CompiledProgram::operator=(CompiledProgram &&) noexcept =
 
 const ir::Module &CompiledProgram::midModule() const { return P->Mid; }
 const ir::Module &CompiledProgram::lowModule() const { return P->Low; }
+
+const std::vector<PassTiming> &CompiledProgram::passTimings() const {
+  return P->Timings;
+}
 
 std::string CompiledProgram::emitCpp() const {
   return codegen::emitCpp(P->Low, P->Opts.DoublePrecision);
@@ -75,29 +83,50 @@ Result<CompiledProgram> compileString(const std::string &Source,
   ir::Module M = High.take();
   M.Name = Name;
 
-  Status S = passes::normalizeFields(M);
+  std::vector<PassTiming> Timings;
+  // Run one pass under the clock, recording wall time and the module
+  // instruction-count delta (`--time-passes` in diderotc).
+  auto timed = [&](const char *PassName, auto &&Fn) {
+    PassTiming T;
+    T.Pass = PassName;
+    T.OpsBefore = ir::countModuleOps(M);
+    auto T0 = std::chrono::steady_clock::now();
+    Status S = Fn();
+    T.Ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    T.OpsAfter = ir::countModuleOps(M);
+    Timings.push_back(std::move(T));
+    return S;
+  };
+
+  Status S = timed("normalize", [&] { return passes::normalizeFields(M); });
   if (!S.isOk())
     return RC::error(strf(Name, ": ", S.message()));
   if (Opts.EnableContract)
-    passes::contract(M);
-  S = passes::lowerToMid(M);
+    timed("contract(high)", [&] { passes::contract(M); return Status::ok(); });
+  S = timed("mid_lower", [&] { return passes::lowerToMid(M); });
   if (!S.isOk())
     return RC::error(strf(Name, ": ", S.message()));
   if (Opts.EnableValueNumbering)
-    passes::valueNumber(M);
+    timed("value_number(mid)",
+          [&] { passes::valueNumber(M); return Status::ok(); });
   if (Opts.EnableContract)
-    passes::contract(M);
+    timed("contract(mid)", [&] { passes::contract(M); return Status::ok(); });
 
   ir::Module Mid = M; // snapshot for the interpreter engine
-  S = passes::lowerToLow(M);
+  S = timed("scalarize", [&] { return passes::lowerToLow(M); });
   if (!S.isOk())
     return RC::error(strf(Name, ": ", S.message()));
   if (Opts.EnableValueNumbering)
-    passes::valueNumber(M);
+    timed("value_number(low)",
+          [&] { passes::valueNumber(M); return Status::ok(); });
   if (Opts.EnableContract)
-    passes::contract(M);
+    timed("contract(low)", [&] { passes::contract(M); return Status::ok(); });
 
-  return CompiledProgram(std::move(Mid), std::move(M), Opts);
+  return CompiledProgram(std::move(Mid), std::move(M), Opts,
+                         std::move(Timings));
 }
 
 Result<CompiledProgram> compileFile(const std::string &Path,

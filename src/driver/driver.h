@@ -27,12 +27,23 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ir/ir.h"
 #include "runtime/host.h"
 #include "support/result.h"
 
 namespace diderot {
+
+/// Wall time and IR size delta of one compiler pass (`--time-passes`).
+/// Always collected by compileString — each pass runs exactly once per
+/// compile, so the overhead is a handful of clock reads.
+struct PassTiming {
+  std::string Pass;  ///< pass name, e.g. "contract(mid)"
+  uint64_t Ns = 0;   ///< wall time in nanoseconds
+  int OpsBefore = 0; ///< module instruction count before the pass
+  int OpsAfter = 0;  ///< module instruction count after the pass
+};
 
 enum class Engine {
   Interp, ///< MidIR interpreter (double precision, no host compiler needed)
@@ -61,7 +72,8 @@ struct CompileOptions {
 /// times; the native shared object is built once on first use.
 class CompiledProgram {
 public:
-  CompiledProgram(ir::Module Mid, ir::Module Low, CompileOptions Opts);
+  CompiledProgram(ir::Module Mid, ir::Module Low, CompileOptions Opts,
+                  std::vector<PassTiming> Timings = {});
   ~CompiledProgram();
   CompiledProgram(CompiledProgram &&) noexcept;
   CompiledProgram &operator=(CompiledProgram &&) noexcept;
@@ -78,6 +90,9 @@ public:
 
   /// Create a fresh instance (own inputs, strands, outputs).
   Result<std::unique_ptr<rt::ProgramInstance>> instantiate();
+
+  /// Per-pass wall time and instruction-count deltas for this compile.
+  const std::vector<PassTiming> &passTimings() const;
 
 private:
   struct Impl;

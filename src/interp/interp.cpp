@@ -9,6 +9,7 @@
 
 #include "kernels/kernel.h"
 #include "nrrd/nrrd.h"
+#include "observe/profiler.h"
 #include "runtime/scheduler.h"
 #include "support/strings.h"
 #include "tensor/eigen.h"
@@ -32,10 +33,16 @@ const Image &vImage(const RtVal &V) {
 RtVal mkReal(double D) { return Tensor::scalar(D); }
 
 /// Evaluates one function. Register file allocated per call.
+///
+/// When \p Prof is non-null, every profiled instruction (ir::profClassOf)
+/// with a valid source location bumps the dense (line, class) counter —
+/// the interpreter half of the source-level cost profiler.
 class Evaluator {
 public:
-  Evaluator(const ir::Function &F, const std::vector<RtVal> &Globals)
-      : F(F), Globals(Globals), Regs(static_cast<size_t>(F.numValues())) {}
+  Evaluator(const ir::Function &F, const std::vector<RtVal> &Globals,
+            uint64_t *Prof = nullptr, int ProfMaxLine = 0)
+      : F(F), Globals(Globals), Regs(static_cast<size_t>(F.numValues())),
+        Prof(Prof), ProfMaxLine(ProfMaxLine) {}
 
   Result<CallResult> call(const std::vector<RtVal> &Args) {
     assert(static_cast<int>(Args.size()) == F.NumParams &&
@@ -56,6 +63,8 @@ private:
   const ir::Function &F;
   const std::vector<RtVal> &Globals;
   std::vector<RtVal> Regs;
+  uint64_t *Prof = nullptr; ///< dense (line, class) counters, or null
+  int ProfMaxLine = 0;      ///< highest line the counter table covers
 
   const RtVal &get(ValueId V) const { return Regs[static_cast<size_t>(V)]; }
   double real(const Instr &I, size_t K) const { return vReal(get(I.Operands[K])); }
@@ -82,6 +91,12 @@ Status Evaluator::evalRegion(const ir::Region &R,
 Status Evaluator::evalInstr(const Instr &I,
                             const std::vector<ValueId> *IfResults,
                             std::optional<CallResult> &Out) {
+  if (Prof) {
+    int C = ir::profClassOf(I.Opcode);
+    if (C >= 0 && I.Loc.isValid() && I.Loc.Line <= ProfMaxLine)
+      ++Prof[static_cast<size_t>(I.Loc.Line) * observe::NumProfClasses +
+             static_cast<size_t>(C)];
+  }
   auto Set = [&](RtVal V) { Regs[static_cast<size_t>(I.Results[0])] = std::move(V); };
   const Type &ResTy =
       I.Results.empty() ? Type::error() : F.typeOf(I.Results[0]);
@@ -585,8 +600,9 @@ public:
   }
 
   Status initialize() override;
-  Result<rt::RunStats> run(int MaxSupersteps, int NumWorkers, int BlockSize,
-                           bool CollectStats) override;
+  Result<rt::RunStats> run(const rt::RunConfig &C) override;
+
+  observe::ProfileData profile() const override { return LastProfile; }
 
   std::vector<int> outputDims() const override {
     if (M.IsGrid)
@@ -632,8 +648,21 @@ private:
   std::vector<std::vector<RtVal>> States;
   std::vector<rt::StrandStatus> StatusVec;
   std::vector<int> GridDims;
+  observe::ProfileData LastProfile;
   bool Initialized = false;
 };
+
+/// Count the static (line, class) instrumentation sites of a region tree —
+/// the interpreter's version of the native backend's source-map table.
+void addProfileSites(const ir::Region &R, observe::ProfileData &P) {
+  for (const Instr &I : R.Body) {
+    int C = ir::profClassOf(I.Opcode);
+    if (C >= 0 && I.Loc.isValid())
+      ++P.at(I.Loc.Line).Sites[static_cast<size_t>(C)];
+    for (const ir::Region &Sub : I.Regions)
+      addProfileSites(Sub, P);
+  }
+}
 
 Status InterpInstance::initialize() {
   if (Initialized)
@@ -717,14 +746,24 @@ Status InterpInstance::initialize() {
   return Status::ok();
 }
 
-Result<rt::RunStats> InterpInstance::run(int MaxSupersteps, int NumWorkers,
-                                         int BlockSize, bool CollectStats) {
+Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
   if (!Initialized)
     return Result<rt::RunStats>::error("run() before initialize()");
+  const int MaxSupersteps = C.MaxSupersteps;
+  const int NumWorkers = C.NumWorkers;
+  const bool CollectStats = C.CollectStats || C.CollectLifecycle;
   std::string FirstError;
   std::mutex ErrLock;
-  auto Update = [&](size_t Idx) -> rt::StrandStatus {
-    Result<CallResult> R = evalFunction(M.Update, States[Idx], GlobalStore);
+
+  observe::Profiler Prof;
+  if (C.CollectProfile)
+    Prof.start(NumWorkers <= 0 ? 1 : NumWorkers, ir::maxSourceLine(M));
+  const bool Profiling = Prof.enabled();
+
+  auto Update = [&](size_t Idx, int W) -> rt::StrandStatus {
+    uint64_t *Shard = Profiling ? Prof.shard(W) : nullptr;
+    Evaluator E(M.Update, GlobalStore, Shard, Prof.maxLine());
+    Result<CallResult> R = E.call(States[Idx]);
     if (!R.isOk()) {
       std::lock_guard<std::mutex> G(ErrLock);
       if (FirstError.empty())
@@ -737,8 +776,8 @@ Result<rt::RunStats> InterpInstance::run(int MaxSupersteps, int NumWorkers,
       return rt::StrandStatus::Active;
     case ir::ExitAttr::Stabilize: {
       if (M.hasStabilize()) {
-        Result<CallResult> SR =
-            evalFunction(M.Stabilize, States[Idx], GlobalStore);
+        Evaluator SE(M.Stabilize, GlobalStore, Shard, Prof.maxLine());
+        Result<CallResult> SR = SE.call(States[Idx]);
         if (SR.isOk())
           States[Idx] = std::move(SR->Results);
       }
@@ -751,13 +790,19 @@ Result<rt::RunStats> InterpInstance::run(int MaxSupersteps, int NumWorkers,
   };
   observe::Recorder Rec;
   observe::Recorder *R = CollectStats ? &Rec : nullptr;
-  Rec.start(NumWorkers <= 0 ? 0 : NumWorkers);
+  Rec.start(NumWorkers <= 0 ? 0 : NumWorkers, C.CollectLifecycle);
   int Steps = NumWorkers <= 0
                   ? rt::runSequential(StatusVec, Update, MaxSupersteps, R)
                   : rt::runParallel(StatusVec, Update, MaxSupersteps,
-                                    NumWorkers, BlockSize, R);
+                                    NumWorkers, C.BlockSize, R);
   if (!FirstError.empty())
     return Result<rt::RunStats>::error(FirstError);
+  if (Profiling) {
+    LastProfile = Prof.take();
+    addProfileSites(M.Update.Body, LastProfile);
+    if (M.hasStabilize())
+      addProfileSites(M.Stabilize.Body, LastProfile);
+  }
   rt::RunStats Stats;
   if (CollectStats) {
     Stats = Rec.take(Steps, NumWorkers <= 0 ? 0 : NumWorkers);

@@ -470,6 +470,78 @@ struct Verifier {
 int countOps(const Function &F, Op O) { return countOpsRegion(F.Body, O); }
 int countAllOps(const Function &F) { return countAllRegion(F.Body); }
 
+int countModuleOps(const Module &M) {
+  int N = countAllOps(M.GlobalInit) + countAllOps(M.StrandInit) +
+          countAllOps(M.Update) + countAllOps(M.CreateArgs);
+  if (M.hasStabilize())
+    N += countAllOps(M.Stabilize);
+  for (const Function &F : M.InputDefaults)
+    N += countAllOps(F);
+  for (const Function &F : M.IterLo)
+    N += countAllOps(F);
+  for (const Function &F : M.IterHi)
+    N += countAllOps(F);
+  return N;
+}
+
+int profClassOf(Op O) {
+  switch (O) {
+  case Op::VoxelLoad:
+    return 0; // probe
+  case Op::KernelWeight:
+  case Op::PolyEval:
+    return 1; // kernel piece evaluation
+  case Op::InsideTest:
+    return 2; // inside test
+  case Op::Dot:
+  case Op::Cross:
+  case Op::Outer:
+  case Op::Norm:
+  case Op::Normalize:
+  case Op::Trace:
+  case Op::Det:
+  case Op::Inverse:
+  case Op::Transpose:
+  case Op::Modulate:
+  case Op::Lerp:
+  case Op::Evals:
+  case Op::Evecs:
+  case Op::Scale:
+  case Op::DivScale:
+  case Op::EigenVals:
+  case Op::EigenVecs:
+    return 3; // tensor op
+  default:
+    return -1;
+  }
+}
+
+namespace {
+int maxLineRegion(const Region &R) {
+  int Max = 0;
+  for (const Instr &I : R.Body) {
+    if (I.Loc.Line > Max)
+      Max = I.Loc.Line;
+    for (const Region &Sub : I.Regions) {
+      int S = maxLineRegion(Sub);
+      Max = S > Max ? S : Max;
+    }
+  }
+  return Max;
+}
+} // namespace
+
+int maxSourceLine(const Function &F) { return maxLineRegion(F.Body); }
+
+int maxSourceLine(const Module &M) {
+  int Max = maxSourceLine(M.Update);
+  if (M.hasStabilize()) {
+    int S = maxSourceLine(M.Stabilize);
+    Max = S > Max ? S : Max;
+  }
+  return Max;
+}
+
 std::string verify(const Function &F, unsigned Lvl) {
   Verifier V{F, Lvl, {}, {}};
   V.run();

@@ -337,6 +337,21 @@ std::string print(const Module &M);
 int countOps(const Function &F, Op O);
 /// Count all instructions in \p F.
 int countAllOps(const Function &F);
+/// Count all instructions across every function in \p M (GlobalInit,
+/// defaults, iterators, strand methods) — the pass-timing "IR size" metric.
+int countModuleOps(const Module &M);
+
+/// The profiler op-class of \p O, matching observe::ProfClass numerically:
+/// 0 = field probe (VoxelLoad), 1 = kernel piece evaluation (KernelWeight /
+/// PolyEval), 2 = inside test, 3 = tensor op; -1 = not profiled. Returns a
+/// plain int so ir stays independent of observe.
+int profClassOf(Op O);
+
+/// Largest source line attached to any instruction in \p F (0 if none).
+int maxSourceLine(const Function &F);
+/// Largest source line across \p M's Update and Stabilize methods — the
+/// profiler's counter-table bound.
+int maxSourceLine(const Module &M);
 
 /// Structural verifier: checks op level legality against \p Lvl, terminator
 /// placement, operand/result arity, and value-id validity. Returns an error

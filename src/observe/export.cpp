@@ -6,9 +6,11 @@
 
 #include "observe/observe.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 namespace diderot::observe {
 
@@ -28,6 +30,24 @@ void appendf(std::string &Out, const char *Fmt, ...) {
 
 double toMs(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
 
+/// Split source text into 1-indexed lines (index 0 unused).
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  Lines.emplace_back(); // line numbers are 1-based
+  std::string Cur;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
 void appendStepFields(std::string &Out, const StepStats &S) {
   appendf(Out,
           "\"updated\":%" PRIu64 ",\"stabilized\":%" PRIu64
@@ -38,6 +58,42 @@ void appendStepFields(std::string &Out, const StepStats &S) {
 }
 
 } // namespace
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20)
+        appendf(Out, "\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
 
 std::string formatSummary(const RunStats &R) {
   std::string Out;
@@ -106,25 +162,160 @@ std::string statsJson(const RunStats &R) {
 std::string chromeTrace(const RunStats &R) {
   std::string Out;
   Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // All name strings pass through jsonEscape even when they look inert, so
+  // the exporter stays safe if the formats ever pick up user text.
+  std::string PName;
+  appendf(PName, "diderot run (%d workers)", R.NumWorkers);
   appendf(Out, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-               "\"args\":{\"name\":\"diderot run (%d workers)\"}}",
-          R.NumWorkers);
-  for (size_t W = 0; W < R.Workers.size(); ++W)
+               "\"args\":{\"name\":\"%s\"}}",
+          jsonEscape(PName).c_str());
+  for (size_t W = 0; W < R.Workers.size(); ++W) {
+    std::string TName;
+    appendf(TName, "worker %zu", W);
     appendf(Out, ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                 "\"tid\":%zu,\"args\":{\"name\":\"worker %zu\"}}",
-            W, W);
+                 "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+            W, jsonEscape(TName).c_str());
+  }
   for (size_t W = 0; W < R.Workers.size(); ++W)
     for (const WorkerSpan &Sp : R.Workers[W]) {
       double Ts = static_cast<double>(Sp.BeginNs) / 1e3;
       double Dur = static_cast<double>(Sp.EndNs - Sp.BeginNs) / 1e3;
+      std::string SName;
+      appendf(SName, "superstep %d", Sp.Step);
       appendf(Out,
-              ",{\"name\":\"superstep %d\",\"cat\":\"superstep\","
+              ",{\"name\":\"%s\",\"cat\":\"superstep\","
               "\"ph\":\"X\",\"pid\":1,\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f,"
               "\"args\":{\"updated\":%" PRIu64 ",\"stabilized\":%" PRIu64
               ",\"died\":%" PRIu64 ",\"blocks\":%" PRIu64 "}}",
-              Sp.Step, W, Ts, Dur, Sp.Updated, Sp.Stabilized, Sp.Died,
-              Sp.BlocksClaimed);
+              jsonEscape(SName).c_str(), W, Ts, Dur, Sp.Updated, Sp.Stabilized,
+              Sp.Died, Sp.BlocksClaimed);
     }
+  // Strand lifecycle markers ride along as instant events on the worker
+  // row that retired (or started) the strand.
+  for (const StrandEvent &E : R.Events) {
+    std::string EName;
+    appendf(EName, "strand %" PRIu64 " %s", E.Strand,
+            strandEventName(E.Kind));
+    appendf(Out,
+            ",{\"name\":\"%s\",\"cat\":\"strand\",\"ph\":\"i\",\"s\":\"t\","
+            "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"strand\":%" PRIu64
+            ",\"step\":%d}}",
+            jsonEscape(EName).c_str(), E.Worker,
+            static_cast<double>(E.Ns) / 1e3, E.Strand, E.Step);
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string profileListing(const ProfileData &P, const std::string &Source) {
+  std::string Out;
+  if (!P.Enabled) {
+    Out += "(profile not collected; re-run with --profile)\n";
+    return Out;
+  }
+  uint64_t Totals[NumProfClasses] = {};
+  uint64_t MaxTotal = 0;
+  for (const ProfileLine &L : P.Lines) {
+    for (int C = 0; C < NumProfClasses; ++C)
+      Totals[C] += L.Counts[C];
+    MaxTotal = std::max(MaxTotal, L.total());
+  }
+  Out += "      probes  kern-evals      inside  tensor-ops  line  source\n";
+  auto emitLine = [&](const ProfileLine *L, int Line, const char *Text) {
+    if (L && L->total() > 0) {
+      appendf(Out, "%12" PRIu64 "%12" PRIu64 "%12" PRIu64 "%12" PRIu64,
+              L->Counts[0], L->Counts[1], L->Counts[2], L->Counts[3]);
+      // Flag the hottest lines (within 10% of the peak) for fast scanning.
+      Out += (MaxTotal > 0 && L->total() * 10 >= MaxTotal * 9) ? " *" : "  ";
+    } else {
+      appendf(Out, "%12s%12s%12s%12s  ", "", "", "", "");
+    }
+    appendf(Out, "%4d  ", Line);
+    Out += Text; // appended directly: source lines can exceed appendf's buffer
+    Out += "\n";
+  };
+  if (!Source.empty()) {
+    std::vector<std::string> Lines = splitLines(Source);
+    for (size_t N = 1; N < Lines.size(); ++N)
+      emitLine(P.find(static_cast<int>(N)), static_cast<int>(N),
+               Lines[N].c_str());
+    // Profiled lines past the end of the text (shouldn't happen, but never
+    // drop counts silently).
+    for (const ProfileLine &L : P.Lines)
+      if (L.Line >= static_cast<int>(Lines.size()) && L.total() > 0)
+        emitLine(&L, L.Line, "<line not in source>");
+  } else {
+    for (const ProfileLine &L : P.Lines)
+      if (L.total() > 0)
+        emitLine(&L, L.Line, "");
+  }
+  appendf(Out, "total %6" PRIu64 "%12" PRIu64 "%12" PRIu64 "%12" PRIu64 "\n",
+          Totals[0], Totals[1], Totals[2], Totals[3]);
+  return Out;
+}
+
+std::string profileJson(const ProfileData &P, const std::string &Source) {
+  std::string Out;
+  std::vector<std::string> Lines = splitLines(Source);
+  uint64_t Totals[NumProfClasses] = {};
+  Out += "{";
+  appendf(Out, "\"enabled\":%s,\"lines\":[", P.Enabled ? "true" : "false");
+  bool First = true;
+  for (const ProfileLine &L : P.Lines) {
+    if (L.total() == 0) {
+      bool AnySites = false;
+      for (int C = 0; C < NumProfClasses; ++C)
+        AnySites = AnySites || L.Sites[C] > 0;
+      if (!AnySites)
+        continue;
+    }
+    for (int C = 0; C < NumProfClasses; ++C)
+      Totals[C] += L.Counts[C];
+    if (!First)
+      Out += ",";
+    First = false;
+    appendf(Out, "{\"line\":%d,", L.Line);
+    const char *Text =
+        L.Line > 0 && L.Line < static_cast<int>(Lines.size())
+            ? Lines[static_cast<size_t>(L.Line)].c_str()
+            : "";
+    Out += "\"text\":\"";
+    Out += jsonEscape(Text); // direct append: lines can exceed appendf's buffer
+    Out += "\",";
+    Out += "\"counts\":{";
+    for (int C = 0; C < NumProfClasses; ++C)
+      appendf(Out, "%s\"%s\":%" PRIu64, C ? "," : "",
+              jsonEscape(profClassName(static_cast<ProfClass>(C))).c_str(),
+              L.Counts[C]);
+    Out += "},\"sites\":{";
+    for (int C = 0; C < NumProfClasses; ++C)
+      appendf(Out, "%s\"%s\":%" PRIu64, C ? "," : "",
+              jsonEscape(profClassName(static_cast<ProfClass>(C))).c_str(),
+              L.Sites[C]);
+    Out += "}}";
+  }
+  Out += "],\"totals\":{";
+  for (int C = 0; C < NumProfClasses; ++C)
+    appendf(Out, "%s\"%s\":%" PRIu64, C ? "," : "",
+            jsonEscape(profClassName(static_cast<ProfClass>(C))).c_str(),
+            Totals[C]);
+  Out += "}}";
+  return Out;
+}
+
+std::string lifecycleJson(const RunStats &R) {
+  std::string Out;
+  Out += "{\"events\":[";
+  for (size_t I = 0; I < R.Events.size(); ++I) {
+    const StrandEvent &E = R.Events[I];
+    if (I)
+      Out += ",";
+    appendf(Out,
+            "{\"strand\":%" PRIu64 ",\"step\":%d,\"kind\":\"%s\","
+            "\"worker\":%d,\"ns\":%" PRIu64 "}",
+            E.Strand, E.Step, jsonEscape(strandEventName(E.Kind)).c_str(),
+            E.Worker, E.Ns);
+  }
   Out += "]}";
   return Out;
 }

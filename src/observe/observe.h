@@ -14,7 +14,13 @@
 ///                     BENCH_*.json files;
 ///  * chromeTrace    — Chrome-trace ("trace event format") JSON with one
 ///                     timeline row per worker, loadable in Perfetto or
-///                     chrome://tracing.
+///                     chrome://tracing; strand lifecycle events appear as
+///                     "i" instant events when collected;
+///  * profileListing — annotated source listing with per-line cost counters
+///                     (`diderotc --profile`);
+///  * profileJson    — machine-readable per-line profile, embedding the
+///                     source line text;
+///  * lifecycleJson  — strand start/stabilize/die event log as JSON.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,9 +29,16 @@
 
 #include <string>
 
+#include "observe/profiler.h"
 #include "observe/recorder.h"
 
 namespace diderot::observe {
+
+/// Escape \p S for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \n \t \r
+/// \b \f or \u00XX. Every runtime string routed into the JSON exporters
+/// below must pass through here.
+std::string jsonEscape(const std::string &S);
 
 /// Human-readable per-superstep summary (multi-line, trailing newline).
 /// Shows, per superstep: strands updated / stabilized / died, blocks
@@ -42,6 +55,22 @@ std::string statsJson(const RunStats &R);
 /// superstep) span with counters attached as args. Timestamps in
 /// microseconds relative to run start.
 std::string chromeTrace(const RunStats &R);
+
+/// Annotated source listing: every line of \p Source prefixed with its
+/// per-class cost counters (probes, kernel evals, inside tests, tensor
+/// ops), hottest lines marked. Lines with no profiled sites print blank
+/// counter columns. \p Source may be empty, in which case only lines with
+/// counts are listed by number.
+std::string profileListing(const ProfileData &P, const std::string &Source);
+
+/// Machine-readable profile JSON: {"enabled":..., "lines":[{"line":N,
+/// "text":"...", "counts":{...}, "sites":{...}}, ...]} with per-class
+/// totals. Source line text is embedded (json-escaped) when available.
+std::string profileJson(const ProfileData &P, const std::string &Source);
+
+/// Strand lifecycle event log as JSON: {"events":[{"strand":N,"step":N,
+/// "kind":"start|stabilize|die","worker":N,"ns":N}, ...]}.
+std::string lifecycleJson(const RunStats &R);
 
 } // namespace diderot::observe
 

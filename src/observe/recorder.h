@@ -31,6 +31,7 @@
 #ifndef DIDEROT_OBSERVE_RECORDER_H
 #define DIDEROT_OBSERVE_RECORDER_H
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -65,6 +66,31 @@ struct StepStats {
   uint64_t EndNs = 0;
 };
 
+/// One strand lifecycle transition, recorded only when lifecycle tracing is
+/// armed (Recorder::start with Lifecycle=true). Start fires once per strand
+/// in its first superstep; Stabilize/Die fire on the update that retires it.
+enum class StrandEventKind : int { Start = 0, Stabilize = 1, Die = 2 };
+
+inline const char *strandEventName(StrandEventKind K) {
+  switch (K) {
+  case StrandEventKind::Start:
+    return "start";
+  case StrandEventKind::Stabilize:
+    return "stabilize";
+  case StrandEventKind::Die:
+    return "die";
+  }
+  return "?";
+}
+
+struct StrandEvent {
+  uint64_t Strand = 0;            ///< strand index in the instance
+  int Step = 0;                   ///< superstep the transition happened in
+  StrandEventKind Kind = StrandEventKind::Start;
+  int Worker = 0;                 ///< worker that executed the update
+  uint64_t Ns = 0;                ///< ns since run start
+};
+
 /// Everything a run reports back through rt::ProgramInstance::run. The
 /// cheap fields (Steps, NumWorkers, WallNs) are always filled; the detailed
 /// vectors are populated only when collection was requested (Enabled).
@@ -82,6 +108,9 @@ struct RunStats {
   /// Run-wide totals accumulated through the Recorder's atomic counters —
   /// an independent cross-check of the span sums (Step/Begin/End unused).
   StepStats Totals;
+  /// Strand lifecycle events, sorted by timestamp (empty unless lifecycle
+  /// tracing was requested in addition to stats).
+  std::vector<StrandEvent> Events;
 
   uint64_t totalUpdated() const { return Totals.Updated; }
   uint64_t totalStabilized() const { return Totals.Stabilized; }
@@ -124,9 +153,15 @@ inline void aggregateSupersteps(RunStats &R) {
 class Recorder {
 public:
   /// Reset and arm for a run with \p NumWorkers workers (a sequential run
-  /// passes 0 and gets one timeline row).
-  void start(int NumWorkers) {
+  /// passes 0 and gets one timeline row). With \p Lifecycle set, per-strand
+  /// start/stabilize/die events are recorded too (one event list per worker;
+  /// each worker appends only to its own).
+  void start(int NumWorkers, bool Lifecycle = false) {
     Rows.assign(static_cast<size_t>(NumWorkers < 1 ? 1 : NumWorkers), {});
+    EventRows.clear();
+    if (Lifecycle)
+      EventRows.resize(Rows.size());
+    TraceLifecycle = Lifecycle;
     AUpdated.store(0, std::memory_order_relaxed);
     AStabilized.store(0, std::memory_order_relaxed);
     ADied.store(0, std::memory_order_relaxed);
@@ -142,6 +177,15 @@ public:
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              T0)
             .count());
+  }
+
+  /// Whether strand lifecycle events should be recorded this run.
+  bool lifecycle() const { return TraceLifecycle; }
+
+  /// Worker \p W appends a lifecycle event. Each worker owns its own event
+  /// list, so no synchronization is needed beyond the scheduler barriers.
+  void event(int W, const StrandEvent &E) {
+    EventRows[static_cast<size_t>(W)].push_back(E);
   }
 
   /// Coordinator only, before workers are released into superstep \p Step:
@@ -185,6 +229,14 @@ public:
     R.Totals.BlocksClaimed = ABlocks.load(std::memory_order_relaxed);
     R.Totals.LockAcquires = ALocks.load(std::memory_order_relaxed);
     R.Totals.BarrierWaits = ABarriers.load(std::memory_order_relaxed);
+    for (std::vector<StrandEvent> &Row : EventRows)
+      R.Events.insert(R.Events.end(), Row.begin(), Row.end());
+    EventRows.clear();
+    TraceLifecycle = false;
+    std::sort(R.Events.begin(), R.Events.end(),
+              [](const StrandEvent &A, const StrandEvent &B) {
+                return A.Ns != B.Ns ? A.Ns < B.Ns : A.Strand < B.Strand;
+              });
     aggregateSupersteps(R);
     return R;
   }
@@ -192,7 +244,9 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point T0{};
+  bool TraceLifecycle = false;
   std::vector<std::vector<WorkerSpan>> Rows;
+  std::vector<std::vector<StrandEvent>> EventRows;
   std::atomic<uint64_t> AUpdated{0}, AStabilized{0}, ADied{0};
   std::atomic<uint64_t> ABlocks{0}, ALocks{0}, ABarriers{0};
 };
@@ -281,6 +335,52 @@ inline bool unflattenStats(const uint64_t *Data, size_t N, RunStats &R) {
     }
   }
   aggregateSupersteps(R);
+  return true;
+}
+
+// Strand lifecycle events cross the dlopen boundary (ddr_trace_read) as
+// their own flat array: [0] event count, then records of 5: strand, step,
+// kind, worker, ns.
+
+constexpr size_t EventHeaderWords = 1;
+constexpr size_t EventRecordWords = 5;
+
+inline std::vector<uint64_t> flattenEvents(const RunStats &R) {
+  std::vector<uint64_t> Out;
+  Out.reserve(EventHeaderWords + R.Events.size() * EventRecordWords);
+  Out.push_back(R.Events.size());
+  for (const StrandEvent &E : R.Events) {
+    Out.push_back(E.Strand);
+    Out.push_back(static_cast<uint64_t>(E.Step));
+    Out.push_back(static_cast<uint64_t>(static_cast<int>(E.Kind)));
+    Out.push_back(static_cast<uint64_t>(E.Worker));
+    Out.push_back(E.Ns);
+  }
+  return Out;
+}
+
+/// Inverse of flattenEvents; replaces \p R.Events. Returns false if \p N is
+/// inconsistent with the header or an event kind is out of range.
+inline bool unflattenEvents(const uint64_t *Data, size_t N, RunStats &R) {
+  if (N < EventHeaderWords)
+    return false;
+  size_t Count = static_cast<size_t>(Data[0]);
+  if (N < EventHeaderWords + Count * EventRecordWords)
+    return false;
+  R.Events.clear();
+  R.Events.reserve(Count);
+  const uint64_t *P = Data + EventHeaderWords;
+  for (size_t I = 0; I < Count; ++I, P += EventRecordWords) {
+    if (P[2] > 2)
+      return false;
+    StrandEvent E;
+    E.Strand = P[0];
+    E.Step = static_cast<int>(P[1]);
+    E.Kind = static_cast<StrandEventKind>(static_cast<int>(P[2]));
+    E.Worker = static_cast<int>(P[3]);
+    E.Ns = P[4];
+    R.Events.push_back(E);
+  }
   return true;
 }
 

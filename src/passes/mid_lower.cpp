@@ -57,6 +57,10 @@ private:
   ir::Function &F;
   std::map<ValueId, ConvInfo> Convs;
   std::map<ValueId, ValueId> Replace;
+  /// Source location of the instruction currently being expanded; stamped
+  /// onto everything emit() produces so probe/inside expansions stay
+  /// attributable to their DSL line (the profiler keys on it).
+  SourceLoc CurLoc;
 
   ValueId mapped(ValueId V) const {
     auto It = Replace.find(V);
@@ -66,6 +70,7 @@ private:
   ValueId emit(std::vector<Instr> &Out, Op O, std::vector<ValueId> Operands,
                Type Ty, ir::Attr A = std::monostate{}) {
     Instr I(O);
+    I.Loc = CurLoc;
     I.Operands = std::move(Operands);
     I.A = std::move(A);
     ValueId R = F.newValue(std::move(Ty));
@@ -248,6 +253,7 @@ private:
       // Apply pending replacements to the operands first.
       for (ValueId &V : I.Operands)
         V = mapped(V);
+      CurLoc = I.Loc;
       switch (I.Opcode) {
       case Op::Convolve: {
         const auto &A = std::get<ir::ConvolveAttr>(I.A);

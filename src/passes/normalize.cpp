@@ -104,10 +104,15 @@ private:
   ir::Function &F;
   std::map<ValueId, FE> Fields;
   std::string Error;
+  /// Source location of the instruction currently being rewritten; stamped
+  /// onto everything emit() produces so rematerialized probes stay
+  /// attributable to their DSL line (the profiler keys on it).
+  SourceLoc CurLoc;
 
   ValueId emit(std::vector<Instr> &Out, Op O, std::vector<ValueId> Operands,
                Type Ty, ir::Attr A = std::monostate{}) {
     Instr I(O);
+    I.Loc = CurLoc;
     I.Operands = std::move(Operands);
     I.A = std::move(A);
     ValueId R = F.newValue(std::move(Ty));
@@ -216,6 +221,7 @@ private:
     std::vector<Instr> Out;
     Out.reserve(R.Body.size());
     for (Instr &I : R.Body) {
+      CurLoc = I.Loc;
       switch (I.Opcode) {
       case Op::Convolve: {
         auto Fe = std::make_shared<FieldExpr>();

@@ -81,6 +81,9 @@ private:
   ir::Function &Old;
   ir::Function New;
   std::map<ValueId, std::vector<ValueId>> Map;
+  /// Source location of the Mid instruction currently being scalarized;
+  /// stamped onto everything emit() produces (profiler attribution).
+  SourceLoc CurLoc;
 
   const std::vector<ValueId> &comps(ValueId V) const { return Map.at(V); }
   ValueId one(ValueId V) const {
@@ -92,6 +95,7 @@ private:
   ValueId emit(ir::Region &R, Op O, std::vector<ValueId> Operands, Type Ty,
                ir::Attr A = std::monostate{}) {
     Instr I(O);
+    I.Loc = CurLoc;
     I.Operands = std::move(Operands);
     I.A = std::move(A);
     ValueId V = New.newValue(std::move(Ty));
@@ -134,6 +138,7 @@ private:
 };
 
 Status Scalarize::lowerInstr(Instr &I, ir::Region &R) {
+  CurLoc = I.Loc;
   auto PassThrough = [&]() {
     Instr NI(I.Opcode);
     NI.A = I.A;
@@ -574,6 +579,7 @@ Status Scalarize::lowerInstr(Instr &I, ir::Region &R) {
   //===--- control flow ----------------------------------------------------===//
   case Op::If: {
     Instr NI(Op::If);
+    NI.Loc = I.Loc;
     NI.Operands.push_back(one(I.Operands[0]));
     NI.Regions.resize(2);
     Status S = runRegion(I.Regions[0], NI.Regions[0]);

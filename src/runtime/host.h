@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "image/image.h"
+#include "observe/profiler.h"
 #include "runtime/scheduler.h"
 #include "support/result.h"
 #include "tensor/shape.h"
@@ -42,6 +43,24 @@ struct OutputDesc {
   std::string Name;
   Shape ValShape;     ///< per-strand tensor shape ([] for int outputs too)
   bool IsInt = false; ///< int-typed output
+};
+
+/// Everything run() needs to know: scheduling shape plus which observability
+/// layers to arm. All collection is off by default and costs nothing when
+/// off.
+struct RunConfig {
+  int MaxSupersteps = 1;
+  /// <= 0 selects the sequential scheduler; >= 1 the worker pool.
+  int NumWorkers = 0;
+  int BlockSize = DefaultBlockSize;
+  /// Per-superstep / per-worker telemetry (observe::Recorder).
+  bool CollectStats = false;
+  /// Source-level (line, op-class) counters (observe::Profiler); results are
+  /// read back through ProgramInstance::profile().
+  bool CollectProfile = false;
+  /// Per-strand start/stabilize/die events (implies stats collection; the
+  /// events ride in RunStats::Events).
+  bool CollectLifecycle = false;
 };
 
 /// A running (or runnable) instance of a compiled Diderot program.
@@ -76,13 +95,28 @@ public:
   /// \p BlockSize is the work-list granularity (strands per block).
   ///
   /// The returned RunStats always carries the superstep count (Steps),
-  /// worker count, and wall time; when \p CollectStats is true it also
+  /// worker count, and wall time; when \p C.CollectStats is set it also
   /// carries per-superstep and per-worker telemetry (see observe/recorder.h
-  /// and the exporters in observe/observe.h). Collection is off by default
-  /// and costs nothing when off.
-  virtual Result<RunStats> run(int MaxSupersteps, int NumWorkers,
-                               int BlockSize = DefaultBlockSize,
-                               bool CollectStats = false) = 0;
+  /// and the exporters in observe/observe.h); with \p C.CollectLifecycle,
+  /// per-strand lifecycle events; with \p C.CollectProfile, the source-level
+  /// profile readable through profile() afterwards.
+  virtual Result<RunStats> run(const RunConfig &C) = 0;
+
+  /// Convenience wrapper preserving the pre-RunConfig signature.
+  Result<RunStats> run(int MaxSupersteps, int NumWorkers,
+                       int BlockSize = DefaultBlockSize,
+                       bool CollectStats = false) {
+    RunConfig C;
+    C.MaxSupersteps = MaxSupersteps;
+    C.NumWorkers = NumWorkers;
+    C.BlockSize = BlockSize;
+    C.CollectStats = CollectStats;
+    return run(C);
+  }
+
+  /// Source-level profile of the most recent profiled run (Enabled=false if
+  /// the last run did not collect one, or the engine cannot profile).
+  virtual observe::ProfileData profile() const { return {}; }
 
   // -- Outputs (after run) --------------------------------------------------
   /// Grid dimensions for grid-initialized programs (first iterator is the

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "observe/profiler.h"
 #include "runtime/scheduler.h"
 #include "tensor/eigen_raw.h"
 
@@ -449,35 +450,84 @@ public:
     return true;
   }
 
+  /// Run flags of the ddr_run_flags C ABI entry point. Stats implies the
+  /// PR-1 recorder; Profile selects the instrumented update bodies
+  /// (updateProf / stabilizeStrandProf) so the clean path stays
+  /// zero-overhead; Lifecycle records per-strand start/stabilize/die events
+  /// (and implies stats collection, which carries them).
+  static constexpr int RunStatsFlag = 1;
+  static constexpr int RunProfileFlag = 2;
+  static constexpr int RunLifecycleFlag = 4;
+
+  /// The highest DSL source line the generated profiled code instruments
+  /// (Derived::ProfMaxLine when the emitter provided one).
+  static constexpr int profMaxLine() {
+    if constexpr (requires { Derived::ProfMaxLine; })
+      return Derived::ProfMaxLine;
+    else
+      return 0;
+  }
+
   int run(int MaxSteps, int Workers, int BlockSize, int Collect) {
+    return runFlags(MaxSteps, Workers, BlockSize,
+                    Collect ? RunStatsFlag : 0);
+  }
+
+  int runFlags(int MaxSteps, int Workers, int BlockSize, int Flags) {
     if (!Initialized) {
       Error = "run() before initialize()";
       return -1;
     }
-    auto Update = [this](size_t I) -> StrandStatus {
-      ExitKind K = self().update(Strands[I]);
-      switch (K) {
-      case ExitKind::Continue:
-        return StrandStatus::Active;
-      case ExitKind::Stabilize:
-        self().stabilizeStrand(Strands[I]);
-        return StrandStatus::Stable;
-      case ExitKind::Die:
-        return StrandStatus::Dead;
-      }
-      return StrandStatus::Dead;
-    };
+    const bool Lifecycle = Flags & RunLifecycleFlag;
+    const bool Collect = (Flags & RunStatsFlag) || Lifecycle;
+    const bool Profile = Flags & RunProfileFlag;
+    if (Profile)
+      Prof.start(Workers <= 0 ? 1 : Workers, profMaxLine());
     observe::Recorder Rec;
     observe::Recorder *R = Collect ? &Rec : nullptr;
-    Rec.start(Workers <= 0 ? 0 : Workers);
-    int Steps =
-        Workers <= 0
-            ? rt::runSequential(Status, Update, MaxSteps, R)
-            : rt::runParallel(Status, Update, MaxSteps, Workers, BlockSize, R);
+    Rec.start(Workers <= 0 ? 0 : Workers, Lifecycle);
+    int Steps;
+    if (Profile) {
+      auto Update = [this](size_t I, int W) -> StrandStatus {
+        uint64_t *P = Prof.shard(W);
+        ExitKind K = self().updateProf(Strands[I], P);
+        switch (K) {
+        case ExitKind::Continue:
+          return StrandStatus::Active;
+        case ExitKind::Stabilize:
+          self().stabilizeStrandProf(Strands[I], P);
+          return StrandStatus::Stable;
+        case ExitKind::Die:
+          return StrandStatus::Dead;
+        }
+        return StrandStatus::Dead;
+      };
+      Steps = Workers <= 0 ? rt::runSequential(Status, Update, MaxSteps, R)
+                           : rt::runParallel(Status, Update, MaxSteps, Workers,
+                                             BlockSize, R);
+    } else {
+      auto Update = [this](size_t I) -> StrandStatus {
+        ExitKind K = self().update(Strands[I]);
+        switch (K) {
+        case ExitKind::Continue:
+          return StrandStatus::Active;
+        case ExitKind::Stabilize:
+          self().stabilizeStrand(Strands[I]);
+          return StrandStatus::Stable;
+        case ExitKind::Die:
+          return StrandStatus::Dead;
+        }
+        return StrandStatus::Dead;
+      };
+      Steps = Workers <= 0 ? rt::runSequential(Status, Update, MaxSteps, R)
+                           : rt::runParallel(Status, Update, MaxSteps, Workers,
+                                             BlockSize, R);
+    }
     if (Collect)
       Stats = Rec.take(Steps, Workers <= 0 ? 0 : Workers);
     else
       Stats = observe::RunStats();
+    ProfData = Profile ? Prof.take() : observe::ProfileData();
     return Steps;
   }
 
@@ -486,13 +536,20 @@ public:
   /// required word count; otherwise writes at most \p Cap words and returns
   /// the number written.
   int64_t readStats(uint64_t *Out, int64_t Cap) const {
-    std::vector<uint64_t> Flat = observe::flattenStats(Stats);
-    if (!Out)
-      return static_cast<int64_t>(Flat.size());
-    int64_t N = std::min<int64_t>(Cap, static_cast<int64_t>(Flat.size()));
-    for (int64_t I = 0; I < N; ++I)
-      Out[I] = Flat[static_cast<size_t>(I)];
-    return N;
+    return copyFlat(observe::flattenStats(Stats), Out, Cap);
+  }
+
+  /// Flatten the source-level profile counters of the last profiled run
+  /// (observe::flattenProfile layout; same null/size protocol as readStats).
+  int64_t readProf(uint64_t *Out, int64_t Cap) const {
+    return copyFlat(observe::flattenProfile(ProfData, /*Sites=*/false), Out,
+                    Cap);
+  }
+
+  /// Flatten the strand lifecycle events of the last collected run
+  /// (observe::flattenEvents layout; same null/size protocol as readStats).
+  int64_t readEvents(uint64_t *Out, int64_t Cap) const {
+    return copyFlat(observe::flattenEvents(Stats), Out, Cap);
   }
 
   int outputDims(int64_t *Dims, int MaxD) const {
@@ -558,12 +615,33 @@ public:
   /// Default stabilize hook (overridden when the strand has one).
   void stabilizeStrand(StrandT &) {}
 
+  /// Default profiled bodies: fall back to the clean ones. The emitter
+  /// overrides both with instrumented copies when profiling support is
+  /// compiled in, so old generated code keeps loading (ddr_run_flags simply
+  /// yields empty profiles).
+  ExitKind updateProf(StrandT &S, uint64_t *) { return self().update(S); }
+  void stabilizeStrandProf(StrandT &S, uint64_t *) {
+    self().stabilizeStrand(S);
+  }
+
 protected:
+  static int64_t copyFlat(const std::vector<uint64_t> &Flat, uint64_t *Out,
+                          int64_t Cap) {
+    if (!Out)
+      return static_cast<int64_t>(Flat.size());
+    int64_t N = std::min<int64_t>(Cap, static_cast<int64_t>(Flat.size()));
+    for (int64_t I = 0; I < N; ++I)
+      Out[I] = Flat[static_cast<size_t>(I)];
+    return N;
+  }
+
   std::map<int, bool> InputSet;
   std::vector<StrandT> Strands;
   std::vector<StrandStatus> Status;
   std::vector<int64_t> GridDims;
   observe::RunStats Stats; ///< telemetry of the last collected run
+  observe::Profiler Prof;
+  observe::ProfileData ProfData; ///< profile of the last profiled run
   bool Initialized = false;
 };
 

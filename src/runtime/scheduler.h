@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "observe/recorder.h"
@@ -53,6 +54,20 @@ enum class StrandStatus : uint8_t {
 /// The paper's work-list granularity.
 constexpr int DefaultBlockSize = 4096;
 
+namespace detail {
+/// Update callables come in two shapes: the classic Update(strandIndex) and
+/// the worker-aware Update(strandIndex, workerId) used by profiled runs
+/// (the worker id selects the profiler shard). Dispatch on invocability so
+/// existing call sites keep compiling unchanged.
+template <typename UpdateFn>
+inline StrandStatus callUpdate(UpdateFn &Update, size_t I, int W) {
+  if constexpr (std::is_invocable_v<UpdateFn &, size_t, int>)
+    return Update(I, W);
+  else
+    return Update(I);
+}
+} // namespace detail
+
 /// Run supersteps sequentially until no strand is active or \p MaxSteps is
 /// reached. \p Update is invoked as Update(strandIndex) and returns the
 /// strand's new status. Returns the number of supersteps executed.
@@ -66,6 +81,7 @@ int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
                   int MaxSteps, observe::Recorder *Rec = nullptr) {
   int Steps = 0;
   size_t N = Status.size();
+  const bool Trace = Rec && Rec->lifecycle();
   while (Steps < MaxSteps) {
     observe::WorkerSpan Span;
     if (Rec)
@@ -75,11 +91,20 @@ int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
       if (Status[I] != StrandStatus::Active)
         continue;
       Any = true;
-      StrandStatus S = Update(I);
+      if (Trace && Steps == 0)
+        Rec->event(0, {static_cast<uint64_t>(I), Steps,
+                       observe::StrandEventKind::Start, 0, Rec->nowNs()});
+      StrandStatus S = detail::callUpdate(Update, I, 0);
       Status[I] = S;
       ++Span.Updated;
       Span.Stabilized += S == StrandStatus::Stable;
       Span.Died += S == StrandStatus::Dead;
+      if (Trace && S != StrandStatus::Active)
+        Rec->event(0, {static_cast<uint64_t>(I), Steps,
+                       S == StrandStatus::Stable
+                           ? observe::StrandEventKind::Stabilize
+                           : observe::StrandEventKind::Die,
+                       0, Rec->nowNs()});
     }
     if (!Any)
       break;
@@ -129,7 +154,11 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
   // coordinator waits for all updates to finish.
   std::barrier Sync(NumWorkers + 1);
 
+  const bool Trace = Rec && Rec->lifecycle();
   auto Worker = [&](int W) {
+    // Workers learn the superstep number by counting barrier iterations;
+    // the coordinator's Steps counter advances in lock-step with them.
+    int StepNo = 0;
     for (;;) {
       Sync.arrive_and_wait(); // work-list published
       if (Done)
@@ -153,13 +182,23 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
         for (size_t I = Lo; I < Hi; ++I) {
           if (Status[I] != StrandStatus::Active)
             continue;
-          StrandStatus S = Update(I);
+          if (Trace && StepNo == 0)
+            Rec->event(W, {static_cast<uint64_t>(I), StepNo,
+                           observe::StrandEventKind::Start, W, Rec->nowNs()});
+          StrandStatus S = detail::callUpdate(Update, I, W);
           Status[I] = S;
           ++Span.Updated;
           Span.Stabilized += S == StrandStatus::Stable;
           Span.Died += S == StrandStatus::Dead;
+          if (Trace && S != StrandStatus::Active)
+            Rec->event(W, {static_cast<uint64_t>(I), StepNo,
+                           S == StrandStatus::Stable
+                               ? observe::StrandEventKind::Stabilize
+                               : observe::StrandEventKind::Die,
+                           W, Rec->nowNs()});
         }
       }
+      ++StepNo;
       if (Rec) {
         Span.EndNs = Rec->nowNs();
         Span.BarrierWaits = 2; // this superstep's two rendezvous
