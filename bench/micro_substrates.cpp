@@ -10,10 +10,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <atomic>
+
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
 #include "kernels/kernel.h"
+#include "runtime/scheduler.h"
 #include "synth/synth.h"
 #include "teem/probe.h"
 #include "tensor/eigen.h"
@@ -164,6 +167,45 @@ void BM_ImageSampleClamped(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ImageSampleClamped);
+
+//===--- scheduler default path ------------------------------------------------===//
+
+// The fault-tolerant runtime (RunPolicy / trap boundaries) must not tax
+// unpolicied runs: these time the schedulers' default path (no RunControl),
+// which the bench_diff CI gate holds to within 10% wall time.
+
+void BM_SchedulerSequential(benchmark::State &State) {
+  std::vector<int> Count(4096);
+  for (auto _ : State) {
+    std::vector<rt::StrandStatus> S(Count.size(), rt::StrandStatus::Active);
+    std::fill(Count.begin(), Count.end(), 0);
+    int Steps = rt::runSequential(
+        S,
+        [&](size_t I) {
+          return ++Count[I] >= 4 ? rt::StrandStatus::Stable
+                                 : rt::StrandStatus::Active;
+        },
+        100);
+    benchmark::DoNotOptimize(Steps);
+  }
+}
+BENCHMARK(BM_SchedulerSequential);
+
+void BM_SchedulerParallel(benchmark::State &State) {
+  for (auto _ : State) {
+    std::vector<rt::StrandStatus> S(16384, rt::StrandStatus::Active);
+    std::vector<std::atomic<int>> Count(S.size());
+    int Steps = rt::runParallel(
+        S,
+        [&](size_t I) {
+          return ++Count[I] >= 2 ? rt::StrandStatus::Stable
+                                 : rt::StrandStatus::Active;
+        },
+        100, 4, 1024);
+    benchmark::DoNotOptimize(Steps);
+  }
+}
+BENCHMARK(BM_SchedulerParallel);
 
 //===--- BENCH json capture ----------------------------------------------------===//
 

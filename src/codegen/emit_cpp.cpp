@@ -579,7 +579,7 @@ void ModuleEmitter::emitHeader(std::ostringstream &OS) {
   // The ABI tag participates in the shared-object cache key (native_load
   // hashes the generated source), so bumping it invalidates .so files built
   // against an older prelude/C API.
-  OS << "// Do not edit; regenerate with diderotc. runtime ABI v3\n\n";
+  OS << "// Do not edit; regenerate with diderotc. runtime ABI v4\n\n";
   OS << "#include <algorithm>\n#include <cmath>\n#include <cstdint>\n";
   OS << "#include \"runtime/native_prelude.h\"\n\n";
   OS << "namespace {\n\n";
@@ -971,6 +971,26 @@ void ModuleEmitter::emitProgClass(std::ostringstream &OS) {
   else
     OS << "  void stabilizeStrandProf(Strand &, uint64_t *) {}\n";
 
+  // strandFinite: the strict-fp trap boundary's predicate, checking every
+  // Real-typed strand slot (runtime ABI v4).
+  {
+    std::vector<int> RealSlots;
+    for (size_t I = 0; I < SlotTypes.size(); ++I)
+      if (SlotTypes[I].isTensor())
+        RealSlots.push_back(static_cast<int>(I));
+    if (RealSlots.empty()) {
+      OS << "  bool strandFinite(const Strand &) const { return true; }\n";
+    } else {
+      OS << "  bool strandFinite(const Strand &S) const {\n    return ";
+      for (size_t K = 0; K < RealSlots.size(); ++K) {
+        if (K)
+          OS << " &&\n           ";
+        OS << "std::isfinite((double)S." << slotName(RealSlots[K]) << ")";
+      }
+      OS << ";\n  }\n";
+    }
+  }
+
   // outputComp
   OS << "  double outputComp(const Strand &S, int Out, int Comp) const {\n"
         "    switch (Out) {\n";
@@ -1028,6 +1048,26 @@ int ddr_run_stats(void *P, int MaxSteps, int Workers, int BlockSize) {
 int ddr_run_flags(void *P, int MaxSteps, int Workers, int BlockSize,
                   int Flags) {
   return static_cast<Prog *>(P)->runFlags(MaxSteps, Workers, BlockSize, Flags);
+}
+int ddr_run_policy(void *P, int MaxSteps, int Workers, int BlockSize,
+                   int Flags, int64_t DeadlineNs, int64_t MaxFaults,
+                   int WatchdogSteps, int StrictFp) {
+  return static_cast<Prog *>(P)->runPolicy(MaxSteps, Workers, BlockSize,
+                                           Flags, DeadlineNs, MaxFaults,
+                                           WatchdogSteps, StrictFp);
+}
+int ddr_set_fault_plan(void *P, const uint64_t *Data, int64_t N) {
+  return static_cast<Prog *>(P)->setFaultPlan(Data, N) ? 0 : 1;
+}
+int ddr_outcome(void *P) { return static_cast<Prog *>(P)->lastOutcome(); }
+int64_t ddr_faults_read(void *P, uint64_t *Out, int64_t Cap) {
+  return static_cast<Prog *>(P)->readFaults(Out, Cap);
+}
+const char *ddr_fault_msg(void *P, int64_t I) {
+  return static_cast<Prog *>(P)->faultMsg(I);
+}
+int64_t ddr_num_faulted(void *P) {
+  return (int64_t)static_cast<Prog *>(P)->numFaulted();
 }
 int64_t ddr_stats_read(void *P, uint64_t *Out, int64_t Cap) {
   return static_cast<Prog *>(P)->readStats(Out, Cap);

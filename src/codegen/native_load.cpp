@@ -54,6 +54,16 @@ struct CApi {
   int64_t (*ProfRead)(void *, uint64_t *, int64_t);
   int64_t (*ProfMap)(void *, uint64_t *, int64_t);
   int64_t (*TraceRead)(void *, uint64_t *, int64_t);
+  /// v4 protocol — the fault-containment layer (all null in older .so
+  /// files). Unlike the v3 readers these do NOT degrade silently when a
+  /// policy is requested: silently ignoring a deadline or fault budget
+  /// would be unsafe, so run() reports an explicit error instead.
+  int (*RunPolicy)(void *, int, int, int, int, int64_t, int64_t, int, int);
+  int (*SetFaultPlan)(void *, const uint64_t *, int64_t);
+  int (*Outcome)(void *);
+  int64_t (*FaultsRead)(void *, uint64_t *, int64_t);
+  const char *(*FaultMsg)(void *, int64_t);
+  int64_t (*NumFaulted)(void *);
   int (*OutputDims)(void *, int64_t *, int);
   int64_t (*GetOutput)(void *, const char *, double *, int64_t);
   int64_t (*NumStrands)(void *);
@@ -179,6 +189,20 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
   Lib.Api.TraceRead =
       reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
           Sym("ddr_trace_read"));
+  Lib.Api.RunPolicy = reinterpret_cast<int (*)(void *, int, int, int, int,
+                                               int64_t, int64_t, int, int)>(
+      Sym("ddr_run_policy"));
+  Lib.Api.SetFaultPlan =
+      reinterpret_cast<int (*)(void *, const uint64_t *, int64_t)>(
+          Sym("ddr_set_fault_plan"));
+  Lib.Api.Outcome = reinterpret_cast<int (*)(void *)>(Sym("ddr_outcome"));
+  Lib.Api.FaultsRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_faults_read"));
+  Lib.Api.FaultMsg = reinterpret_cast<const char *(*)(void *, int64_t)>(
+      Sym("ddr_fault_msg"));
+  Lib.Api.NumFaulted =
+      reinterpret_cast<int64_t (*)(void *)>(Sym("ddr_num_faulted"));
   Lib.Api.OutputDims = reinterpret_cast<int (*)(void *, int64_t *, int)>(
       Sym("ddr_output_dims"));
   Lib.Api.GetOutput =
@@ -272,10 +296,25 @@ public:
     bool WantProf = C.CollectProfile && Api->RunFlags && Api->ProfRead;
     bool WantTrace = C.CollectLifecycle && Api->RunFlags && Api->TraceRead;
     bool Collect = WantStats && (Api->RunStats || Api->RunFlags);
+    // A run policy must not degrade silently — ignoring a deadline or a
+    // fault budget is unsafe — so a pre-v4 .so is an explicit error.
+    const bool Policied = C.Policy.active();
+    if (Policied && (!Api->RunPolicy || !Api->SetFaultPlan))
+      return RS::error("generated library does not support run policies "
+                       "(pre-v4 runtime ABI); regenerate the program");
     auto T0 = std::chrono::steady_clock::now();
     int Steps;
-    if (Api->RunFlags && (Collect || WantProf || WantTrace)) {
-      int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0);
+    int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0);
+    if (Policied) {
+      std::vector<uint64_t> Plan = observe::flattenPlan(C.Policy.Plan);
+      if (Api->SetFaultPlan(Prog, Plan.data(),
+                            static_cast<int64_t>(Plan.size())) != 0)
+        return RS::error(Api->Error(Prog));
+      Steps = Api->RunPolicy(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize,
+                             Flags, C.Policy.DeadlineNs, C.Policy.MaxFaults,
+                             C.Policy.WatchdogSteps,
+                             C.Policy.StrictFp ? 1 : 0);
+    } else if (Api->RunFlags && (Collect || WantProf || WantTrace)) {
       Steps = Api->RunFlags(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize,
                             Flags);
     } else if (Collect) {
@@ -309,6 +348,9 @@ public:
           return RS::error("generated library returned malformed trace");
       }
       Stats.Steps = Steps;
+      Status V = attachVerdict(Stats);
+      if (!V.isOk())
+        return RS::error(V.message());
       return Stats;
     }
     Stats.Steps = Steps;
@@ -317,6 +359,9 @@ public:
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - T0)
             .count());
+    Status V = attachVerdict(Stats);
+    if (!V.isOk())
+      return RS::error(V.message());
     return Stats;
   }
 
@@ -363,8 +408,35 @@ public:
   size_t numDead() const override {
     return static_cast<size_t>(Api->NumDead(Prog));
   }
+  size_t numFaulted() const override {
+    return Api->NumFaulted ? static_cast<size_t>(Api->NumFaulted(Prog)) : 0;
+  }
 
 private:
+  /// Read the run's verdict and fault records back out of the .so. A pre-v4
+  /// library has no ddr_outcome; derive Converged/StepLimit from the
+  /// retirement counts (faults cannot exist there — policied runs were
+  /// rejected above).
+  Status attachVerdict(rt::RunStats &Stats) const {
+    if (Api->Outcome) {
+      Stats.Outcome = static_cast<rt::RunOutcome>(Api->Outcome(Prog));
+    } else {
+      Stats.Outcome = numStable() + numDead() == numStrands()
+                          ? rt::RunOutcome::Converged
+                          : rt::RunOutcome::StepLimit;
+    }
+    if (Api->FaultsRead) {
+      std::vector<uint64_t> Flat = readFlat(Api->FaultsRead);
+      if (!observe::unflattenFaults(Flat.data(), Flat.size(), Stats.Faults))
+        return Status::error("generated library returned malformed faults");
+      if (Api->FaultMsg)
+        for (size_t I = 0; I < Stats.Faults.size(); ++I)
+          if (const char *Msg = Api->FaultMsg(Prog, static_cast<int64_t>(I)))
+            Stats.Faults[I].Message = Msg;
+    }
+    return Status::ok();
+  }
+
   Status check(int RC) {
     if (RC == 0)
       return Status::ok();

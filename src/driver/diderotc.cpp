@@ -51,6 +51,14 @@ options:
                            appear in --trace-out as instant events)
   --events-out FILE.json   write the strand lifecycle event log as JSON
   --time-passes            print per-compiler-pass wall time and IR sizes
+  --deadline-ms N          stop the run after N ms of wall-clock time
+  --max-faults N           tolerate at most N trapped strand faults
+                           (0 stops on the first fault)
+  --watchdog N             stop after N supersteps with no strand retiring
+                           (convergence watchdog; outcome "diverged")
+  --strict-fp              trap strands whose state becomes non-finite
+  --strict                 exit nonzero when the run outcome is not
+                           "converged"
   --quiet                  suppress statistics
 )");
 }
@@ -115,7 +123,9 @@ int main(int Argc, char **Argv) {
   std::vector<std::pair<std::string, std::string>> Inputs;
   bool EmitCpp = false, EmitIr = false, Quiet = false, Stats = false;
   bool Profile = false, TraceStrands = false, TimePasses = false;
-  int Workers = 1, MaxSteps = 10000;
+  bool StrictFp = false, Strict = false;
+  int Workers = 1, MaxSteps = 10000, Watchdog = 0;
+  long long DeadlineMs = 0, MaxFaults = -1;
   std::string OutFile, PrintOutput, StatsOut, TraceOut, ProfileOut, EventsOut;
 
   for (int A = 1; A < Argc; ++A) {
@@ -179,6 +189,16 @@ int main(int Argc, char **Argv) {
       EventsOut = Arg.substr(13);
     } else if (Arg == "--time-passes") {
       TimePasses = true;
+    } else if (Arg == "--deadline-ms" && A + 1 < Argc) {
+      DeadlineMs = std::atoll(Argv[++A]);
+    } else if (Arg == "--max-faults" && A + 1 < Argc) {
+      MaxFaults = std::atoll(Argv[++A]);
+    } else if (Arg == "--watchdog" && A + 1 < Argc) {
+      Watchdog = std::atoi(Argv[++A]);
+    } else if (Arg == "--strict-fp") {
+      StrictFp = true;
+    } else if (Arg == "--strict") {
+      Strict = true;
     } else if (!Arg.empty() && Arg[0] != '-') {
       File = Arg;
     } else {
@@ -276,15 +296,33 @@ int main(int Argc, char **Argv) {
   RC.CollectStats = Stats || !StatsOut.empty() || !TraceOut.empty();
   RC.CollectProfile = Profile || !ProfileOut.empty();
   RC.CollectLifecycle = TraceStrands || !EventsOut.empty();
+  RC.Policy.DeadlineNs = DeadlineMs * 1000000;
+  RC.Policy.MaxFaults = MaxFaults;
+  RC.Policy.WatchdogSteps = Watchdog;
+  RC.Policy.StrictFp = StrictFp;
   Result<rt::RunStats> Run = I.run(RC);
   if (!Run.isOk()) {
     std::fprintf(stderr, "error: %s\n", Run.message().c_str());
     return 1;
   }
-  if (!Quiet)
+  if (!Quiet) {
     std::fprintf(stderr,
                  "ran %d supersteps: %zu strands, %zu stable, %zu dead\n",
                  Run->Steps, I.numStrands(), I.numStable(), I.numDead());
+    for (const observe::StrandFault &F : Run->Faults)
+      std::fprintf(stderr, "fault: strand %llu step %d worker %d (%s): %s\n",
+                   static_cast<unsigned long long>(F.Strand), F.Step,
+                   F.Worker, observe::faultKindName(F.Kind),
+                   F.Message.c_str());
+  }
+  // A run that stopped short of convergence — step-limit exhaustion,
+  // deadline, divergence, fault budget — must never pass silently.
+  if (Run->Outcome != observe::RunOutcome::Converged)
+    std::fprintf(stderr,
+                 "warning: run did not converge: outcome %s after %d "
+                 "supersteps (%zu fault(s))\n",
+                 observe::runOutcomeName(Run->Outcome), Run->Steps,
+                 Run->Faults.size());
   if (Stats)
     std::fputs(observe::formatSummary(*Run).c_str(), stderr);
   auto WriteText = [](const std::string &Path, const std::string &Text) {
@@ -374,5 +412,7 @@ int main(int Argc, char **Argv) {
     for (double V : Data)
       std::printf("%.9g\n", V);
   }
+  if (Strict && Run->Outcome != observe::RunOutcome::Converged)
+    return 3;
   return 0;
 }

@@ -626,6 +626,12 @@ public:
       N += S == rt::StrandStatus::Dead;
     return N;
   }
+  size_t numFaulted() const override {
+    size_t N = 0;
+    for (rt::StrandStatus S : StatusVec)
+      N += S == rt::StrandStatus::Faulted;
+    return N;
+  }
 
 private:
   template <typename Pred>
@@ -760,20 +766,43 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
     Prof.start(NumWorkers <= 0 ? 1 : NumWorkers, ir::maxSourceLine(M));
   const bool Profiling = Prof.enabled();
 
+  // Fault containment: with an active policy, evaluator runtime errors
+  // (division by zero, out-of-range index, ...) and non-finite state are
+  // trapped into StrandFault records; without one, the legacy first-error
+  // path fails the whole run as before.
+  rt::RunControl Ctl(C.Policy);
+  rt::RunControl *CtlP = C.Policy.active() ? &Ctl : nullptr;
+  const bool StrictFp = C.Policy.StrictFp;
+  auto stateFinite = [](const std::vector<RtVal> &State) {
+    for (const RtVal &V : State)
+      if (const Tensor *T = std::get_if<Tensor>(&V))
+        for (int K = 0; K < T->numComponents(); ++K)
+          if (!std::isfinite((*T)[K]))
+            return false;
+    return true;
+  };
+
   auto Update = [&](size_t Idx, int W) -> rt::StrandStatus {
     uint64_t *Shard = Profiling ? Prof.shard(W) : nullptr;
     Evaluator E(M.Update, GlobalStore, Shard, Prof.maxLine());
     Result<CallResult> R = E.call(States[Idx]);
     if (!R.isOk()) {
+      if (CtlP) {
+        CtlP->recordFault(W, static_cast<uint64_t>(Idx),
+                          rt::FaultKind::Exception, R.message());
+        return rt::StrandStatus::Faulted;
+      }
       std::lock_guard<std::mutex> G(ErrLock);
       if (FirstError.empty())
         FirstError = R.message();
       return rt::StrandStatus::Dead;
     }
     States[Idx] = std::move(R->Results);
+    rt::StrandStatus Ret = rt::StrandStatus::Dead;
     switch (R->Kind) {
     case ir::ExitAttr::Continue:
-      return rt::StrandStatus::Active;
+      Ret = rt::StrandStatus::Active;
+      break;
     case ir::ExitAttr::Stabilize: {
       if (M.hasStabilize()) {
         Evaluator SE(M.Stabilize, GlobalStore, Shard, Prof.maxLine());
@@ -781,20 +810,30 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
         if (SR.isOk())
           States[Idx] = std::move(SR->Results);
       }
-      return rt::StrandStatus::Stable;
+      Ret = rt::StrandStatus::Stable;
+      break;
     }
     case ir::ExitAttr::Die:
-      return rt::StrandStatus::Dead;
+      Ret = rt::StrandStatus::Dead;
+      break;
     }
-    return rt::StrandStatus::Dead;
+    if (StrictFp && Ret != rt::StrandStatus::Dead &&
+        !stateFinite(States[Idx])) {
+      CtlP->recordFault(W, static_cast<uint64_t>(Idx),
+                        rt::FaultKind::NonFinite,
+                        "strand state is not finite");
+      return rt::StrandStatus::Faulted;
+    }
+    return Ret;
   };
   observe::Recorder Rec;
   observe::Recorder *R = CollectStats ? &Rec : nullptr;
   Rec.start(NumWorkers <= 0 ? 0 : NumWorkers, C.CollectLifecycle);
   int Steps = NumWorkers <= 0
-                  ? rt::runSequential(StatusVec, Update, MaxSupersteps, R)
+                  ? rt::runSequential(StatusVec, Update, MaxSupersteps, R,
+                                      CtlP)
                   : rt::runParallel(StatusVec, Update, MaxSupersteps,
-                                    NumWorkers, C.BlockSize, R);
+                                    NumWorkers, C.BlockSize, R, CtlP);
   if (!FirstError.empty())
     return Result<rt::RunStats>::error(FirstError);
   if (Profiling) {
@@ -810,6 +849,19 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
     Stats.Steps = Steps;
     Stats.NumWorkers = NumWorkers <= 0 ? 0 : NumWorkers;
     Stats.WallNs = Rec.nowNs();
+  }
+  bool Quiesced = true;
+  for (rt::StrandStatus S : StatusVec)
+    if (S == rt::StrandStatus::Active) {
+      Quiesced = false;
+      break;
+    }
+  if (CtlP) {
+    Stats.Outcome = Ctl.finish(Quiesced);
+    Stats.Faults = Ctl.takeFaults();
+  } else {
+    Stats.Outcome = Quiesced ? rt::RunOutcome::Converged
+                             : rt::RunOutcome::StepLimit;
   }
   return Stats;
 }
@@ -829,7 +881,8 @@ Status InterpInstance::getOutput(const std::string &Name,
   Data.clear();
   for (size_t S = 0; S < States.size(); ++S) {
     if (M.IsGrid) {
-      if (StatusVec[S] == rt::StrandStatus::Dead) {
+      if (StatusVec[S] == rt::StrandStatus::Dead ||
+          StatusVec[S] == rt::StrandStatus::Faulted) {
         for (int K = 0; K < NComp; ++K)
           Data.push_back(0.0);
         continue;

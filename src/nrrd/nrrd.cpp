@@ -3,7 +3,9 @@
 #include "nrrd/nrrd.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -84,6 +86,48 @@ bool parseTypeName(const std::string &S, NrrdType &T) {
     return true;
   }
   return false;
+}
+
+/// Axis-count cap for parsed files. NRRD itself allows 16; anything larger
+/// in the wild is a malformed or hostile header.
+constexpr size_t MaxNrrdAxes = 16;
+
+/// Parse a decimal integer with full-token validation (no std::stoi, which
+/// throws on garbage). Returns false on trailing junk or out-of-range.
+bool parseBoundedInt(const std::string &S, long Lo, long Hi, int &Out) {
+  std::string T = trimString(S);
+  if (T.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long V = std::strtol(T.c_str(), &End, 10);
+  if (errno == ERANGE || End != T.c_str() + T.size() || V < Lo || V > Hi)
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
+/// Compute the byte count implied by Sizes and Type, rejecting non-positive
+/// axis sizes and any overflow of elements or elements*typeSize. Runs before
+/// any allocation so a hostile header cannot trigger a huge or wrapped-size
+/// buffer.
+Status checkedByteCount(const std::vector<int> &Sizes, NrrdType Type,
+                        size_t &Elems, size_t &Bytes) {
+  if (Sizes.empty())
+    return Status::error("NRRD header missing sizes");
+  if (Sizes.size() > MaxNrrdAxes)
+    return Status::error(
+        strf("NRRD dimension ", Sizes.size(), " exceeds limit ", MaxNrrdAxes));
+  Elems = 1;
+  for (int S : Sizes) {
+    if (S < 1)
+      return Status::error(strf("bad NRRD axis size ", S));
+    if (__builtin_mul_overflow(Elems, static_cast<size_t>(S), &Elems))
+      return Status::error("NRRD sample count overflows size_t");
+  }
+  if (__builtin_mul_overflow(Elems, nrrdTypeSize(Type), &Bytes))
+    return Status::error("NRRD byte count overflows size_t");
+  return Status::ok();
 }
 
 /// Parse a vector literal like "(1.0,0.0,0.0)"; "none" yields empty.
@@ -220,6 +264,7 @@ Result<Nrrd> nrrdParse(const std::string &Contents) {
     return RN::error("missing NRRD magic");
 
   Nrrd N;
+  int DeclaredDim = -1;
   std::string Encoding = "raw";
   std::string Endian = "little";
   size_t LineStart = Pos + 1;
@@ -251,19 +296,29 @@ Result<Nrrd> nrrdParse(const std::string &Contents) {
       if (!parseTypeName(Value, N.Type))
         return RN::error(strf("unsupported NRRD type '", Value, "'"));
     } else if (Key == "dimension") {
-      // Sizes line does the real work; just sanity-check later.
+      if (!parseBoundedInt(Value, 1, static_cast<long>(MaxNrrdAxes),
+                           DeclaredDim))
+        return RN::error(strf("bad NRRD dimension '", Value, "'"));
     } else if (Key == "sizes") {
       N.Sizes.clear();
       std::istringstream VS(Value);
       int S;
-      while (VS >> S)
+      while (VS >> S) {
+        if (N.Sizes.size() >= MaxNrrdAxes)
+          return RN::error(
+              strf("NRRD sizes line has more than ", MaxNrrdAxes, " axes"));
         N.Sizes.push_back(S);
+      }
+      if (!VS.eof())
+        return RN::error(strf("bad NRRD sizes line '", Value, "'"));
     } else if (Key == "encoding") {
       Encoding = Value;
     } else if (Key == "endian") {
       Endian = Value;
     } else if (Key == "space dimension") {
-      N.SpaceDim = std::stoi(Value);
+      if (!parseBoundedInt(Value, 0, static_cast<long>(MaxNrrdAxes),
+                           N.SpaceDim))
+        return RN::error(strf("bad NRRD space dimension '", Value, "'"));
     } else if (Key == "space") {
       // Named spaces: count the words separated by '-' (e.g. left-posterior-
       // superior is 3-D).
@@ -291,22 +346,38 @@ Result<Nrrd> nrrdParse(const std::string &Contents) {
   }
   if (N.Sizes.empty())
     return RN::error("NRRD header missing sizes");
+  if (DeclaredDim >= 0 && DeclaredDim != N.dimension())
+    return RN::error(strf("NRRD dimension ", DeclaredDim, " does not match ",
+                          N.dimension(), " axis sizes"));
   if (DataStart == std::string::npos)
     return RN::error("NRRD header not terminated by blank line");
   if (Encoding == "raw" && Endian != "little")
     return RN::error("only little-endian raw NRRD data is supported");
 
-  size_t Expected = N.expectedByteCount();
+  // All size arithmetic is checked before any buffer is allocated.
+  size_t Elems = 0, Expected = 0;
+  if (Status SZ = checkedByteCount(N.Sizes, N.Type, Elems, Expected);
+      !SZ.isOk())
+    return RN::error(SZ.message());
+  size_t Remaining = Contents.size() - DataStart;
   if (Encoding == "raw") {
-    if (Contents.size() - DataStart < Expected)
+    if (Remaining < Expected)
       return RN::error(strf("NRRD data truncated: expected ", Expected,
-                            " bytes, found ", Contents.size() - DataStart));
+                            " bytes, found ", Remaining));
     N.Data.assign(Contents.begin() + static_cast<long>(DataStart),
                   Contents.begin() + static_cast<long>(DataStart + Expected));
   } else if (Encoding == "ascii" || Encoding == "text" || Encoding == "txt") {
+    // Each ascii sample needs at least one digit plus a separator, so a
+    // payload of R bytes can hold at most (R+1)/2 samples. Reject before
+    // allocating so a tiny file with huge declared sizes cannot reserve
+    // gigabytes only to fail during the read loop.
+    if (Elems > Remaining / 2 + 1)
+      return RN::error(strf("NRRD ascii data truncated: ", Elems,
+                            " samples declared, ", Remaining,
+                            " bytes of text"));
     N.allocate();
     std::istringstream DS(Contents.substr(DataStart));
-    for (size_t I = 0; I < N.numSamples(); ++I) {
+    for (size_t I = 0; I < Elems; ++I) {
       double V;
       if (!(DS >> V))
         return RN::error(strf("NRRD ascii data truncated at sample ", I));

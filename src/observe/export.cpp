@@ -99,6 +99,9 @@ std::string formatSummary(const RunStats &R) {
   std::string Out;
   appendf(Out, "run: %d superstep(s), %d worker(s), %.3f ms wall\n", R.Steps,
           R.NumWorkers, toMs(R.WallNs));
+  if (R.Outcome != RunOutcome::Converged || !R.Faults.empty())
+    appendf(Out, "outcome: %s, %zu fault(s)\n", runOutcomeName(R.Outcome),
+            R.Faults.size());
   if (!R.Enabled) {
     Out += "(telemetry not collected; re-run with stats enabled)\n";
     return Out;
@@ -124,6 +127,21 @@ std::string statsJson(const RunStats &R) {
   appendf(Out, "\"steps\":%d,\"numWorkers\":%d,\"enabled\":%s,\"wallNs\":%" PRIu64
                ",",
           R.Steps, R.NumWorkers, R.Enabled ? "true" : "false", R.WallNs);
+  appendf(Out, "\"outcome\":\"%s\",",
+          jsonEscape(runOutcomeName(R.Outcome)).c_str());
+  Out += "\"faults\":[";
+  for (size_t I = 0; I < R.Faults.size(); ++I) {
+    const StrandFault &F = R.Faults[I];
+    if (I)
+      Out += ",";
+    appendf(Out,
+            "{\"strand\":%" PRIu64 ",\"step\":%d,\"worker\":%d,"
+            "\"kind\":\"%s\",\"ns\":%" PRIu64 ",\"message\":\"%s\"}",
+            F.Strand, F.Step, F.Worker,
+            jsonEscape(faultKindName(F.Kind)).c_str(), F.Ns,
+            jsonEscape(F.Message).c_str());
+  }
+  Out += "],";
   Out += "\"totals\":{";
   appendStepFields(Out, R.Totals);
   Out += "},\"supersteps\":[";
@@ -202,6 +220,20 @@ std::string chromeTrace(const RunStats &R) {
             ",\"step\":%d}}",
             jsonEscape(EName).c_str(), E.Worker,
             static_cast<double>(E.Ns) / 1e3, E.Strand, E.Step);
+  }
+  // Trapped faults appear as their own instant events (cat "fault") so a
+  // trace of a policied run shows exactly where containment fired.
+  for (const StrandFault &F : R.Faults) {
+    std::string FName;
+    appendf(FName, "fault strand %" PRIu64 " (%s)", F.Strand,
+            faultKindName(F.Kind));
+    appendf(Out,
+            ",{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\","
+            "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"strand\":%" PRIu64
+            ",\"step\":%d,\"message\":\"%s\"}}",
+            jsonEscape(FName).c_str(), F.Worker,
+            static_cast<double>(F.Ns) / 1e3, F.Strand, F.Step,
+            jsonEscape(F.Message).c_str());
   }
   Out += "]}";
   return Out;

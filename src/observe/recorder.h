@@ -37,6 +37,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "observe/fault.h"
+
 namespace diderot::observe {
 
 /// One worker's share of one superstep.
@@ -68,8 +70,10 @@ struct StepStats {
 
 /// One strand lifecycle transition, recorded only when lifecycle tracing is
 /// armed (Recorder::start with Lifecycle=true). Start fires once per strand
-/// in its first superstep; Stabilize/Die fire on the update that retires it.
-enum class StrandEventKind : int { Start = 0, Stabilize = 1, Die = 2 };
+/// in its first superstep; Stabilize/Die/Fault fire on the update that
+/// retires it (Fault only when a run policy's trap boundary is active).
+enum class StrandEventKind : int { Start = 0, Stabilize = 1, Die = 2,
+                                   Fault = 3 };
 
 inline const char *strandEventName(StrandEventKind K) {
   switch (K) {
@@ -79,6 +83,8 @@ inline const char *strandEventName(StrandEventKind K) {
     return "stabilize";
   case StrandEventKind::Die:
     return "die";
+  case StrandEventKind::Fault:
+    return "fault";
   }
   return "?";
 }
@@ -112,11 +118,20 @@ struct RunStats {
   /// tracing was requested in addition to stats).
   std::vector<StrandEvent> Events;
 
+  /// Why the run ended. Converged unless a RunPolicy stopped the run early
+  /// or MaxSupersteps elapsed with strands still active. Always filled,
+  /// independent of Enabled.
+  RunOutcome Outcome = RunOutcome::Converged;
+  /// Per-strand fault diagnostics trapped by the run policy's trap
+  /// boundaries, in timestamp order (empty when no faults occurred).
+  std::vector<StrandFault> Faults;
+
   uint64_t totalUpdated() const { return Totals.Updated; }
   uint64_t totalStabilized() const { return Totals.Stabilized; }
   uint64_t totalDied() const { return Totals.Died; }
   /// Strands retired (stabilized or died) — must equal
-  /// numStable() + numDead() of the instance after the run.
+  /// numStable() + numDead() of the instance after the run. Faulted strands
+  /// are accounted separately (Faults.size(), ProgramInstance::numFaulted).
   uint64_t totalRetired() const { return Totals.Stabilized + Totals.Died; }
 };
 
@@ -371,7 +386,7 @@ inline bool unflattenEvents(const uint64_t *Data, size_t N, RunStats &R) {
   R.Events.reserve(Count);
   const uint64_t *P = Data + EventHeaderWords;
   for (size_t I = 0; I < Count; ++I, P += EventRecordWords) {
-    if (P[2] > 2)
+    if (P[2] > 3)
       return false;
     StrandEvent E;
     E.Strand = P[0];

@@ -61,6 +61,11 @@ struct RunConfig {
   /// Per-strand start/stabilize/die events (implies stats collection; the
   /// events ride in RunStats::Events).
   bool CollectLifecycle = false;
+  /// Fault-containment limits: deadline, fault budget, convergence
+  /// watchdog, strict-fp, injection plan. Inert by default (Policy.active()
+  /// false) — the schedulers then skip every policy branch and runs behave
+  /// exactly as before.
+  RunPolicy Policy;
 };
 
 /// A running (or runnable) instance of a compiled Diderot program.
@@ -132,6 +137,10 @@ public:
   virtual size_t numStrands() const = 0;
   virtual size_t numStable() const = 0;
   virtual size_t numDead() const = 0;
+  /// Strands parked in StrandStatus::Faulted by the most recent run's trap
+  /// boundaries (0 when no policy was active). Faulted strands are not
+  /// counted by numStable()/numDead() and contribute zeros to grid outputs.
+  virtual size_t numFaulted() const { return 0; }
 };
 
 /// Factory signature exported (extern "C") by generated shared objects as

@@ -473,6 +473,35 @@ public:
                     Collect ? RunStatsFlag : 0);
   }
 
+  /// Install the fault-injection plan for the next runPolicy call (flat
+  /// observe::unflattenPlan layout). Returns false on a malformed buffer.
+  bool setFaultPlan(const uint64_t *Data, int64_t N) {
+    if (!observe::unflattenPlan(Data, static_cast<size_t>(N),
+                                PendingPolicy.Plan)) {
+      Error = "malformed fault plan";
+      return false;
+    }
+    return true;
+  }
+
+  /// The policied run entry point behind ddr_run_policy (runtime ABI v4):
+  /// arm the run policy, run, disarm. A plain ddr_run/ddr_run_flags call
+  /// never inherits a stale policy — the armed flag lives only for the
+  /// duration of this call.
+  int runPolicy(int MaxSteps, int Workers, int BlockSize, int Flags,
+                int64_t DeadlineNs, int64_t MaxFaults, int WatchdogSteps,
+                int StrictFp) {
+    PendingPolicy.DeadlineNs = DeadlineNs;
+    PendingPolicy.MaxFaults = MaxFaults;
+    PendingPolicy.WatchdogSteps = WatchdogSteps;
+    PendingPolicy.StrictFp = StrictFp != 0;
+    PolicyArmed = true;
+    int Steps = runFlags(MaxSteps, Workers, BlockSize, Flags);
+    PolicyArmed = false;
+    PendingPolicy = rt::RunPolicy();
+    return Steps;
+  }
+
   int runFlags(int MaxSteps, int Workers, int BlockSize, int Flags) {
     if (!Initialized) {
       Error = "run() before initialize()";
@@ -486,48 +515,92 @@ public:
     observe::Recorder Rec;
     observe::Recorder *R = Collect ? &Rec : nullptr;
     Rec.start(Workers <= 0 ? 0 : Workers, Lifecycle);
+    rt::RunControl Ctl(PolicyArmed ? PendingPolicy : rt::RunPolicy());
+    rt::RunControl *CtlP =
+        PolicyArmed && Ctl.policy().active() ? &Ctl : nullptr;
+    const bool StrictFp = CtlP && Ctl.policy().StrictFp;
     int Steps;
     if (Profile) {
-      auto Update = [this](size_t I, int W) -> StrandStatus {
+      auto Update = [this, CtlP, StrictFp](size_t I, int W) -> StrandStatus {
         uint64_t *P = Prof.shard(W);
         ExitKind K = self().updateProf(Strands[I], P);
+        StrandStatus Ret = StrandStatus::Dead;
         switch (K) {
         case ExitKind::Continue:
-          return StrandStatus::Active;
+          Ret = StrandStatus::Active;
+          break;
         case ExitKind::Stabilize:
           self().stabilizeStrandProf(Strands[I], P);
-          return StrandStatus::Stable;
+          Ret = StrandStatus::Stable;
+          break;
         case ExitKind::Die:
-          return StrandStatus::Dead;
+          Ret = StrandStatus::Dead;
+          break;
         }
-        return StrandStatus::Dead;
+        if (StrictFp && Ret != StrandStatus::Dead &&
+            !self().strandFinite(Strands[I])) {
+          CtlP->recordFault(W, static_cast<uint64_t>(I),
+                            rt::FaultKind::NonFinite,
+                            "strand state is not finite");
+          return StrandStatus::Faulted;
+        }
+        return Ret;
       };
-      Steps = Workers <= 0 ? rt::runSequential(Status, Update, MaxSteps, R)
-                           : rt::runParallel(Status, Update, MaxSteps, Workers,
-                                             BlockSize, R);
+      Steps = Workers <= 0
+                  ? rt::runSequential(Status, Update, MaxSteps, R, CtlP)
+                  : rt::runParallel(Status, Update, MaxSteps, Workers,
+                                    BlockSize, R, CtlP);
     } else {
-      auto Update = [this](size_t I) -> StrandStatus {
+      auto Update = [this, CtlP, StrictFp](size_t I, int W) -> StrandStatus {
         ExitKind K = self().update(Strands[I]);
+        StrandStatus Ret = StrandStatus::Dead;
         switch (K) {
         case ExitKind::Continue:
-          return StrandStatus::Active;
+          Ret = StrandStatus::Active;
+          break;
         case ExitKind::Stabilize:
           self().stabilizeStrand(Strands[I]);
-          return StrandStatus::Stable;
+          Ret = StrandStatus::Stable;
+          break;
         case ExitKind::Die:
-          return StrandStatus::Dead;
+          Ret = StrandStatus::Dead;
+          break;
         }
-        return StrandStatus::Dead;
+        if (StrictFp && Ret != StrandStatus::Dead &&
+            !self().strandFinite(Strands[I])) {
+          CtlP->recordFault(W, static_cast<uint64_t>(I),
+                            rt::FaultKind::NonFinite,
+                            "strand state is not finite");
+          return StrandStatus::Faulted;
+        }
+        (void)W;
+        return Ret;
       };
-      Steps = Workers <= 0 ? rt::runSequential(Status, Update, MaxSteps, R)
-                           : rt::runParallel(Status, Update, MaxSteps, Workers,
-                                             BlockSize, R);
+      Steps = Workers <= 0
+                  ? rt::runSequential(Status, Update, MaxSteps, R, CtlP)
+                  : rt::runParallel(Status, Update, MaxSteps, Workers,
+                                    BlockSize, R, CtlP);
     }
     if (Collect)
       Stats = Rec.take(Steps, Workers <= 0 ? 0 : Workers);
     else
       Stats = observe::RunStats();
     ProfData = Profile ? Prof.take() : observe::ProfileData();
+    bool Quiesced = true;
+    for (StrandStatus S : Status)
+      if (S == StrandStatus::Active) {
+        Quiesced = false;
+        break;
+      }
+    if (CtlP) {
+      LastOutcome = static_cast<int>(Ctl.finish(Quiesced));
+      LastFaults = Ctl.takeFaults();
+    } else {
+      LastOutcome = static_cast<int>(Quiesced ? rt::RunOutcome::Converged
+                                              : rt::RunOutcome::StepLimit);
+      LastFaults.clear();
+    }
+    Stats.Outcome = static_cast<rt::RunOutcome>(LastOutcome);
     return Steps;
   }
 
@@ -551,6 +624,24 @@ public:
   int64_t readEvents(uint64_t *Out, int64_t Cap) const {
     return copyFlat(observe::flattenEvents(Stats), Out, Cap);
   }
+
+  /// Flatten the fault records of the last run (observe::flattenFaults
+  /// layout; same null/size protocol as readStats). Messages are read
+  /// per-index through faultMsg.
+  int64_t readFaults(uint64_t *Out, int64_t Cap) const {
+    return copyFlat(observe::flattenFaults(LastFaults), Out, Cap);
+  }
+
+  /// Message text of fault \p I of the last run, or null when out of range.
+  /// The pointer stays valid until the next run.
+  const char *faultMsg(int64_t I) const {
+    if (I < 0 || static_cast<size_t>(I) >= LastFaults.size())
+      return nullptr;
+    return LastFaults[static_cast<size_t>(I)].Message.c_str();
+  }
+
+  /// observe::RunOutcome of the last run, as an int for the C ABI.
+  int lastOutcome() const { return LastOutcome; }
 
   int outputDims(int64_t *Dims, int MaxD) const {
     if (Derived::IsGrid) {
@@ -582,7 +673,8 @@ public:
       bool Zero = false;
       if (Derived::IsGrid) {
         Emit = true;
-        Zero = Status[S] == StrandStatus::Dead;
+        Zero = Status[S] == StrandStatus::Dead ||
+               Status[S] == StrandStatus::Faulted;
       } else {
         Emit = Status[S] == StrandStatus::Stable;
       }
@@ -611,9 +703,20 @@ public:
       N += S == StrandStatus::Dead;
     return N;
   }
+  size_t numFaulted() const {
+    size_t N = 0;
+    for (StrandStatus S : Status)
+      N += S == StrandStatus::Faulted;
+    return N;
+  }
 
   /// Default stabilize hook (overridden when the strand has one).
   void stabilizeStrand(StrandT &) {}
+
+  /// Default strict-fp predicate: the emitter overrides this with a check
+  /// over every Real-typed strand slot; state layouts with no Real slots
+  /// (or old generated code) are vacuously finite.
+  bool strandFinite(const StrandT &) const { return true; }
 
   /// Default profiled bodies: fall back to the clean ones. The emitter
   /// overrides both with instrumented copies when profiling support is
@@ -642,6 +745,10 @@ protected:
   observe::RunStats Stats; ///< telemetry of the last collected run
   observe::Profiler Prof;
   observe::ProfileData ProfData; ///< profile of the last profiled run
+  rt::RunPolicy PendingPolicy;   ///< staged by setFaultPlan/runPolicy
+  bool PolicyArmed = false;      ///< true only inside runPolicy
+  std::vector<observe::StrandFault> LastFaults; ///< faults of the last run
+  int LastOutcome = 0; ///< observe::RunOutcome of the last run
   bool Initialized = false;
 };
 

@@ -30,8 +30,11 @@
 #define DIDEROT_RUNTIME_SCHEDULER_H
 
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -41,18 +44,195 @@
 namespace diderot::rt {
 
 /// Telemetry types surface through the runtime namespace so host code can
-/// say rt::RunStats (collection lives in observe/recorder.h).
+/// say rt::RunStats (collection lives in observe/recorder.h, the fault
+/// model in observe/fault.h).
 using observe::RunStats;
+using observe::RunOutcome;
+using observe::FaultKind;
+using observe::StrandFault;
 
 /// Lifecycle state of one strand.
 enum class StrandStatus : uint8_t {
-  Active, ///< will be updated next superstep
-  Stable, ///< stabilized; state is part of the output
-  Dead,   ///< died; produces no output
+  Active,  ///< will be updated next superstep
+  Stable,  ///< stabilized; state is part of the output
+  Dead,    ///< died; produces no output
+  Faulted, ///< trapped fault; parked, produces no output
 };
 
 /// The paper's work-list granularity.
 constexpr int DefaultBlockSize = 4096;
+
+/// Declarative limits on a run, threaded through both schedulers and both
+/// engines. The default-constructed policy is inert (active() is false) and
+/// the schedulers skip every policy branch, so runs without limits pay
+/// nothing.
+struct RunPolicy {
+  int64_t DeadlineNs = 0;  ///< wall-clock budget in ns; 0 = unlimited
+  int64_t MaxFaults = -1;  ///< strand faults tolerated; -1 = unlimited
+  int WatchdogSteps = 0;   ///< K supersteps with zero retirements =>
+                           ///< Diverged; 0 = watchdog off
+  bool StrictFp = false;   ///< engines reject non-finite strand state
+  observe::FaultPlan Plan; ///< deterministic fault injection (tests)
+
+  bool active() const {
+    return DeadlineNs > 0 || MaxFaults >= 0 || WatchdogSteps > 0 ||
+           StrictFp || !Plan.empty();
+  }
+};
+
+/// Shared run-control state for one policied run: the deadline clock, the
+/// stop flag, fault records, and the convergence watchdog. Workers call the
+/// const-ish query/record methods; only the scheduler coordinator calls
+/// begin/setStep/stepEnd/finish/takeFaults.
+///
+/// Threading: CurStep and QuietSteps are plain fields written by the
+/// coordinator strictly between superstep barriers (or single-threaded),
+/// so the barriers order them against worker reads. Fault records go into
+/// per-worker rows (same ownership discipline as Recorder spans). The stop
+/// flag and counters are relaxed atomics — stopping is advisory and
+/// monotonic, so no ordering beyond the barriers is needed.
+class RunControl {
+public:
+  explicit RunControl(const RunPolicy &P) : Policy(P) {}
+
+  const RunPolicy &policy() const { return Policy; }
+
+  /// Coordinator, once before the superstep loop: reset state and size the
+  /// per-worker fault rows (a sequential run passes 0 and gets one row).
+  void begin(int NumWorkers) {
+    Rows.assign(static_cast<size_t>(NumWorkers < 1 ? 1 : NumWorkers), {});
+    NFaults.store(0, std::memory_order_relaxed);
+    StopCode.store(-1, std::memory_order_relaxed);
+    Stop.store(false, std::memory_order_relaxed);
+    RetiredThisStep.store(0, std::memory_order_relaxed);
+    QuietSteps = 0;
+    CurStep = 0;
+    T0 = Clock::now();
+  }
+
+  /// Coordinator only, between barriers: the superstep about to run.
+  void setStep(int S) { CurStep = S; }
+  int curStep() const { return CurStep; }
+
+  /// Nanoseconds since begin() on the monotonic clock.
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             T0)
+            .count());
+  }
+
+  bool stopRequested() const {
+    return Stop.load(std::memory_order_relaxed);
+  }
+
+  /// First stop reason wins; later requests only reassert the flag.
+  void requestStop(RunOutcome O) {
+    int Expected = -1;
+    StopCode.compare_exchange_strong(Expected, static_cast<int>(O),
+                                     std::memory_order_relaxed);
+    Stop.store(true, std::memory_order_relaxed);
+  }
+
+  /// Check the wall-clock budget; on expiry request a Deadline stop. False
+  /// fast (one comparison) when the policy has no deadline.
+  bool deadlineExpired() {
+    if (Policy.DeadlineNs <= 0)
+      return false;
+    if (static_cast<int64_t>(nowNs()) < Policy.DeadlineNs)
+      return false;
+    requestStop(RunOutcome::Deadline);
+    return true;
+  }
+
+  /// The planned injection for \p Strand in the current superstep, or null.
+  const observe::PlannedFault *injectAt(uint64_t Strand) const {
+    return Policy.Plan.match(Strand, CurStep);
+  }
+
+  /// Worker \p W records a trapped fault for \p Strand. Each worker owns
+  /// its row; the fault-budget check rides on the shared atomic count.
+  void recordFault(int W, uint64_t Strand, FaultKind K, std::string Msg) {
+    StrandFault F;
+    F.Strand = Strand;
+    F.Step = CurStep;
+    F.Worker = W;
+    F.Kind = K;
+    F.Ns = nowNs();
+    F.Message = std::move(Msg);
+    Rows[static_cast<size_t>(W)].push_back(std::move(F));
+    int64_t Count = NFaults.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Policy.MaxFaults >= 0 && Count > Policy.MaxFaults)
+      requestStop(RunOutcome::FaultBudget);
+  }
+
+  /// A strand left the Active state this superstep (stabilized, died, or
+  /// faulted) — progress, as far as the watchdog is concerned.
+  void noteRetired(uint64_t N = 1) {
+    RetiredThisStep.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Coordinator, after each superstep's barrier: roll the watchdog and
+  /// report whether the run must stop.
+  bool stepEnd() {
+    uint64_t Ret = RetiredThisStep.exchange(0, std::memory_order_relaxed);
+    if (stopRequested())
+      return true;
+    if (Policy.WatchdogSteps > 0) {
+      QuietSteps = Ret == 0 ? QuietSteps + 1 : 0;
+      if (QuietSteps >= Policy.WatchdogSteps) {
+        requestStop(RunOutcome::Diverged);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// After the scheduler returns: resolve the verdict. \p Quiesced is
+  /// whether no strand remains Active.
+  RunOutcome finish(bool Quiesced) {
+    int Code = StopCode.load(std::memory_order_relaxed);
+    Verdict = Code >= 0 ? static_cast<RunOutcome>(Code)
+              : Quiesced ? RunOutcome::Converged
+                         : RunOutcome::StepLimit;
+    return Verdict;
+  }
+
+  RunOutcome outcome() const { return Verdict; }
+
+  int64_t faultCount() const {
+    return NFaults.load(std::memory_order_relaxed);
+  }
+
+  /// Coordinator, after workers joined: merge the per-worker fault rows
+  /// into one timestamp-ordered list.
+  std::vector<StrandFault> takeFaults() {
+    std::vector<StrandFault> Out;
+    for (std::vector<StrandFault> &Row : Rows) {
+      Out.insert(Out.end(), std::make_move_iterator(Row.begin()),
+                 std::make_move_iterator(Row.end()));
+      Row.clear();
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const StrandFault &A, const StrandFault &B) {
+                return A.Ns != B.Ns ? A.Ns < B.Ns : A.Strand < B.Strand;
+              });
+    return Out;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  RunPolicy Policy;
+  Clock::time_point T0{};
+  int CurStep = 0;    // coordinator-written, barrier-ordered
+  int QuietSteps = 0; // coordinator-only
+  RunOutcome Verdict = RunOutcome::Converged;
+  std::vector<std::vector<StrandFault>> Rows;
+  std::atomic<int64_t> NFaults{0};
+  std::atomic<int> StopCode{-1};
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> RetiredThisStep{0};
+};
 
 namespace detail {
 /// Update callables come in two shapes: the classic Update(strandIndex) and
@@ -66,6 +246,36 @@ inline StrandStatus callUpdate(UpdateFn &Update, size_t I, int W) {
   else
     return Update(I);
 }
+
+/// The trap boundary: run one strand update with fault containment. A
+/// planned Exception injection throws a real std::runtime_error so the
+/// catch path below is the one exercised; any escaping C++ exception is
+/// converted into a recorded StrandFault and the strand parks in Faulted
+/// instead of tearing down the process (an exception escaping a worker
+/// lambda would otherwise call std::terminate).
+template <typename UpdateFn>
+inline StrandStatus trappedUpdate(UpdateFn &Update, size_t I, int W,
+                                  RunControl &Ctl) {
+  FaultKind Kind = FaultKind::Exception;
+  try {
+    if (const observe::PlannedFault *P =
+            Ctl.injectAt(static_cast<uint64_t>(I))) {
+      Kind = P->Kind;
+      if (P->Kind == FaultKind::Exception)
+        throw std::runtime_error("injected C++ exception");
+      Ctl.recordFault(W, static_cast<uint64_t>(I), P->Kind,
+                      "injected fault");
+      return StrandStatus::Faulted;
+    }
+    return callUpdate(Update, I, W);
+  } catch (const std::exception &E) {
+    Ctl.recordFault(W, static_cast<uint64_t>(I), Kind, E.what());
+  } catch (...) {
+    Ctl.recordFault(W, static_cast<uint64_t>(I), Kind,
+                    "unknown C++ exception");
+  }
+  return StrandStatus::Faulted;
+}
 } // namespace detail
 
 /// Run supersteps sequentially until no strand is active or \p MaxSteps is
@@ -76,13 +286,31 @@ inline StrandStatus callUpdate(UpdateFn &Update, size_t I, int W) {
 /// timeline row 0 (Rec must have been start()ed). The strand counters are
 /// accumulated in locals either way — their cost is a few registers per
 /// superstep — so the disabled path stays overhead-free.
-template <typename UpdateFn>
-int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
-                  int MaxSteps, observe::Recorder *Rec = nullptr) {
+///
+/// When \p Ctl is non-null the run is policied: updates go through the trap
+/// boundary (detail::trappedUpdate), the deadline is checked per strand,
+/// and the coordinator consults the watchdog/stop state after each
+/// superstep. Ctl->begin() is called here; the caller resolves the verdict
+/// with Ctl->finish() afterwards. Faulted strands count toward
+/// Span.Updated but not Stabilized/Died — fault accounting is separate
+/// (RunControl::takeFaults, RunStats::Faults).
+///
+/// The policy dimension is a compile-time split (detail::runSequentialImpl
+/// is templated on it), so the unpolicied path carries no per-strand branch
+/// for the fault machinery at all.
+namespace detail {
+template <bool Policied, typename UpdateFn>
+int runSequentialImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
+                      int MaxSteps, observe::Recorder *Rec,
+                      RunControl *Ctl) {
   int Steps = 0;
   size_t N = Status.size();
   const bool Trace = Rec && Rec->lifecycle();
+  if constexpr (Policied)
+    Ctl->begin(0);
   while (Steps < MaxSteps) {
+    if constexpr (Policied)
+      Ctl->setStep(Steps);
     observe::WorkerSpan Span;
     if (Rec)
       Span.BeginNs = Rec->nowNs();
@@ -90,20 +318,32 @@ int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
     for (size_t I = 0; I < N; ++I) {
       if (Status[I] != StrandStatus::Active)
         continue;
+      if constexpr (Policied)
+        if (Ctl->stopRequested() || Ctl->deadlineExpired())
+          break;
       Any = true;
       if (Trace && Steps == 0)
         Rec->event(0, {static_cast<uint64_t>(I), Steps,
                        observe::StrandEventKind::Start, 0, Rec->nowNs()});
-      StrandStatus S = detail::callUpdate(Update, I, 0);
+      StrandStatus S;
+      if constexpr (Policied)
+        S = trappedUpdate(Update, I, 0, *Ctl);
+      else
+        S = callUpdate(Update, I, 0);
       Status[I] = S;
       ++Span.Updated;
       Span.Stabilized += S == StrandStatus::Stable;
       Span.Died += S == StrandStatus::Dead;
+      if constexpr (Policied)
+        if (S != StrandStatus::Active)
+          Ctl->noteRetired();
       if (Trace && S != StrandStatus::Active)
         Rec->event(0, {static_cast<uint64_t>(I), Steps,
                        S == StrandStatus::Stable
                            ? observe::StrandEventKind::Stabilize
-                           : observe::StrandEventKind::Die,
+                       : S == StrandStatus::Dead
+                           ? observe::StrandEventKind::Die
+                           : observe::StrandEventKind::Fault,
                        0, Rec->nowNs()});
     }
     if (!Any)
@@ -114,8 +354,23 @@ int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
       Rec->commit(0, Span);
     }
     ++Steps;
+    if constexpr (Policied)
+      if (Ctl->stepEnd())
+        break;
   }
   return Steps;
+}
+} // namespace detail
+
+template <typename UpdateFn>
+int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
+                  int MaxSteps, observe::Recorder *Rec = nullptr,
+                  RunControl *Ctl = nullptr) {
+  if (Ctl)
+    return detail::runSequentialImpl<true>(Status, Update, MaxSteps, Rec,
+                                           Ctl);
+  return detail::runSequentialImpl<false>(Status, Update, MaxSteps, Rec,
+                                          nullptr);
 }
 
 /// Parallel supersteps with \p NumWorkers worker threads pulling blocks of
@@ -127,17 +382,21 @@ int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
 /// the superstep barriers order those writes against the coordinator's
 /// beginStep()/take(), so the span paths are race-free by construction; the
 /// Recorder's run-wide atomics are the only shared counters.
-template <typename UpdateFn>
-int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
-                int MaxSteps, int NumWorkers, int BlockSize = DefaultBlockSize,
-                observe::Recorder *Rec = nullptr) {
-  // NumWorkers == 1 still runs the full work-list machinery (one worker
-  // thread, lock, barrier) so that the paper's "Seq" vs "1P" comparison —
-  // the cost of the scheduler itself — is measurable.
-  if (NumWorkers < 1)
-    return runSequential(Status, Update, MaxSteps, Rec);
-  if (BlockSize <= 0)
-    BlockSize = DefaultBlockSize;
+///
+/// When \p Ctl is non-null the run is policied (see runSequential). A stop
+/// requested mid-superstep — deadline expiry, fault budget — makes every
+/// worker fall out of its strand and block loops, but each still commits
+/// its span and reaches both barriers, so the superstep completes cleanly:
+/// no hung workers, no torn Recorder rows. The coordinator then observes
+/// the stop in Ctl->stepEnd() and shuts the pool down through the normal
+/// Done path. As with runSequential, the policy dimension is a
+/// compile-time split: the unpolicied worker loop is the pre-fault-runtime
+/// loop, branch for branch.
+namespace detail {
+template <bool Policied, typename UpdateFn>
+int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
+                    int MaxSteps, int NumWorkers, int BlockSize,
+                    observe::Recorder *Rec, RunControl *Ctl) {
 
   const size_t N = Status.size();
   const size_t NumBlocks = (N + static_cast<size_t>(BlockSize) - 1) /
@@ -166,6 +425,7 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
       observe::WorkerSpan Span;
       if (Rec)
         Span.BeginNs = Rec->nowNs();
+      bool Stopping = false;
       for (;;) {
         size_t Idx;
         {
@@ -182,21 +442,37 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
         for (size_t I = Lo; I < Hi; ++I) {
           if (Status[I] != StrandStatus::Active)
             continue;
+          if constexpr (Policied)
+            if (Ctl->stopRequested() || Ctl->deadlineExpired()) {
+              Stopping = true;
+              break;
+            }
           if (Trace && StepNo == 0)
             Rec->event(W, {static_cast<uint64_t>(I), StepNo,
                            observe::StrandEventKind::Start, W, Rec->nowNs()});
-          StrandStatus S = detail::callUpdate(Update, I, W);
+          StrandStatus S;
+          if constexpr (Policied)
+            S = trappedUpdate(Update, I, W, *Ctl);
+          else
+            S = callUpdate(Update, I, W);
           Status[I] = S;
           ++Span.Updated;
           Span.Stabilized += S == StrandStatus::Stable;
           Span.Died += S == StrandStatus::Dead;
+          if constexpr (Policied)
+            if (S != StrandStatus::Active)
+              Ctl->noteRetired();
           if (Trace && S != StrandStatus::Active)
             Rec->event(W, {static_cast<uint64_t>(I), StepNo,
                            S == StrandStatus::Stable
                                ? observe::StrandEventKind::Stabilize
-                               : observe::StrandEventKind::Die,
+                           : S == StrandStatus::Dead
+                               ? observe::StrandEventKind::Die
+                               : observe::StrandEventKind::Fault,
                            W, Rec->nowNs()});
         }
+        if (Stopping)
+          break; // fall through to the barriers; coordinator handles stop
       }
       ++StepNo;
       if (Rec) {
@@ -213,6 +489,8 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
   for (int W = 0; W < NumWorkers; ++W)
     Threads.emplace_back(Worker, W);
 
+  if constexpr (Policied)
+    Ctl->begin(NumWorkers);
   int Steps = 0;
   while (Steps < MaxSteps) {
     ActiveBlocks.clear();
@@ -230,15 +508,39 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
     NextBlock = 0;
     if (Rec)
       Rec->beginStep(Steps); // before workers can commit this superstep
+    if constexpr (Policied)
+      Ctl->setStep(Steps); // barrier below orders this for workers
     Sync.arrive_and_wait(); // release workers
     Sync.arrive_and_wait(); // wait for completion
     ++Steps;
+    if constexpr (Policied)
+      if (Ctl->stepEnd())
+        break;
   }
   Done = true;
   Sync.arrive_and_wait(); // release workers into shutdown
   for (std::thread &T : Threads)
     T.join();
   return Steps;
+}
+} // namespace detail
+
+template <typename UpdateFn>
+int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
+                int MaxSteps, int NumWorkers, int BlockSize = DefaultBlockSize,
+                observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr) {
+  // NumWorkers == 1 still runs the full work-list machinery (one worker
+  // thread, lock, barrier) so that the paper's "Seq" vs "1P" comparison —
+  // the cost of the scheduler itself — is measurable.
+  if (NumWorkers < 1)
+    return runSequential(Status, Update, MaxSteps, Rec, Ctl);
+  if (BlockSize <= 0)
+    BlockSize = DefaultBlockSize;
+  if (Ctl)
+    return detail::runParallelImpl<true>(Status, Update, MaxSteps, NumWorkers,
+                                         BlockSize, Rec, Ctl);
+  return detail::runParallelImpl<false>(Status, Update, MaxSteps, NumWorkers,
+                                        BlockSize, Rec, nullptr);
 }
 
 } // namespace diderot::rt

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/driver.h"
+#include "nrrd/nrrd.h"
 #include "support/strings.h"
 
 namespace diderot {
@@ -178,6 +179,84 @@ TEST_P(FuzzNative, NativeMatchesInterp) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzNative, ::testing::Values(1u, 7u, 13u));
+
+//===----------------------------------------------------------------------===//
+// Malformed-NRRD corpus: every case must come back as an error Status —
+// never a crash, never an attempt to allocate the declared (hostile) size.
+//===----------------------------------------------------------------------===//
+
+struct NrrdCase {
+  const char *Name;
+  const char *Contents;
+};
+
+class NrrdMalformed : public ::testing::TestWithParam<NrrdCase> {};
+
+TEST_P(NrrdMalformed, ParseRejectsWithoutCrashing) {
+  const NrrdCase &C = GetParam();
+  Result<Nrrd> R = nrrdParse(C.Contents);
+  EXPECT_FALSE(R.isOk()) << C.Name << " should have been rejected";
+  EXPECT_FALSE(R.message().empty()) << C.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, NrrdMalformed,
+    ::testing::Values(
+        NrrdCase{"empty", ""},
+        NrrdCase{"magic_only", "NRRD0005"},
+        NrrdCase{"no_magic", "hello\ntype: float\nsizes: 4\n\n"},
+        NrrdCase{"missing_sizes",
+                 "NRRD0005\ntype: float\nencoding: ascii\n\n1 2 3\n"},
+        NrrdCase{"truncated_raw",
+                 "NRRD0005\ntype: float\nsizes: 8 8\nencoding: raw\n\nxx"},
+        NrrdCase{"truncated_ascii",
+                 "NRRD0005\ntype: float\nsizes: 4 4\nencoding: ascii\n\n1 2\n"},
+        NrrdCase{"zero_size",
+                 "NRRD0005\ntype: float\nsizes: 0 4\nencoding: ascii\n\n\n"},
+        NrrdCase{"negative_size",
+                 "NRRD0005\ntype: float\nsizes: -3 4\nencoding: ascii\n\n1\n"},
+        // 2^31-ish per axis: the element product overflows 64 bits across
+        // five axes; must be rejected before any allocation happens.
+        NrrdCase{"overflow_sizes", "NRRD0005\ntype: double\nsizes: 2000000000 "
+                                   "2000000000 2000000000 2000000000 "
+                                   "2000000000\nencoding: raw\n\n"},
+        // Fits in 64 bits as an element count but asks for ~64 GB of text
+        // samples backed by a few bytes of payload.
+        NrrdCase{"huge_ascii", "NRRD0005\ntype: double\nsizes: 1000000000 "
+                               "8\nencoding: ascii\n\n1 2 3\n"},
+        NrrdCase{"absurd_dim_count",
+                 "NRRD0005\ntype: float\nsizes: 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 "
+                 "1 1 1 1 1\nencoding: ascii\n\n1\n"},
+        NrrdCase{"garbage_sizes",
+                 "NRRD0005\ntype: float\nsizes: 4 x\nencoding: ascii\n\n1\n"},
+        NrrdCase{"dim_mismatch",
+                 "NRRD0005\ntype: float\ndimension: 3\nsizes: 2 "
+                 "2\nencoding: ascii\n\n1 2 3 4\n"},
+        NrrdCase{"garbage_dimension",
+                 "NRRD0005\ntype: float\ndimension: banana\nsizes: "
+                 "2\nencoding: ascii\n\n1 2\n"},
+        NrrdCase{"garbage_space_dimension",
+                 "NRRD0005\ntype: float\nsizes: 2\nspace dimension: "
+                 "3x\nencoding: ascii\n\n1 2\n"},
+        NrrdCase{"bad_encoding",
+                 "NRRD0005\ntype: float\nsizes: 2\nencoding: gzip\n\n\x1f\x8b"},
+        NrrdCase{"bad_type",
+                 "NRRD0005\ntype: quaternion\nsizes: 2\nencoding: "
+                 "ascii\n\n1 2\n"},
+        NrrdCase{"big_endian_raw", "NRRD0005\ntype: float\nsizes: "
+                                   "1\nencoding: raw\nendian: big\n\n\0\0\0\0"},
+        NrrdCase{"header_not_terminated",
+                 "NRRD0005\ntype: float\nsizes: 2\nencoding: ascii\n1 2"}),
+    [](const ::testing::TestParamInfo<NrrdCase> &I) { return I.param.Name; });
+
+/// A well-formed file still parses after the hardening.
+TEST(NrrdMalformed, WellFormedStillParses) {
+  Result<Nrrd> R = nrrdParse("NRRD0005\ntype: float\ndimension: 2\nsizes: 2 "
+                             "2\nencoding: ascii\n\n1 2 3 4\n");
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_EQ(R->numSamples(), 4u);
+  EXPECT_DOUBLE_EQ(R->sampleAsDouble(3), 4.0);
+}
 
 } // namespace
 } // namespace diderot

@@ -430,6 +430,9 @@ TEST_P(LifecycleEngines, EventsBalanceRetirementCounters) {
     case observe::StrandEventKind::Die:
       ++Dies;
       break;
+    case observe::StrandEventKind::Fault:
+      ADD_FAILURE() << "fault event in a policy-free run";
+      break;
     }
     EXPECT_GE(E.Step, 0);
     if (Workers > 0)
