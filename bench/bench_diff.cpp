@@ -67,6 +67,69 @@ std::vector<Entry> parseBench(const std::string &Text) {
   return Out;
 }
 
+/// Run-environment stamp of one BENCH_*.json (the "meta" object written by
+/// bench::writeBenchJson). Older files have none; fields stay empty.
+struct Meta {
+  std::string Hostname, Compiler, GitSha;
+  long Threads = -1;
+};
+
+/// Value of the first `"Key":"..."` occurrence, or "" when absent. The meta
+/// keys (hostname, compiler, git_sha, hardware_threads) appear nowhere else
+/// in a BENCH file, so a whole-text scan is safe.
+std::string scanString(const std::string &Text, const char *Key) {
+  std::string Needle = std::string("\"") + Key + "\":\"";
+  size_t P = Text.find(Needle);
+  if (P == std::string::npos)
+    return "";
+  P += Needle.size();
+  std::string V;
+  while (P < Text.size() && Text[P] != '"') {
+    if (Text[P] == '\\' && P + 1 < Text.size()) {
+      V += Text[P + 1];
+      P += 2;
+    } else {
+      V += Text[P++];
+    }
+  }
+  return V;
+}
+
+Meta parseMeta(const std::string &Text) {
+  Meta M;
+  M.Hostname = scanString(Text, "hostname");
+  M.Compiler = scanString(Text, "compiler");
+  M.GitSha = scanString(Text, "git_sha");
+  size_t P = Text.find("\"hardware_threads\":");
+  if (P != std::string::npos)
+    M.Threads = std::strtol(Text.c_str() + P + 19, nullptr, 10);
+  return M;
+}
+
+/// Print (never gate on) environment differences between the two files:
+/// a host or compiler mismatch makes the timing comparison suspect, but a
+/// differing git SHA is the whole point of the tool. Returns the number of
+/// mismatches printed so the self-test can check the detection.
+int reportMetaDiff(const Meta &Old, const Meta &New) {
+  int Mismatches = 0;
+  auto Note = [&](const char *What, const std::string &A,
+                  const std::string &B) {
+    if (A == B || A.empty() || B.empty())
+      return;
+    std::printf("note: %s differs: %s -> %s\n", What, A.c_str(), B.c_str());
+    ++Mismatches;
+  };
+  Note("hostname", Old.Hostname, New.Hostname);
+  Note("compiler", Old.Compiler, New.Compiler);
+  Note("git sha", Old.GitSha, New.GitSha);
+  if (Old.Threads > 0 && New.Threads > 0 && Old.Threads != New.Threads) {
+    std::printf("note: hardware threads differ: %ld -> %ld\n", Old.Threads,
+                New.Threads);
+    ++Mismatches;
+  }
+  return Mismatches;
+}
+
 std::string readFileOrDie(const char *Path) {
   std::ifstream In(Path);
   if (!In) {
@@ -114,12 +177,16 @@ int compare(const std::vector<Entry> &Old, const std::vector<Entry> &New,
 
 /// In-process check of the parser and the comparison logic (run by ctest).
 int selfTest() {
-  const char *Old = "{\"bench\":\"x\",\"records\":["
+  const char *Old = "{\"bench\":\"x\",\"meta\":{\"hostname\":\"riemann\","
+                    "\"hardware_threads\":8,\"compiler\":\"gcc-12.2\","
+                    "\"git_sha\":\"abc1234\"},\"records\":["
                     "{\"name\":\"a\",\"workers\":0,\"seconds\":1.000000},"
                     "{\"name\":\"b \\\"q\\\"\",\"workers\":0,"
                     "\"seconds\":2.000000},"
                     "{\"name\":\"gone\",\"workers\":0,\"seconds\":3.0}]}";
-  const char *New = "{\"bench\":\"x\",\"records\":["
+  const char *New = "{\"bench\":\"x\",\"meta\":{\"hostname\":\"gauss\","
+                    "\"hardware_threads\":16,\"compiler\":\"gcc-12.2\","
+                    "\"git_sha\":\"def5678\"},\"records\":["
                     "{\"name\":\"a\",\"workers\":0,\"seconds\":1.050000},"
                     "{\"name\":\"b \\\"q\\\"\",\"workers\":0,"
                     "\"seconds\":2.500000},"
@@ -142,6 +209,23 @@ int selfTest() {
   }
   if (compare(O, N, 0.30) != 0) {
     std::fprintf(stderr, "self-test: expected no regression at 30%%\n");
+    return 1;
+  }
+  // Metadata: hostname, threads, and sha differ; compiler matches. Printed
+  // only — mismatches must never turn into regressions.
+  Meta MO = parseMeta(Old), MN = parseMeta(New);
+  if (MO.Hostname != "riemann" || MO.Threads != 8 ||
+      MO.Compiler != "gcc-12.2" || MO.GitSha != "abc1234") {
+    std::fprintf(stderr, "self-test: meta parse failed\n");
+    return 1;
+  }
+  if (reportMetaDiff(MO, MN) != 3) {
+    std::fprintf(stderr, "self-test: expected three meta mismatches\n");
+    return 1;
+  }
+  // A pre-metadata file yields empty fields, which never count as mismatch.
+  if (reportMetaDiff(Meta(), MN) != 0) {
+    std::fprintf(stderr, "self-test: empty meta must not mismatch\n");
     return 1;
   }
   std::printf("self-test passed\n");
@@ -171,12 +255,15 @@ int main(int Argc, char **Argv) {
                  "(default 10%%).\n");
     return 2;
   }
-  std::vector<Entry> Old = parseBench(readFileOrDie(Files[0]));
-  std::vector<Entry> New = parseBench(readFileOrDie(Files[1]));
+  std::string OldText = readFileOrDie(Files[0]);
+  std::string NewText = readFileOrDie(Files[1]);
+  std::vector<Entry> Old = parseBench(OldText);
+  std::vector<Entry> New = parseBench(NewText);
   if (Old.empty() || New.empty()) {
     std::fprintf(stderr, "bench_diff: no records found\n");
     return 2;
   }
+  reportMetaDiff(parseMeta(OldText), parseMeta(NewText));
   int Regressions = compare(Old, New, Threshold);
   if (Regressions > 0) {
     std::fprintf(stderr, "bench_diff: %d benchmark(s) regressed >%g%%\n",

@@ -31,7 +31,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "baselines/baselines.h"
 #include "driver/driver.h"
@@ -376,6 +381,41 @@ inline rt::RunStats statsRun(CompiledProgram &CP, Workload W,
   return *R;
 }
 
+/// Run-environment metadata stamped into every BENCH_*.json so two result
+/// files can be checked for comparability: numbers measured on different
+/// hosts, thread counts, compilers, or revisions are not regressions.
+/// bench_diff prints mismatches but never gates on them.
+struct BenchMeta {
+  std::string Hostname;
+  int HardwareThreads = 0;
+  std::string Compiler;
+  std::string GitSha;
+};
+
+inline BenchMeta benchMeta() {
+  BenchMeta M;
+#if defined(__unix__) || defined(__APPLE__)
+  char Host[256] = {};
+  if (::gethostname(Host, sizeof(Host) - 1) == 0)
+    M.Hostname = Host;
+#endif
+  M.HardwareThreads =
+      static_cast<int>(std::thread::hardware_concurrency());
+#if defined(__clang__)
+  M.Compiler = "clang-" + std::to_string(__clang_major__) + "." +
+               std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  M.Compiler = "gcc-" + std::to_string(__GNUC__) + "." +
+               std::to_string(__GNUC_MINOR__);
+#else
+  M.Compiler = "unknown";
+#endif
+#ifdef DIDEROT_GIT_SHA
+  M.GitSha = DIDEROT_GIT_SHA;
+#endif
+  return M;
+}
+
 /// One benchmark configuration's record in a BENCH_*.json file.
 struct BenchRecord {
   std::string Name;     ///< workload / configuration label
@@ -385,7 +425,8 @@ struct BenchRecord {
 };
 
 /// Write \p Records as BENCH_<bench>.json in the current directory:
-/// {"bench": ..., "records": [{"name", "workers", "seconds", "stats"}]}.
+/// {"bench": ..., "meta": {...}, "records": [{"name", "workers", "seconds",
+/// "stats"}]}.
 inline void writeBenchJson(const std::string &Bench,
                            const std::vector<BenchRecord> &Records) {
   std::string Path = "BENCH_" + Bench + ".json";
@@ -394,7 +435,13 @@ inline void writeBenchJson(const std::string &Bench,
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return;
   }
-  Out << "{\"bench\":\"" << observe::jsonEscape(Bench) << "\",\"records\":[";
+  BenchMeta M = benchMeta();
+  Out << "{\"bench\":\"" << observe::jsonEscape(Bench) << "\",";
+  Out << "\"meta\":{\"hostname\":\"" << observe::jsonEscape(M.Hostname)
+      << "\",\"hardware_threads\":" << M.HardwareThreads << ",\"compiler\":\""
+      << observe::jsonEscape(M.Compiler) << "\",\"git_sha\":\""
+      << observe::jsonEscape(M.GitSha) << "\"},";
+  Out << "\"records\":[";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
     if (I)

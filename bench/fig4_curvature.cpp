@@ -21,17 +21,24 @@ int main(int Argc, char **Argv) {
   Datasets D(C);
 
   std::printf("=== Figures 1 & 4: direct volume renderings ===\n\n");
+  std::vector<BenchRecord> Records;
 
   // --- vr-lite (Figure 1's program) ---
   {
     CompiledProgram CP = compileWorkload(Workload::VrLite, true);
     auto I = makeWorkloadInstance(CP, Workload::VrLite, C, D, O.Full);
     must(I->initialize());
+    auto T0 = std::chrono::steady_clock::now();
     Result<rt::RunStats> Steps = I->run(100000, O.MaxWorkers);
+    auto T1 = std::chrono::steady_clock::now();
     if (!Steps.isOk()) {
       std::fprintf(stderr, "%s\n", Steps.message().c_str());
       return 1;
     }
+    Records.push_back({workloadName(Workload::VrLite), O.MaxWorkers,
+                       std::chrono::duration<double>(T1 - T0).count(),
+                       statsRun(CP, Workload::VrLite, C, D, O.Full,
+                                O.MaxWorkers)});
     std::vector<double> Gray;
     must(I->getOutput("gray", Gray));
     must(writePgm("fig1_vrlite.pgm", C.Vr.ResU, C.Vr.ResV, Gray, 0.0, 1.0));
@@ -61,11 +68,17 @@ int main(int Argc, char **Argv) {
     CompiledProgram CP = compileWorkload(Workload::IllustVr, true);
     auto I = makeWorkloadInstance(CP, Workload::IllustVr, C, D, O.Full);
     must(I->initialize());
+    auto T0 = std::chrono::steady_clock::now();
     Result<rt::RunStats> Steps = I->run(100000, O.MaxWorkers);
+    auto T1 = std::chrono::steady_clock::now();
     if (!Steps.isOk()) {
       std::fprintf(stderr, "%s\n", Steps.message().c_str());
       return 1;
     }
+    Records.push_back({workloadName(Workload::IllustVr), O.MaxWorkers,
+                       std::chrono::duration<double>(T1 - T0).count(),
+                       statsRun(CP, Workload::IllustVr, C, D, O.Full,
+                                O.MaxWorkers)});
     std::vector<double> Rgb;
     must(I->getOutput("rgb", Rgb));
     must(writePpm("fig4_curvature.ppm", P.ResU, P.ResV, Rgb, 0.0, 1.0));
@@ -92,5 +105,6 @@ int main(int Argc, char **Argv) {
     std::printf("           wrote fig4_colormap.ppm (the (k1,k2) transfer "
                 "function)\n");
   }
+  writeBenchJson("fig4_curvature", Records);
   return 0;
 }

@@ -23,11 +23,18 @@ int main(int Argc, char **Argv) {
   CompiledProgram CP = compileWorkload(Workload::Lic2d, true);
   auto I = makeWorkloadInstance(CP, Workload::Lic2d, C, D, O.Full);
   must(I->initialize());
+  auto T0 = std::chrono::steady_clock::now();
   Result<rt::RunStats> Steps = I->run(100000, O.MaxWorkers);
+  auto T1 = std::chrono::steady_clock::now();
   if (!Steps.isOk()) {
     std::fprintf(stderr, "%s\n", Steps.message().c_str());
     return 1;
   }
+  writeBenchJson(
+      "fig6_lic",
+      {{workloadName(Workload::Lic2d), O.MaxWorkers,
+        std::chrono::duration<double>(T1 - T0).count(),
+        statsRun(CP, Workload::Lic2d, C, D, O.Full, O.MaxWorkers)}});
   std::vector<double> Pix;
   must(I->getOutput("sum", Pix));
   double MaxV = 0;

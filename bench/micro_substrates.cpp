@@ -207,6 +207,28 @@ void BM_SchedulerParallel(benchmark::State &State) {
 }
 BENCHMARK(BM_SchedulerParallel);
 
+void BM_SchedulerParallelMetrics(benchmark::State &State) {
+  // Same workload as BM_SchedulerParallel but with the metrics registry
+  // armed (per-worker cells, barrier-time folds): the overhead of the
+  // instrumented path, measured side by side with the unarmed one.
+  for (auto _ : State) {
+    std::vector<rt::StrandStatus> S(16384, rt::StrandStatus::Active);
+    std::vector<std::atomic<int>> Count(S.size());
+    observe::Recorder Rec;
+    Rec.start(4, /*Lifecycle=*/false, /*CollectMetrics=*/true);
+    int Steps = rt::runParallel(
+        S,
+        [&](size_t I) {
+          return ++Count[I] >= 2 ? rt::StrandStatus::Stable
+                                 : rt::StrandStatus::Active;
+        },
+        100, 4, 1024, &Rec);
+    rt::RunStats R = Rec.take(Steps, 4);
+    benchmark::DoNotOptimize(R.Metrics.Counters[observe::McUpdated]);
+  }
+}
+BENCHMARK(BM_SchedulerParallelMetrics);
+
 //===--- BENCH json capture ----------------------------------------------------===//
 
 /// Console output as usual, plus a BenchRecord per benchmark so the harness

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include "observe/observe.h"
 #include "observe/profiler.h"
 #include "observe/recorder.h"
 
@@ -64,6 +65,12 @@ struct CApi {
   int64_t (*FaultsRead)(void *, uint64_t *, int64_t);
   const char *(*FaultMsg)(void *, int64_t);
   int64_t (*NumFaulted)(void *);
+  /// v5 protocol (null in older .so files): snapshot the metrics registry
+  /// (flag 8 on RunFlags arms it). Safe to call concurrently with a run —
+  /// the snapshot reads only barrier-published atomics — which is what the
+  /// driver's live GET /metrics endpoint uses. Degrades to deriveMetrics
+  /// over the v2 stats when absent.
+  int64_t (*MetricsRead)(void *, uint64_t *, int64_t);
   int (*OutputDims)(void *, int64_t *, int);
   int64_t (*GetOutput)(void *, const char *, double *, int64_t);
   int64_t (*NumStrands)(void *);
@@ -203,6 +210,9 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
       Sym("ddr_fault_msg"));
   Lib.Api.NumFaulted =
       reinterpret_cast<int64_t (*)(void *)>(Sym("ddr_num_faulted"));
+  Lib.Api.MetricsRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_metrics_read"));
   Lib.Api.OutputDims = reinterpret_cast<int (*)(void *, int64_t *, int)>(
       Sym("ddr_output_dims"));
   Lib.Api.GetOutput =
@@ -292,9 +302,15 @@ public:
     // Each capability degrades independently when loading an older .so that
     // lacks the v3 symbols: stats fall back to the v2 ddr_run_stats entry
     // point, profile and lifecycle silently turn off.
-    bool WantStats = (C.CollectStats || C.CollectLifecycle) && Api->StatsRead;
+    bool WantStats =
+        (C.CollectStats || C.CollectLifecycle || C.CollectMetrics) &&
+        Api->StatsRead;
     bool WantProf = C.CollectProfile && Api->RunFlags && Api->ProfRead;
     bool WantTrace = C.CollectLifecycle && Api->RunFlags && Api->TraceRead;
+    // Metrics prefer the v5 in-.so registry; a v4 library degrades to
+    // deriveMetrics over the stats below (claim-latency histogram empty).
+    bool NativeMetrics =
+        C.CollectMetrics && Api->RunFlags && Api->MetricsRead;
     bool Collect = WantStats && (Api->RunStats || Api->RunFlags);
     // A run policy must not degrade silently — ignoring a deadline or a
     // fault budget is unsafe — so a pre-v4 .so is an explicit error.
@@ -304,7 +320,8 @@ public:
                        "(pre-v4 runtime ABI); regenerate the program");
     auto T0 = std::chrono::steady_clock::now();
     int Steps;
-    int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0);
+    int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0) |
+                (NativeMetrics ? 8 : 0);
     if (Policied) {
       std::vector<uint64_t> Plan = observe::flattenPlan(C.Policy.Plan);
       if (Api->SetFaultPlan(Prog, Plan.data(),
@@ -314,7 +331,8 @@ public:
                              Flags, C.Policy.DeadlineNs, C.Policy.MaxFaults,
                              C.Policy.WatchdogSteps,
                              C.Policy.StrictFp ? 1 : 0);
-    } else if (Api->RunFlags && (Collect || WantProf || WantTrace)) {
+    } else if (Api->RunFlags &&
+               (Collect || WantProf || WantTrace || NativeMetrics)) {
       Steps = Api->RunFlags(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize,
                             Flags);
     } else if (Collect) {
@@ -351,6 +369,7 @@ public:
       Status V = attachVerdict(Stats);
       if (!V.isOk())
         return RS::error(V.message());
+      attachMetrics(C, NativeMetrics, Stats);
       return Stats;
     }
     Stats.Steps = Steps;
@@ -362,7 +381,19 @@ public:
     Status V = attachVerdict(Stats);
     if (!V.isOk())
       return RS::error(V.message());
+    attachMetrics(C, NativeMetrics, Stats);
     return Stats;
+  }
+
+  /// Live registry snapshot while run() executes on another thread (v5
+  /// libraries only; empty data when the symbol is absent).
+  observe::MetricsData liveMetrics() const override {
+    observe::MetricsData D;
+    if (!Api->MetricsRead)
+      return D;
+    std::vector<uint64_t> Flat = readFlat(Api->MetricsRead);
+    observe::unflattenMetrics(Flat.data(), Flat.size(), D);
+    return D;
   }
 
   observe::ProfileData profile() const override { return LastProfile; }
@@ -435,6 +466,22 @@ private:
             Stats.Faults[I].Message = Msg;
     }
     return Status::ok();
+  }
+
+  /// Fill Stats.Metrics after a metrics-collecting run: read the in-.so v5
+  /// registry when armed, otherwise rebuild superstep-level histograms from
+  /// the spans (runs after attachVerdict so Faults are populated).
+  void attachMetrics(const rt::RunConfig &C, bool NativeMetrics,
+                     rt::RunStats &Stats) const {
+    if (!C.CollectMetrics)
+      return;
+    if (NativeMetrics) {
+      std::vector<uint64_t> Flat = readFlat(Api->MetricsRead);
+      if (observe::unflattenMetrics(Flat.data(), Flat.size(), Stats.Metrics) &&
+          Stats.Metrics.Enabled)
+        return;
+    }
+    Stats.Metrics = observe::deriveMetrics(Stats);
   }
 
   Status check(int RC) {

@@ -43,7 +43,13 @@ options:
   --out FILE.nrrd          write the first output as NRRD (grid programs)
   --print-output NAME      print an output to stdout (text)
   --stats                  print a per-superstep telemetry summary (stderr)
-  --stats-out FILE.json    write run telemetry as JSON
+  --stats-out FILE.json    write run telemetry as JSON (includes a "metrics"
+                           registry snapshot)
+  --metrics-out FILE.prom  write the metrics registry in Prometheus text
+                           exposition format after the run
+  --metrics-port N         serve live metrics at http://127.0.0.1:N/metrics
+                           while the program runs (0 picks a free port;
+                           the bound port is printed to stderr)
   --trace-out FILE.json    write a Chrome-trace (Perfetto) worker timeline
   --profile                print an annotated per-source-line cost listing
   --profile-out FILE.json  write the per-line profile as JSON
@@ -126,7 +132,9 @@ int main(int Argc, char **Argv) {
   bool StrictFp = false, Strict = false;
   int Workers = 1, MaxSteps = 10000, Watchdog = 0;
   long long DeadlineMs = 0, MaxFaults = -1;
+  int MetricsPort = -1;
   std::string OutFile, PrintOutput, StatsOut, TraceOut, ProfileOut, EventsOut;
+  std::string MetricsOut;
 
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
@@ -171,6 +179,14 @@ int main(int Argc, char **Argv) {
       StatsOut = Argv[++A];
     } else if (startsWith(Arg, "--stats-out=")) {
       StatsOut = Arg.substr(12);
+    } else if (Arg == "--metrics-out" && A + 1 < Argc) {
+      MetricsOut = Argv[++A];
+    } else if (startsWith(Arg, "--metrics-out=")) {
+      MetricsOut = Arg.substr(14);
+    } else if (Arg == "--metrics-port" && A + 1 < Argc) {
+      MetricsPort = std::atoi(Argv[++A]);
+    } else if (startsWith(Arg, "--metrics-port=")) {
+      MetricsPort = std::atoi(Arg.c_str() + 15);
     } else if (Arg == "--trace-out" && A + 1 < Argc) {
       TraceOut = Argv[++A];
     } else if (startsWith(Arg, "--trace-out=")) {
@@ -296,15 +312,44 @@ int main(int Argc, char **Argv) {
   RC.CollectStats = Stats || !StatsOut.empty() || !TraceOut.empty();
   RC.CollectProfile = Profile || !ProfileOut.empty();
   RC.CollectLifecycle = TraceStrands || !EventsOut.empty();
+  // Metrics arm whenever any consumer wants them: an explicit Prometheus
+  // sink, the live endpoint, or the stats outputs (whose summary table and
+  // JSON carry the registry snapshot).
+  RC.CollectMetrics =
+      Stats || !StatsOut.empty() || !MetricsOut.empty() || MetricsPort >= 0;
   RC.Policy.DeadlineNs = DeadlineMs * 1000000;
   RC.Policy.MaxFaults = MaxFaults;
   RC.Policy.WatchdogSteps = Watchdog;
   RC.Policy.StrictFp = StrictFp;
+  // Live monitoring: a background RSS sampler plus the embedded HTTP
+  // endpoint, both torn down right after the run. The provider overlays the
+  // sampler's gauge onto whatever engine-side snapshot is current.
+  observe::RssSampler Sampler;
+  observe::MetricsServer Server;
+  if (MetricsPort >= 0) {
+    Sampler.start();
+    Status SS = Server.start(MetricsPort, [&I, &Sampler] {
+      observe::MetricsData D = I.liveMetrics();
+      D.Gauges[observe::MgProcessRss] = Sampler.bytes();
+      return observe::prometheusText(D);
+    });
+    if (!SS.isOk()) {
+      std::fprintf(stderr, "error: %s\n", SS.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving metrics at http://127.0.0.1:%d/metrics\n",
+                 Server.port());
+  }
   Result<rt::RunStats> Run = I.run(RC);
+  Server.stop();
+  Sampler.stop();
   if (!Run.isOk()) {
     std::fprintf(stderr, "error: %s\n", Run.message().c_str());
     return 1;
   }
+  // The engines cannot see process RSS; stamp the final sample host-side.
+  if (Run->Metrics.Enabled)
+    Run->Metrics.Gauges[observe::MgProcessRss] = observe::readProcessRssBytes();
   if (!Quiet) {
     std::fprintf(stderr,
                  "ran %d supersteps: %zu strands, %zu stable, %zu dead\n",
@@ -340,6 +385,12 @@ int main(int Argc, char **Argv) {
       return 1;
     if (!Quiet)
       std::fprintf(stderr, "wrote %s\n", StatsOut.c_str());
+  }
+  if (!MetricsOut.empty()) {
+    if (!WriteText(MetricsOut, observe::prometheusText(Run->Metrics)))
+      return 1;
+    if (!Quiet)
+      std::fprintf(stderr, "wrote %s\n", MetricsOut.c_str());
   }
   if (!TraceOut.empty()) {
     if (!WriteText(TraceOut, observe::chromeTrace(*Run)))

@@ -604,6 +604,13 @@ public:
 
   observe::ProfileData profile() const override { return LastProfile; }
 
+  // Snapshot the persistent Recorder's registry (atomic loads only): valid
+  // concurrently with run(), which is what the driver's /metrics endpoint
+  // relies on for live gauges.
+  observe::MetricsData liveMetrics() const override {
+    return Rec.metricsData();
+  }
+
   std::vector<int> outputDims() const override {
     if (M.IsGrid)
       return GridDims;
@@ -655,6 +662,9 @@ private:
   std::vector<rt::StrandStatus> StatusVec;
   std::vector<int> GridDims;
   observe::ProfileData LastProfile;
+  /// Instance member (not run()-local) so liveMetrics() can scrape the
+  /// registry while a run is in flight.
+  observe::Recorder Rec;
   bool Initialized = false;
 };
 
@@ -757,7 +767,8 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
     return Result<rt::RunStats>::error("run() before initialize()");
   const int MaxSupersteps = C.MaxSupersteps;
   const int NumWorkers = C.NumWorkers;
-  const bool CollectStats = C.CollectStats || C.CollectLifecycle;
+  const bool CollectStats =
+      C.CollectStats || C.CollectLifecycle || C.CollectMetrics;
   std::string FirstError;
   std::mutex ErrLock;
 
@@ -826,9 +837,9 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
     }
     return Ret;
   };
-  observe::Recorder Rec;
   observe::Recorder *R = CollectStats ? &Rec : nullptr;
-  Rec.start(NumWorkers <= 0 ? 0 : NumWorkers, C.CollectLifecycle);
+  Rec.start(NumWorkers <= 0 ? 0 : NumWorkers, C.CollectLifecycle,
+            C.CollectMetrics);
   int Steps = NumWorkers <= 0
                   ? rt::runSequential(StatusVec, Update, MaxSupersteps, R,
                                       CtlP)
@@ -842,6 +853,8 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
     if (M.hasStabilize())
       addProfileSites(M.Stabilize.Body, LastProfile);
   }
+  if (CtlP)
+    Rec.countFault(static_cast<uint64_t>(Ctl.faultCount()));
   rt::RunStats Stats;
   if (CollectStats) {
     Stats = Rec.take(Steps, NumWorkers <= 0 ? 0 : NumWorkers);

@@ -118,6 +118,25 @@ std::string formatSummary(const RunStats &R) {
           R.Totals.BlocksClaimed, toMs(R.WallNs));
   appendf(Out, " locks %" PRIu64 "  barriers %" PRIu64 "\n",
           R.Totals.LockAcquires, R.Totals.BarrierWaits);
+  // Distribution summary from the metrics registry (present when the run
+  // collected metrics): the per-step table above only shows means.
+  if (R.Metrics.Enabled) {
+    appendf(Out, " %-17s%11s%11s%11s%11s%11s\n", "histogram", "min", "p50",
+            "p90", "p99", "max");
+    auto Row = [&](const char *Name, const HistData &H, double Div,
+                   const char *Unit) {
+      if (!H.Count)
+        return;
+      appendf(Out, " %-17s%11.3f%11.3f%11.3f%11.3f%11.3f  %s\n", Name,
+              static_cast<double>(H.Min) / Div, H.quantile(0.5) / Div,
+              H.quantile(0.9) / Div, H.quantile(0.99) / Div,
+              static_cast<double>(H.Max) / Div, Unit);
+    };
+    Row("step wall", R.Metrics.Hists[MhStepWallNs], 1e6, "ms");
+    Row("worker imbalance", R.Metrics.Hists[MhImbalanceNs], 1e6, "ms");
+    Row("block claim", R.Metrics.Hists[MhClaimNs], 1e3, "us");
+    Row("updates/step", R.Metrics.Hists[MhUpdatesPerStep], 1.0, "");
+  }
   return Out;
 }
 
@@ -173,7 +192,12 @@ std::string statsJson(const RunStats &R) {
     }
     Out += "]}";
   }
-  Out += "]}";
+  Out += "]";
+  if (R.Metrics.Enabled) {
+    Out += ",\"metrics\":";
+    Out += metricsJson(R.Metrics);
+  }
+  Out += "}";
   return Out;
 }
 

@@ -20,17 +20,35 @@
 ///                     (`diderotc --profile`);
 ///  * profileJson    — machine-readable per-line profile, embedding the
 ///                     source line text;
-///  * lifecycleJson  — strand start/stabilize/die event log as JSON.
+///  * lifecycleJson  — strand start/stabilize/die event log as JSON;
+///  * prometheusText — the metrics registry in Prometheus text exposition
+///                     format (`diderotc --metrics-out`, and the body served
+///                     by the embedded `GET /metrics` endpoint);
+///  * metricsJson    — the registry as a JSON object (merged into statsJson
+///                     under the "metrics" key).
+///
+/// Also hosts the host-only live-monitoring pieces: deriveMetrics (the v4
+/// ABI fallback that reconstructs step-level histograms from spans), the
+/// process-RSS sampler, and the MetricsServer (implementation confined to
+/// metrics_http.cpp — the only file in the tree with socket code).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIDEROT_OBSERVE_OBSERVE_H
 #define DIDEROT_OBSERVE_OBSERVE_H
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "observe/profiler.h"
 #include "observe/recorder.h"
+#include "support/result.h"
 
 namespace diderot::observe {
 
@@ -71,6 +89,86 @@ std::string profileJson(const ProfileData &P, const std::string &Source);
 /// Strand lifecycle event log as JSON: {"events":[{"strand":N,"step":N,
 /// "kind":"start|stabilize|die","worker":N,"ns":N}, ...]}.
 std::string lifecycleJson(const RunStats &R);
+
+//===----------------------------------------------------------------------===//
+// Metrics exposition
+//===----------------------------------------------------------------------===//
+
+/// Prometheus text exposition format (version 0.0.4): `# HELP`/`# TYPE`
+/// lines, counter/gauge samples, and histograms with cumulative `le`
+/// buckets at octave boundaries plus `_sum`/`_count`. Nanosecond-valued
+/// metrics are exposed in seconds, per Prometheus convention.
+std::string prometheusText(const MetricsData &D);
+
+/// The registry as one JSON object: {"enabled":...,"counters":{...},
+/// "gauges":{...},"histograms":{name:{"count","sum","min","max","mean",
+/// "p50","p90","p99","buckets":[[index,count],...]},...}}. Time-valued
+/// histograms keep raw nanoseconds here (the *_ns key names say so).
+std::string metricsJson(const MetricsData &D);
+
+/// Reconstruct a MetricsData from span-level RunStats: counters from the
+/// totals, superstep wall / imbalance / updates histograms from the worker
+/// spans. The graceful-degradation path for v4 native objects that predate
+/// ddr_metrics_read — block-claim latency is the one histogram spans cannot
+/// recover, so it stays empty.
+MetricsData deriveMetrics(const RunStats &R);
+
+/// Current resident set size of this process in bytes (via
+/// /proc/self/statm; 0 where that is unavailable).
+int64_t readProcessRssBytes();
+
+/// Low-frequency background thread sampling process RSS, feeding the
+/// diderot_process_rss_bytes gauge of live scrapes. bytes() is safe from
+/// any thread.
+class RssSampler {
+public:
+  RssSampler() = default;
+  ~RssSampler();
+  RssSampler(const RssSampler &) = delete;
+  RssSampler &operator=(const RssSampler &) = delete;
+
+  /// Take an immediate sample and start the sampler thread (no-op if
+  /// already running).
+  void start(int PeriodMs = 250);
+  /// Stop and join the sampler thread (idempotent; the destructor calls it).
+  void stop();
+  int64_t bytes() const { return Rss.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Rss{0};
+  bool Quit = false; // guarded by Mu
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::thread T;
+};
+
+/// Tiny embedded HTTP endpoint serving `GET /metrics` (Prometheus text) for
+/// long-running programs (`diderotc --metrics-port`). One accept thread,
+/// one request per connection, loopback only. The provider callback renders
+/// the body per request and must be thread-safe (snapshot reads are). All
+/// socket code lives in metrics_http.cpp.
+class MetricsServer {
+public:
+  using Provider = std::function<std::string()>;
+
+  MetricsServer();
+  ~MetricsServer();
+  MetricsServer(const MetricsServer &) = delete;
+  MetricsServer &operator=(const MetricsServer &) = delete;
+
+  /// Bind 127.0.0.1:\p Port (0 picks an ephemeral port, readable via
+  /// port()) and start serving \p P. Fails with a Status if the socket
+  /// cannot be bound.
+  Status start(int Port, Provider P);
+  /// The bound port (valid after a successful start).
+  int port() const;
+  /// Stop accepting and join the server thread (idempotent).
+  void stop();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace diderot::observe
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "observe/fault.h"
+#include "observe/metrics.h"
 
 namespace diderot::observe {
 
@@ -118,6 +119,11 @@ struct RunStats {
   /// tracing was requested in addition to stats).
   std::vector<StrandEvent> Events;
 
+  /// Registry snapshot at end of run: counters, gauges, and the superstep /
+  /// imbalance / claim-latency / updates histograms (Enabled only when
+  /// metrics collection was requested for the run).
+  MetricsData Metrics;
+
   /// Why the run ended. Converged unless a RunPolicy stopped the run early
   /// or MaxSupersteps elapsed with strands still active. Always filled,
   /// independent of Enabled.
@@ -170,19 +176,19 @@ public:
   /// Reset and arm for a run with \p NumWorkers workers (a sequential run
   /// passes 0 and gets one timeline row). With \p Lifecycle set, per-strand
   /// start/stabilize/die events are recorded too (one event list per worker;
-  /// each worker appends only to its own).
-  void start(int NumWorkers, bool Lifecycle = false) {
+  /// each worker appends only to its own). With \p CollectMetrics set, the
+  /// registry's gauges and histograms are armed as well: metrics() returns
+  /// non-null and the schedulers record into it.
+  void start(int NumWorkers, bool Lifecycle = false,
+             bool CollectMetrics = false) {
     Rows.assign(static_cast<size_t>(NumWorkers < 1 ? 1 : NumWorkers), {});
     EventRows.clear();
     if (Lifecycle)
       EventRows.resize(Rows.size());
     TraceLifecycle = Lifecycle;
-    AUpdated.store(0, std::memory_order_relaxed);
-    AStabilized.store(0, std::memory_order_relaxed);
-    ADied.store(0, std::memory_order_relaxed);
-    ABlocks.store(0, std::memory_order_relaxed);
-    ALocks.store(0, std::memory_order_relaxed);
-    ABarriers.store(0, std::memory_order_relaxed);
+    MetricsArmed = CollectMetrics;
+    FoldedSteps = 0;
+    M.start(NumWorkers, CollectMetrics);
     T0 = Clock::now();
   }
 
@@ -203,9 +209,28 @@ public:
     EventRows[static_cast<size_t>(W)].push_back(E);
   }
 
+  /// The live registry when metrics collection was armed for this run,
+  /// null otherwise. Schedulers gate every gauge/histogram touch on this,
+  /// so the unarmed hot path is unchanged.
+  Metrics *metrics() { return MetricsArmed ? &M : nullptr; }
+
+  /// Snapshot the registry (atomic loads only): safe to call from another
+  /// thread — the embedded /metrics endpoint, a live ddr_metrics_read —
+  /// while a run is executing.
+  MetricsData metricsData() const { return M.snapshot(); }
+
+  /// Credit \p N trapped strand faults to the faults counter (engines call
+  /// this from RunControl's tally before take()).
+  void countFault(uint64_t N) { M.counter(McFaults).add(N); }
+
   /// Coordinator only, before workers are released into superstep \p Step:
-  /// allocate the step's span slot in every timeline row.
+  /// allocate the step's span slot in every timeline row. When metrics are
+  /// armed, the previous superstep is complete at this point (the scheduler
+  /// barriers order every commit before the next beginStep), so fold it
+  /// into the registry's histograms and merge the per-worker cells.
   void beginStep(int Step) {
+    if (MetricsArmed)
+      foldCompletedSteps();
     for (std::vector<WorkerSpan> &Row : Rows) {
       Row.emplace_back();
       Row.back().Step = Step;
@@ -214,18 +239,19 @@ public:
 
   /// Worker \p W publishes its span for the current superstep (the one most
   /// recently opened with beginStep). Each worker owns its row; the
-  /// scheduler barriers order beginStep/commit/reads.
+  /// scheduler barriers order beginStep/commit/reads. The run totals are
+  /// registry counters — one source of truth shared with the exporters.
   void commit(int W, const WorkerSpan &S) {
     WorkerSpan &Dst = Rows[static_cast<size_t>(W)].back();
     int Step = Dst.Step;
     Dst = S;
     Dst.Step = Step;
-    AUpdated.fetch_add(S.Updated, std::memory_order_relaxed);
-    AStabilized.fetch_add(S.Stabilized, std::memory_order_relaxed);
-    ADied.fetch_add(S.Died, std::memory_order_relaxed);
-    ABlocks.fetch_add(S.BlocksClaimed, std::memory_order_relaxed);
-    ALocks.fetch_add(S.LockAcquires, std::memory_order_relaxed);
-    ABarriers.fetch_add(S.BarrierWaits, std::memory_order_relaxed);
+    M.counter(McUpdated).add(S.Updated);
+    M.counter(McStabilized).add(S.Stabilized);
+    M.counter(McDied).add(S.Died);
+    M.counter(McBlocksClaimed).add(S.BlocksClaimed);
+    M.counter(McLockAcquires).add(S.LockAcquires);
+    M.counter(McBarrierWaits).add(S.BarrierWaits);
   }
 
   /// Assemble the final RunStats after the schedulers returned. \p StepsRun
@@ -236,14 +262,18 @@ public:
     R.NumWorkers = NumWorkers < 0 ? 0 : NumWorkers;
     R.Enabled = true;
     R.WallNs = nowNs();
+    if (MetricsArmed) {
+      foldCompletedSteps(); // the final superstep has no following beginStep
+      R.Metrics = M.snapshot();
+    }
     R.Workers = std::move(Rows);
     Rows.clear();
-    R.Totals.Updated = AUpdated.load(std::memory_order_relaxed);
-    R.Totals.Stabilized = AStabilized.load(std::memory_order_relaxed);
-    R.Totals.Died = ADied.load(std::memory_order_relaxed);
-    R.Totals.BlocksClaimed = ABlocks.load(std::memory_order_relaxed);
-    R.Totals.LockAcquires = ALocks.load(std::memory_order_relaxed);
-    R.Totals.BarrierWaits = ABarriers.load(std::memory_order_relaxed);
+    R.Totals.Updated = M.counter(McUpdated).value();
+    R.Totals.Stabilized = M.counter(McStabilized).value();
+    R.Totals.Died = M.counter(McDied).value();
+    R.Totals.BlocksClaimed = M.counter(McBlocksClaimed).value();
+    R.Totals.LockAcquires = M.counter(McLockAcquires).value();
+    R.Totals.BarrierWaits = M.counter(McBarrierWaits).value();
     for (std::vector<StrandEvent> &Row : EventRows)
       R.Events.insert(R.Events.end(), Row.begin(), Row.end());
     EventRows.clear();
@@ -257,13 +287,40 @@ public:
   }
 
 private:
+  /// Fold every fully-committed superstep that has not been folded yet into
+  /// the step-level histograms, then merge the per-worker histogram cells.
+  /// Coordinator-only; called with all rows at the same length and every
+  /// span up to that length committed.
+  void foldCompletedSteps() {
+    size_t Done = Rows.empty() ? 0 : Rows[0].size();
+    for (; FoldedSteps < Done; ++FoldedSteps) {
+      uint64_t Begin = ~uint64_t(0), End = 0, Updated = 0;
+      uint64_t MinDur = ~uint64_t(0), MaxDur = 0;
+      for (const std::vector<WorkerSpan> &Row : Rows) {
+        const WorkerSpan &S = Row[FoldedSteps];
+        Begin = S.BeginNs < Begin ? S.BeginNs : Begin;
+        End = S.EndNs > End ? S.EndNs : End;
+        Updated += S.Updated;
+        uint64_t Dur = S.EndNs - S.BeginNs;
+        MinDur = Dur < MinDur ? Dur : MinDur;
+        MaxDur = Dur > MaxDur ? Dur : MaxDur;
+      }
+      M.hist(MhStepWallNs).record(End > Begin ? End - Begin : 0);
+      M.hist(MhImbalanceNs).record(MaxDur - MinDur);
+      M.hist(MhUpdatesPerStep).record(Updated);
+      M.counter(McSupersteps).add(1);
+    }
+    M.mergeCells();
+  }
+
   using Clock = std::chrono::steady_clock;
   Clock::time_point T0{};
   bool TraceLifecycle = false;
+  bool MetricsArmed = false;
+  size_t FoldedSteps = 0;
   std::vector<std::vector<WorkerSpan>> Rows;
   std::vector<std::vector<StrandEvent>> EventRows;
-  std::atomic<uint64_t> AUpdated{0}, AStabilized{0}, ADied{0};
-  std::atomic<uint64_t> ABlocks{0}, ALocks{0}, ABarriers{0};
+  Metrics M; ///< counters always live; gauges/hists only when armed
 };
 
 //===----------------------------------------------------------------------===//

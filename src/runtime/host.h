@@ -61,6 +61,11 @@ struct RunConfig {
   /// Per-strand start/stabilize/die events (implies stats collection; the
   /// events ride in RunStats::Events).
   bool CollectLifecycle = false;
+  /// Metrics registry: superstep/imbalance/claim-latency histograms and the
+  /// live-run gauges (implies stats collection). Results ride in
+  /// RunStats::Metrics; a running instance can be scraped concurrently
+  /// through liveMetrics().
+  bool CollectMetrics = false;
   /// Fault-containment limits: deadline, fault budget, convergence
   /// watchdog, strict-fp, injection plan. Inert by default (Policy.active()
   /// false) — the schedulers then skip every policy branch and runs behave
@@ -122,6 +127,13 @@ public:
   /// Source-level profile of the most recent profiled run (Enabled=false if
   /// the last run did not collect one, or the engine cannot profile).
   virtual observe::ProfileData profile() const { return {}; }
+
+  /// Point-in-time registry snapshot (Enabled=false when the engine cannot
+  /// report metrics or no metrics-armed run has started). Safe to call from
+  /// another thread while run() executes — the snapshot only loads the
+  /// registry's merged atomics — which is what the driver's embedded
+  /// `/metrics` endpoint does for long-running programs.
+  virtual observe::MetricsData liveMetrics() const { return {}; }
 
   // -- Outputs (after run) --------------------------------------------------
   /// Grid dimensions for grid-initialized programs (first iterator is the

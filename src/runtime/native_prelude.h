@@ -458,6 +458,10 @@ public:
   static constexpr int RunStatsFlag = 1;
   static constexpr int RunProfileFlag = 2;
   static constexpr int RunLifecycleFlag = 4;
+  /// Arm the metrics registry (runtime ABI v5): per-worker sharded counter /
+  /// histogram cells, scraped live through ddr_metrics_read. Implies stats
+  /// collection like Lifecycle does.
+  static constexpr int RunMetricsFlag = 8;
 
   /// The highest DSL source line the generated profiled code instruments
   /// (Derived::ProfMaxLine when the emitter provided one).
@@ -508,13 +512,13 @@ public:
       return -1;
     }
     const bool Lifecycle = Flags & RunLifecycleFlag;
-    const bool Collect = (Flags & RunStatsFlag) || Lifecycle;
+    const bool Metrics = Flags & RunMetricsFlag;
+    const bool Collect = (Flags & RunStatsFlag) || Lifecycle || Metrics;
     const bool Profile = Flags & RunProfileFlag;
     if (Profile)
       Prof.start(Workers <= 0 ? 1 : Workers, profMaxLine());
-    observe::Recorder Rec;
     observe::Recorder *R = Collect ? &Rec : nullptr;
-    Rec.start(Workers <= 0 ? 0 : Workers, Lifecycle);
+    Rec.start(Workers <= 0 ? 0 : Workers, Lifecycle, Metrics);
     rt::RunControl Ctl(PolicyArmed ? PendingPolicy : rt::RunPolicy());
     rt::RunControl *CtlP =
         PolicyArmed && Ctl.policy().active() ? &Ctl : nullptr;
@@ -581,6 +585,8 @@ public:
                   : rt::runParallel(Status, Update, MaxSteps, Workers,
                                     BlockSize, R, CtlP);
     }
+    if (CtlP)
+      Rec.countFault(static_cast<uint64_t>(Ctl.faultCount()));
     if (Collect)
       Stats = Rec.take(Steps, Workers <= 0 ? 0 : Workers);
     else
@@ -617,6 +623,15 @@ public:
   int64_t readProf(uint64_t *Out, int64_t Cap) const {
     return copyFlat(observe::flattenProfile(ProfData, /*Sites=*/false), Out,
                     Cap);
+  }
+
+  /// Flatten the metrics registry (observe::flattenMetrics layout; same
+  /// null/size protocol as readStats). Unlike readStats this is valid to
+  /// call concurrently with runFlags: the snapshot reads only the merged
+  /// atomics the coordinator publishes at superstep barriers, which is what
+  /// makes live `GET /metrics` scrapes of a native run race-free.
+  int64_t readMetrics(uint64_t *Out, int64_t Cap) const {
+    return copyFlat(observe::flattenMetrics(Rec.metricsData()), Out, Cap);
   }
 
   /// Flatten the strand lifecycle events of the last collected run
@@ -743,6 +758,8 @@ protected:
   std::vector<StrandStatus> Status;
   std::vector<int64_t> GridDims;
   observe::RunStats Stats; ///< telemetry of the last collected run
+  observe::Recorder Rec;   ///< member (not run-local) so readMetrics can
+                           ///< scrape the registry mid-run
   observe::Profiler Prof;
   observe::ProfileData ProfData; ///< profile of the last profiled run
   rt::RunPolicy PendingPolicy;   ///< staged by setFaultPlan/runPolicy

@@ -352,6 +352,13 @@ int runSequentialImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
       Span.EndNs = Rec->nowNs();
       Rec->beginStep(Steps);
       Rec->commit(0, Span);
+      if (observe::Metrics *MX = Rec->metrics()) {
+        uint64_t Live = 0;
+        for (StrandStatus St : Status)
+          Live += St == StrandStatus::Active;
+        MX->gauge(observe::MgLiveStrands).set(static_cast<int64_t>(Live));
+        MX->gauge(observe::MgWorklistDepth).set(0);
+      }
     }
     ++Steps;
     if constexpr (Policied)
@@ -414,10 +421,17 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
   std::barrier Sync(NumWorkers + 1);
 
   const bool Trace = Rec && Rec->lifecycle();
+  // Armed metrics registry, or null. Hoisted so the hot paths pay a single
+  // pointer test; the unarmed run is branch-for-branch the old loop.
+  observe::Metrics *const MX = Rec ? Rec->metrics() : nullptr;
   auto Worker = [&](int W) {
     // Workers learn the superstep number by counting barrier iterations;
     // the coordinator's Steps counter advances in lock-step with them.
     int StepNo = 0;
+    // This worker's private claim-latency shard; merged by the coordinator
+    // at superstep barriers (observe/metrics.h documents the contract).
+    observe::HistCell *const ClaimCell =
+        MX ? &MX->hist(observe::MhClaimNs).cell(W) : nullptr;
     for (;;) {
       Sync.arrive_and_wait(); // work-list published
       if (Done)
@@ -428,7 +442,14 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
       bool Stopping = false;
       for (;;) {
         size_t Idx;
-        {
+        if (ClaimCell) {
+          uint64_t C0 = Rec->nowNs();
+          {
+            std::lock_guard<std::mutex> G(WorkLock);
+            Idx = NextBlock++;
+          }
+          ClaimCell->record(Rec->nowNs() - C0);
+        } else {
           std::lock_guard<std::mutex> G(WorkLock);
           Idx = NextBlock++;
         }
@@ -502,6 +523,16 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
           ActiveBlocks.push_back(static_cast<uint32_t>(B));
           break;
         }
+    }
+    if (MX) {
+      // Between barriers: the previous superstep is complete and workers
+      // are parked, so this is the superstep-boundary view live scrapes see.
+      uint64_t Live = 0;
+      for (StrandStatus St : Status)
+        Live += St == StrandStatus::Active;
+      MX->gauge(observe::MgLiveStrands).set(static_cast<int64_t>(Live));
+      MX->gauge(observe::MgWorklistDepth)
+          .set(static_cast<int64_t>(ActiveBlocks.size()));
     }
     if (ActiveBlocks.empty())
       break;
