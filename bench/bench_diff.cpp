@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +73,11 @@ std::vector<Entry> parseBench(const std::string &Text) {
 struct Meta {
   std::string Hostname, Compiler, GitSha;
   long Threads = -1;
+  /// Serve-daemon stamp (bench run under diderotd, see docs/SERVING.md):
+  /// daemon-mode numbers include compile-cache and queueing effects, so a
+  /// daemon-vs-standalone comparison is flagged as suspect.
+  bool Daemon = false;
+  std::string DaemonHitRate; ///< raw "cache_hit_rate" number, "" if absent
 };
 
 /// Value of the first `"Key":"..."` occurrence, or "" when absent. The meta
@@ -103,6 +109,16 @@ Meta parseMeta(const std::string &Text) {
   size_t P = Text.find("\"hardware_threads\":");
   if (P != std::string::npos)
     M.Threads = std::strtol(Text.c_str() + P + 19, nullptr, 10);
+  M.Daemon = Text.find("\"daemon\":{") != std::string::npos;
+  size_t H = Text.find("\"cache_hit_rate\":");
+  if (H != std::string::npos) {
+    H += 17;
+    while (H < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[H])) ||
+            Text[H] == '.' || Text[H] == '-' || Text[H] == 'e' ||
+            Text[H] == 'E' || Text[H] == '+'))
+      M.DaemonHitRate += Text[H++];
+  }
   return M;
 }
 
@@ -126,6 +142,16 @@ int reportMetaDiff(const Meta &Old, const Meta &New) {
     std::printf("note: hardware threads differ: %ld -> %ld\n", Old.Threads,
                 New.Threads);
     ++Mismatches;
+  }
+  // Unlike the fields above, one-sided presence is exactly the signal here:
+  // one file measured through the daemon and the other standalone.
+  if (Old.Daemon != New.Daemon) {
+    std::printf("note: daemon mode differs: %s -> %s\n",
+                Old.Daemon ? "daemon" : "standalone",
+                New.Daemon ? "daemon" : "standalone");
+    ++Mismatches;
+  } else if (Old.Daemon) {
+    Note("daemon cache hit rate", Old.DaemonHitRate, New.DaemonHitRate);
   }
   return Mismatches;
 }
@@ -226,6 +252,26 @@ int selfTest() {
   // A pre-metadata file yields empty fields, which never count as mismatch.
   if (reportMetaDiff(Meta(), MN) != 0) {
     std::fprintf(stderr, "self-test: empty meta must not mismatch\n");
+    return 1;
+  }
+  // Daemon stamp: presence difference is one mismatch; hit-rate drift
+  // between two daemon-mode files is one mismatch.
+  Meta MD = parseMeta("{\"meta\":{\"hostname\":\"gauss\","
+                      "\"daemon\":{\"cache_hit_rate\":0.8750,"
+                      "\"queue_depth\":2}}}");
+  if (!MD.Daemon || MD.DaemonHitRate != "0.8750") {
+    std::fprintf(stderr, "self-test: daemon meta parse failed ('%s')\n",
+                 MD.DaemonHitRate.c_str());
+    return 1;
+  }
+  if (reportMetaDiff(MN, MD) != 1) {
+    std::fprintf(stderr, "self-test: daemon presence must mismatch once\n");
+    return 1;
+  }
+  Meta MD2 = MD;
+  MD2.DaemonHitRate = "0.5";
+  if (reportMetaDiff(MD, MD2) != 1 || reportMetaDiff(MD, MD) != 0) {
+    std::fprintf(stderr, "self-test: daemon hit-rate diff miscounted\n");
     return 1;
   }
   std::printf("self-test passed\n");

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -390,6 +391,13 @@ struct BenchMeta {
   int HardwareThreads = 0;
   std::string Compiler;
   std::string GitSha;
+  /// Serve-daemon context, present only when the benchmark ran under (or
+  /// alongside) diderotd: the daemon exports its compile-cache hit rate and
+  /// queue depth via Daemon::stampEnvMeta() so results measured against a
+  /// cold cache or a loaded queue are distinguishable from standalone runs.
+  /// Empty strings mean "not run under a daemon" and suppress the field.
+  std::string DaemonCacheHitRate; ///< DIDEROT_DAEMON_CACHE_HIT_RATE
+  std::string DaemonQueueDepth;   ///< DIDEROT_DAEMON_QUEUE_DEPTH
 };
 
 inline BenchMeta benchMeta() {
@@ -413,6 +421,19 @@ inline BenchMeta benchMeta() {
 #ifdef DIDEROT_GIT_SHA
   M.GitSha = DIDEROT_GIT_SHA;
 #endif
+  // Sanity-bound the env values: they become unquoted JSON numbers, so
+  // anything that strtod cannot fully consume is dropped rather than
+  // emitted as malformed JSON.
+  auto NumericEnv = [](const char *Name) -> std::string {
+    const char *V = std::getenv(Name);
+    if (!V || !*V)
+      return "";
+    char *End = nullptr;
+    std::strtod(V, &End);
+    return (End && *End == '\0') ? std::string(V) : std::string();
+  };
+  M.DaemonCacheHitRate = NumericEnv("DIDEROT_DAEMON_CACHE_HIT_RATE");
+  M.DaemonQueueDepth = NumericEnv("DIDEROT_DAEMON_QUEUE_DEPTH");
   return M;
 }
 
@@ -440,7 +461,17 @@ inline void writeBenchJson(const std::string &Bench,
   Out << "\"meta\":{\"hostname\":\"" << observe::jsonEscape(M.Hostname)
       << "\",\"hardware_threads\":" << M.HardwareThreads << ",\"compiler\":\""
       << observe::jsonEscape(M.Compiler) << "\",\"git_sha\":\""
-      << observe::jsonEscape(M.GitSha) << "\"},";
+      << observe::jsonEscape(M.GitSha) << "\"";
+  if (!M.DaemonCacheHitRate.empty() || !M.DaemonQueueDepth.empty()) {
+    Out << ",\"daemon\":{";
+    if (!M.DaemonCacheHitRate.empty())
+      Out << "\"cache_hit_rate\":" << M.DaemonCacheHitRate;
+    if (!M.DaemonQueueDepth.empty())
+      Out << (M.DaemonCacheHitRate.empty() ? "" : ",")
+          << "\"queue_depth\":" << M.DaemonQueueDepth;
+    Out << "}";
+  }
+  Out << "},";
   Out << "\"records\":[";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];

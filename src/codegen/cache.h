@@ -1,0 +1,75 @@
+//===--- codegen/cache.h - content-addressed compile cache interface ---------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native engine's compiled-object cache, content-addressed so that a
+/// cache directory can be shared across processes and daemon restarts
+/// ("compile once, serve many"). The key is a 128-bit FNV-1a hash over the
+/// program text, the compile options that change the generated code or its
+/// binary, the ddr_* runtime ABI version, and the host compiler identity —
+/// replacing the earlier std::hash<std::string> size_t key, which had no
+/// collision guarantee, was unstable across standard libraries, and omitted
+/// ABI and compiler identity entirely.
+///
+/// Cache directory layout (Opts.WorkDir, or <temp>/diderot-cpp):
+///   ddr-<32-hex-key>.so    the compiled shared object
+///   ddr-<32-hex-key>.cpp   the generated translation unit (KeepCpp only)
+///   index.tsv              append-only index: one line per compile,
+///                          "<key>\t<program>\t<unix-ms>\t<compiler-id>"
+///
+/// Invalidation is by key, never in place: a new ABI revision, compiler, or
+/// flag set hashes to new file names and old entries simply go cold (delete
+/// the directory to reclaim space). serve/compile_cache.h reads the index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_CODEGEN_CACHE_H
+#define DIDEROT_CODEGEN_CACHE_H
+
+#include <cstdint>
+#include <string>
+
+#include "driver/driver.h"
+#include "support/hash.h"
+
+namespace diderot::codegen {
+
+/// Version of the ddr_* C ABI between the driver and generated shared
+/// objects (v5 added ddr_metrics_read). Part of every cache key: a .so
+/// built for an older protocol must never be served to a newer driver.
+constexpr int DdrAbiVersion = 5;
+
+/// Identity of the host toolchain baked into cache keys: the configured
+/// compiler path plus the version banner of the compiler that built this
+/// driver. Deliberately NOT the DIDEROT_CXX environment override — that is
+/// an operational redirect (and the poison-the-compiler cache tests rely on
+/// a warm cache surviving it), not a different artifact identity.
+std::string hostCompilerId();
+
+/// The cache key for \p Text compiled under \p Opts. \p Text is whatever
+/// feeds the next stage: the native loader keys on the generated C++
+/// translation unit; the serve daemon keys its program registry on Diderot
+/// source. Both incorporate every CompileOptions field that changes the
+/// result, plus DdrAbiVersion and hostCompilerId().
+support::Hash128 programCacheKey(const std::string &Text,
+                                 const CompileOptions &Opts);
+
+/// Name of the append-only index file inside a cache directory.
+inline const char *cacheIndexFile() { return "index.tsv"; }
+
+/// Process-lifetime counters for the native compile cache, exposed so the
+/// serve daemon can report cache effectiveness without reaching into the
+/// loader. Monotonic; read with relaxed ordering.
+struct NativeCacheStats {
+  uint64_t MemHits = 0;      ///< .so already dlopen'd in this process
+  uint64_t DiskHits = 0;     ///< .so found on disk; dlopen'd without compiling
+  uint64_t HostCompiles = 0; ///< host compiler actually invoked
+};
+NativeCacheStats nativeCacheStats();
+
+} // namespace diderot::codegen
+
+#endif // DIDEROT_CODEGEN_CACHE_H

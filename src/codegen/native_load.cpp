@@ -3,11 +3,15 @@
 // The native engine's back half: write the generated translation unit to a
 // scratch directory, compile it with the host system's compiler (paper
 // Section 5.1) into a shared object, dlopen it, and wrap its C ABI in the
-// rt::ProgramInstance interface. Compiled objects are cached by source hash
-// so repeated instantiations (e.g. benchmark repetitions) compile once.
+// rt::ProgramInstance interface. Compiled objects are content-addressed
+// (codegen/cache.h): the 128-bit key covers the generated source, the
+// compile options, the ddr_* ABI version, and the host compiler identity,
+// so a cache directory can be shared across processes and daemon restarts
+// and a warm cache never re-invokes the host compiler.
 //
 //===----------------------------------------------------------------------===//
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <dlfcn.h>
@@ -15,11 +19,13 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include "observe/observe.h"
 #include "observe/profiler.h"
 #include "observe/recorder.h"
 
+#include "codegen/cache.h"
 #include "codegen/config.h"
 #include "driver/driver.h"
 #include "support/strings.h"
@@ -27,6 +33,40 @@
 namespace diderot::codegen {
 
 std::string emitCpp(const ir::Module &M, bool DoublePrecision);
+
+std::string hostCompilerId() {
+  // The configured compiler plus the banner of the compiler that built this
+  // driver (a stable proxy for the toolchain revision). See cache.h for why
+  // the DIDEROT_CXX environment override is intentionally excluded.
+  return strf(DIDEROT_HOST_CXX, " host=", __VERSION__);
+}
+
+support::Hash128 programCacheKey(const std::string &Text,
+                                 const CompileOptions &Opts) {
+  support::Fnv128 H;
+  H.updateField("ddr-abi");
+  H.updateField(static_cast<int64_t>(DdrAbiVersion));
+  H.updateField(hostCompilerId());
+  H.updateField(static_cast<int64_t>(Opts.Eng == Engine::Interp ? 0 : 1));
+  H.updateField(static_cast<int64_t>(Opts.DoublePrecision ? 1 : 0));
+  H.updateField(static_cast<int64_t>(Opts.EnableContract ? 1 : 0));
+  H.updateField(static_cast<int64_t>(Opts.EnableValueNumbering ? 1 : 0));
+  H.updateField(Opts.ExtraCxxFlags);
+  H.update(Text);
+  return H.digest();
+}
+
+namespace {
+std::atomic<uint64_t> NMemHits{0}, NDiskHits{0}, NHostCompiles{0};
+} // namespace
+
+NativeCacheStats nativeCacheStats() {
+  NativeCacheStats S;
+  S.MemHits = NMemHits.load(std::memory_order_relaxed);
+  S.DiskHits = NDiskHits.load(std::memory_order_relaxed);
+  S.HostCompiles = NHostCompiles.load(std::memory_order_relaxed);
+  return S;
+}
 
 namespace {
 
@@ -89,19 +129,57 @@ struct LoadedLib {
 };
 
 std::mutex CacheLock;
-std::map<size_t, LoadedLib> LibCache;
+std::map<std::string, LoadedLib> LibCache;
+// Singleflight: one build mutex per key, so N threads requesting the same
+// not-yet-loaded program trigger one compile and N-1 waiters — the property
+// the serve daemon's shared worker pool depends on.
+std::map<std::string, std::shared_ptr<std::mutex>> Building;
+
+/// Best-effort append to the cache directory's index file (one line per
+/// host-compile: key, program name, unix milliseconds, compiler identity).
+/// Failures are ignored — the index is an inventory, not a source of truth;
+/// the .so files themselves are the cache.
+void appendCacheIndex(const fs::path &Dir, const std::string &Key,
+                      const std::string &Name) {
+  std::ofstream Out(Dir / cacheIndexFile(), std::ios::app);
+  if (!Out)
+    return;
+  int64_t NowMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  Out << Key << '\t' << Name << '\t' << NowMs << '\t' << hostCompilerId()
+      << '\n';
+}
 
 Result<LoadedLib *> compileAndLoad(const std::string &Source,
                                    const CompileOptions &Opts,
                                    const std::string &Name) {
   using RL = Result<LoadedLib *>;
-  size_t Key = std::hash<std::string>{}(
-      Source + (Opts.DoublePrecision ? "|d" : "|f") + Opts.ExtraCxxFlags);
+  std::string Key = programCacheKey(Source, Opts).hex();
+  std::shared_ptr<std::mutex> Build;
   {
     std::lock_guard<std::mutex> G(CacheLock);
     auto It = LibCache.find(Key);
-    if (It != LibCache.end())
+    if (It != LibCache.end()) {
+      NMemHits.fetch_add(1, std::memory_order_relaxed);
       return &It->second;
+    }
+    auto &Slot = Building[Key];
+    if (!Slot)
+      Slot = std::make_shared<std::mutex>();
+    Build = Slot;
+  }
+  // Serialize builds of this key only; different programs compile in
+  // parallel. Re-check the cache once we hold the build lock — a concurrent
+  // requester may have finished the work while we waited.
+  std::lock_guard<std::mutex> BG(*Build);
+  {
+    std::lock_guard<std::mutex> G(CacheLock);
+    auto It = LibCache.find(Key);
+    if (It != LibCache.end()) {
+      NMemHits.fetch_add(1, std::memory_order_relaxed);
+      return &It->second;
+    }
   }
 
   fs::path Dir = Opts.WorkDir.empty()
@@ -111,7 +189,9 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
   fs::create_directories(Dir, EC);
   if (EC)
     return RL::error(strf("cannot create scratch directory ", Dir.string()));
-  std::string Stem = strf(Name, "-", Key);
+  // Artifact names are the content key alone (not the program name): the
+  // same program text under two names must map to one cached object.
+  std::string Stem = strf("ddr-", Key);
   fs::path CppPath = Dir / (Stem + ".cpp");
   fs::path SoPath = Dir / (Stem + ".so");
   // Write and compile under process-unique names and rename the result into
@@ -138,6 +218,7 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
         Cxx, " -O3 -std=c++20 -shared -fPIC -I", DIDEROT_SRC_DIR, " ",
         Opts.ExtraCxxFlags, " -o ", TmpSoPath.string(), " ",
         TmpCppPath.string(), " -lpthread > ", LogPath.string(), " 2>&1");
+    NHostCompiles.fetch_add(1, std::memory_order_relaxed);
     int RC = std::system(Cmd.c_str());
     if (RC != 0) {
       std::ifstream Log(LogPath);
@@ -153,6 +234,9 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
     else
       fs::remove(TmpCppPath, EC);
     fs::remove(LogPath, EC);
+    appendCacheIndex(Dir, Key, Name);
+  } else {
+    NDiskHits.fetch_add(1, std::memory_order_relaxed);
   }
 
   void *Handle = dlopen(SoPath.string().c_str(), RTLD_NOW | RTLD_LOCAL);

@@ -16,10 +16,10 @@
 #include <vector>
 
 #include "driver/driver.h"
+#include "driver/inputs.h"
 #include "nrrd/nrrd.h"
 #include "observe/observe.h"
 #include "support/strings.h"
-#include "synth/synth.h"
 
 using namespace diderot;
 
@@ -67,58 +67,6 @@ options:
                            "converged"
   --quiet                  suppress statistics
 )");
-}
-
-bool setImageSpec(rt::ProgramInstance &I, const std::string &Name,
-                  const std::string &Spec, std::string &Err) {
-  if (startsWith(Spec, "synth:")) {
-    std::vector<std::string> Parts = splitString(Spec, ':');
-    if (Parts.size() < 2) {
-      Err = "bad synth spec: " + Spec;
-      return false;
-    }
-    int Size = Parts.size() >= 3 ? std::atoi(Parts[2].c_str()) : 32;
-    Image Img;
-    if (Parts[1] == "hand")
-      Img = synth::ctHand(Size);
-    else if (Parts[1] == "vessels")
-      Img = synth::lungVessels(Size);
-    else if (Parts[1] == "flow")
-      Img = synth::flow2d(Size);
-    else if (Parts[1] == "noise")
-      Img = synth::noise2d(Size);
-    else if (Parts[1] == "portrait")
-      Img = synth::portrait(Size);
-    else {
-      Err = "unknown synthetic dataset: " + Parts[1];
-      return false;
-    }
-    Status S = I.setInputImage(Name, Img);
-    if (!S.isOk()) {
-      Err = S.message();
-      return false;
-    }
-    return true;
-  }
-  Result<Nrrd> N = nrrdRead(Spec);
-  if (!N.isOk()) {
-    Err = N.message();
-    return false;
-  }
-  // Try common dims/shapes until one matches the declared input type.
-  for (const rt::InputDesc &D : I.inputs()) {
-    (void)D;
-  }
-  for (int Dim = 1; Dim <= 3; ++Dim) {
-    for (int Comp : {1, 2, 3, 4}) {
-      Shape S = Comp == 1 ? Shape{} : Shape{Comp};
-      Result<Image> Img = Image::fromNrrd(*N, Dim, S);
-      if (Img.isOk() && I.setInputImage(Name, *Img).isOk())
-        return true;
-    }
-  }
-  Err = "NRRD does not match the input's image type: " + Spec;
-  return false;
 }
 
 } // namespace
@@ -262,39 +210,9 @@ int main(int Argc, char **Argv) {
   }
   rt::ProgramInstance &I = **Inst;
 
-  // Apply inputs.
+  // Apply inputs (shared text→input binding, driver/inputs.h).
   for (const auto &[Name, Value] : Inputs) {
-    std::string TypeName;
-    for (const rt::InputDesc &D : I.inputs())
-      if (D.Name == Name)
-        TypeName = D.TypeName;
-    if (TypeName.empty()) {
-      std::fprintf(stderr, "error: no input named '%s'\n", Name.c_str());
-      return 1;
-    }
-    Status S;
-    if (startsWith(TypeName, "image")) {
-      std::string Err;
-      if (!setImageSpec(I, Name, Value, Err)) {
-        std::fprintf(stderr, "error: %s\n", Err.c_str());
-        return 1;
-      }
-      continue;
-    }
-    if (TypeName == "int")
-      S = I.setInputInt(Name, std::atoll(Value.c_str()));
-    else if (TypeName == "bool")
-      S = I.setInputBool(Name, Value == "true" || Value == "1");
-    else if (TypeName == "string")
-      S = I.setInputString(Name, Value);
-    else if (TypeName == "real")
-      S = I.setInputReal(Name, std::atof(Value.c_str()));
-    else { // tensor: comma-separated components
-      std::vector<double> Comps;
-      for (const std::string &P : splitString(Value, ','))
-        Comps.push_back(std::atof(P.c_str()));
-      S = I.setInputTensor(Name, Comps);
-    }
+    Status S = setInputFromText(I, Name, Value);
     if (!S.isOk()) {
       std::fprintf(stderr, "error: %s\n", S.message().c_str());
       return 1;
@@ -425,27 +343,13 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "wrote %s\n", EventsOut.c_str());
   }
 
-  std::vector<rt::OutputDesc> Outs = I.outputs();
-  if (!OutFile.empty() && !Outs.empty()) {
-    std::vector<double> Data;
-    S = I.getOutput(Outs[0].Name, Data);
-    if (!S.isOk()) {
-      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+  if (!OutFile.empty() && !I.outputs().empty()) {
+    Result<Nrrd> N = outputToNrrd(I);
+    if (!N.isOk()) {
+      std::fprintf(stderr, "error: %s\n", N.message().c_str());
       return 1;
     }
-    Nrrd N;
-    N.Type = NrrdType::Double;
-    int Comps = Outs[0].ValShape.numComponents();
-    if (Comps > 1)
-      N.Sizes.push_back(Comps);
-    std::vector<int> Dims = I.outputDims();
-    // Grid: first iterator is the slowest axis; NRRD wants fastest first.
-    for (size_t K = Dims.size(); K-- > 0;)
-      N.Sizes.push_back(Dims[K]);
-    N.allocate();
-    for (size_t K = 0; K < Data.size() && K < N.numSamples(); ++K)
-      N.setSampleFromDouble(K, Data[K]);
-    Status W = nrrdWrite(N, OutFile);
+    Status W = nrrdWrite(*N, OutFile);
     if (!W.isOk()) {
       std::fprintf(stderr, "error: %s\n", W.message().c_str());
       return 1;

@@ -57,7 +57,8 @@ std::string CompiledProgram::emitCpp() const {
   return codegen::emitCpp(P->Low, P->Opts.DoublePrecision);
 }
 
-Result<std::unique_ptr<rt::ProgramInstance>> CompiledProgram::instantiate() {
+Result<std::unique_ptr<rt::ProgramInstance>>
+CompiledProgram::instantiate() const {
   if (P->Opts.Eng == Engine::Interp) {
     ir::Module Copy = P->Mid;
     return interp::makeInstance(std::move(Copy));

@@ -88,8 +88,12 @@ public:
   /// selected engine; used by tests and `diderotc -emit-cpp`).
   std::string emitCpp() const;
 
-  /// Create a fresh instance (own inputs, strands, outputs).
-  Result<std::unique_ptr<rt::ProgramInstance>> instantiate();
+  /// Create a fresh instance (own inputs, strands, outputs). Const and
+  /// thread-safe: the serve daemon holds one shared_ptr<const
+  /// CompiledProgram> per cached program and instantiates from several job
+  /// workers at once (the native loader serializes the underlying .so
+  /// compile internally; see codegen/cache.h).
+  Result<std::unique_ptr<rt::ProgramInstance>> instantiate() const;
 
   /// Per-pass wall time and instruction-count deltas for this compile.
   const std::vector<PassTiming> &passTimings() const;

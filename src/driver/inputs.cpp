@@ -1,0 +1,116 @@
+//===--- driver/inputs.cpp - textual input binding shared by CLI and daemon --===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/inputs.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "support/strings.h"
+#include "synth/synth.h"
+
+namespace diderot {
+
+namespace {
+
+Status setImageSpec(rt::ProgramInstance &I, const std::string &Name,
+                    const std::string &Spec) {
+  if (startsWith(Spec, "synth:")) {
+    std::vector<std::string> Parts = splitString(Spec, ':');
+    if (Parts.size() < 2)
+      return Status::error("bad synth spec: " + Spec);
+    int Size = Parts.size() >= 3 ? std::atoi(Parts[2].c_str()) : 32;
+    Image Img;
+    if (Parts[1] == "hand")
+      Img = synth::ctHand(Size);
+    else if (Parts[1] == "vessels")
+      Img = synth::lungVessels(Size);
+    else if (Parts[1] == "flow")
+      Img = synth::flow2d(Size);
+    else if (Parts[1] == "noise")
+      Img = synth::noise2d(Size);
+    else if (Parts[1] == "portrait")
+      Img = synth::portrait(Size);
+    else
+      return Status::error("unknown synthetic dataset: " + Parts[1]);
+    return I.setInputImage(Name, Img);
+  }
+  Result<Nrrd> N = nrrdRead(Spec);
+  if (!N.isOk())
+    return Status::error(N.message());
+  // Try common dims/shapes until one matches the declared input type.
+  for (int Dim = 1; Dim <= 3; ++Dim) {
+    for (int Comp : {1, 2, 3, 4}) {
+      Shape S = Comp == 1 ? Shape{} : Shape{Comp};
+      Result<Image> Img = Image::fromNrrd(*N, Dim, S);
+      if (Img.isOk() && I.setInputImage(Name, *Img).isOk())
+        return Status::ok();
+    }
+  }
+  return Status::error("NRRD does not match the input's image type: " + Spec);
+}
+
+} // namespace
+
+Status setInputFromText(rt::ProgramInstance &I, const std::string &Name,
+                        const std::string &Value) {
+  std::string TypeName;
+  for (const rt::InputDesc &D : I.inputs())
+    if (D.Name == Name)
+      TypeName = D.TypeName;
+  if (TypeName.empty())
+    return Status::error("no input named '" + Name + "'");
+  if (startsWith(TypeName, "image"))
+    return setImageSpec(I, Name, Value);
+  if (TypeName == "int")
+    return I.setInputInt(Name, std::atoll(Value.c_str()));
+  if (TypeName == "bool")
+    return I.setInputBool(Name, Value == "true" || Value == "1");
+  if (TypeName == "string")
+    return I.setInputString(Name, Value);
+  if (TypeName == "real")
+    return I.setInputReal(Name, std::atof(Value.c_str()));
+  // tensor: comma-separated components
+  std::vector<double> Comps;
+  for (const std::string &P : splitString(Value, ','))
+    Comps.push_back(std::atof(P.c_str()));
+  return I.setInputTensor(Name, Comps);
+}
+
+Result<Nrrd> outputToNrrd(rt::ProgramInstance &I, const std::string &Name) {
+  std::vector<rt::OutputDesc> Outs = I.outputs();
+  if (Outs.empty())
+    return Result<Nrrd>::error("program has no outputs");
+  const rt::OutputDesc *Out = nullptr;
+  if (Name.empty()) {
+    Out = &Outs[0];
+  } else {
+    for (const rt::OutputDesc &D : Outs)
+      if (D.Name == Name)
+        Out = &D;
+    if (!Out)
+      return Result<Nrrd>::error("no output named '" + Name + "'");
+  }
+  std::vector<double> Data;
+  Status S = I.getOutput(Out->Name, Data);
+  if (!S.isOk())
+    return Result<Nrrd>::error(S.message());
+  Nrrd N;
+  N.Type = NrrdType::Double;
+  int Comps = Out->ValShape.numComponents();
+  if (Comps > 1)
+    N.Sizes.push_back(Comps);
+  std::vector<int> Dims = I.outputDims();
+  // Grid: first iterator is the slowest axis; NRRD wants fastest first.
+  for (size_t K = Dims.size(); K-- > 0;)
+    N.Sizes.push_back(Dims[K]);
+  N.allocate();
+  for (size_t K = 0; K < Data.size() && K < N.numSamples(); ++K)
+    N.setSampleFromDouble(K, Data[K]);
+  return N;
+}
+
+} // namespace diderot

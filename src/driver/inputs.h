@@ -1,0 +1,52 @@
+//===--- driver/inputs.h - textual input binding shared by CLI and daemon ----===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The Diderot compiler synthesizes glue code that allows command-line
+/// setting of input variables" (Section 3.3.1). This is that glue, factored
+/// out of diderotc.cpp so the serve daemon can bind the same NAME=VALUE
+/// texts arriving as X-Diderot-Input headers:
+///
+///  * scalars parse from their obvious text forms (int, real, bool's
+///    "true"/"1", strings verbatim);
+///  * tensors parse from comma-separated components;
+///  * images accept either a .nrrd path or a synthetic dataset spec
+///    `synth:GEN:SIZE` with GEN in {hand, vessels, flow, noise, portrait}
+///    (see src/synth) — the form daemon clients should prefer, since it
+///    names no files on the server.
+///
+/// Also hosts the inverse direction: packaging a finished instance's first
+/// output as an Nrrd, shared by `diderotc --out` and the daemon's
+/// `GET /jobs/<id>/output`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_DRIVER_INPUTS_H
+#define DIDEROT_DRIVER_INPUTS_H
+
+#include <string>
+
+#include "nrrd/nrrd.h"
+#include "runtime/host.h"
+#include "support/result.h"
+
+namespace diderot {
+
+/// Bind input \p Name of \p I from its textual \p Value, dispatching on the
+/// input's declared type (image specs, scalars, tensors as described in the
+/// file comment). Unknown input names and unparsable values are errors.
+Status setInputFromText(rt::ProgramInstance &I, const std::string &Name,
+                        const std::string &Value);
+
+/// Package output \p Name (or the program's first output when \p Name is
+/// empty) of the finished instance \p I as a double-typed Nrrd, components
+/// fastest then grid axes fastest-to-slowest. Errors when the program has
+/// no outputs or the read fails.
+Result<Nrrd> outputToNrrd(rt::ProgramInstance &I, const std::string &Name = "");
+
+} // namespace diderot
+
+#endif // DIDEROT_DRIVER_INPUTS_H

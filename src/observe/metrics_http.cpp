@@ -2,159 +2,55 @@
 //
 // Part of the Diderot-C++ reproduction (PLDI 2012).
 //
-// The one file in the tree with socket code: a deliberately tiny HTTP/1.0
-// server for `diderotc --metrics-port`. One accept thread, one request per
-// connection, loopback only, no keep-alive, no TLS — just enough for
-// `curl localhost:PORT/metrics` or a Prometheus scrape of a long-running
-// program. The response body comes from a caller-supplied provider that
-// snapshots the metrics registry (atomic loads only), so serving concurrently
-// with a running superstep is race-free by construction.
+// A thin routing layer over the shared support/http.h mini-server (where
+// all socket code now lives): `diderotc --metrics-port` serves one
+// resource, `GET /metrics` (with `/` accepted so a bare `curl
+// localhost:PORT` works). The response body comes from a caller-supplied
+// provider that snapshots the metrics registry (atomic loads only), so
+// serving concurrently with a running superstep is race-free by
+// construction.
 //
 //===----------------------------------------------------------------------===//
 
 #include "observe/observe.h"
 
-#include <atomic>
-#include <cstring>
-#include <string>
-#include <thread>
-
-#if defined(__unix__) || defined(__APPLE__)
-#define DIDEROT_HAVE_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
+#include "support/http.h"
 
 namespace diderot::observe {
 
 struct MetricsServer::Impl {
-  int ListenFd = -1;
-  int Port = 0;
-  std::atomic<bool> Quit{false};
-  Provider Prov;
-  std::thread Thread;
+  http::Server Server;
 };
 
 MetricsServer::MetricsServer() : I(new Impl) {}
 
 MetricsServer::~MetricsServer() { stop(); }
 
-int MetricsServer::port() const { return I->Port; }
-
-#if DIDEROT_HAVE_SOCKETS
-
-namespace {
-
-void writeAll(int Fd, const char *Data, size_t Len) {
-  size_t Off = 0;
-  while (Off < Len) {
-    ssize_t N = ::send(Fd, Data + Off, Len - Off, 0);
-    if (N <= 0)
-      return; // peer went away; nothing sensible to do
-    Off += static_cast<size_t>(N);
-  }
-}
-
-void respond(int Fd, const char *StatusLine, const std::string &Body) {
-  std::string Hdr;
-  Hdr += "HTTP/1.0 ";
-  Hdr += StatusLine;
-  Hdr += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-         "Content-Length: ";
-  Hdr += std::to_string(Body.size());
-  Hdr += "\r\nConnection: close\r\n\r\n";
-  writeAll(Fd, Hdr.data(), Hdr.size());
-  writeAll(Fd, Body.data(), Body.size());
-}
-
-/// True when the request line targets the metrics resource ("/" accepted
-/// as a convenience so a bare `curl localhost:PORT` works too).
-bool wantsMetrics(const char *Req) {
-  const char *Sp = std::strchr(Req, ' ');
-  if (!Sp || std::strncmp(Req, "GET ", 4) != 0)
-    return false;
-  const char *Path = Sp + 1;
-  return std::strncmp(Path, "/metrics", 8) == 0 ||
-         std::strncmp(Path, "/ ", 2) == 0;
-}
-
-} // namespace
+int MetricsServer::port() const { return I->Server.port(); }
 
 Status MetricsServer::start(int Port, Provider P) {
-  if (I->Thread.joinable())
-    return Status::error("metrics server already running");
   if (!P)
     return Status::error("metrics server needs a provider");
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return Status::error("metrics server: socket() failed");
-  int One = 1;
-  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-  sockaddr_in Addr{};
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(static_cast<uint16_t>(Port));
-  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    ::close(Fd);
-    return Status::error("metrics server: cannot bind 127.0.0.1:" +
-                         std::to_string(Port));
-  }
-  if (::listen(Fd, 16) < 0) {
-    ::close(Fd);
-    return Status::error("metrics server: listen() failed");
-  }
-  sockaddr_in Bound{};
-  socklen_t BoundLen = sizeof(Bound);
-  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &BoundLen) == 0)
-    I->Port = ntohs(Bound.sin_port);
-  else
-    I->Port = Port;
-  I->ListenFd = Fd;
-  I->Quit.store(false, std::memory_order_relaxed);
-  I->Prov = std::move(P);
-  Impl *Im = I.get();
-  I->Thread = std::thread([Im] {
-    while (!Im->Quit.load(std::memory_order_relaxed)) {
-      int C = ::accept(Im->ListenFd, nullptr, nullptr);
-      if (C < 0) {
-        if (Im->Quit.load(std::memory_order_relaxed))
-          return;
-        continue; // transient accept error
-      }
-      char Req[1024] = {};
-      ssize_t N = ::recv(C, Req, sizeof(Req) - 1, 0);
-      if (N > 0 && wantsMetrics(Req))
-        respond(C, "200 OK", Im->Prov());
-      else
-        respond(C, "404 Not Found", "not found\n");
-      ::close(C);
-    }
-  });
+  http::Server::Options O;
+  O.HandlerThreads = 1; // scrapes are cheap and infrequent
+  Status S = I->Server.start(
+      Port,
+      [Prov = std::move(P)](const http::Request &Req) -> http::Response {
+        if (Req.Method == "GET" &&
+            (Req.Path == "/metrics" || Req.Path == "/")) {
+          http::Response R;
+          R.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+          R.Body = Prov();
+          return R;
+        }
+        return {404, "text/plain; charset=utf-8", "not found\n", {}};
+      },
+      O);
+  if (!S.isOk())
+    return Status::error("metrics server: " + S.message());
   return Status::ok();
 }
 
-void MetricsServer::stop() {
-  if (!I->Thread.joinable())
-    return;
-  I->Quit.store(true, std::memory_order_relaxed);
-  // Unblock accept(): shutdown wakes it with an error on Linux; closing the
-  // fd covers the platforms where it does not.
-  ::shutdown(I->ListenFd, SHUT_RDWR);
-  ::close(I->ListenFd);
-  I->Thread.join();
-  I->ListenFd = -1;
-}
-
-#else // !DIDEROT_HAVE_SOCKETS
-
-Status MetricsServer::start(int, Provider) {
-  return Status::error("metrics server: no socket support on this platform");
-}
-
-void MetricsServer::stop() {}
-
-#endif
+void MetricsServer::stop() { I->Server.stop(); }
 
 } // namespace diderot::observe

@@ -29,8 +29,9 @@
 ///
 /// Also hosts the host-only live-monitoring pieces: deriveMetrics (the v4
 /// ABI fallback that reconstructs step-level histograms from spans), the
-/// process-RSS sampler, and the MetricsServer (implementation confined to
-/// metrics_http.cpp — the only file in the tree with socket code).
+/// process-RSS sampler, and the MetricsServer (a routing shim in
+/// metrics_http.cpp over the shared support/http.h server, where all
+/// socket code lives).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -143,10 +144,10 @@ private:
 };
 
 /// Tiny embedded HTTP endpoint serving `GET /metrics` (Prometheus text) for
-/// long-running programs (`diderotc --metrics-port`). One accept thread,
-/// one request per connection, loopback only. The provider callback renders
-/// the body per request and must be thread-safe (snapshot reads are). All
-/// socket code lives in metrics_http.cpp.
+/// long-running programs (`diderotc --metrics-port`). One request per
+/// connection, loopback only, hardened request parsing (support/http.h).
+/// The provider callback renders the body per request and must be
+/// thread-safe (snapshot reads are).
 class MetricsServer {
 public:
   using Provider = std::function<std::string()>;

@@ -14,6 +14,18 @@
 ///
 /// Protocol: set inputs -> initialize() -> run(...) -> read outputs.
 ///
+/// Multi-instance contract (what the serve daemon relies on): any number of
+/// ProgramInstance objects — of the same program or different programs —
+/// may coexist in one process and run() concurrently on different threads.
+/// Instances share nothing mutable: each owns its inputs, globals, strand
+/// state, and outputs. Interp instances own a private copy of the MidIR
+/// module; native instances are objects created inside a dlopen'd shared
+/// object, which stays mapped for the life of the process (the loader's
+/// library cache never dlcloses, so instances may outlive the
+/// CompiledProgram that made them). A single instance is NOT itself
+/// thread-safe — drive it from one thread at a time; the documented
+/// exceptions are liveMetrics() and the const statistics accessors.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIDEROT_RUNTIME_HOST_H

@@ -1,0 +1,84 @@
+//===--- serve/compile_cache.cpp - the daemon's program registry -------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/compile_cache.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/cache.h"
+#include "support/strings.h"
+
+namespace diderot::serve {
+
+std::string defaultCacheDir() {
+  if (const char *Env = std::getenv("DIDEROT_CACHE_DIR"))
+    if (*Env)
+      return Env;
+  return (std::filesystem::temp_directory_path() / "diderot-cpp").string();
+}
+
+std::vector<CacheEntry> readCacheIndex(const std::string &Dir) {
+  std::vector<CacheEntry> Entries;
+  std::ifstream In(std::filesystem::path(Dir) / codegen::cacheIndexFile());
+  if (!In)
+    return Entries;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::vector<std::string> Cols = splitString(Line, '\t');
+    if (Cols.size() < 4 || Cols[0].size() != 32)
+      continue;
+    CacheEntry E;
+    E.Key = Cols[0];
+    E.Program = Cols[1];
+    E.UnixMs = std::atoll(Cols[2].c_str());
+    E.CompilerId = Cols[3];
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+size_t ProgramRegistry::size() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Programs.size();
+}
+
+Result<ProgramRegistry::Lookup>
+ProgramRegistry::getOrCompile(const std::string &Source,
+                              const std::string &Name) {
+  Lookup L;
+  L.Key = codegen::programCacheKey(Source, Opts).hex();
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    auto It = Programs.find(L.Key);
+    if (It != Programs.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      L.Prog = It->second;
+      L.Cached = true;
+      return L;
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  auto T0 = std::chrono::steady_clock::now();
+  Result<CompiledProgram> C = compileString(Source, Opts, Name);
+  if (!C.isOk())
+    return Result<Lookup>::error(C.message());
+  L.CompileNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  auto Fresh = std::make_shared<const CompiledProgram>(C.take());
+  std::lock_guard<std::mutex> G(Mu);
+  auto [It, Inserted] = Programs.emplace(L.Key, std::move(Fresh));
+  (void)Inserted; // a racing miss may have beaten us; serve the winner
+  L.Prog = It->second;
+  return L;
+}
+
+} // namespace diderot::serve

@@ -1,0 +1,483 @@
+//===--- serve/daemon.cpp - the diderotd compile-and-run service -------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/daemon.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "codegen/cache.h"
+#include "driver/inputs.h"
+#include "nrrd/nrrd.h"
+#include "observe/observe.h"
+#include "serve/compile_cache.h"
+#include "serve/job_queue.h"
+#include "support/http.h"
+#include "support/strings.h"
+
+namespace diderot::serve {
+
+namespace {
+
+/// Octave-bucket latency histogram, Prometheus-ready. Bucket B counts
+/// samples <= 1ms * 2^B; 20 buckets reach ~9 minutes, everything slower
+/// lands in +Inf only. Lock-free record, racy-but-monotonic scrape — the
+/// same contract as the runtime metrics registry.
+struct LatencyHisto {
+  static constexpr int NumBuckets = 20;
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> SumNs{0};
+
+  void record(uint64_t Ns) {
+    uint64_t Ms = Ns / 1000000;
+    for (int B = 0; B < NumBuckets; ++B)
+      if (Ms <= (1ull << B)) {
+        Buckets[B].fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    Count.fetch_add(1, std::memory_order_relaxed);
+    SumNs.fetch_add(Ns, std::memory_order_relaxed);
+  }
+
+  /// Append HELP/TYPE/bucket/sum/count lines for metric \p Name (seconds).
+  void prom(std::string &Out, const std::string &Name,
+            const std::string &Help) const {
+    Out += strf("# HELP ", Name, " ", Help, "\n# TYPE ", Name,
+                " histogram\n");
+    uint64_t Cum = 0;
+    for (int B = 0; B < NumBuckets; ++B) {
+      Cum += Buckets[B].load(std::memory_order_relaxed);
+      Out += strf(Name, "_bucket{le=\"", 0.001 * (1ull << B), "\"} ", Cum,
+                  "\n");
+    }
+    uint64_t N = Count.load(std::memory_order_relaxed);
+    Out += strf(Name, "_bucket{le=\"+Inf\"} ", N, "\n");
+    Out += strf(Name, "_sum ",
+                SumNs.load(std::memory_order_relaxed) / 1e9, "\n");
+    Out += strf(Name, "_count ", N, "\n");
+  }
+};
+
+enum class JobState { Queued, Running, Done, Failed };
+
+const char *jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  case JobState::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+/// One submitted run. Guarded by Impl::JobsMu (the fields are small and
+/// job transitions are rare next to strand updates; one lock keeps the
+/// done-then-pruned lifecycle trivially correct).
+struct JobRec {
+  std::string Id;
+  std::string Program; ///< program name
+  std::string Key;     ///< registry key
+  JobState State = JobState::Queued;
+  std::string Error;   ///< non-empty iff Failed
+  std::string Outcome; ///< runOutcomeName once finished
+  int Steps = 0;
+  uint64_t WallNs = 0;
+  size_t Strands = 0, Stable = 0, Dead = 0, Faulted = 0;
+  std::string OutputNrrd; ///< serialized first output (may be empty)
+};
+
+} // namespace
+
+struct Daemon::Impl {
+  DaemonOptions Opts;
+  std::unique_ptr<ProgramRegistry> Registry;
+  FairScheduler Sched;
+  http::Server Http;
+
+  std::mutex JobsMu;
+  std::map<std::string, std::shared_ptr<JobRec>> Jobs;
+  std::deque<std::string> Finished; // pruning order (oldest first)
+  uint64_t NextJobId = 1;
+
+  std::atomic<uint64_t> JobsDone{0}, JobsFailed{0}, JobsRejected{0};
+  std::atomic<uint64_t> HttpRequests{0};
+  LatencyHisto CompileHisto, RunHisto;
+
+  http::Response handle(const http::Request &Req);
+  http::Response handleCompile(const http::Request &Req);
+  http::Response handleRun(const http::Request &Req);
+  http::Response handleJob(const std::string &Id, bool WantOutput);
+  http::Response metricsText();
+  void runJob(const std::shared_ptr<JobRec> &Job,
+              std::shared_ptr<const CompiledProgram> Prog,
+              std::vector<std::pair<std::string, std::string>> Inputs,
+              rt::RunConfig RC, std::string OutputName);
+  void finishJob(const std::shared_ptr<JobRec> &Job);
+};
+
+namespace {
+
+http::Response textResponse(int Code, const std::string &Body) {
+  return {Code, "text/plain; charset=utf-8", Body, {}};
+}
+
+http::Response jsonResponse(int Code, const std::string &Body) {
+  return {Code, "application/json", Body, {}};
+}
+
+std::string jobJson(const JobRec &J) {
+  std::ostringstream S;
+  S << "{\"job\":\"" << observe::jsonEscape(J.Id) << "\""
+    << ",\"state\":\"" << jobStateName(J.State) << "\""
+    << ",\"program\":\"" << observe::jsonEscape(J.Program) << "\""
+    << ",\"key\":\"" << J.Key << "\"";
+  if (J.State == JobState::Done) {
+    S << ",\"outcome\":\"" << J.Outcome << "\""
+      << ",\"steps\":" << J.Steps << ",\"wallMs\":" << (J.WallNs / 1e6)
+      << ",\"strands\":" << J.Strands << ",\"stable\":" << J.Stable
+      << ",\"dead\":" << J.Dead << ",\"faulted\":" << J.Faulted
+      << ",\"outputBytes\":" << J.OutputNrrd.size();
+  }
+  if (!J.Error.empty())
+    S << ",\"error\":\"" << observe::jsonEscape(J.Error) << "\"";
+  S << "}\n";
+  return S.str();
+}
+
+} // namespace
+
+http::Response Daemon::Impl::handle(const http::Request &Req) {
+  HttpRequests.fetch_add(1, std::memory_order_relaxed);
+  if (Req.Path == "/compile") {
+    if (Req.Method != "POST")
+      return textResponse(405, "POST only\n");
+    return handleCompile(Req);
+  }
+  if (Req.Path == "/run") {
+    if (Req.Method != "POST")
+      return textResponse(405, "POST only\n");
+    return handleRun(Req);
+  }
+  if (startsWith(Req.Path, "/jobs/")) {
+    if (Req.Method != "GET")
+      return textResponse(405, "GET only\n");
+    std::string Rest = Req.Path.substr(6);
+    bool WantOutput = false;
+    size_t Slash = Rest.find('/');
+    if (Slash != std::string::npos) {
+      if (Rest.substr(Slash) != "/output")
+        return textResponse(404, "not found\n");
+      WantOutput = true;
+      Rest = Rest.substr(0, Slash);
+    }
+    return handleJob(Rest, WantOutput);
+  }
+  if (Req.Path == "/metrics" && Req.Method == "GET")
+    return metricsText();
+  return textResponse(404, "not found\n");
+}
+
+http::Response Daemon::Impl::handleCompile(const http::Request &Req) {
+  if (Req.Body.empty())
+    return textResponse(400, "empty program body\n");
+  std::string Name = Req.header("x-diderot-program");
+  if (Name.empty())
+    Name = "program";
+  auto T0 = std::chrono::steady_clock::now();
+  Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
+  if (!L.isOk())
+    return textResponse(400, L.message() + "\n");
+  if (!L->Cached) {
+    // Warm the expensive artifact now: instantiating a native program
+    // emits the C++ and builds (or disk-hits) the shared object, so the
+    // first POST /run finds everything hot.
+    Result<std::unique_ptr<rt::ProgramInstance>> Inst = L->Prog->instantiate();
+    if (!Inst.isOk())
+      return textResponse(400, Inst.message() + "\n");
+  }
+  uint64_t Ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  if (!L->Cached)
+    CompileHisto.record(Ns);
+  std::ostringstream S;
+  S << "{\"key\":\"" << L->Key << "\",\"program\":\""
+    << observe::jsonEscape(Name) << "\",\"cached\":"
+    << (L->Cached ? "true" : "false") << ",\"compileMs\":" << (Ns / 1e6)
+    << "}\n";
+  return jsonResponse(200, S.str());
+}
+
+http::Response Daemon::Impl::handleRun(const http::Request &Req) {
+  if (Req.Body.empty())
+    return textResponse(400, "empty program body\n");
+  std::string Name = Req.header("x-diderot-program");
+  if (Name.empty())
+    Name = "program";
+  Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
+  if (!L.isOk())
+    return textResponse(400, L.message() + "\n");
+  if (L->CompileNs)
+    CompileHisto.record(L->CompileNs);
+
+  // Inputs arrive as repeated X-Diderot-Input: NAME=VALUE headers; they are
+  // validated on the worker, where the instance (and so the declared input
+  // types) exists.
+  std::vector<std::pair<std::string, std::string>> Inputs;
+  for (const std::string &KV : Req.headerValues("x-diderot-input")) {
+    size_t Eq = KV.find('=');
+    if (Eq == std::string::npos)
+      return textResponse(400, "X-Diderot-Input needs NAME=VALUE\n");
+    Inputs.emplace_back(KV.substr(0, Eq), KV.substr(Eq + 1));
+  }
+  rt::RunConfig RC;
+  RC.MaxSupersteps = Opts.MaxSupersteps;
+  RC.NumWorkers = Opts.RunWorkers;
+  RC.Policy.DeadlineNs = Opts.DefaultDeadlineNs;
+  if (std::string V = Req.header("x-diderot-steps"); !V.empty())
+    RC.MaxSupersteps = std::atoi(V.c_str());
+  if (std::string V = Req.header("x-diderot-run-workers"); !V.empty())
+    RC.NumWorkers = std::atoi(V.c_str());
+  if (std::string V = Req.header("x-diderot-deadline-ms"); !V.empty())
+    RC.Policy.DeadlineNs = std::atoll(V.c_str()) * 1000000;
+  std::string OutputName = Req.header("x-diderot-output");
+
+  auto Job = std::make_shared<JobRec>();
+  Job->Program = Name;
+  Job->Key = L->Key;
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->Id = strf("j-", NextJobId++);
+    Jobs[Job->Id] = Job;
+  }
+  Status S = Sched.submit(
+      L->Key, [this, Job, Prog = L->Prog, Inputs = std::move(Inputs), RC,
+               OutputName]() mutable {
+        runJob(Job, std::move(Prog), std::move(Inputs), RC, OutputName);
+      });
+  if (!S.isOk()) {
+    JobsRejected.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> G(JobsMu);
+    Jobs.erase(Job->Id);
+    return textResponse(429, S.message() + "\n");
+  }
+  http::Response R = jsonResponse(
+      202, strf("{\"job\":\"", Job->Id, "\",\"key\":\"", Job->Key, "\"}\n"));
+  R.ExtraHeaders.emplace_back("X-Diderot-Job", Job->Id);
+  return R;
+}
+
+void Daemon::Impl::runJob(
+    const std::shared_ptr<JobRec> &Job,
+    std::shared_ptr<const CompiledProgram> Prog,
+    std::vector<std::pair<std::string, std::string>> Inputs, rt::RunConfig RC,
+    std::string OutputName) {
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->State = JobState::Running;
+  }
+  auto Fail = [&](const std::string &Msg) {
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->State = JobState::Failed;
+    Job->Error = Msg;
+    JobsFailed.fetch_add(1, std::memory_order_relaxed);
+    finishJob(Job);
+  };
+  Result<std::unique_ptr<rt::ProgramInstance>> Inst = Prog->instantiate();
+  if (!Inst.isOk())
+    return Fail(Inst.message());
+  rt::ProgramInstance &P = **Inst;
+  for (const auto &[IName, IValue] : Inputs) {
+    Status S = setInputFromText(P, IName, IValue);
+    if (!S.isOk())
+      return Fail(S.message());
+  }
+  Status S = P.initialize();
+  if (!S.isOk())
+    return Fail(S.message());
+  Result<rt::RunStats> Run = P.run(RC);
+  if (!Run.isOk())
+    return Fail(Run.message());
+  std::string NrrdBytes;
+  if (!P.outputs().empty()) {
+    Result<Nrrd> N = outputToNrrd(P, OutputName);
+    if (!N.isOk())
+      return Fail(N.message());
+    Result<std::string> Bytes = nrrdSerialize(*N);
+    if (!Bytes.isOk())
+      return Fail(Bytes.message());
+    NrrdBytes = Bytes.take();
+  }
+  RunHisto.record(Run->WallNs);
+  std::lock_guard<std::mutex> G(JobsMu);
+  Job->State = JobState::Done;
+  Job->Outcome = observe::runOutcomeName(Run->Outcome);
+  Job->Steps = Run->Steps;
+  Job->WallNs = Run->WallNs;
+  Job->Strands = P.numStrands();
+  Job->Stable = P.numStable();
+  Job->Dead = P.numDead();
+  Job->Faulted = P.numFaulted();
+  Job->OutputNrrd = std::move(NrrdBytes);
+  JobsDone.fetch_add(1, std::memory_order_relaxed);
+  finishJob(Job);
+}
+
+/// JobsMu held. Record the finish order and prune the oldest finished jobs
+/// beyond the retention cap so a long-lived daemon's job table stays
+/// bounded.
+void Daemon::Impl::finishJob(const std::shared_ptr<JobRec> &Job) {
+  Finished.push_back(Job->Id);
+  while (Finished.size() > static_cast<size_t>(Opts.MaxFinishedJobs)) {
+    Jobs.erase(Finished.front());
+    Finished.pop_front();
+  }
+}
+
+http::Response Daemon::Impl::handleJob(const std::string &Id,
+                                       bool WantOutput) {
+  std::lock_guard<std::mutex> G(JobsMu);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return textResponse(404, "no such job\n");
+  const JobRec &J = *It->second;
+  if (!WantOutput)
+    return jsonResponse(200, jobJson(J));
+  if (J.State == JobState::Failed)
+    return textResponse(409, "job failed: " + J.Error + "\n");
+  if (J.State != JobState::Done)
+    return textResponse(409,
+                        strf("job is ", jobStateName(J.State), "\n"));
+  if (J.OutputNrrd.empty())
+    return textResponse(404, "job has no output\n");
+  return {200, "application/octet-stream", J.OutputNrrd, {}};
+}
+
+http::Response Daemon::Impl::metricsText() {
+  std::string Out;
+  auto Counter = [&](const char *Name, const char *Help, uint64_t V) {
+    Out += strf("# HELP ", Name, " ", Help, "\n# TYPE ", Name,
+                " counter\n", Name, " ", V, "\n");
+  };
+  auto Gauge = [&](const char *Name, const char *Help, int64_t V) {
+    Out += strf("# HELP ", Name, " ", Help, "\n# TYPE ", Name, " gauge\n",
+                Name, " ", V, "\n");
+  };
+  Counter("diderot_daemon_cache_hits_total",
+          "Program registry hits (no front-end work)", Registry->hits());
+  Counter("diderot_daemon_cache_misses_total",
+          "Program registry misses (front-end compiles)",
+          Registry->misses());
+  codegen::NativeCacheStats NC = codegen::nativeCacheStats();
+  Counter("diderot_daemon_native_mem_hits_total",
+          "Native loader in-process .so hits", NC.MemHits);
+  Counter("diderot_daemon_native_disk_hits_total",
+          "Native loader on-disk .so hits (no host compile)", NC.DiskHits);
+  Counter("diderot_daemon_native_host_compiles_total",
+          "Host C++ compiler invocations", NC.HostCompiles);
+  Counter("diderot_daemon_http_requests_total", "HTTP requests handled",
+          HttpRequests.load(std::memory_order_relaxed));
+  Out += strf("# HELP diderot_daemon_jobs_total Jobs by terminal state\n",
+              "# TYPE diderot_daemon_jobs_total counter\n");
+  Out += strf("diderot_daemon_jobs_total{state=\"done\"} ",
+              JobsDone.load(std::memory_order_relaxed), "\n");
+  Out += strf("diderot_daemon_jobs_total{state=\"failed\"} ",
+              JobsFailed.load(std::memory_order_relaxed), "\n");
+  Out += strf("diderot_daemon_jobs_total{state=\"rejected\"} ",
+              JobsRejected.load(std::memory_order_relaxed), "\n");
+  Gauge("diderot_daemon_queue_depth", "Jobs queued, not yet started",
+        Sched.depth());
+  Gauge("diderot_daemon_jobs_inflight", "Jobs executing right now",
+        Sched.inFlight());
+  Gauge("diderot_daemon_programs", "Programs in the registry",
+        static_cast<int64_t>(Registry->size()));
+  CompileHisto.prom(Out, "diderot_daemon_compile_seconds",
+                    "Cold compile latency (front end + native build)");
+  RunHisto.prom(Out, "diderot_daemon_run_seconds", "Job run latency");
+  return {200, "text/plain; version=0.0.4; charset=utf-8", Out, {}};
+}
+
+Daemon::Daemon() : I(new Impl) {}
+
+Daemon::~Daemon() { stop(); }
+
+Status Daemon::start(DaemonOptions O) {
+  if (O.Compile.WorkDir.empty())
+    O.Compile.WorkDir = defaultCacheDir();
+  I->Opts = O;
+  I->Registry = std::make_unique<ProgramRegistry>(O.Compile);
+  FairScheduler::Options SO;
+  SO.Workers = O.JobWorkers;
+  SO.Capacity = O.QueueCapacity;
+  I->Sched.start(SO);
+  http::Server::Options HO;
+  HO.HandlerThreads = O.HttpThreads;
+  Status S = I->Http.start(
+      O.Port, [Impl = I.get()](const http::Request &R) {
+        return Impl->handle(R);
+      },
+      HO);
+  if (!S.isOk()) {
+    I->Sched.stop();
+    return S;
+  }
+  return Status::ok();
+}
+
+void Daemon::stop() {
+  // HTTP first so no new jobs arrive, then the scheduler (finishes running
+  // jobs, discards queued ones).
+  I->Http.stop();
+  I->Sched.stop();
+}
+
+int Daemon::port() const { return I->Http.port(); }
+
+std::string Daemon::cacheDir() const { return I->Opts.Compile.WorkDir; }
+
+Daemon::Counters Daemon::counters() const {
+  Counters C;
+  if (I->Registry) {
+    C.CacheHits = I->Registry->hits();
+    C.CacheMisses = I->Registry->misses();
+  }
+  C.JobsDone = I->JobsDone.load(std::memory_order_relaxed);
+  C.JobsFailed = I->JobsFailed.load(std::memory_order_relaxed);
+  C.JobsRejected = I->JobsRejected.load(std::memory_order_relaxed);
+  C.QueueDepth = I->Sched.depth();
+  C.JobsInFlight = I->Sched.inFlight();
+  return C;
+}
+
+void Daemon::waitIdle() { I->Sched.waitIdle(); }
+
+void Daemon::stampEnvMeta() const {
+  Counters C = counters();
+  uint64_t Lookups = C.CacheHits + C.CacheMisses;
+  double Rate = Lookups ? static_cast<double>(C.CacheHits) /
+                              static_cast<double>(Lookups)
+                        : 0.0;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4f", Rate);
+  ::setenv("DIDEROT_DAEMON_CACHE_HIT_RATE", Buf, 1);
+  std::snprintf(Buf, sizeof(Buf), "%d", C.QueueDepth);
+  ::setenv("DIDEROT_DAEMON_QUEUE_DEPTH", Buf, 1);
+}
+
+} // namespace diderot::serve

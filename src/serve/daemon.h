@@ -1,0 +1,109 @@
+//===--- serve/daemon.h - the diderotd compile-and-run service ---------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library behind the diderotd binary: an HTTP service that compiles
+/// Diderot programs once and serves many runs of them, amortizing the
+/// paper's expensive step — emitting C++ and invoking the host compiler —
+/// across requests and (via the on-disk .so cache) across restarts.
+///
+/// API (full request/response details and curl examples in docs/SERVING.md):
+///
+///   POST /compile            body = Diderot source; compiles and, for the
+///                            native engine, builds the .so now, so the
+///                            first /run is already warm. JSON reply with
+///                            the program key and whether it was cached.
+///   POST /run                body = Diderot source; inputs and run limits
+///                            ride in X-Diderot-* headers. Asynchronous:
+///                            replies 202 with a job id (X-Diderot-Job
+///                            header and JSON body), or 429 when the queue
+///                            is full.
+///   GET  /jobs/<id>          job state as JSON (queued/running/done/failed).
+///   GET  /jobs/<id>/output   the finished job's first output as NRRD bytes
+///                            (409 until the job is done).
+///   GET  /metrics            daemon counters in Prometheus text format.
+///
+/// One Daemon owns: a ProgramRegistry (compile_cache.h), a FairScheduler
+/// (job_queue.h) whose workers run jobs round-robin across programs, a job
+/// table with bounded retention of finished jobs, and an http::Server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SERVE_DAEMON_H
+#define DIDEROT_SERVE_DAEMON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "driver/driver.h"
+#include "support/result.h"
+
+namespace diderot::serve {
+
+struct DaemonOptions {
+  int Port = 0;          ///< 0 = pick an ephemeral port (see Daemon::port())
+  int HttpThreads = 4;   ///< HTTP connection handler threads
+  int JobWorkers = 2;    ///< job-queue worker threads
+  int QueueCapacity = 64;
+  int RunWorkers = 1;        ///< strand workers per job run
+  int MaxSupersteps = 10000; ///< per-job superstep cap
+  /// Deadline applied to jobs that do not send X-Diderot-Deadline-Ms
+  /// (0 = none). Folds into the job's RunPolicy.
+  int64_t DefaultDeadlineNs = 0;
+  /// Finished (done/failed) jobs retained for polling; the oldest are
+  /// pruned beyond this.
+  int MaxFinishedJobs = 256;
+  /// Options every program is compiled under. WorkDir doubles as the .so
+  /// cache directory; empty = serve::defaultCacheDir().
+  CompileOptions Compile;
+};
+
+class Daemon {
+public:
+  Daemon();
+  ~Daemon(); // stops if still running
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  Status start(DaemonOptions O);
+  void stop(); // idempotent
+  /// The bound HTTP port (valid after a successful start).
+  int port() const;
+  /// The .so cache directory in use.
+  std::string cacheDir() const;
+
+  /// Monotonic counters + instantaneous gauges, for tests and the bench
+  /// harness (the same numbers /metrics exposes).
+  struct Counters {
+    uint64_t CacheHits = 0;   ///< program-registry hits
+    uint64_t CacheMisses = 0; ///< program-registry misses (compiles)
+    uint64_t JobsDone = 0;
+    uint64_t JobsFailed = 0;
+    uint64_t JobsRejected = 0; ///< submits shed with 429
+    int QueueDepth = 0;
+    int JobsInFlight = 0;
+  };
+  Counters counters() const;
+
+  /// Block until no job is queued or running (tests).
+  void waitIdle();
+
+  /// Export daemon health into the environment the bench harness reads
+  /// (DIDEROT_DAEMON_CACHE_HIT_RATE, DIDEROT_DAEMON_QUEUE_DEPTH), so
+  /// BENCH_*.json files produced under a daemon carry its cache hit rate
+  /// and queue depth in their meta block.
+  void stampEnvMeta() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace diderot::serve
+
+#endif // DIDEROT_SERVE_DAEMON_H

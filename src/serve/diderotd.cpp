@@ -1,0 +1,127 @@
+//===--- serve/diderotd.cpp - the Diderot compile-and-run daemon -------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// Compile once, serve many: a long-lived process holding the compiled form
+// of every program it has seen (serve/compile_cache.h) and running jobs
+// from a bounded fair queue (serve/job_queue.h) over HTTP
+// (serve/daemon.h). See docs/SERVING.md for the API and curl examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "serve/compile_cache.h"
+#include "serve/daemon.h"
+#include "support/strings.h"
+
+using namespace diderot;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage: diderotd [options]
+
+options:
+  --port N            listen on 127.0.0.1:N (default 0 = ephemeral; the
+                      bound port is printed to stderr)
+  --port-file FILE    also write the bound port to FILE (for scripts that
+                      start the daemon with --port 0)
+  --job-workers N     job-queue worker threads (default 2)
+  --run-workers N     strand workers per job run (default 1)
+  --queue-cap N       max queued jobs; beyond it POST /run gets 429
+                      (default 64)
+  --steps N           per-job superstep cap (default 10000)
+  --deadline-ms N     default per-job wall-clock deadline (0 = none;
+                      clients override with X-Diderot-Deadline-Ms)
+  --cache-dir DIR     compiled-object cache directory (default:
+                      $DIDEROT_CACHE_DIR, else the system temp scratch)
+  --engine=native|interp  execution engine (default native)
+  --double            double-precision reals (native engine)
+  --quiet             only print errors
+)");
+}
+
+std::atomic<int> GotSignal{0};
+
+void onSignal(int Sig) { GotSignal.store(Sig); }
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  serve::DaemonOptions Opts;
+  std::string PortFile;
+  bool Quiet = false;
+
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--port" && A + 1 < Argc) {
+      Opts.Port = std::atoi(Argv[++A]);
+    } else if (Arg == "--port-file" && A + 1 < Argc) {
+      PortFile = Argv[++A];
+    } else if (Arg == "--job-workers" && A + 1 < Argc) {
+      Opts.JobWorkers = std::atoi(Argv[++A]);
+    } else if (Arg == "--run-workers" && A + 1 < Argc) {
+      Opts.RunWorkers = std::atoi(Argv[++A]);
+    } else if (Arg == "--queue-cap" && A + 1 < Argc) {
+      Opts.QueueCapacity = std::atoi(Argv[++A]);
+    } else if (Arg == "--steps" && A + 1 < Argc) {
+      Opts.MaxSupersteps = std::atoi(Argv[++A]);
+    } else if (Arg == "--deadline-ms" && A + 1 < Argc) {
+      Opts.DefaultDeadlineNs = std::atoll(Argv[++A]) * 1000000;
+    } else if (Arg == "--cache-dir" && A + 1 < Argc) {
+      Opts.Compile.WorkDir = Argv[++A];
+    } else if (Arg == "--engine=interp") {
+      Opts.Compile.Eng = Engine::Interp;
+    } else if (Arg == "--engine=native") {
+      Opts.Compile.Eng = Engine::Native;
+    } else if (Arg == "--double") {
+      Opts.Compile.DoublePrecision = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  serve::Daemon D;
+  Status S = D.start(Opts);
+  if (!S.isOk()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 1;
+  }
+  if (!Quiet)
+    std::fprintf(stderr,
+                 "diderotd listening on http://127.0.0.1:%d (cache %s)\n",
+                 D.port(), D.cacheDir().c_str());
+  if (!PortFile.empty()) {
+    std::ofstream Out(PortFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", PortFile.c_str());
+      return 1;
+    }
+    Out << D.port() << "\n";
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (GotSignal.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (!Quiet)
+    std::fprintf(stderr, "diderotd: signal %d, shutting down\n",
+                 GotSignal.load());
+  D.stampEnvMeta();
+  D.stop();
+  return 0;
+}

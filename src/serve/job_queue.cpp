@@ -1,0 +1,127 @@
+//===--- serve/job_queue.cpp - bounded fair job scheduler --------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/job_queue.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diderot::serve {
+
+struct FairScheduler::Impl {
+  std::mutex Mu;
+  std::condition_variable WorkCv; // signaled on submit and stop
+  std::condition_variable IdleCv; // signaled when a worker finishes a job
+  // Per-key FIFOs plus the round-robin rotation: Order lists exactly the
+  // keys with a non-empty queue, front = next key to serve. A worker pops
+  // the front key's oldest job; if that key still has work it goes to the
+  // back of Order, otherwise it leaves the rotation.
+  std::map<std::string, std::deque<Task>> Queues;
+  std::deque<std::string> Order;
+  std::vector<std::thread> Workers;
+  Options Opts;
+  int Depth = 0;    // queued, not yet started (== sum of queue sizes)
+  int InFlight = 0; // executing on a worker right now
+  bool Running = false;
+  bool Stopping = false;
+
+  void workerMain() {
+    std::unique_lock<std::mutex> L(Mu);
+    for (;;) {
+      WorkCv.wait(L, [&] { return Stopping || !Order.empty(); });
+      if (Stopping)
+        return;
+      std::string Key = std::move(Order.front());
+      Order.pop_front();
+      auto It = Queues.find(Key);
+      Task T = std::move(It->second.front());
+      It->second.pop_front();
+      if (It->second.empty())
+        Queues.erase(It);
+      else
+        Order.push_back(std::move(Key));
+      --Depth;
+      ++InFlight;
+      L.unlock();
+      T();
+      L.lock();
+      --InFlight;
+      IdleCv.notify_all();
+    }
+  }
+};
+
+FairScheduler::FairScheduler() : I(new Impl) {}
+
+FairScheduler::~FairScheduler() { stop(); }
+
+void FairScheduler::start(Options O) {
+  std::lock_guard<std::mutex> G(I->Mu);
+  if (I->Running)
+    return;
+  I->Opts = O;
+  if (I->Opts.Workers < 1)
+    I->Opts.Workers = 1;
+  I->Running = true;
+  I->Stopping = false;
+  for (int W = 0; W < I->Opts.Workers; ++W)
+    I->Workers.emplace_back([this] { I->workerMain(); });
+}
+
+void FairScheduler::stop() {
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> G(I->Mu);
+    if (!I->Running)
+      return;
+    I->Stopping = true;
+    I->Running = false;
+    I->Queues.clear();
+    I->Order.clear();
+    I->Depth = 0;
+    ToJoin.swap(I->Workers);
+  }
+  I->WorkCv.notify_all();
+  for (std::thread &T : ToJoin)
+    T.join();
+  I->IdleCv.notify_all();
+}
+
+Status FairScheduler::submit(const std::string &Key, Task T) {
+  std::lock_guard<std::mutex> G(I->Mu);
+  if (!I->Running)
+    return Status::error("scheduler is not running");
+  if (I->Depth >= I->Opts.Capacity)
+    return Status::error("queue full");
+  auto [It, Fresh] = I->Queues.try_emplace(Key);
+  It->second.push_back(std::move(T));
+  if (Fresh)
+    I->Order.push_back(Key);
+  ++I->Depth;
+  I->WorkCv.notify_one();
+  return Status::ok();
+}
+
+int FairScheduler::depth() const {
+  std::lock_guard<std::mutex> G(I->Mu);
+  return I->Depth;
+}
+
+int FairScheduler::inFlight() const {
+  std::lock_guard<std::mutex> G(I->Mu);
+  return I->InFlight;
+}
+
+void FairScheduler::waitIdle() {
+  std::unique_lock<std::mutex> L(I->Mu);
+  I->IdleCv.wait(L, [&] { return I->Depth == 0 && I->InFlight == 0; });
+}
+
+} // namespace diderot::serve

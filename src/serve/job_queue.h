@@ -1,0 +1,77 @@
+//===--- serve/job_queue.h - bounded fair job scheduler ----------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "serve many" half of compile-once-serve-many: a bounded queue of
+/// jobs drained by a persistent worker pool, scheduled fairly across
+/// programs. Jobs are grouped by an opaque key (the daemon passes the
+/// program's cache key) and workers rotate round-robin over the keys that
+/// have pending work, so one client hammering program A cannot starve a
+/// single queued job for program B — B's job waits behind at most one job
+/// per distinct key, never behind A's whole backlog.
+///
+/// Capacity is enforced at submit (an error, which the daemon maps to HTTP
+/// 429), never by blocking: the accept path must stay non-blocking so
+/// shedding load is cheap. Per-job deadlines are not the scheduler's
+/// business — the daemon folds them into each job's RunPolicy, the
+/// fault-containment layer from the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SERVE_JOB_QUEUE_H
+#define DIDEROT_SERVE_JOB_QUEUE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "support/result.h"
+
+namespace diderot::serve {
+
+/// Round-robin-over-keys worker pool. start() -> submit()xN -> stop().
+/// All methods are thread-safe.
+class FairScheduler {
+public:
+  struct Options {
+    int Workers = 2;   ///< persistent worker threads
+    int Capacity = 64; ///< max queued (not yet started) jobs; 0 = reject all
+  };
+  using Task = std::function<void()>;
+
+  FairScheduler();
+  ~FairScheduler(); // stops (discarding queued jobs) if still running
+
+  FairScheduler(const FairScheduler &) = delete;
+  FairScheduler &operator=(const FairScheduler &) = delete;
+
+  /// Spin up the worker pool (no-op if already started).
+  void start(Options O);
+
+  /// Stop accepting, finish the jobs already *running*, discard the ones
+  /// still queued, join the workers. Idempotent. Callers who need the queue
+  /// drained rather than discarded call waitIdle() first.
+  void stop();
+
+  /// Enqueue \p T under fairness key \p Key. Errors (without enqueueing)
+  /// when the queue is at capacity or the scheduler is not running.
+  Status submit(const std::string &Key, Task T);
+
+  /// Jobs queued but not yet started.
+  int depth() const;
+  /// Jobs currently executing on a worker.
+  int inFlight() const;
+  /// Block until depth() == 0 and inFlight() == 0.
+  void waitIdle();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace diderot::serve
+
+#endif // DIDEROT_SERVE_JOB_QUEUE_H

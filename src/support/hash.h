@@ -1,0 +1,122 @@
+//===--- support/hash.h - 128-bit content hashing ---------------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a in its 128-bit variant, used wherever the system needs a
+/// content-addressed key: the native engine's compiled-object cache and the
+/// serve daemon's program registry. The previous cache key was a
+/// std::hash<std::string> size_t — a 64-bit value with no collision
+/// guarantees and an unspecified algorithm; 128-bit FNV-1a makes accidental
+/// collisions astronomically unlikely and the key stable across standard
+/// libraries, which an on-disk cache shared between processes requires.
+///
+/// Not cryptographic: the cache directory is a local trust domain (same as
+/// the generated .so files themselves), so collision *resistance against an
+/// adversary* is explicitly a non-goal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_HASH_H
+#define DIDEROT_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace diderot::support {
+
+/// A 128-bit hash value, ordered and hashable so it can key maps directly.
+struct Hash128 {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  friend bool operator==(const Hash128 &A, const Hash128 &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const Hash128 &A, const Hash128 &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Hash128 &A, const Hash128 &B) {
+    return A.Hi != B.Hi ? A.Hi < B.Hi : A.Lo < B.Lo;
+  }
+
+  /// 32 lowercase hex digits, high word first — the form used in cache
+  /// file names and over the daemon's HTTP API.
+  std::string hex() const {
+    static const char *Digits = "0123456789abcdef";
+    std::string S(32, '0');
+    uint64_t W = Hi;
+    for (int I = 15; I >= 0; --I, W >>= 4)
+      S[static_cast<size_t>(I)] = Digits[W & 0xF];
+    W = Lo;
+    for (int I = 31; I >= 16; --I, W >>= 4)
+      S[static_cast<size_t>(I)] = Digits[W & 0xF];
+    return S;
+  }
+};
+
+/// Incremental FNV-1a/128 hasher: update() with each contribution, then
+/// digest(). Field separators matter — callers hashing several fields
+/// should interpose update("\0", 1)-style delimiters so ("ab","c") and
+/// ("a","bc") do not collide.
+class Fnv128 {
+public:
+  Fnv128() = default;
+
+  void update(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      Lo ^= P[I];
+      mulPrime();
+    }
+  }
+  void update(const std::string &S) { update(S.data(), S.size()); }
+  /// Hash the bytes of \p S plus a NUL terminator — the delimiter-included
+  /// form for multi-field keys.
+  void updateField(const std::string &S) {
+    update(S.data(), S.size() + 1); // std::string guarantees data()[size()]==0
+  }
+  void updateField(int64_t V) {
+    unsigned char B[8];
+    uint64_t U = static_cast<uint64_t>(V);
+    for (int I = 0; I < 8; ++I, U >>= 8)
+      B[I] = static_cast<unsigned char>(U & 0xFF);
+    update(B, 8);
+  }
+
+  Hash128 digest() const { return {Hi, Lo}; }
+
+private:
+  /// Multiply the 128-bit state by the FNV 128 prime 2^88 + 2^8 + 0x3b,
+  /// i.e. (PrimeHi, PrimeLo) = (1 << 24, 0x13b), modulo 2^128.
+  void mulPrime() {
+    constexpr uint64_t PrimeHi = 1ULL << 24;
+    constexpr uint64_t PrimeLo = 0x13BULL;
+    unsigned __int128 LoLo = static_cast<unsigned __int128>(Lo) * PrimeLo;
+    uint64_t NewHi =
+        static_cast<uint64_t>(LoLo >> 64) + Lo * PrimeHi + Hi * PrimeLo;
+    Lo = static_cast<uint64_t>(LoLo);
+    Hi = NewHi;
+  }
+
+  // The FNV-128 offset basis.
+  uint64_t Hi = 0x6C62272E07BB0142ULL;
+  uint64_t Lo = 0x62B821756295C58DULL;
+};
+
+/// One-shot convenience over a single buffer.
+inline Hash128 fnv1a128(const void *Data, size_t Len) {
+  Fnv128 H;
+  H.update(Data, Len);
+  return H.digest();
+}
+inline Hash128 fnv1a128(const std::string &S) {
+  return fnv1a128(S.data(), S.size());
+}
+
+} // namespace diderot::support
+
+#endif // DIDEROT_SUPPORT_HASH_H

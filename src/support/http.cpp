@@ -1,0 +1,542 @@
+//===--- support/http.cpp - minimal embedded HTTP server ---------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// The only file in the tree with socket code. See http.h for the scope and
+// hardening contract; the parser half is pure and corpus-tested in
+// tests/http_test.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/http.h"
+
+#include <cctype>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIDEROT_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0 // not defined on macOS; SIGPIPE is rare enough there
+#endif
+#endif
+
+namespace diderot::http {
+
+//===----------------------------------------------------------------------===//
+// Request accessors
+//===----------------------------------------------------------------------===//
+
+std::string Request::header(const std::string &Name) const {
+  for (const auto &[K, V] : Headers)
+    if (K == Name)
+      return V;
+  return "";
+}
+
+std::vector<std::string> Request::headerValues(const std::string &Name) const {
+  std::vector<std::string> Out;
+  for (const auto &[K, V] : Headers)
+    if (K == Name)
+      Out.push_back(V);
+  return Out;
+}
+
+namespace {
+
+/// Decode %XX escapes and '+' (form encoding) in a query component.
+std::string urlDecode(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] == '+') {
+      Out += ' ';
+    } else if (S[I] == '%' && I + 2 < S.size() && std::isxdigit(S[I + 1]) &&
+               std::isxdigit(S[I + 2])) {
+      auto Hex = [](char C) {
+        return C <= '9' ? C - '0' : (C | 0x20) - 'a' + 10;
+      };
+      Out += static_cast<char>(Hex(S[I + 1]) * 16 + Hex(S[I + 2]));
+      I += 2;
+    } else {
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string Request::queryParam(const std::string &Key) const {
+  size_t P = 0;
+  while (P < Query.size()) {
+    size_t Amp = Query.find('&', P);
+    if (Amp == std::string::npos)
+      Amp = Query.size();
+    std::string Pair = Query.substr(P, Amp - P);
+    size_t Eq = Pair.find('=');
+    std::string K = Eq == std::string::npos ? Pair : Pair.substr(0, Eq);
+    if (urlDecode(K) == Key)
+      return Eq == std::string::npos ? "" : urlDecode(Pair.substr(Eq + 1));
+    P = Amp + 1;
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing (pure)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isTokenByte(char C) {
+  // RFC 7230 token characters, the subset we care about for header names.
+  return std::isalnum(static_cast<unsigned char>(C)) ||
+         std::strchr("!#$%&'*+-.^_`|~", C) != nullptr;
+}
+
+std::string lower(std::string S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return S;
+}
+
+std::string trimOws(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && (S[B] == ' ' || S[B] == '\t'))
+    ++B;
+  while (E > B && (S[E - 1] == ' ' || S[E - 1] == '\t'))
+    --E;
+  return S.substr(B, E - B);
+}
+
+} // namespace
+
+Parse parseRequest(const std::string &Buf, Request &R, std::string &Err,
+                   const ParseLimits &L) {
+  R = Request();
+  // Locate the end of the header block first so body bytes (which may
+  // legitimately contain bare LF or control bytes) are never line-scanned.
+  size_t HdrEnd = Buf.find("\r\n\r\n");
+  size_t HeadLen = HdrEnd == std::string::npos ? Buf.size() : HdrEnd + 4;
+
+  // Reject bare-LF line endings anywhere in the head: a request line or
+  // header terminated by '\n' alone is malformed, not "needs more bytes".
+  for (size_t I = 0; I < HeadLen; ++I)
+    if (Buf[I] == '\n' && (I == 0 || Buf[I - 1] != '\r')) {
+      Err = "bare LF line ending in request head";
+      return Parse::Bad;
+    }
+
+  // -- Request line --------------------------------------------------------
+  size_t LineEnd = Buf.find("\r\n");
+  if (LineEnd == std::string::npos) {
+    if (Buf.size() > L.MaxRequestLine) {
+      Err = "request line exceeds limit without CRLF";
+      return Parse::TooLarge;
+    }
+    return Parse::NeedMore;
+  }
+  if (LineEnd > L.MaxRequestLine) {
+    Err = "request line too long";
+    return Parse::TooLarge;
+  }
+  std::string Line = Buf.substr(0, LineEnd);
+  for (char C : Line)
+    if (static_cast<unsigned char>(C) < 0x20 || C == 0x7F) {
+      Err = "control byte in request line";
+      return Parse::Bad;
+    }
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                        : Line.find(' ', Sp1 + 1);
+  if (Sp1 == std::string::npos || Sp2 == std::string::npos ||
+      Line.find(' ', Sp2 + 1) != std::string::npos) {
+    Err = "request line is not METHOD SP TARGET SP VERSION";
+    return Parse::Bad;
+  }
+  R.Method = Line.substr(0, Sp1);
+  std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  R.Version = Line.substr(Sp2 + 1);
+  if (R.Method.empty() || R.Method.size() > 16) {
+    Err = "bad method";
+    return Parse::Bad;
+  }
+  for (char C : R.Method)
+    if (C < 'A' || C > 'Z') {
+      Err = "method is not upper-case alphabetic";
+      return Parse::Bad;
+    }
+  if (Target.empty() || Target[0] != '/') {
+    Err = "target must be origin-form (start with '/')";
+    return Parse::Bad;
+  }
+  if (R.Version.rfind("HTTP/1.", 0) != 0 || R.Version.size() != 8 ||
+      !std::isdigit(static_cast<unsigned char>(R.Version[7]))) {
+    Err = "unsupported HTTP version";
+    return Parse::Bad;
+  }
+  size_t Q = Target.find('?');
+  R.Path = Target.substr(0, Q);
+  R.Query = Q == std::string::npos ? "" : Target.substr(Q + 1);
+
+  // -- Headers -------------------------------------------------------------
+  if (HdrEnd == std::string::npos) {
+    if (Buf.size() - LineEnd > L.MaxHeaderBytes) {
+      Err = "header block exceeds limit";
+      return Parse::TooLarge;
+    }
+    return Parse::NeedMore;
+  }
+  if (HdrEnd - LineEnd > L.MaxHeaderBytes) {
+    Err = "header block too large";
+    return Parse::TooLarge;
+  }
+  size_t Pos = LineEnd + 2;
+  uint64_t ContentLength = 0;
+  bool HaveLength = false;
+  while (Pos < HdrEnd) {
+    size_t E = Buf.find("\r\n", Pos);
+    // E <= HdrEnd always holds: HdrEnd itself is a "\r\n" occurrence.
+    std::string H = Buf.substr(Pos, E - Pos);
+    Pos = E + 2;
+    size_t Colon = H.find(':');
+    if (Colon == std::string::npos || Colon == 0) {
+      Err = "header line without name: separator";
+      return Parse::Bad;
+    }
+    std::string Name = H.substr(0, Colon);
+    for (char C : Name)
+      if (!isTokenByte(C)) {
+        Err = "invalid header name";
+        return Parse::Bad;
+      }
+    std::string Value = trimOws(H.substr(Colon + 1));
+    for (char C : Value)
+      if ((static_cast<unsigned char>(C) < 0x20 && C != '\t') || C == 0x7F) {
+        Err = "control byte in header value";
+        return Parse::Bad;
+      }
+    Name = lower(Name);
+    if (Name == "transfer-encoding") {
+      Err = "Transfer-Encoding is not supported";
+      return Parse::Bad;
+    }
+    if (Name == "content-length") {
+      if (Value.empty() || Value.size() > 18) {
+        Err = "bad Content-Length";
+        return Parse::Bad;
+      }
+      uint64_t V = 0;
+      for (char C : Value) {
+        if (!std::isdigit(static_cast<unsigned char>(C))) {
+          Err = "Content-Length is not a number";
+          return Parse::Bad;
+        }
+        V = V * 10 + static_cast<uint64_t>(C - '0');
+      }
+      if (HaveLength && V != ContentLength) {
+        Err = "conflicting Content-Length headers";
+        return Parse::Bad;
+      }
+      ContentLength = V;
+      HaveLength = true;
+    }
+    R.Headers.emplace_back(std::move(Name), std::move(Value));
+  }
+
+  // -- Body ----------------------------------------------------------------
+  if (ContentLength > L.MaxBodyBytes) {
+    Err = "body exceeds limit";
+    return Parse::TooLarge;
+  }
+  size_t BodyStart = HdrEnd + 4;
+  if (Buf.size() - BodyStart < ContentLength)
+    return Parse::NeedMore;
+  R.Body = Buf.substr(BodyStart, ContentLength);
+  return Parse::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Responses
+//===----------------------------------------------------------------------===//
+
+const char *statusText(int Code) {
+  switch (Code) {
+  case 200:
+    return "OK";
+  case 202:
+    return "Accepted";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 408:
+    return "Request Timeout";
+  case 409:
+    return "Conflict";
+  case 413:
+    return "Payload Too Large";
+  case 429:
+    return "Too Many Requests";
+  case 500:
+    return "Internal Server Error";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Status";
+  }
+}
+
+std::string serializeResponse(const Response &R) {
+  std::string Out;
+  Out += "HTTP/1.1 ";
+  Out += std::to_string(R.Code);
+  Out += ' ';
+  Out += statusText(R.Code);
+  Out += "\r\nContent-Type: ";
+  Out += R.ContentType;
+  Out += "\r\nContent-Length: ";
+  Out += std::to_string(R.Body.size());
+  Out += "\r\nConnection: close\r\n";
+  for (const auto &[K, V] : R.ExtraHeaders) {
+    Out += K;
+    Out += ": ";
+    Out += V;
+    Out += "\r\n";
+  }
+  Out += "\r\n";
+  Out += R.Body;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+struct Server::Impl {
+  int ListenFd = -1;
+  int Port = 0;
+  Handler Handle;
+  Options Opts;
+  std::thread Acceptor;
+  std::vector<std::thread> Pool;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<int> Pending; // accepted fds awaiting a pool thread
+  bool Quit = false;
+};
+
+Server::Server() : I(new Impl) {}
+Server::~Server() { stop(); }
+int Server::port() const { return I->Port; }
+
+#if DIDEROT_HAVE_SOCKETS
+
+namespace {
+
+void writeAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return; // peer went away; nothing sensible to do
+    Off += static_cast<size_t>(N);
+  }
+}
+
+void sendResponse(int Fd, const Response &R) {
+  std::string Wire = serializeResponse(R);
+  writeAll(Fd, Wire.data(), Wire.size());
+}
+
+/// Serve one connection: read until a full request parses (bounded by the
+/// limits and the receive timeout), dispatch, respond, close.
+void serveConnection(int Fd, const Server::Options &O,
+                     const Server::Handler &Handle) {
+  timeval Tv{};
+  Tv.tv_sec = O.RecvTimeoutMs / 1000;
+  Tv.tv_usec = (O.RecvTimeoutMs % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+
+  std::string Buf;
+  Request Req;
+  std::string Err;
+  bool SentContinue = false;
+  // Hard cap on total buffered bytes regardless of parse state.
+  const size_t MaxTotal = O.Limits.MaxRequestLine + O.Limits.MaxHeaderBytes +
+                          O.Limits.MaxBodyBytes;
+  for (;;) {
+    char Chunk[8192];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0) {
+      // Timeout, reset, or premature close mid-request.
+      if (!Buf.empty())
+        sendResponse(Fd, {408, "text/plain; charset=utf-8",
+                          "request timed out\n", {}});
+      ::close(Fd);
+      return;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+    if (Buf.size() > MaxTotal) {
+      sendResponse(Fd, {413, "text/plain; charset=utf-8",
+                        "request too large\n", {}});
+      ::close(Fd);
+      return;
+    }
+    Parse P = parseRequest(Buf, Req, Err, O.Limits);
+    if (P == Parse::NeedMore) {
+      // curl sends `Expect: 100-continue` for larger POST bodies and waits
+      // ~1s for the interim response; acknowledge once so program uploads
+      // are not needlessly delayed.
+      if (!SentContinue) {
+        size_t HdrEnd = Buf.find("\r\n\r\n");
+        if (HdrEnd != std::string::npos &&
+            lower(Buf.substr(0, HdrEnd)).find("expect: 100-continue") !=
+                std::string::npos) {
+          const char *Cont = "HTTP/1.1 100 Continue\r\n\r\n";
+          writeAll(Fd, Cont, std::strlen(Cont));
+          SentContinue = true;
+        }
+      }
+      continue;
+    }
+    if (P == Parse::Bad) {
+      sendResponse(Fd, {400, "text/plain; charset=utf-8", Err + "\n", {}});
+      ::close(Fd);
+      return;
+    }
+    if (P == Parse::TooLarge) {
+      sendResponse(Fd, {413, "text/plain; charset=utf-8", Err + "\n", {}});
+      ::close(Fd);
+      return;
+    }
+    break; // Parse::Ok
+  }
+  Response Resp = Handle(Req);
+  sendResponse(Fd, Resp);
+  ::close(Fd);
+}
+
+} // namespace
+
+Status Server::start(int Port, Handler H, Options O) {
+  if (I->Acceptor.joinable())
+    return Status::error("http server already running");
+  if (!H)
+    return Status::error("http server needs a handler");
+  if (O.HandlerThreads < 1)
+    O.HandlerThreads = 1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error("http server: socket() failed");
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Status::error("http server: cannot bind 127.0.0.1:" +
+                         std::to_string(Port));
+  }
+  if (::listen(Fd, O.Backlog) < 0) {
+    ::close(Fd);
+    return Status::error("http server: listen() failed");
+  }
+  sockaddr_in Bound{};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &BoundLen) == 0)
+    I->Port = ntohs(Bound.sin_port);
+  else
+    I->Port = Port;
+  I->ListenFd = Fd;
+  I->Handle = std::move(H);
+  I->Opts = O;
+  I->Quit = false;
+
+  Impl *Im = I.get();
+  for (int T = 0; T < O.HandlerThreads; ++T)
+    Im->Pool.emplace_back([Im] {
+      for (;;) {
+        int Fd;
+        {
+          std::unique_lock<std::mutex> Lk(Im->Mu);
+          Im->Cv.wait(Lk, [Im] { return Im->Quit || !Im->Pending.empty(); });
+          if (Im->Pending.empty())
+            return; // Quit and drained
+          Fd = Im->Pending.front();
+          Im->Pending.pop_front();
+        }
+        serveConnection(Fd, Im->Opts, Im->Handle);
+      }
+    });
+  Im->Acceptor = std::thread([Im] {
+    for (;;) {
+      int C = ::accept(Im->ListenFd, nullptr, nullptr);
+      if (C < 0) {
+        std::lock_guard<std::mutex> Lk(Im->Mu);
+        if (Im->Quit)
+          return;
+        continue; // transient accept error
+      }
+      std::lock_guard<std::mutex> Lk(Im->Mu);
+      if (Im->Quit || Im->Pending.size() >= 128) {
+        // Shutting down, or the pool is hopelessly behind: shed load.
+        ::close(C);
+        if (Im->Quit)
+          return;
+        continue;
+      }
+      Im->Pending.push_back(C);
+      Im->Cv.notify_one();
+    }
+  });
+  return Status::ok();
+}
+
+void Server::stop() {
+  if (!I->Acceptor.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lk(I->Mu);
+    I->Quit = true;
+  }
+  // Unblock accept(): shutdown wakes it with an error on Linux; closing the
+  // fd covers the platforms where it does not.
+  ::shutdown(I->ListenFd, SHUT_RDWR);
+  ::close(I->ListenFd);
+  I->Cv.notify_all();
+  I->Acceptor.join();
+  for (std::thread &T : I->Pool)
+    T.join();
+  I->Pool.clear();
+  for (int Fd : I->Pending) // sockets accepted but never served
+    ::close(Fd);
+  I->Pending.clear();
+  I->ListenFd = -1;
+}
+
+#else // !DIDEROT_HAVE_SOCKETS
+
+Status Server::start(int, Handler, Options) {
+  return Status::error("http server: no socket support on this platform");
+}
+
+void Server::stop() {}
+
+#endif
+
+} // namespace diderot::http

@@ -1,0 +1,139 @@
+//===--- support/http.h - minimal embedded HTTP server -----------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small HTTP/1.x server shared by the observe layer's
+/// `GET /metrics` endpoint and the serve daemon's job API. Factored out of
+/// observe/metrics_http.cpp once the daemon needed routing, request bodies,
+/// and headers; all socket code in the tree lives in support/http.cpp.
+///
+/// Scope and hardening (in order of importance):
+///  * loopback only — the listener binds 127.0.0.1, never a public address;
+///  * bounded everything — request line, header block, and body sizes are
+///    limited (ParseLimits) and over-limit requests get 413, not memory;
+///  * slow clients cannot wedge the server — reads carry an SO_RCVTIMEO
+///    timeout and a timed-out connection gets 408 and a close;
+///  * strict parsing — CRLF-less request lines, bare-LF line endings,
+///    control bytes, conflicting Content-Length headers, and
+///    Transfer-Encoding are all rejected with 400 (parseRequest is a pure
+///    function over the byte stream so the malformed-request corpus in
+///    tests/http_test.cpp can exercise it without sockets);
+///  * no keep-alive, no TLS, no chunked bodies — one request per
+///    connection, `Connection: close` on every response.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_HTTP_H
+#define DIDEROT_SUPPORT_HTTP_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/result.h"
+
+namespace diderot::http {
+
+/// Caps applied while parsing one request off the wire. The defaults fit
+/// the daemon's largest legitimate request (a Diderot program source in a
+/// POST body) with room to spare.
+struct ParseLimits {
+  size_t MaxRequestLine = 8 * 1024;
+  size_t MaxHeaderBytes = 64 * 1024;
+  size_t MaxBodyBytes = 8 * 1024 * 1024;
+};
+
+/// One parsed request. Header names are lower-cased during parsing;
+/// repeated headers are preserved in order (the daemon uses repetition for
+/// multi-valued inputs).
+struct Request {
+  std::string Method;  ///< e.g. "GET" (upper-case by grammar)
+  std::string Path;    ///< target path without the query string
+  std::string Query;   ///< raw query string ("" when absent)
+  std::string Version; ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> Headers;
+  std::string Body;
+
+  /// First value of header \p Name (lower-case), or "" when absent.
+  std::string header(const std::string &Name) const;
+  /// Every value of header \p Name, in wire order.
+  std::vector<std::string> headerValues(const std::string &Name) const;
+  /// Percent-decoded value of query parameter \p Key, or "" when absent.
+  std::string queryParam(const std::string &Key) const;
+};
+
+enum class Parse {
+  Ok,       ///< a complete, well-formed request was parsed
+  NeedMore, ///< the buffer is a valid prefix; read more bytes
+  Bad,      ///< malformed — respond 400 and close
+  TooLarge, ///< exceeds a ParseLimits cap — respond 413 and close
+};
+
+/// Parse the connection's byte stream so far (\p Buf is a prefix, not a
+/// packet). On Ok, \p R is fully populated; on Bad/TooLarge \p Err says
+/// why. Pure function — no I/O, no state.
+Parse parseRequest(const std::string &Buf, Request &R, std::string &Err,
+                   const ParseLimits &L = {});
+
+/// What a handler returns; serialized with Content-Length and
+/// `Connection: close`.
+struct Response {
+  int Code = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+  /// Extra response headers (name, value) appended verbatim.
+  std::vector<std::pair<std::string, std::string>> ExtraHeaders;
+};
+
+/// Canonical reason phrase for \p Code ("OK", "Not Found", ...).
+const char *statusText(int Code);
+
+/// Render \p R as a complete HTTP/1.1 response byte string.
+std::string serializeResponse(const Response &R);
+
+/// The server: one accept thread feeding a small pool of connection
+/// handler threads. The handler callback runs on a pool thread and must be
+/// thread-safe; it should be fast (enqueue work, snapshot state) — a slow
+/// handler occupies one pool slot.
+class Server {
+public:
+  using Handler = std::function<Response(const Request &)>;
+
+  struct Options {
+    ParseLimits Limits;
+    int RecvTimeoutMs = 5000; ///< SO_RCVTIMEO per connection
+    int HandlerThreads = 4;
+    int Backlog = 64;
+  };
+
+  Server();
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Bind 127.0.0.1:\p Port (0 picks an ephemeral port, readable via
+  /// port()) and start serving \p H.
+  Status start(int Port, Handler H, Options O);
+  Status start(int Port, Handler H) {
+    return start(Port, std::move(H), Options());
+  }
+  /// The bound port (valid after a successful start).
+  int port() const;
+  /// Stop accepting, drain in-flight connections, join all threads
+  /// (idempotent; the destructor calls it).
+  void stop();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace diderot::http
+
+#endif // DIDEROT_SUPPORT_HTTP_H

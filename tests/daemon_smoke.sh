@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Black-box smoke test of a real diderotd process: start it on an ephemeral
+# port, compile the same program twice (the second must be a cache hit), run
+# it, poll the job, fetch the NRRD output, scrape /metrics — then restart the
+# daemon on the same cache dir and prove the warm-up compile is served from
+# disk without a host-compiler invocation. Run by CI (daemon-smoke job) and
+# runnable locally:
+#
+#   tests/daemon_smoke.sh build/src/serve/diderotd tests/cli_isocontour.diderot
+set -euo pipefail
+
+DIDEROTD=${1:?usage: daemon_smoke.sh <diderotd> <program.diderot>}
+PROGRAM=${2:?usage: daemon_smoke.sh <diderotd> <program.diderot>}
+
+WORK=$(mktemp -d)
+CACHE="$WORK/cache"
+PORTFILE="$WORK/port"
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "daemon_smoke: FAIL: $*" >&2; exit 1; }
+
+start_daemon() {
+  rm -f "$PORTFILE"
+  "$DIDEROTD" --port 0 --port-file "$PORTFILE" --cache-dir "$CACHE" &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$PORTFILE" ] && break
+    kill -0 "$DPID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+  done
+  [ -s "$PORTFILE" ] || fail "daemon never wrote its port file"
+  PORT=$(cat "$PORTFILE")
+  echo "daemon_smoke: daemon pid $DPID on port $PORT"
+}
+
+stop_daemon() {
+  kill "$DPID"
+  wait "$DPID" 2>/dev/null || true
+  DPID=""
+}
+
+post() { # post <path> [extra curl args...]
+  local path=$1; shift
+  curl -sS -X POST --data-binary @"$PROGRAM" "$@" "http://127.0.0.1:$PORT$path"
+}
+
+start_daemon
+
+# 1. Cold compile, then the same bytes again: second answer must be cached.
+R1=$(post /compile)
+echo "daemon_smoke: compile #1: $R1"
+echo "$R1" | grep -q '"cached":false' || fail "first compile claimed cached"
+R2=$(post /compile)
+echo "daemon_smoke: compile #2: $R2"
+echo "$R2" | grep -q '"cached":true' || fail "second compile was not a cache hit"
+
+# 2. Async run: submit, poll to completion, fetch the output bytes.
+RUN=$(post /run -H 'X-Diderot-Input: ddro=synth:portrait:48')
+echo "daemon_smoke: run: $RUN"
+JOB=$(echo "$RUN" | sed -n 's/.*"job":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || fail "no job id in /run response"
+
+STATE=""
+for _ in $(seq 1 300); do
+  POLL=$(curl -sS "http://127.0.0.1:$PORT/jobs/$JOB")
+  STATE=$(echo "$POLL" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  if [ "$STATE" = done ] || [ "$STATE" = failed ]; then break; fi
+  sleep 0.1
+done
+echo "daemon_smoke: job: $POLL"
+[ "$STATE" = done ] || fail "job did not finish (state: ${STATE:-none})"
+echo "$POLL" | grep -q '"outcome":"converged"' || fail "job did not converge"
+
+curl -sS "http://127.0.0.1:$PORT/jobs/$JOB/output" -o "$WORK/out.nrrd"
+head -c 4 "$WORK/out.nrrd" | grep -q NRRD || fail "output is not a NRRD file"
+echo "daemon_smoke: output: $(wc -c < "$WORK/out.nrrd") NRRD bytes"
+
+# 3. Metrics reflect what just happened.
+METRICS=$(curl -sS "http://127.0.0.1:$PORT/metrics")
+echo "$METRICS" | grep -q '^diderot_daemon_cache_hits_total [1-9]' ||
+  fail "metrics do not show a program-cache hit"
+echo "$METRICS" | grep -q 'diderot_daemon_jobs_total{state="done"} [1-9]' ||
+  fail "metrics do not show the finished job"
+
+# 4. Restart on the same cache dir: warming up must be a *disk* hit — the
+# artifact built before the restart is reused, no host compiler run.
+stop_daemon
+start_daemon
+R3=$(post /compile)
+echo "daemon_smoke: compile after restart: $R3"
+echo "$R3" | grep -q '"cached":false' || fail "registry unexpectedly warm after restart"
+METRICS=$(curl -sS "http://127.0.0.1:$PORT/metrics")
+echo "$METRICS" | grep -q '^diderot_daemon_native_disk_hits_total [1-9]' ||
+  fail "restart warm-up was not served from the disk cache"
+echo "$METRICS" | grep -q '^diderot_daemon_native_host_compiles_total 0' ||
+  fail "restart warm-up invoked the host compiler"
+
+echo "daemon_smoke: PASS"

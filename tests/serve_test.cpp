@@ -1,0 +1,526 @@
+//===--- tests/serve_test.cpp - the diderotd daemon end to end ---------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// Compile-once-serve-many: the program registry, the daemon's HTTP job API
+// against golden direct runs, concurrent mixed-program serving, and the
+// content-addressed native cache (tests named *Native* use the host
+// compiler and are excluded from the serve_tsan run — TSan cannot model
+// the uninstrumented dlopen'd code).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/daemon.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "codegen/cache.h"
+#include "nrrd/nrrd.h"
+#include "serve/compile_cache.h"
+
+namespace diderot {
+namespace {
+
+// Two small programs with distinct outputs: every strand doubles (A) or
+// triples (B) its index once, then stabilizes.
+const char *ProgA = R"(
+input real bias = 0.0;
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 2.0 + bias; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+
+const char *ProgB = R"(
+input real bias = 0.0;
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 3.0 + bias; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+
+// Never stabilizes — deadline and queue tests.
+const char *ProgSpin = R"(
+strand S (int i) {
+  output real v = 0.0;
+  update { v += 1.0; }
+}
+initially [ S(i) | i in 0 .. 3 ];
+)";
+
+std::string tempDir(const char *Tag) {
+  auto P = std::filesystem::temp_directory_path() /
+           (std::string("diderot-serve-test-") + Tag + "-" +
+            std::to_string(::getpid()));
+  std::filesystem::create_directories(P);
+  return P.string();
+}
+
+/// Minimal HTTP client: send one request, return (status code, body).
+struct Reply {
+  int Code = 0;
+  std::string Body;
+  std::string Raw;
+};
+
+Reply httpDo(int Port, const std::string &Method, const std::string &Path,
+             const std::string &Body = "",
+             const std::vector<std::pair<std::string, std::string>> &Headers =
+                 {}) {
+  Reply Out;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Out;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Out;
+  }
+  std::string Wire = Method + " " + Path + " HTTP/1.1\r\n";
+  for (const auto &[K, V] : Headers)
+    Wire += K + ": " + V + "\r\n";
+  Wire += "Content-Length: " + std::to_string(Body.size()) + "\r\n\r\n";
+  Wire += Body;
+  size_t Off = 0;
+  while (Off < Wire.size()) {
+    ssize_t N = ::send(Fd, Wire.data() + Off, Wire.size() - Off, 0);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  char Buf[8192];
+  ssize_t N;
+  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Out.Raw.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  if (Out.Raw.size() > 12)
+    Out.Code = std::atoi(Out.Raw.c_str() + 9);
+  size_t HdrEnd = Out.Raw.find("\r\n\r\n");
+  if (HdrEnd != std::string::npos)
+    Out.Body = Out.Raw.substr(HdrEnd + 4);
+  return Out;
+}
+
+std::string jsonField(const std::string &Json, const std::string &Key) {
+  size_t P = Json.find("\"" + Key + "\":");
+  if (P == std::string::npos)
+    return "";
+  P += Key.size() + 3;
+  if (P < Json.size() && Json[P] == '"') {
+    size_t E = Json.find('"', P + 1);
+    return Json.substr(P + 1, E - P - 1);
+  }
+  size_t E = Json.find_first_of(",}", P);
+  return Json.substr(P, E - P);
+}
+
+/// Submit a run and poll until the job leaves the queue. Returns the final
+/// job JSON.
+std::string runAndWait(int Port, const std::string &Src,
+                       std::vector<std::pair<std::string, std::string>>
+                           Headers = {}) {
+  Reply R = httpDo(Port, "POST", "/run", Src, Headers);
+  EXPECT_EQ(R.Code, 202) << R.Raw;
+  std::string Id = jsonField(R.Body, "job");
+  EXPECT_FALSE(Id.empty());
+  for (int Tries = 0; Tries < 600; ++Tries) {
+    Reply J = httpDo(Port, "GET", "/jobs/" + Id);
+    EXPECT_EQ(J.Code, 200);
+    std::string State = jsonField(J.Body, "state");
+    if (State == "done" || State == "failed")
+      return J.Body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "job " << Id << " did not finish";
+  return "";
+}
+
+/// Direct (no daemon) reference run of \p Src under \p Opts.
+std::vector<double> goldenRun(const std::string &Src,
+                              const CompileOptions &Opts) {
+  Result<CompiledProgram> CP = compileString(Src, Opts, "golden");
+  EXPECT_TRUE(CP.isOk()) << CP.message();
+  Result<std::unique_ptr<rt::ProgramInstance>> I = CP->instantiate();
+  EXPECT_TRUE(I.isOk()) << I.message();
+  EXPECT_TRUE((*I)->initialize().isOk());
+  EXPECT_TRUE((*I)->run(100, 0).isOk());
+  std::vector<double> Data;
+  EXPECT_TRUE((*I)->getOutput("v", Data).isOk());
+  return Data;
+}
+
+/// Fetch a finished job's output and decode the NRRD samples.
+std::vector<double> fetchOutput(int Port, const std::string &JobJson) {
+  std::vector<double> Out;
+  std::string Id = jsonField(JobJson, "job");
+  Reply R = httpDo(Port, "GET", "/jobs/" + Id + "/output");
+  EXPECT_EQ(R.Code, 200) << R.Raw;
+  Result<Nrrd> N = nrrdParse(R.Body);
+  EXPECT_TRUE(N.isOk()) << (N.isOk() ? "" : N.message());
+  if (!N.isOk())
+    return Out;
+  for (size_t S = 0; S < N->numSamples(); ++S)
+    Out.push_back(N->sampleAsDouble(S));
+  return Out;
+}
+
+serve::DaemonOptions interpOptions(const std::string &CacheDir) {
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Interp;
+  O.Compile.WorkDir = CacheDir;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Program registry
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramRegistry, CachesBySourceContent) {
+  CompileOptions Opts;
+  Opts.Eng = Engine::Interp;
+  serve::ProgramRegistry Reg(Opts);
+  auto L1 = Reg.getOrCompile(ProgA, "a");
+  ASSERT_TRUE(L1.isOk()) << L1.message();
+  EXPECT_FALSE(L1->Cached);
+  EXPECT_GT(L1->CompileNs, 0u);
+  // Same source, different name: still a hit (content-addressed).
+  auto L2 = Reg.getOrCompile(ProgA, "other-name");
+  ASSERT_TRUE(L2.isOk());
+  EXPECT_TRUE(L2->Cached);
+  EXPECT_EQ(L1->Key, L2->Key);
+  EXPECT_EQ(L1->Prog.get(), L2->Prog.get());
+  auto L3 = Reg.getOrCompile(ProgB, "b");
+  ASSERT_TRUE(L3.isOk());
+  EXPECT_FALSE(L3->Cached);
+  EXPECT_NE(L3->Key, L1->Key);
+  EXPECT_EQ(Reg.hits(), 1u);
+  EXPECT_EQ(Reg.misses(), 2u);
+  EXPECT_EQ(Reg.size(), 2u);
+}
+
+TEST(ProgramRegistry, CompileErrorsPropagate) {
+  CompileOptions CO;
+  CO.Eng = Engine::Interp;
+  serve::ProgramRegistry Reg(CO);
+  auto L = Reg.getOrCompile("strand S { not diderot", "broken");
+  EXPECT_FALSE(L.isOk());
+}
+
+//===----------------------------------------------------------------------===//
+// Cache keys (the satellite: late differences must change the key)
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKey, SourcesDifferingLateGetDistinctKeys) {
+  // Two multi-kilobyte sources identical except for the very last byte —
+  // the class of collision the old std::hash<size_t> key could not rule
+  // out and a content hash must.
+  std::string Base(8192, 'x');
+  CompileOptions Opts;
+  std::string A = Base + "1";
+  std::string B = Base + "2";
+  EXPECT_NE(codegen::programCacheKey(A, Opts).hex(),
+            codegen::programCacheKey(B, Opts).hex());
+}
+
+TEST(CacheKey, OptionsChangeKey) {
+  CompileOptions Base;
+  CompileOptions Dbl = Base;
+  Dbl.DoublePrecision = true;
+  CompileOptions Flags = Base;
+  Flags.ExtraCxxFlags = "-ffast-math";
+  CompileOptions NoVn = Base;
+  NoVn.EnableValueNumbering = false;
+  std::string Src = "strand S (int i) { update { stabilize; } }";
+  auto K = [&](const CompileOptions &O) {
+    return codegen::programCacheKey(Src, O).hex();
+  };
+  EXPECT_NE(K(Base), K(Dbl));
+  EXPECT_NE(K(Base), K(Flags));
+  EXPECT_NE(K(Base), K(NoVn));
+  EXPECT_EQ(K(Base), K(CompileOptions{}));
+}
+
+TEST(CacheKey, KeyIsStableAndWellFormed) {
+  CompileOptions Opts;
+  std::string K1 = codegen::programCacheKey("prog", Opts).hex();
+  std::string K2 = codegen::programCacheKey("prog", Opts).hex();
+  EXPECT_EQ(K1, K2);
+  ASSERT_EQ(K1.size(), 32u);
+  for (char C : K1)
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f'));
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon HTTP API (interp engine — native covered by *Native* tests)
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, CompileIsCachedOnSecondPost) {
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(interpOptions(tempDir("compile"))).isOk());
+  Reply R1 = httpDo(D.port(), "POST", "/compile", ProgA,
+                    {{"X-Diderot-Program", "a"}});
+  EXPECT_EQ(R1.Code, 200) << R1.Raw;
+  EXPECT_EQ(jsonField(R1.Body, "cached"), "false");
+  Reply R2 = httpDo(D.port(), "POST", "/compile", ProgA);
+  EXPECT_EQ(R2.Code, 200);
+  EXPECT_EQ(jsonField(R2.Body, "cached"), "true");
+  EXPECT_EQ(jsonField(R1.Body, "key"), jsonField(R2.Body, "key"));
+  Reply Bad = httpDo(D.port(), "POST", "/compile", "strand { nope");
+  EXPECT_EQ(Bad.Code, 400);
+  EXPECT_EQ(httpDo(D.port(), "GET", "/compile").Code, 405);
+  D.stop();
+}
+
+TEST(Daemon, RunMatchesGoldenDirectRun) {
+  serve::DaemonOptions O = interpOptions(tempDir("golden"));
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+  std::string Job = runAndWait(D.port(), ProgA,
+                               {{"X-Diderot-Input", "bias=0.5"}});
+  EXPECT_EQ(jsonField(Job, "state"), "done");
+  EXPECT_EQ(jsonField(Job, "outcome"), "converged");
+  std::vector<double> Served = fetchOutput(D.port(), Job);
+  Result<CompiledProgram> CP =
+      compileString(ProgA, O.Compile, "golden");
+  ASSERT_TRUE(CP.isOk());
+  auto I = CP->instantiate();
+  ASSERT_TRUE(I.isOk());
+  ASSERT_TRUE((*I)->setInputReal("bias", 0.5).isOk());
+  ASSERT_TRUE((*I)->initialize().isOk());
+  ASSERT_TRUE((*I)->run(100, 0).isOk());
+  std::vector<double> Golden;
+  ASSERT_TRUE((*I)->getOutput("v", Golden).isOk());
+  ASSERT_EQ(Served.size(), Golden.size());
+  for (size_t K = 0; K < Golden.size(); ++K)
+    EXPECT_DOUBLE_EQ(Served[K], Golden[K]) << "sample " << K;
+  D.stop();
+}
+
+TEST(Daemon, ServesDistinctProgramsConcurrently) {
+  serve::DaemonOptions O = interpOptions(tempDir("mixed"));
+  O.JobWorkers = 4;
+  O.HttpThreads = 8;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+  std::vector<double> GoldA = goldenRun(ProgA, O.Compile);
+  std::vector<double> GoldB = goldenRun(ProgB, O.Compile);
+  ASSERT_FALSE(GoldA.empty());
+  ASSERT_NE(GoldA, GoldB);
+
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Clients;
+  for (int T = 0; T < 6; ++T)
+    Clients.emplace_back([&, T] {
+      // Threads interleave identical and distinct programs.
+      const std::string Src = (T % 2) ? ProgB : ProgA;
+      const std::vector<double> &Gold = (T % 2) ? GoldB : GoldA;
+      for (int R = 0; R < 3; ++R) {
+        std::string Job = runAndWait(D.port(), Src);
+        if (jsonField(Job, "state") != "done") {
+          ++Failures;
+          continue;
+        }
+        std::vector<double> Got = fetchOutput(D.port(), Job);
+        if (Got != Gold)
+          ++Failures;
+      }
+    });
+  for (std::thread &C : Clients)
+    C.join();
+  EXPECT_EQ(Failures.load(), 0);
+  // 18 jobs over 2 distinct programs: exactly 2 registry misses.
+  serve::Daemon::Counters C = D.counters();
+  EXPECT_EQ(C.JobsDone, 18u);
+  EXPECT_EQ(C.CacheMisses, 2u);
+  EXPECT_GE(C.CacheHits, 16u);
+  D.stop();
+}
+
+TEST(Daemon, DeadlineJobReportsDeadlineOutcome) {
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(interpOptions(tempDir("deadline"))).isOk());
+  std::string Job = runAndWait(D.port(), ProgSpin,
+                               {{"X-Diderot-Steps", "100000000"},
+                                {"X-Diderot-Deadline-Ms", "100"}});
+  EXPECT_EQ(jsonField(Job, "state"), "done");
+  EXPECT_EQ(jsonField(Job, "outcome"), "deadline");
+  D.stop();
+}
+
+TEST(Daemon, FullQueueRejectsWith429) {
+  serve::DaemonOptions O = interpOptions(tempDir("full"));
+  O.QueueCapacity = 0; // every submit is shed
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+  Reply R = httpDo(D.port(), "POST", "/run", ProgA);
+  EXPECT_EQ(R.Code, 429) << R.Raw;
+  EXPECT_EQ(D.counters().JobsRejected, 1u);
+  // The rejected job must not linger in the job table.
+  EXPECT_EQ(httpDo(D.port(), "GET", "/jobs/j-1").Code, 404);
+  D.stop();
+}
+
+TEST(Daemon, JobErrorsAndUnknownRoutes) {
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(interpOptions(tempDir("errors"))).isOk());
+  EXPECT_EQ(httpDo(D.port(), "GET", "/jobs/nope").Code, 404);
+  EXPECT_EQ(httpDo(D.port(), "GET", "/nothing").Code, 404);
+  EXPECT_EQ(httpDo(D.port(), "POST", "/run", "").Code, 400);
+  Reply BadInput = httpDo(D.port(), "POST", "/run", ProgA,
+                          {{"X-Diderot-Input", "no-equals-sign"}});
+  EXPECT_EQ(BadInput.Code, 400);
+  // A job that fails at input binding: state failed, output gives 409.
+  std::string Job = runAndWait(D.port(), ProgA,
+                               {{"X-Diderot-Input", "nosuch=1"}});
+  EXPECT_EQ(jsonField(Job, "state"), "failed");
+  EXPECT_NE(jsonField(Job, "error").find("nosuch"), std::string::npos);
+  std::string Id = jsonField(Job, "job");
+  EXPECT_EQ(httpDo(D.port(), "GET", "/jobs/" + Id + "/output").Code, 409);
+  D.stop();
+}
+
+TEST(Daemon, MetricsExposeDaemonCounters) {
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(interpOptions(tempDir("metrics"))).isOk());
+  runAndWait(D.port(), ProgA);
+  runAndWait(D.port(), ProgA);
+  Reply M = httpDo(D.port(), "GET", "/metrics");
+  EXPECT_EQ(M.Code, 200);
+  for (const char *Series :
+       {"diderot_daemon_cache_hits_total", "diderot_daemon_cache_misses_total",
+        "diderot_daemon_queue_depth", "diderot_daemon_jobs_inflight",
+        "diderot_daemon_jobs_total{state=\"done\"} 2",
+        "diderot_daemon_run_seconds_count 2",
+        "diderot_daemon_native_host_compiles_total"})
+    EXPECT_NE(M.Body.find(Series), std::string::npos) << Series;
+  D.stop();
+}
+
+TEST(Daemon, StampEnvMetaExportsCacheHitRate) {
+  ::unsetenv("DIDEROT_DAEMON_CACHE_HIT_RATE");
+  ::unsetenv("DIDEROT_DAEMON_QUEUE_DEPTH");
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(interpOptions(tempDir("stamp"))).isOk());
+  runAndWait(D.port(), ProgA); // miss
+  runAndWait(D.port(), ProgA); // hit
+  D.stampEnvMeta();
+  const char *Rate = std::getenv("DIDEROT_DAEMON_CACHE_HIT_RATE");
+  const char *Depth = std::getenv("DIDEROT_DAEMON_QUEUE_DEPTH");
+  ASSERT_NE(Rate, nullptr);
+  ASSERT_NE(Depth, nullptr);
+  EXPECT_DOUBLE_EQ(std::atof(Rate), 0.5);
+  EXPECT_STREQ(Depth, "0");
+  D.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Cache directory helpers
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCache, DefaultCacheDirHonorsEnv) {
+  ::setenv("DIDEROT_CACHE_DIR", "/tmp/custom-diderot-cache", 1);
+  EXPECT_EQ(serve::defaultCacheDir(), "/tmp/custom-diderot-cache");
+  ::unsetenv("DIDEROT_CACHE_DIR");
+  EXPECT_NE(serve::defaultCacheDir().find("diderot-cpp"), std::string::npos);
+}
+
+TEST(CompileCache, ReadCacheIndexSkipsMalformedLines) {
+  std::string Dir = tempDir("index");
+  {
+    std::string Key(32, 'a');
+    std::ofstream Out(std::filesystem::path(Dir) /
+                      codegen::cacheIndexFile());
+    Out << Key << "\tiso\t1700000000000\tg++ host=12\n";
+    Out << "short-key\tx\t0\tcc\n"; // skipped: key not 32 hex chars
+    Out << "not a tsv line\n";      // skipped: too few columns
+  }
+  std::vector<serve::CacheEntry> E = serve::readCacheIndex(Dir);
+  ASSERT_EQ(E.size(), 1u);
+  EXPECT_EQ(E[0].Key, std::string(32, 'a'));
+  EXPECT_EQ(E[0].Program, "iso");
+  EXPECT_EQ(E[0].UnixMs, 1700000000000ll);
+  EXPECT_EQ(E[0].CompilerId, "g++ host=12");
+  EXPECT_TRUE(serve::readCacheIndex(tempDir("empty-index")).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Native engine: the on-disk content-addressed cache
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonNative, WarmCacheSurvivesPoisonedCompiler) {
+  // The acceptance test for compile-once-serve-many: after warm-up, break
+  // the host compiler; a warm POST /run must still succeed with zero new
+  // host-compiler invocations, and a *cold* program must fail — proving
+  // the poison was real, not ignored.
+  std::string Cache = tempDir("poison");
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Native;
+  O.Compile.WorkDir = Cache;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  Reply Warm = httpDo(D.port(), "POST", "/compile", ProgA);
+  ASSERT_EQ(Warm.Code, 200) << Warm.Raw;
+  uint64_t CompilesAfterWarmup = codegen::nativeCacheStats().HostCompiles;
+
+  ::setenv("DIDEROT_CXX", "/nonexistent/poisoned-cxx", 1);
+  std::string Job = runAndWait(D.port(), ProgA);
+  EXPECT_EQ(jsonField(Job, "state"), "done") << Job;
+  EXPECT_EQ(jsonField(Job, "outcome"), "converged");
+  EXPECT_EQ(codegen::nativeCacheStats().HostCompiles, CompilesAfterWarmup)
+      << "warm run must not invoke the host compiler";
+
+  // The poison must bite a never-seen program (otherwise the assertion
+  // above proves nothing).
+  std::string Cold = runAndWait(D.port(), ProgB);
+  EXPECT_EQ(jsonField(Cold, "state"), "failed") << Cold;
+  ::unsetenv("DIDEROT_CXX");
+  D.stop();
+}
+
+TEST(DaemonNative, CacheDirHoldsContentAddressedArtifacts) {
+  std::string Cache = tempDir("artifacts");
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Native;
+  O.Compile.WorkDir = Cache;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+  Reply R = httpDo(D.port(), "POST", "/compile", ProgA,
+                   {{"X-Diderot-Program", "prog-a"}});
+  ASSERT_EQ(R.Code, 200) << R.Raw;
+
+  // The .so is named by the *generated C++* key (not the source key in the
+  // reply), so find it via the index the loader appended.
+  std::vector<serve::CacheEntry> Index = serve::readCacheIndex(Cache);
+  ASSERT_EQ(Index.size(), 1u);
+  EXPECT_EQ(Index[0].Program, "prog-a");
+  EXPECT_EQ(Index[0].CompilerId, codegen::hostCompilerId());
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(Cache) /
+                                      ("ddr-" + Index[0].Key + ".so")));
+  D.stop();
+}
+
+} // namespace diderot

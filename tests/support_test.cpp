@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.h"
+#include "support/hash.h"
 #include "support/result.h"
 #include "support/strings.h"
 #include "support/unicode.h"
@@ -126,6 +127,56 @@ TEST(Diagnostics, Rendering) {
   DiagnosticEngine DE;
   DE.error({3, 7}, "bad type");
   EXPECT_EQ(DE.str(), "3:7: error: bad type\n");
+}
+
+TEST(Hash128, HexIs32LowercaseDigits) {
+  support::Hash128 H = support::fnv1a128("diderot");
+  std::string Hex = H.hex();
+  ASSERT_EQ(Hex.size(), 32u);
+  for (char C : Hex)
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')) << Hex;
+  // Deterministic across calls and across processes (pure function of input).
+  EXPECT_EQ(Hex, support::fnv1a128("diderot").hex());
+  // Known FNV-1a/128 property: hashing nothing yields the offset basis.
+  support::Fnv128 Empty;
+  EXPECT_EQ(Empty.digest().hex(), "6c62272e07bb014262b821756295c58d");
+}
+
+TEST(Hash128, LateDifferingInputsGetDistinctDigests) {
+  // The whole point of replacing std::hash: a difference in the final byte
+  // of a large input must change the digest.
+  std::string A(8192, 'x');
+  std::string B = A;
+  B.back() = 'y';
+  EXPECT_NE(support::fnv1a128(A), support::fnv1a128(B));
+  EXPECT_NE(support::fnv1a128(A).hex(), support::fnv1a128(B).hex());
+}
+
+TEST(Hash128, FieldDelimitersPreventConcatenationCollisions) {
+  // ("ab","c") vs ("a","bc"): raw update() concatenates and collides;
+  // updateField() interposes the NUL delimiter and must not.
+  support::Fnv128 Raw1, Raw2;
+  Raw1.update("ab");
+  Raw1.update("c");
+  Raw2.update("a");
+  Raw2.update("bc");
+  EXPECT_EQ(Raw1.digest(), Raw2.digest());
+
+  support::Fnv128 F1, F2;
+  F1.updateField(std::string("ab"));
+  F1.updateField(std::string("c"));
+  F2.updateField(std::string("a"));
+  F2.updateField(std::string("bc"));
+  EXPECT_NE(F1.digest(), F2.digest());
+}
+
+TEST(Hash128, IntegerFieldsChangeDigest) {
+  support::Fnv128 F1, F2;
+  F1.updateField(static_cast<int64_t>(0));
+  F2.updateField(static_cast<int64_t>(1));
+  EXPECT_NE(F1.digest(), F2.digest());
+  // Strict weak ordering so Hash128 can key std::map directly.
+  EXPECT_TRUE(F1.digest() < F2.digest() || F2.digest() < F1.digest());
 }
 
 } // namespace
