@@ -19,6 +19,7 @@
 #include "driver/inputs.h"
 #include "nrrd/nrrd.h"
 #include "observe/observe.h"
+#include "support/log.h"
 #include "support/strings.h"
 
 using namespace diderot;
@@ -65,7 +66,9 @@ options:
   --strict-fp              trap strands whose state becomes non-finite
   --strict                 exit nonzero when the run outcome is not
                            "converged"
-  --quiet                  suppress statistics
+  --log-level LVL          debug|info|warn|error (default info)
+  --log-json               structured JSONL log records on stderr
+  --quiet                  suppress statistics (same as --log-level error)
 )");
 }
 
@@ -76,6 +79,7 @@ int main(int Argc, char **Argv) {
   std::string File;
   std::vector<std::pair<std::string, std::string>> Inputs;
   bool EmitCpp = false, EmitIr = false, Quiet = false, Stats = false;
+  logging::Logger::Options LogOpts;
   bool Profile = false, TraceStrands = false, TimePasses = false;
   bool StrictFp = false, Strict = false;
   int Workers = 1, MaxSteps = 10000, Watchdog = 0;
@@ -105,6 +109,14 @@ int main(int Argc, char **Argv) {
       EmitIr = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
+      LogOpts.MinLevel = logging::Level::Error;
+    } else if (Arg == "--log-json") {
+      LogOpts.Json = true;
+    } else if (Arg == "--log-level" && A + 1 < Argc) {
+      if (!logging::parseLevel(Argv[++A], LogOpts.MinLevel)) {
+        std::fprintf(stderr, "error: bad --log-level '%s'\n", Argv[A]);
+        return 1;
+      }
     } else if (Arg == "--input" && A + 1 < Argc) {
       std::string KV = Argv[++A];
       size_t Eq = KV.find('=');
@@ -175,9 +187,12 @@ int main(int Argc, char **Argv) {
     usage();
     return 1;
   }
+  logging::Logger::global().configure(LogOpts);
 
   Result<CompiledProgram> CP = compileFile(File, Opts);
   if (!CP.isOk()) {
+    // Compiler diagnostics are already formatted with source locations;
+    // print them verbatim rather than wrapping them in a log record.
     std::fprintf(stderr, "%s\n", CP.message().c_str());
     return 1;
   }
@@ -205,7 +220,7 @@ int main(int Argc, char **Argv) {
 
   Result<std::unique_ptr<rt::ProgramInstance>> Inst = CP->instantiate();
   if (!Inst.isOk()) {
-    std::fprintf(stderr, "%s\n", Inst.message().c_str());
+    logging::error(Inst.message());
     return 1;
   }
   rt::ProgramInstance &I = **Inst;
@@ -214,14 +229,14 @@ int main(int Argc, char **Argv) {
   for (const auto &[Name, Value] : Inputs) {
     Status S = setInputFromText(I, Name, Value);
     if (!S.isOk()) {
-      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      logging::error(S.message(), {logging::strField("input", Name)});
       return 1;
     }
   }
 
   Status S = I.initialize();
   if (!S.isOk()) {
-    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    logging::error(S.message());
     return 1;
   }
   rt::RunConfig RC;
@@ -252,69 +267,81 @@ int main(int Argc, char **Argv) {
       return observe::prometheusText(D);
     });
     if (!SS.isOk()) {
-      std::fprintf(stderr, "error: %s\n", SS.message().c_str());
+      logging::error(SS.message());
       return 1;
     }
-    std::fprintf(stderr, "serving metrics at http://127.0.0.1:%d/metrics\n",
-                 Server.port());
+    logging::info("serving metrics",
+                  {logging::strField(
+                      "url", strf("http://127.0.0.1:", Server.port(),
+                                  "/metrics"))});
   }
   Result<rt::RunStats> Run = I.run(RC);
   Server.stop();
   Sampler.stop();
   if (!Run.isOk()) {
-    std::fprintf(stderr, "error: %s\n", Run.message().c_str());
+    logging::error(Run.message());
     return 1;
   }
   // The engines cannot see process RSS; stamp the final sample host-side.
   if (Run->Metrics.Enabled)
     Run->Metrics.Gauges[observe::MgProcessRss] = observe::readProcessRssBytes();
-  if (!Quiet) {
-    std::fprintf(stderr,
-                 "ran %d supersteps: %zu strands, %zu stable, %zu dead\n",
-                 Run->Steps, I.numStrands(), I.numStable(), I.numDead());
-    for (const observe::StrandFault &F : Run->Faults)
-      std::fprintf(stderr, "fault: strand %llu step %d worker %d (%s): %s\n",
-                   static_cast<unsigned long long>(F.Strand), F.Step,
-                   F.Worker, observe::faultKindName(F.Kind),
-                   F.Message.c_str());
-  }
+  logging::info("run finished",
+                {logging::numField("steps", static_cast<int64_t>(Run->Steps)),
+                 logging::numField("strands",
+                                   static_cast<uint64_t>(I.numStrands())),
+                 logging::numField("stable",
+                                   static_cast<uint64_t>(I.numStable())),
+                 logging::numField("dead",
+                                   static_cast<uint64_t>(I.numDead())),
+                 logging::strField("outcome",
+                                   observe::runOutcomeName(Run->Outcome))});
+  for (const observe::StrandFault &F : Run->Faults)
+    logging::warn("strand fault",
+                  {logging::numField("strand", F.Strand),
+                   logging::numField("step", static_cast<int64_t>(F.Step)),
+                   logging::numField("worker",
+                                     static_cast<int64_t>(F.Worker)),
+                   logging::strField("kind", observe::faultKindName(F.Kind)),
+                   logging::strField("message", F.Message)});
   // A run that stopped short of convergence — step-limit exhaustion,
   // deadline, divergence, fault budget — must never pass silently.
   if (Run->Outcome != observe::RunOutcome::Converged)
-    std::fprintf(stderr,
-                 "warning: run did not converge: outcome %s after %d "
-                 "supersteps (%zu fault(s))\n",
-                 observe::runOutcomeName(Run->Outcome), Run->Steps,
-                 Run->Faults.size());
+    logging::Logger::global().log(
+        logging::Level::Warn, "run did not converge",
+        {logging::strField("outcome",
+                           observe::runOutcomeName(Run->Outcome)),
+         logging::numField("steps", static_cast<int64_t>(Run->Steps)),
+         logging::numField("faults",
+                           static_cast<uint64_t>(Run->Faults.size()))});
   if (Stats)
     std::fputs(observe::formatSummary(*Run).c_str(), stderr);
   auto WriteText = [](const std::string &Path, const std::string &Text) {
     std::FILE *F = std::fopen(Path.c_str(), "w");
     if (!F) {
-      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      logging::error("cannot write file", {logging::strField("path", Path)});
       return false;
     }
     std::fwrite(Text.data(), 1, Text.size(), F);
     std::fclose(F);
     return true;
   };
+  auto NoteWrote = [](const std::string &Path) {
+    logging::info("wrote file", {logging::strField("path", Path)});
+  };
   if (!StatsOut.empty()) {
     if (!WriteText(StatsOut, observe::statsJson(*Run)))
       return 1;
-    if (!Quiet)
-      std::fprintf(stderr, "wrote %s\n", StatsOut.c_str());
+    NoteWrote(StatsOut);
   }
   if (!MetricsOut.empty()) {
     if (!WriteText(MetricsOut, observe::prometheusText(Run->Metrics)))
       return 1;
-    if (!Quiet)
-      std::fprintf(stderr, "wrote %s\n", MetricsOut.c_str());
+    NoteWrote(MetricsOut);
   }
   if (!TraceOut.empty()) {
     if (!WriteText(TraceOut, observe::chromeTrace(*Run)))
       return 1;
-    if (!Quiet)
-      std::fprintf(stderr, "wrote %s\n", TraceOut.c_str());
+    NoteWrote(TraceOut);
   }
   if (Profile || !ProfileOut.empty()) {
     observe::ProfileData PD = I.profile();
@@ -332,36 +359,33 @@ int main(int Argc, char **Argv) {
     if (!ProfileOut.empty()) {
       if (!WriteText(ProfileOut, observe::profileJson(PD, Source)))
         return 1;
-      if (!Quiet)
-        std::fprintf(stderr, "wrote %s\n", ProfileOut.c_str());
+      NoteWrote(ProfileOut);
     }
   }
   if (!EventsOut.empty()) {
     if (!WriteText(EventsOut, observe::lifecycleJson(*Run)))
       return 1;
-    if (!Quiet)
-      std::fprintf(stderr, "wrote %s\n", EventsOut.c_str());
+    NoteWrote(EventsOut);
   }
 
   if (!OutFile.empty() && !I.outputs().empty()) {
     Result<Nrrd> N = outputToNrrd(I);
     if (!N.isOk()) {
-      std::fprintf(stderr, "error: %s\n", N.message().c_str());
+      logging::error(N.message());
       return 1;
     }
     Status W = nrrdWrite(*N, OutFile);
     if (!W.isOk()) {
-      std::fprintf(stderr, "error: %s\n", W.message().c_str());
+      logging::error(W.message());
       return 1;
     }
-    if (!Quiet)
-      std::fprintf(stderr, "wrote %s\n", OutFile.c_str());
+    NoteWrote(OutFile);
   }
   if (!PrintOutput.empty()) {
     std::vector<double> Data;
     S = I.getOutput(PrintOutput, Data);
     if (!S.isOk()) {
-      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      logging::error(S.message());
       return 1;
     }
     for (double V : Data)

@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "support/strings.h"
+
 namespace diderot::observe {
 
 namespace {
@@ -60,39 +62,11 @@ void appendStepFields(std::string &Out, const StepStats &S) {
 } // namespace
 
 std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\b':
-      Out += "\\b";
-      break;
-    case '\f':
-      Out += "\\f";
-      break;
-    default:
-      if (C < 0x20)
-        appendf(Out, "\\u%04x", C);
-      else
-        Out += static_cast<char>(C);
-    }
-  }
-  return Out;
+  // One escaping routine for the whole tree; the implementation moved to
+  // support/strings.cpp so the structured logger and daemon (which must not
+  // depend on observe) share it. This forward keeps every existing
+  // observe::jsonEscape caller working.
+  return diderot::jsonEscape(S);
 }
 
 std::string formatSummary(const RunStats &R) {

@@ -50,13 +50,15 @@
 #include "observe/profiler.h"
 #include "observe/recorder.h"
 #include "support/result.h"
+#include "support/trace.h"
 
 namespace diderot::observe {
 
 /// Escape \p S for embedding inside a JSON string literal: quotes and
 /// backslashes are backslash-escaped, control characters become \n \t \r
 /// \b \f or \u00XX. Every runtime string routed into the JSON exporters
-/// below must pass through here.
+/// below must pass through here. Forwards to the shared diderot::jsonEscape
+/// in support/strings.h — one escaping routine for the whole tree.
 std::string jsonEscape(const std::string &S);
 
 /// Human-readable per-superstep summary (multi-line, trailing newline).
@@ -90,6 +92,33 @@ std::string profileJson(const ProfileData &P, const std::string &Source);
 /// Strand lifecycle event log as JSON: {"events":[{"strand":N,"step":N,
 /// "kind":"start|stabilize|die","worker":N,"ns":N}, ...]}.
 std::string lifecycleJson(const RunStats &R);
+
+//===----------------------------------------------------------------------===//
+// Request-trace exporters (docs/TRACING.md)
+//===----------------------------------------------------------------------===//
+
+/// One job's span tree (support/trace.h) as Chrome-trace JSON, loadable in
+/// Perfetto: a top-level "traceId" key, "M" metadata events naming the
+/// process after the job and the tid rows (0 = request spans, 1 + w = run
+/// worker w), then one "X" complete event per span with its span/parent
+/// ids and args attached. Timestamps are microseconds in the tree's own
+/// clock domain.
+std::string spanTreeChromeTrace(const tracing::SpanTree &T);
+
+/// Merge recent jobs into one timeline: each tree becomes its own Chrome
+/// "process" (pid = position + 1) named after its job and program, all on
+/// the shared clock, so queue waits and overlapping runs line up visually.
+std::string mergedChromeTrace(const std::vector<tracing::SpanTree> &Trees);
+
+/// Attach a finished run's Recorder output to \p T as children of the run
+/// span \p RunSpanId: one span per (worker, superstep) on the worker's tid
+/// row, plus instant-like zero-length spans for trapped faults. All
+/// RunStats timestamps are relative to run start and get shifted by
+/// \p RunBeginNs into the tree's clock domain. Fresh span ids come from
+/// \p Ids (injectable for golden tests).
+void appendRunSpans(tracing::SpanTree &T, uint64_t RunSpanId,
+                    uint64_t RunBeginNs, const RunStats &R,
+                    tracing::IdSource &Ids);
 
 //===----------------------------------------------------------------------===//
 // Metrics exposition

@@ -1,0 +1,160 @@
+//===--- observe/trace_spans.cpp - request-trace exporters ------------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// Chrome-trace JSON over the request-span trees of support/trace.h, and
+// the bridge that re-parents a run's Recorder spans (supersteps, worker
+// blocks, faults) under the job's run span. Kept separate from export.cpp
+// so the TSan build of the tracer (trace_tsan) can compile exactly the
+// tracing translation units.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/observe.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace diderot::observe {
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf)
+                        ? static_cast<size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+/// Emit the "M" process/thread naming events for tree \p T as pid \p Pid.
+/// \p First tracks whether a comma is needed before the next event.
+void emitTreeMeta(std::string &Out, const tracing::SpanTree &T, int Pid,
+                  bool &First) {
+  std::string PName = T.Job.empty() ? std::string("request") : "job " + T.Job;
+  if (!T.Program.empty())
+    PName += " (" + T.Program + ")";
+  appendf(Out,
+          "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+          "\"args\":{\"name\":\"%s\"}}",
+          First ? "" : ",", Pid, jsonEscape(PName).c_str());
+  First = false;
+  // Name only the rows that exist: tid 0 always, worker rows when any span
+  // uses them.
+  int MaxTid = 0;
+  for (const tracing::Span &S : T.Spans)
+    MaxTid = S.Tid > MaxTid ? S.Tid : MaxTid;
+  appendf(Out,
+          ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+          "\"args\":{\"name\":\"request\"}}",
+          Pid);
+  for (int W = 1; W <= MaxTid; ++W)
+    appendf(Out,
+            ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+            "\"args\":{\"name\":\"run worker %d\"}}",
+            Pid, W, W - 1);
+}
+
+/// Emit one "X" complete event per span of \p T under pid \p Pid.
+void emitTreeSpans(std::string &Out, const tracing::SpanTree &T, int Pid) {
+  std::string TraceHex = tracing::hexTraceId(T.Trace);
+  for (const tracing::Span &S : T.Spans) {
+    double Ts = static_cast<double>(S.BeginNs) / 1e3;
+    double Dur =
+        static_cast<double>(S.EndNs > S.BeginNs ? S.EndNs - S.BeginNs : 0) /
+        1e3;
+    appendf(Out,
+            ",{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+            "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+            jsonEscape(S.Name).c_str(), jsonEscape(S.Cat).c_str(), Pid,
+            S.Tid, Ts, Dur);
+    appendf(Out, "\"trace\":\"%s\",\"span\":\"%s\"", TraceHex.c_str(),
+            tracing::hexSpanId(S.Id).c_str());
+    if (S.Parent)
+      appendf(Out, ",\"parent\":\"%s\"", tracing::hexSpanId(S.Parent).c_str());
+    for (const auto &[K, V] : S.Args)
+      appendf(Out, ",\"%s\":\"%s\"", jsonEscape(K).c_str(),
+              jsonEscape(V).c_str());
+    Out += "}}";
+  }
+}
+
+} // namespace
+
+std::string spanTreeChromeTrace(const tracing::SpanTree &T) {
+  std::string Out;
+  appendf(Out, "{\"traceId\":\"%s\",\"sampled\":%s,",
+          tracing::hexTraceId(T.Trace).c_str(), T.Sampled ? "true" : "false");
+  if (!T.Job.empty())
+    appendf(Out, "\"job\":\"%s\",", jsonEscape(T.Job).c_str());
+  Out += "\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  emitTreeMeta(Out, T, 1, First);
+  emitTreeSpans(Out, T, 1);
+  Out += "]}";
+  return Out;
+}
+
+std::string mergedChromeTrace(const std::vector<tracing::SpanTree> &Trees) {
+  std::string Out;
+  appendf(Out, "{\"displayTimeUnit\":\"ms\",\"jobs\":%zu,\"traceEvents\":[",
+          Trees.size());
+  bool First = true;
+  for (size_t I = 0; I < Trees.size(); ++I)
+    emitTreeMeta(Out, Trees[I], static_cast<int>(I) + 1, First);
+  for (size_t I = 0; I < Trees.size(); ++I)
+    emitTreeSpans(Out, Trees[I], static_cast<int>(I) + 1);
+  Out += "]}";
+  return Out;
+}
+
+void appendRunSpans(tracing::SpanTree &T, uint64_t RunSpanId,
+                    uint64_t RunBeginNs, const RunStats &R,
+                    tracing::IdSource &Ids) {
+  // One span per (worker, superstep), on the worker's own tid row so the
+  // timeline reads like the standalone chromeTrace() export — but each
+  // span carries the job's trace id and parents to the run span, which is
+  // the whole point: worker imbalance inside a slow request is now
+  // attributable to that request.
+  for (size_t W = 0; W < R.Workers.size(); ++W) {
+    for (const WorkerSpan &Sp : R.Workers[W]) {
+      tracing::Span S;
+      S.Id = Ids.nextId();
+      S.Parent = RunSpanId;
+      S.Name = strf("superstep ", Sp.Step);
+      S.Cat = "superstep";
+      S.BeginNs = RunBeginNs + Sp.BeginNs;
+      S.EndNs = RunBeginNs + Sp.EndNs;
+      S.Tid = static_cast<int>(W) + 1;
+      S.Args.emplace_back("updated", strf(Sp.Updated));
+      S.Args.emplace_back("stabilized", strf(Sp.Stabilized));
+      S.Args.emplace_back("died", strf(Sp.Died));
+      S.Args.emplace_back("blocks", strf(Sp.BlocksClaimed));
+      T.add(std::move(S));
+    }
+  }
+  // Trapped faults as zero-length children on the faulting worker's row.
+  for (const StrandFault &F : R.Faults) {
+    tracing::Span S;
+    S.Id = Ids.nextId();
+    S.Parent = RunSpanId;
+    S.Name = strf("fault strand ", F.Strand, " (", faultKindName(F.Kind),
+                  ")");
+    S.Cat = "fault";
+    S.BeginNs = RunBeginNs + F.Ns;
+    S.EndNs = S.BeginNs;
+    S.Tid = F.Worker + 1;
+    S.Args.emplace_back("step", strf(F.Step));
+    S.Args.emplace_back("message", F.Message);
+    T.add(std::move(S));
+  }
+}
+
+} // namespace diderot::observe

@@ -39,6 +39,7 @@
 #include "observe/profiler.h"
 #include "runtime/scheduler.h"
 #include "support/result.h"
+#include "support/trace.h"
 #include "tensor/shape.h"
 
 namespace diderot::rt {
@@ -83,6 +84,12 @@ struct RunConfig {
   /// false) — the schedulers then skip every policy branch and runs behave
   /// exactly as before.
   RunPolicy Policy;
+  /// Request-trace context of the enclosing job (docs/TRACING.md). Host-side
+  /// only: it never crosses the dlopen ABI (native_load.cpp translates
+  /// RunConfig into flat C calls), so engines ignore it; the serve daemon
+  /// reads it back out of the config it passed in to stamp run spans and
+  /// log records with the job's trace id.
+  tracing::TraceContext Trace;
 };
 
 /// A running (or runnable) instance of a compiled Diderot program.

@@ -23,34 +23,62 @@
 #include "serve/compile_cache.h"
 #include "serve/job_queue.h"
 #include "support/http.h"
+#include "support/log.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace diderot::serve {
 
 namespace {
 
+namespace lg = diderot::logging;
+
 /// Octave-bucket latency histogram, Prometheus-ready. Bucket B counts
 /// samples <= 1ms * 2^B; 20 buckets reach ~9 minutes, everything slower
 /// lands in +Inf only. Lock-free record, racy-but-monotonic scrape — the
 /// same contract as the runtime metrics registry.
+///
+/// Each bucket keeps the trace id of its slowest sample as an
+/// OpenMetrics-style exemplar, so a `/metrics` scrape that shows a fat
+/// tail bucket also says which request to pull up in `GET /jobs/<id>/trace`.
 struct LatencyHisto {
   static constexpr int NumBuckets = 20;
   std::atomic<uint64_t> Buckets[NumBuckets] = {};
   std::atomic<uint64_t> Count{0};
   std::atomic<uint64_t> SumNs{0};
+  std::atomic<uint64_t> WorstNs[NumBuckets] = {};
+  mutable std::mutex ExemplarMu;          ///< guards WorstTrace only
+  std::string WorstTrace[NumBuckets];     ///< 32-hex trace id per bucket
 
-  void record(uint64_t Ns) {
+  void record(uint64_t Ns, const std::string &TraceHex = std::string()) {
     uint64_t Ms = Ns / 1000000;
+    int Bucket = NumBuckets;
     for (int B = 0; B < NumBuckets; ++B)
       if (Ms <= (1ull << B)) {
         Buckets[B].fetch_add(1, std::memory_order_relaxed);
+        Bucket = B;
         break;
       }
     Count.fetch_add(1, std::memory_order_relaxed);
     SumNs.fetch_add(Ns, std::memory_order_relaxed);
+    if (TraceHex.empty() || Bucket >= NumBuckets)
+      return;
+    // Keep the worst sample per bucket. The CAS decides the winner; the
+    // string store behind the mutex may briefly lag a concurrent winner,
+    // which is acceptable for an exemplar.
+    uint64_t Prev = WorstNs[Bucket].load(std::memory_order_relaxed);
+    while (Ns > Prev)
+      if (WorstNs[Bucket].compare_exchange_weak(Prev, Ns,
+                                                std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> G(ExemplarMu);
+        WorstTrace[Bucket] = TraceHex;
+        break;
+      }
   }
 
   /// Append HELP/TYPE/bucket/sum/count lines for metric \p Name (seconds).
+  /// Buckets with a recorded exemplar append it OpenMetrics-style:
+  ///   name_bucket{le="0.128"} 17 # {trace_id="<32 hex>"} 0.093
   void prom(std::string &Out, const std::string &Name,
             const std::string &Help) const {
     Out += strf("# HELP ", Name, " ", Help, "\n# TYPE ", Name,
@@ -58,8 +86,18 @@ struct LatencyHisto {
     uint64_t Cum = 0;
     for (int B = 0; B < NumBuckets; ++B) {
       Cum += Buckets[B].load(std::memory_order_relaxed);
-      Out += strf(Name, "_bucket{le=\"", 0.001 * (1ull << B), "\"} ", Cum,
-                  "\n");
+      Out += strf(Name, "_bucket{le=\"", 0.001 * (1ull << B), "\"} ", Cum);
+      uint64_t Worst = WorstNs[B].load(std::memory_order_relaxed);
+      if (Worst) {
+        std::string Trace;
+        {
+          std::lock_guard<std::mutex> G(ExemplarMu);
+          Trace = WorstTrace[B];
+        }
+        if (!Trace.empty())
+          Out += strf(" # {trace_id=\"", Trace, "\"} ", Worst / 1e9);
+      }
+      Out += "\n";
     }
     uint64_t N = Count.load(std::memory_order_relaxed);
     Out += strf(Name, "_bucket{le=\"+Inf\"} ", N, "\n");
@@ -99,6 +137,13 @@ struct JobRec {
   uint64_t WallNs = 0;
   size_t Strands = 0, Stable = 0, Dead = 0, Faulted = 0;
   std::string OutputNrrd; ///< serialized first output (may be empty)
+
+  // -- Tracing (docs/TRACING.md) -------------------------------------------
+  tracing::TraceContext Ctx; ///< root context; Ctx.Span = root span id
+  tracing::SpanTree Tree;    ///< coarse spans always; supersteps if sampled
+  uint64_t AcceptNs = 0;     ///< handler entry (steadyClock domain)
+  uint64_t EnqueueNs = 0;    ///< just before Sched.submit
+  uint64_t QueueWaitNs = 0, CompileNs = 0, RunNs = 0; ///< slow-log breakdown
 };
 
 } // namespace
@@ -118,16 +163,23 @@ struct Daemon::Impl {
   std::atomic<uint64_t> HttpRequests{0};
   LatencyHisto CompileHisto, RunHisto;
 
+  tracing::HeadSampler Sampler;
+  std::unique_ptr<tracing::TraceRing> Ring;
+  uint64_t StartNs = 0; ///< steadyClock at start(), for /healthz uptime
+
   http::Response handle(const http::Request &Req);
   http::Response handleCompile(const http::Request &Req);
   http::Response handleRun(const http::Request &Req);
-  http::Response handleJob(const std::string &Id, bool WantOutput);
+  http::Response handleJob(const std::string &Id, bool WantOutput,
+                           bool WantTrace);
+  http::Response handleHealthz();
   http::Response metricsText();
   void runJob(const std::shared_ptr<JobRec> &Job,
               std::shared_ptr<const CompiledProgram> Prog,
               std::vector<std::pair<std::string, std::string>> Inputs,
               rt::RunConfig RC, std::string OutputName);
   void finishJob(const std::shared_ptr<JobRec> &Job);
+  void sealTrace(const std::shared_ptr<JobRec> &Job, uint64_t EndNs);
 };
 
 namespace {
@@ -140,12 +192,36 @@ http::Response jsonResponse(int Code, const std::string &Body) {
   return {Code, "application/json", Body, {}};
 }
 
+/// Join an incoming W3C traceparent (child context, keeping the caller's
+/// trace id) or mint a fresh root. The sampling decision is made here, at
+/// the head of the request: an incoming sampled flag wins, otherwise the
+/// daemon's own 1-in-N sampler decides.
+tracing::TraceContext mintContext(const http::Request &Req,
+                                  tracing::HeadSampler &Sampler) {
+  tracing::IdSource &Ids = tracing::defaultIdSource();
+  tracing::TraceContext Parent;
+  if (tracing::parseTraceparent(Req.header("traceparent"), Parent)) {
+    tracing::TraceContext C = tracing::makeChild(Parent, Ids);
+    C.Sampled = Parent.Sampled || Sampler.sample();
+    return C;
+  }
+  return tracing::makeRoot(Ids, Sampler.sample());
+}
+
+/// Echo the request's trace id so callers can correlate without parsing
+/// the body — on every response, including 4xx.
+http::Response withTrace(http::Response R, const std::string &TraceHex) {
+  R.ExtraHeaders.emplace_back("X-Diderot-Trace", TraceHex);
+  return R;
+}
+
 std::string jobJson(const JobRec &J) {
   std::ostringstream S;
   S << "{\"job\":\"" << observe::jsonEscape(J.Id) << "\""
     << ",\"state\":\"" << jobStateName(J.State) << "\""
     << ",\"program\":\"" << observe::jsonEscape(J.Program) << "\""
-    << ",\"key\":\"" << J.Key << "\"";
+    << ",\"key\":\"" << J.Key << "\""
+    << ",\"trace\":\"" << tracing::hexTraceId(J.Ctx.Trace) << "\"";
   if (J.State == JobState::Done) {
     S << ",\"outcome\":\"" << J.Outcome << "\""
       << ",\"steps\":" << J.Steps << ",\"wallMs\":" << (J.WallNs / 1e6)
@@ -177,64 +253,93 @@ http::Response Daemon::Impl::handle(const http::Request &Req) {
     if (Req.Method != "GET")
       return textResponse(405, "GET only\n");
     std::string Rest = Req.Path.substr(6);
-    bool WantOutput = false;
+    bool WantOutput = false, WantTrace = false;
     size_t Slash = Rest.find('/');
     if (Slash != std::string::npos) {
-      if (Rest.substr(Slash) != "/output")
+      std::string Sub = Rest.substr(Slash);
+      if (Sub == "/output")
+        WantOutput = true;
+      else if (Sub == "/trace")
+        WantTrace = true;
+      else
         return textResponse(404, "not found\n");
-      WantOutput = true;
       Rest = Rest.substr(0, Slash);
     }
-    return handleJob(Rest, WantOutput);
+    return handleJob(Rest, WantOutput, WantTrace);
   }
+  if (Req.Path == "/trace" && Req.Method == "GET")
+    return jsonResponse(200, observe::mergedChromeTrace(Ring->snapshot()));
+  if (Req.Path == "/healthz" && Req.Method == "GET")
+    return handleHealthz();
   if (Req.Path == "/metrics" && Req.Method == "GET")
     return metricsText();
   return textResponse(404, "not found\n");
 }
 
 http::Response Daemon::Impl::handleCompile(const http::Request &Req) {
+  tracing::TraceContext Ctx = mintContext(Req, Sampler);
+  std::string TraceHex = tracing::hexTraceId(Ctx.Trace);
   if (Req.Body.empty())
-    return textResponse(400, "empty program body\n");
+    return withTrace(textResponse(400, "empty program body\n"), TraceHex);
   std::string Name = Req.header("x-diderot-program");
   if (Name.empty())
     Name = "program";
-  auto T0 = std::chrono::steady_clock::now();
+  tracing::Clock &Clk = tracing::steadyClock();
+  uint64_t T0 = Clk.nowNs();
   Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
-  if (!L.isOk())
-    return textResponse(400, L.message() + "\n");
+  if (!L.isOk()) {
+    lg::warn("compile failed", {lg::strField("program", Name),
+                                lg::strField("trace", TraceHex),
+                                lg::strField("error", L.message())});
+    return withTrace(textResponse(400, L.message() + "\n"), TraceHex);
+  }
   if (!L->Cached) {
     // Warm the expensive artifact now: instantiating a native program
     // emits the C++ and builds (or disk-hits) the shared object, so the
     // first POST /run finds everything hot.
     Result<std::unique_ptr<rt::ProgramInstance>> Inst = L->Prog->instantiate();
     if (!Inst.isOk())
-      return textResponse(400, Inst.message() + "\n");
+      return withTrace(textResponse(400, Inst.message() + "\n"), TraceHex);
   }
-  uint64_t Ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - T0)
-          .count());
+  uint64_t Ns = Clk.nowNs() - T0;
   if (!L->Cached)
-    CompileHisto.record(Ns);
+    CompileHisto.record(Ns, TraceHex);
+  lg::info("compile", {lg::strField("program", Name),
+                       lg::strField("key", L->Key),
+                       lg::boolField("cached", L->Cached),
+                       lg::numField("ms", Ns / 1e6),
+                       lg::strField("trace", TraceHex)});
   std::ostringstream S;
   S << "{\"key\":\"" << L->Key << "\",\"program\":\""
     << observe::jsonEscape(Name) << "\",\"cached\":"
     << (L->Cached ? "true" : "false") << ",\"compileMs\":" << (Ns / 1e6)
-    << "}\n";
-  return jsonResponse(200, S.str());
+    << ",\"trace\":\"" << TraceHex << "\"}\n";
+  return withTrace(jsonResponse(200, S.str()), TraceHex);
 }
 
 http::Response Daemon::Impl::handleRun(const http::Request &Req) {
+  tracing::Clock &Clk = tracing::steadyClock();
+  tracing::IdSource &Ids = tracing::defaultIdSource();
+  uint64_t AcceptNs = Clk.nowNs();
+  tracing::TraceContext Ctx = mintContext(Req, Sampler);
+  std::string TraceHex = tracing::hexTraceId(Ctx.Trace);
+
   if (Req.Body.empty())
-    return textResponse(400, "empty program body\n");
+    return withTrace(textResponse(400, "empty program body\n"), TraceHex);
   std::string Name = Req.header("x-diderot-program");
   if (Name.empty())
     Name = "program";
+  uint64_t CompileBeginNs = Clk.nowNs();
   Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
-  if (!L.isOk())
-    return textResponse(400, L.message() + "\n");
+  uint64_t CompileEndNs = Clk.nowNs();
+  if (!L.isOk()) {
+    lg::warn("run rejected: compile failed",
+             {lg::strField("program", Name), lg::strField("trace", TraceHex),
+              lg::strField("error", L.message())});
+    return withTrace(textResponse(400, L.message() + "\n"), TraceHex);
+  }
   if (L->CompileNs)
-    CompileHisto.record(L->CompileNs);
+    CompileHisto.record(L->CompileNs, TraceHex);
 
   // Inputs arrive as repeated X-Diderot-Input: NAME=VALUE headers; they are
   // validated on the worker, where the instance (and so the declared input
@@ -243,7 +348,8 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
   for (const std::string &KV : Req.headerValues("x-diderot-input")) {
     size_t Eq = KV.find('=');
     if (Eq == std::string::npos)
-      return textResponse(400, "X-Diderot-Input needs NAME=VALUE\n");
+      return withTrace(textResponse(400, "X-Diderot-Input needs NAME=VALUE\n"),
+                       TraceHex);
     Inputs.emplace_back(KV.substr(0, Eq), KV.substr(Eq + 1));
   }
   rt::RunConfig RC;
@@ -261,11 +367,38 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
   auto Job = std::make_shared<JobRec>();
   Job->Program = Name;
   Job->Key = L->Key;
+  Job->Ctx = Ctx;
+  Job->AcceptNs = AcceptNs;
+  Job->CompileNs = CompileEndNs - CompileBeginNs;
+  Job->Tree.Trace = Ctx.Trace;
+  Job->Tree.Sampled = Ctx.Sampled;
+  Job->Tree.Program = Name;
+  {
+    // Root span first (Spans[0] by convention), then the compile-or-cache
+    // span; EndNs of the root is sealed when the job finishes.
+    tracing::Span Root;
+    Root.Id = Ctx.Span;
+    Root.Name = "job";
+    Root.Cat = "serve";
+    Root.BeginNs = AcceptNs;
+    Job->Tree.add(std::move(Root));
+    tracing::Span CS;
+    CS.Id = Ids.nextId();
+    CS.Parent = Ctx.Span;
+    CS.Name = L->CompileNs ? "compile" : "cache-hit";
+    CS.Cat = "serve";
+    CS.BeginNs = CompileBeginNs;
+    CS.EndNs = CompileEndNs;
+    CS.Args.emplace_back("key", L->Key);
+    Job->Tree.add(std::move(CS));
+  }
   {
     std::lock_guard<std::mutex> G(JobsMu);
     Job->Id = strf("j-", NextJobId++);
+    Job->Tree.Job = Job->Id;
     Jobs[Job->Id] = Job;
   }
+  Job->EnqueueNs = Clk.nowNs();
   Status S = Sched.submit(
       L->Key, [this, Job, Prog = L->Prog, Inputs = std::move(Inputs), RC,
                OutputName]() mutable {
@@ -273,14 +406,25 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
       });
   if (!S.isOk()) {
     JobsRejected.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> G(JobsMu);
-    Jobs.erase(Job->Id);
-    return textResponse(429, S.message() + "\n");
+    {
+      std::lock_guard<std::mutex> G(JobsMu);
+      Jobs.erase(Job->Id);
+    }
+    // Shedding happens in bursts; keep the log readable under overload.
+    lg::Logger::global().logEvery(
+        "queue-full", 2, lg::Level::Warn, "job rejected: queue full",
+        {lg::strField("program", Name), lg::strField("trace", TraceHex)});
+    return withTrace(textResponse(429, S.message() + "\n"), TraceHex);
   }
+  lg::debug("job accepted",
+            {lg::strField("job", Job->Id), lg::strField("program", Name),
+             lg::strField("trace", TraceHex),
+             lg::boolField("sampled", Ctx.Sampled)});
   http::Response R = jsonResponse(
-      202, strf("{\"job\":\"", Job->Id, "\",\"key\":\"", Job->Key, "\"}\n"));
+      202, strf("{\"job\":\"", Job->Id, "\",\"key\":\"", Job->Key,
+                "\",\"trace\":\"", TraceHex, "\"}\n"));
   R.ExtraHeaders.emplace_back("X-Diderot-Job", Job->Id);
-  return R;
+  return withTrace(std::move(R), TraceHex);
 }
 
 void Daemon::Impl::runJob(
@@ -288,18 +432,54 @@ void Daemon::Impl::runJob(
     std::shared_ptr<const CompiledProgram> Prog,
     std::vector<std::pair<std::string, std::string>> Inputs, rt::RunConfig RC,
     std::string OutputName) {
+  tracing::Clock &Clk = tracing::steadyClock();
+  tracing::IdSource &Ids = tracing::defaultIdSource();
+  std::string TraceHex = tracing::hexTraceId(Job->Ctx.Trace);
+
+  // Append a finished coarse span to the job's tree (JobsMu guards Tree).
+  auto AddSpan = [&](const char *SpanName, uint64_t BeginNs, uint64_t EndNs,
+                     uint64_t UseId = 0) {
+    tracing::Span S;
+    S.Id = UseId ? UseId : Ids.nextId();
+    S.Parent = Job->Ctx.Span;
+    S.Name = SpanName;
+    S.Cat = "serve";
+    S.BeginNs = BeginNs;
+    S.EndNs = EndNs;
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->Tree.add(std::move(S));
+  };
+
+  uint64_t DequeueNs = Clk.nowNs();
+  Job->QueueWaitNs = DequeueNs - Job->EnqueueNs;
   {
     std::lock_guard<std::mutex> G(JobsMu);
     Job->State = JobState::Running;
   }
+  AddSpan("queue-wait", Job->EnqueueNs, DequeueNs);
+
   auto Fail = [&](const std::string &Msg) {
-    std::lock_guard<std::mutex> G(JobsMu);
-    Job->State = JobState::Failed;
-    Job->Error = Msg;
-    JobsFailed.fetch_add(1, std::memory_order_relaxed);
-    finishJob(Job);
+    uint64_t EndNs = Clk.nowNs();
+    {
+      std::lock_guard<std::mutex> G(JobsMu);
+      Job->State = JobState::Failed;
+      Job->Error = Msg;
+      if (!Job->Tree.Spans.empty())
+        Job->Tree.Spans[0].Args.emplace_back("error", Msg);
+      JobsFailed.fetch_add(1, std::memory_order_relaxed);
+      finishJob(Job);
+    }
+    sealTrace(Job, EndNs);
+    lg::warn("job failed",
+             {lg::strField("job", Job->Id),
+              lg::strField("program", Job->Program),
+              lg::strField("trace", TraceHex), lg::strField("error", Msg)});
   };
+
+  uint64_t InstBeginNs = Clk.nowNs();
   Result<std::unique_ptr<rt::ProgramInstance>> Inst = Prog->instantiate();
+  uint64_t InstEndNs = Clk.nowNs();
+  AddSpan("instantiate", InstBeginNs, InstEndNs);
   if (!Inst.isOk())
     return Fail(Inst.message());
   rt::ProgramInstance &P = **Inst;
@@ -309,13 +489,47 @@ void Daemon::Impl::runJob(
       return Fail(S.message());
   }
   Status S = P.initialize();
+  uint64_t InitEndNs = Clk.nowNs();
+  AddSpan("initialize", InstEndNs, InitEndNs);
   if (!S.isOk())
     return Fail(S.message());
+
+  // The run span: sampled jobs arm Recorder stats so the per-superstep /
+  // per-worker spans can attach underneath; unsampled jobs keep collection
+  // off and pay nothing beyond the two clock reads.
+  uint64_t RunSpanId = Ids.nextId();
+  if (Job->Ctx.Sampled)
+    RC.CollectStats = true;
+  RC.Trace.Trace = Job->Ctx.Trace;
+  RC.Trace.Span = RunSpanId;
+  RC.Trace.Sampled = Job->Ctx.Sampled;
+  uint64_t RunBeginNs = Clk.nowNs();
   Result<rt::RunStats> Run = P.run(RC);
-  if (!Run.isOk())
+  uint64_t RunEndNs = Clk.nowNs();
+  Job->RunNs = RunEndNs - RunBeginNs;
+  if (!Run.isOk()) {
+    AddSpan("run", RunBeginNs, RunEndNs, RunSpanId);
     return Fail(Run.message());
+  }
+  {
+    tracing::Span RS;
+    RS.Id = RunSpanId;
+    RS.Parent = Job->Ctx.Span;
+    RS.Name = "run";
+    RS.Cat = "serve";
+    RS.BeginNs = RunBeginNs;
+    RS.EndNs = RunEndNs;
+    RS.Args.emplace_back("steps", strf(Run->Steps));
+    RS.Args.emplace_back("outcome", observe::runOutcomeName(Run->Outcome));
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->Tree.add(std::move(RS));
+    if (Job->Ctx.Sampled && !Run->Workers.empty())
+      observe::appendRunSpans(Job->Tree, RunSpanId, RunBeginNs, *Run, Ids);
+  }
+
   std::string NrrdBytes;
   if (!P.outputs().empty()) {
+    uint64_t OutBeginNs = Clk.nowNs();
     Result<Nrrd> N = outputToNrrd(P, OutputName);
     if (!N.isOk())
       return Fail(N.message());
@@ -323,20 +537,63 @@ void Daemon::Impl::runJob(
     if (!Bytes.isOk())
       return Fail(Bytes.message());
     NrrdBytes = Bytes.take();
+    AddSpan("serialize-output", OutBeginNs, Clk.nowNs());
   }
-  RunHisto.record(Run->WallNs);
-  std::lock_guard<std::mutex> G(JobsMu);
-  Job->State = JobState::Done;
-  Job->Outcome = observe::runOutcomeName(Run->Outcome);
-  Job->Steps = Run->Steps;
-  Job->WallNs = Run->WallNs;
-  Job->Strands = P.numStrands();
-  Job->Stable = P.numStable();
-  Job->Dead = P.numDead();
-  Job->Faulted = P.numFaulted();
-  Job->OutputNrrd = std::move(NrrdBytes);
-  JobsDone.fetch_add(1, std::memory_order_relaxed);
-  finishJob(Job);
+  RunHisto.record(Run->WallNs, TraceHex);
+  uint64_t DoneNs = Clk.nowNs();
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->State = JobState::Done;
+    Job->Outcome = observe::runOutcomeName(Run->Outcome);
+    Job->Steps = Run->Steps;
+    Job->WallNs = Run->WallNs;
+    Job->Strands = P.numStrands();
+    Job->Stable = P.numStable();
+    Job->Dead = P.numDead();
+    Job->Faulted = P.numFaulted();
+    Job->OutputNrrd = std::move(NrrdBytes);
+    JobsDone.fetch_add(1, std::memory_order_relaxed);
+    finishJob(Job);
+  }
+  sealTrace(Job, DoneNs);
+  lg::info("job done",
+           {lg::strField("job", Job->Id),
+            lg::strField("program", Job->Program),
+            lg::strField("outcome", Job->Outcome),
+            lg::numField("steps", static_cast<int64_t>(Job->Steps)),
+            lg::numField("wallMs", Job->WallNs / 1e6),
+            lg::strField("trace", TraceHex),
+            lg::boolField("sampled", Job->Ctx.Sampled)});
+}
+
+/// Close the root span and decide retention: sampled jobs always enter the
+/// /trace ring; jobs slower than SlowJobNs are promoted even when unsampled
+/// and logged with the breakdown an operator needs first (where did the
+/// time go: queue, compile, or run?).
+void Daemon::Impl::sealTrace(const std::shared_ptr<JobRec> &Job,
+                             uint64_t EndNs) {
+  tracing::SpanTree Copy;
+  bool Slow = false;
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    if (!Job->Tree.Spans.empty())
+      Job->Tree.Spans[0].EndNs = EndNs;
+    Slow = Opts.SlowJobNs > 0 &&
+           EndNs - Job->AcceptNs > static_cast<uint64_t>(Opts.SlowJobNs);
+    if (Job->Ctx.Sampled || Slow)
+      Copy = Job->Tree;
+  }
+  if (!Copy.Spans.empty())
+    Ring->add(std::move(Copy));
+  if (Slow)
+    lg::warn("slow job",
+             {lg::strField("job", Job->Id),
+              lg::strField("program", Job->Program),
+              lg::numField("totalMs", (EndNs - Job->AcceptNs) / 1e6),
+              lg::numField("queueWaitMs", Job->QueueWaitNs / 1e6),
+              lg::numField("compileMs", Job->CompileNs / 1e6),
+              lg::numField("runMs", Job->RunNs / 1e6),
+              lg::strField("trace", tracing::hexTraceId(Job->Ctx.Trace))});
 }
 
 /// JobsMu held. Record the finish order and prune the oldest finished jobs
@@ -350,13 +607,20 @@ void Daemon::Impl::finishJob(const std::shared_ptr<JobRec> &Job) {
   }
 }
 
-http::Response Daemon::Impl::handleJob(const std::string &Id,
-                                       bool WantOutput) {
+http::Response Daemon::Impl::handleJob(const std::string &Id, bool WantOutput,
+                                       bool WantTrace) {
   std::lock_guard<std::mutex> G(JobsMu);
   auto It = Jobs.find(Id);
   if (It == Jobs.end())
     return textResponse(404, "no such job\n");
   const JobRec &J = *It->second;
+  if (WantTrace) {
+    // The tree is sealed when the job finishes (either way); before that
+    // it is still being built on the worker.
+    if (J.State != JobState::Done && J.State != JobState::Failed)
+      return textResponse(409, strf("job is ", jobStateName(J.State), "\n"));
+    return jsonResponse(200, observe::spanTreeChromeTrace(J.Tree));
+  }
   if (!WantOutput)
     return jsonResponse(200, jobJson(J));
   if (J.State == JobState::Failed)
@@ -367,6 +631,30 @@ http::Response Daemon::Impl::handleJob(const std::string &Id,
   if (J.OutputNrrd.empty())
     return textResponse(404, "job has no output\n");
   return {200, "application/octet-stream", J.OutputNrrd, {}};
+}
+
+/// Liveness + the numbers a wait-for-ready loop or load balancer wants,
+/// cheap enough to poll: a 200 here means the HTTP stack, scheduler, and
+/// registry are all up.
+http::Response Daemon::Impl::handleHealthz() {
+  size_t NumFinished, RingSize;
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    NumFinished = Finished.size();
+  }
+  RingSize = Ring->size();
+  uint64_t UpNs = tracing::steadyClock().nowNs() - StartNs;
+  std::ostringstream S;
+  S << "{\"status\":\"ok\""
+    << ",\"queueDepth\":" << Sched.depth()
+    << ",\"jobsInflight\":" << Sched.inFlight()
+    << ",\"jobWorkers\":" << Opts.JobWorkers
+    << ",\"programs\":" << Registry->size()
+    << ",\"finishedJobs\":" << NumFinished
+    << ",\"traceRing\":" << RingSize
+    << ",\"traceSampleN\":" << Sampler.rate()
+    << ",\"uptimeMs\":" << (UpNs / 1e6) << "}\n";
+  return jsonResponse(200, S.str());
 }
 
 http::Response Daemon::Impl::metricsText() {
@@ -407,6 +695,8 @@ http::Response Daemon::Impl::metricsText() {
         Sched.inFlight());
   Gauge("diderot_daemon_programs", "Programs in the registry",
         static_cast<int64_t>(Registry->size()));
+  Gauge("diderot_daemon_trace_ring", "Span trees retained for GET /trace",
+        static_cast<int64_t>(Ring->size()));
   CompileHisto.prom(Out, "diderot_daemon_compile_seconds",
                     "Cold compile latency (front end + native build)");
   RunHisto.prom(Out, "diderot_daemon_run_seconds", "Job run latency");
@@ -422,6 +712,10 @@ Status Daemon::start(DaemonOptions O) {
     O.Compile.WorkDir = defaultCacheDir();
   I->Opts = O;
   I->Registry = std::make_unique<ProgramRegistry>(O.Compile);
+  I->Sampler.setRate(O.TraceSampleN);
+  I->Ring = std::make_unique<tracing::TraceRing>(
+      O.TraceRingCapacity > 0 ? static_cast<size_t>(O.TraceRingCapacity) : 1);
+  I->StartNs = tracing::steadyClock().nowNs();
   FairScheduler::Options SO;
   SO.Workers = O.JobWorkers;
   SO.Capacity = O.QueueCapacity;
@@ -437,6 +731,11 @@ Status Daemon::start(DaemonOptions O) {
     I->Sched.stop();
     return S;
   }
+  lg::info("daemon started",
+           {lg::numField("port", static_cast<int64_t>(I->Http.port())),
+            lg::numField("jobWorkers", static_cast<int64_t>(O.JobWorkers)),
+            lg::numField("traceSampleN", static_cast<uint64_t>(O.TraceSampleN)),
+            lg::strField("cacheDir", O.Compile.WorkDir)});
   return Status::ok();
 }
 

@@ -24,11 +24,29 @@
 ///   GET  /jobs/<id>          job state as JSON (queued/running/done/failed).
 ///   GET  /jobs/<id>/output   the finished job's first output as NRRD bytes
 ///                            (409 until the job is done).
-///   GET  /metrics            daemon counters in Prometheus text format.
+///   GET  /jobs/<id>/trace    the job's span tree as Chrome-trace JSON
+///                            (409 until the job finished; see
+///                            docs/TRACING.md).
+///   GET  /trace              recently sampled/slow jobs merged into one
+///                            Chrome-trace timeline.
+///   GET  /healthz            liveness + queue/cache gauges as JSON; 200
+///                            as soon as the daemon accepts requests.
+///   GET  /metrics            daemon counters in Prometheus text format;
+///                            the latency histograms carry the trace id of
+///                            the slowest sample per bucket as an
+///                            OpenMetrics-style exemplar.
 ///
 /// One Daemon owns: a ProgramRegistry (compile_cache.h), a FairScheduler
 /// (job_queue.h) whose workers run jobs round-robin across programs, a job
 /// table with bounded retention of finished jobs, and an http::Server.
+///
+/// Tracing: every request gets a TraceContext (support/trace.h) — joined
+/// from an incoming W3C `traceparent` header or freshly minted — echoed
+/// back as X-Diderot-Trace. Every job records its coarse spans (queue-wait,
+/// compile-or-cache-hit, instantiate, initialize, run); 1-in-TraceSampleN
+/// jobs additionally arm per-superstep Recorder collection and land in the
+/// /trace ring. Jobs slower than SlowJobNs are promoted into the ring and
+/// logged with a breakdown even when unsampled.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +75,18 @@ struct DaemonOptions {
   /// Finished (done/failed) jobs retained for polling; the oldest are
   /// pruned beyond this.
   int MaxFinishedJobs = 256;
+  /// Head-sampling denominator for detailed tracing: 1-in-N jobs arm
+  /// per-superstep Recorder collection and are retained in the /trace
+  /// ring. 0 = never, 1 = every job. Coarse spans (queue-wait, compile,
+  /// instantiate, initialize, run) are recorded for every job regardless —
+  /// they cost a handful of monotonic clock reads.
+  uint32_t TraceSampleN = 16;
+  /// Recently finished span trees retained for GET /trace.
+  int TraceRingCapacity = 64;
+  /// Jobs slower than this end-to-end (accept to finish) are promoted into
+  /// the trace ring and logged with a queue/compile/run breakdown even when
+  /// unsampled (0 = disabled).
+  int64_t SlowJobNs = 1000000000;
   /// Options every program is compiled under. WorkDir doubles as the .so
   /// cache directory; empty = serve::defaultCacheDir().
   CompileOptions Compile;

@@ -5,7 +5,8 @@
 // Compile once, serve many: a long-lived process holding the compiled form
 // of every program it has seen (serve/compile_cache.h) and running jobs
 // from a bounded fair queue (serve/job_queue.h) over HTTP
-// (serve/daemon.h). See docs/SERVING.md for the API and curl examples.
+// (serve/daemon.h). See docs/SERVING.md for the API and curl examples,
+// docs/TRACING.md for the request-tracing and structured-logging side.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,7 +20,9 @@
 
 #include "serve/compile_cache.h"
 #include "serve/daemon.h"
+#include "support/log.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 using namespace diderot;
 
@@ -44,7 +47,15 @@ options:
                       $DIDEROT_CACHE_DIR, else the system temp scratch)
   --engine=native|interp  execution engine (default native)
   --double            double-precision reals (native engine)
-  --quiet             only print errors
+  --trace-sample SPEC detailed-tracing head sample rate: "1/16" or a bare
+                      denominator N (1-in-N jobs), "all", "off"
+                      (default 1/16; coarse per-job spans are always on)
+  --trace-ring N      span trees retained for GET /trace (default 64)
+  --slow-ms N         jobs slower than N ms end-to-end are traced and
+                      logged even when unsampled (0 = off; default 1000)
+  --log-level LVL     debug|info|warn|error (default info)
+  --log-json          structured JSONL log records on stderr
+  --quiet             only print errors (same as --log-level error)
 )");
 }
 
@@ -57,7 +68,7 @@ void onSignal(int Sig) { GotSignal.store(Sig); }
 int main(int Argc, char **Argv) {
   serve::DaemonOptions Opts;
   std::string PortFile;
-  bool Quiet = false;
+  logging::Logger::Options LogOpts;
 
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
@@ -86,29 +97,52 @@ int main(int Argc, char **Argv) {
       Opts.Compile.Eng = Engine::Native;
     } else if (Arg == "--double") {
       Opts.Compile.DoublePrecision = true;
+    } else if (Arg == "--trace-sample" && A + 1 < Argc) {
+      uint32_t N = 0;
+      if (!tracing::parseSampleSpec(Argv[++A], N)) {
+        std::fprintf(stderr, "error: bad --trace-sample '%s'\n", Argv[A]);
+        return 1;
+      }
+      Opts.TraceSampleN = N;
+    } else if (Arg == "--trace-ring" && A + 1 < Argc) {
+      Opts.TraceRingCapacity = std::atoi(Argv[++A]);
+    } else if (Arg == "--slow-ms" && A + 1 < Argc) {
+      Opts.SlowJobNs = std::atoll(Argv[++A]) * 1000000;
+    } else if (Arg == "--log-level" && A + 1 < Argc) {
+      if (!logging::parseLevel(Argv[++A], LogOpts.MinLevel)) {
+        std::fprintf(stderr, "error: bad --log-level '%s'\n", Argv[A]);
+        return 1;
+      }
+    } else if (Arg == "--log-json") {
+      LogOpts.Json = true;
     } else if (Arg == "--quiet") {
-      Quiet = true;
+      LogOpts.MinLevel = logging::Level::Error;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       usage();
       return 1;
     }
   }
+  logging::Logger::global().configure(LogOpts);
 
   serve::Daemon D;
   Status S = D.start(Opts);
   if (!S.isOk()) {
-    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    logging::error("daemon start failed",
+                   {logging::strField("error", S.message())});
     return 1;
   }
-  if (!Quiet)
+  // The daemon logs its own "daemon started" record; keep the legacy
+  // human-readable line too — scripts grep for it.
+  if (LogOpts.MinLevel <= logging::Level::Info && !LogOpts.Json)
     std::fprintf(stderr,
                  "diderotd listening on http://127.0.0.1:%d (cache %s)\n",
                  D.port(), D.cacheDir().c_str());
   if (!PortFile.empty()) {
     std::ofstream Out(PortFile);
     if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n", PortFile.c_str());
+      logging::error("cannot write port file",
+                     {logging::strField("path", PortFile)});
       return 1;
     }
     Out << D.port() << "\n";
@@ -118,9 +152,9 @@ int main(int Argc, char **Argv) {
   std::signal(SIGTERM, onSignal);
   while (GotSignal.load() == 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  if (!Quiet)
-    std::fprintf(stderr, "diderotd: signal %d, shutting down\n",
-                 GotSignal.load());
+  logging::info("shutting down",
+                {logging::numField("signal",
+                                   static_cast<int64_t>(GotSignal.load()))});
   D.stampEnvMeta();
   D.stop();
   return 0;

@@ -1,0 +1,209 @@
+//===--- support/log.cpp - structured, leveled, rate-limited logging --------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+#include <ctime>
+
+#include "support/strings.h"
+
+namespace diderot::logging {
+
+namespace {
+
+/// Wall-clock now as (unix seconds, milliseconds within the second).
+std::pair<int64_t, int> wallNow() {
+  auto Now = std::chrono::system_clock::now().time_since_epoch();
+  int64_t Ms = std::chrono::duration_cast<std::chrono::milliseconds>(Now)
+                   .count();
+  return {Ms / 1000, static_cast<int>(Ms % 1000)};
+}
+
+/// RFC 3339 UTC timestamp with millisecond precision.
+std::string isoTimestamp(int64_t Sec, int Ms) {
+  std::tm Tm{};
+  time_t T = static_cast<time_t>(Sec);
+  gmtime_r(&T, &Tm);
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                Tm.tm_year + 1900, Tm.tm_mon + 1, Tm.tm_mday, Tm.tm_hour,
+                Tm.tm_min, Tm.tm_sec, Ms);
+  return Buf;
+}
+
+} // namespace
+
+const char *levelName(Level L) {
+  switch (L) {
+  case Level::Debug:
+    return "debug";
+  case Level::Info:
+    return "info";
+  case Level::Warn:
+    return "warn";
+  case Level::Error:
+    return "error";
+  }
+  return "?";
+}
+
+bool parseLevel(const std::string &S, Level &Out) {
+  if (S == "debug")
+    Out = Level::Debug;
+  else if (S == "info")
+    Out = Level::Info;
+  else if (S == "warn")
+    Out = Level::Warn;
+  else if (S == "error")
+    Out = Level::Error;
+  else
+    return false;
+  return true;
+}
+
+Field numField(std::string Key, int64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  return {std::move(Key), Buf, false};
+}
+
+Field numField(std::string Key, uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  return {std::move(Key), Buf, false};
+}
+
+Field numField(std::string Key, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return {std::move(Key), Buf, false};
+}
+
+void Logger::configure(const Options &O) {
+  std::lock_guard<std::mutex> G(Mu);
+  MinLevel.store(static_cast<int>(O.MinLevel), std::memory_order_relaxed);
+  Json.store(O.Json, std::memory_order_relaxed);
+  Out = O.Out;
+}
+
+void Logger::log(Level L, const std::string &Msg,
+                 const std::vector<Field> &Fields) {
+  if (!enabled(L))
+    return;
+  emit(L, Msg, Fields, 0);
+}
+
+bool Logger::logEvery(const std::string &Key, uint32_t MaxPerSec, Level L,
+                      const std::string &Msg,
+                      const std::vector<Field> &Fields) {
+  if (!enabled(L))
+    return false;
+  uint64_t SuppressedRun = 0;
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    Bucket &B = Buckets[Key];
+    int64_t Sec = wallNow().first;
+    if (B.WindowSec != Sec) {
+      B.WindowSec = Sec;
+      B.InWindow = 0;
+    }
+    if (B.InWindow >= MaxPerSec) {
+      ++B.SuppressedRun;
+      Suppressed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ++B.InWindow;
+    SuppressedRun = B.SuppressedRun;
+    B.SuppressedRun = 0;
+  }
+  emit(L, Msg, Fields, SuppressedRun);
+  return true;
+}
+
+void Logger::emit(Level L, const std::string &Msg,
+                  const std::vector<Field> &Fields, uint64_t SuppressedRun) {
+  auto [Sec, Ms] = wallNow();
+  std::string Line;
+  Line.reserve(96 + Msg.size());
+  if (Json.load(std::memory_order_relaxed)) {
+    Line += "{\"ts\":\"";
+    Line += isoTimestamp(Sec, Ms);
+    Line += "\",\"level\":\"";
+    Line += levelName(L);
+    Line += "\",\"msg\":\"";
+    Line += jsonEscape(Msg);
+    Line += '"';
+    for (const Field &F : Fields) {
+      Line += ",\"";
+      Line += jsonEscape(F.Key);
+      Line += "\":";
+      if (F.Quoted) {
+        Line += '"';
+        Line += jsonEscape(F.Val);
+        Line += '"';
+      } else {
+        Line += F.Val;
+      }
+    }
+    if (SuppressedRun)
+      Line += strf(",\"suppressed\":", SuppressedRun);
+    Line += "}\n";
+  } else {
+    Line += isoTimestamp(Sec, Ms);
+    Line += ' ';
+    const char *Name = levelName(L);
+    size_t NameLen = std::strlen(Name);
+    Line += Name;
+    for (size_t I = NameLen; I < 5; ++I)
+      Line += ' '; // pad the level column ("info" vs "error")
+    Line += ' ';
+    Line += Msg;
+    for (const Field &F : Fields) {
+      Line += ' ';
+      Line += F.Key;
+      Line += '=';
+      // Quote values with spaces so text lines stay splittable.
+      if (F.Quoted && F.Val.find(' ') != std::string::npos) {
+        Line += '"';
+        Line += F.Val;
+        Line += '"';
+      } else {
+        Line += F.Val;
+      }
+    }
+    if (SuppressedRun)
+      Line += strf(" suppressed=", SuppressedRun);
+    Line += '\n';
+  }
+  std::lock_guard<std::mutex> G(Mu);
+  std::FILE *Dst = Out ? Out : stderr;
+  std::fwrite(Line.data(), 1, Line.size(), Dst);
+  std::fflush(Dst);
+  Emitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+Logger &Logger::global() {
+  static Logger L;
+  return L;
+}
+
+void debug(const std::string &Msg, const std::vector<Field> &Fields) {
+  Logger::global().log(Level::Debug, Msg, Fields);
+}
+void info(const std::string &Msg, const std::vector<Field> &Fields) {
+  Logger::global().log(Level::Info, Msg, Fields);
+}
+void warn(const std::string &Msg, const std::vector<Field> &Fields) {
+  Logger::global().log(Level::Warn, Msg, Fields);
+}
+void error(const std::string &Msg, const std::vector<Field> &Fields) {
+  Logger::global().log(Level::Error, Msg, Fields);
+}
+
+} // namespace diderot::logging

@@ -50,6 +50,14 @@ bool endsWith(const std::string &S, const std::string &Suffix);
 /// ("1" -> "1.0" so that emitted C++ literals keep floating type).
 std::string formatReal(double V);
 
+/// Escape \p S for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \n \t \r
+/// \b \f or \u00XX. The one escaping routine for every JSON producer in
+/// the tree — the observe exporters, the structured logger, the daemon's
+/// response bodies, and the Chrome-trace writers all route through here
+/// (observe::jsonEscape forwards to it).
+std::string jsonEscape(const std::string &S);
+
 } // namespace diderot
 
 #endif // DIDEROT_SUPPORT_STRINGS_H

@@ -1,0 +1,215 @@
+//===--- support/trace.cpp - request-scoped tracing primitives --------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/trace.h"
+
+#include <chrono>
+#include <random>
+
+namespace diderot::tracing {
+
+namespace {
+
+const char HexDigits[] = "0123456789abcdef";
+
+void appendHex64(std::string &Out, uint64_t V) {
+  for (int Shift = 60; Shift >= 0; Shift -= 4)
+    Out += HexDigits[(V >> Shift) & 0xF];
+}
+
+/// Parse exactly \p Len lower-or-upper hex chars at \p S[Off]. Returns
+/// false on any non-hex byte.
+bool parseHex(const std::string &S, size_t Off, size_t Len, uint64_t &Out) {
+  uint64_t V = 0;
+  for (size_t I = 0; I < Len; ++I) {
+    char C = S[Off + I];
+    int D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else if (C >= 'A' && C <= 'F')
+      D = C - 'A' + 10;
+    else
+      return false;
+    V = (V << 4) | static_cast<uint64_t>(D);
+  }
+  Out = V;
+  return true;
+}
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+class SplitMixIdSource : public IdSource {
+public:
+  SplitMixIdSource() {
+    std::random_device Rd;
+    uint64_t Seed = (static_cast<uint64_t>(Rd()) << 32) ^ Rd();
+    Counter.store(splitmix64(Seed ^ 0x5bf03635aca2fdd8ull));
+  }
+
+  uint64_t nextId() override {
+    // splitmix64 is a bijection over a strided counter, so ids never
+    // repeat within a process; 0 maps to a nonzero output for every
+    // realistic counter value, but guard anyway — 0 is reserved.
+    uint64_t Id;
+    do
+      Id = splitmix64(Counter.fetch_add(0x9e3779b97f4a7c15ull,
+                                        std::memory_order_relaxed));
+    while (Id == 0);
+    return Id;
+  }
+
+private:
+  std::atomic<uint64_t> Counter{0};
+};
+
+class SteadyClockImpl : public Clock {
+public:
+  SteadyClockImpl() : T0(std::chrono::steady_clock::now()) {}
+  uint64_t nowNs() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  }
+
+private:
+  std::chrono::steady_clock::time_point T0;
+};
+
+} // namespace
+
+std::string hexTraceId(const TraceId &T) {
+  std::string Out;
+  Out.reserve(32);
+  appendHex64(Out, T.Hi);
+  appendHex64(Out, T.Lo);
+  return Out;
+}
+
+std::string hexSpanId(uint64_t S) {
+  std::string Out;
+  Out.reserve(16);
+  appendHex64(Out, S);
+  return Out;
+}
+
+std::string TraceContext::traceparent() const {
+  std::string Out;
+  Out.reserve(55);
+  Out += "00-";
+  appendHex64(Out, Trace.Hi);
+  appendHex64(Out, Trace.Lo);
+  Out += '-';
+  appendHex64(Out, Span);
+  Out += Sampled ? "-01" : "-00";
+  return Out;
+}
+
+bool parseTraceparent(const std::string &Header, TraceContext &Out) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2); future
+  // versions may append fields after the flags, so accept longer strings
+  // only when the extra part starts with '-'.
+  if (Header.size() < 55)
+    return false;
+  if (Header.size() > 55 && Header[55] != '-')
+    return false;
+  if (Header[2] != '-' || Header[35] != '-' || Header[52] != '-')
+    return false;
+  uint64_t Version, Hi, Lo, Span, Flags;
+  if (!parseHex(Header, 0, 2, Version) || !parseHex(Header, 3, 16, Hi) ||
+      !parseHex(Header, 19, 16, Lo) || !parseHex(Header, 36, 16, Span) ||
+      !parseHex(Header, 53, 2, Flags))
+    return false;
+  if (Version == 0xff)
+    return false; // reserved invalid version
+  if (Version == 0 && Header.size() != 55)
+    return false; // version 00 has no extra fields
+  if ((Hi | Lo) == 0 || Span == 0)
+    return false; // all-zero ids are invalid per spec
+  Out.Trace = {Hi, Lo};
+  Out.Span = Span;
+  Out.Sampled = (Flags & 0x1) != 0;
+  return true;
+}
+
+IdSource &defaultIdSource() {
+  static SplitMixIdSource S;
+  return S;
+}
+
+Clock &steadyClock() {
+  static SteadyClockImpl C;
+  return C;
+}
+
+TraceContext makeRoot(IdSource &Ids, bool Sampled) {
+  TraceContext C;
+  C.Trace.Hi = Ids.nextId();
+  C.Trace.Lo = Ids.nextId();
+  C.Span = Ids.nextId();
+  C.Sampled = Sampled;
+  return C;
+}
+
+TraceContext makeChild(const TraceContext &Parent, IdSource &Ids) {
+  TraceContext C = Parent;
+  C.Span = Ids.nextId();
+  return C;
+}
+
+void TraceRing::add(SpanTree T) {
+  std::lock_guard<std::mutex> G(Mu);
+  Trees.push_back(std::move(T));
+  while (Trees.size() > Cap)
+    Trees.pop_front();
+}
+
+std::vector<SpanTree> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return {Trees.begin(), Trees.end()};
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Trees.size();
+}
+
+bool parseSampleSpec(const std::string &Spec, uint32_t &N) {
+  if (Spec == "off" || Spec == "none") {
+    N = 0;
+    return true;
+  }
+  if (Spec == "all") {
+    N = 1;
+    return true;
+  }
+  std::string Denom = Spec;
+  size_t Slash = Spec.find('/');
+  if (Slash != std::string::npos) {
+    if (Spec.substr(0, Slash) != "1")
+      return false; // only 1/N ratios are meaningful for a head sampler
+    Denom = Spec.substr(Slash + 1);
+  }
+  if (Denom.empty() || Denom.size() > 9)
+    return false;
+  uint64_t V = 0;
+  for (char C : Denom) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  N = static_cast<uint32_t>(V);
+  return true;
+}
+
+} // namespace diderot::tracing

@@ -1,0 +1,248 @@
+//===--- support/trace.h - request-scoped tracing primitives ----------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vocabulary of end-to-end request tracing (docs/TRACING.md): a W3C
+/// `traceparent`-compatible TraceContext minted per daemon request, spans
+/// that record where a request's time went (queue wait, compile vs cache
+/// hit, instantiate, run, supersteps), and the bounded ring of recently
+/// finished span trees behind `GET /trace`.
+///
+/// The paper's BSP model gives the runtime natural span boundaries —
+/// supersteps, barriers, per-worker blocks — and observe::Recorder has
+/// collected those since PR 1, but only *per run*. This layer adds the
+/// request dimension: one 128-bit trace id carried from the HTTP accept
+/// through the scheduler queue and the compile cache into the run, so the
+/// Recorder's spans attach as children of a job's run span instead of
+/// floating free (observe::appendRunSpans).
+///
+/// Layering: this header is support-level — no observe, serve, or runtime
+/// includes — so the logger (support/log.h) can stamp records with trace
+/// ids and the daemon can mint contexts without cycles. The Chrome-trace
+/// exporters over SpanTree live in observe (observe/trace_spans.cpp),
+/// next to the other JSON exporters.
+///
+/// Clock and id generation are injectable (Clock, IdSource) so tests can
+/// produce byte-stable golden span trees; production code uses the
+/// process-wide steadyClock() / defaultIdSource() singletons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_TRACE_H
+#define DIDEROT_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diderot::tracing {
+
+//===----------------------------------------------------------------------===//
+// Identifiers and the W3C traceparent context
+//===----------------------------------------------------------------------===//
+
+/// A 128-bit trace id (W3C trace-context trace-id). All-zero is the
+/// reserved "invalid" value, exactly as in the spec.
+struct TraceId {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool valid() const { return (Hi | Lo) != 0; }
+  friend bool operator==(const TraceId &A, const TraceId &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const TraceId &A, const TraceId &B) {
+    return !(A == B);
+  }
+};
+
+/// 32 lower-case hex chars for a trace id, 16 for a span id.
+std::string hexTraceId(const TraceId &T);
+std::string hexSpanId(uint64_t S);
+
+/// One hop of request context: which trace this request belongs to, the
+/// current span, and whether the trace is sampled for detailed (per-
+/// superstep) collection. Wire-compatible with the W3C `traceparent`
+/// header, version 00: `00-<32 hex trace-id>-<16 hex span-id>-<2 hex
+/// flags>` (flag bit 0 = sampled).
+struct TraceContext {
+  TraceId Trace;
+  uint64_t Span = 0;
+  bool Sampled = false;
+
+  bool valid() const { return Trace.valid() && Span != 0; }
+  /// Render as a `traceparent` header value.
+  std::string traceparent() const;
+};
+
+/// Parse a `traceparent` header value into \p Out. Rejects (returns false,
+/// leaving \p Out untouched) anything malformed: wrong field lengths,
+/// non-hex digits, the unsupported version ff, an all-zero trace id or
+/// span id. Unknown future versions with the version-00 field layout are
+/// accepted, as the spec requires.
+bool parseTraceparent(const std::string &Header, TraceContext &Out);
+
+//===----------------------------------------------------------------------===//
+// Injectable id and clock sources
+//===----------------------------------------------------------------------===//
+
+/// Generator of nonzero 64-bit ids (span ids; two calls make a trace id).
+/// Thread-safe implementations required — the daemon mints ids from
+/// concurrent HTTP handler threads.
+class IdSource {
+public:
+  virtual ~IdSource() = default;
+  virtual uint64_t nextId() = 0;
+};
+
+/// The process-wide id source: splitmix64 over an atomic counter, seeded
+/// once from std::random_device, so ids are unpredictable across daemon
+/// restarts but cheap (no lock, no per-call entropy read).
+IdSource &defaultIdSource();
+
+/// Deterministic id source for tests and golden files: 1, 2, 3, ...
+class SequentialIdSource : public IdSource {
+public:
+  explicit SequentialIdSource(uint64_t First = 1) : Next(First) {}
+  uint64_t nextId() override { return Next.fetch_add(1); }
+
+private:
+  std::atomic<uint64_t> Next;
+};
+
+/// Monotonic time source for span timestamps. One clock domain per
+/// producer: every span in a SpanTree (and every tree merged into one
+/// `GET /trace` timeline) must come from the same Clock.
+class Clock {
+public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary but fixed epoch.
+  virtual uint64_t nowNs() = 0;
+};
+
+/// The process-wide monotonic clock: std::chrono::steady_clock, ns since
+/// first use in this process.
+Clock &steadyClock();
+
+/// Test clock: returns a script of instants, then keeps returning the last
+/// one (or advances by a fixed step when constructed with one).
+class ManualClock : public Clock {
+public:
+  explicit ManualClock(uint64_t StartNs = 0) : Now(StartNs) {}
+  uint64_t nowNs() override { return Now; }
+  void advance(uint64_t Ns) { Now += Ns; }
+  void set(uint64_t Ns) { Now = Ns; }
+
+private:
+  uint64_t Now;
+};
+
+/// Mint a root context: fresh trace id, fresh span id.
+TraceContext makeRoot(IdSource &Ids, bool Sampled);
+
+/// Mint a child context: same trace id and sampled flag, fresh span id.
+TraceContext makeChild(const TraceContext &Parent, IdSource &Ids);
+
+//===----------------------------------------------------------------------===//
+// Spans and per-request span trees
+//===----------------------------------------------------------------------===//
+
+/// One timed piece of a request. Parent links build the tree; Tid is a
+/// display hint for the Chrome-trace exporters (0 = the request row,
+/// 1 + w = run worker w's row).
+struct Span {
+  uint64_t Id = 0;
+  uint64_t Parent = 0; ///< parent span id; 0 = root of the tree
+  std::string Name;    ///< e.g. "queue-wait", "superstep 3"
+  std::string Cat;     ///< e.g. "serve", "superstep", "strand"
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+  int Tid = 0;
+  /// Extra key/value context, exported as string args (values are
+  /// json-escaped at export time, so raw text is fine here).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Everything traced for one request/job, under one trace id. Spans[0] is
+/// the root span by convention (the exporters do not rely on ordering
+/// beyond that).
+struct SpanTree {
+  TraceId Trace;
+  bool Sampled = false; ///< detailed (per-superstep) collection was on
+  std::string Job;      ///< daemon job id ("" outside the daemon)
+  std::string Program;  ///< program name
+  std::vector<Span> Spans;
+
+  /// Append a finished span and return its id (convenience for builders).
+  uint64_t add(Span S) {
+    Spans.push_back(std::move(S));
+    return Spans.back().Id;
+  }
+};
+
+/// Bounded buffer of recently finished span trees — the store behind
+/// `GET /trace`. Thread-safe; the oldest trees are evicted beyond the
+/// capacity, so a long-lived daemon's memory stays bounded no matter the
+/// sampling rate.
+class TraceRing {
+public:
+  explicit TraceRing(size_t Capacity = 64) : Cap(Capacity ? Capacity : 1) {}
+
+  void add(SpanTree T);
+  /// All retained trees, oldest first.
+  std::vector<SpanTree> snapshot() const;
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+
+private:
+  mutable std::mutex Mu;
+  size_t Cap;
+  std::deque<SpanTree> Trees;
+};
+
+//===----------------------------------------------------------------------===//
+// Head-based sampling
+//===----------------------------------------------------------------------===//
+
+/// Parse a sampling spec: "1/16" (one in sixteen), a bare denominator
+/// ("16"), "1" / "all" (every request), "0" / "off" (never). Returns false
+/// on malformed input, leaving \p N untouched.
+bool parseSampleSpec(const std::string &Spec, uint32_t &N);
+
+/// Deterministic 1-in-N head sampler: the decision is made at request
+/// arrival (before any work), so unsampled requests pay nothing beyond one
+/// atomic increment. N = 0 never samples, N = 1 always does.
+class HeadSampler {
+public:
+  explicit HeadSampler(uint32_t N = 0) : Denom(N) {}
+
+  void setRate(uint32_t N) { Denom.store(N, std::memory_order_relaxed); }
+  uint32_t rate() const { return Denom.load(std::memory_order_relaxed); }
+
+  /// Decide for the next request. The first request of every window of N
+  /// is sampled, so a freshly started daemon samples its very first job —
+  /// handy for smoke tests and for operators kicking the tires.
+  bool sample() {
+    uint32_t N = Denom.load(std::memory_order_relaxed);
+    if (N == 0)
+      return false;
+    if (N == 1)
+      return true;
+    return Count.fetch_add(1, std::memory_order_relaxed) % N == 0;
+  }
+
+private:
+  std::atomic<uint32_t> Denom;
+  std::atomic<uint64_t> Count{0};
+};
+
+} // namespace diderot::tracing
+
+#endif // DIDEROT_SUPPORT_TRACE_H

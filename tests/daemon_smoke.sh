@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Black-box smoke test of a real diderotd process: start it on an ephemeral
 # port, compile the same program twice (the second must be a cache hit), run
-# it, poll the job, fetch the NRRD output, scrape /metrics — then restart the
-# daemon on the same cache dir and prove the warm-up compile is served from
-# disk without a host-compiler invocation. Run by CI (daemon-smoke job) and
-# runnable locally:
+# it, poll the job, fetch the NRRD output and its request trace, scrape
+# /metrics — then restart the daemon on the same cache dir and prove the
+# warm-up compile is served from disk without a host-compiler invocation.
+# Run by CI (daemon-smoke job) and runnable locally:
 #
 #   tests/daemon_smoke.sh build/src/serve/diderotd tests/cli_isocontour.diderot
+#
+# Set TRACE_ARTIFACT=/path/to/trace.json to keep the daemon's merged
+# GET /trace output after the run (CI uploads it as a build artifact; open
+# it in Perfetto / chrome://tracing).
 set -euo pipefail
 
 DIDEROTD=${1:?usage: daemon_smoke.sh <diderotd> <program.diderot>}
 PROGRAM=${2:?usage: daemon_smoke.sh <diderotd> <program.diderot>}
+TRACE_ARTIFACT=${TRACE_ARTIFACT:-}
 
 WORK=$(mktemp -d)
 CACHE="$WORK/cache"
@@ -27,7 +32,10 @@ fail() { echo "daemon_smoke: FAIL: $*" >&2; exit 1; }
 
 start_daemon() {
   rm -f "$PORTFILE"
-  "$DIDEROTD" --port 0 --port-file "$PORTFILE" --cache-dir "$CACHE" &
+  # --trace-sample all: the smoke runs one job; sample it so the merged
+  # GET /trace artifact carries its full per-superstep timeline.
+  "$DIDEROTD" --port 0 --port-file "$PORTFILE" --cache-dir "$CACHE" \
+              --trace-sample all &
   DPID=$!
   for _ in $(seq 1 100); do
     [ -s "$PORTFILE" ] && break
@@ -36,7 +44,18 @@ start_daemon() {
   done
   [ -s "$PORTFILE" ] || fail "daemon never wrote its port file"
   PORT=$(cat "$PORTFILE")
-  echo "daemon_smoke: daemon pid $DPID on port $PORT"
+  # The port file appears when the socket is bound; /healthz answering 200
+  # proves the whole request path (HTTP threads, scheduler, registry) is up
+  # — no sleep-based guessing.
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"'; then
+      echo "daemon_smoke: daemon pid $DPID healthy on port $PORT"
+      return
+    fi
+    kill -0 "$DPID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+  done
+  fail "daemon never became healthy"
 }
 
 stop_daemon() {
@@ -80,6 +99,23 @@ echo "$POLL" | grep -q '"outcome":"converged"' || fail "job did not converge"
 curl -sS "http://127.0.0.1:$PORT/jobs/$JOB/output" -o "$WORK/out.nrrd"
 head -c 4 "$WORK/out.nrrd" | grep -q NRRD || fail "output is not a NRRD file"
 echo "daemon_smoke: output: $(wc -c < "$WORK/out.nrrd") NRRD bytes"
+
+# 2b. The job's request trace: retrievable for every job, one trace id,
+# and at least the queue-wait span of the coarse set (docs/TRACING.md).
+TRACE=$(curl -sS "http://127.0.0.1:$PORT/jobs/$JOB/trace")
+echo "$TRACE" | grep -q '"traceId":"[0-9a-f]\{32\}"' ||
+  fail "job trace has no trace id"
+echo "$TRACE" | grep -q '"queue-wait"' || fail "job trace has no queue-wait span"
+echo "$TRACE" | grep -q '"run"' || fail "job trace has no run span"
+echo "daemon_smoke: trace: $(echo "$TRACE" | wc -c) bytes for job $JOB"
+
+# 2c. The merged recent-jobs timeline; kept as a CI artifact when asked.
+MERGED=$(curl -sS "http://127.0.0.1:$PORT/trace")
+echo "$MERGED" | grep -q '"traceEvents"' || fail "GET /trace is not a chrome trace"
+if [ -n "$TRACE_ARTIFACT" ]; then
+  echo "$MERGED" > "$TRACE_ARTIFACT"
+  echo "daemon_smoke: saved merged trace to $TRACE_ARTIFACT"
+fi
 
 # 3. Metrics reflect what just happened.
 METRICS=$(curl -sS "http://127.0.0.1:$PORT/metrics")

@@ -1,0 +1,545 @@
+//===--- tests/trace_test.cpp - request tracing and structured logging -------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// The tracing vocabulary (support/trace.h): traceparent parsing against the
+// W3C grammar, context minting, head sampling, the trace ring, the golden
+// Chrome-trace span tree built from an injected clock and id source, the
+// Recorder bridge (observe::appendRunSpans), and the structured logger
+// (support/log.h). The multithreaded cases double as the trace_tsan
+// workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "observe/observe.h"
+#include "support/log.h"
+#include "support/strings.h"
+
+#ifndef DIDEROT_REPO_DIR
+#define DIDEROT_REPO_DIR "."
+#endif
+
+namespace diderot {
+namespace {
+
+using namespace diderot::tracing;
+
+//===----------------------------------------------------------------------===//
+// Trace ids and the traceparent wire format
+//===----------------------------------------------------------------------===//
+
+TEST(TraceId, HexFormatting) {
+  TraceId T{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  EXPECT_EQ(hexTraceId(T), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(hexSpanId(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_FALSE(TraceId{}.valid());
+  EXPECT_TRUE(T.valid());
+}
+
+TEST(Traceparent, RoundTrip) {
+  SequentialIdSource Ids(7);
+  TraceContext C = makeRoot(Ids, /*Sampled=*/true);
+  ASSERT_TRUE(C.valid());
+  std::string Header = C.traceparent();
+  EXPECT_EQ(Header.size(), 55u);
+  TraceContext Back;
+  ASSERT_TRUE(parseTraceparent(Header, Back));
+  EXPECT_EQ(Back.Trace, C.Trace);
+  EXPECT_EQ(Back.Span, C.Span);
+  EXPECT_TRUE(Back.Sampled);
+}
+
+TEST(Traceparent, UnsampledFlag) {
+  TraceContext C;
+  ASSERT_TRUE(parseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00", C));
+  EXPECT_FALSE(C.Sampled);
+  EXPECT_EQ(hexTraceId(C.Trace), "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(hexSpanId(C.Span), "b7ad6b7169203331");
+}
+
+TEST(Traceparent, RejectsMalformed) {
+  TraceContext C;
+  // Too short / empty.
+  EXPECT_FALSE(parseTraceparent("", C));
+  EXPECT_FALSE(parseTraceparent("00-abc-def-01", C));
+  // Version ff is reserved-invalid.
+  EXPECT_FALSE(parseTraceparent(
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", C));
+  // Non-hex digits.
+  EXPECT_FALSE(parseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319z-b7ad6b7169203331-01", C));
+  // All-zero trace id and span id are reserved-invalid.
+  EXPECT_FALSE(parseTraceparent(
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01", C));
+  EXPECT_FALSE(parseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", C));
+  // Wrong separators.
+  EXPECT_FALSE(parseTraceparent(
+      "00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", C));
+  // Version 00 must be exactly 55 chars.
+  EXPECT_FALSE(parseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", C));
+  // A failed parse leaves the output untouched.
+  EXPECT_FALSE(C.valid());
+}
+
+TEST(Traceparent, AcceptsFutureVersionWithTrailingData) {
+  // Unknown future versions that keep the version-00 field layout must be
+  // accepted, even with extra fields after the flags (the spec requires
+  // forward compatibility).
+  TraceContext C;
+  EXPECT_TRUE(parseTraceparent(
+      "42-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-whatever",
+      C));
+  EXPECT_TRUE(C.Sampled);
+}
+
+TEST(TraceContext, ChildKeepsTraceAndSampling) {
+  SequentialIdSource Ids;
+  TraceContext Root = makeRoot(Ids, true);
+  TraceContext Child = makeChild(Root, Ids);
+  EXPECT_EQ(Child.Trace, Root.Trace);
+  EXPECT_NE(Child.Span, Root.Span);
+  EXPECT_TRUE(Child.Sampled);
+}
+
+TEST(IdSource, DefaultProducesDistinctNonZero) {
+  IdSource &Ids = defaultIdSource();
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = Ids.nextId();
+    EXPECT_NE(V, 0u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling
+//===----------------------------------------------------------------------===//
+
+TEST(SampleSpec, Parsing) {
+  uint32_t N = 99;
+  EXPECT_TRUE(parseSampleSpec("1/16", N));
+  EXPECT_EQ(N, 16u);
+  EXPECT_TRUE(parseSampleSpec("8", N));
+  EXPECT_EQ(N, 8u);
+  EXPECT_TRUE(parseSampleSpec("all", N));
+  EXPECT_EQ(N, 1u);
+  EXPECT_TRUE(parseSampleSpec("1", N));
+  EXPECT_EQ(N, 1u);
+  EXPECT_TRUE(parseSampleSpec("off", N));
+  EXPECT_EQ(N, 0u);
+  EXPECT_TRUE(parseSampleSpec("none", N));
+  EXPECT_EQ(N, 0u);
+  EXPECT_TRUE(parseSampleSpec("0", N));
+  EXPECT_EQ(N, 0u);
+  N = 99;
+  EXPECT_FALSE(parseSampleSpec("", N));
+  EXPECT_FALSE(parseSampleSpec("2/16", N));
+  EXPECT_FALSE(parseSampleSpec("1/", N));
+  EXPECT_FALSE(parseSampleSpec("sixteen", N));
+  EXPECT_EQ(N, 99u) << "failed parse must leave the output untouched";
+}
+
+TEST(HeadSampler, Rates) {
+  HeadSampler Never(0);
+  HeadSampler Always(1);
+  HeadSampler Quarter(4);
+  int NeverHits = 0, AlwaysHits = 0, QuarterHits = 0;
+  for (int I = 0; I < 1000; ++I) {
+    NeverHits += Never.sample();
+    AlwaysHits += Always.sample();
+    QuarterHits += Quarter.sample();
+  }
+  EXPECT_EQ(NeverHits, 0);
+  EXPECT_EQ(AlwaysHits, 1000);
+  EXPECT_EQ(QuarterHits, 250);
+}
+
+TEST(HeadSampler, FirstRequestIsSampled) {
+  HeadSampler S(16);
+  EXPECT_TRUE(S.sample()) << "a fresh daemon must sample its first job";
+  EXPECT_FALSE(S.sample());
+}
+
+TEST(HeadSampler, ConcurrentCountIsExact) {
+  // 1-in-4 sampling over 8 threads x 1000 draws: the atomic counter makes
+  // the total exact no matter the interleaving.
+  HeadSampler S(4);
+  std::atomic<int> Hits{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 8; ++T)
+    Ts.emplace_back([&] {
+      int Mine = 0;
+      for (int I = 0; I < 1000; ++I)
+        Mine += S.sample();
+      Hits.fetch_add(Mine);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Hits.load(), 2000);
+}
+
+//===----------------------------------------------------------------------===//
+// The trace ring
+//===----------------------------------------------------------------------===//
+
+SpanTree treeWithTrace(uint64_t Lo) {
+  SpanTree T;
+  T.Trace = {1, Lo};
+  Span Root;
+  Root.Id = Lo;
+  Root.Name = "job";
+  T.add(std::move(Root));
+  return T;
+}
+
+TEST(TraceRing, EvictsOldestBeyondCapacity) {
+  TraceRing R(3);
+  for (uint64_t I = 1; I <= 5; ++I)
+    R.add(treeWithTrace(I));
+  EXPECT_EQ(R.size(), 3u);
+  std::vector<SpanTree> Trees = R.snapshot();
+  ASSERT_EQ(Trees.size(), 3u);
+  EXPECT_EQ(Trees.front().Trace.Lo, 3u) << "oldest first, 1 and 2 evicted";
+  EXPECT_EQ(Trees.back().Trace.Lo, 5u);
+}
+
+TEST(TraceRing, ConcurrentAddAndSnapshot) {
+  TraceRing R(16);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&R, T] {
+      for (uint64_t I = 0; I < 200; ++I) {
+        R.add(treeWithTrace(static_cast<uint64_t>(T) * 1000 + I + 1));
+        if (I % 50 == 0)
+          (void)R.snapshot();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(R.size(), 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden span tree: injected clock + ids -> byte-stable Chrome trace
+//===----------------------------------------------------------------------===//
+
+/// The span tree a daemon job would produce, built from deterministic
+/// sources: a manual clock (1ms ticks) and sequential ids, with a
+/// synthetic two-worker two-superstep RunStats attached under the run
+/// span and one trapped fault.
+tracing::SpanTree goldenTree() {
+  SequentialIdSource Ids(1);
+  ManualClock Clk(1000000); // 1ms epoch, so timestamps are visibly non-zero
+
+  SpanTree T;
+  TraceContext Root = makeRoot(Ids, /*Sampled=*/true);
+  T.Trace = Root.Trace;
+  T.Sampled = true;
+  T.Job = "j-1";
+  T.Program = "vr-lite";
+
+  Span RootSpan;
+  RootSpan.Id = Root.Span;
+  RootSpan.Name = "job";
+  RootSpan.Cat = "serve";
+  RootSpan.BeginNs = Clk.nowNs();
+
+  Clk.advance(1000000);
+  Span Compile;
+  Compile.Id = Ids.nextId();
+  Compile.Parent = Root.Span;
+  Compile.Name = "compile";
+  Compile.Cat = "serve";
+  Compile.BeginNs = Clk.nowNs();
+  Clk.advance(5000000);
+  Compile.EndNs = Clk.nowNs();
+  Compile.Args.emplace_back("key", "interp:demo");
+
+  Span Queue;
+  Queue.Id = Ids.nextId();
+  Queue.Parent = Root.Span;
+  Queue.Name = "queue-wait";
+  Queue.Cat = "serve";
+  Queue.BeginNs = Clk.nowNs();
+  Clk.advance(2000000);
+  Queue.EndNs = Clk.nowNs();
+
+  Span RunSpan;
+  RunSpan.Id = Ids.nextId();
+  RunSpan.Parent = Root.Span;
+  RunSpan.Name = "run";
+  RunSpan.Cat = "serve";
+  RunSpan.BeginNs = Clk.nowNs();
+  uint64_t RunBegin = RunSpan.BeginNs;
+  Clk.advance(4000000);
+  RunSpan.EndNs = Clk.nowNs();
+  RunSpan.Args.emplace_back("steps", "2");
+  RunSpan.Args.emplace_back("outcome", "converged");
+
+  Clk.advance(1000000);
+  Span Seal = RootSpan; // close the root at the final instant
+  Seal.EndNs = Clk.nowNs();
+
+  T.add(std::move(Seal));
+  T.add(std::move(Compile));
+  T.add(std::move(Queue));
+  uint64_t RunId = T.add(std::move(RunSpan));
+
+  observe::RunStats R;
+  R.Steps = 2;
+  R.NumWorkers = 2;
+  R.Enabled = true;
+  R.Workers.resize(2);
+  for (int W = 0; W < 2; ++W)
+    for (int S = 0; S < 2; ++S) {
+      observe::WorkerSpan Sp;
+      Sp.Step = S;
+      Sp.Updated = 100 + W * 10 + S;
+      Sp.Stabilized = S == 1 ? 50u : 0u;
+      Sp.Died = 0;
+      Sp.BlocksClaimed = 4;
+      Sp.BeginNs = static_cast<uint64_t>(S) * 2000000;
+      Sp.EndNs = Sp.BeginNs + 1500000 + static_cast<uint64_t>(W) * 100000;
+      R.Workers[W].push_back(Sp);
+    }
+  observe::StrandFault F;
+  F.Strand = 42;
+  F.Step = 1;
+  F.Worker = 1;
+  F.Ns = 3000000;
+  F.Message = "probe outside domain";
+  R.Faults.push_back(F);
+
+  observe::appendRunSpans(T, RunId, RunBegin, R, Ids);
+  return T;
+}
+
+void checkGolden(const std::string &Name, const std::string &Text) {
+  std::string Path =
+      std::string(DIDEROT_REPO_DIR) + "/tests/golden/" + Name + ".golden";
+  if (std::getenv("DIDEROT_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Text;
+    return;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (regenerate with DIDEROT_UPDATE_GOLDEN=1)";
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str(), Text) << "span-tree export drifted from " << Path
+                            << " (regenerate with DIDEROT_UPDATE_GOLDEN=1 "
+                               "if the change is intentional)";
+}
+
+TEST(GoldenTrace, SpanTreeChromeTraceMatchesSnapshot) {
+  checkGolden("trace_chrome", observe::spanTreeChromeTrace(goldenTree()));
+}
+
+TEST(SpanTree, ExportCarriesStructure) {
+  std::string J = observe::spanTreeChromeTrace(goldenTree());
+  // One trace id everywhere, parent links present, worker rows named.
+  EXPECT_NE(J.find("\"traceId\":\"00000000000000010000000000000002\""),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"queue-wait\""), std::string::npos);
+  EXPECT_NE(J.find("\"compile\""), std::string::npos);
+  EXPECT_NE(J.find("superstep 1"), std::string::npos);
+  EXPECT_NE(J.find("run worker 1"), std::string::npos);
+  EXPECT_NE(J.find("\"fault\""), std::string::npos);
+  EXPECT_NE(J.find("\"job\":\"j-1\""), std::string::npos);
+}
+
+TEST(SpanTree, MergedTraceSeparatesJobsByPid) {
+  SpanTree A = goldenTree();
+  SpanTree B = goldenTree();
+  B.Job = "j-2";
+  std::string J = observe::mergedChromeTrace({A, B});
+  EXPECT_NE(J.find("\"jobs\":2"), std::string::npos);
+  EXPECT_NE(J.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(J.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(J.find("job j-2"), std::string::npos);
+}
+
+TEST(SpanTree, NamesAreJsonEscaped) {
+  SpanTree T;
+  T.Trace = {1, 2};
+  Span S;
+  S.Id = 3;
+  S.Name = "evil \"name\"\nwith\tcontrol";
+  S.Args.emplace_back("k\"ey", "va\\lue");
+  T.add(std::move(S));
+  std::string J = observe::spanTreeChromeTrace(T);
+  EXPECT_NE(J.find("evil \\\"name\\\"\\nwith\\tcontrol"), std::string::npos)
+      << J;
+  EXPECT_NE(J.find("k\\\"ey"), std::string::npos);
+  EXPECT_NE(J.find("va\\\\lue"), std::string::npos);
+}
+
+TEST(JsonEscape, SharedHelperCoversControls) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+  // observe::jsonEscape is a forward to the same routine.
+  EXPECT_EQ(observe::jsonEscape("a\"b"), jsonEscape("a\"b"));
+}
+
+//===----------------------------------------------------------------------===//
+// Structured logging
+//===----------------------------------------------------------------------===//
+
+/// Capture everything a logger writes into a string via tmpfile.
+struct LogCapture {
+  std::FILE *F = nullptr;
+  LogCapture() { F = std::tmpfile(); }
+  ~LogCapture() {
+    if (F)
+      std::fclose(F);
+  }
+  std::string text() {
+    std::fflush(F);
+    long Sz = std::ftell(F);
+    std::rewind(F);
+    std::string S(static_cast<size_t>(Sz), '\0');
+    size_t N = std::fread(S.data(), 1, S.size(), F);
+    S.resize(N);
+    std::fseek(F, 0, SEEK_END);
+    return S;
+  }
+};
+
+TEST(Logger, JsonRecordsCarryFields) {
+  LogCapture Cap;
+  logging::Logger L;
+  logging::Logger::Options O;
+  O.Json = true;
+  O.MinLevel = logging::Level::Debug;
+  O.Out = Cap.F;
+  L.configure(O);
+  L.log(logging::Level::Info, "job done",
+        {logging::strField("job", "j-7"),
+         logging::strField("trace", "00ff"),
+         logging::numField("steps", static_cast<int64_t>(12)),
+         logging::boolField("sampled", true)});
+  std::string Out = Cap.text();
+  EXPECT_NE(Out.find("\"level\":\"info\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"msg\":\"job done\""), std::string::npos);
+  EXPECT_NE(Out.find("\"job\":\"j-7\""), std::string::npos);
+  EXPECT_NE(Out.find("\"trace\":\"00ff\""), std::string::npos);
+  EXPECT_NE(Out.find("\"steps\":12"), std::string::npos);
+  EXPECT_NE(Out.find("\"sampled\":true"), std::string::npos);
+  EXPECT_NE(Out.find("\"ts\":\""), std::string::npos);
+  EXPECT_EQ(Out.back(), '\n');
+}
+
+TEST(Logger, JsonEscapesMessageAndValues) {
+  LogCapture Cap;
+  logging::Logger L;
+  logging::Logger::Options O;
+  O.Json = true;
+  O.Out = Cap.F;
+  L.configure(O);
+  L.log(logging::Level::Warn, "bad \"input\"\nline",
+        {logging::strField("path", "a\\b")});
+  std::string Out = Cap.text();
+  EXPECT_NE(Out.find("bad \\\"input\\\"\\nline"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("a\\\\b"), std::string::npos);
+}
+
+TEST(Logger, LevelFilteringDropsBelowMin) {
+  LogCapture Cap;
+  logging::Logger L;
+  logging::Logger::Options O;
+  O.MinLevel = logging::Level::Warn;
+  O.Out = Cap.F;
+  L.configure(O);
+  L.log(logging::Level::Debug, "nope");
+  L.log(logging::Level::Info, "nope");
+  L.log(logging::Level::Warn, "yes-warn");
+  L.log(logging::Level::Error, "yes-error");
+  std::string Out = Cap.text();
+  EXPECT_EQ(Out.find("nope"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("yes-warn"), std::string::npos);
+  EXPECT_NE(Out.find("yes-error"), std::string::npos);
+  EXPECT_EQ(L.emitted(), 2u);
+}
+
+TEST(Logger, RateLimitSuppressesAndCounts) {
+  LogCapture Cap;
+  logging::Logger L;
+  logging::Logger::Options O;
+  O.Out = Cap.F;
+  L.configure(O);
+  int Written = 0;
+  for (int I = 0; I < 10; ++I)
+    Written += L.logEvery("burst", 2, logging::Level::Warn, "flood");
+  EXPECT_EQ(Written, 2) << "2-per-second budget";
+  EXPECT_EQ(L.suppressed(), 8u);
+  // A different key has its own budget.
+  EXPECT_TRUE(L.logEvery("other", 2, logging::Level::Warn, "fine"));
+}
+
+TEST(Logger, TextModeIsKeyValue) {
+  LogCapture Cap;
+  logging::Logger L;
+  logging::Logger::Options O;
+  O.Out = Cap.F;
+  L.configure(O);
+  L.log(logging::Level::Info, "job done",
+        {logging::strField("job", "j-3"),
+         logging::strField("error", "two words")});
+  std::string Out = Cap.text();
+  EXPECT_NE(Out.find("info"), std::string::npos);
+  EXPECT_NE(Out.find("job done"), std::string::npos);
+  EXPECT_NE(Out.find("job=j-3"), std::string::npos);
+  EXPECT_NE(Out.find("error=\"two words\""), std::string::npos) << Out;
+}
+
+TEST(Logger, ConcurrentWritersNeverInterleave) {
+  LogCapture Cap;
+  logging::Logger L;
+  logging::Logger::Options O;
+  O.Out = Cap.F;
+  L.configure(O);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&L, T] {
+      for (int I = 0; I < 100; ++I)
+        L.log(logging::Level::Info, strf("msg-", T, "-", I),
+              {logging::numField("i", static_cast<int64_t>(I))});
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(L.emitted(), 400u);
+  std::string Out = Cap.text();
+  // Every line is complete: starts with a timestamp year, ends cleanly.
+  std::istringstream SS(Out);
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(SS, Line)) {
+    ++Lines;
+    EXPECT_EQ(Line.compare(0, 2, "20"), 0) << "torn line: " << Line;
+  }
+  EXPECT_EQ(Lines, 400u);
+}
+
+} // namespace
+} // namespace diderot
