@@ -38,9 +38,11 @@
 namespace diderot::codegen {
 
 /// Version of the ddr_* C ABI between the driver and generated shared
-/// objects (v5 added ddr_metrics_read). Part of every cache key: a .so
-/// built for an older protocol must never be served to a newer driver.
-constexpr int DdrAbiVersion = 5;
+/// objects (v5 added ddr_metrics_read; v6 the pooled-scheduler run flag
+/// bit and the persistent StrandPool behind it). Part of every cache key:
+/// a .so built for an older protocol must never be served to a newer
+/// driver.
+constexpr int DdrAbiVersion = 6;
 
 /// Identity of the host toolchain baked into cache keys: the configured
 /// compiler path plus the version banner of the compiler that built this

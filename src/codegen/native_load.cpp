@@ -402,10 +402,16 @@ public:
     if (Policied && (!Api->RunPolicy || !Api->SetFaultPlan))
       return RS::error("generated library does not support run policies "
                        "(pre-v4 runtime ABI); regenerate the program");
+    // The pooled scheduler rides a v6 run-flag bit; a .so predating
+    // ddr_run_flags silently degrades to BSP (a scheduler choice is a
+    // performance knob, not a safety contract — unlike policies below).
+    bool WantPooled =
+        C.Sched == rt::Scheduler::Pooled && C.NumWorkers >= 1 &&
+        Api->RunFlags;
     auto T0 = std::chrono::steady_clock::now();
     int Steps;
     int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0) |
-                (NativeMetrics ? 8 : 0);
+                (NativeMetrics ? 8 : 0) | (WantPooled ? 16 : 0);
     if (Policied) {
       std::vector<uint64_t> Plan = observe::flattenPlan(C.Policy.Plan);
       if (Api->SetFaultPlan(Prog, Plan.data(),
@@ -416,7 +422,8 @@ public:
                              C.Policy.WatchdogSteps,
                              C.Policy.StrictFp ? 1 : 0);
     } else if (Api->RunFlags &&
-               (Collect || WantProf || WantTrace || NativeMetrics)) {
+               (Collect || WantProf || WantTrace || NativeMetrics ||
+                WantPooled)) {
       Steps = Api->RunFlags(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize,
                             Flags);
     } else if (Collect) {

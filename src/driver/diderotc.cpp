@@ -40,6 +40,10 @@ options:
                            a .nrrd path or synth:GEN:SIZE for images;
                            GEN in {hand, vessels, flow, noise, portrait})
   --workers N              worker threads (default 1)
+  --scheduler=bsp|pooled   parallel scheduler: bsp spawns fresh threads per
+                           run (the paper's model); pooled reuses a
+                           persistent work-stealing strand pool
+                           (docs/SCHEDULING.md; default bsp)
   --steps N                max supersteps (default 10000)
   --out FILE.nrrd          write the first output as NRRD (grid programs)
   --print-output NAME      print an output to stdout (text)
@@ -83,6 +87,7 @@ int main(int Argc, char **Argv) {
   bool Profile = false, TraceStrands = false, TimePasses = false;
   bool StrictFp = false, Strict = false;
   int Workers = 1, MaxSteps = 10000, Watchdog = 0;
+  rt::Scheduler Sched = rt::Scheduler::Bsp;
   long long DeadlineMs = 0, MaxFaults = -1;
   int MetricsPort = -1;
   std::string OutFile, PrintOutput, StatsOut, TraceOut, ProfileOut, EventsOut;
@@ -127,6 +132,20 @@ int main(int Argc, char **Argv) {
       Inputs.emplace_back(KV.substr(0, Eq), KV.substr(Eq + 1));
     } else if (Arg == "--workers" && A + 1 < Argc) {
       Workers = std::atoi(Argv[++A]);
+    } else if (startsWith(Arg, "--scheduler=")) {
+      if (!rt::parseSchedulerName(Arg.substr(12), Sched)) {
+        std::fprintf(stderr,
+                     "error: bad --scheduler '%s' (want bsp or pooled)\n",
+                     Arg.c_str() + 12);
+        return 1;
+      }
+    } else if (Arg == "--scheduler" && A + 1 < Argc) {
+      if (!rt::parseSchedulerName(Argv[++A], Sched)) {
+        std::fprintf(stderr,
+                     "error: bad --scheduler '%s' (want bsp or pooled)\n",
+                     Argv[A]);
+        return 1;
+      }
     } else if (Arg == "--steps" && A + 1 < Argc) {
       MaxSteps = std::atoi(Argv[++A]);
     } else if (Arg == "--out" && A + 1 < Argc) {
@@ -242,6 +261,7 @@ int main(int Argc, char **Argv) {
   rt::RunConfig RC;
   RC.MaxSupersteps = MaxSteps;
   RC.NumWorkers = Workers;
+  RC.Sched = Sched;
   RC.CollectStats = Stats || !StatsOut.empty() || !TraceOut.empty();
   RC.CollectProfile = Profile || !ProfileOut.empty();
   RC.CollectLifecycle = TraceStrands || !EventsOut.empty();

@@ -843,8 +843,9 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
   int Steps = NumWorkers <= 0
                   ? rt::runSequential(StatusVec, Update, MaxSupersteps, R,
                                       CtlP)
-                  : rt::runParallel(StatusVec, Update, MaxSupersteps,
-                                    NumWorkers, C.BlockSize, R, CtlP);
+                  : rt::runScheduled(C.Sched, StatusVec, Update,
+                                     MaxSupersteps, NumWorkers, C.BlockSize,
+                                     R, CtlP);
   if (!FirstError.empty())
     return Result<rt::RunStats>::error(FirstError);
   if (Profiling) {

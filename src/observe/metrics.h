@@ -112,6 +112,8 @@ enum MetricCounterId : int {
   McBarrierWaits,   ///< barrier arrivals (2 per worker per superstep)
   McSupersteps,     ///< supersteps executed
   McFaults,         ///< strand faults trapped
+  McBlocksStolen,   ///< blocks taken from another worker's deque (pooled)
+  McPoolParks,      ///< pool worker park events (one per worker per run)
   NumMetricCounters
 };
 
@@ -120,6 +122,7 @@ enum MetricGaugeId : int {
   MgWorklistDepth,   ///< blocks on the work list at the latest superstep
   MgProcessRss,      ///< process resident set size in bytes (host-sampled)
   MgWorkers,         ///< configured worker count (0 = sequential)
+  MgPoolThreads,     ///< threads alive in the persistent strand pool
   NumMetricGauges
 };
 
@@ -157,6 +160,12 @@ inline const MetricDesc &counterDesc(int Id) {
        "Bulk-synchronous supersteps executed.", false},
       {"diderot_strand_faults_total", "strand_faults_total",
        "Strand faults trapped by the runtime.", false},
+      {"diderot_blocks_stolen_total", "blocks_stolen_total",
+       "Work-list blocks stolen from another worker's deque (pooled "
+       "scheduler).", false},
+      {"diderot_pool_parks_total", "pool_parks_total",
+       "Persistent-pool worker park events (one per worker per pooled "
+       "run).", false},
   };
   return Descs[Id];
 }
@@ -171,6 +180,8 @@ inline const MetricDesc &gaugeDesc(int Id) {
        "Process resident set size in bytes.", false},
       {"diderot_workers", "workers",
        "Configured worker count (0 = sequential scheduler).", false},
+      {"diderot_pool_threads", "pool_threads",
+       "Threads alive in the persistent strand pool.", false},
   };
   return Descs[Id];
 }

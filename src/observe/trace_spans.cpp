@@ -157,4 +157,24 @@ void appendRunSpans(tracing::SpanTree &T, uint64_t RunSpanId,
   }
 }
 
+void appendPoolSpan(tracing::SpanTree &T, uint64_t RunSpanId,
+                    uint64_t RunBeginNs, uint64_t RunEndNs,
+                    const RunStats &R, tracing::IdSource &Ids) {
+  tracing::Span S;
+  S.Id = Ids.nextId();
+  S.Parent = RunSpanId;
+  S.Name = "pool";
+  S.Cat = "pool";
+  S.BeginNs = RunBeginNs;
+  S.EndNs = RunEndNs;
+  S.Args.emplace_back("workers", strf(R.NumWorkers));
+  if (R.Metrics.Enabled) {
+    S.Args.emplace_back("steals", strf(R.Metrics.Counters[McBlocksStolen]));
+    S.Args.emplace_back("parks", strf(R.Metrics.Counters[McPoolParks]));
+    S.Args.emplace_back("poolThreads",
+                        strf(R.Metrics.Gauges[MgPoolThreads]));
+  }
+  T.add(std::move(S));
+}
+
 } // namespace diderot::observe

@@ -66,6 +66,12 @@ struct RunConfig {
   /// <= 0 selects the sequential scheduler; >= 1 the worker pool.
   int NumWorkers = 0;
   int BlockSize = DefaultBlockSize;
+  /// Which parallel substrate runs the supersteps when NumWorkers >= 1:
+  /// Bsp (the paper's fresh-threads + shared work-list model) or Pooled
+  /// (persistent StrandPool with intra-superstep block stealing; see
+  /// docs/SCHEDULING.md). Ignored by the sequential scheduler. Old native
+  /// .so files that predate the scheduler flag silently run Bsp.
+  Scheduler Sched = Scheduler::Bsp;
   /// Per-superstep / per-worker telemetry (observe::Recorder).
   bool CollectStats = false;
   /// Source-level (line, op-class) counters (observe::Profiler); results are

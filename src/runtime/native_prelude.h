@@ -462,6 +462,11 @@ public:
   /// histogram cells, scraped live through ddr_metrics_read. Implies stats
   /// collection like Lifecycle does.
   static constexpr int RunMetricsFlag = 8;
+  /// Run parallel supersteps on the persistent work-stealing StrandPool
+  /// (runtime ABI v6) instead of the per-run BSP thread set. Ignored when
+  /// Workers <= 0 (sequential). Hosts probing an older .so that predates
+  /// this flag fall back to BSP on their side.
+  static constexpr int RunPooledFlag = 16;
 
   /// The highest DSL source line the generated profiled code instruments
   /// (Derived::ProfMaxLine when the emitter provided one).
@@ -515,6 +520,9 @@ public:
     const bool Metrics = Flags & RunMetricsFlag;
     const bool Collect = (Flags & RunStatsFlag) || Lifecycle || Metrics;
     const bool Profile = Flags & RunProfileFlag;
+    const rt::Scheduler Sched = (Flags & RunPooledFlag)
+                                    ? rt::Scheduler::Pooled
+                                    : rt::Scheduler::Bsp;
     if (Profile)
       Prof.start(Workers <= 0 ? 1 : Workers, profMaxLine());
     observe::Recorder *R = Collect ? &Rec : nullptr;
@@ -552,8 +560,8 @@ public:
       };
       Steps = Workers <= 0
                   ? rt::runSequential(Status, Update, MaxSteps, R, CtlP)
-                  : rt::runParallel(Status, Update, MaxSteps, Workers,
-                                    BlockSize, R, CtlP);
+                  : rt::runScheduled(Sched, Status, Update, MaxSteps,
+                                     Workers, BlockSize, R, CtlP);
     } else {
       auto Update = [this, CtlP, StrictFp](size_t I, int W) -> StrandStatus {
         ExitKind K = self().update(Strands[I]);
@@ -582,8 +590,8 @@ public:
       };
       Steps = Workers <= 0
                   ? rt::runSequential(Status, Update, MaxSteps, R, CtlP)
-                  : rt::runParallel(Status, Update, MaxSteps, Workers,
-                                    BlockSize, R, CtlP);
+                  : rt::runScheduled(Sched, Status, Update, MaxSteps,
+                                     Workers, BlockSize, R, CtlP);
     }
     if (CtlP)
       Rec.countFault(static_cast<uint64_t>(Ctl.faultCount()));

@@ -29,9 +29,13 @@
 #ifndef DIDEROT_RUNTIME_SCHEDULER_H
 #define DIDEROT_RUNTIME_SCHEDULER_H
 
+#include <atomic>
 #include <barrier>
 #include <chrono>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -61,6 +65,37 @@ enum class StrandStatus : uint8_t {
 
 /// The paper's work-list granularity.
 constexpr int DefaultBlockSize = 4096;
+
+/// Which substrate runs the supersteps. Bsp is the paper's model: a fresh
+/// thread set per run pulling blocks off one lock-guarded work-list.
+/// Pooled keeps the BSP semantics observable at superstep boundaries but
+/// executes on the process-wide persistent StrandPool, with per-worker
+/// deques and block stealing inside a superstep. The sequential scheduler
+/// is selected by NumWorkers <= 0, not here.
+enum class Scheduler : int {
+  Bsp = 0,
+  Pooled = 1,
+};
+
+/// The CLI / HTTP-header vocabulary ("--scheduler=bsp|pooled",
+/// "X-Diderot-Scheduler: pooled").
+inline const char *schedulerName(Scheduler S) {
+  return S == Scheduler::Pooled ? "pooled" : "bsp";
+}
+
+/// Parse the vocabulary above; returns false (Out untouched) on anything
+/// else so callers can report the bad value.
+inline bool parseSchedulerName(const std::string &Name, Scheduler &Out) {
+  if (Name == "bsp") {
+    Out = Scheduler::Bsp;
+    return true;
+  }
+  if (Name == "pooled") {
+    Out = Scheduler::Pooled;
+    return true;
+  }
+  return false;
+}
 
 /// Declarative limits on a run, threaded through both schedulers and both
 /// engines. The default-constructed policy is inert (active() is false) and
@@ -315,12 +350,21 @@ int runSequentialImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
     if (Rec)
       Span.BeginNs = Rec->nowNs();
     bool Any = false;
+    // Deadline amortization: deadlineExpired() costs a steady_clock read,
+    // so it runs once per 256 strands instead of per strand. Tick 0 still
+    // checks before the first update, so an already-expired deadline stops
+    // the run with zero work done. The stop flag stays per-strand — it is
+    // one relaxed load.
+    [[maybe_unused]] unsigned PolicyTick = 0;
     for (size_t I = 0; I < N; ++I) {
       if (Status[I] != StrandStatus::Active)
         continue;
-      if constexpr (Policied)
-        if (Ctl->stopRequested() || Ctl->deadlineExpired())
+      if constexpr (Policied) {
+        if (Ctl->stopRequested())
           break;
+        if ((PolicyTick++ & 255u) == 0 && Ctl->deadlineExpired())
+          break;
+      }
       Any = true;
       if (Trace && Steps == 0)
         Rec->event(0, {static_cast<uint64_t>(I), Steps,
@@ -416,18 +460,63 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
   size_t NextBlock = 0;
   bool Done = false;
 
-  // Two rendezvous per superstep: workers wait for the work-list, then the
-  // coordinator waits for all updates to finish.
-  std::barrier Sync(NumWorkers + 1);
-
   const bool Trace = Rec && Rec->lifecycle();
   // Armed metrics registry, or null. Hoisted so the hot paths pay a single
   // pointer test; the unarmed run is branch-for-branch the old loop.
   observe::Metrics *const MX = Rec ? Rec->metrics() : nullptr;
+
+  // Rebuild the work-list from the strand status vector. Runs between
+  // barriers (workers parked), so this is also the superstep-boundary view
+  // live metric scrapes see.
+  auto BuildActive = [&] {
+    ActiveBlocks.clear();
+    for (size_t B = 0; B < NumBlocks; ++B) {
+      size_t Lo = B * static_cast<size_t>(BlockSize);
+      size_t Hi = std::min(N, Lo + static_cast<size_t>(BlockSize));
+      for (size_t I = Lo; I < Hi; ++I)
+        if (Status[I] == StrandStatus::Active) {
+          ActiveBlocks.push_back(static_cast<uint32_t>(B));
+          break;
+        }
+    }
+    if (MX) {
+      uint64_t Live = 0;
+      for (StrandStatus St : Status)
+        Live += St == StrandStatus::Active;
+      MX->gauge(observe::MgLiveStrands).set(static_cast<int64_t>(Live));
+      MX->gauge(observe::MgWorklistDepth)
+          .set(static_cast<int64_t>(ActiveBlocks.size()));
+    }
+  };
+
+  if constexpr (Policied)
+    Ctl->begin(NumWorkers);
+
+  // Edge cases first, before any thread exists: a zero-step budget or no
+  // active strand means there is no work to hand out. (Workers used to be
+  // spawned unconditionally, hit the barrier once, and shut down having
+  // done nothing.)
+  BuildActive();
+  if (MaxSteps <= 0 || ActiveBlocks.empty())
+    return 0;
+  // Strands only ever leave the Active set, so the block count cannot grow
+  // mid-run: surplus workers beyond the first superstep's block count could
+  // never claim anything. Clamp before spawning.
+  if (static_cast<size_t>(NumWorkers) > ActiveBlocks.size())
+    NumWorkers = static_cast<int>(ActiveBlocks.size());
+
+  // Two rendezvous per superstep: workers wait for the work-list, then the
+  // coordinator waits for all updates to finish.
+  std::barrier Sync(NumWorkers + 1);
+
   auto Worker = [&](int W) {
     // Workers learn the superstep number by counting barrier iterations;
     // the coordinator's Steps counter advances in lock-step with them.
     int StepNo = 0;
+    // Deadline amortization (see runSequentialImpl): one clock read per
+    // claimed block plus one per 256 strands, not one per strand. The tick
+    // spans supersteps; tick 0 fires on this worker's first strand.
+    [[maybe_unused]] unsigned PolicyTick = 0;
     // This worker's private claim-latency shard; merged by the coordinator
     // at superstep barriers (observe/metrics.h documents the contract).
     observe::HistCell *const ClaimCell =
@@ -457,17 +546,27 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
         if (Idx >= ActiveBlocks.size())
           break;
         ++Span.BlocksClaimed;
+        if constexpr (Policied)
+          if (Ctl->stopRequested() || Ctl->deadlineExpired()) {
+            Stopping = true;
+            break;
+          }
         size_t Block = ActiveBlocks[Idx];
         size_t Lo = Block * static_cast<size_t>(BlockSize);
         size_t Hi = std::min(N, Lo + static_cast<size_t>(BlockSize));
         for (size_t I = Lo; I < Hi; ++I) {
           if (Status[I] != StrandStatus::Active)
             continue;
-          if constexpr (Policied)
-            if (Ctl->stopRequested() || Ctl->deadlineExpired()) {
+          if constexpr (Policied) {
+            if (Ctl->stopRequested()) {
               Stopping = true;
               break;
             }
+            if ((PolicyTick++ & 255u) == 0 && Ctl->deadlineExpired()) {
+              Stopping = true;
+              break;
+            }
+          }
           if (Trace && StepNo == 0)
             Rec->event(W, {static_cast<uint64_t>(I), StepNo,
                            observe::StrandEventKind::Start, W, Rec->nowNs()});
@@ -510,32 +609,8 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
   for (int W = 0; W < NumWorkers; ++W)
     Threads.emplace_back(Worker, W);
 
-  if constexpr (Policied)
-    Ctl->begin(NumWorkers);
   int Steps = 0;
-  while (Steps < MaxSteps) {
-    ActiveBlocks.clear();
-    for (size_t B = 0; B < NumBlocks; ++B) {
-      size_t Lo = B * static_cast<size_t>(BlockSize);
-      size_t Hi = std::min(N, Lo + static_cast<size_t>(BlockSize));
-      for (size_t I = Lo; I < Hi; ++I)
-        if (Status[I] == StrandStatus::Active) {
-          ActiveBlocks.push_back(static_cast<uint32_t>(B));
-          break;
-        }
-    }
-    if (MX) {
-      // Between barriers: the previous superstep is complete and workers
-      // are parked, so this is the superstep-boundary view live scrapes see.
-      uint64_t Live = 0;
-      for (StrandStatus St : Status)
-        Live += St == StrandStatus::Active;
-      MX->gauge(observe::MgLiveStrands).set(static_cast<int64_t>(Live));
-      MX->gauge(observe::MgWorklistDepth)
-          .set(static_cast<int64_t>(ActiveBlocks.size()));
-    }
-    if (ActiveBlocks.empty())
-      break;
+  for (;;) {
     NextBlock = 0;
     if (Rec)
       Rec->beginStep(Steps); // before workers can commit this superstep
@@ -546,6 +621,16 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
     ++Steps;
     if constexpr (Policied)
       if (Ctl->stepEnd())
+        break;
+    if (Steps >= MaxSteps)
+      break;
+    BuildActive();
+    if (ActiveBlocks.empty())
+      break;
+    // One clock read per superstep boundary, so an expiry is caught here
+    // even when the supersteps are too small for the per-block checks.
+    if constexpr (Policied)
+      if (Ctl->deadlineExpired())
         break;
   }
   Done = true;
@@ -572,6 +657,413 @@ int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
                                          BlockSize, Rec, Ctl);
   return detail::runParallelImpl<false>(Status, Update, MaxSteps, NumWorkers,
                                         BlockSize, Rec, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent pool scheduler
+//===----------------------------------------------------------------------===//
+
+/// Process-wide persistent worker pool behind runPooled. Threads are spawned
+/// lazily up to the largest worker count any run has asked for, park on a
+/// condvar between runs, and are never re-spawned — a diderotd job worker
+/// issuing thousands of /run requests reuses the same OS threads instead of
+/// paying thread churn per run (the generation counter is the "futex word"
+/// the parked threads watch).
+///
+/// Dispatch protocol: a Lease takes RunMu (runs on the pool are serialized;
+/// concurrent runPooled calls queue here), publishes the job closure, bumps
+/// the generation, and wakes the pool. Each selected worker runs the
+/// closure once with its slot id, then re-parks; the Lease destructor waits
+/// until all of them are back. Coordination *inside* a run (the superstep
+/// barriers) is the job closure's own business.
+///
+/// Scope note: this is a Meyers singleton in a header, so each dlopen'd
+/// generated .so carries its own pool instance — native in-process runs
+/// park in their .so's pool, interpreter runs in the host's. Either way the
+/// thread count is bounded and stable across runs, which is the property
+/// the no-thread-growth tests assert.
+class StrandPool {
+public:
+  static StrandPool &instance() {
+    static StrandPool P;
+    return P;
+  }
+
+  /// Threads currently alive in the pool (monotone under the lazy-growth
+  /// policy; never shrinks until process exit).
+  int threadCount() const {
+    std::lock_guard<std::mutex> G(Mu);
+    return static_cast<int>(Threads.size());
+  }
+
+  /// Total park events: one per worker per completed run.
+  uint64_t parkCount() const {
+    return Parks.load(std::memory_order_relaxed);
+  }
+
+  /// Exclusive use of the pool for one run. Construction dispatches
+  /// \p Fn(slot) on \p NW workers; destruction waits for all of them to
+  /// finish and re-park. \p Fn must stay alive for the Lease's lifetime.
+  class Lease {
+  public:
+    Lease(StrandPool &P, int NW, std::function<void(int)> Fn)
+        : P(P), NW(NW) {
+      P.RunMu.lock();
+      std::lock_guard<std::mutex> G(P.Mu);
+      P.grow(NW);
+      P.Job = std::move(Fn);
+      P.JobWorkers = NW;
+      P.JobDone = 0;
+      ++P.Gen;
+      P.WorkCv.notify_all();
+    }
+
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+
+    ~Lease() {
+      {
+        std::unique_lock<std::mutex> L(P.Mu);
+        P.DoneCv.wait(L, [&] { return P.JobDone == NW; });
+        P.Job = nullptr;
+        P.JobWorkers = 0;
+      }
+      P.RunMu.unlock();
+    }
+
+  private:
+    StrandPool &P;
+    int NW;
+  };
+
+private:
+  StrandPool() = default;
+
+  ~StrandPool() {
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      ShuttingDown = true;
+    }
+    WorkCv.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  /// Mu held. Spawn up to \p NW total threads.
+  void grow(int NW) {
+    while (static_cast<int>(Threads.size()) < NW) {
+      int Slot = static_cast<int>(Threads.size());
+      Threads.emplace_back([this, Slot] { threadMain(Slot); });
+    }
+  }
+
+  void threadMain(int Slot) {
+    uint64_t SeenGen = 0;
+    std::unique_lock<std::mutex> L(Mu);
+    for (;;) {
+      WorkCv.wait(L, [&] {
+        return ShuttingDown || (Gen != SeenGen && Slot < JobWorkers);
+      });
+      if (ShuttingDown)
+        return;
+      SeenGen = Gen;
+      // Copy the closure so the Lease can clear the shared slot while we
+      // are still inside Fn.
+      std::function<void(int)> Fn = Job;
+      L.unlock();
+      Fn(Slot);
+      L.lock();
+      Parks.fetch_add(1, std::memory_order_relaxed);
+      if (++JobDone == JobWorkers)
+        DoneCv.notify_all();
+    }
+  }
+
+  mutable std::mutex Mu;     ///< guards everything below
+  std::mutex RunMu;          ///< serializes Leases (one run at a time)
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::vector<std::thread> Threads;
+  std::function<void(int)> Job;
+  int JobWorkers = 0;
+  int JobDone = 0;
+  uint64_t Gen = 0;
+  bool ShuttingDown = false;
+  std::atomic<uint64_t> Parks{0};
+};
+
+/// Work-stealing variant of runParallelImpl on the persistent StrandPool.
+/// Semantics are still bulk-synchronous — the two superstep barriers and
+/// everything observable at them (Recorder spans, metrics folds, policy
+/// decisions) are identical to the bsp scheduler — but inside a superstep
+/// each worker owns a deque of blocks and, when it runs dry, steals from
+/// the fronts of its neighbours' deques instead of idling at the barrier.
+/// That replaces the single WorkLock every claim contends on with
+/// per-worker locks that only see cross-worker traffic when stealing
+/// actually happens, and it is what turns the imbalance the metrics
+/// registry measures (MhImbalanceNs) into reclaimed wall time.
+namespace detail {
+template <bool Policied, typename UpdateFn>
+int runPooledImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
+                  int MaxSteps, int NumWorkers, int BlockSize,
+                  observe::Recorder *Rec, RunControl *Ctl) {
+
+  const size_t N = Status.size();
+  const size_t NumBlocks = (N + static_cast<size_t>(BlockSize) - 1) /
+                           static_cast<size_t>(BlockSize);
+
+  std::vector<uint32_t> ActiveBlocks;
+  ActiveBlocks.reserve(NumBlocks);
+  bool Done = false;
+
+  const bool Trace = Rec && Rec->lifecycle();
+  observe::Metrics *const MX = Rec ? Rec->metrics() : nullptr;
+
+  auto BuildActive = [&] {
+    ActiveBlocks.clear();
+    for (size_t B = 0; B < NumBlocks; ++B) {
+      size_t Lo = B * static_cast<size_t>(BlockSize);
+      size_t Hi = std::min(N, Lo + static_cast<size_t>(BlockSize));
+      for (size_t I = Lo; I < Hi; ++I)
+        if (Status[I] == StrandStatus::Active) {
+          ActiveBlocks.push_back(static_cast<uint32_t>(B));
+          break;
+        }
+    }
+    if (MX) {
+      uint64_t Live = 0;
+      for (StrandStatus St : Status)
+        Live += St == StrandStatus::Active;
+      MX->gauge(observe::MgLiveStrands).set(static_cast<int64_t>(Live));
+      MX->gauge(observe::MgWorklistDepth)
+          .set(static_cast<int64_t>(ActiveBlocks.size()));
+    }
+  };
+
+  if constexpr (Policied)
+    Ctl->begin(NumWorkers);
+
+  BuildActive();
+  if (MaxSteps <= 0 || ActiveBlocks.empty())
+    return 0;
+  if (static_cast<size_t>(NumWorkers) > ActiveBlocks.size())
+    NumWorkers = static_cast<int>(ActiveBlocks.size());
+
+  // Per-worker deques. The coordinator refills them between barriers (no
+  // lock needed: the barrier orders those writes against the workers);
+  // during a superstep the owner pops from the tail and thieves pop from
+  // the head, each under the per-deque lock. Blocks only ever leave a
+  // deque, so a thief's full scan finding every deque empty is a stable
+  // "superstep drained" verdict.
+  struct BlockDeque {
+    std::mutex Mu;
+    std::vector<uint32_t> Blocks;
+    size_t Head = 0; ///< steal side
+    size_t Tail = 0; ///< owner side; empty when Head == Tail
+  };
+  std::vector<BlockDeque> Deques(static_cast<size_t>(NumWorkers));
+
+  std::barrier Sync(NumWorkers + 1);
+
+  auto Worker = [&](int W) {
+    int StepNo = 0;
+    [[maybe_unused]] unsigned PolicyTick = 0;
+    observe::HistCell *const ClaimCell =
+        MX ? &MX->hist(observe::MhClaimNs).cell(W) : nullptr;
+    // Claim one block: own deque first (tail side), then a round-robin
+    // steal scan over the others (head side). Returns false only when
+    // every deque is empty.
+    auto Claim = [&](uint32_t &Block, uint64_t &Locks, uint64_t &Steals) {
+      {
+        BlockDeque &D = Deques[static_cast<size_t>(W)];
+        std::lock_guard<std::mutex> G(D.Mu);
+        ++Locks;
+        if (D.Head < D.Tail) {
+          Block = D.Blocks[--D.Tail];
+          return true;
+        }
+      }
+      for (int K = 1; K < NumWorkers; ++K) {
+        BlockDeque &V =
+            Deques[static_cast<size_t>((W + K) % NumWorkers)];
+        std::lock_guard<std::mutex> G(V.Mu);
+        ++Locks;
+        if (V.Head < V.Tail) {
+          Block = V.Blocks[V.Head++];
+          ++Steals;
+          return true;
+        }
+      }
+      return false;
+    };
+    for (;;) {
+      Sync.arrive_and_wait(); // deques filled
+      if (Done)
+        return;
+      observe::WorkerSpan Span;
+      if (Rec)
+        Span.BeginNs = Rec->nowNs();
+      uint64_t Steals = 0;
+      bool Stopping = false;
+      for (;;) {
+        uint32_t Block;
+        uint64_t Locks = 0;
+        bool Got;
+        if (ClaimCell) {
+          uint64_t C0 = Rec->nowNs();
+          Got = Claim(Block, Locks, Steals);
+          ClaimCell->record(Rec->nowNs() - C0);
+        } else {
+          Got = Claim(Block, Locks, Steals);
+        }
+        Span.LockAcquires += Locks;
+        if (!Got)
+          break;
+        ++Span.BlocksClaimed;
+        if constexpr (Policied)
+          if (Ctl->stopRequested() || Ctl->deadlineExpired()) {
+            Stopping = true;
+            break;
+          }
+        size_t Lo = static_cast<size_t>(Block) *
+                    static_cast<size_t>(BlockSize);
+        size_t Hi = std::min(N, Lo + static_cast<size_t>(BlockSize));
+        for (size_t I = Lo; I < Hi; ++I) {
+          if (Status[I] != StrandStatus::Active)
+            continue;
+          if constexpr (Policied) {
+            if (Ctl->stopRequested()) {
+              Stopping = true;
+              break;
+            }
+            if ((PolicyTick++ & 255u) == 0 && Ctl->deadlineExpired()) {
+              Stopping = true;
+              break;
+            }
+          }
+          if (Trace && StepNo == 0)
+            Rec->event(W, {static_cast<uint64_t>(I), StepNo,
+                           observe::StrandEventKind::Start, W, Rec->nowNs()});
+          StrandStatus S;
+          if constexpr (Policied)
+            S = trappedUpdate(Update, I, W, *Ctl);
+          else
+            S = callUpdate(Update, I, W);
+          Status[I] = S;
+          ++Span.Updated;
+          Span.Stabilized += S == StrandStatus::Stable;
+          Span.Died += S == StrandStatus::Dead;
+          if constexpr (Policied)
+            if (S != StrandStatus::Active)
+              Ctl->noteRetired();
+          if (Trace && S != StrandStatus::Active)
+            Rec->event(W, {static_cast<uint64_t>(I), StepNo,
+                           S == StrandStatus::Stable
+                               ? observe::StrandEventKind::Stabilize
+                           : S == StrandStatus::Dead
+                               ? observe::StrandEventKind::Die
+                               : observe::StrandEventKind::Fault,
+                           W, Rec->nowNs()});
+        }
+        if (Stopping)
+          break;
+      }
+      ++StepNo;
+      if (MX && Steals)
+        MX->counter(observe::McBlocksStolen).add(Steals);
+      if (Rec) {
+        Span.EndNs = Rec->nowNs();
+        Span.BarrierWaits = 2;
+        Rec->commit(W, Span);
+      }
+      Sync.arrive_and_wait(); // superstep complete
+    }
+  };
+
+  StrandPool &Pool = StrandPool::instance();
+  int Steps = 0;
+  {
+    StrandPool::Lease Run(Pool, NumWorkers, Worker);
+    for (;;) {
+      // Deal the work-list into the deques in contiguous chunks, so each
+      // worker starts on a cache-friendly span and stealing moves whole
+      // far-away chunks of the index space.
+      size_t Per = ActiveBlocks.size() / static_cast<size_t>(NumWorkers);
+      size_t Extra = ActiveBlocks.size() % static_cast<size_t>(NumWorkers);
+      size_t At = 0;
+      for (int W = 0; W < NumWorkers; ++W) {
+        size_t Take = Per + (static_cast<size_t>(W) < Extra ? 1 : 0);
+        BlockDeque &D = Deques[static_cast<size_t>(W)];
+        D.Blocks.assign(ActiveBlocks.begin() +
+                            static_cast<std::ptrdiff_t>(At),
+                        ActiveBlocks.begin() +
+                            static_cast<std::ptrdiff_t>(At + Take));
+        D.Head = 0;
+        D.Tail = D.Blocks.size();
+        At += Take;
+      }
+      if (Rec)
+        Rec->beginStep(Steps);
+      if constexpr (Policied)
+        Ctl->setStep(Steps);
+      Sync.arrive_and_wait(); // release workers
+      Sync.arrive_and_wait(); // wait for completion
+      ++Steps;
+      if constexpr (Policied)
+        if (Ctl->stepEnd())
+          break;
+      if (Steps >= MaxSteps)
+        break;
+      BuildActive();
+      if (ActiveBlocks.empty())
+        break;
+      if constexpr (Policied)
+        if (Ctl->deadlineExpired())
+          break;
+    }
+    Done = true;
+    Sync.arrive_and_wait(); // release workers back to the pool
+  } // Lease dtor: all workers re-parked
+  if (MX) {
+    MX->counter(observe::McPoolParks)
+        .add(static_cast<uint64_t>(NumWorkers));
+    MX->gauge(observe::MgPoolThreads).set(Pool.threadCount());
+  }
+  return Steps;
+}
+} // namespace detail
+
+/// Pool-backed work-stealing scheduler; drop-in for runParallel (same
+/// contract, spans, and policy behavior — see runPooledImpl above for what
+/// differs inside a superstep). NumWorkers < 1 falls back to the
+/// sequential scheduler, exactly like runParallel.
+template <typename UpdateFn>
+int runPooled(std::vector<StrandStatus> &Status, UpdateFn &&Update,
+              int MaxSteps, int NumWorkers, int BlockSize = DefaultBlockSize,
+              observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr) {
+  if (NumWorkers < 1)
+    return runSequential(Status, Update, MaxSteps, Rec, Ctl);
+  if (BlockSize <= 0)
+    BlockSize = DefaultBlockSize;
+  if (Ctl)
+    return detail::runPooledImpl<true>(Status, Update, MaxSteps, NumWorkers,
+                                       BlockSize, Rec, Ctl);
+  return detail::runPooledImpl<false>(Status, Update, MaxSteps, NumWorkers,
+                                      BlockSize, Rec, nullptr);
+}
+
+/// Dispatch on a runtime Scheduler value; the compile-time split stays
+/// inside the chosen scheduler.
+template <typename UpdateFn>
+int runScheduled(Scheduler Sched, std::vector<StrandStatus> &Status,
+                 UpdateFn &&Update, int MaxSteps, int NumWorkers,
+                 int BlockSize = DefaultBlockSize,
+                 observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr) {
+  if (Sched == Scheduler::Pooled)
+    return runPooled(Status, Update, MaxSteps, NumWorkers, BlockSize, Rec,
+                     Ctl);
+  return runParallel(Status, Update, MaxSteps, NumWorkers, BlockSize, Rec,
+                     Ctl);
 }
 
 } // namespace diderot::rt

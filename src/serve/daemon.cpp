@@ -178,6 +178,7 @@ struct Daemon::Impl {
               std::shared_ptr<const CompiledProgram> Prog,
               std::vector<std::pair<std::string, std::string>> Inputs,
               rt::RunConfig RC, std::string OutputName);
+  void cancelQueuedJob(const std::shared_ptr<JobRec> &Job);
   void finishJob(const std::shared_ptr<JobRec> &Job);
   void sealTrace(const std::shared_ptr<JobRec> &Job, uint64_t EndNs);
 };
@@ -355,13 +356,36 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
   rt::RunConfig RC;
   RC.MaxSupersteps = Opts.MaxSupersteps;
   RC.NumWorkers = Opts.RunWorkers;
+  RC.Sched = Opts.RunScheduler;
   RC.Policy.DeadlineNs = Opts.DefaultDeadlineNs;
-  if (std::string V = Req.header("x-diderot-steps"); !V.empty())
-    RC.MaxSupersteps = std::atoi(V.c_str());
-  if (std::string V = Req.header("x-diderot-run-workers"); !V.empty())
-    RC.NumWorkers = std::atoi(V.c_str());
-  if (std::string V = Req.header("x-diderot-deadline-ms"); !V.empty())
-    RC.Policy.DeadlineNs = std::atoll(V.c_str()) * 1000000;
+  // Run-limit headers are validated here, at the head of the request:
+  // these used to go through bare atoi/atoll, where "forever" became 0
+  // steps, negatives slipped into the RunPolicy, and overflow was UB.
+  // Malformed values are a 400 naming the offending header, not a silent
+  // zero.
+  auto BadHeader = [&](const char *Header) {
+    return withTrace(textResponse(400, strf("malformed ", Header,
+                                            " header\n")),
+                     TraceHex);
+  };
+  if (std::string V = Req.header("x-diderot-steps"); !V.empty()) {
+    if (!parseInt(V, RC.MaxSupersteps) || RC.MaxSupersteps < 0)
+      return BadHeader("X-Diderot-Steps");
+  }
+  if (std::string V = Req.header("x-diderot-run-workers"); !V.empty()) {
+    if (!parseInt(V, RC.NumWorkers) || RC.NumWorkers < 0)
+      return BadHeader("X-Diderot-Run-Workers");
+  }
+  if (std::string V = Req.header("x-diderot-deadline-ms"); !V.empty()) {
+    int64_t Ms = 0;
+    if (!parseInt64(V, Ms) || Ms < 0 || Ms > INT64_MAX / 1000000)
+      return BadHeader("X-Diderot-Deadline-Ms");
+    RC.Policy.DeadlineNs = Ms * 1000000;
+  }
+  if (std::string V = Req.header("x-diderot-scheduler"); !V.empty()) {
+    if (!rt::parseSchedulerName(V, RC.Sched))
+      return BadHeader("X-Diderot-Scheduler");
+  }
   std::string OutputName = Req.header("x-diderot-output");
 
   auto Job = std::make_shared<JobRec>();
@@ -400,10 +424,15 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
   }
   Job->EnqueueNs = Clk.nowNs();
   Status S = Sched.submit(
-      L->Key, [this, Job, Prog = L->Prog, Inputs = std::move(Inputs), RC,
-               OutputName]() mutable {
+      L->Key,
+      [this, Job, Prog = L->Prog, Inputs = std::move(Inputs), RC,
+       OutputName]() mutable {
         runJob(Job, std::move(Prog), std::move(Inputs), RC, OutputName);
-      });
+      },
+      // A shutdown that discards this job before it starts must still
+      // resolve the record: GET /jobs/<id> polls would otherwise see
+      // "queued" forever.
+      [this, Job] { cancelQueuedJob(Job); });
   if (!S.isOk()) {
     JobsRejected.fetch_add(1, std::memory_order_relaxed);
     {
@@ -498,8 +527,13 @@ void Daemon::Impl::runJob(
   // per-worker spans can attach underneath; unsampled jobs keep collection
   // off and pay nothing beyond the two clock reads.
   uint64_t RunSpanId = Ids.nextId();
-  if (Job->Ctx.Sampled)
+  if (Job->Ctx.Sampled) {
     RC.CollectStats = true;
+    // Pooled runs count steals and parks in the metrics registry; arm it
+    // for sampled jobs so the pool span grafted below carries them.
+    if (RC.Sched == rt::Scheduler::Pooled)
+      RC.CollectMetrics = true;
+  }
   RC.Trace.Trace = Job->Ctx.Trace;
   RC.Trace.Span = RunSpanId;
   RC.Trace.Sampled = Job->Ctx.Sampled;
@@ -525,6 +559,9 @@ void Daemon::Impl::runJob(
     Job->Tree.add(std::move(RS));
     if (Job->Ctx.Sampled && !Run->Workers.empty())
       observe::appendRunSpans(Job->Tree, RunSpanId, RunBeginNs, *Run, Ids);
+    if (Job->Ctx.Sampled && RC.Sched == rt::Scheduler::Pooled)
+      observe::appendPoolSpan(Job->Tree, RunSpanId, RunBeginNs, RunEndNs,
+                              *Run, Ids);
   }
 
   std::string NrrdBytes;
@@ -564,6 +601,27 @@ void Daemon::Impl::runJob(
             lg::numField("wallMs", Job->WallNs / 1e6),
             lg::strField("trace", TraceHex),
             lg::boolField("sampled", Job->Ctx.Sampled)});
+}
+
+/// Cancellation path for jobs FairScheduler::stop() discarded while still
+/// queued (runs on the thread that called Daemon::stop(), after the job
+/// workers joined): mark them failed so pollers get a terminal state.
+void Daemon::Impl::cancelQueuedJob(const std::shared_ptr<JobRec> &Job) {
+  uint64_t EndNs = tracing::steadyClock().nowNs();
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->State = JobState::Failed;
+    Job->Error = "shut down before start";
+    if (!Job->Tree.Spans.empty())
+      Job->Tree.Spans[0].Args.emplace_back("error", Job->Error);
+    JobsFailed.fetch_add(1, std::memory_order_relaxed);
+    finishJob(Job);
+  }
+  sealTrace(Job, EndNs);
+  lg::warn("job cancelled: shut down before start",
+           {lg::strField("job", Job->Id),
+            lg::strField("program", Job->Program),
+            lg::strField("trace", tracing::hexTraceId(Job->Ctx.Trace))});
 }
 
 /// Close the root span and decide retention: sampled jobs always enter the

@@ -68,6 +68,11 @@ struct DaemonOptions {
   int JobWorkers = 2;    ///< job-queue worker threads
   int QueueCapacity = 64;
   int RunWorkers = 1;        ///< strand workers per job run
+  /// Default parallel scheduler for job runs (bsp or pooled); requests
+  /// override per job with X-Diderot-Scheduler. Pooled reuses the parked
+  /// StrandPool threads across runs instead of re-spawning a thread set
+  /// per /run job (docs/SCHEDULING.md).
+  rt::Scheduler RunScheduler = rt::Scheduler::Bsp;
   int MaxSupersteps = 10000; ///< per-job superstep cap
   /// Deadline applied to jobs that do not send X-Diderot-Deadline-Ms
   /// (0 = none). Folds into the job's RunPolicy.

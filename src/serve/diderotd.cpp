@@ -38,6 +38,11 @@ options:
                       start the daemon with --port 0)
   --job-workers N     job-queue worker threads (default 2)
   --run-workers N     strand workers per job run (default 1)
+  --scheduler S       default parallel scheduler for job runs: bsp (fresh
+                      threads per run, the paper's model) or pooled
+                      (persistent work-stealing strand pool; see
+                      docs/SCHEDULING.md). Clients override per request
+                      with X-Diderot-Scheduler. (default bsp)
   --queue-cap N       max queued jobs; beyond it POST /run gets 429
                       (default 64)
   --steps N           per-job superstep cap (default 10000)
@@ -63,6 +68,28 @@ std::atomic<int> GotSignal{0};
 
 void onSignal(int Sig) { GotSignal.store(Sig); }
 
+/// Checked replacements for the bare atoi/atoll the numeric flags used to
+/// make: a malformed or out-of-range value is a usage error naming the
+/// flag, not a silent zero.
+bool argInt(const char *Flag, const char *Text, int &Out) {
+  if (parseInt(Text, Out))
+    return true;
+  std::fprintf(stderr, "error: bad %s '%s' (want an integer)\n", Flag, Text);
+  return false;
+}
+
+bool argMsToNs(const char *Flag, const char *Text, int64_t &OutNs) {
+  int64_t Ms = 0;
+  if (parseInt64(Text, Ms) && Ms >= 0 && Ms <= INT64_MAX / 1000000) {
+    OutNs = Ms * 1000000;
+    return true;
+  }
+  std::fprintf(stderr,
+               "error: bad %s '%s' (want a non-negative millisecond count)\n",
+               Flag, Text);
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -76,19 +103,32 @@ int main(int Argc, char **Argv) {
       usage();
       return 0;
     } else if (Arg == "--port" && A + 1 < Argc) {
-      Opts.Port = std::atoi(Argv[++A]);
+      if (!argInt("--port", Argv[++A], Opts.Port))
+        return 1;
     } else if (Arg == "--port-file" && A + 1 < Argc) {
       PortFile = Argv[++A];
     } else if (Arg == "--job-workers" && A + 1 < Argc) {
-      Opts.JobWorkers = std::atoi(Argv[++A]);
+      if (!argInt("--job-workers", Argv[++A], Opts.JobWorkers))
+        return 1;
     } else if (Arg == "--run-workers" && A + 1 < Argc) {
-      Opts.RunWorkers = std::atoi(Argv[++A]);
+      if (!argInt("--run-workers", Argv[++A], Opts.RunWorkers))
+        return 1;
+    } else if (Arg == "--scheduler" && A + 1 < Argc) {
+      if (!rt::parseSchedulerName(Argv[++A], Opts.RunScheduler)) {
+        std::fprintf(stderr,
+                     "error: bad --scheduler '%s' (want bsp or pooled)\n",
+                     Argv[A]);
+        return 1;
+      }
     } else if (Arg == "--queue-cap" && A + 1 < Argc) {
-      Opts.QueueCapacity = std::atoi(Argv[++A]);
+      if (!argInt("--queue-cap", Argv[++A], Opts.QueueCapacity))
+        return 1;
     } else if (Arg == "--steps" && A + 1 < Argc) {
-      Opts.MaxSupersteps = std::atoi(Argv[++A]);
+      if (!argInt("--steps", Argv[++A], Opts.MaxSupersteps))
+        return 1;
     } else if (Arg == "--deadline-ms" && A + 1 < Argc) {
-      Opts.DefaultDeadlineNs = std::atoll(Argv[++A]) * 1000000;
+      if (!argMsToNs("--deadline-ms", Argv[++A], Opts.DefaultDeadlineNs))
+        return 1;
     } else if (Arg == "--cache-dir" && A + 1 < Argc) {
       Opts.Compile.WorkDir = Argv[++A];
     } else if (Arg == "--engine=interp") {
@@ -105,9 +145,11 @@ int main(int Argc, char **Argv) {
       }
       Opts.TraceSampleN = N;
     } else if (Arg == "--trace-ring" && A + 1 < Argc) {
-      Opts.TraceRingCapacity = std::atoi(Argv[++A]);
+      if (!argInt("--trace-ring", Argv[++A], Opts.TraceRingCapacity))
+        return 1;
     } else if (Arg == "--slow-ms" && A + 1 < Argc) {
-      Opts.SlowJobNs = std::atoll(Argv[++A]) * 1000000;
+      if (!argMsToNs("--slow-ms", Argv[++A], Opts.SlowJobNs))
+        return 1;
     } else if (Arg == "--log-level" && A + 1 < Argc) {
       if (!logging::parseLevel(Argv[++A], LogOpts.MinLevel)) {
         std::fprintf(stderr, "error: bad --log-level '%s'\n", Argv[A]);

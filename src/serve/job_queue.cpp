@@ -19,11 +19,17 @@ struct FairScheduler::Impl {
   std::mutex Mu;
   std::condition_variable WorkCv; // signaled on submit and stop
   std::condition_variable IdleCv; // signaled when a worker finishes a job
+  // A queued job: the work itself plus what to do if stop() discards it
+  // before any worker picks it up.
+  struct Entry {
+    Task Run;
+    Task Cancel;
+  };
   // Per-key FIFOs plus the round-robin rotation: Order lists exactly the
   // keys with a non-empty queue, front = next key to serve. A worker pops
   // the front key's oldest job; if that key still has work it goes to the
   // back of Order, otherwise it leaves the rotation.
-  std::map<std::string, std::deque<Task>> Queues;
+  std::map<std::string, std::deque<Entry>> Queues;
   std::deque<std::string> Order;
   std::vector<std::thread> Workers;
   Options Opts;
@@ -41,7 +47,7 @@ struct FairScheduler::Impl {
       std::string Key = std::move(Order.front());
       Order.pop_front();
       auto It = Queues.find(Key);
-      Task T = std::move(It->second.front());
+      Task T = std::move(It->second.front().Run);
       It->second.pop_front();
       if (It->second.empty())
         Queues.erase(It);
@@ -77,12 +83,17 @@ void FairScheduler::start(Options O) {
 
 void FairScheduler::stop() {
   std::vector<std::thread> ToJoin;
+  std::vector<Task> Cancels;
   {
     std::lock_guard<std::mutex> G(I->Mu);
     if (!I->Running)
       return;
     I->Stopping = true;
     I->Running = false;
+    for (auto &[Key, Q] : I->Queues)
+      for (Impl::Entry &E : Q)
+        if (E.Cancel)
+          Cancels.push_back(std::move(E.Cancel));
     I->Queues.clear();
     I->Order.clear();
     I->Depth = 0;
@@ -91,17 +102,23 @@ void FairScheduler::stop() {
   I->WorkCv.notify_all();
   for (std::thread &T : ToJoin)
     T.join();
+  // After the join: running jobs have finished, so a cancellation callback
+  // observes final state and never races the task it stands in for. Outside
+  // the lock: callbacks may call back into depth()/inFlight() or take the
+  // caller's own locks.
+  for (Task &C : Cancels)
+    C();
   I->IdleCv.notify_all();
 }
 
-Status FairScheduler::submit(const std::string &Key, Task T) {
+Status FairScheduler::submit(const std::string &Key, Task T, Task OnCancel) {
   std::lock_guard<std::mutex> G(I->Mu);
   if (!I->Running)
     return Status::error("scheduler is not running");
   if (I->Depth >= I->Opts.Capacity)
     return Status::error("queue full");
   auto [It, Fresh] = I->Queues.try_emplace(Key);
-  It->second.push_back(std::move(T));
+  It->second.push_back({std::move(T), std::move(OnCancel)});
   if (Fresh)
     I->Order.push_back(Key);
   ++I->Depth;

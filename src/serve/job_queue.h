@@ -52,13 +52,20 @@ public:
   void start(Options O);
 
   /// Stop accepting, finish the jobs already *running*, discard the ones
-  /// still queued, join the workers. Idempotent. Callers who need the queue
-  /// drained rather than discarded call waitIdle() first.
+  /// still queued, join the workers. Each discarded job's cancellation
+  /// callback (see submit) runs exactly once, after the workers have
+  /// joined, so callers can resolve whatever state the queued task was
+  /// going to — without it, a daemon shutdown left queued JobRecs parked
+  /// in "queued" forever. Idempotent. Callers who need the queue drained
+  /// rather than discarded call waitIdle() first.
   void stop();
 
   /// Enqueue \p T under fairness key \p Key. Errors (without enqueueing)
   /// when the queue is at capacity or the scheduler is not running.
-  Status submit(const std::string &Key, Task T);
+  /// \p OnCancel, if non-null, is invoked by stop() iff the job is
+  /// discarded while still queued; a job that starts running never has its
+  /// cancellation invoked.
+  Status submit(const std::string &Key, Task T, Task OnCancel = nullptr);
 
   /// Jobs queued but not yet started.
   int depth() const;

@@ -91,6 +91,48 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+bool parseInt64(const std::string &S, int64_t &Out) {
+  std::string T = trimString(S);
+  if (T.empty())
+    return false;
+  size_t I = 0;
+  bool Neg = false;
+  if (T[0] == '+' || T[0] == '-') {
+    Neg = T[0] == '-';
+    I = 1;
+    if (I == T.size())
+      return false;
+  }
+  // Accumulate negatively: |INT64_MIN| > INT64_MAX, so the negative range
+  // covers both signs without overflowing en route.
+  constexpr int64_t Min = INT64_MIN;
+  int64_t V = 0;
+  for (; I < T.size(); ++I) {
+    char C = T[I];
+    if (C < '0' || C > '9')
+      return false;
+    int D = C - '0';
+    if (V < (Min + D) / 10)
+      return false;
+    V = V * 10 - D;
+  }
+  if (!Neg) {
+    if (V == Min)
+      return false;
+    V = -V;
+  }
+  Out = V;
+  return true;
+}
+
+bool parseInt(const std::string &S, int &Out) {
+  int64_t V;
+  if (!parseInt64(S, V) || V < INT32_MIN || V > INT32_MAX)
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
 std::string formatReal(double V) {
   if (std::isnan(V))
     return "nan";

@@ -13,6 +13,7 @@
 #ifndef DIDEROT_SUPPORT_STRINGS_H
 #define DIDEROT_SUPPORT_STRINGS_H
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,6 +58,15 @@ std::string formatReal(double V);
 /// response bodies, and the Chrome-trace writers all route through here
 /// (observe::jsonEscape forwards to it).
 std::string jsonEscape(const std::string &S);
+
+/// Checked decimal integer parse: the whole of \p S (after trimming ASCII
+/// whitespace) must be an optionally-signed base-10 integer that fits the
+/// output type, else returns false and leaves \p Out untouched. This is
+/// the validating replacement for the bare std::atoi/atoll calls the CLIs
+/// and the daemon's X-Diderot-* request headers used to make, where
+/// garbage silently became 0 and overflow was undefined.
+bool parseInt(const std::string &S, int &Out);
+bool parseInt64(const std::string &S, int64_t &Out);
 
 } // namespace diderot
 

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -17,6 +19,7 @@
 
 #include "driver/driver.h"
 #include "observe/observe.h"
+#include "runtime/scheduler.h"
 
 namespace diderot {
 namespace {
@@ -323,6 +326,51 @@ TEST(FaultOutputs, FaultedStrandsAreZeroInGrids) {
   ASSERT_EQ(Out.size(), 8u);
   EXPECT_DOUBLE_EQ(Out[3], 0.0);  // faulted before its first update
   EXPECT_DOUBLE_EQ(Out[4], 12.0); // three updates of y += 4
+}
+
+/// The deadline check is amortized to one clock read per 256 strands (and
+/// one per claimed block) instead of per strand. These tests pin down the
+/// promptness that amortization must not cost: with updates that take
+/// nanoseconds, a 20 ms deadline still stops each scheduler well inside a
+/// generous CI-tolerant bound, because at cheap-update rates 256 strands
+/// pass in microseconds.
+TEST(DeadlinePromptness, AmortizedCheckStillStopsAllSchedulersQuickly) {
+  using Clock = std::chrono::steady_clock;
+  const int64_t DeadlineNs = 20 * 1000 * 1000; // 20 ms
+  const int64_t BoundNs = 2000 * 1000 * 1000LL; // 2 s: CI-load tolerant
+  struct Case {
+    const char *Name;
+    int Workers;
+    rt::Scheduler Sched;
+  };
+  for (const Case &C : {Case{"sequential", 0, rt::Scheduler::Bsp},
+                        Case{"bsp", 4, rt::Scheduler::Bsp},
+                        Case{"pooled", 4, rt::Scheduler::Pooled}}) {
+    rt::RunPolicy P;
+    P.DeadlineNs = DeadlineNs;
+    rt::RunControl Ctl(P);
+    // Few cheap never-stabilizing strands: supersteps are microseconds, so
+    // the run leans on the per-boundary and amortized per-strand checks.
+    std::vector<rt::StrandStatus> S(512, rt::StrandStatus::Active);
+    std::atomic<uint64_t> Updates{0};
+    Clock::time_point T0 = Clock::now();
+    rt::runScheduled(
+        C.Sched, S,
+        [&](size_t) {
+          Updates.fetch_add(1, std::memory_order_relaxed);
+          return rt::StrandStatus::Active;
+        },
+        1 << 30, C.Workers, 64, nullptr, &Ctl);
+    int64_t ElapsedNs =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             T0)
+            .count();
+    EXPECT_EQ(Ctl.finish(false), RunOutcome::Deadline) << C.Name;
+    EXPECT_GT(Updates.load(), 0u) << C.Name;
+    EXPECT_LT(ElapsedNs, BoundNs) << C.Name << " took " << ElapsedNs
+                                  << " ns against a " << DeadlineNs
+                                  << " ns deadline";
+  }
 }
 
 } // namespace

@@ -135,6 +135,65 @@ TEST(Scheduler, ParallelHonorsMaxSteps) {
   EXPECT_EQ(Steps, 5);
 }
 
+TEST(Scheduler, ParallelZeroMaxStepsSpawnsNoWorkAndRunsNothing) {
+  // MaxSteps <= 0 used to spawn the full worker set, rendezvous at the
+  // barrier once, and tear it down having updated nothing. Now it returns
+  // before any thread exists.
+  for (int MaxSteps : {0, -1}) {
+    std::vector<StrandStatus> S(100, StrandStatus::Active);
+    std::atomic<int> Updates{0};
+    int Steps = runParallel(
+        S,
+        [&](size_t) {
+          ++Updates;
+          return StrandStatus::Stable;
+        },
+        MaxSteps, 4, 16);
+    EXPECT_EQ(Steps, 0) << "MaxSteps " << MaxSteps;
+    EXPECT_EQ(Updates.load(), 0);
+    for (StrandStatus St : S)
+      EXPECT_EQ(St, StrandStatus::Active);
+  }
+}
+
+TEST(Scheduler, ParallelNoActiveStrandsRunsNothing) {
+  std::vector<StrandStatus> Empty;
+  EXPECT_EQ(runParallel(Empty,
+                        [&](size_t) { return StrandStatus::Stable; }, 100,
+                        4),
+            0);
+  std::vector<StrandStatus> AllDone(64, StrandStatus::Stable);
+  AllDone[10] = StrandStatus::Dead;
+  std::atomic<int> Updates{0};
+  EXPECT_EQ(runParallel(AllDone,
+                        [&](size_t) {
+                          ++Updates;
+                          return StrandStatus::Stable;
+                        },
+                        100, 4, 8),
+            0);
+  EXPECT_EQ(Updates.load(), 0);
+}
+
+TEST(Scheduler, ParallelMoreWorkersThanBlocksClampsAndCompletes) {
+  // 2 blocks of work, 16 workers requested: surplus workers could never
+  // claim a block (the active set only shrinks), so the scheduler clamps
+  // before spawning and the run still updates every strand once per step.
+  const size_t N = 2 * 8;
+  std::vector<StrandStatus> S(N, StrandStatus::Active);
+  std::vector<std::atomic<int>> Count(N);
+  int Steps = runParallel(
+      S,
+      [&](size_t I) {
+        int C = ++Count[I];
+        return C >= 3 ? StrandStatus::Stable : StrandStatus::Active;
+      },
+      100, 16, 8);
+  EXPECT_EQ(Steps, 3);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Count[I].load(), 3) << "strand " << I;
+}
+
 TEST(Scheduler, ParallelClampsNonPositiveBlockSize) {
   // BlockSize <= 0 used to divide by zero computing the block count; it must
   // clamp to DefaultBlockSize and still update every strand.

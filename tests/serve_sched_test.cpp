@@ -165,6 +165,79 @@ TEST(FairScheduler, StopDiscardsQueuedFinishesRunning) {
   EXPECT_EQ(QueuedRan.load(), 0);
 }
 
+TEST(FairScheduler, StopInvokesCancelCallbackOfEachDiscardedJob) {
+  // stop() used to discard queued jobs silently — a daemon caller could
+  // never tell its clients what happened to them. Now every discarded
+  // entry's cancel callback runs exactly once, after the workers have
+  // joined; entries that did run must not be cancelled.
+  FairScheduler S;
+  FairScheduler::Options O;
+  O.Workers = 1;
+  S.start(O);
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Open = false;
+  ASSERT_TRUE(S.submit("gate", [&] {
+                 std::unique_lock<std::mutex> L(Mu);
+                 Cv.wait(L, [&] { return Open; });
+               }).isOk());
+  while (S.inFlight() != 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::atomic<int> Ran{0};
+  std::atomic<int> Cancelled{0};
+  std::atomic<bool> GateDone{false};
+  for (int J = 0; J < 5; ++J)
+    ASSERT_TRUE(S.submit("k" + std::to_string(J), [&] { ++Ran; },
+                         [&] {
+                           // Ordering contract: cancels fire only after
+                           // running work has drained.
+                           EXPECT_TRUE(GateDone.load());
+                           ++Cancelled;
+                         })
+                    .isOk());
+  std::thread Stopper([&] { S.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Open = true;
+    GateDone = true;
+  }
+  Cv.notify_all();
+  Stopper.join();
+  EXPECT_EQ(Ran.load(), 0);
+  EXPECT_EQ(Cancelled.load(), 5);
+  // A second stop must not re-run the cancels.
+  S.stop();
+  EXPECT_EQ(Cancelled.load(), 5);
+}
+
+TEST(FairScheduler, JobsWithoutCancelCallbackStillDiscardQuietly) {
+  FairScheduler S;
+  FairScheduler::Options O;
+  O.Workers = 1;
+  S.start(O);
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Open = false;
+  ASSERT_TRUE(S.submit("gate", [&] {
+                 std::unique_lock<std::mutex> L(Mu);
+                 Cv.wait(L, [&] { return Open; });
+               }).isOk());
+  while (S.inFlight() != 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // No cancel callback: the old two-argument submit keeps compiling and a
+  // null cancel is simply skipped.
+  ASSERT_TRUE(S.submit("x", [] {}).isOk());
+  std::thread Stopper([&] { S.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Open = true;
+  }
+  Cv.notify_all();
+  Stopper.join();
+}
+
 TEST(FairScheduler, ManyThreadsSubmitConcurrently) {
   FairScheduler S;
   FairScheduler::Options O;

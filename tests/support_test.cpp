@@ -70,6 +70,50 @@ TEST(Strings, StartsEndsWith) {
   EXPECT_FALSE(endsWith("nrrd", ".nrrd"));
 }
 
+TEST(Strings, ParseIntAcceptsWholeTrimmedDecimals) {
+  int V = 7;
+  EXPECT_TRUE(parseInt("0", V));
+  EXPECT_EQ(V, 0);
+  EXPECT_TRUE(parseInt("42", V));
+  EXPECT_EQ(V, 42);
+  EXPECT_TRUE(parseInt("-13", V));
+  EXPECT_EQ(V, -13);
+  EXPECT_TRUE(parseInt("+8", V));
+  EXPECT_EQ(V, 8);
+  EXPECT_TRUE(parseInt("  19 \t", V)); // surrounding whitespace trimmed
+  EXPECT_EQ(V, 19);
+  EXPECT_TRUE(parseInt("2147483647", V));
+  EXPECT_EQ(V, 2147483647);
+  EXPECT_TRUE(parseInt("-2147483648", V));
+  EXPECT_EQ(V, -2147483647 - 1);
+}
+
+TEST(Strings, ParseIntRejectsJunkAndLeavesOutUntouched) {
+  int V = 77;
+  for (const char *Bad :
+       {"", "   ", "x", "12x", "x12", "1 2", "0x10", "12.5", "--3", "+-3",
+        "+", "-", "2147483648", "-2147483649", "99999999999999999999"}) {
+    EXPECT_FALSE(parseInt(Bad, V)) << "'" << Bad << "'";
+    EXPECT_EQ(V, 77) << "Out clobbered by '" << Bad << "'";
+  }
+}
+
+TEST(Strings, ParseInt64CoversFullRange) {
+  int64_t V = 7;
+  EXPECT_TRUE(parseInt64("9223372036854775807", V));
+  EXPECT_EQ(V, INT64_MAX);
+  EXPECT_TRUE(parseInt64("-9223372036854775808", V));
+  EXPECT_EQ(V, INT64_MIN);
+  EXPECT_TRUE(parseInt64("-1", V));
+  EXPECT_EQ(V, -1);
+  V = 7;
+  // One past either end must fail, not wrap.
+  EXPECT_FALSE(parseInt64("9223372036854775808", V));
+  EXPECT_FALSE(parseInt64("-9223372036854775809", V));
+  EXPECT_FALSE(parseInt64("18446744073709551615", V));
+  EXPECT_EQ(V, 7);
+}
+
 TEST(Strings, FormatRealAlwaysFloating) {
   EXPECT_EQ(formatReal(1.0), "1.0");
   EXPECT_EQ(formatReal(-2.0), "-2.0");
