@@ -17,12 +17,24 @@
 /// Cache directory layout (Opts.WorkDir, or <temp>/diderot-cpp):
 ///   ddr-<32-hex-key>.so    the compiled shared object
 ///   ddr-<32-hex-key>.cpp   the generated translation unit (KeepCpp only)
-///   index.tsv              append-only index: one line per compile,
-///                          "<key>\t<program>\t<unix-ms>\t<compiler-id>"
+///   index.tsv              inventory: one line per cached artifact,
+///                          "<key>\t<program>\t<unix-ms>\t<compiler-id>
+///                           \t<so-bytes>\t<so-hash>\t<last-used-ms>"
+///   quarantine/            artifacts that failed integrity checks, moved
+///                          aside (never deleted) for post-mortem
+///
+/// The index is rewritten via temp-file + rename (atomic within the
+/// directory), so a crash mid-update leaves either the old or the new
+/// index, never a torn one. Rows carry the artifact's size and Hash128 so
+/// a disk-hit can be verified before dlopen — a corrupt .so (crashed
+/// writer, bit rot) is quarantined and recompiled instead of loaded. Rows
+/// written by pre-v2 builds have only the first four columns; they parse
+/// with SoBytes = -1 and are loaded unverified, exactly as before.
 ///
 /// Invalidation is by key, never in place: a new ABI revision, compiler, or
-/// flag set hashes to new file names and old entries simply go cold (delete
-/// the directory to reclaim space). serve/compile_cache.h reads the index.
+/// flag set hashes to new file names and old entries simply go cold (or are
+/// LRU-evicted once a --cache-max-bytes cap is set).
+/// serve/compile_cache.h reads the index.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +43,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "driver/driver.h"
 #include "support/hash.h"
@@ -59,8 +72,57 @@ std::string hostCompilerId();
 support::Hash128 programCacheKey(const std::string &Text,
                                  const CompileOptions &Opts);
 
-/// Name of the append-only index file inside a cache directory.
+/// Name of the index file inside a cache directory.
 inline const char *cacheIndexFile() { return "index.tsv"; }
+
+/// Subdirectory corrupt artifacts are moved into (never deleted in place).
+inline const char *cacheQuarantineDir() { return "quarantine"; }
+
+/// One row of the cache index. Rows written by pre-v2 builds have only the
+/// first four columns and parse with SoBytes = -1 (artifact unverifiable).
+struct CacheIndexEntry {
+  std::string Key;        ///< 32-hex content key (artifact stem is ddr-<key>)
+  std::string Program;    ///< program name at compile time
+  int64_t UnixMs = 0;     ///< when the host compile happened
+  std::string CompilerId; ///< hostCompilerId() that built it
+  int64_t SoBytes = -1;   ///< .so size at install time; -1 = unknown (v1 row)
+  std::string SoHash;     ///< 32-hex fnv1a128 of the .so; empty = unknown
+  int64_t LastUsedMs = 0; ///< recency for LRU eviction (install or last hit)
+};
+
+/// Parse \p Dir's index.tsv. Missing file = empty vector; malformed lines
+/// are skipped — the index is an inventory, the .so files are the cache.
+std::vector<CacheIndexEntry> readCacheIndexEntries(const std::string &Dir);
+
+/// Record a just-installed artifact: hash and stat ddr-<key>.so, then
+/// upsert its index row via an atomic temp-file + rename rewrite.
+/// Best-effort — index failures never fail a compile.
+void recordCacheArtifact(const std::string &Dir, const std::string &Key,
+                         const std::string &Program);
+
+/// Refresh a disk-hit artifact's LastUsedMs so LRU eviction sees it as
+/// warm. Best-effort, atomic rewrite as above.
+void touchCacheArtifact(const std::string &Dir, const std::string &Key);
+
+/// Outcome of checking an on-disk artifact against its index row.
+enum class ArtifactVerdict {
+  Ok,           ///< size and hash match the index
+  Unverifiable, ///< no index row or a v1 row — load it like before
+  Corrupt,      ///< size or hash mismatch — quarantine and recompile
+};
+ArtifactVerdict verifyCacheArtifact(const std::string &Dir,
+                                    const std::string &Key);
+
+/// Move a corrupt artifact into quarantine/ (with a .reason sidecar) and
+/// drop its index row, so the caller's recompile sees a clean miss.
+void quarantineCacheArtifact(const std::string &Dir, const std::string &Key,
+                             const std::string &Reason);
+
+/// Evict least-recently-used artifacts until the directory's total
+/// ddr-*.so bytes fit \p MaxBytes. \p ProtectKey (typically the artifact
+/// just installed) is never evicted. Returns the number evicted.
+uint64_t enforceCacheCap(const std::string &Dir, uint64_t MaxBytes,
+                         const std::string &ProtectKey = {});
 
 /// Process-lifetime counters for the native compile cache, exposed so the
 /// serve daemon can report cache effectiveness without reaching into the
@@ -69,8 +131,16 @@ struct NativeCacheStats {
   uint64_t MemHits = 0;      ///< .so already dlopen'd in this process
   uint64_t DiskHits = 0;     ///< .so found on disk; dlopen'd without compiling
   uint64_t HostCompiles = 0; ///< host compiler actually invoked
+  uint64_t CompileTimeouts = 0; ///< supervised compiles killed at the budget
+  uint64_t Quarantined = 0;  ///< corrupt artifacts moved into quarantine/
+  uint64_t Evicted = 0;      ///< artifacts removed by the LRU size cap
 };
 NativeCacheStats nativeCacheStats();
+
+/// The two counters owned by the cache maintenance layer (cache.cpp);
+/// folded into nativeCacheStats() by the loader.
+uint64_t cacheQuarantineCount();
+uint64_t cacheEvictionCount();
 
 } // namespace diderot::codegen
 

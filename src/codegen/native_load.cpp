@@ -29,6 +29,7 @@
 #include "codegen/config.h"
 #include "driver/driver.h"
 #include "support/strings.h"
+#include "support/subprocess.h"
 
 namespace diderot::codegen {
 
@@ -57,7 +58,8 @@ support::Hash128 programCacheKey(const std::string &Text,
 }
 
 namespace {
-std::atomic<uint64_t> NMemHits{0}, NDiskHits{0}, NHostCompiles{0};
+std::atomic<uint64_t> NMemHits{0}, NDiskHits{0}, NHostCompiles{0},
+    NCompileTimeouts{0};
 } // namespace
 
 NativeCacheStats nativeCacheStats() {
@@ -65,6 +67,9 @@ NativeCacheStats nativeCacheStats() {
   S.MemHits = NMemHits.load(std::memory_order_relaxed);
   S.DiskHits = NDiskHits.load(std::memory_order_relaxed);
   S.HostCompiles = NHostCompiles.load(std::memory_order_relaxed);
+  S.CompileTimeouts = NCompileTimeouts.load(std::memory_order_relaxed);
+  S.Quarantined = cacheQuarantineCount();
+  S.Evicted = cacheEvictionCount();
   return S;
 }
 
@@ -135,22 +140,6 @@ std::map<std::string, LoadedLib> LibCache;
 // the serve daemon's shared worker pool depends on.
 std::map<std::string, std::shared_ptr<std::mutex>> Building;
 
-/// Best-effort append to the cache directory's index file (one line per
-/// host-compile: key, program name, unix milliseconds, compiler identity).
-/// Failures are ignored — the index is an inventory, not a source of truth;
-/// the .so files themselves are the cache.
-void appendCacheIndex(const fs::path &Dir, const std::string &Key,
-                      const std::string &Name) {
-  std::ofstream Out(Dir / cacheIndexFile(), std::ios::app);
-  if (!Out)
-    return;
-  int64_t NowMs = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      std::chrono::system_clock::now().time_since_epoch())
-                      .count();
-  Out << Key << '\t' << Name << '\t' << NowMs << '\t' << hostCompilerId()
-      << '\n';
-}
-
 Result<LoadedLib *> compileAndLoad(const std::string &Source,
                                    const CompileOptions &Opts,
                                    const std::string &Name) {
@@ -201,45 +190,108 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
   std::string Unique = strf(Stem, ".", ::getpid());
   fs::path TmpCppPath = Dir / (Unique + ".cpp");
   fs::path TmpSoPath = Dir / (Unique + ".so.tmp");
-  fs::path LogPath = Dir / (Unique + ".log");
 
-  if (!fs::exists(SoPath)) {
+  // One supervised host-compile attempt: write the source, run the compiler
+  // under a wall-clock budget (subprocess.h — the group is killed on
+  // expiry, so a hung compiler can never wedge a daemon job worker), and
+  // rename the result into place.
+  auto HostCompile = [&]() -> Status {
     {
       std::ofstream Out(TmpCppPath);
       if (!Out)
-        return RL::error(strf("cannot write ", TmpCppPath.string()));
+        return Status::error(strf("cannot write ", TmpCppPath.string()));
       Out << Source;
     }
     const char *CxxEnv = std::getenv("DIDEROT_CXX");
     std::string Cxx = CxxEnv ? CxxEnv : DIDEROT_HOST_CXX;
+    support::SubprocessCommand Cmd;
+    // The override may carry flags ("ccache g++ -pipe"): split into words.
+    Cmd.Argv = support::splitCommandWords(Cxx);
     // -O3 matches the paper's experimental setup; the generated
     // straight-line convolution code is what the host compiler vectorizes.
-    std::string Cmd = strf(
-        Cxx, " -O3 -std=c++20 -shared -fPIC -I", DIDEROT_SRC_DIR, " ",
-        Opts.ExtraCxxFlags, " -o ", TmpSoPath.string(), " ",
-        TmpCppPath.string(), " -lpthread > ", LogPath.string(), " 2>&1");
+    for (const char *F : {"-O3", "-std=c++20", "-shared", "-fPIC"})
+      Cmd.Argv.push_back(F);
+    Cmd.Argv.push_back(strf("-I", DIDEROT_SRC_DIR));
+    for (std::string &F : support::splitCommandWords(Opts.ExtraCxxFlags))
+      Cmd.Argv.push_back(std::move(F));
+    Cmd.Argv.push_back("-o");
+    Cmd.Argv.push_back(TmpSoPath.string());
+    Cmd.Argv.push_back(TmpCppPath.string());
+    Cmd.Argv.push_back("-lpthread");
+    Cmd.TimeoutMs = Opts.HostCompileTimeoutMs;
+    Cmd.MaxRetries = Opts.HostCompileRetries;
+    Cmd.BackoffMs = Opts.HostCompileBackoffMs;
     NHostCompiles.fetch_add(1, std::memory_order_relaxed);
-    int RC = std::system(Cmd.c_str());
-    if (RC != 0) {
-      std::ifstream Log(LogPath);
-      std::ostringstream LS;
-      LS << Log.rdbuf();
-      return RL::error(strf("host compiler failed (", Cmd, "):\n", LS.str()));
+    Result<support::SubprocessResult> Run = support::runSupervised(Cmd);
+    auto CleanTmp = [&] {
+      std::error_code E2;
+      fs::remove(TmpSoPath, E2);
+      fs::remove(TmpCppPath, E2);
+    };
+    if (!Run.isOk()) {
+      CleanTmp();
+      return Status::error(Run.message());
+    }
+    if (Run->TimedOut) {
+      NCompileTimeouts.fetch_add(1, std::memory_order_relaxed);
+      CleanTmp();
+      return Status::error(
+          strf("host compile timed out after ", Opts.HostCompileTimeoutMs,
+               " ms (compiler process group killed): ", Cxx, " on ", Name));
+    }
+    if (!Run->succeeded()) {
+      CleanTmp();
+      if (Run->TermSignal != 0)
+        return Status::error(strf("host compiler died on signal ",
+                                  Run->TermSignal, " after ", Run->Attempts,
+                                  " attempt(s):\n", Run->Output));
+      return Status::error(strf("host compiler failed (exit ", Run->ExitCode,
+                                "): ", Cxx, "\n", Run->Output));
     }
     fs::rename(TmpSoPath, SoPath, EC);
     if (EC && !fs::exists(SoPath))
-      return RL::error(strf("cannot install ", SoPath.string()));
+      return Status::error(strf("cannot install ", SoPath.string()));
     if (Opts.KeepCpp)
       fs::rename(TmpCppPath, CppPath, EC); // publish under the stable name
     else
       fs::remove(TmpCppPath, EC);
-    fs::remove(LogPath, EC);
-    appendCacheIndex(Dir, Key, Name);
+    recordCacheArtifact(Dir.string(), Key, Name);
+    if (Opts.CacheMaxBytes > 0)
+      enforceCacheCap(Dir.string(), Opts.CacheMaxBytes, /*ProtectKey=*/Key);
+    return Status::ok();
+  };
+
+  // Disk hit: verify the artifact against its index row before loading. A
+  // corrupt .so (crashed writer, torn disk) is quarantined and recompiled —
+  // never dlopen'd.
+  if (fs::exists(SoPath) &&
+      verifyCacheArtifact(Dir.string(), Key) == ArtifactVerdict::Corrupt)
+    quarantineCacheArtifact(Dir.string(), Key,
+                            "size/hash mismatch against index on disk hit");
+
+  bool Compiled = false;
+  if (!fs::exists(SoPath)) {
+    Status S = HostCompile();
+    if (!S.isOk())
+      return RL::error(S.message());
+    Compiled = true;
   } else {
     NDiskHits.fetch_add(1, std::memory_order_relaxed);
+    touchCacheArtifact(Dir.string(), Key);
   }
 
   void *Handle = dlopen(SoPath.string().c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle && !Compiled) {
+    // An unverifiable disk artifact (v1 index row, or an index lost in a
+    // crash) can still fail to load; quarantine it and compile fresh once.
+    const char *DlMsg = dlerror();
+    std::string DlErr = DlMsg ? DlMsg : "unknown dlopen failure";
+    quarantineCacheArtifact(Dir.string(), Key, strf("dlopen failed: ", DlErr));
+    Status S = HostCompile();
+    if (!S.isOk())
+      return RL::error(S.message());
+    Handle = dlopen(SoPath.string().c_str(), RTLD_NOW | RTLD_LOCAL);
+  }
   if (!Handle)
     return RL::error(strf("dlopen failed: ", dlerror()));
 

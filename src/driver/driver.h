@@ -66,6 +66,18 @@ struct CompileOptions {
   std::string WorkDir;
   /// Extra flags for the host C++ compiler (appended after the defaults).
   std::string ExtraCxxFlags;
+  /// Native engine, host-compile supervision (codegen/native_load.cpp):
+  /// wall-clock budget for one host-compiler run in milliseconds (0 = wait
+  /// forever) and the retry budget for signal deaths, the transient class —
+  /// nonzero exits and timeouts never retry. Deliberately NOT part of the
+  /// cache key: they change when a compile is abandoned, never what it
+  /// produces.
+  int64_t HostCompileTimeoutMs = 120000;
+  int HostCompileRetries = 1;
+  int64_t HostCompileBackoffMs = 100;
+  /// Cap on the cache directory's total ddr-*.so bytes; least-recently-used
+  /// artifacts are evicted after each install. 0 = unbounded.
+  uint64_t CacheMaxBytes = 0;
 };
 
 /// A compiled program, ready to instantiate. Cheap to copy-instantiate many

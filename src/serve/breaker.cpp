@@ -1,0 +1,149 @@
+//===--- serve/breaker.cpp - per-program compile circuit breaker -------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/breaker.h"
+
+#include "support/trace.h"
+
+namespace diderot::serve {
+
+CompileBreaker::CompileBreaker() = default;
+
+CompileBreaker::CompileBreaker(Options O) : Opts(std::move(O)) {}
+
+uint64_t CompileBreaker::now() const {
+  return Opts.NowNs ? Opts.NowNs() : tracing::steadyClock().nowNs();
+}
+
+const char *CompileBreaker::stateName(State S) {
+  switch (S) {
+  case State::Closed:
+    return "closed";
+  case State::Open:
+    return "open";
+  case State::HalfOpen:
+    return "half-open";
+  }
+  return "?";
+}
+
+CompileBreaker::Decision CompileBreaker::admit(const std::string &Key) {
+  Decision D;
+  if (Opts.FailureThreshold <= 0)
+    return D;
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Keys.find(Key);
+  if (It == Keys.end())
+    return D; // untracked = Closed
+  Rec &R = It->second;
+  switch (R.St) {
+  case State::Closed:
+    return D;
+  case State::Open: {
+    uint64_t Now = now();
+    uint64_t OpenNs = static_cast<uint64_t>(Opts.OpenMs) * 1000000ull;
+    if (Now - R.OpenedAtNs >= OpenNs) {
+      // Cooldown over: this caller becomes the single half-open probe.
+      R.St = State::HalfOpen;
+      R.ProbeInFlight = true;
+      D.St = State::HalfOpen;
+      return D;
+    }
+    D.Allow = false;
+    D.St = State::Open;
+    int64_t LeftMs =
+        static_cast<int64_t>((OpenNs - (Now - R.OpenedAtNs)) / 1000000ull);
+    D.RetryAfterMs = LeftMs > 0 ? LeftMs : 1;
+    ++FastFails;
+    return D;
+  }
+  case State::HalfOpen:
+    if (!R.ProbeInFlight) {
+      // The previous probe vanished without reporting (its worker died on
+      // an unrelated error path); let the next caller probe.
+      R.ProbeInFlight = true;
+      D.St = State::HalfOpen;
+      return D;
+    }
+    D.Allow = false;
+    D.St = State::HalfOpen;
+    D.RetryAfterMs = Opts.OpenMs > 0 ? Opts.OpenMs : 1;
+    ++FastFails;
+    return D;
+  }
+  return D;
+}
+
+void CompileBreaker::recordSuccess(const std::string &Key) {
+  if (Opts.FailureThreshold <= 0)
+    return;
+  std::lock_guard<std::mutex> G(Mu);
+  Keys.erase(Key); // closed and forgotten — tracking stays bounded
+}
+
+void CompileBreaker::recordFailure(const std::string &Key) {
+  if (Opts.FailureThreshold <= 0)
+    return;
+  std::lock_guard<std::mutex> G(Mu);
+  Rec &R = Keys[Key];
+  switch (R.St) {
+  case State::HalfOpen:
+    // The probe failed: back to Open, restart the cooldown.
+    R.St = State::Open;
+    R.OpenedAtNs = now();
+    R.ProbeInFlight = false;
+    R.Consecutive = 0;
+    ++Trips;
+    break;
+  case State::Closed:
+    if (++R.Consecutive >= Opts.FailureThreshold) {
+      R.St = State::Open;
+      R.OpenedAtNs = now();
+      R.Consecutive = 0;
+      ++Trips;
+    }
+    break;
+  case State::Open:
+    // A failure from a request admitted before the trip; already open.
+    break;
+  }
+}
+
+CompileBreaker::State CompileBreaker::state(const std::string &Key) const {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Keys.find(Key);
+  return It == Keys.end() ? State::Closed : It->second.St;
+}
+
+std::vector<std::pair<std::string, CompileBreaker::State>>
+CompileBreaker::tracked() const {
+  std::lock_guard<std::mutex> G(Mu);
+  std::vector<std::pair<std::string, State>> Out;
+  for (const auto &[Key, R] : Keys)
+    Out.emplace_back(Key, R.St);
+  return Out;
+}
+
+int CompileBreaker::numOpen() const {
+  std::lock_guard<std::mutex> G(Mu);
+  int N = 0;
+  for (const auto &[Key, R] : Keys)
+    if (R.St != State::Closed)
+      ++N;
+  return N;
+}
+
+uint64_t CompileBreaker::trips() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Trips;
+}
+
+uint64_t CompileBreaker::fastFails() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return FastFails;
+}
+
+} // namespace diderot::serve

@@ -1,0 +1,112 @@
+//===--- serve/breaker.h - per-program compile circuit breaker ---------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A circuit breaker over the daemon's compile path, keyed per program
+/// (the content-addressed cache key). The host C++ compiler is part of the
+/// serving hot path (paper Section 5.1); a program whose host compile
+/// fails deterministically — or times out under the supervised runner —
+/// would otherwise burn a full compile attempt out of a job-worker slot on
+/// every request. The breaker remembers consecutive failures per key and,
+/// once open, fails requests for that program fast (the daemon maps a
+/// denial to 503 + Retry-After) without consuming a compile slot.
+///
+/// States, per key:
+///
+///   Closed    normal operation; failures count consecutively.
+///   Open      FailureThreshold consecutive failures seen. All requests
+///             denied until OpenMs elapses.
+///   HalfOpen  cooldown expired: exactly one probe request is admitted.
+///             Success closes the breaker; failure re-opens it (and
+///             restarts the cooldown). Other requests keep failing fast
+///             while the probe is in flight.
+///
+/// The clock is injectable (Options::NowNs) so state transitions are
+/// deterministic under test; the default reads tracing::steadyClock().
+/// Thread-safe; one mutex — admission happens once per HTTP request, far
+/// off any per-strand path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SERVE_BREAKER_H
+#define DIDEROT_SERVE_BREAKER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace diderot::serve {
+
+class CompileBreaker {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  struct Options {
+    /// Consecutive failures that open the breaker; <= 0 disables it
+    /// entirely (admit() always allows, nothing is tracked).
+    int FailureThreshold = 3;
+    /// Cooldown after opening before one half-open probe is admitted.
+    int64_t OpenMs = 10000;
+    /// Injectable monotonic clock (nanoseconds). Null = steady clock.
+    std::function<uint64_t()> NowNs;
+  };
+
+  /// Outcome of an admission check.
+  struct Decision {
+    bool Allow = true;
+    State St = State::Closed;  ///< state *after* the check
+    int64_t RetryAfterMs = 0;  ///< advisory wait when denied
+  };
+
+  CompileBreaker();
+  explicit CompileBreaker(Options O);
+
+  /// Admission check for one compile/run of \p Key. May transition
+  /// Open -> HalfOpen (cooldown expired; this caller becomes the probe).
+  /// A denial must not be followed by recordSuccess/recordFailure.
+  Decision admit(const std::string &Key);
+
+  /// The admitted request's compile (or instantiate) succeeded: close and
+  /// forget the key.
+  void recordSuccess(const std::string &Key);
+
+  /// The admitted request's compile failed. In HalfOpen this re-opens the
+  /// breaker; in Closed it opens once the consecutive count reaches the
+  /// threshold.
+  void recordFailure(const std::string &Key);
+
+  State state(const std::string &Key) const;
+  /// Keys whose breaker is not Closed right now (for /metrics labels;
+  /// bounded — closed keys are dropped from tracking).
+  std::vector<std::pair<std::string, State>> tracked() const;
+  int numOpen() const; ///< keys in Open or HalfOpen
+
+  uint64_t trips() const;     ///< transitions into Open (incl. re-opens)
+  uint64_t fastFails() const; ///< admissions denied
+
+  static const char *stateName(State S);
+
+private:
+  struct Rec {
+    State St = State::Closed;
+    int Consecutive = 0;     ///< consecutive failures while Closed
+    uint64_t OpenedAtNs = 0; ///< when the breaker last opened
+    bool ProbeInFlight = false;
+  };
+  uint64_t now() const;
+
+  Options Opts;
+  mutable std::mutex Mu;
+  std::map<std::string, Rec> Keys;
+  uint64_t Trips = 0, FastFails = 0;
+};
+
+} // namespace diderot::serve
+
+#endif // DIDEROT_SERVE_BREAKER_H

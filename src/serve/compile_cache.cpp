@@ -25,21 +25,19 @@ std::string defaultCacheDir() {
 }
 
 std::vector<CacheEntry> readCacheIndex(const std::string &Dir) {
+  // One parser for both layers: the loader's reader already handles v1
+  // (4-column) and v2 (integrity-carrying) rows.
   std::vector<CacheEntry> Entries;
-  std::ifstream In(std::filesystem::path(Dir) / codegen::cacheIndexFile());
-  if (!In)
-    return Entries;
-  std::string Line;
-  while (std::getline(In, Line)) {
-    std::vector<std::string> Cols = splitString(Line, '\t');
-    if (Cols.size() < 4 || Cols[0].size() != 32)
-      continue;
-    CacheEntry E;
-    E.Key = Cols[0];
-    E.Program = Cols[1];
-    E.UnixMs = std::atoll(Cols[2].c_str());
-    E.CompilerId = Cols[3];
-    Entries.push_back(std::move(E));
+  for (codegen::CacheIndexEntry &E : codegen::readCacheIndexEntries(Dir)) {
+    CacheEntry S;
+    S.Key = std::move(E.Key);
+    S.Program = std::move(E.Program);
+    S.UnixMs = E.UnixMs;
+    S.CompilerId = std::move(E.CompilerId);
+    S.SoBytes = E.SoBytes;
+    S.SoHash = std::move(E.SoHash);
+    S.LastUsedMs = E.LastUsedMs;
+    Entries.push_back(std::move(S));
   }
   return Entries;
 }

@@ -20,6 +20,7 @@
 #include "driver/inputs.h"
 #include "nrrd/nrrd.h"
 #include "observe/observe.h"
+#include "serve/breaker.h"
 #include "serve/compile_cache.h"
 #include "serve/job_queue.h"
 #include "support/http.h"
@@ -161,7 +162,15 @@ struct Daemon::Impl {
 
   std::atomic<uint64_t> JobsDone{0}, JobsFailed{0}, JobsRejected{0};
   std::atomic<uint64_t> HttpRequests{0};
+  std::atomic<uint64_t> DeadlineExpired{0};
   LatencyHisto CompileHisto, RunHisto;
+
+  /// Per-program compile circuit breaker (constructed at start(), when the
+  /// thresholds are known).
+  std::unique_ptr<CompileBreaker> Breaker;
+  /// Draining: POSTs are refused with 503 + Retry-After while queued and
+  /// running jobs finish; GETs keep working so pollers can collect results.
+  std::atomic<bool> Draining{false};
 
   tracing::HeadSampler Sampler;
   std::unique_ptr<tracing::TraceRing> Ring;
@@ -170,6 +179,11 @@ struct Daemon::Impl {
   http::Response handle(const http::Request &Req);
   http::Response handleCompile(const http::Request &Req);
   http::Response handleRun(const http::Request &Req);
+  /// 429/503 with the shed-contract headers: Retry-After (whole seconds,
+  /// rounded up, at least 1) and X-Diderot-Queue-Depth, so clients can
+  /// back off intelligently instead of hammering a saturated daemon.
+  http::Response shedResponse(int Code, const std::string &Body,
+                              int64_t RetryAfterMs);
   http::Response handleJob(const std::string &Id, bool WantOutput,
                            bool WantTrace);
   http::Response handleHealthz();
@@ -238,16 +252,31 @@ std::string jobJson(const JobRec &J) {
 
 } // namespace
 
+http::Response Daemon::Impl::shedResponse(int Code, const std::string &Body,
+                                          int64_t RetryAfterMs) {
+  http::Response R = textResponse(Code, Body);
+  int64_t Secs = (RetryAfterMs + 999) / 1000;
+  R.ExtraHeaders.emplace_back("Retry-After", strf(Secs > 0 ? Secs : 1));
+  R.ExtraHeaders.emplace_back("X-Diderot-Queue-Depth", strf(Sched.depth()));
+  return R;
+}
+
 http::Response Daemon::Impl::handle(const http::Request &Req) {
   HttpRequests.fetch_add(1, std::memory_order_relaxed);
   if (Req.Path == "/compile") {
     if (Req.Method != "POST")
       return textResponse(405, "POST only\n");
+    if (Draining.load(std::memory_order_relaxed))
+      return shedResponse(503, "draining: not accepting new work\n",
+                          Opts.DrainMs);
     return handleCompile(Req);
   }
   if (Req.Path == "/run") {
     if (Req.Method != "POST")
       return textResponse(405, "POST only\n");
+    if (Draining.load(std::memory_order_relaxed))
+      return shedResponse(503, "draining: not accepting new work\n",
+                          Opts.DrainMs);
     return handleRun(Req);
   }
   if (startsWith(Req.Path, "/jobs/")) {
@@ -285,23 +314,45 @@ http::Response Daemon::Impl::handleCompile(const http::Request &Req) {
   std::string Name = Req.header("x-diderot-program");
   if (Name.empty())
     Name = "program";
+  // Breaker admission happens before any compile work, on the same
+  // content key the registry uses — a denial costs a hash, not a slot.
+  std::string BKey =
+      codegen::programCacheKey(Req.Body, Registry->options()).hex();
+  if (CompileBreaker::Decision D = Breaker->admit(BKey); !D.Allow) {
+    lg::Logger::global().logEvery(
+        "breaker-deny", 2, lg::Level::Warn, "compile denied: breaker open",
+        {lg::strField("key", BKey), lg::strField("trace", TraceHex)});
+    return withTrace(
+        shedResponse(503,
+                     strf("compile breaker ", CompileBreaker::stateName(D.St),
+                          " for this program\n"),
+                     D.RetryAfterMs),
+        TraceHex);
+  }
   tracing::Clock &Clk = tracing::steadyClock();
   uint64_t T0 = Clk.nowNs();
   Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
   if (!L.isOk()) {
+    Breaker->recordFailure(BKey);
     lg::warn("compile failed", {lg::strField("program", Name),
                                 lg::strField("trace", TraceHex),
                                 lg::strField("error", L.message())});
     return withTrace(textResponse(400, L.message() + "\n"), TraceHex);
   }
-  if (!L->Cached) {
+  {
     // Warm the expensive artifact now: instantiating a native program
     // emits the C++ and builds (or disk-hits) the shared object, so the
-    // first POST /run finds everything hot.
+    // first POST /run finds everything hot. Run it even on a registry hit
+    // — for a healthy warm program it is a memory-cache lookup, and it is
+    // what notices a program whose earlier .so build failed (or whose
+    // artifact has since been corrupted): a hit must not mask that.
     Result<std::unique_ptr<rt::ProgramInstance>> Inst = L->Prog->instantiate();
-    if (!Inst.isOk())
+    if (!Inst.isOk()) {
+      Breaker->recordFailure(BKey);
       return withTrace(textResponse(400, Inst.message() + "\n"), TraceHex);
+    }
   }
+  Breaker->recordSuccess(BKey);
   uint64_t Ns = Clk.nowNs() - T0;
   if (!L->Cached)
     CompileHisto.record(Ns, TraceHex);
@@ -330,10 +381,27 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
   std::string Name = Req.header("x-diderot-program");
   if (Name.empty())
     Name = "program";
+  // Breaker admission before the front end runs and before a queue slot is
+  // taken: a program whose compiles keep failing (or timing out under the
+  // supervised runner) fails fast here with 503 + Retry-After.
+  std::string BKey =
+      codegen::programCacheKey(Req.Body, Registry->options()).hex();
+  if (CompileBreaker::Decision D = Breaker->admit(BKey); !D.Allow) {
+    lg::Logger::global().logEvery(
+        "breaker-deny", 2, lg::Level::Warn, "run denied: breaker open",
+        {lg::strField("key", BKey), lg::strField("trace", TraceHex)});
+    return withTrace(
+        shedResponse(503,
+                     strf("compile breaker ", CompileBreaker::stateName(D.St),
+                          " for this program\n"),
+                     D.RetryAfterMs),
+        TraceHex);
+  }
   uint64_t CompileBeginNs = Clk.nowNs();
   Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
   uint64_t CompileEndNs = Clk.nowNs();
   if (!L.isOk()) {
+    Breaker->recordFailure(BKey);
     lg::warn("run rejected: compile failed",
              {lg::strField("program", Name), lg::strField("trace", TraceHex),
               lg::strField("error", L.message())});
@@ -443,7 +511,9 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
     lg::Logger::global().logEvery(
         "queue-full", 2, lg::Level::Warn, "job rejected: queue full",
         {lg::strField("program", Name), lg::strField("trace", TraceHex)});
-    return withTrace(textResponse(429, S.message() + "\n"), TraceHex);
+    return withTrace(shedResponse(429, S.message() + "\n",
+                                  /*RetryAfterMs=*/1000),
+                     TraceHex);
   }
   lg::debug("job accepted",
             {lg::strField("job", Job->Id), lg::strField("program", Name),
@@ -505,12 +575,29 @@ void Daemon::Impl::runJob(
               lg::strField("trace", TraceHex), lg::strField("error", Msg)});
   };
 
+  // Deadline-aware admission: a job whose wall-clock deadline was fully
+  // consumed by queue wait fails fast here, before paying for instantiate
+  // (which for a cold native program is a host compile).
+  if (RC.Policy.DeadlineNs > 0 &&
+      DequeueNs - Job->AcceptNs >= static_cast<uint64_t>(RC.Policy.DeadlineNs)) {
+    DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    return Fail(strf("DeadlineExceeded: deadline of ",
+                     RC.Policy.DeadlineNs / 1000000,
+                     " ms elapsed while queued (waited ",
+                     (DequeueNs - Job->AcceptNs) / 1000000, " ms)"));
+  }
+
   uint64_t InstBeginNs = Clk.nowNs();
   Result<std::unique_ptr<rt::ProgramInstance>> Inst = Prog->instantiate();
   uint64_t InstEndNs = Clk.nowNs();
   AddSpan("instantiate", InstBeginNs, InstEndNs);
-  if (!Inst.isOk())
+  if (!Inst.isOk()) {
+    // Instantiate is where a native program meets the host compiler; its
+    // failure (including a supervised-compile timeout) feeds the breaker.
+    Breaker->recordFailure(Job->Key);
     return Fail(Inst.message());
+  }
+  Breaker->recordSuccess(Job->Key);
   rt::ProgramInstance &P = **Inst;
   for (const auto &[IName, IValue] : Inputs) {
     Status S = setInputFromText(P, IName, IValue);
@@ -702,8 +789,11 @@ http::Response Daemon::Impl::handleHealthz() {
   }
   RingSize = Ring->size();
   uint64_t UpNs = tracing::steadyClock().nowNs() - StartNs;
+  bool Drain = Draining.load(std::memory_order_relaxed);
   std::ostringstream S;
-  S << "{\"status\":\"ok\""
+  S << "{\"status\":\"" << (Drain ? "draining" : "ok") << "\""
+    << ",\"draining\":" << (Drain ? "true" : "false")
+    << ",\"breakerOpen\":" << Breaker->numOpen()
     << ",\"queueDepth\":" << Sched.depth()
     << ",\"jobsInflight\":" << Sched.inFlight()
     << ",\"jobWorkers\":" << Opts.JobWorkers
@@ -737,6 +827,22 @@ http::Response Daemon::Impl::metricsText() {
           "Native loader on-disk .so hits (no host compile)", NC.DiskHits);
   Counter("diderot_daemon_native_host_compiles_total",
           "Host C++ compiler invocations", NC.HostCompiles);
+  Counter("diderot_daemon_compile_timeouts_total",
+          "Supervised host compiles killed at the wall-clock budget",
+          NC.CompileTimeouts);
+  Counter("diderot_daemon_cache_quarantined_total",
+          "Corrupt cache artifacts moved into quarantine/", NC.Quarantined);
+  Counter("diderot_daemon_cache_evictions_total",
+          "Cache artifacts evicted by the LRU size cap", NC.Evicted);
+  Counter("diderot_daemon_breaker_trips_total",
+          "Compile breaker transitions into the open state",
+          Breaker->trips());
+  Counter("diderot_daemon_breaker_fast_fails_total",
+          "Requests denied fast (503) by an open compile breaker",
+          Breaker->fastFails());
+  Counter("diderot_daemon_deadline_expired_total",
+          "Jobs failed before start: deadline consumed by queue wait",
+          DeadlineExpired.load(std::memory_order_relaxed));
   Counter("diderot_daemon_http_requests_total", "HTTP requests handled",
           HttpRequests.load(std::memory_order_relaxed));
   Out += strf("# HELP diderot_daemon_jobs_total Jobs by terminal state\n",
@@ -755,6 +861,20 @@ http::Response Daemon::Impl::metricsText() {
         static_cast<int64_t>(Registry->size()));
   Gauge("diderot_daemon_trace_ring", "Span trees retained for GET /trace",
         static_cast<int64_t>(Ring->size()));
+  Gauge("diderot_daemon_draining", "1 while the daemon is draining",
+        Draining.load(std::memory_order_relaxed) ? 1 : 0);
+  Gauge("diderot_daemon_breaker_open",
+        "Programs whose compile breaker is open or half-open",
+        Breaker->numOpen());
+  // Per-key breaker state (1 open, 2 half-open). Only non-closed keys are
+  // tracked, so the label cardinality stays bounded by what is failing.
+  Out += strf("# HELP diderot_daemon_compile_breaker_state Compile breaker "
+              "state per program key (1=open, 2=half-open)\n",
+              "# TYPE diderot_daemon_compile_breaker_state gauge\n");
+  for (const auto &[Key, St] : Breaker->tracked())
+    if (St != CompileBreaker::State::Closed)
+      Out += strf("diderot_daemon_compile_breaker_state{key=\"", Key,
+                  "\"} ", St == CompileBreaker::State::Open ? 1 : 2, "\n");
   CompileHisto.prom(Out, "diderot_daemon_compile_seconds",
                     "Cold compile latency (front end + native build)");
   RunHisto.prom(Out, "diderot_daemon_run_seconds", "Job run latency");
@@ -770,6 +890,11 @@ Status Daemon::start(DaemonOptions O) {
     O.Compile.WorkDir = defaultCacheDir();
   I->Opts = O;
   I->Registry = std::make_unique<ProgramRegistry>(O.Compile);
+  CompileBreaker::Options BO;
+  BO.FailureThreshold = O.BreakerThreshold;
+  BO.OpenMs = O.BreakerOpenMs;
+  I->Breaker = std::make_unique<CompileBreaker>(BO);
+  I->Draining.store(false, std::memory_order_relaxed);
   I->Sampler.setRate(O.TraceSampleN);
   I->Ring = std::make_unique<tracing::TraceRing>(
       O.TraceRingCapacity > 0 ? static_cast<size_t>(O.TraceRingCapacity) : 1);
@@ -804,6 +929,34 @@ void Daemon::stop() {
   I->Sched.stop();
 }
 
+void Daemon::beginDrain() {
+  if (I->Draining.exchange(true, std::memory_order_relaxed))
+    return;
+  lg::info("draining: refusing new work",
+           {lg::numField("queueDepth",
+                         static_cast<int64_t>(I->Sched.depth())),
+            lg::numField("inFlight",
+                         static_cast<int64_t>(I->Sched.inFlight()))});
+}
+
+bool Daemon::drainAndStop() {
+  beginDrain();
+  bool Drained = I->Sched.waitIdleFor(I->Opts.DrainMs);
+  if (!Drained)
+    lg::warn("drain budget exhausted; cancelling remaining queued jobs",
+             {lg::numField("drainMs", I->Opts.DrainMs),
+              lg::numField("queueDepth",
+                           static_cast<int64_t>(I->Sched.depth())),
+              lg::numField("inFlight",
+                           static_cast<int64_t>(I->Sched.inFlight()))});
+  stop();
+  return Drained;
+}
+
+bool Daemon::draining() const {
+  return I->Draining.load(std::memory_order_relaxed);
+}
+
 int Daemon::port() const { return I->Http.port(); }
 
 std::string Daemon::cacheDir() const { return I->Opts.Compile.WorkDir; }
@@ -817,6 +970,12 @@ Daemon::Counters Daemon::counters() const {
   C.JobsDone = I->JobsDone.load(std::memory_order_relaxed);
   C.JobsFailed = I->JobsFailed.load(std::memory_order_relaxed);
   C.JobsRejected = I->JobsRejected.load(std::memory_order_relaxed);
+  C.DeadlineExpired = I->DeadlineExpired.load(std::memory_order_relaxed);
+  if (I->Breaker) {
+    C.BreakerDenied = I->Breaker->fastFails();
+    C.BreakerTrips = I->Breaker->trips();
+    C.BreakerOpen = I->Breaker->numOpen();
+  }
   C.QueueDepth = I->Sched.depth();
   C.JobsInFlight = I->Sched.inFlight();
   return C;

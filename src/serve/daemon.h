@@ -92,6 +92,16 @@ struct DaemonOptions {
   /// the trace ring and logged with a queue/compile/run breakdown even when
   /// unsampled (0 = disabled).
   int64_t SlowJobNs = 1000000000;
+  /// Compile circuit breaker (serve/breaker.h): consecutive compile
+  /// failures per program before requests for it fail fast with 503 +
+  /// Retry-After (0 = breaker disabled), and the cooldown before a
+  /// half-open probe is admitted.
+  int BreakerThreshold = 3;
+  int64_t BreakerOpenMs = 10000;
+  /// Graceful-drain budget for drainAndStop() (the diderotd SIGTERM path):
+  /// how long queued + running jobs get to finish before the hard stop
+  /// cancels what is left.
+  int64_t DrainMs = 5000;
   /// Options every program is compiled under. WorkDir doubles as the .so
   /// cache directory; empty = serve::defaultCacheDir().
   CompileOptions Compile;
@@ -107,6 +117,18 @@ public:
 
   Status start(DaemonOptions O);
   void stop(); // idempotent
+
+  /// Flip into draining mode: new POST /run and POST /compile get 503 +
+  /// Retry-After, GETs (job polls, /healthz, /metrics) keep working, and
+  /// queued + running jobs proceed normally. Idempotent.
+  void beginDrain();
+  /// Graceful shutdown: beginDrain(), wait up to DrainMs for the queue to
+  /// empty, then stop() — which fails whatever is still queued through the
+  /// cancellation path, so no job record is ever left in "queued".
+  /// Returns true if the queue drained within the budget.
+  bool drainAndStop();
+  /// Whether beginDrain() has been called.
+  bool draining() const;
   /// The bound HTTP port (valid after a successful start).
   int port() const;
   /// The .so cache directory in use.
@@ -119,9 +141,14 @@ public:
     uint64_t CacheMisses = 0; ///< program-registry misses (compiles)
     uint64_t JobsDone = 0;
     uint64_t JobsFailed = 0;
-    uint64_t JobsRejected = 0; ///< submits shed with 429
+    uint64_t JobsRejected = 0;  ///< submits shed with 429
+    uint64_t BreakerDenied = 0; ///< requests failed fast with 503 (breaker)
+    uint64_t BreakerTrips = 0;  ///< breaker transitions into Open
+    uint64_t DeadlineExpired = 0; ///< jobs failed before start (queue wait
+                                  ///< consumed the whole deadline)
     int QueueDepth = 0;
     int JobsInFlight = 0;
+    int BreakerOpen = 0; ///< programs currently Open or HalfOpen
   };
   Counters counters() const;
 

@@ -48,6 +48,21 @@ options:
   --steps N           per-job superstep cap (default 10000)
   --deadline-ms N     default per-job wall-clock deadline (0 = none;
                       clients override with X-Diderot-Deadline-Ms)
+  --drain-ms N        graceful-drain budget on SIGTERM/SIGINT: new work is
+                      refused with 503 immediately, queued + running jobs
+                      get up to N ms to finish, then the hard stop cancels
+                      the rest (default 5000)
+  --breaker-fails N   consecutive compile failures per program before its
+                      requests fail fast with 503 + Retry-After
+                      (0 = breaker disabled; default 3)
+  --breaker-open-ms N breaker cooldown before one half-open probe compile
+                      is admitted (default 10000)
+  --compile-timeout-ms N  wall-clock budget for one host-compiler run; on
+                      expiry the compiler's whole process group is killed
+                      and the job fails with a typed error (default 120000)
+  --cache-max-bytes N cap the on-disk .so cache; least-recently-used
+                      artifacts are evicted after each compile (0 = no
+                      cap; default 0)
   --cache-dir DIR     compiled-object cache directory (default:
                       $DIDEROT_CACHE_DIR, else the system temp scratch)
   --engine=native|interp  execution engine (default native)
@@ -90,6 +105,29 @@ bool argMsToNs(const char *Flag, const char *Text, int64_t &OutNs) {
   return false;
 }
 
+bool argMs(const char *Flag, const char *Text, int64_t &OutMs) {
+  int64_t Ms = 0;
+  if (parseInt64(Text, Ms) && Ms >= 0) {
+    OutMs = Ms;
+    return true;
+  }
+  std::fprintf(stderr,
+               "error: bad %s '%s' (want a non-negative millisecond count)\n",
+               Flag, Text);
+  return false;
+}
+
+bool argBytes(const char *Flag, const char *Text, uint64_t &Out) {
+  int64_t V = 0;
+  if (parseInt64(Text, V) && V >= 0) {
+    Out = static_cast<uint64_t>(V);
+    return true;
+  }
+  std::fprintf(stderr, "error: bad %s '%s' (want a non-negative byte count)\n",
+               Flag, Text);
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -128,6 +166,22 @@ int main(int Argc, char **Argv) {
         return 1;
     } else if (Arg == "--deadline-ms" && A + 1 < Argc) {
       if (!argMsToNs("--deadline-ms", Argv[++A], Opts.DefaultDeadlineNs))
+        return 1;
+    } else if (Arg == "--drain-ms" && A + 1 < Argc) {
+      if (!argMs("--drain-ms", Argv[++A], Opts.DrainMs))
+        return 1;
+    } else if (Arg == "--breaker-fails" && A + 1 < Argc) {
+      if (!argInt("--breaker-fails", Argv[++A], Opts.BreakerThreshold))
+        return 1;
+    } else if (Arg == "--breaker-open-ms" && A + 1 < Argc) {
+      if (!argMs("--breaker-open-ms", Argv[++A], Opts.BreakerOpenMs))
+        return 1;
+    } else if (Arg == "--compile-timeout-ms" && A + 1 < Argc) {
+      if (!argMs("--compile-timeout-ms", Argv[++A],
+                 Opts.Compile.HostCompileTimeoutMs))
+        return 1;
+    } else if (Arg == "--cache-max-bytes" && A + 1 < Argc) {
+      if (!argBytes("--cache-max-bytes", Argv[++A], Opts.Compile.CacheMaxBytes))
         return 1;
     } else if (Arg == "--cache-dir" && A + 1 < Argc) {
       Opts.Compile.WorkDir = Argv[++A];
@@ -198,6 +252,12 @@ int main(int Argc, char **Argv) {
                 {logging::numField("signal",
                                    static_cast<int64_t>(GotSignal.load()))});
   D.stampEnvMeta();
-  D.stop();
-  return 0;
+  // Graceful drain: refuse new work, let queued + running jobs finish
+  // within --drain-ms, then hard-stop (which fails anything left through
+  // the cancellation path — no job record stays "queued").
+  bool Drained = D.drainAndStop();
+  if (!Drained)
+    logging::warn("drain budget exhausted; queued jobs were cancelled",
+                  {logging::numField("drainMs", Opts.DrainMs)});
+  return Drained ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "serve/job_queue.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -139,6 +140,14 @@ int FairScheduler::inFlight() const {
 void FairScheduler::waitIdle() {
   std::unique_lock<std::mutex> L(I->Mu);
   I->IdleCv.wait(L, [&] { return I->Depth == 0 && I->InFlight == 0; });
+}
+
+bool FairScheduler::waitIdleFor(int64_t Ms) {
+  std::unique_lock<std::mutex> L(I->Mu);
+  auto Idle = [&] { return I->Depth == 0 && I->InFlight == 0; };
+  if (Ms <= 0)
+    return Idle();
+  return I->IdleCv.wait_for(L, std::chrono::milliseconds(Ms), Idle);
 }
 
 } // namespace diderot::serve

@@ -73,6 +73,11 @@ public:
   int inFlight() const;
   /// Block until depth() == 0 and inFlight() == 0.
   void waitIdle();
+  /// waitIdle with a budget: returns true if the queue drained within
+  /// \p Ms milliseconds, false on timeout (jobs still pending — the
+  /// graceful-drain path then falls through to stop(), which cancels
+  /// whatever is left). Ms <= 0 checks once without blocking.
+  bool waitIdleFor(int64_t Ms);
 
 private:
   struct Impl;

@@ -21,6 +21,8 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define DIDEROT_HAVE_SOCKETS 1
 #include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -350,6 +352,8 @@ void writeAll(int Fd, const char *Data, size_t Len) {
   size_t Off = 0;
   while (Off < Len) {
     ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue; // interrupted by a signal mid-write; the fd is still good
     if (N <= 0)
       return; // peer went away; nothing sensible to do
     Off += static_cast<size_t>(N);
@@ -380,6 +384,8 @@ void serveConnection(int Fd, const Server::Options &O,
   for (;;) {
     char Chunk[8192];
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue; // a signal is not a timeout; keep reading
     if (N <= 0) {
       // Timeout, reset, or premature close mid-request.
       if (!Buf.empty())
@@ -438,6 +444,11 @@ Status Server::start(int Port, Handler H, Options O) {
     return Status::error("http server needs a handler");
   if (O.HandlerThreads < 1)
     O.HandlerThreads = 1;
+  // A client that disconnects mid-response would otherwise kill the whole
+  // process with SIGPIPE on platforms where MSG_NOSIGNAL is a no-op (and on
+  // any stray write outside writeAll). Ignore it process-wide; every write
+  // path here already handles the EPIPE errno return.
+  std::signal(SIGPIPE, SIG_IGN);
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return Status::error("http server: socket() failed");
@@ -487,6 +498,8 @@ Status Server::start(int Port, Handler H, Options O) {
     for (;;) {
       int C = ::accept(Im->ListenFd, nullptr, nullptr);
       if (C < 0) {
+        if (errno == EINTR || errno == ECONNABORTED)
+          continue; // interrupted or peer gave up; the listener is fine
         std::lock_guard<std::mutex> Lk(Im->Mu);
         if (Im->Quit)
           return;

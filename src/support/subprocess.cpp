@@ -1,0 +1,222 @@
+//===--- support/subprocess.cpp - supervised child-process execution ---------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// See subprocess.h for the contract. The implementation notes that matter:
+//
+//  * The child calls setpgid(0, 0) before exec, making it the leader of a
+//    fresh process group; the timeout path kills the *group* (-pid), so a
+//    compiler driver that forked cc1/ld grandchildren cannot leave them
+//    running after the supervisor gives up.
+//  * The parent owns the read end of one pipe carrying the child's combined
+//    stdout+stderr and multiplexes "wait for bytes" and "wait for the
+//    deadline" through poll(2). Draining continues after expiry so a killed
+//    child's buffered diagnostics still reach the caller.
+//  * Between fork() and exec() only async-signal-safe calls run (dup2,
+//    setpgid, execvp, _exit). The daemon forks from a heavily threaded
+//    process; malloc or stdio here can deadlock on a lock another thread
+//    held at fork time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/subprocess.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIDEROT_HAVE_SUBPROCESS 1
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#endif
+
+#include "support/strings.h"
+
+namespace diderot::support {
+
+std::vector<std::string> splitCommandWords(const std::string &S) {
+  std::vector<std::string> Words;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+      if (!Cur.empty())
+        Words.push_back(std::move(Cur)), Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Words.push_back(std::move(Cur));
+  return Words;
+}
+
+#if DIDEROT_HAVE_SUBPROCESS
+
+namespace {
+
+/// One attempt: fork, exec, supervise until exit or deadline. Returns an
+/// error only for supervisor-side failures (pipe/fork exhaustion).
+Result<SubprocessResult> runOnce(const SubprocessCommand &C) {
+  using RR = Result<SubprocessResult>;
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return RR::error(strf("subprocess: pipe() failed: ", std::strerror(errno)));
+
+  // argv as char* vector; stable for the child because the parent's copy
+  // outlives the exec (the child gets a COW snapshot either way).
+  std::vector<char *> Argv;
+  Argv.reserve(C.Argv.size() + 1);
+  for (const std::string &A : C.Argv)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Pipe[0]);
+    ::close(Pipe[1]);
+    return RR::error(strf("subprocess: fork() failed: ", std::strerror(errno)));
+  }
+  if (Pid == 0) {
+    // Child: own process group, stdout+stderr into the pipe, stdin from
+    // /dev/null so a compiler that unexpectedly reads input gets EOF
+    // instead of inheriting (and blocking on) the daemon's stdin.
+    ::setpgid(0, 0);
+    ::close(Pipe[0]);
+    int DevNull = ::open("/dev/null", O_RDONLY);
+    if (DevNull >= 0)
+      ::dup2(DevNull, STDIN_FILENO);
+    ::dup2(Pipe[1], STDOUT_FILENO);
+    ::dup2(Pipe[1], STDERR_FILENO);
+    ::close(Pipe[1]);
+    ::execvp(Argv[0], Argv.data());
+    // exec failed; 127 is the shell's convention for "command not found".
+    _exit(127);
+  }
+
+  // Parent. Racing the child's own setpgid is benign: whichever call wins,
+  // the group exists before the parent ever signals it (EACCES/EPERM from
+  // the loser is ignored).
+  ::setpgid(Pid, Pid);
+  ::close(Pipe[1]);
+
+  SubprocessResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  auto DeadlineAt =
+      C.TimeoutMs > 0 ? T0 + std::chrono::milliseconds(C.TimeoutMs)
+                      : std::chrono::steady_clock::time_point::max();
+  bool Killed = false;
+  bool PipeOpen = true;
+  char Buf[16384];
+  // Supervise: drain the pipe until EOF (the child and every inheritor of
+  // the write end exited) while watching the deadline.
+  while (PipeOpen) {
+    int WaitMs = -1;
+    if (!Killed && C.TimeoutMs > 0) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      DeadlineAt - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0) {
+        ::kill(-Pid, SIGKILL);
+        Killed = true;
+        R.TimedOut = true;
+        continue; // keep draining whatever the dead group buffered
+      }
+      WaitMs = static_cast<int>(Left > 1000 ? 1000 : Left);
+    }
+    pollfd Pfd{Pipe[0], POLLIN, 0};
+    int PR = ::poll(&Pfd, 1, WaitMs);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // poll broke; fall through to waitpid with what we have
+    }
+    if (PR == 0)
+      continue; // deadline tick
+    ssize_t N = ::read(Pipe[0], Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0) {
+      PipeOpen = false;
+      break;
+    }
+    if (R.Output.size() < SubprocessMaxCapture) {
+      size_t Room = SubprocessMaxCapture - R.Output.size();
+      R.Output.append(Buf, static_cast<size_t>(N) > Room
+                               ? Room
+                               : static_cast<size_t>(N));
+    }
+    // Past the cap the bytes are read and dropped so the child never
+    // blocks on a full pipe.
+  }
+  ::close(Pipe[0]);
+
+  int WStatus = 0;
+  pid_t W;
+  do
+    W = ::waitpid(Pid, &WStatus, 0);
+  while (W < 0 && errno == EINTR);
+  R.WallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  if (W == Pid) {
+    if (WIFEXITED(WStatus))
+      R.ExitCode = WEXITSTATUS(WStatus);
+    else if (WIFSIGNALED(WStatus)) {
+      R.TermSignal = WTERMSIG(WStatus);
+      // A timeout kill surfaces as TimedOut, not as a generic signal death
+      // (signal deaths are the retryable class; timeouts must not be).
+      if (R.TimedOut && R.TermSignal == SIGKILL)
+        R.TermSignal = 0;
+    }
+  }
+  // Sweep stragglers: if the child exited but forked grandchildren into
+  // its group, they must not outlive the supervision either. ESRCH (group
+  // already empty) is the common, ignored case.
+  ::kill(-Pid, SIGKILL);
+  return R;
+}
+
+} // namespace
+
+Result<SubprocessResult> runSupervised(const SubprocessCommand &C) {
+  using RR = Result<SubprocessResult>;
+  if (C.Argv.empty() || C.Argv[0].empty())
+    return RR::error("subprocess: empty argv");
+  int64_t Backoff = C.BackoffMs;
+  int Attempt = 1;
+  for (;;) {
+    Result<SubprocessResult> R = runOnce(C);
+    if (!R.isOk())
+      return R;
+    R->Attempts = Attempt;
+    // Retry only the transient class: the child died on a signal (OOM
+    // kill, crashed compiler). Nonzero exits are deterministic; timeouts
+    // already consumed the whole budget once.
+    if (R->TermSignal == 0 || R->TimedOut || Attempt > C.MaxRetries)
+      return R;
+    if (Backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+      Backoff *= 2;
+    }
+    ++Attempt;
+  }
+}
+
+#else // !DIDEROT_HAVE_SUBPROCESS
+
+Result<SubprocessResult> runSupervised(const SubprocessCommand &) {
+  return Result<SubprocessResult>::error(
+      "subprocess: no fork/exec support on this platform");
+}
+
+#endif
+
+} // namespace diderot::support

@@ -1,0 +1,92 @@
+//===--- support/subprocess.h - supervised child-process execution -----------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A supervised replacement for std::system(): fork/exec a command, capture
+/// its combined stdout+stderr, and enforce a wall-clock timeout by killing
+/// the child's whole process group. The native engine puts the host C++
+/// compiler on the serving hot path ("the output is then passed to the host
+/// system's compiler", paper Section 5.1), which makes a hung or wedged
+/// compiler a denial of service against the daemon's job workers — with
+/// std::system() there was no way to get the worker back. runSupervised()
+/// guarantees the call returns within the configured budget and that no
+/// grandchild outlives the kill (the child is its own process-group leader,
+/// and the expiry signal goes to the group).
+///
+/// Failure taxonomy (SubprocessResult):
+///  * exited      — normal exit; ExitCode holds the status (0 = success).
+///  * timed out   — the wall-clock budget expired; the group was SIGKILLed.
+///  * signaled    — the child died on a signal it did not expect (OOM kill,
+///    crash); TermSignal holds it. Signal deaths are the *transient* class:
+///    with MaxRetries > 0 the command is re-run after an exponential
+///    backoff. Nonzero exits (deterministic failures — a compile error) and
+///    timeouts (retrying doubles the worst-case latency) are never retried.
+///
+/// Only async-signal-safe calls run between fork() and exec() — the daemon
+/// forks from a multithreaded process, where anything else can deadlock on
+/// a lock some other thread held at fork time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_SUBPROCESS_H
+#define DIDEROT_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace diderot::support {
+
+/// What to run and within which budget.
+struct SubprocessCommand {
+  /// argv[0] is resolved via PATH (execvp). Must be non-empty.
+  std::vector<std::string> Argv;
+  /// Wall-clock budget in milliseconds; 0 = no timeout (wait forever).
+  int64_t TimeoutMs = 0;
+  /// Re-run the command up to this many times when it dies on a signal
+  /// (the transient class — OOM kills, crashed compiler processes).
+  int MaxRetries = 0;
+  /// Backoff before the first retry; doubles per retry. 0 = no sleep.
+  int64_t BackoffMs = 100;
+};
+
+/// Outcome of one supervised run (possibly after retries).
+struct SubprocessResult {
+  int ExitCode = -1;      ///< exit status when the child exited normally
+  bool TimedOut = false;  ///< the wall-clock budget expired (group killed)
+  int TermSignal = 0;     ///< nonzero when the child died on a signal
+  std::string Output;     ///< combined stdout+stderr (possibly truncated)
+  uint64_t WallNs = 0;    ///< wall time of the final attempt
+  int Attempts = 1;       ///< 1 + retries actually performed
+
+  bool succeeded() const {
+    return !TimedOut && TermSignal == 0 && ExitCode == 0;
+  }
+};
+
+/// Cap on captured child output: a compiler spraying gigabytes of errors
+/// must not balloon daemon memory. Excess bytes are read and discarded so
+/// the child never blocks on a full pipe.
+constexpr size_t SubprocessMaxCapture = 1 << 20; // 1 MiB
+
+/// Run \p C to completion under supervision. Errors (the Result) are
+/// reserved for supervisor failures — empty argv, pipe/fork exhaustion;
+/// everything the *child* does, including exec failure (exit 127), timeout,
+/// and signal death, is reported inside SubprocessResult so the caller owns
+/// the diagnostic.
+Result<SubprocessResult> runSupervised(const SubprocessCommand &C);
+
+/// Split a shell-ish flags string on ASCII whitespace ("-O3 -ffast-math"
+/// -> {"-O3","-ffast-math"}). No quoting/escaping — CompileOptions flags
+/// have always been whitespace-separated tokens; this is the documented
+/// contract, not a shell.
+std::vector<std::string> splitCommandWords(const std::string &S);
+
+} // namespace diderot::support
+
+#endif // DIDEROT_SUPPORT_SUBPROCESS_H

@@ -1,0 +1,178 @@
+//===--- tests/breaker_test.cpp - compile circuit breaker golden tests -------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// State-machine tests for serve/breaker.h with an injected clock, so every
+// transition (Closed -> Open at the threshold, Open -> HalfOpen after the
+// cooldown, the single-probe rule, re-open on probe failure) is
+// deterministic — no sleeps, no wall time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace diderot::serve {
+namespace {
+
+constexpr uint64_t MsNs = 1000000ull;
+
+/// A breaker wired to a manual clock the test advances.
+struct Rig {
+  uint64_t NowNs = 1000 * MsNs;
+  CompileBreaker B;
+
+  explicit Rig(int Threshold = 3, int64_t OpenMs = 100)
+      : B(makeOpts(Threshold, OpenMs, &NowNs)) {}
+
+  static CompileBreaker::Options makeOpts(int Threshold, int64_t OpenMs,
+                                          uint64_t *Clock) {
+    CompileBreaker::Options O;
+    O.FailureThreshold = Threshold;
+    O.OpenMs = OpenMs;
+    O.NowNs = [Clock] { return *Clock; };
+    return O;
+  }
+
+  void advanceMs(int64_t Ms) { NowNs += static_cast<uint64_t>(Ms) * MsNs; }
+};
+
+TEST(Breaker, StaysClosedBelowTheThreshold) {
+  Rig R(/*Threshold=*/3);
+  const std::string K = "prog-a";
+  for (int I = 0; I < 2; ++I) {
+    EXPECT_TRUE(R.B.admit(K).Allow);
+    R.B.recordFailure(K);
+  }
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+  EXPECT_TRUE(R.B.admit(K).Allow);
+  EXPECT_EQ(R.B.trips(), 0u);
+}
+
+TEST(Breaker, OpensAtTheThresholdAndFailsFastWithRetryAfter) {
+  Rig R(/*Threshold=*/3, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  for (int I = 0; I < 3; ++I)
+    R.B.recordFailure(K);
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Open);
+  EXPECT_EQ(R.B.trips(), 1u);
+
+  R.advanceMs(40); // cooldown not over: 60 ms left
+  CompileBreaker::Decision D = R.B.admit(K);
+  EXPECT_FALSE(D.Allow);
+  EXPECT_EQ(D.St, CompileBreaker::State::Open);
+  EXPECT_EQ(D.RetryAfterMs, 60);
+  EXPECT_EQ(R.B.fastFails(), 1u);
+}
+
+TEST(Breaker, SuccessResetsTheConsecutiveCount) {
+  Rig R(/*Threshold=*/3);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.B.recordFailure(K);
+  R.B.recordSuccess(K); // wipes the streak (and the tracking entry)
+  R.B.recordFailure(K);
+  R.B.recordFailure(K);
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+  EXPECT_TRUE(R.B.admit(K).Allow);
+}
+
+TEST(Breaker, HalfOpenAdmitsExactlyOneProbe) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K); // threshold 1: open immediately
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Open);
+
+  R.advanceMs(100); // cooldown over
+  CompileBreaker::Decision Probe = R.B.admit(K);
+  EXPECT_TRUE(Probe.Allow);
+  EXPECT_EQ(Probe.St, CompileBreaker::State::HalfOpen);
+
+  // While the probe is in flight every other caller is denied.
+  CompileBreaker::Decision Other = R.B.admit(K);
+  EXPECT_FALSE(Other.Allow);
+  EXPECT_EQ(Other.St, CompileBreaker::State::HalfOpen);
+  EXPECT_EQ(Other.RetryAfterMs, 100);
+}
+
+TEST(Breaker, ProbeSuccessClosesAndForgetsTheKey) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(100);
+  ASSERT_TRUE(R.B.admit(K).Allow); // the probe
+  R.B.recordSuccess(K);
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+  EXPECT_TRUE(R.B.tracked().empty()); // bounded tracking: closed = dropped
+  EXPECT_TRUE(R.B.admit(K).Allow);
+}
+
+TEST(Breaker, ProbeFailureReopensAndRestartsTheCooldown) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(100);
+  ASSERT_TRUE(R.B.admit(K).Allow); // probe admitted
+  R.B.recordFailure(K);            // probe failed
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Open);
+  EXPECT_EQ(R.B.trips(), 2u); // initial trip + re-open
+
+  // The cooldown restarted at the probe failure, so 50 ms later we are
+  // still open with 50 ms left.
+  R.advanceMs(50);
+  CompileBreaker::Decision D = R.B.admit(K);
+  EXPECT_FALSE(D.Allow);
+  EXPECT_EQ(D.RetryAfterMs, 50);
+
+  // And after the full cooldown a fresh probe gets through.
+  R.advanceMs(50);
+  EXPECT_TRUE(R.B.admit(K).Allow);
+}
+
+TEST(Breaker, KeysAreIndependent) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  R.B.recordFailure("bad");
+  EXPECT_FALSE(R.B.admit("bad").Allow);
+  EXPECT_TRUE(R.B.admit("good").Allow);
+  EXPECT_EQ(R.B.state("good"), CompileBreaker::State::Closed);
+  EXPECT_EQ(R.B.numOpen(), 1);
+  auto T = R.B.tracked();
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T[0].first, "bad");
+  EXPECT_EQ(T[0].second, CompileBreaker::State::Open);
+}
+
+TEST(Breaker, ZeroThresholdDisablesEverything) {
+  Rig R(/*Threshold=*/0);
+  const std::string K = "prog-a";
+  for (int I = 0; I < 100; ++I)
+    R.B.recordFailure(K);
+  EXPECT_TRUE(R.B.admit(K).Allow);
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+  EXPECT_EQ(R.B.trips(), 0u);
+  EXPECT_EQ(R.B.fastFails(), 0u);
+  EXPECT_TRUE(R.B.tracked().empty());
+}
+
+TEST(Breaker, DenialRetryAfterNeverReportsZero) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(99); // less than 1 ms of cooldown left after rounding
+  R.NowNs += 999999;
+  CompileBreaker::Decision D = R.B.admit(K);
+  EXPECT_FALSE(D.Allow);
+  EXPECT_GE(D.RetryAfterMs, 1);
+}
+
+TEST(Breaker, StateNames) {
+  EXPECT_STREQ(CompileBreaker::stateName(CompileBreaker::State::Closed),
+               "closed");
+  EXPECT_STREQ(CompileBreaker::stateName(CompileBreaker::State::Open), "open");
+  EXPECT_STREQ(CompileBreaker::stateName(CompileBreaker::State::HalfOpen),
+               "half-open");
+}
+
+} // namespace
+} // namespace diderot::serve

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Chaos smoke test of a real diderotd process: the self-healing serving
+# path under three injected failures (docs/ROBUSTNESS.md, "Failure
+# containment"):
+#
+#   1. A poisoned host compiler trips the per-program circuit breaker
+#      (503 + Retry-After without burning compile attempts), and the
+#      breaker closes again through a half-open probe once the compiler
+#      heals.
+#   2. SIGTERM under load drains gracefully: new work is refused, the jobs
+#      already accepted finish inside --drain-ms, and the daemon exits 0
+#      with no job abandoned in "queued".
+#   3. A cache artifact corrupted between restarts (crash truncation) is
+#      quarantined and recompiled — the daemon never dlopens a .so whose
+#      bytes disagree with the index.
+#
+# Run by CI (daemon-chaos job) and runnable locally:
+#
+#   tests/daemon_chaos.sh build/src/serve/diderotd tests/cli_isocontour.diderot
+set -euo pipefail
+
+DIDEROTD=${1:?usage: daemon_chaos.sh <diderotd> <program.diderot>}
+PROGRAM=${2:?usage: daemon_chaos.sh <diderotd> <program.diderot>}
+
+WORK=$(mktemp -d)
+CACHE="$WORK/cache"
+PORTFILE="$WORK/port"
+POISON_FLAG="$WORK/poison"
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "daemon_chaos: FAIL: $*" >&2; exit 1; }
+
+# A compiler wrapper that fails fast while $POISON_FLAG exists and execs
+# the real compiler otherwise — so poisoning is toggled without restarting
+# the daemon (DIDEROT_CXX is read per compile, and is deliberately not part
+# of the cache key).
+WRAPPER="$WORK/cxx-wrapper.sh"
+cat > "$WRAPPER" <<EOF
+#!/bin/sh
+if [ -e "$POISON_FLAG" ]; then
+  echo "chaos: compiler poisoned" >&2
+  exit 1
+fi
+exec c++ "\$@"
+EOF
+chmod +x "$WRAPPER"
+
+start_daemon() { # start_daemon [extra diderotd args...]
+  rm -f "$PORTFILE"
+  DIDEROT_CXX="$WRAPPER" "$DIDEROTD" --port 0 --port-file "$PORTFILE" \
+      --cache-dir "$CACHE" "$@" 2> "$WORK/daemon.log" &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$PORTFILE" ] && break
+    kill -0 "$DPID" 2>/dev/null || { cat "$WORK/daemon.log" >&2;
+                                     fail "daemon exited during startup"; }
+    sleep 0.1
+  done
+  [ -s "$PORTFILE" ] || fail "daemon never wrote its port file"
+  PORT=$(cat "$PORTFILE")
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && return
+    kill -0 "$DPID" 2>/dev/null || { cat "$WORK/daemon.log" >&2;
+                                     fail "daemon exited during startup"; }
+    sleep 0.1
+  done
+  fail "daemon never became healthy"
+}
+
+stop_daemon() {
+  kill "$DPID"
+  wait "$DPID" 2>/dev/null || true
+  DPID=""
+}
+
+post_compile() { # post_compile -> "<http-code> <body>"
+  curl -sS -o "$WORK/body" -w '%{http_code}' -X POST \
+       --data-binary @"$PROGRAM" "http://127.0.0.1:$PORT/compile"
+}
+
+metrics() { curl -sS "http://127.0.0.1:$PORT/metrics"; }
+
+# ---------------------------------------------------------------------------
+# Scenario 1: poisoned compiler -> breaker opens -> heals -> breaker closes.
+# ---------------------------------------------------------------------------
+start_daemon --breaker-fails 2 --breaker-open-ms 2000 --compile-timeout-ms 60000
+
+touch "$POISON_FLAG"
+C1=$(post_compile); C2=$(post_compile)
+[ "$C1" = 400 ] || fail "poisoned compile #1 expected 400, got $C1"
+[ "$C2" = 400 ] || fail "poisoned compile #2 expected 400, got $C2"
+# Two consecutive failures opened the breaker: the third request is denied
+# fast, with the retry contract, before any compile attempt.
+C3=$(curl -sS -D "$WORK/hdrs" -o "$WORK/body" -w '%{http_code}' -X POST \
+     --data-binary @"$PROGRAM" "http://127.0.0.1:$PORT/compile")
+[ "$C3" = 503 ] || fail "breaker should deny with 503, got $C3"
+grep -qi '^Retry-After:' "$WORK/hdrs" || fail "503 has no Retry-After header"
+curl -sS "http://127.0.0.1:$PORT/healthz" | grep -q '"breakerOpen":1' ||
+  fail "healthz does not show the open breaker"
+metrics | grep -q '^diderot_daemon_breaker_trips_total [1-9]' ||
+  fail "metrics do not show the breaker trip"
+echo "daemon_chaos: breaker opened after 2 poisoned compiles, denies with 503"
+
+# Heal the compiler, wait out the cooldown: the next request is the single
+# half-open probe, and its success closes the breaker.
+rm -f "$POISON_FLAG"
+sleep 2.2
+C4=$(post_compile)
+[ "$C4" = 200 ] || fail "post-heal probe compile expected 200, got $C4 ($(cat "$WORK/body"))"
+curl -sS "http://127.0.0.1:$PORT/healthz" | grep -q '"breakerOpen":0' ||
+  fail "breaker did not close after the successful probe"
+echo "daemon_chaos: breaker closed after the half-open probe succeeded"
+
+# ---------------------------------------------------------------------------
+# Scenario 2: SIGTERM under load drains within --drain-ms, no queued orphans.
+# ---------------------------------------------------------------------------
+stop_daemon
+start_daemon --drain-ms 30000 --job-workers 1
+# Warm once so the in-flight jobs below are cache hits (fast, deterministic).
+[ "$(post_compile)" = 200 ] || fail "warm-up compile failed"
+
+for I in $(seq 1 8); do
+  curl -sS -X POST --data-binary @"$PROGRAM" \
+       -H 'X-Diderot-Input: ddro=synth:portrait:48' \
+       "http://127.0.0.1:$PORT/run" > "$WORK/run$I.json"
+  grep -q '"job"' "$WORK/run$I.json" || fail "submit #$I not accepted"
+done
+kill -TERM "$DPID"
+sleep 0.2 # the signal loop polls every 100 ms; let the drain flag flip
+# While draining, new work must be refused...
+DRAIN_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+             --data-binary @"$PROGRAM" "http://127.0.0.1:$PORT/run" || true)
+DRAIN_CODE=${DRAIN_CODE:-000}
+# ...(000 = the listener already closed: the queue drained before our probe).
+case "$DRAIN_CODE" in 503|000) ;; *) fail "submit during drain got $DRAIN_CODE, want 503";; esac
+wait "$DPID" && DRAIN_RC=0 || DRAIN_RC=$?
+DPID=""
+[ "$DRAIN_RC" = 0 ] || { cat "$WORK/daemon.log" >&2;
+                         fail "daemon exit $DRAIN_RC: drain budget exhausted"; }
+grep -q 'draining: refusing new work' "$WORK/daemon.log" ||
+  fail "daemon log has no draining record"
+grep -q 'drain budget exhausted' "$WORK/daemon.log" &&
+  fail "drain unexpectedly ran out of budget (queued jobs were cancelled)"
+echo "daemon_chaos: SIGTERM drained 8 in-flight jobs and exited 0"
+
+# ---------------------------------------------------------------------------
+# Scenario 3: artifact corrupted across a restart -> quarantine + recompile.
+# ---------------------------------------------------------------------------
+SO=$(ls "$CACHE"/ddr-*.so 2>/dev/null | head -1)
+[ -n "$SO" ] || fail "no cached artifact to corrupt"
+: > "$SO" # crash-style truncation to zero bytes
+start_daemon
+C5=$(post_compile)
+[ "$C5" = 200 ] || fail "compile against corrupted cache expected 200, got $C5 ($(cat "$WORK/body"))"
+metrics > "$WORK/metrics"
+grep -q '^diderot_daemon_cache_quarantined_total [1-9]' "$WORK/metrics" ||
+  fail "corrupt artifact was not quarantined"
+grep -q '^diderot_daemon_native_host_compiles_total [1-9]' "$WORK/metrics" ||
+  fail "corrupt artifact was not recompiled"
+ls "$CACHE/quarantine"/ddr-*.so.* >/dev/null 2>&1 ||
+  fail "quarantine directory holds no artifact"
+# And the recompiled artifact actually serves a correct run.
+RUN=$(curl -sS -X POST --data-binary @"$PROGRAM" \
+      -H 'X-Diderot-Input: ddro=synth:portrait:48' "http://127.0.0.1:$PORT/run")
+JOB=$(echo "$RUN" | sed -n 's/.*"job":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || fail "no job id after recompile"
+STATE=""
+for _ in $(seq 1 300); do
+  POLL=$(curl -sS "http://127.0.0.1:$PORT/jobs/$JOB")
+  STATE=$(echo "$POLL" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  if [ "$STATE" = done ] || [ "$STATE" = failed ]; then break; fi
+  sleep 0.1
+done
+[ "$STATE" = done ] || fail "post-recompile run did not finish (state: ${STATE:-none})"
+echo "$POLL" | grep -q '"outcome":"converged"' || fail "post-recompile run did not converge"
+echo "daemon_chaos: truncated artifact quarantined, recompiled, and served"
+stop_daemon
+
+echo "daemon_chaos: PASS"

@@ -258,3 +258,45 @@ TEST(FairScheduler, ManyThreadsSubmitConcurrently) {
   EXPECT_EQ(Ran.load(), 8 * 64);
   S.stop();
 }
+
+TEST(FairScheduler, WaitIdleForDrainsWithinBudget) {
+  FairScheduler S;
+  FairScheduler::Options O;
+  O.Workers = 2;
+  S.start(O);
+  std::atomic<int> Ran{0};
+  for (int J = 0; J < 8; ++J)
+    ASSERT_TRUE(S.submit("k", [&] { ++Ran; }).isOk());
+  EXPECT_TRUE(S.waitIdleFor(10000));
+  EXPECT_EQ(Ran.load(), 8);
+  S.stop();
+}
+
+TEST(FairScheduler, WaitIdleForTimesOutWhenAJobOutlivesTheBudget) {
+  FairScheduler S;
+  FairScheduler::Options O;
+  O.Workers = 1;
+  S.start(O);
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Release = false;
+  ASSERT_TRUE(S.submit("slow", [&] {
+                 std::unique_lock<std::mutex> L(Mu);
+                 Cv.wait(L, [&] { return Release; });
+               }).isOk());
+
+  // The job is parked on the gate: a short budget must time out (false),
+  // and a zero budget is a non-blocking check.
+  EXPECT_FALSE(S.waitIdleFor(50));
+  EXPECT_FALSE(S.waitIdleFor(0));
+
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    Release = true;
+  }
+  Cv.notify_all();
+  EXPECT_TRUE(S.waitIdleFor(10000));
+  EXPECT_TRUE(S.waitIdleFor(0)); // idle now: non-blocking check is true
+  S.stop();
+}

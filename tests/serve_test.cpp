@@ -144,7 +144,7 @@ std::string runAndWait(int Port, const std::string &Src,
   EXPECT_EQ(R.Code, 202) << R.Raw;
   std::string Id = jsonField(R.Body, "job");
   EXPECT_FALSE(Id.empty());
-  for (int Tries = 0; Tries < 600; ++Tries) {
+  for (int Tries = 0; Tries < 3000; ++Tries) {
     Reply J = httpDo(Port, "GET", "/jobs/" + Id);
     EXPECT_EQ(J.Code, 200);
     std::string State = jsonField(J.Body, "state");
@@ -520,6 +520,340 @@ TEST(DaemonNative, CacheDirHoldsContentAddressedArtifacts) {
   EXPECT_EQ(Index[0].CompilerId, codegen::hostCompilerId());
   EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(Cache) /
                                       ("ddr-" + Index[0].Key + ".so")));
+  D.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control: shed headers, graceful drain, queued-deadline expiry
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, ShedResponsesCarryRetryAfterAndQueueDepth) {
+  serve::DaemonOptions O = interpOptions(tempDir("shed-headers"));
+  O.QueueCapacity = 0; // every submit is shed with 429
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+  Reply R = httpDo(D.port(), "POST", "/run", ProgA);
+  EXPECT_EQ(R.Code, 429) << R.Raw;
+  EXPECT_NE(R.Raw.find("Retry-After:"), std::string::npos) << R.Raw;
+  EXPECT_NE(R.Raw.find("X-Diderot-Queue-Depth:"), std::string::npos) << R.Raw;
+  D.stop();
+}
+
+TEST(Daemon, DrainingRefusesNewWorkButKeepsGets) {
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(interpOptions(tempDir("drain-gate"))).isOk());
+  std::string Done = runAndWait(D.port(), ProgA);
+  std::string Id = jsonField(Done, "job");
+
+  EXPECT_FALSE(D.draining());
+  D.beginDrain();
+  D.beginDrain(); // idempotent
+  EXPECT_TRUE(D.draining());
+
+  // POSTs are shed with the full retry contract...
+  Reply R = httpDo(D.port(), "POST", "/run", ProgA);
+  EXPECT_EQ(R.Code, 503) << R.Raw;
+  EXPECT_NE(R.Raw.find("Retry-After:"), std::string::npos) << R.Raw;
+  EXPECT_EQ(httpDo(D.port(), "POST", "/compile", ProgA).Code, 503);
+
+  // ...while polls, health, and metrics keep answering so clients can
+  // collect results during the drain window.
+  EXPECT_EQ(httpDo(D.port(), "GET", "/jobs/" + Id).Code, 200);
+  Reply H = httpDo(D.port(), "GET", "/healthz");
+  EXPECT_EQ(H.Code, 200);
+  EXPECT_NE(H.Body.find("\"status\":\"draining\""), std::string::npos)
+      << H.Body;
+  Reply M = httpDo(D.port(), "GET", "/metrics");
+  EXPECT_EQ(M.Code, 200);
+  EXPECT_NE(M.Body.find("diderot_daemon_draining 1"), std::string::npos);
+
+  EXPECT_TRUE(D.drainAndStop()); // nothing queued: drains immediately
+}
+
+TEST(Daemon, DrainAndStopLetsRunningJobsFinish) {
+  serve::DaemonOptions O = interpOptions(tempDir("drain-finish"));
+  O.JobWorkers = 1;
+  O.DrainMs = 10000;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  // A job that spins until its 300 ms deadline: long enough that the drain
+  // below overlaps it, short enough that it finishes well inside DrainMs.
+  Reply R = httpDo(D.port(), "POST", "/run", ProgSpin,
+                   {{"X-Diderot-Steps", "100000000"},
+                    {"X-Diderot-Deadline-Ms", "300"}});
+  ASSERT_EQ(R.Code, 202) << R.Raw;
+
+  EXPECT_TRUE(D.drainAndStop());
+  serve::Daemon::Counters C = D.counters();
+  EXPECT_EQ(C.JobsDone, 1u);   // the running job finished, not cancelled
+  EXPECT_EQ(C.JobsFailed, 0u);
+  EXPECT_EQ(C.QueueDepth, 0);
+}
+
+TEST(Daemon, DrainBudgetExhaustedCancelsQueuedJobsNotRunningOnes) {
+  serve::DaemonOptions O = interpOptions(tempDir("drain-exhaust"));
+  O.JobWorkers = 1;
+  O.DrainMs = 50; // far less than the running job needs
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  // One job occupies the single worker for ~1 s; a second waits behind it.
+  ASSERT_EQ(httpDo(D.port(), "POST", "/run", ProgSpin,
+                   {{"X-Diderot-Steps", "100000000"},
+                    {"X-Diderot-Deadline-Ms", "1000"}})
+                .Code,
+            202);
+  ASSERT_EQ(httpDo(D.port(), "POST", "/run", ProgA).Code, 202);
+
+  EXPECT_FALSE(D.drainAndStop()); // the budget cannot cover the running job
+  serve::Daemon::Counters C = D.counters();
+  // The running job was allowed to finish; the queued one was resolved
+  // through the cancellation path — nothing is left parked in "queued".
+  EXPECT_EQ(C.JobsDone, 1u);
+  EXPECT_EQ(C.JobsFailed, 1u);
+  EXPECT_EQ(C.QueueDepth, 0);
+  EXPECT_EQ(C.JobsInFlight, 0);
+}
+
+TEST(Daemon, DeadlineSpentInQueueFailsFastBeforeRunning) {
+  serve::DaemonOptions O = interpOptions(tempDir("queued-deadline"));
+  O.JobWorkers = 1;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  // Occupy the only worker for ~400 ms...
+  ASSERT_EQ(httpDo(D.port(), "POST", "/run", ProgSpin,
+                   {{"X-Diderot-Steps", "100000000"},
+                    {"X-Diderot-Deadline-Ms", "400"}})
+                .Code,
+            202);
+  // ...then queue a job whose whole 50 ms deadline will elapse while it
+  // waits. It must fail fast at dequeue — before instantiate — with a
+  // typed DeadlineExceeded error, not run with a budget it no longer has.
+  std::string Job = runAndWait(D.port(), ProgA,
+                               {{"X-Diderot-Deadline-Ms", "50"}});
+  EXPECT_EQ(jsonField(Job, "state"), "failed") << Job;
+  EXPECT_NE(jsonField(Job, "error").find("DeadlineExceeded"),
+            std::string::npos)
+      << Job;
+  EXPECT_NE(jsonField(Job, "error").find("while queued"), std::string::npos);
+  EXPECT_EQ(D.counters().DeadlineExpired, 1u);
+  D.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Compile circuit breaker (interp engine: deterministic frontend errors)
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, BreakerOpensAfterRepeatedCompileFailures) {
+  serve::DaemonOptions O = interpOptions(tempDir("breaker-open"));
+  O.BreakerThreshold = 2;
+  O.BreakerOpenMs = 60000; // long: this test never waits out the cooldown
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  const char *Broken = "strand S (int i) { this does not parse }";
+  // The first two failures are real compile attempts answered 400...
+  EXPECT_EQ(httpDo(D.port(), "POST", "/run", Broken).Code, 400);
+  EXPECT_EQ(httpDo(D.port(), "POST", "/run", Broken).Code, 400);
+  // ...the third is denied by the now-open breaker without compiling.
+  Reply R = httpDo(D.port(), "POST", "/run", Broken);
+  EXPECT_EQ(R.Code, 503) << R.Raw;
+  EXPECT_NE(R.Raw.find("Retry-After:"), std::string::npos) << R.Raw;
+  EXPECT_NE(R.Body.find("breaker"), std::string::npos) << R.Body;
+  // /compile for the same program is covered by the same breaker.
+  EXPECT_EQ(httpDo(D.port(), "POST", "/compile", Broken).Code, 503);
+
+  serve::Daemon::Counters C = D.counters();
+  EXPECT_EQ(C.BreakerTrips, 1u);
+  EXPECT_EQ(C.BreakerDenied, 2u);
+  EXPECT_EQ(C.BreakerOpen, 1);
+
+  // A healthy program is not affected — breakers are per key.
+  EXPECT_EQ(jsonField(runAndWait(D.port(), ProgA), "state"), "done");
+
+  Reply H = httpDo(D.port(), "GET", "/healthz");
+  EXPECT_NE(H.Body.find("\"breakerOpen\":1"), std::string::npos) << H.Body;
+  Reply M = httpDo(D.port(), "GET", "/metrics");
+  EXPECT_NE(M.Body.find("diderot_daemon_compile_breaker_state"),
+            std::string::npos);
+  EXPECT_NE(M.Body.find("diderot_daemon_breaker_trips_total 1"),
+            std::string::npos);
+  D.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Native engine: supervised compiles, timeout containment, recovery, LRU
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Install an executable fake-compiler script and point DIDEROT_CXX at it.
+std::string plantFakeCxx(const std::string &Dir, const std::string &Body) {
+  std::string Path = Dir + "/fake-cxx.sh";
+  {
+    std::ofstream Out(Path);
+    Out << "#!/bin/sh\n" << Body;
+  }
+  std::filesystem::permissions(Path,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::others_read);
+  return Path;
+}
+
+} // namespace
+
+TEST(DaemonNative, HungCompilerIsKilledAtTheTimeoutAndTheWorkerSurvives) {
+  std::string Cache = tempDir("hung-cxx");
+  const char *Warm = R"(
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 7.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+  // Pre-warm one program's artifact under the default (generous) compile
+  // timeout, so the recovery phase below never needs a real host compile —
+  // under a loaded ctest run a second real compile could itself outlast
+  // the tight 10 s budget we are about to configure.
+  {
+    serve::DaemonOptions O;
+    O.Compile.Eng = Engine::Native;
+    O.Compile.WorkDir = Cache;
+    serve::Daemon D;
+    ASSERT_TRUE(D.start(O).isOk());
+    Reply R = httpDo(D.port(), "POST", "/compile", Warm);
+    ASSERT_EQ(R.Code, 200) << R.Raw;
+    D.stop();
+  }
+
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Native;
+  O.Compile.WorkDir = Cache;
+  O.Compile.HostCompileTimeoutMs = 10000;
+  O.Compile.HostCompileRetries = 0;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  // A compiler that wedges (and spawns a child of its own, so only a
+  // process-group kill can clean it up). The hung program is distinct from
+  // the warm one, so it misses the cache and must invoke the compiler.
+  ::setenv("DIDEROT_CXX", plantFakeCxx(Cache, "sleep 600 &\nwait\n").c_str(),
+           1);
+  const char *Hung = R"(
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 19.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+  uint64_t TimeoutsBefore = codegen::nativeCacheStats().CompileTimeouts;
+  auto T0 = std::chrono::steady_clock::now();
+  // POST /compile builds the .so synchronously, so the timeout surfaces in
+  // the response itself.
+  Reply R = httpDo(D.port(), "POST", "/compile", Hung);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  // The compile was killed at its 10 s budget — not after sleep(600).
+  EXPECT_EQ(R.Code, 400) << R.Raw;
+  EXPECT_NE(R.Body.find("timed out"), std::string::npos) << R.Body;
+  EXPECT_GE(ElapsedMs, 10000);
+  EXPECT_LT(ElapsedMs, 60000);
+  EXPECT_EQ(codegen::nativeCacheStats().CompileTimeouts, TimeoutsBefore + 1);
+  ::unsetenv("DIDEROT_CXX");
+
+  // The worker is reusable: the same daemon serves the pre-warmed program
+  // to completion (a disk hit — no host compile involved).
+  std::string Job = runAndWait(D.port(), Warm);
+  EXPECT_EQ(jsonField(Job, "state"), "done") << Job;
+
+  Reply M = httpDo(D.port(), "GET", "/metrics");
+  EXPECT_NE(M.Body.find("diderot_daemon_compile_timeouts_total"),
+            std::string::npos);
+  D.stop();
+}
+
+TEST(DaemonNative, BreakerClosesAfterAHalfOpenProbeSucceeds) {
+  std::string Cache = tempDir("breaker-probe");
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Native;
+  O.Compile.WorkDir = Cache;
+  O.BreakerThreshold = 1;
+  O.BreakerOpenMs = 300;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  const char *Prog = R"(
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 11.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+  // Poisoned compiler: the first attempt fails and (threshold 1) trips the
+  // breaker; the second is denied fast without touching the compiler.
+  // (/compile builds the .so synchronously — the failure is in-band.)
+  ::setenv("DIDEROT_CXX", "/nonexistent/poisoned-cxx", 1);
+  uint64_t CompilesBefore = codegen::nativeCacheStats().HostCompiles;
+  EXPECT_EQ(httpDo(D.port(), "POST", "/compile", Prog).Code, 400);
+  EXPECT_EQ(httpDo(D.port(), "POST", "/compile", Prog).Code, 503);
+  EXPECT_EQ(codegen::nativeCacheStats().HostCompiles, CompilesBefore + 1)
+      << "the denied request must not consume a compile attempt";
+  EXPECT_EQ(D.counters().BreakerOpen, 1);
+
+  // Heal the compiler, wait out the cooldown: the next request is the
+  // single half-open probe, succeeds, and closes the breaker.
+  ::unsetenv("DIDEROT_CXX");
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  std::string Job = runAndWait(D.port(), Prog);
+  EXPECT_EQ(jsonField(Job, "state"), "done") << Job;
+  serve::Daemon::Counters C = D.counters();
+  EXPECT_EQ(C.BreakerOpen, 0);
+  EXPECT_EQ(C.BreakerTrips, 1u);
+  D.stop();
+}
+
+TEST(DaemonNative, LruCapEvictsTheColdestArtifact) {
+  std::string Cache = tempDir("lru-cap");
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Native;
+  O.Compile.WorkDir = Cache;
+  O.Compile.CacheMaxBytes = 1; // every compile evicts everything unprotected
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  const char *ProgOld = R"(
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 13.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+  const char *ProgNew = R"(
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 17.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+  uint64_t EvictedBefore = codegen::nativeCacheStats().Evicted;
+  ASSERT_EQ(httpDo(D.port(), "POST", "/compile", ProgOld).Code, 200);
+  // The just-installed artifact is protected from its own enforcement pass.
+  auto CountSo = [&] {
+    int N = 0;
+    for (const auto &E : std::filesystem::directory_iterator(Cache))
+      if (E.path().extension() == ".so")
+        ++N;
+    return N;
+  };
+  EXPECT_EQ(CountSo(), 1);
+  ASSERT_EQ(httpDo(D.port(), "POST", "/compile", ProgNew).Code, 200);
+  // The second compile's enforcement evicted the first (cold, unprotected).
+  EXPECT_EQ(CountSo(), 1);
+  EXPECT_GT(codegen::nativeCacheStats().Evicted, EvictedBefore);
   D.stop();
 }
 

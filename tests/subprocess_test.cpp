@@ -1,0 +1,133 @@
+//===--- tests/subprocess_test.cpp - supervised child-process execution ------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+// The failure-containment contract of support/subprocess.h: a hung child is
+// killed at the wall-clock budget (whole process group, so grandchildren
+// die too), diagnostics are captured and bounded, exec failures and signal
+// deaths are classified, and only signal deaths retry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/subprocess.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace diderot::support {
+namespace {
+
+SubprocessCommand sh(const std::string &Script) {
+  SubprocessCommand C;
+  C.Argv = {"/bin/sh", "-c", Script};
+  return C;
+}
+
+TEST(Subprocess, CapturesCombinedOutputAndExitCode) {
+  auto R = runSupervised(sh("echo out; echo err 1>&2; exit 0"));
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_TRUE(R->succeeded());
+  EXPECT_EQ(R->ExitCode, 0);
+  EXPECT_FALSE(R->TimedOut);
+  EXPECT_EQ(R->TermSignal, 0);
+  EXPECT_NE(R->Output.find("out"), std::string::npos);
+  EXPECT_NE(R->Output.find("err"), std::string::npos);
+  EXPECT_EQ(R->Attempts, 1);
+  EXPECT_GT(R->WallNs, 0u);
+}
+
+TEST(Subprocess, NonzeroExitIsDeterministicAndNeverRetried) {
+  SubprocessCommand C = sh("exit 3");
+  C.MaxRetries = 5;
+  C.BackoffMs = 1;
+  auto R = runSupervised(C);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_FALSE(R->succeeded());
+  EXPECT_EQ(R->ExitCode, 3);
+  EXPECT_EQ(R->Attempts, 1) << "compile errors must not retry";
+}
+
+TEST(Subprocess, ExecFailureReportsExit127) {
+  SubprocessCommand C;
+  C.Argv = {"/nonexistent/diderot-no-such-binary"};
+  auto R = runSupervised(C);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_EQ(R->ExitCode, 127);
+}
+
+TEST(Subprocess, EmptyArgvIsASupervisorError) {
+  SubprocessCommand C;
+  EXPECT_FALSE(runSupervised(C).isOk());
+  C.Argv = {""};
+  EXPECT_FALSE(runSupervised(C).isOk());
+}
+
+TEST(Subprocess, HungChildIsKilledAtTheTimeout) {
+  SubprocessCommand C = sh("echo started; sleep 600");
+  C.TimeoutMs = 300;
+  auto T0 = std::chrono::steady_clock::now();
+  auto R = runSupervised(C);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_TRUE(R->TimedOut);
+  EXPECT_FALSE(R->succeeded());
+  // Output emitted before the hang is still delivered.
+  EXPECT_NE(R->Output.find("started"), std::string::npos);
+  // Returned promptly — the worker is reusable, not wedged for 600s.
+  EXPECT_LT(ElapsedMs, 10000);
+  EXPECT_EQ(R->Attempts, 1) << "timeouts must not retry";
+}
+
+TEST(Subprocess, TimeoutKillsTheWholeProcessGroup) {
+  // The shell exits immediately but leaves a backgrounded grandchild
+  // holding the pipe's write end; without the group kill the supervisor
+  // would block on EOF for 600 seconds.
+  SubprocessCommand C = sh("sleep 600 & wait");
+  C.TimeoutMs = 300;
+  auto T0 = std::chrono::steady_clock::now();
+  auto R = runSupervised(C);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_TRUE(R->TimedOut);
+  EXPECT_LT(ElapsedMs, 10000);
+}
+
+TEST(Subprocess, SignalDeathRetriesWithBackoff) {
+  SubprocessCommand C = sh("kill -KILL $$");
+  C.MaxRetries = 2;
+  C.BackoffMs = 1;
+  auto R = runSupervised(C);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_EQ(R->TermSignal, SIGKILL);
+  EXPECT_FALSE(R->succeeded());
+  EXPECT_EQ(R->Attempts, 3) << "signal deaths are the transient class";
+}
+
+TEST(Subprocess, OutputIsCappedWithoutWedgingTheChild) {
+  // ~4 MiB of output against the 1 MiB capture cap: excess must be read
+  // and discarded (a full pipe would block the child forever).
+  SubprocessCommand C =
+      sh("i=0; while [ $i -lt 4096 ]; do printf '%1024d' $i; i=$((i+1)); done");
+  C.TimeoutMs = 60000;
+  auto R = runSupervised(C);
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_TRUE(R->succeeded()) << R->ExitCode;
+  EXPECT_LE(R->Output.size(), SubprocessMaxCapture);
+  EXPECT_GE(R->Output.size(), SubprocessMaxCapture / 2);
+}
+
+TEST(Subprocess, SplitCommandWords) {
+  EXPECT_TRUE(splitCommandWords("").empty());
+  EXPECT_TRUE(splitCommandWords("   \t ").empty());
+  EXPECT_EQ(splitCommandWords("-O3"), (std::vector<std::string>{"-O3"}));
+  EXPECT_EQ(splitCommandWords(" -O3  -ffast-math\tg++ "),
+            (std::vector<std::string>{"-O3", "-ffast-math", "g++"}));
+}
+
+} // namespace
+} // namespace diderot::support
