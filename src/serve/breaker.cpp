@@ -49,6 +49,7 @@ CompileBreaker::Decision CompileBreaker::admit(const std::string &Key) {
       // Cooldown over: this caller becomes the single half-open probe.
       R.St = State::HalfOpen;
       R.ProbeInFlight = true;
+      R.ProbeAtNs = Now;
       D.St = State::HalfOpen;
       return D;
     }
@@ -60,11 +61,17 @@ CompileBreaker::Decision CompileBreaker::admit(const std::string &Key) {
     ++FastFails;
     return D;
   }
-  case State::HalfOpen:
-    if (!R.ProbeInFlight) {
-      // The previous probe vanished without reporting (its worker died on
-      // an unrelated error path); let the next caller probe.
+  case State::HalfOpen: {
+    uint64_t Now = now();
+    uint64_t OpenNs = static_cast<uint64_t>(Opts.OpenMs) * 1000000ull;
+    if (!R.ProbeInFlight ||
+        (R.ProbeInFlight && Now - R.ProbeAtNs >= OpenNs)) {
+      // No probe in flight (the previous one abandoned its slot via
+      // abandonProbe), or the in-flight probe is older than a full
+      // cooldown — its holder is gone without reporting. Either way this
+      // caller takes over as the probe.
       R.ProbeInFlight = true;
+      R.ProbeAtNs = Now;
       D.St = State::HalfOpen;
       return D;
     }
@@ -73,6 +80,7 @@ CompileBreaker::Decision CompileBreaker::admit(const std::string &Key) {
     D.RetryAfterMs = Opts.OpenMs > 0 ? Opts.OpenMs : 1;
     ++FastFails;
     return D;
+  }
   }
   return D;
 }
@@ -84,16 +92,57 @@ void CompileBreaker::recordSuccess(const std::string &Key) {
   Keys.erase(Key); // closed and forgotten — tracking stays bounded
 }
 
+/// Mu held. The map is at the cap and a new key wants in: first drop
+/// Closed entries whose last failure is at least OpenMs old (their streak
+/// is stale anyway), then the coldest remaining Closed entry. Open and
+/// half-open entries are never evicted — they are the safety state the
+/// breaker exists for, and each one cost FailureThreshold failures to
+/// create, so they bound themselves at MaxTracked.
+bool CompileBreaker::evictForInsert(uint64_t Now) {
+  uint64_t OpenNs = static_cast<uint64_t>(Opts.OpenMs) * 1000000ull;
+  size_t Cap = static_cast<size_t>(Opts.MaxTracked);
+  for (auto It = Keys.begin(); It != Keys.end() && Keys.size() >= Cap;)
+    if (It->second.St == State::Closed && Now - It->second.LastFailNs >= OpenNs)
+      It = Keys.erase(It);
+    else
+      ++It;
+  if (Keys.size() < Cap)
+    return true;
+  auto Coldest = Keys.end();
+  for (auto It = Keys.begin(); It != Keys.end(); ++It)
+    if (It->second.St == State::Closed &&
+        (Coldest == Keys.end() ||
+         It->second.LastFailNs < Coldest->second.LastFailNs))
+      Coldest = It;
+  if (Coldest == Keys.end())
+    return false;
+  Keys.erase(Coldest);
+  return true;
+}
+
 void CompileBreaker::recordFailure(const std::string &Key) {
   if (Opts.FailureThreshold <= 0)
     return;
   std::lock_guard<std::mutex> G(Mu);
-  Rec &R = Keys[Key];
+  uint64_t Now = now();
+  auto It = Keys.find(Key);
+  if (It == Keys.end()) {
+    // New key: keep the map at the cap. If every slot holds an open
+    // breaker (nothing evictable), skip tracking this one failure rather
+    // than grow without bound — the next failure retries the insert.
+    if (Opts.MaxTracked > 0 &&
+        Keys.size() >= static_cast<size_t>(Opts.MaxTracked) &&
+        !evictForInsert(Now))
+      return;
+    It = Keys.emplace(Key, Rec{}).first;
+  }
+  Rec &R = It->second;
+  R.LastFailNs = Now;
   switch (R.St) {
   case State::HalfOpen:
     // The probe failed: back to Open, restart the cooldown.
     R.St = State::Open;
-    R.OpenedAtNs = now();
+    R.OpenedAtNs = Now;
     R.ProbeInFlight = false;
     R.Consecutive = 0;
     ++Trips;
@@ -101,7 +150,7 @@ void CompileBreaker::recordFailure(const std::string &Key) {
   case State::Closed:
     if (++R.Consecutive >= Opts.FailureThreshold) {
       R.St = State::Open;
-      R.OpenedAtNs = now();
+      R.OpenedAtNs = Now;
       R.Consecutive = 0;
       ++Trips;
     }
@@ -110,6 +159,20 @@ void CompileBreaker::recordFailure(const std::string &Key) {
     // A failure from a request admitted before the trip; already open.
     break;
   }
+}
+
+void CompileBreaker::abandonProbe(const std::string &Key) {
+  if (Opts.FailureThreshold <= 0)
+    return;
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Keys.find(Key);
+  if (It == Keys.end())
+    return;
+  Rec &R = It->second;
+  // Only a half-open probe holds state worth releasing; a Closed or Open
+  // entry saw no verdict, so there is nothing to unwind.
+  if (R.St == State::HalfOpen)
+    R.ProbeInFlight = false;
 }
 
 CompileBreaker::State CompileBreaker::state(const std::string &Key) const {
@@ -134,6 +197,11 @@ int CompileBreaker::numOpen() const {
     if (R.St != State::Closed)
       ++N;
   return N;
+}
+
+size_t CompileBreaker::numTracked() const {
+  std::lock_guard<std::mutex> G(Mu);
+  return Keys.size();
 }
 
 uint64_t CompileBreaker::trips() const {

@@ -24,10 +24,22 @@
 ///             restarts the cooldown). Other requests keep failing fast
 ///             while the probe is in flight.
 ///
+/// An admitted request owes the breaker exactly one of three outcomes:
+/// recordSuccess, recordFailure, or abandonProbe (no compile verdict —
+/// the request bailed before reaching the compiler: bad headers, queue
+/// full, drained, deadline already spent). The Token RAII guard makes
+/// the abandon automatic on any exit path that forgets to report; as a
+/// second line of defense, a half-open probe older than OpenMs is
+/// considered lost and the next admit() takes it over.
+///
 /// The clock is injectable (Options::NowNs) so state transitions are
 /// deterministic under test; the default reads tracing::steadyClock().
 /// Thread-safe; one mutex — admission happens once per HTTP request, far
-/// off any per-strand path.
+/// off any per-strand path. Tracking is bounded: successful keys are
+/// forgotten immediately, and the map is capped at MaxTracked entries —
+/// at the cap, Closed entries idle for OpenMs (then the coldest Closed
+/// entry) are evicted before a new key is tracked, so a stream of unique
+/// failing programs cannot grow it without bound.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +65,9 @@ public:
     int FailureThreshold = 3;
     /// Cooldown after opening before one half-open probe is admitted.
     int64_t OpenMs = 10000;
+    /// Hard cap on tracked keys (see the class comment). <= 0 means
+    /// unbounded (tests only).
+    int MaxTracked = 4096;
     /// Injectable monotonic clock (nanoseconds). Null = steady clock.
     std::function<uint64_t()> NowNs;
   };
@@ -81,11 +96,69 @@ public:
   /// threshold.
   void recordFailure(const std::string &Key);
 
+  /// The admitted request exited without a compile verdict (malformed
+  /// request, queue full, drain cancellation, deadline spent in queue).
+  /// Releases the half-open probe slot so the next caller can probe;
+  /// a no-op for keys in any other state.
+  void abandonProbe(const std::string &Key);
+
+  /// Move-only guard tying one admitted request to exactly one breaker
+  /// outcome. Construct it right after a successful admit(); call
+  /// success() or failure() when the compile verdict is known. Any other
+  /// exit — including ones added later — abandons the probe in the
+  /// destructor, so a half-open breaker can never jam on a probe that
+  /// returned early without reporting.
+  class Token {
+  public:
+    Token() = default;
+    Token(CompileBreaker &Breaker, std::string K)
+        : B(&Breaker), Key(std::move(K)) {}
+    Token(const Token &) = delete;
+    Token &operator=(const Token &) = delete;
+    Token(Token &&O) noexcept : B(O.B), Key(std::move(O.Key)) {
+      O.B = nullptr;
+    }
+    Token &operator=(Token &&O) noexcept {
+      if (this != &O) {
+        abandon();
+        B = O.B;
+        Key = std::move(O.Key);
+        O.B = nullptr;
+      }
+      return *this;
+    }
+    ~Token() { abandon(); }
+
+    void success() {
+      if (CompileBreaker *T = disarm())
+        T->recordSuccess(Key);
+    }
+    void failure() {
+      if (CompileBreaker *T = disarm())
+        T->recordFailure(Key);
+    }
+    void abandon() {
+      if (CompileBreaker *T = disarm())
+        T->abandonProbe(Key);
+    }
+    bool armed() const { return B != nullptr; }
+
+  private:
+    CompileBreaker *disarm() {
+      CompileBreaker *T = B;
+      B = nullptr;
+      return T;
+    }
+    CompileBreaker *B = nullptr;
+    std::string Key;
+  };
+
   State state(const std::string &Key) const;
   /// Keys whose breaker is not Closed right now (for /metrics labels;
   /// bounded — closed keys are dropped from tracking).
   std::vector<std::pair<std::string, State>> tracked() const;
-  int numOpen() const; ///< keys in Open or HalfOpen
+  int numOpen() const;      ///< keys in Open or HalfOpen
+  size_t numTracked() const; ///< all tracked keys, any state
 
   uint64_t trips() const;     ///< transitions into Open (incl. re-opens)
   uint64_t fastFails() const; ///< admissions denied
@@ -95,11 +168,17 @@ public:
 private:
   struct Rec {
     State St = State::Closed;
-    int Consecutive = 0;     ///< consecutive failures while Closed
-    uint64_t OpenedAtNs = 0; ///< when the breaker last opened
+    int Consecutive = 0;      ///< consecutive failures while Closed
+    uint64_t OpenedAtNs = 0;  ///< when the breaker last opened
+    uint64_t LastFailNs = 0;  ///< last recordFailure (cap eviction order)
+    uint64_t ProbeAtNs = 0;   ///< when the in-flight probe was admitted
     bool ProbeInFlight = false;
   };
   uint64_t now() const;
+  /// Mu held. Make room for one more entry when the map is at the cap:
+  /// sweep Closed entries idle for OpenMs, then the coldest Closed entry.
+  /// Returns false when every entry is Open/HalfOpen and nothing can go.
+  bool evictForInsert(uint64_t Now);
 
   Options Opts;
   mutable std::mutex Mu;

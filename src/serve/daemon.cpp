@@ -134,6 +134,10 @@ struct JobRec {
   JobState State = JobState::Queued;
   std::string Error;   ///< non-empty iff Failed
   std::string Outcome; ///< runOutcomeName once finished
+  /// The breaker outcome this job owes. Resolved in runJob (success or
+  /// failure at instantiate) or abandoned when the job never reaches the
+  /// compiler (deadline spent in queue, drain cancellation).
+  CompileBreaker::Token BreakerTok;
   int Steps = 0;
   uint64_t WallNs = 0;
   size_t Strands = 0, Stable = 0, Dead = 0, Faulted = 0;
@@ -152,6 +156,10 @@ struct JobRec {
 struct Daemon::Impl {
   DaemonOptions Opts;
   std::unique_ptr<ProgramRegistry> Registry;
+  /// Per-program compile circuit breaker (constructed at start(), when the
+  /// thresholds are known). Declared before the job table: JobRec holds a
+  /// breaker token, so Jobs must be destroyed while the breaker is alive.
+  std::unique_ptr<CompileBreaker> Breaker;
   FairScheduler Sched;
   http::Server Http;
 
@@ -165,9 +173,6 @@ struct Daemon::Impl {
   std::atomic<uint64_t> DeadlineExpired{0};
   LatencyHisto CompileHisto, RunHisto;
 
-  /// Per-program compile circuit breaker (constructed at start(), when the
-  /// thresholds are known).
-  std::unique_ptr<CompileBreaker> Breaker;
   /// Draining: POSTs are refused with 503 + Retry-After while queued and
   /// running jobs finish; GETs keep working so pollers can collect results.
   std::atomic<bool> Draining{false};
@@ -263,12 +268,17 @@ http::Response Daemon::Impl::shedResponse(int Code, const std::string &Body,
 
 http::Response Daemon::Impl::handle(const http::Request &Req) {
   HttpRequests.fetch_add(1, std::memory_order_relaxed);
+  // Retry-After for drain shedding: when the drain window closes the
+  // process exits, so pointing clients at exactly DrainMs invites a retry
+  // against a dead socket. Pad with enough slack for a restart (or for a
+  // load balancer to have moved on).
+  const int64_t DrainRetryMs = Opts.DrainMs + 5000;
   if (Req.Path == "/compile") {
     if (Req.Method != "POST")
       return textResponse(405, "POST only\n");
     if (Draining.load(std::memory_order_relaxed))
       return shedResponse(503, "draining: not accepting new work\n",
-                          Opts.DrainMs);
+                          DrainRetryMs);
     return handleCompile(Req);
   }
   if (Req.Path == "/run") {
@@ -276,7 +286,7 @@ http::Response Daemon::Impl::handle(const http::Request &Req) {
       return textResponse(405, "POST only\n");
     if (Draining.load(std::memory_order_relaxed))
       return shedResponse(503, "draining: not accepting new work\n",
-                          Opts.DrainMs);
+                          DrainRetryMs);
     return handleRun(Req);
   }
   if (startsWith(Req.Path, "/jobs/")) {
@@ -329,11 +339,15 @@ http::Response Daemon::Impl::handleCompile(const http::Request &Req) {
                      D.RetryAfterMs),
         TraceHex);
   }
+  // The admission above must be balanced by exactly one outcome; the
+  // token's destructor abandons the half-open probe slot on any exit path
+  // that returns before a compile verdict exists.
+  CompileBreaker::Token BTok(*Breaker, BKey);
   tracing::Clock &Clk = tracing::steadyClock();
   uint64_t T0 = Clk.nowNs();
   Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
   if (!L.isOk()) {
-    Breaker->recordFailure(BKey);
+    BTok.failure();
     lg::warn("compile failed", {lg::strField("program", Name),
                                 lg::strField("trace", TraceHex),
                                 lg::strField("error", L.message())});
@@ -348,11 +362,11 @@ http::Response Daemon::Impl::handleCompile(const http::Request &Req) {
     // artifact has since been corrupted): a hit must not mask that.
     Result<std::unique_ptr<rt::ProgramInstance>> Inst = L->Prog->instantiate();
     if (!Inst.isOk()) {
-      Breaker->recordFailure(BKey);
+      BTok.failure();
       return withTrace(textResponse(400, Inst.message() + "\n"), TraceHex);
     }
   }
-  Breaker->recordSuccess(BKey);
+  BTok.success();
   uint64_t Ns = Clk.nowNs() - T0;
   if (!L->Cached)
     CompileHisto.record(Ns, TraceHex);
@@ -397,11 +411,17 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
                      D.RetryAfterMs),
         TraceHex);
   }
+  // Every return below must resolve this admission. Compile verdicts call
+  // failure()/success(); the 400s for malformed inputs/limit headers and
+  // the 429 queue-full shed return with the token still armed, and its
+  // destructor releases the half-open probe slot — without this, a probe
+  // that exited early would jam the breaker shut for the key forever.
+  CompileBreaker::Token BTok(*Breaker, BKey);
   uint64_t CompileBeginNs = Clk.nowNs();
   Result<ProgramRegistry::Lookup> L = Registry->getOrCompile(Req.Body, Name);
   uint64_t CompileEndNs = Clk.nowNs();
   if (!L.isOk()) {
-    Breaker->recordFailure(BKey);
+    BTok.failure();
     lg::warn("run rejected: compile failed",
              {lg::strField("program", Name), lg::strField("trace", TraceHex),
               lg::strField("error", L.message())});
@@ -459,6 +479,10 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
   auto Job = std::make_shared<JobRec>();
   Job->Program = Name;
   Job->Key = L->Key;
+  // The breaker outcome now rides with the job: the worker resolves it at
+  // instantiate (runJob), and every path that kills the job before then
+  // abandons it.
+  Job->BreakerTok = std::move(BTok);
   Job->Ctx = Ctx;
   Job->AcceptNs = AcceptNs;
   Job->CompileNs = CompileEndNs - CompileBeginNs;
@@ -503,6 +527,9 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
       [this, Job] { cancelQueuedJob(Job); });
   if (!S.isOk()) {
     JobsRejected.fetch_add(1, std::memory_order_relaxed);
+    // No compile verdict: queue-full shedding must not count against the
+    // program, and must hand back the half-open probe slot if it held it.
+    Job->BreakerTok.abandon();
     {
       std::lock_guard<std::mutex> G(JobsMu);
       Jobs.erase(Job->Id);
@@ -559,6 +586,10 @@ void Daemon::Impl::runJob(
 
   auto Fail = [&](const std::string &Msg) {
     uint64_t EndNs = Clk.nowNs();
+    // A failure before the instantiate verdict (deadline spent in queue)
+    // carries no information about the compiler: release the breaker
+    // admission instead of leaking it. No-op once resolved.
+    Job->BreakerTok.abandon();
     {
       std::lock_guard<std::mutex> G(JobsMu);
       Job->State = JobState::Failed;
@@ -594,10 +625,10 @@ void Daemon::Impl::runJob(
   if (!Inst.isOk()) {
     // Instantiate is where a native program meets the host compiler; its
     // failure (including a supervised-compile timeout) feeds the breaker.
-    Breaker->recordFailure(Job->Key);
+    Job->BreakerTok.failure();
     return Fail(Inst.message());
   }
-  Breaker->recordSuccess(Job->Key);
+  Job->BreakerTok.success();
   rt::ProgramInstance &P = **Inst;
   for (const auto &[IName, IValue] : Inputs) {
     Status S = setInputFromText(P, IName, IValue);
@@ -695,6 +726,10 @@ void Daemon::Impl::runJob(
 /// workers joined): mark them failed so pollers get a terminal state.
 void Daemon::Impl::cancelQueuedJob(const std::shared_ptr<JobRec> &Job) {
   uint64_t EndNs = tracing::steadyClock().nowNs();
+  // The job never reached the compiler; give its breaker admission back
+  // (the record outlives this call in the finished-jobs table, so waiting
+  // for the destructor would leak the probe slot until pruning).
+  Job->BreakerTok.abandon();
   {
     std::lock_guard<std::mutex> G(JobsMu);
     Job->State = JobState::Failed;

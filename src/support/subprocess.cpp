@@ -108,21 +108,40 @@ Result<SubprocessResult> runOnce(const SubprocessCommand &C) {
   auto DeadlineAt =
       C.TimeoutMs > 0 ? T0 + std::chrono::milliseconds(C.TimeoutMs)
                       : std::chrono::steady_clock::time_point::max();
+  // After the timeout SIGKILL the drain itself gets a bounded grace: EOF
+  // needs every holder of the write end to exit, and a grandchild that
+  // left the process group (setsid in a daemonizing build tool) survives
+  // the group kill with the fd — waiting for its EOF unconditionally
+  // would hang the supervisor despite the wall-clock budget.
+  constexpr int64_t KillGraceMs = 500;
   bool Killed = false;
   bool PipeOpen = true;
+  auto KillGraceAt = std::chrono::steady_clock::time_point::max();
   char Buf[16384];
   // Supervise: drain the pipe until EOF (the child and every inheritor of
   // the write end exited) while watching the deadline.
   while (PipeOpen) {
     int WaitMs = -1;
-    if (!Killed && C.TimeoutMs > 0) {
+    if (Killed) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      KillGraceAt - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0)
+        break; // grace over: give up on EOF, reap with what we have
+      WaitMs = static_cast<int>(Left > 100 ? 100 : Left);
+    } else if (C.TimeoutMs > 0) {
       auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
                       DeadlineAt - std::chrono::steady_clock::now())
                       .count();
       if (Left <= 0) {
         ::kill(-Pid, SIGKILL);
+        // Also by pid: if the child moved itself to another group the
+        // group kill misses it and the blocking waitpid below would hang.
+        ::kill(Pid, SIGKILL);
         Killed = true;
         R.TimedOut = true;
+        KillGraceAt = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(KillGraceMs);
         continue; // keep draining whatever the dead group buffered
       }
       WaitMs = static_cast<int>(Left > 1000 ? 1000 : Left);

@@ -11,6 +11,9 @@
 
 #include "serve/breaker.h"
 
+#include <string>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace diderot::serve {
@@ -128,6 +131,125 @@ TEST(Breaker, ProbeFailureReopensAndRestartsTheCooldown) {
   // And after the full cooldown a fresh probe gets through.
   R.advanceMs(50);
   EXPECT_TRUE(R.B.admit(K).Allow);
+}
+
+TEST(Breaker, AbandonedProbeReleasesTheSlotForTheNextCaller) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(100);
+  ASSERT_TRUE(R.B.admit(K).Allow); // probe admitted...
+  R.B.abandonProbe(K);             // ...but bailed with no compile verdict
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::HalfOpen);
+
+  // The slot is free again immediately: the next caller becomes the probe
+  // (before the fix this denied 503 forever).
+  CompileBreaker::Decision D = R.B.admit(K);
+  EXPECT_TRUE(D.Allow);
+  EXPECT_EQ(D.St, CompileBreaker::State::HalfOpen);
+  R.B.recordSuccess(K);
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+}
+
+TEST(Breaker, AbandonProbeIsANoOpOutsideHalfOpen) {
+  Rig R(/*Threshold=*/2, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.abandonProbe(K); // untracked: nothing to do
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+  R.B.recordFailure(K);
+  R.B.abandonProbe(K); // Closed: the streak must survive
+  R.B.recordFailure(K);
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Open);
+  R.B.abandonProbe(K); // Open: stays open, cooldown untouched
+  EXPECT_FALSE(R.B.admit(K).Allow);
+}
+
+TEST(Breaker, StaleProbeIsTakenOverAfterAFullCooldown) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(100);
+  ASSERT_TRUE(R.B.admit(K).Allow); // probe admitted, holder dies silently
+
+  R.advanceMs(50); // probe only 50 ms old: still protected
+  EXPECT_FALSE(R.B.admit(K).Allow);
+
+  // A probe older than OpenMs is presumed lost; the next caller takes it
+  // over rather than denying the key forever.
+  R.advanceMs(50);
+  CompileBreaker::Decision D = R.B.admit(K);
+  EXPECT_TRUE(D.Allow);
+  EXPECT_EQ(D.St, CompileBreaker::State::HalfOpen);
+}
+
+TEST(Breaker, TokenDestructorAbandonsAnUnresolvedAdmission) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(100);
+  ASSERT_TRUE(R.B.admit(K).Allow);
+  {
+    CompileBreaker::Token T(R.B, K);
+    EXPECT_TRUE(T.armed());
+    // T goes out of scope with no verdict: destructor abandons the probe.
+  }
+  EXPECT_TRUE(R.B.admit(K).Allow); // slot released
+}
+
+TEST(Breaker, TokenResolvesExactlyOnce) {
+  Rig R(/*Threshold=*/1, /*OpenMs=*/100);
+  const std::string K = "prog-a";
+  R.B.recordFailure(K);
+  R.advanceMs(100);
+  ASSERT_TRUE(R.B.admit(K).Allow);
+  CompileBreaker::Token T(R.B, K);
+  CompileBreaker::Token Moved = std::move(T);
+  EXPECT_FALSE(T.armed());
+  EXPECT_TRUE(Moved.armed());
+  Moved.success();
+  EXPECT_FALSE(Moved.armed());
+  Moved.failure(); // disarmed: must not reopen the now-forgotten key
+  EXPECT_EQ(R.B.state(K), CompileBreaker::State::Closed);
+  EXPECT_TRUE(R.B.tracked().empty());
+}
+
+TEST(Breaker, TrackingStaysBoundedUnderUniqueFailingKeys) {
+  CompileBreaker::Options O;
+  O.FailureThreshold = 3; // never reached: every key fails once
+  O.OpenMs = 100;
+  O.MaxTracked = 8;
+  uint64_t Now = 1000 * MsNs;
+  O.NowNs = [&Now] { return Now; };
+  CompileBreaker B(O);
+  for (int I = 0; I < 100; ++I) {
+    std::string K = "prog-" + std::to_string(I);
+    ASSERT_TRUE(B.admit(K).Allow);
+    B.recordFailure(K);
+    Now += MsNs; // distinct timestamps so eviction order is deterministic
+  }
+  EXPECT_LE(B.numTracked(), 8u);
+}
+
+TEST(Breaker, CapEvictsStaleClosedEntriesButKeepsOpenOnes) {
+  CompileBreaker::Options O;
+  O.FailureThreshold = 1; // every failure opens
+  O.OpenMs = 100;
+  O.MaxTracked = 4;
+  uint64_t Now = 1000 * MsNs;
+  O.NowNs = [&Now] { return Now; };
+  CompileBreaker B(O);
+  // Fill the map with open breakers: these are safety state and must
+  // survive the cap sweep.
+  for (int I = 0; I < 4; ++I)
+    B.recordFailure("open-" + std::to_string(I));
+  EXPECT_EQ(B.numTracked(), 4u);
+  // A new failing key finds nothing evictable (all Open) and is simply
+  // not tracked rather than growing the map.
+  B.recordFailure("extra");
+  EXPECT_LE(B.numTracked(), 4u);
+  EXPECT_EQ(B.numOpen(), 4);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(B.admit("open-" + std::to_string(I)).Allow);
 }
 
 TEST(Breaker, KeysAreIndependent) {

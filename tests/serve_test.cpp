@@ -540,8 +540,10 @@ TEST(Daemon, ShedResponsesCarryRetryAfterAndQueueDepth) {
 }
 
 TEST(Daemon, DrainingRefusesNewWorkButKeepsGets) {
+  serve::DaemonOptions O = interpOptions(tempDir("drain-gate"));
+  O.DrainMs = 1000;
   serve::Daemon D;
-  ASSERT_TRUE(D.start(interpOptions(tempDir("drain-gate"))).isOk());
+  ASSERT_TRUE(D.start(O).isOk());
   std::string Done = runAndWait(D.port(), ProgA);
   std::string Id = jsonField(Done, "job");
 
@@ -550,10 +552,13 @@ TEST(Daemon, DrainingRefusesNewWorkButKeepsGets) {
   D.beginDrain(); // idempotent
   EXPECT_TRUE(D.draining());
 
-  // POSTs are shed with the full retry contract...
+  // POSTs are shed with the full retry contract. The hint must outlast
+  // the drain window itself — when DrainMs expires the process exits, so
+  // a client told to retry at exactly DrainMs would hit a dead socket.
+  // DrainMs 1000 + 5 s restart slack = 6 s.
   Reply R = httpDo(D.port(), "POST", "/run", ProgA);
   EXPECT_EQ(R.Code, 503) << R.Raw;
-  EXPECT_NE(R.Raw.find("Retry-After:"), std::string::npos) << R.Raw;
+  EXPECT_NE(R.Raw.find("Retry-After: 6\r\n"), std::string::npos) << R.Raw;
   EXPECT_EQ(httpDo(D.port(), "POST", "/compile", ProgA).Code, 503);
 
   // ...while polls, health, and metrics keep answering so clients can
@@ -813,6 +818,51 @@ initially [ S(i) | i in 0 .. 7 ];
   serve::Daemon::Counters C = D.counters();
   EXPECT_EQ(C.BreakerOpen, 0);
   EXPECT_EQ(C.BreakerTrips, 1u);
+  D.stop();
+}
+
+TEST(DaemonNative, AbandonedHalfOpenProbeDoesNotJamTheBreaker) {
+  std::string Cache = tempDir("breaker-abandon");
+  serve::DaemonOptions O;
+  O.Compile.Eng = Engine::Native;
+  O.Compile.WorkDir = Cache;
+  O.BreakerThreshold = 1;
+  O.BreakerOpenMs = 300;
+  serve::Daemon D;
+  ASSERT_TRUE(D.start(O).isOk());
+
+  const char *Prog = R"(
+strand S (int i) {
+  output real v = real(i);
+  update { v = v * 23.0; stabilize; }
+}
+initially [ S(i) | i in 0 .. 7 ];
+)";
+  // Trip the breaker with a poisoned compiler (threshold 1).
+  ::setenv("DIDEROT_CXX", "/nonexistent/poisoned-cxx", 1);
+  ASSERT_EQ(httpDo(D.port(), "POST", "/compile", Prog).Code, 400);
+  ASSERT_EQ(D.counters().BreakerOpen, 1);
+
+  // Cooldown over: the next /run is admitted as the single half-open
+  // probe — but it 400s on a malformed limit header before any compile
+  // verdict exists. The probe must be released, not leaked: before the
+  // fix the breaker stayed jammed, denying this key 503 forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  Reply Bad = httpDo(D.port(), "POST", "/run", Prog,
+                     {{"X-Diderot-Steps", "banana"}});
+  EXPECT_EQ(Bad.Code, 400) << Bad.Raw;
+
+  // Still admitted (another malformed request, another release)...
+  Bad = httpDo(D.port(), "POST", "/run", Prog,
+               {{"X-Diderot-Deadline-Ms", "-1"}});
+  EXPECT_EQ(Bad.Code, 400) << Bad.Raw;
+
+  // ...and with the compiler healed, a well-formed request probes,
+  // succeeds, and closes the breaker.
+  ::unsetenv("DIDEROT_CXX");
+  std::string Job = runAndWait(D.port(), Prog);
+  EXPECT_EQ(jsonField(Job, "state"), "done") << Job;
+  EXPECT_EQ(D.counters().BreakerOpen, 0);
   D.stop();
 }
 

@@ -12,6 +12,7 @@
 #include "support/subprocess.h"
 
 #include <chrono>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
@@ -94,6 +95,28 @@ TEST(Subprocess, TimeoutKillsTheWholeProcessGroup) {
                        .count();
   ASSERT_TRUE(R.isOk()) << R.message();
   EXPECT_TRUE(R->TimedOut);
+  EXPECT_LT(ElapsedMs, 10000);
+}
+
+TEST(Subprocess, EscapedGrandchildCannotHangThePostKillDrain) {
+  // A grandchild that left the process group (setsid, the daemonizing
+  // build-tool pattern) survives the timeout's group kill while still
+  // holding the inherited write end of the output pipe. EOF never comes;
+  // the post-kill drain must give up after its bounded grace instead of
+  // blocking until the grandchild exits.
+  if (::system("command -v setsid >/dev/null 2>&1") != 0)
+    GTEST_SKIP() << "setsid not available";
+  SubprocessCommand C = sh("setsid sleep 600 & sleep 600");
+  C.TimeoutMs = 300;
+  auto T0 = std::chrono::steady_clock::now();
+  auto R = runSupervised(C);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ASSERT_TRUE(R.isOk()) << R.message();
+  EXPECT_TRUE(R->TimedOut);
+  // Timeout (300 ms) + drain grace (500 ms) + slack; nowhere near the
+  // grandchild's 600 s lifetime.
   EXPECT_LT(ElapsedMs, 10000);
 }
 
