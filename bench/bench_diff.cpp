@@ -78,6 +78,10 @@ struct Meta {
   /// daemon-vs-standalone comparison is flagged as suspect.
   bool Daemon = false;
   std::string DaemonHitRate; ///< raw "cache_hit_rate" number, "" if absent
+  /// Flight-recorder stamp (docs/REPLAY.md): a run timed with the superstep
+  /// digest armed is not comparable to an unarmed one. Pre-record files
+  /// have no "record" key and parse as false (unarmed), the then-default.
+  bool Record = false;
 };
 
 /// Value of the first `"Key":"..."` occurrence, or "" when absent. The meta
@@ -110,6 +114,7 @@ Meta parseMeta(const std::string &Text) {
   if (P != std::string::npos)
     M.Threads = std::strtol(Text.c_str() + P + 19, nullptr, 10);
   M.Daemon = Text.find("\"daemon\":{") != std::string::npos;
+  M.Record = Text.find("\"record\":true") != std::string::npos;
   size_t H = Text.find("\"cache_hit_rate\":");
   if (H != std::string::npos) {
     H += 17;
@@ -152,6 +157,12 @@ int reportMetaDiff(const Meta &Old, const Meta &New) {
     ++Mismatches;
   } else if (Old.Daemon) {
     Note("daemon cache hit rate", Old.DaemonHitRate, New.DaemonHitRate);
+  }
+  if (Old.Record != New.Record) {
+    std::printf("note: flight recorder differs: %s -> %s\n",
+                Old.Record ? "armed" : "unarmed",
+                New.Record ? "armed" : "unarmed");
+    ++Mismatches;
   }
   return Mismatches;
 }
@@ -272,6 +283,17 @@ int selfTest() {
   MD2.DaemonHitRate = "0.5";
   if (reportMetaDiff(MD, MD2) != 1 || reportMetaDiff(MD, MD) != 0) {
     std::fprintf(stderr, "self-test: daemon hit-rate diff miscounted\n");
+    return 1;
+  }
+  // Flight-recorder stamp: armed-vs-unarmed is one mismatch; a pre-record
+  // file (no "record" key, like Old above) parses as unarmed.
+  Meta MR = parseMeta("{\"meta\":{\"hostname\":\"gauss\",\"record\":true}}");
+  if (!MR.Record || MO.Record) {
+    std::fprintf(stderr, "self-test: record meta parse failed\n");
+    return 1;
+  }
+  if (reportMetaDiff(MN, MR) != 1 || reportMetaDiff(MR, MR) != 0) {
+    std::fprintf(stderr, "self-test: record mismatch miscounted\n");
     return 1;
   }
   std::printf("self-test passed\n");

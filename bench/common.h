@@ -398,6 +398,12 @@ struct BenchMeta {
   /// Empty strings mean "not run under a daemon" and suppress the field.
   std::string DaemonCacheHitRate; ///< DIDEROT_DAEMON_CACHE_HIT_RATE
   std::string DaemonQueueDepth;   ///< DIDEROT_DAEMON_QUEUE_DEPTH
+  /// Whether the timed runs had the flight recorder armed (CollectDigests /
+  /// docs/REPLAY.md). Recording hashes every strand's full state each
+  /// superstep, so armed and unarmed numbers are never comparable;
+  /// bench_diff flags the mismatch. Harnesses that arm recording set
+  /// DIDEROT_BENCH_RECORD=1; absent or "0" means the default unarmed path.
+  bool Record = false;
 };
 
 inline BenchMeta benchMeta() {
@@ -434,6 +440,8 @@ inline BenchMeta benchMeta() {
   };
   M.DaemonCacheHitRate = NumericEnv("DIDEROT_DAEMON_CACHE_HIT_RATE");
   M.DaemonQueueDepth = NumericEnv("DIDEROT_DAEMON_QUEUE_DEPTH");
+  const char *Rec = std::getenv("DIDEROT_BENCH_RECORD");
+  M.Record = Rec && *Rec && std::strcmp(Rec, "0") != 0;
   return M;
 }
 
@@ -461,7 +469,8 @@ inline void writeBenchJson(const std::string &Bench,
   Out << "\"meta\":{\"hostname\":\"" << observe::jsonEscape(M.Hostname)
       << "\",\"hardware_threads\":" << M.HardwareThreads << ",\"compiler\":\""
       << observe::jsonEscape(M.Compiler) << "\",\"git_sha\":\""
-      << observe::jsonEscape(M.GitSha) << "\"";
+      << observe::jsonEscape(M.GitSha) << "\",\"record\":"
+      << (M.Record ? "true" : "false");
   if (!M.DaemonCacheHitRate.empty() || !M.DaemonQueueDepth.empty()) {
     Out << ",\"daemon\":{";
     if (!M.DaemonCacheHitRate.empty())

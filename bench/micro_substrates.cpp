@@ -16,6 +16,7 @@
 
 #include "bench/common.h"
 #include "kernels/kernel.h"
+#include "observe/digest.h"
 #include "runtime/scheduler.h"
 #include "synth/synth.h"
 #include "teem/probe.h"
@@ -190,6 +191,50 @@ void BM_SchedulerSequential(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SchedulerSequential);
+
+void BM_SchedulerSequentialRecorded(benchmark::State &State) {
+  // Same workload as BM_SchedulerSequential with the flight recorder's
+  // superstep digest armed (observe/digest.h, docs/REPLAY.md): between
+  // barriers the step hook hashes every strand's status byte and state
+  // slot in index order and retains the canonical bits for the state log —
+  // the per-superstep cost `diderotc --record` opts a run into. Measured
+  // side by side with the unarmed twin above, which stays hook-free and
+  // inside the bench_diff 10% gate.
+  const size_t N = 4096;
+  std::vector<int> Count(N);
+  observe::DigestLog Log;
+  for (auto _ : State) {
+    std::vector<rt::StrandStatus> S(N, rt::StrandStatus::Active);
+    std::fill(Count.begin(), Count.end(), 0);
+    Log.clear();
+    Log.NumStrands = static_cast<int64_t>(N);
+    Log.NumSlots = 1;
+    Log.HasStates = true;
+    rt::StepHook Capture = [&](int) {
+      observe::StrandStateHasher H;
+      for (size_t I = 0; I < N; ++I) {
+        uint8_t St = static_cast<uint8_t>(S[I]);
+        H.status(St);
+        Log.Status.push_back(St);
+        double V = static_cast<double>(Count[I]);
+        H.slot(V);
+        Log.Slots.push_back(observe::canonicalBits(V));
+      }
+      Log.Entries.push_back(H.digest());
+    };
+    Capture(0); // entry 0: the post-initialize state
+    int Steps = rt::runSequential(
+        S,
+        [&](size_t I) {
+          return ++Count[I] >= 4 ? rt::StrandStatus::Stable
+                                 : rt::StrandStatus::Active;
+        },
+        100, nullptr, nullptr, &Capture);
+    benchmark::DoNotOptimize(Steps);
+    benchmark::DoNotOptimize(Log.Entries.back().Lo);
+  }
+}
+BENCHMARK(BM_SchedulerSequentialRecorded);
 
 void BM_SchedulerParallel(benchmark::State &State) {
   for (auto _ : State) {

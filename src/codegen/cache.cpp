@@ -28,6 +28,7 @@
 #include <mutex>
 #include <unistd.h>
 
+#include "support/atomic_file.h"
 #include "support/hash.h"
 #include "support/strings.h"
 
@@ -100,26 +101,15 @@ std::vector<CacheIndexEntry> readEntriesLocked(const fs::path &Dir) {
   return Entries;
 }
 
-/// Write the full index to a temp file and rename it into place. Failures
-/// are swallowed: the index is an inventory, not a source of truth.
+/// Write the full index atomically (support/atomic_file.h). Failures are
+/// swallowed: the index is an inventory, not a source of truth.
 void writeEntriesLocked(const fs::path &Dir,
                         const std::vector<CacheIndexEntry> &Entries) {
-  fs::path Tmp = Dir / strf(cacheIndexFile(), ".tmp.", ::getpid());
-  {
-    std::ofstream Out(Tmp, std::ios::trunc);
-    if (!Out)
-      return;
-    for (const CacheIndexEntry &E : Entries)
-      Out << E.Key << '\t' << E.Program << '\t' << E.UnixMs << '\t'
-          << E.CompilerId << '\t' << E.SoBytes << '\t' << E.SoHash << '\t'
-          << E.LastUsedMs << '\n';
-    if (!Out.flush())
-      return;
-  }
-  std::error_code EC;
-  fs::rename(Tmp, Dir / cacheIndexFile(), EC);
-  if (EC)
-    fs::remove(Tmp, EC);
+  std::string Text;
+  for (const CacheIndexEntry &E : Entries)
+    Text += strf(E.Key, '\t', E.Program, '\t', E.UnixMs, '\t', E.CompilerId,
+                 '\t', E.SoBytes, '\t', E.SoHash, '\t', E.LastUsedMs, '\n');
+  support::writeFileAtomicBestEffort((Dir / cacheIndexFile()).string(), Text);
 }
 
 /// Read-modify-write under the index mutex.

@@ -52,10 +52,13 @@ namespace diderot::codegen {
 
 /// Version of the ddr_* C ABI between the driver and generated shared
 /// objects (v5 added ddr_metrics_read; v6 the pooled-scheduler run flag
-/// bit and the persistent StrandPool behind it). Part of every cache key:
-/// a .so built for an older protocol must never be served to a newer
-/// driver.
-constexpr int DdrAbiVersion = 6;
+/// bit and the persistent StrandPool behind it; v7 the digest/state-log
+/// run flags plus ddr_digest_read / ddr_state_read for record/replay).
+/// Part of every cache key: a .so built for an older protocol must never
+/// be served to a newer driver. The loader probes the v7 symbols with
+/// dlsym and degrades gracefully — a v6 .so still runs, it just cannot
+/// report per-superstep digests.
+constexpr int DdrAbiVersion = 7;
 
 /// Identity of the host toolchain baked into cache keys: the configured
 /// compiler path plus the version banner of the compiler that built this

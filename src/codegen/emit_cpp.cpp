@@ -579,7 +579,7 @@ void ModuleEmitter::emitHeader(std::ostringstream &OS) {
   // The ABI tag participates in the shared-object cache key (native_load
   // hashes the generated source), so bumping it invalidates .so files built
   // against an older prelude/C API.
-  OS << "// Do not edit; regenerate with diderotc. runtime ABI v5\n\n";
+  OS << "// Do not edit; regenerate with diderotc. runtime ABI v7\n\n";
   OS << "#include <algorithm>\n#include <cmath>\n#include <cstdint>\n";
   OS << "#include \"runtime/native_prelude.h\"\n\n";
   OS << "namespace {\n\n";
@@ -991,6 +991,18 @@ void ModuleEmitter::emitProgClass(std::ostringstream &OS) {
     }
   }
 
+  // Canonical digest view of the strand (runtime ABI v7): every scalarized
+  // slot, params first then state vars — the same order the interpreter
+  // flattens RtVals, which is what makes cross-engine digests bit-equal.
+  OS << "  static constexpr int NumStateSlots = "
+     << static_cast<int>(SlotTypes.size()) << ";\n";
+  OS << "  double strandSlotValue(const Strand &S, int K) const {\n"
+        "    switch (K) {\n";
+  for (size_t I = 0; I < SlotTypes.size(); ++I)
+    OS << "    case " << I << ": return (double)S."
+       << slotName(static_cast<int>(I)) << ";\n";
+  OS << "    default: return 0.0;\n    }\n  }\n\n";
+
   // outputComp
   OS << "  double outputComp(const Strand &S, int Out, int Comp) const {\n"
         "    switch (Out) {\n";
@@ -1089,6 +1101,12 @@ int64_t ddr_trace_read(void *P, uint64_t *Out, int64_t Cap) {
 }
 int64_t ddr_metrics_read(void *P, uint64_t *Out, int64_t Cap) {
   return static_cast<Prog *>(P)->readMetrics(Out, Cap);
+}
+int64_t ddr_digest_read(void *P, uint64_t *Out, int64_t Cap) {
+  return static_cast<Prog *>(P)->readDigests(Out, Cap);
+}
+int64_t ddr_state_read(void *P, uint64_t *Out, int64_t Cap) {
+  return static_cast<Prog *>(P)->readStates(Out, Cap);
 }
 int ddr_output_dims(void *P, int64_t *Dims, int MaxD) {
   return static_cast<Prog *>(P)->outputDims(Dims, MaxD);

@@ -116,6 +116,13 @@ struct CApi {
   /// driver's live GET /metrics endpoint uses. Degrades to deriveMetrics
   /// over the v2 stats when absent.
   int64_t (*MetricsRead)(void *, uint64_t *, int64_t);
+  /// v7 protocol (null in older .so files): readers for the per-superstep
+  /// digest stream and the per-strand state log armed by run flags 32/64
+  /// (record/replay, docs/REPLAY.md). Degrades gracefully when absent —
+  /// replay falls back to final-output-only digests, a documented weaker
+  /// fidelity, unlike policies which must fail loudly.
+  int64_t (*DigestRead)(void *, uint64_t *, int64_t);
+  int64_t (*StateRead)(void *, uint64_t *, int64_t);
   int (*OutputDims)(void *, int64_t *, int);
   int64_t (*GetOutput)(void *, const char *, double *, int64_t);
   int64_t (*NumStrands)(void *);
@@ -349,6 +356,12 @@ Result<LoadedLib *> compileAndLoad(const std::string &Source,
   Lib.Api.MetricsRead =
       reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
           Sym("ddr_metrics_read"));
+  Lib.Api.DigestRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_digest_read"));
+  Lib.Api.StateRead =
+      reinterpret_cast<int64_t (*)(void *, uint64_t *, int64_t)>(
+          Sym("ddr_state_read"));
   Lib.Api.OutputDims = reinterpret_cast<int (*)(void *, int64_t *, int)>(
       Sym("ddr_output_dims"));
   Lib.Api.GetOutput =
@@ -460,10 +473,18 @@ public:
     bool WantPooled =
         C.Sched == rt::Scheduler::Pooled && C.NumWorkers >= 1 &&
         Api->RunFlags;
+    // Digests ride the v7 run flags. A pre-v7 .so degrades gracefully:
+    // LastDigests stays empty and the replay layer falls back to comparing
+    // final outputs only (a documented weaker fidelity, not an error).
+    bool WantDigest = (C.CollectDigests || C.CollectStateLog) &&
+                      Api->RunFlags && Api->DigestRead;
+    bool WantStateLog = C.CollectStateLog && WantDigest && Api->StateRead;
+    LastDigests.clear();
     auto T0 = std::chrono::steady_clock::now();
     int Steps;
     int Flags = (Collect ? 1 : 0) | (WantProf ? 2 : 0) | (WantTrace ? 4 : 0) |
-                (NativeMetrics ? 8 : 0) | (WantPooled ? 16 : 0);
+                (NativeMetrics ? 8 : 0) | (WantPooled ? 16 : 0) |
+                (WantDigest ? 32 : 0) | (WantStateLog ? 64 : 0);
     if (Policied) {
       std::vector<uint64_t> Plan = observe::flattenPlan(C.Policy.Plan);
       if (Api->SetFaultPlan(Prog, Plan.data(),
@@ -475,7 +496,7 @@ public:
                              C.Policy.StrictFp ? 1 : 0);
     } else if (Api->RunFlags &&
                (Collect || WantProf || WantTrace || NativeMetrics ||
-                WantPooled)) {
+                WantPooled || WantDigest)) {
       Steps = Api->RunFlags(Prog, C.MaxSupersteps, C.NumWorkers, C.BlockSize,
                             Flags);
     } else if (Collect) {
@@ -485,6 +506,18 @@ public:
     }
     if (Steps < 0)
       return RS::error(Api->Error(Prog));
+    if (WantDigest) {
+      std::vector<uint64_t> Flat = readFlat(Api->DigestRead);
+      if (!observe::unflattenDigests(Flat.data(), Flat.size(), LastDigests))
+        return RS::error("generated library returned malformed digests");
+      if (WantStateLog) {
+        std::vector<uint64_t> St = readFlat(Api->StateRead);
+        // A .so may report 0 words when the state log was not retained.
+        if (St.size() >= 3 &&
+            !observe::unflattenStates(St.data(), St.size(), LastDigests))
+          return RS::error("generated library returned malformed state log");
+      }
+    }
     rt::RunStats Stats;
     if (WantProf) {
       std::vector<uint64_t> Flat = readFlat(Api->ProfRead);
@@ -540,6 +573,10 @@ public:
   }
 
   observe::ProfileData profile() const override { return LastProfile; }
+
+  const observe::DigestLog *digestLog() const override {
+    return LastDigests.Entries.empty() ? nullptr : &LastDigests;
+  }
 
   std::vector<int> outputDims() const override {
     int64_t Dims[8] = {};
@@ -648,6 +685,7 @@ private:
   std::vector<rt::InputDesc> Inputs;
   std::vector<rt::OutputDesc> Outputs;
   observe::ProfileData LastProfile;
+  observe::DigestLog LastDigests; ///< digest stream of the last recorded run
 };
 
 } // namespace

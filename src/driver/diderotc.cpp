@@ -17,6 +17,7 @@
 
 #include "driver/driver.h"
 #include "driver/inputs.h"
+#include "driver/record.h"
 #include "nrrd/nrrd.h"
 #include "observe/observe.h"
 #include "support/log.h"
@@ -62,6 +63,17 @@ options:
                            appear in --trace-out as instant events)
   --events-out FILE.json   write the strand lifecycle event log as JSON
   --time-passes            print per-compiler-pass wall time and IR sizes
+  --record DIR             write a replay bundle of this run into DIR
+                           (source, options, inputs, per-superstep state
+                           digests; docs/REPLAY.md)
+  --replay BUNDLE          re-compile and re-run a recorded bundle (a DIR
+                           or a .tar of one) and compare superstep digests;
+                           exit 4 and report the first divergent superstep
+                           and strand on mismatch
+  --dump-strand N          with --replay: pretty-print recorded strand N
+                           (no re-run) and exit
+  --at-superstep K         digest entry --dump-strand reads (0 = after
+                           initialize, k = after superstep k; default 0)
   --deadline-ms N          stop the run after N ms of wall-clock time
   --max-faults N           tolerate at most N trapped strand faults
                            (0 stops on the first fault)
@@ -91,7 +103,9 @@ int main(int Argc, char **Argv) {
   long long DeadlineMs = 0, MaxFaults = -1;
   int MetricsPort = -1;
   std::string OutFile, PrintOutput, StatsOut, TraceOut, ProfileOut, EventsOut;
-  std::string MetricsOut;
+  std::string MetricsOut, RecordDir, ReplayPath;
+  long long DumpStrand = -1;
+  int AtSuperstep = 0;
 
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
@@ -184,6 +198,18 @@ int main(int Argc, char **Argv) {
       EventsOut = Arg.substr(13);
     } else if (Arg == "--time-passes") {
       TimePasses = true;
+    } else if (Arg == "--record" && A + 1 < Argc) {
+      RecordDir = Argv[++A];
+    } else if (startsWith(Arg, "--record=")) {
+      RecordDir = Arg.substr(9);
+    } else if (Arg == "--replay" && A + 1 < Argc) {
+      ReplayPath = Argv[++A];
+    } else if (startsWith(Arg, "--replay=")) {
+      ReplayPath = Arg.substr(9);
+    } else if (Arg == "--dump-strand" && A + 1 < Argc) {
+      DumpStrand = std::atoll(Argv[++A]);
+    } else if (Arg == "--at-superstep" && A + 1 < Argc) {
+      AtSuperstep = std::atoi(Argv[++A]);
     } else if (Arg == "--deadline-ms" && A + 1 < Argc) {
       DeadlineMs = std::atoll(Argv[++A]);
     } else if (Arg == "--max-faults" && A + 1 < Argc) {
@@ -202,11 +228,36 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+  logging::Logger::global().configure(LogOpts);
+
+  // Replay mode: the bundle carries the program; no source argument.
+  if (!ReplayPath.empty()) {
+    if (DumpStrand >= 0) {
+      Result<observe::ReplayBundle> BR = loadBundle(ReplayPath);
+      if (!BR.isOk()) {
+        logging::error(BR.message());
+        return 1;
+      }
+      Result<std::string> D = observe::dumpStrand(*BR, DumpStrand, AtSuperstep);
+      if (!D.isOk()) {
+        logging::error(D.message());
+        return 1;
+      }
+      std::fputs(D->c_str(), stdout);
+      return 0;
+    }
+    Result<ReplayReport> RR = replayBundle(ReplayPath, Opts.WorkDir);
+    if (!RR.isOk()) {
+      logging::error(RR.message());
+      return 1;
+    }
+    std::fputs(RR->Text.c_str(), stdout);
+    return RR->Match ? 0 : 4;
+  }
   if (File.empty()) {
     usage();
     return 1;
   }
-  logging::Logger::global().configure(LogOpts);
 
   Result<CompiledProgram> CP = compileFile(File, Opts);
   if (!CP.isOk()) {
@@ -244,12 +295,33 @@ int main(int Argc, char **Argv) {
   }
   rt::ProgramInstance &I = **Inst;
 
+  FlightRecorder Rec;
+  if (!RecordDir.empty()) {
+    std::string Source;
+    if (std::FILE *F = std::fopen(File.c_str(), "r")) {
+      char Buf[4096];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+        Source.append(Buf, N);
+      std::fclose(F);
+    }
+    Rec.begin(RecordDir, CP->midModule().Name, std::move(Source), Opts,
+              CP->midModule());
+  }
+
   // Apply inputs (shared text→input binding, driver/inputs.h).
   for (const auto &[Name, Value] : Inputs) {
     Status S = setInputFromText(I, Name, Value);
     if (!S.isOk()) {
       logging::error(S.message(), {logging::strField("input", Name)});
       return 1;
+    }
+    if (Rec.active()) {
+      Status RS = Rec.addInput(Name, Value);
+      if (!RS.isOk()) {
+        logging::error(RS.message());
+        return 1;
+      }
     }
   }
 
@@ -274,6 +346,8 @@ int main(int Argc, char **Argv) {
   RC.Policy.MaxFaults = MaxFaults;
   RC.Policy.WatchdogSteps = Watchdog;
   RC.Policy.StrictFp = StrictFp;
+  if (Rec.active())
+    Rec.armConfig(RC);
   // Live monitoring: a background RSS sampler plus the embedded HTTP
   // endpoint, both torn down right after the run. The provider overlays the
   // sampler's gauge onto whatever engine-side snapshot is current.
@@ -333,6 +407,18 @@ int main(int Argc, char **Argv) {
          logging::numField("steps", static_cast<int64_t>(Run->Steps)),
          logging::numField("faults",
                            static_cast<uint64_t>(Run->Faults.size()))});
+  if (Rec.active()) {
+    Status W = Rec.finish(I, *Run);
+    if (!W.isOk()) {
+      logging::error(W.message());
+      return 1;
+    }
+    logging::info("wrote recording",
+                  {logging::strField("dir", Rec.dir()),
+                   logging::numField(
+                       "digest_entries",
+                       static_cast<uint64_t>(Rec.bundle().Digests.entries()))});
+  }
   if (Stats)
     std::fputs(observe::formatSummary(*Run).c_str(), stderr);
   auto WriteText = [](const std::string &Path, const std::string &Text) {

@@ -611,6 +611,10 @@ public:
     return Rec.metricsData();
   }
 
+  const observe::DigestLog *digestLog() const override {
+    return DLog.Entries.empty() ? nullptr : &DLog;
+  }
+
   std::vector<int> outputDims() const override {
     if (M.IsGrid)
       return GridDims;
@@ -654,6 +658,54 @@ private:
     return Status::ok();
   }
 
+  /// One canonical slot for the digest (observe/digest.h): hash it and,
+  /// with the state log armed, retain its canonical bits.
+  void digestSlot(double V, observe::StrandStateHasher &H) {
+    H.slot(V);
+    if (DLog.HasStates)
+      DLog.Slots.push_back(observe::canonicalBits(V));
+  }
+
+  /// Append one digest entry over the current StatusVec and strand states.
+  /// RtVals flatten in slot order — params first, then state vars, tensor
+  /// components row-major, ints and bools as doubles — exactly the order
+  /// the native emitter scalarizes the Strand struct, which is what makes
+  /// interp and native digests bit-equal (DoublePrecision native only; a
+  /// float32 native build rounds differently by design).
+  void captureDigestEntry() {
+    observe::StrandStateHasher H;
+    for (size_t S = 0; S < States.size(); ++S) {
+      uint8_t St = static_cast<uint8_t>(StatusVec[S]);
+      H.status(St);
+      if (DLog.HasStates)
+        DLog.Status.push_back(St);
+      for (const RtVal &V : States[S]) {
+        if (const Tensor *T = std::get_if<Tensor>(&V))
+          for (int K = 0; K < T->numComponents(); ++K)
+            digestSlot((*T)[K], H);
+        else if (const int64_t *I = std::get_if<int64_t>(&V))
+          digestSlot(static_cast<double>(*I), H);
+        else if (const bool *B = std::get_if<bool>(&V))
+          digestSlot(*B ? 1.0 : 0.0, H);
+        // Strings and images have no numeric slots in either engine.
+      }
+    }
+    DLog.Entries.push_back(H.digest());
+  }
+
+  /// Canonical slot count of one strand's state (all strands identical).
+  static int64_t strandSlotCount(const std::vector<RtVal> &State) {
+    int64_t N = 0;
+    for (const RtVal &V : State) {
+      if (const Tensor *T = std::get_if<Tensor>(&V))
+        N += T->numComponents();
+      else if (std::holds_alternative<int64_t>(V) ||
+               std::holds_alternative<bool>(V))
+        ++N;
+    }
+    return N;
+  }
+
   ir::Module M;
   std::map<std::string, int> ByName;
   std::vector<RtVal> Inputs;       ///< pending input values (pre-initialize)
@@ -665,6 +717,7 @@ private:
   /// Instance member (not run()-local) so liveMetrics() can scrape the
   /// registry while a run is in flight.
   observe::Recorder Rec;
+  observe::DigestLog DLog; ///< digest stream of the last recorded run
   bool Initialized = false;
 };
 
@@ -840,12 +893,23 @@ Result<rt::RunStats> InterpInstance::run(const rt::RunConfig &C) {
   observe::Recorder *R = CollectStats ? &Rec : nullptr;
   Rec.start(NumWorkers <= 0 ? 0 : NumWorkers, C.CollectLifecycle,
             C.CollectMetrics);
+  DLog.clear(); // stale digests must not outlive a non-digest run
+  rt::StepHook Hook;
+  const rt::StepHook *HookP = nullptr;
+  if (C.CollectDigests || C.CollectStateLog) {
+    DLog.HasStates = C.CollectStateLog;
+    DLog.NumStrands = static_cast<int64_t>(States.size());
+    DLog.NumSlots = States.empty() ? 0 : strandSlotCount(States[0]);
+    captureDigestEntry(); // entry 0: post-initialize state
+    Hook = [this](int) { captureDigestEntry(); };
+    HookP = &Hook;
+  }
   int Steps = NumWorkers <= 0
                   ? rt::runSequential(StatusVec, Update, MaxSupersteps, R,
-                                      CtlP)
+                                      CtlP, HookP)
                   : rt::runScheduled(C.Sched, StatusVec, Update,
                                      MaxSupersteps, NumWorkers, C.BlockSize,
-                                     R, CtlP);
+                                     R, CtlP, HookP);
   if (!FirstError.empty())
     return Result<rt::RunStats>::error(FirstError);
   if (Profiling) {

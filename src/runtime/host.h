@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "image/image.h"
+#include "observe/digest.h"
 #include "observe/profiler.h"
 #include "runtime/scheduler.h"
 #include "support/result.h"
@@ -85,6 +86,16 @@ struct RunConfig {
   /// RunStats::Metrics; a running instance can be scraped concurrently
   /// through liveMetrics().
   bool CollectMetrics = false;
+  /// Capture a 128-bit canonical state digest per superstep (entry 0 =
+  /// post-initialize) for record/replay (docs/REPLAY.md); read back through
+  /// digestLog(). Native .so files older than ABI v7 degrade gracefully:
+  /// the run succeeds but digestLog() has no per-step entries.
+  bool CollectDigests = false;
+  /// Additionally retain the full canonicalized per-strand state behind
+  /// every digest entry (memory: entries x strands x (1 + slots) words).
+  /// Implies CollectDigests. Powers first-divergent-strand diagnosis and
+  /// --dump-strand; leave off for plain digest recording of large grids.
+  bool CollectStateLog = false;
   /// Fault-containment limits: deadline, fault budget, convergence
   /// watchdog, strict-fp, injection plan. Inert by default (Policy.active()
   /// false) — the schedulers then skip every policy branch and runs behave
@@ -159,6 +170,11 @@ public:
   /// registry's merged atomics — which is what the driver's embedded
   /// `/metrics` endpoint does for long-running programs.
   virtual observe::MetricsData liveMetrics() const { return {}; }
+
+  /// Digest log of the most recent run with CollectDigests set, or nullptr
+  /// when the last run did not record (or the engine/ABI cannot). The
+  /// pointer stays valid until the next run() or destruction.
+  virtual const observe::DigestLog *digestLog() const { return nullptr; }
 
   // -- Outputs (after run) --------------------------------------------------
   /// Grid dimensions for grid-initialized programs (first iterator is the

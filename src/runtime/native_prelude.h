@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "observe/digest.h"
 #include "observe/profiler.h"
 #include "runtime/scheduler.h"
 #include "tensor/eigen_raw.h"
@@ -467,6 +468,15 @@ public:
   /// Workers <= 0 (sequential). Hosts probing an older .so that predates
   /// this flag fall back to BSP on their side.
   static constexpr int RunPooledFlag = 16;
+  /// Record a canonical state digest per superstep (runtime ABI v7; see
+  /// observe/digest.h): entry 0 post-initialize, entry k after superstep k.
+  /// Read back through ddr_digest_read. Hosts probing a pre-v7 .so see no
+  /// ddr_digest_read symbol and degrade to final-output-only digests.
+  static constexpr int RunDigestFlag = 32;
+  /// Additionally retain the full canonicalized per-strand state behind
+  /// every digest entry (implies RunDigestFlag); read back through
+  /// ddr_state_read. Memory scales with entries x strands x slots.
+  static constexpr int RunStateLogFlag = 64;
 
   /// The highest DSL source line the generated profiled code instruments
   /// (Derived::ProfMaxLine when the emitter provided one).
@@ -475,6 +485,52 @@ public:
       return Derived::ProfMaxLine;
     else
       return 0;
+  }
+
+  /// Number of scalar state slots the emitter exposed for digesting
+  /// (Derived::NumStateSlots). Hand-written Derived classes in tests that
+  /// predate v7 have none — their digests cover status bytes only.
+  static constexpr int numStateSlots() {
+    if constexpr (requires { Derived::NumStateSlots; })
+      return Derived::NumStateSlots;
+    else
+      return 0;
+  }
+
+  /// Slot \p K of strand \p S as a double (Derived::strandSlotValue — the
+  /// emitter's switch over the scalarized members, params first then state
+  /// vars, matching the interpreter's flattening order).
+  double slotValue(const StrandT &S, int K) {
+    if constexpr (requires(Derived &D, const StrandT &St) {
+                    D.strandSlotValue(St, 0);
+                  })
+      return self().strandSlotValue(S, K);
+    else {
+      (void)S;
+      (void)K;
+      return 0.0;
+    }
+  }
+
+  /// Append one canonical digest entry (observe/digest.h) over the current
+  /// Status vector and strand states; with the state log armed, also retain
+  /// the canonicalized per-strand words.
+  void captureDigestEntry() {
+    observe::StrandStateHasher H;
+    const int NS = numStateSlots();
+    for (size_t S = 0; S < Strands.size(); ++S) {
+      uint8_t St = static_cast<uint8_t>(Status[S]);
+      H.status(St);
+      if (DLog.HasStates)
+        DLog.Status.push_back(St);
+      for (int K = 0; K < NS; ++K) {
+        double V = slotValue(Strands[S], K);
+        H.slot(V);
+        if (DLog.HasStates)
+          DLog.Slots.push_back(observe::canonicalBits(V));
+      }
+    }
+    DLog.Entries.push_back(H.digest());
   }
 
   int run(int MaxSteps, int Workers, int BlockSize, int Collect) {
@@ -520,6 +576,7 @@ public:
     const bool Metrics = Flags & RunMetricsFlag;
     const bool Collect = (Flags & RunStatsFlag) || Lifecycle || Metrics;
     const bool Profile = Flags & RunProfileFlag;
+    const bool Digest = Flags & (RunDigestFlag | RunStateLogFlag);
     const rt::Scheduler Sched = (Flags & RunPooledFlag)
                                     ? rt::Scheduler::Pooled
                                     : rt::Scheduler::Bsp;
@@ -531,6 +588,17 @@ public:
     rt::RunControl *CtlP =
         PolicyArmed && Ctl.policy().active() ? &Ctl : nullptr;
     const bool StrictFp = CtlP && Ctl.policy().StrictFp;
+    DLog.clear(); // stale digests must not outlive a non-digest run
+    rt::StepHook Hook;
+    const rt::StepHook *HookP = nullptr;
+    if (Digest) {
+      DLog.NumStrands = static_cast<int64_t>(Strands.size());
+      DLog.NumSlots = numStateSlots();
+      DLog.HasStates = Flags & RunStateLogFlag;
+      captureDigestEntry(); // entry 0: post-initialize state
+      Hook = [this](int) { captureDigestEntry(); };
+      HookP = &Hook;
+    }
     int Steps;
     if (Profile) {
       auto Update = [this, CtlP, StrictFp](size_t I, int W) -> StrandStatus {
@@ -559,9 +627,10 @@ public:
         return Ret;
       };
       Steps = Workers <= 0
-                  ? rt::runSequential(Status, Update, MaxSteps, R, CtlP)
+                  ? rt::runSequential(Status, Update, MaxSteps, R, CtlP,
+                                      HookP)
                   : rt::runScheduled(Sched, Status, Update, MaxSteps,
-                                     Workers, BlockSize, R, CtlP);
+                                     Workers, BlockSize, R, CtlP, HookP);
     } else {
       auto Update = [this, CtlP, StrictFp](size_t I, int W) -> StrandStatus {
         ExitKind K = self().update(Strands[I]);
@@ -589,9 +658,10 @@ public:
         return Ret;
       };
       Steps = Workers <= 0
-                  ? rt::runSequential(Status, Update, MaxSteps, R, CtlP)
+                  ? rt::runSequential(Status, Update, MaxSteps, R, CtlP,
+                                      HookP)
                   : rt::runScheduled(Sched, Status, Update, MaxSteps,
-                                     Workers, BlockSize, R, CtlP);
+                                     Workers, BlockSize, R, CtlP, HookP);
     }
     if (CtlP)
       Rec.countFault(static_cast<uint64_t>(Ctl.faultCount()));
@@ -654,6 +724,26 @@ public:
   int64_t readFaults(uint64_t *Out, int64_t Cap) const {
     return copyFlat(observe::flattenFaults(LastFaults), Out, Cap);
   }
+
+  /// Flatten the digest stream of the last digest-armed run
+  /// (observe::flattenDigests layout; same null/size protocol as
+  /// readStats). Empty stream when the last run did not record.
+  int64_t readDigests(uint64_t *Out, int64_t Cap) const {
+    return copyFlat(observe::flattenDigests(DLog), Out, Cap);
+  }
+
+  /// Flatten the per-strand state log of the last state-log-armed run
+  /// (observe::flattenStates layout). Returns 0 when the last run recorded
+  /// digests only (or nothing) — hosts treat < 3 words as absent.
+  int64_t readStates(uint64_t *Out, int64_t Cap) const {
+    if (!DLog.HasStates)
+      return 0;
+    return copyFlat(observe::flattenStates(DLog), Out, Cap);
+  }
+
+  /// Digest log of the last digest-armed run (tests linking the prelude
+  /// directly read it here; the C ABI goes through readDigests/readStates).
+  const observe::DigestLog &digestLog() const { return DLog; }
 
   /// Message text of fault \p I of the last run, or null when out of range.
   /// The pointer stays valid until the next run.
@@ -774,6 +864,7 @@ protected:
   bool PolicyArmed = false;      ///< true only inside runPolicy
   std::vector<observe::StrandFault> LastFaults; ///< faults of the last run
   int LastOutcome = 0; ///< observe::RunOutcome of the last run
+  observe::DigestLog DLog; ///< digest stream of the last digest-armed run
   bool Initialized = false;
 };
 

@@ -66,6 +66,14 @@ enum class StrandStatus : uint8_t {
 /// The paper's work-list granularity.
 constexpr int DefaultBlockSize = 4096;
 
+/// Coordinator-side superstep hook (flight recorder, docs/REPLAY.md):
+/// invoked with the just-completed 0-based superstep index after that
+/// superstep's second barrier, when every worker is parked at the next
+/// release barrier — so the strand states and the status vector are
+/// barrier-ordered and safe to read without synchronization. Null (the
+/// default everywhere) costs one pointer test per superstep.
+using StepHook = std::function<void(int)>;
+
 /// Which substrate runs the supersteps. Bsp is the paper's model: a fresh
 /// thread set per run pulling blocks off one lock-guarded work-list.
 /// Pooled keeps the BSP semantics observable at superstep boundaries but
@@ -337,7 +345,7 @@ namespace detail {
 template <bool Policied, typename UpdateFn>
 int runSequentialImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
                       int MaxSteps, observe::Recorder *Rec,
-                      RunControl *Ctl) {
+                      RunControl *Ctl, const StepHook *OnStep) {
   int Steps = 0;
   size_t N = Status.size();
   const bool Trace = Rec && Rec->lifecycle();
@@ -405,6 +413,8 @@ int runSequentialImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
       }
     }
     ++Steps;
+    if (OnStep && *OnStep)
+      (*OnStep)(Steps - 1);
     if constexpr (Policied)
       if (Ctl->stepEnd())
         break;
@@ -416,12 +426,12 @@ int runSequentialImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
 template <typename UpdateFn>
 int runSequential(std::vector<StrandStatus> &Status, UpdateFn &&Update,
                   int MaxSteps, observe::Recorder *Rec = nullptr,
-                  RunControl *Ctl = nullptr) {
+                  RunControl *Ctl = nullptr, const StepHook *OnStep = nullptr) {
   if (Ctl)
     return detail::runSequentialImpl<true>(Status, Update, MaxSteps, Rec,
-                                           Ctl);
+                                           Ctl, OnStep);
   return detail::runSequentialImpl<false>(Status, Update, MaxSteps, Rec,
-                                          nullptr);
+                                          nullptr, OnStep);
 }
 
 /// Parallel supersteps with \p NumWorkers worker threads pulling blocks of
@@ -447,7 +457,8 @@ namespace detail {
 template <bool Policied, typename UpdateFn>
 int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
                     int MaxSteps, int NumWorkers, int BlockSize,
-                    observe::Recorder *Rec, RunControl *Ctl) {
+                    observe::Recorder *Rec, RunControl *Ctl,
+                    const StepHook *OnStep) {
 
   const size_t N = Status.size();
   const size_t NumBlocks = (N + static_cast<size_t>(BlockSize) - 1) /
@@ -619,6 +630,10 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
     Sync.arrive_and_wait(); // release workers
     Sync.arrive_and_wait(); // wait for completion
     ++Steps;
+    // Workers are parked at the next release barrier here; the barrier just
+    // crossed ordered their Status/strand writes before this read.
+    if (OnStep && *OnStep)
+      (*OnStep)(Steps - 1);
     if constexpr (Policied)
       if (Ctl->stepEnd())
         break;
@@ -644,19 +659,20 @@ int runParallelImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
 template <typename UpdateFn>
 int runParallel(std::vector<StrandStatus> &Status, UpdateFn &&Update,
                 int MaxSteps, int NumWorkers, int BlockSize = DefaultBlockSize,
-                observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr) {
+                observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr,
+                const StepHook *OnStep = nullptr) {
   // NumWorkers == 1 still runs the full work-list machinery (one worker
   // thread, lock, barrier) so that the paper's "Seq" vs "1P" comparison —
   // the cost of the scheduler itself — is measurable.
   if (NumWorkers < 1)
-    return runSequential(Status, Update, MaxSteps, Rec, Ctl);
+    return runSequential(Status, Update, MaxSteps, Rec, Ctl, OnStep);
   if (BlockSize <= 0)
     BlockSize = DefaultBlockSize;
   if (Ctl)
     return detail::runParallelImpl<true>(Status, Update, MaxSteps, NumWorkers,
-                                         BlockSize, Rec, Ctl);
+                                         BlockSize, Rec, Ctl, OnStep);
   return detail::runParallelImpl<false>(Status, Update, MaxSteps, NumWorkers,
-                                        BlockSize, Rec, nullptr);
+                                        BlockSize, Rec, nullptr, OnStep);
 }
 
 //===----------------------------------------------------------------------===//
@@ -806,7 +822,8 @@ namespace detail {
 template <bool Policied, typename UpdateFn>
 int runPooledImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
                   int MaxSteps, int NumWorkers, int BlockSize,
-                  observe::Recorder *Rec, RunControl *Ctl) {
+                  observe::Recorder *Rec, RunControl *Ctl,
+                  const StepHook *OnStep) {
 
   const size_t N = Status.size();
   const size_t NumBlocks = (N + static_cast<size_t>(BlockSize) - 1) /
@@ -1009,6 +1026,10 @@ int runPooledImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
       Sync.arrive_and_wait(); // release workers
       Sync.arrive_and_wait(); // wait for completion
       ++Steps;
+      // Same race-free window as the bsp coordinator: workers parked, their
+      // superstep writes ordered by the barrier just crossed.
+      if (OnStep && *OnStep)
+        (*OnStep)(Steps - 1);
       if constexpr (Policied)
         if (Ctl->stepEnd())
           break;
@@ -1040,16 +1061,17 @@ int runPooledImpl(std::vector<StrandStatus> &Status, UpdateFn &Update,
 template <typename UpdateFn>
 int runPooled(std::vector<StrandStatus> &Status, UpdateFn &&Update,
               int MaxSteps, int NumWorkers, int BlockSize = DefaultBlockSize,
-              observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr) {
+              observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr,
+              const StepHook *OnStep = nullptr) {
   if (NumWorkers < 1)
-    return runSequential(Status, Update, MaxSteps, Rec, Ctl);
+    return runSequential(Status, Update, MaxSteps, Rec, Ctl, OnStep);
   if (BlockSize <= 0)
     BlockSize = DefaultBlockSize;
   if (Ctl)
     return detail::runPooledImpl<true>(Status, Update, MaxSteps, NumWorkers,
-                                       BlockSize, Rec, Ctl);
+                                       BlockSize, Rec, Ctl, OnStep);
   return detail::runPooledImpl<false>(Status, Update, MaxSteps, NumWorkers,
-                                      BlockSize, Rec, nullptr);
+                                      BlockSize, Rec, nullptr, OnStep);
 }
 
 /// Dispatch on a runtime Scheduler value; the compile-time split stays
@@ -1058,12 +1080,13 @@ template <typename UpdateFn>
 int runScheduled(Scheduler Sched, std::vector<StrandStatus> &Status,
                  UpdateFn &&Update, int MaxSteps, int NumWorkers,
                  int BlockSize = DefaultBlockSize,
-                 observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr) {
+                 observe::Recorder *Rec = nullptr, RunControl *Ctl = nullptr,
+                 const StepHook *OnStep = nullptr) {
   if (Sched == Scheduler::Pooled)
     return runPooled(Status, Update, MaxSteps, NumWorkers, BlockSize, Rec,
-                     Ctl);
+                     Ctl, OnStep);
   return runParallel(Status, Update, MaxSteps, NumWorkers, BlockSize, Rec,
-                     Ctl);
+                     Ctl, OnStep);
 }
 
 } // namespace diderot::rt

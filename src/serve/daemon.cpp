@@ -6,11 +6,13 @@
 
 #include "serve/daemon.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -18,14 +20,18 @@
 
 #include "codegen/cache.h"
 #include "driver/inputs.h"
+#include "driver/record.h"
 #include "nrrd/nrrd.h"
+#include "observe/fault.h"
 #include "observe/observe.h"
+#include "observe/replay.h"
 #include "serve/breaker.h"
 #include "serve/compile_cache.h"
 #include "serve/job_queue.h"
 #include "support/http.h"
 #include "support/log.h"
 #include "support/strings.h"
+#include "support/tarball.h"
 #include "support/trace.h"
 
 namespace diderot::serve {
@@ -33,6 +39,7 @@ namespace diderot::serve {
 namespace {
 
 namespace lg = diderot::logging;
+namespace fs = std::filesystem;
 
 /// Octave-bucket latency histogram, Prometheus-ready. Bucket B counts
 /// samples <= 1ms * 2^B; 20 buckets reach ~9 minutes, everything slower
@@ -143,6 +150,15 @@ struct JobRec {
   size_t Strands = 0, Stable = 0, Dead = 0, Faulted = 0;
   std::string OutputNrrd; ///< serialized first output (may be empty)
 
+  // -- Flight recorder (docs/REPLAY.md) ------------------------------------
+  /// The submitted Diderot source, retained only under --record-on-failure:
+  /// whether a job needs a bundle is known after it ends, so the recorder's
+  /// raw material must survive until then.
+  std::string Source;
+  /// Bundle directory once a failure bundle was recorded (GET
+  /// /jobs/<id>/bundle); empty otherwise.
+  std::string BundleDir;
+
   // -- Tracing (docs/TRACING.md) -------------------------------------------
   tracing::TraceContext Ctx; ///< root context; Ctx.Span = root span id
   tracing::SpanTree Tree;    ///< coarse spans always; supersteps if sampled
@@ -171,6 +187,12 @@ struct Daemon::Impl {
   std::atomic<uint64_t> JobsDone{0}, JobsFailed{0}, JobsRejected{0};
   std::atomic<uint64_t> HttpRequests{0};
   std::atomic<uint64_t> DeadlineExpired{0};
+  std::atomic<uint64_t> RecordingsTotal{0}, RecordingsEvicted{0};
+  std::atomic<uint64_t> ReplayDivergence{0};
+  /// Serializes recordings-directory scans and evictions (bundle writes
+  /// themselves are atomic-per-file and land in per-job directories, so
+  /// only the LRU bookkeeping needs the lock).
+  std::mutex RecMu;
   LatencyHisto CompileHisto, RunHisto;
 
   /// Draining: POSTs are refused with 503 + Retry-After while queued and
@@ -190,9 +212,11 @@ struct Daemon::Impl {
   http::Response shedResponse(int Code, const std::string &Body,
                               int64_t RetryAfterMs);
   http::Response handleJob(const std::string &Id, bool WantOutput,
-                           bool WantTrace);
+                           bool WantTrace, bool WantBundle);
   http::Response handleHealthz();
   http::Response metricsText();
+  http::Response handleRecordings();
+  http::Response handleRecording(const std::string &Id, bool Replay);
   void runJob(const std::shared_ptr<JobRec> &Job,
               std::shared_ptr<const CompiledProgram> Prog,
               std::vector<std::pair<std::string, std::string>> Inputs,
@@ -200,6 +224,19 @@ struct Daemon::Impl {
   void cancelQueuedJob(const std::shared_ptr<JobRec> &Job);
   void finishJob(const std::shared_ptr<JobRec> &Job);
   void sealTrace(const std::shared_ptr<JobRec> &Job, uint64_t EndNs);
+  /// Persist a failure bundle for \p Job under the recordings directory.
+  /// \p P and \p Stats are null for jobs that never ran (then \p TrapLabel
+  /// becomes the recorded outcome). Best-effort: a recording failure is
+  /// logged, never propagated into the job's own verdict.
+  void recordFailureBundle(
+      const std::shared_ptr<JobRec> &Job, const CompiledProgram &Prog,
+      const std::vector<std::pair<std::string, std::string>> &Inputs,
+      const rt::RunConfig &RC, rt::ProgramInstance *P,
+      const rt::RunStats *Stats, const char *TrapLabel);
+  /// LRU-bound the recordings directory to RecordingsMaxBytes, evicting
+  /// oldest-written bundles first — the same policy the .so cache applies
+  /// (codegen/native_load.cpp). The newest bundle is never evicted.
+  void enforceRecordingsCap();
 };
 
 namespace {
@@ -251,6 +288,8 @@ std::string jobJson(const JobRec &J) {
   }
   if (!J.Error.empty())
     S << ",\"error\":\"" << observe::jsonEscape(J.Error) << "\"";
+  if (!J.BundleDir.empty())
+    S << ",\"bundle\":true";
   S << "}\n";
   return S.str();
 }
@@ -293,7 +332,7 @@ http::Response Daemon::Impl::handle(const http::Request &Req) {
     if (Req.Method != "GET")
       return textResponse(405, "GET only\n");
     std::string Rest = Req.Path.substr(6);
-    bool WantOutput = false, WantTrace = false;
+    bool WantOutput = false, WantTrace = false, WantBundle = false;
     size_t Slash = Rest.find('/');
     if (Slash != std::string::npos) {
       std::string Sub = Rest.substr(Slash);
@@ -301,11 +340,29 @@ http::Response Daemon::Impl::handle(const http::Request &Req) {
         WantOutput = true;
       else if (Sub == "/trace")
         WantTrace = true;
+      else if (Sub == "/bundle")
+        WantBundle = true;
       else
         return textResponse(404, "not found\n");
       Rest = Rest.substr(0, Slash);
     }
-    return handleJob(Rest, WantOutput, WantTrace);
+    return handleJob(Rest, WantOutput, WantTrace, WantBundle);
+  }
+  if (Req.Path == "/recordings") {
+    if (Req.Method != "GET")
+      return textResponse(405, "GET only\n");
+    return handleRecordings();
+  }
+  if (startsWith(Req.Path, "/recordings/")) {
+    if (Req.Method != "GET")
+      return textResponse(405, "GET only\n");
+    std::string Rest = Req.Path.substr(12);
+    bool Replay = false;
+    if (endsWith(Rest, "/replay")) {
+      Replay = true;
+      Rest = Rest.substr(0, Rest.size() - 7);
+    }
+    return handleRecording(Rest, Replay);
   }
   if (Req.Path == "/trace" && Req.Method == "GET")
     return jsonResponse(200, observe::mergedChromeTrace(Ring->snapshot()));
@@ -474,11 +531,27 @@ http::Response Daemon::Impl::handleRun(const http::Request &Req) {
     if (!rt::parseSchedulerName(V, RC.Sched))
       return BadHeader("X-Diderot-Scheduler");
   }
+  // Deterministic fault injection for chaos drills (tests/daemon_chaos.sh):
+  // each X-Diderot-Fault: STRAND@STEP header plants one injected fault at
+  // that strand and superstep. The plan rides into the job's failure bundle
+  // as recorded input, so a replay re-injects the same faults.
+  for (const std::string &FV : Req.headerValues("x-diderot-fault")) {
+    size_t At = FV.find('@');
+    int64_t Strand = -1;
+    int Step = -1;
+    if (At == std::string::npos || !parseInt64(FV.substr(0, At), Strand) ||
+        !parseInt(FV.substr(At + 1), Step) || Strand < 0 || Step < 0)
+      return BadHeader("X-Diderot-Fault");
+    RC.Policy.Plan.at(static_cast<uint64_t>(Strand), Step,
+                      observe::FaultKind::Injected);
+  }
   std::string OutputName = Req.header("x-diderot-output");
 
   auto Job = std::make_shared<JobRec>();
   Job->Program = Name;
   Job->Key = L->Key;
+  if (Opts.RecordOnFailure)
+    Job->Source = Req.Body;
   // The breaker outcome now rides with the job: the worker resolves it at
   // instantiate (runJob), and every path that kills the job before then
   // abandons it.
@@ -626,6 +699,12 @@ void Daemon::Impl::runJob(
     // Instantiate is where a native program meets the host compiler; its
     // failure (including a supervised-compile timeout) feeds the breaker.
     Job->BreakerTok.failure();
+    if (Opts.RecordOnFailure) {
+      uint64_t RecBeginNs = Clk.nowNs();
+      recordFailureBundle(Job, *Prog, Inputs, RC, nullptr, nullptr,
+                          "compile-trapped");
+      AddSpan("record", RecBeginNs, Clk.nowNs());
+    }
     return Fail(Inst.message());
   }
   Job->BreakerTok.success();
@@ -652,6 +731,12 @@ void Daemon::Impl::runJob(
     if (RC.Sched == rt::Scheduler::Pooled)
       RC.CollectMetrics = true;
   }
+  // Under --record-on-failure every run captures the per-superstep digest
+  // stream (one 128-bit hash per superstep) so a failing job's bundle can
+  // carry it; the full per-strand state log stays off, bounding the
+  // recorder's memory on large grids.
+  if (Opts.RecordOnFailure)
+    RC.CollectDigests = true;
   RC.Trace.Trace = Job->Ctx.Trace;
   RC.Trace.Span = RunSpanId;
   RC.Trace.Sampled = Job->Ctx.Sampled;
@@ -661,6 +746,12 @@ void Daemon::Impl::runJob(
   Job->RunNs = RunEndNs - RunBeginNs;
   if (!Run.isOk()) {
     AddSpan("run", RunBeginNs, RunEndNs, RunSpanId);
+    if (Opts.RecordOnFailure) {
+      uint64_t RecBeginNs = Clk.nowNs();
+      recordFailureBundle(Job, *Prog, Inputs, RC, nullptr, nullptr,
+                          "run-error");
+      AddSpan("record", RecBeginNs, Clk.nowNs());
+    }
     return Fail(Run.message());
   }
   {
@@ -680,6 +771,20 @@ void Daemon::Impl::runJob(
     if (Job->Ctx.Sampled && RC.Sched == rt::Scheduler::Pooled)
       observe::appendPoolSpan(Job->Tree, RunSpanId, RunBeginNs, RunEndNs,
                               *Run, Ids);
+  }
+
+  // Failure capture (docs/REPLAY.md): a job that ended over-deadline,
+  // diverged, over its fault budget, or with faulted strands leaves a
+  // self-contained replay bundle behind before its record goes terminal,
+  // so GET /jobs/<id>/bundle never races the write.
+  if (Opts.RecordOnFailure &&
+      (Run->Outcome == observe::RunOutcome::Deadline ||
+       Run->Outcome == observe::RunOutcome::Diverged ||
+       Run->Outcome == observe::RunOutcome::FaultBudget ||
+       P.numFaulted() > 0)) {
+    uint64_t RecBeginNs = Clk.nowNs();
+    recordFailureBundle(Job, *Prog, Inputs, RC, &P, &*Run, nullptr);
+    AddSpan("record", RecBeginNs, Clk.nowNs());
   }
 
   std::string NrrdBytes;
@@ -787,8 +892,181 @@ void Daemon::Impl::finishJob(const std::shared_ptr<JobRec> &Job) {
   }
 }
 
+void Daemon::Impl::recordFailureBundle(
+    const std::shared_ptr<JobRec> &Job, const CompiledProgram &Prog,
+    const std::vector<std::pair<std::string, std::string>> &Inputs,
+    const rt::RunConfig &RC, rt::ProgramInstance *P,
+    const rt::RunStats *Stats, const char *TrapLabel) {
+  std::string Dir = (fs::path(Opts.RecordingsDir) / Job->Id).string();
+  FlightRecorder Rec;
+  Rec.begin(Dir, Job->Program, Job->Source, Registry->options(),
+            Prog.midModule());
+  for (const auto &[IName, IValue] : Inputs)
+    if (Status S = Rec.addInput(IName, IValue); !S.isOk()) {
+      lg::warn("recording dropped: input unreadable",
+               {lg::strField("job", Job->Id), lg::strField("input", IName),
+                lg::strField("error", S.message())});
+      return;
+    }
+  // armConfig records the configuration into the bundle; it also arms the
+  // capture flags on its argument, which is why it gets a copy — the run
+  // this bundle describes already happened.
+  rt::RunConfig Cfg = RC;
+  Rec.armConfig(Cfg);
+  Status W = (P && Stats) ? Rec.finish(*P, *Stats)
+                          : Rec.finishTrapped(TrapLabel ? TrapLabel : "trap");
+  if (!W.isOk()) {
+    lg::warn("recording failed",
+             {lg::strField("job", Job->Id), lg::strField("dir", Dir),
+              lg::strField("error", W.message())});
+    return;
+  }
+  RecordingsTotal.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> G(JobsMu);
+    Job->BundleDir = Dir;
+  }
+  if (Opts.RecordingsMaxBytes > 0)
+    enforceRecordingsCap();
+  lg::info("failure bundle recorded",
+           {lg::strField("job", Job->Id),
+            lg::strField("program", Job->Program),
+            lg::strField("outcome", Rec.bundle().Outcome),
+            lg::strField("dir", Dir),
+            lg::strField("trace", tracing::hexTraceId(Job->Ctx.Trace))});
+}
+
+void Daemon::Impl::enforceRecordingsCap() {
+  std::lock_guard<std::mutex> G(RecMu);
+  std::error_code EC;
+  struct RecInfo {
+    fs::path Path;
+    fs::file_time_type MTime;
+    uint64_t Bytes = 0;
+  };
+  std::vector<RecInfo> All;
+  uint64_t Total = 0;
+  for (const fs::directory_entry &E :
+       fs::directory_iterator(Opts.RecordingsDir, EC)) {
+    if (!E.is_directory(EC))
+      continue;
+    RecInfo R;
+    R.Path = E.path();
+    R.MTime = fs::last_write_time(E.path(), EC);
+    for (const fs::directory_entry &F : fs::directory_iterator(E.path(), EC))
+      if (F.is_regular_file(EC))
+        R.Bytes += F.file_size(EC);
+    Total += R.Bytes;
+    All.push_back(std::move(R));
+  }
+  std::sort(All.begin(), All.end(),
+            [](const RecInfo &A, const RecInfo &B) { return A.MTime < B.MTime; });
+  // Oldest first, and never the newest bundle: the cap must not eat the
+  // recording that triggered this sweep.
+  for (size_t I = 0; I + 1 < All.size() && Total > Opts.RecordingsMaxBytes;
+       ++I) {
+    fs::remove_all(All[I].Path, EC);
+    if (EC)
+      continue;
+    Total -= All[I].Bytes;
+    RecordingsEvicted.fetch_add(1, std::memory_order_relaxed);
+    lg::info("recording evicted",
+             {lg::strField("dir", All[I].Path.string()),
+              lg::numField("bytes", static_cast<int64_t>(All[I].Bytes))});
+  }
+}
+
+http::Response Daemon::Impl::handleRecordings() {
+  // id -> bytes, only bundles whose manifest landed (the manifest is
+  // written last, so its presence marks a complete bundle).
+  std::vector<std::pair<std::string, uint64_t>> Recs;
+  {
+    std::lock_guard<std::mutex> G(RecMu);
+    std::error_code EC;
+    for (const fs::directory_entry &E :
+         fs::directory_iterator(Opts.RecordingsDir, EC)) {
+      if (!E.is_directory(EC))
+        continue;
+      if (!fs::exists(E.path() / observe::bundleManifestFile(), EC))
+        continue;
+      uint64_t Bytes = 0;
+      for (const fs::directory_entry &F : fs::directory_iterator(E.path(), EC))
+        if (F.is_regular_file(EC))
+          Bytes += F.file_size(EC);
+      Recs.emplace_back(E.path().filename().string(), Bytes);
+    }
+  }
+  std::sort(Recs.begin(), Recs.end());
+  std::ostringstream S;
+  S << "{\"recordings\":[";
+  for (size_t I = 0; I < Recs.size(); ++I)
+    S << (I ? "," : "") << "{\"id\":\"" << observe::jsonEscape(Recs[I].first)
+      << "\",\"bytes\":" << Recs[I].second << "}";
+  S << "]}\n";
+  return jsonResponse(200, S.str());
+}
+
+http::Response Daemon::Impl::handleRecording(const std::string &Id,
+                                             bool Replay) {
+  // The id becomes a path component; reject anything that could escape the
+  // recordings directory.
+  if (Id.empty() || Id.find('/') != std::string::npos ||
+      Id.find("..") != std::string::npos)
+    return textResponse(404, "not found\n");
+  std::string Dir = (fs::path(Opts.RecordingsDir) / Id).string();
+  std::error_code EC;
+  if (!fs::is_directory(Dir, EC) ||
+      !fs::exists(fs::path(Dir) / observe::bundleManifestFile(), EC))
+    return textResponse(404, "no such recording\n");
+  if (!Replay) {
+    Result<std::string> Tar = support::tarDirectory(Dir);
+    if (!Tar.isOk())
+      return textResponse(500, Tar.message() + "\n");
+    return {200, "application/x-tar", Tar.take(), {}};
+  }
+  // Replay verification, in-process: recompile the bundled source under the
+  // bundled options (sharing this daemon's .so cache) and re-run it under
+  // the bundled configuration. The verdict text is diderotc --replay's.
+  Result<ReplayReport> RR = replayBundle(Dir, Opts.Compile.WorkDir);
+  if (!RR.isOk())
+    return textResponse(500, RR.message() + "\n");
+  if (!RR->Match) {
+    ReplayDivergence.fetch_add(1, std::memory_order_relaxed);
+    lg::warn("replay diverged from recording",
+             {lg::strField("recording", Id),
+              lg::strField("outcome", RR->ReplayedOutcome)});
+  }
+  return textResponse(200, RR->Text);
+}
+
 http::Response Daemon::Impl::handleJob(const std::string &Id, bool WantOutput,
-                                       bool WantTrace) {
+                                       bool WantTrace, bool WantBundle) {
+  if (WantBundle) {
+    // Copy what is needed under the lock, then tar outside it — archiving
+    // a bundle reads the filesystem and must not stall job transitions.
+    std::string BundleDir;
+    {
+      std::lock_guard<std::mutex> G(JobsMu);
+      auto It = Jobs.find(Id);
+      if (It == Jobs.end())
+        return textResponse(404, "no such job\n");
+      const JobRec &J = *It->second;
+      if (J.State != JobState::Done && J.State != JobState::Failed)
+        return textResponse(409, strf("job is ", jobStateName(J.State), "\n"));
+      BundleDir = J.BundleDir;
+    }
+    if (BundleDir.empty())
+      return textResponse(404, "no bundle recorded for this job\n");
+    // The recordings cap may have evicted the bundle after the job record
+    // was stamped; a missing manifest means gone, not a server error.
+    std::error_code EC;
+    if (!fs::exists(fs::path(BundleDir) / observe::bundleManifestFile(), EC))
+      return textResponse(404, "bundle was evicted by the recordings cap\n");
+    Result<std::string> Tar = support::tarDirectory(BundleDir);
+    if (!Tar.isOk())
+      return textResponse(500, Tar.message() + "\n");
+    return {200, "application/x-tar", Tar.take(), {}};
+  }
   std::lock_guard<std::mutex> G(JobsMu);
   auto It = Jobs.find(Id);
   if (It == Jobs.end())
@@ -878,6 +1156,15 @@ http::Response Daemon::Impl::metricsText() {
   Counter("diderot_daemon_deadline_expired_total",
           "Jobs failed before start: deadline consumed by queue wait",
           DeadlineExpired.load(std::memory_order_relaxed));
+  Counter("diderot_daemon_recordings_total",
+          "Failure replay bundles recorded (docs/REPLAY.md)",
+          RecordingsTotal.load(std::memory_order_relaxed));
+  Counter("diderot_daemon_recordings_evicted_total",
+          "Recorded bundles evicted by the recordings size cap",
+          RecordingsEvicted.load(std::memory_order_relaxed));
+  Counter("diderot_daemon_replay_divergence_total",
+          "Replay verifications that diverged from their recording",
+          ReplayDivergence.load(std::memory_order_relaxed));
   Counter("diderot_daemon_http_requests_total", "HTTP requests handled",
           HttpRequests.load(std::memory_order_relaxed));
   Out += strf("# HELP diderot_daemon_jobs_total Jobs by terminal state\n",
@@ -923,6 +1210,8 @@ Daemon::~Daemon() { stop(); }
 Status Daemon::start(DaemonOptions O) {
   if (O.Compile.WorkDir.empty())
     O.Compile.WorkDir = defaultCacheDir();
+  if (O.RecordingsDir.empty())
+    O.RecordingsDir = (fs::path(O.Compile.WorkDir) / "recordings").string();
   I->Opts = O;
   I->Registry = std::make_unique<ProgramRegistry>(O.Compile);
   CompileBreaker::Options BO;
@@ -996,6 +1285,8 @@ int Daemon::port() const { return I->Http.port(); }
 
 std::string Daemon::cacheDir() const { return I->Opts.Compile.WorkDir; }
 
+std::string Daemon::recordingsDir() const { return I->Opts.RecordingsDir; }
+
 Daemon::Counters Daemon::counters() const {
   Counters C;
   if (I->Registry) {
@@ -1006,6 +1297,9 @@ Daemon::Counters Daemon::counters() const {
   C.JobsFailed = I->JobsFailed.load(std::memory_order_relaxed);
   C.JobsRejected = I->JobsRejected.load(std::memory_order_relaxed);
   C.DeadlineExpired = I->DeadlineExpired.load(std::memory_order_relaxed);
+  C.RecordingsTotal = I->RecordingsTotal.load(std::memory_order_relaxed);
+  C.RecordingsEvicted = I->RecordingsEvicted.load(std::memory_order_relaxed);
+  C.ReplayDivergence = I->ReplayDivergence.load(std::memory_order_relaxed);
   if (I->Breaker) {
     C.BreakerDenied = I->Breaker->fastFails();
     C.BreakerTrips = I->Breaker->trips();

@@ -27,8 +27,20 @@
 ///   GET  /jobs/<id>/trace    the job's span tree as Chrome-trace JSON
 ///                            (409 until the job finished; see
 ///                            docs/TRACING.md).
+///   GET  /jobs/<id>/bundle   the job's replay bundle as a ustar stream
+///                            (recorded when --record-on-failure is set and
+///                            the job ended faulted / over-deadline /
+///                            compile-trapped; 404 when none was recorded;
+///                            see docs/REPLAY.md).
 ///   GET  /trace              recently sampled/slow jobs merged into one
 ///                            Chrome-trace timeline.
+///   GET  /recordings         failure bundles on disk as JSON (id, bytes).
+///   GET  /recordings/<id>    one recorded bundle as a ustar stream, even
+///                            after its job record was pruned.
+///   GET  /recordings/<id>/replay  re-run the recording in-process and
+///                            report the comparison (diderotc --replay's
+///                            verdict text); divergences bump the
+///                            replay_divergence_total metric.
 ///   GET  /healthz            liveness + queue/cache gauges as JSON; 200
 ///                            as soon as the daemon accepts requests.
 ///   GET  /metrics            daemon counters in Prometheus text format;
@@ -102,6 +114,18 @@ struct DaemonOptions {
   /// how long queued + running jobs get to finish before the hard stop
   /// cancels what is left.
   int64_t DrainMs = 5000;
+  /// Flight recorder (docs/REPLAY.md): persist a replay bundle for every
+  /// job that ends faulted, over-deadline, diverged, over the fault budget,
+  /// or compile-trapped. Costs one digest hash per strand per superstep on
+  /// every job while armed (digest stream only — the full per-strand state
+  /// log stays off, so memory is bounded at 16 bytes per superstep).
+  bool RecordOnFailure = false;
+  /// Where failure bundles land, one directory per job id; empty =
+  /// <cache-dir>/recordings.
+  std::string RecordingsDir;
+  /// Cap the recordings directory; least-recently-written bundles are
+  /// evicted after each new recording (0 = no cap).
+  uint64_t RecordingsMaxBytes = 0;
   /// Options every program is compiled under. WorkDir doubles as the .so
   /// cache directory; empty = serve::defaultCacheDir().
   CompileOptions Compile;
@@ -133,6 +157,9 @@ public:
   int port() const;
   /// The .so cache directory in use.
   std::string cacheDir() const;
+  /// The failure-recordings directory (valid after start; bundles only
+  /// appear there when RecordOnFailure is set).
+  std::string recordingsDir() const;
 
   /// Monotonic counters + instantaneous gauges, for tests and the bench
   /// harness (the same numbers /metrics exposes).
@@ -146,6 +173,9 @@ public:
     uint64_t BreakerTrips = 0;  ///< breaker transitions into Open
     uint64_t DeadlineExpired = 0; ///< jobs failed before start (queue wait
                                   ///< consumed the whole deadline)
+    uint64_t RecordingsTotal = 0;   ///< failure replay bundles written
+    uint64_t RecordingsEvicted = 0; ///< bundles evicted by the size cap
+    uint64_t ReplayDivergence = 0;  ///< replay verifications that diverged
     int QueueDepth = 0;
     int JobsInFlight = 0;
     int BreakerOpen = 0; ///< programs currently Open or HalfOpen

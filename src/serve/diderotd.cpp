@@ -65,6 +65,14 @@ options:
                       cap; default 0)
   --cache-dir DIR     compiled-object cache directory (default:
                       $DIDEROT_CACHE_DIR, else the system temp scratch)
+  --record-on-failure persist a replay bundle (docs/REPLAY.md) for every
+                      job that ends faulted, over-deadline, diverged, or
+                      compile-trapped; fetch with GET /jobs/<id>/bundle or
+                      GET /recordings/<id>, verify with diderotc --replay
+  --recordings-dir DIR  where failure bundles land (default:
+                      <cache-dir>/recordings)
+  --recordings-max-bytes N  cap the recordings directory; the oldest
+                      bundles are evicted past it (0 = no cap; default 0)
   --engine=native|interp  execution engine (default native)
   --double            double-precision reals (native engine)
   --trace-sample SPEC detailed-tracing head sample rate: "1/16" or a bare
@@ -185,6 +193,14 @@ int main(int Argc, char **Argv) {
         return 1;
     } else if (Arg == "--cache-dir" && A + 1 < Argc) {
       Opts.Compile.WorkDir = Argv[++A];
+    } else if (Arg == "--record-on-failure") {
+      Opts.RecordOnFailure = true;
+    } else if (Arg == "--recordings-dir" && A + 1 < Argc) {
+      Opts.RecordingsDir = Argv[++A];
+    } else if (Arg == "--recordings-max-bytes" && A + 1 < Argc) {
+      if (!argBytes("--recordings-max-bytes", Argv[++A],
+                    Opts.RecordingsMaxBytes))
+        return 1;
     } else if (Arg == "--engine=interp") {
       Opts.Compile.Eng = Engine::Interp;
     } else if (Arg == "--engine=native") {

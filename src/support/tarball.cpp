@@ -1,0 +1,147 @@
+//===--- support/tarball.cpp - minimal ustar archive pack/unpack -------------===//
+
+#include "support/tarball.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/atomic_file.h"
+#include "support/strings.h"
+
+namespace diderot::support {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t BlockSize = 512;
+
+/// Write \p V into \p Field as a NUL-terminated octal string of \p Width
+/// characters (the ustar numeric encoding).
+void putOctal(char *Field, size_t Width, uint64_t V) {
+  // Width-1 digits, then NUL.
+  for (size_t I = Width - 1; I-- > 0;) {
+    Field[I] = static_cast<char>('0' + (V & 7));
+    V >>= 3;
+  }
+  Field[Width - 1] = '\0';
+}
+
+uint64_t parseOctal(const char *Field, size_t Width) {
+  uint64_t V = 0;
+  for (size_t I = 0; I < Width && Field[I]; ++I) {
+    if (Field[I] < '0' || Field[I] > '7')
+      continue; // leading spaces in foreign archives
+    V = (V << 3) | static_cast<uint64_t>(Field[I] - '0');
+  }
+  return V;
+}
+
+bool badName(const std::string &Name) {
+  return Name.empty() || Name.size() > 99 ||
+         Name.find("..") != std::string::npos || Name.front() == '/';
+}
+
+} // namespace
+
+Result<std::string> tarSerialize(const TarEntries &Entries) {
+  using RS = Result<std::string>;
+  std::string Out;
+  for (const auto &[Name, Bytes] : Entries) {
+    if (badName(Name))
+      return RS::error(strf("tar entry name unsupported: '", Name, "'"));
+    char H[BlockSize] = {};
+    std::memcpy(H, Name.data(), Name.size());      // name
+    putOctal(H + 100, 8, 0644);                    // mode
+    putOctal(H + 108, 8, 0);                       // uid
+    putOctal(H + 116, 8, 0);                       // gid
+    putOctal(H + 124, 12, Bytes.size());           // size
+    putOctal(H + 136, 12, 0);                      // mtime (deterministic)
+    std::memset(H + 148, ' ', 8);                  // checksum placeholder
+    H[156] = '0';                                  // typeflag: regular file
+    std::memcpy(H + 257, "ustar", 6);              // magic
+    H[263] = '0';                                  // version "00"
+    H[264] = '0';
+    uint64_t Sum = 0;
+    for (size_t I = 0; I < BlockSize; ++I)
+      Sum += static_cast<unsigned char>(H[I]);
+    putOctal(H + 148, 7, Sum);
+    H[155] = ' ';
+    Out.append(H, BlockSize);
+    Out.append(Bytes);
+    if (size_t Pad = Bytes.size() % BlockSize)
+      Out.append(BlockSize - Pad, '\0');
+  }
+  Out.append(2 * BlockSize, '\0'); // end-of-archive marker
+  return Out;
+}
+
+Result<TarEntries> tarParse(const std::string &Bytes) {
+  using RT = Result<TarEntries>;
+  TarEntries Entries;
+  size_t Pos = 0;
+  while (Pos + BlockSize <= Bytes.size()) {
+    const char *H = Bytes.data() + Pos;
+    if (H[0] == '\0') // zero block: end of archive
+      break;
+    char NameBuf[101] = {};
+    std::memcpy(NameBuf, H, 100);
+    std::string Name = NameBuf;
+    uint64_t Size = parseOctal(H + 124, 12);
+    char Type = H[156];
+    Pos += BlockSize;
+    if (Pos + Size > Bytes.size())
+      return RT::error(strf("truncated tar entry '", Name, "'"));
+    if (Type == '0' || Type == '\0')
+      Entries.emplace_back(Name, Bytes.substr(Pos, Size));
+    Pos += Size;
+    if (size_t Pad = Size % BlockSize)
+      Pos += BlockSize - Pad;
+  }
+  return Entries;
+}
+
+Result<std::string> tarDirectory(const std::string &Dir) {
+  using RS = Result<std::string>;
+  TarEntries Entries;
+  std::error_code EC;
+  // Sorted for deterministic archives (directory_iterator order is not).
+  std::vector<fs::path> Paths;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC))
+    if (It->is_regular_file(EC))
+      Paths.push_back(It->path());
+  std::sort(Paths.begin(), Paths.end());
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P, std::ios::binary);
+    if (!In)
+      return RS::error(strf("cannot read ", P.string()));
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    Entries.emplace_back(P.filename().string(), std::move(Bytes));
+  }
+  return tarSerialize(Entries);
+}
+
+Status tarExtract(const std::string &Bytes, const std::string &Dir) {
+  Result<TarEntries> Entries = tarParse(Bytes);
+  if (!Entries.isOk())
+    return Status::error(Entries.message());
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return Status::error(strf("cannot create ", Dir));
+  for (const auto &[Name, Data] : *Entries) {
+    if (badName(Name) || Name.find('/') != std::string::npos)
+      return Status::error(strf("unsafe tar entry name '", Name, "'"));
+    Status S = writeFileAtomic((fs::path(Dir) / Name).string(), Data);
+    if (!S.isOk())
+      return S;
+  }
+  return Status::ok();
+}
+
+} // namespace diderot::support

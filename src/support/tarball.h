@@ -1,0 +1,49 @@
+//===--- support/tarball.h - minimal ustar archive pack/unpack ---------------===//
+//
+// Part of the Diderot-C++ reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough POSIX ustar to ship a replay bundle (docs/REPLAY.md) over
+/// HTTP as one byte stream: regular files with relative paths, no
+/// symlinks, no ownership, no long-name extensions. Bundles are flat
+/// directories of short-named files, so the 100-character ustar name field
+/// is never a constraint; names that would not fit are an error rather
+/// than a silent truncation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIDEROT_SUPPORT_TARBALL_H
+#define DIDEROT_SUPPORT_TARBALL_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/result.h"
+
+namespace diderot::support {
+
+/// (relative path, file bytes) pairs — the in-memory form of an archive.
+using TarEntries = std::vector<std::pair<std::string, std::string>>;
+
+/// Serialize \p Entries as a ustar stream (two zero blocks at the end).
+/// Errors on names over 99 characters or containing "..".
+Result<std::string> tarSerialize(const TarEntries &Entries);
+
+/// Parse a ustar stream produced by tarSerialize (or any archiver limited
+/// to plain files). Non-file entries (directories, links) are skipped.
+Result<TarEntries> tarParse(const std::string &Bytes);
+
+/// Archive every regular file directly inside \p Dir (non-recursive — a
+/// replay bundle is flat) into a ustar byte stream.
+Result<std::string> tarDirectory(const std::string &Dir);
+
+/// Extract \p Bytes into \p Dir (created if needed). Entry names must be
+/// bare file names; anything with a path separator or ".." is rejected.
+Status tarExtract(const std::string &Bytes, const std::string &Dir);
+
+} // namespace diderot::support
+
+#endif // DIDEROT_SUPPORT_TARBALL_H

@@ -59,7 +59,15 @@ Tensor scale(double S, const Tensor &A) {
   return Out;
 }
 
-Tensor divide(const Tensor &A, double S) { return scale(1.0 / S, A); }
+Tensor divide(const Tensor &A, double S) {
+  // Component-wise division, NOT scale(1.0 / S, ...): the native lowering
+  // scalarizes tensor/scalar into per-component Div ops, and record/replay
+  // digests require both engines to round identically.
+  Tensor Out = A;
+  for (int I = 0; I < Out.numComponents(); ++I)
+    Out[I] /= S;
+  return Out;
+}
 
 Tensor modulate(const Tensor &A, const Tensor &B) {
   assert(A.shape() == B.shape() && "shape mismatch in modulate");
@@ -156,7 +164,9 @@ Tensor normalize(const Tensor &A) {
   double N = norm(A);
   if (N == 0.0)
     return A;
-  return scale(1.0 / N, A);
+  // divide(), not scale(1/N): must round exactly like the scalarized
+  // per-component Div the native lowering emits (see divide above).
+  return divide(A, N);
 }
 
 double trace(const Tensor &A) {

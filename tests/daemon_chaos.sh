@@ -13,14 +13,21 @@
 #   3. A cache artifact corrupted between restarts (crash truncation) is
 #      quarantined and recompiled — the daemon never dlopens a .so whose
 #      bytes disagree with the index.
+#   4. A job with an injected strand fault under --record-on-failure leaves
+#      a replay bundle; fetching it over HTTP and replaying it offline with
+#      `diderotc --replay` reproduces the same outcome at the same
+#      superstep, bit-exactly (docs/REPLAY.md). When $CHAOS_ARTIFACT_DIR is
+#      set, the fetched bundle and its replay report are copied there so CI
+#      can upload them as build artifacts.
 #
 # Run by CI (daemon-chaos job) and runnable locally:
 #
 #   tests/daemon_chaos.sh build/src/serve/diderotd tests/cli_isocontour.diderot
 set -euo pipefail
 
-DIDEROTD=${1:?usage: daemon_chaos.sh <diderotd> <program.diderot>}
-PROGRAM=${2:?usage: daemon_chaos.sh <diderotd> <program.diderot>}
+DIDEROTD=${1:?usage: daemon_chaos.sh <diderotd> <program.diderot> [diderotc]}
+PROGRAM=${2:?usage: daemon_chaos.sh <diderotd> <program.diderot> [diderotc]}
+DIDEROTC=${3:-"$(dirname "$DIDEROTD")/../driver/diderotc"}
 
 WORK=$(mktemp -d)
 CACHE="$WORK/cache"
@@ -84,7 +91,11 @@ post_compile() { # post_compile -> "<http-code> <body>"
        --data-binary @"$PROGRAM" "http://127.0.0.1:$PORT/compile"
 }
 
-metrics() { curl -sS "http://127.0.0.1:$PORT/metrics"; }
+# Buffered on purpose: piping curl straight into `grep -q` makes grep exit
+# at the first match, curl die on EPIPE (exit 23), and pipefail turn a
+# successful match into a failure once the metrics body outgrows one pipe
+# buffer. Fetch to a file, then grep the file.
+metrics() { curl -sS -o "$WORK/metrics.txt" "http://127.0.0.1:$PORT/metrics"; }
 
 # ---------------------------------------------------------------------------
 # Scenario 1: poisoned compiler -> breaker opens -> heals -> breaker closes.
@@ -103,7 +114,8 @@ C3=$(curl -sS -D "$WORK/hdrs" -o "$WORK/body" -w '%{http_code}' -X POST \
 grep -qi '^Retry-After:' "$WORK/hdrs" || fail "503 has no Retry-After header"
 curl -sS "http://127.0.0.1:$PORT/healthz" | grep -q '"breakerOpen":1' ||
   fail "healthz does not show the open breaker"
-metrics | grep -q '^diderot_daemon_breaker_trips_total [1-9]' ||
+metrics
+grep -q '^diderot_daemon_breaker_trips_total [1-9]' "$WORK/metrics.txt" ||
   fail "metrics do not show the breaker trip"
 echo "daemon_chaos: breaker opened after 2 poisoned compiles, denies with 503"
 
@@ -158,10 +170,10 @@ SO=$(ls "$CACHE"/ddr-*.so 2>/dev/null | head -1)
 start_daemon
 C5=$(post_compile)
 [ "$C5" = 200 ] || fail "compile against corrupted cache expected 200, got $C5 ($(cat "$WORK/body"))"
-metrics > "$WORK/metrics"
-grep -q '^diderot_daemon_cache_quarantined_total [1-9]' "$WORK/metrics" ||
+metrics
+grep -q '^diderot_daemon_cache_quarantined_total [1-9]' "$WORK/metrics.txt" ||
   fail "corrupt artifact was not quarantined"
-grep -q '^diderot_daemon_native_host_compiles_total [1-9]' "$WORK/metrics" ||
+grep -q '^diderot_daemon_native_host_compiles_total [1-9]' "$WORK/metrics.txt" ||
   fail "corrupt artifact was not recompiled"
 ls "$CACHE/quarantine"/ddr-*.so.* >/dev/null 2>&1 ||
   fail "quarantine directory holds no artifact"
@@ -180,6 +192,59 @@ done
 [ "$STATE" = done ] || fail "post-recompile run did not finish (state: ${STATE:-none})"
 echo "$POLL" | grep -q '"outcome":"converged"' || fail "post-recompile run did not converge"
 echo "daemon_chaos: truncated artifact quarantined, recompiled, and served"
+stop_daemon
+
+# ---------------------------------------------------------------------------
+# Scenario 4: injected-fault job -> failure bundle -> offline replay MATCH.
+# ---------------------------------------------------------------------------
+start_daemon --record-on-failure --recordings-dir "$WORK/recordings"
+RUN=$(curl -sS -X POST --data-binary @"$PROGRAM" \
+      -H 'X-Diderot-Input: ddro=synth:portrait:48' \
+      -H 'X-Diderot-Fault: 3@1' "http://127.0.0.1:$PORT/run")
+JOB=$(echo "$RUN" | sed -n 's/.*"job":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || fail "fault-injected submit not accepted"
+STATE=""
+for _ in $(seq 1 300); do
+  POLL=$(curl -sS "http://127.0.0.1:$PORT/jobs/$JOB")
+  STATE=$(echo "$POLL" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  if [ "$STATE" = done ] || [ "$STATE" = failed ]; then break; fi
+  sleep 0.1
+done
+[ "$STATE" = done ] || fail "fault-injected job did not finish (state: ${STATE:-none})"
+echo "$POLL" | grep -q '"faulted":1' || fail "job does not report the injected fault"
+echo "$POLL" | grep -q '"bundle":true' || fail "no failure bundle recorded for the job"
+OUTCOME=$(echo "$POLL" | sed -n 's/.*"outcome":"\([^"]*\)".*/\1/p')
+STEPS=$(echo "$POLL" | sed -n 's/.*"steps":\([0-9]*\).*/\1/p')
+metrics
+grep -q '^diderot_daemon_recordings_total [1-9]' "$WORK/metrics.txt" ||
+  fail "metrics do not count the recording"
+
+# Fetch the bundle over HTTP and replay it offline: same outcome at the
+# same superstep, digest streams bit-identical.
+BUNDLE="$WORK/$JOB-bundle.tar"
+curl -sSf -o "$BUNDLE" "http://127.0.0.1:$PORT/jobs/$JOB/bundle" ||
+  fail "bundle fetch failed"
+[ -s "$BUNDLE" ] || fail "fetched bundle is empty"
+REPLAY_RC=0
+"$DIDEROTC" --replay "$BUNDLE" > "$WORK/replay.txt" 2>&1 || REPLAY_RC=$?
+[ "$REPLAY_RC" = 0 ] || { cat "$WORK/replay.txt" >&2;
+                          fail "diderotc --replay exited $REPLAY_RC"; }
+grep -q 'verdict: MATCH' "$WORK/replay.txt" ||
+  { cat "$WORK/replay.txt" >&2; fail "replay verdict is not MATCH"; }
+grep -q "recorded $OUTCOME after $STEPS supersteps" "$WORK/replay.txt" ||
+  { cat "$WORK/replay.txt" >&2;
+    fail "replay does not reproduce outcome '$OUTCOME' at superstep $STEPS"; }
+grep -q "replayed $OUTCOME after $STEPS supersteps" "$WORK/replay.txt" ||
+  { cat "$WORK/replay.txt" >&2;
+    fail "replayed outcome differs from the recording"; }
+# The daemon's own in-process verification agrees.
+curl -sSf "http://127.0.0.1:$PORT/recordings/$JOB/replay" | \
+  grep -q 'verdict: MATCH' || fail "daemon-side replay verification diverged"
+if [ -n "${CHAOS_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$CHAOS_ARTIFACT_DIR"
+  cp "$BUNDLE" "$WORK/replay.txt" "$CHAOS_ARTIFACT_DIR/"
+fi
+echo "daemon_chaos: failure bundle fetched and replayed to MATCH ($OUTCOME @ $STEPS steps)"
 stop_daemon
 
 echo "daemon_chaos: PASS"
